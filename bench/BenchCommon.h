@@ -1,0 +1,123 @@
+//===- bench/BenchCommon.h - Shared benchmark helpers ---------*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the benchmark binaries: the paper's published rows
+/// (§7, measurements of 21 Nov / 7 Dec 1990), and a runner that compiles
+/// a pattern and produces its simulated TimingReport.
+///
+/// The figure of merit is *simulated machine time* at the paper's 7 MHz
+/// clock — the quantity the paper reports. Each google-benchmark entry
+/// reports that simulated time via manual timing, so the benchmark
+/// output table reads like the paper's; a paper-vs-model comparison
+/// table is printed after the run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMCC_BENCH_BENCHCOMMON_H
+#define CMCC_BENCH_BENCHCOMMON_H
+
+#include "core/Compiler.h"
+#include "runtime/Executor.h"
+#include "stencil/PatternLibrary.h"
+#include "support/StringUtils.h"
+#include "support/TextTable.h"
+#include <benchmark/benchmark.h>
+#include <cstdio>
+#include <string>
+
+namespace cmccbench {
+
+using namespace cmcc;
+
+/// One published row of the paper's results table.
+struct PaperRow {
+  PatternId Pattern;
+  int SubRows, SubCols;
+  int Nodes;
+  int Iterations;
+  double ElapsedSeconds; ///< Paper's measured elapsed time.
+  double Mflops;         ///< Paper's measured rate.
+  double ExtrapolatedGflops; ///< Paper's 2048-node extrapolation (0 = n/a).
+};
+
+/// The 16-node rows (measured 21 Nov 90).
+inline const PaperRow PaperRows16[] = {
+    {PatternId::Cross5, 64, 128, 16, 250, 4.54, 44.6, 5.31},
+    {PatternId::Cross5, 128, 256, 16, 100, 6.78, 69.5, 8.90},
+    {PatternId::Cross5, 256, 256, 16, 100, 13.00, 72.8, 9.29},
+    {PatternId::Square9, 64, 64, 16, 500, 8.10, 68.8, 8.80},
+    {PatternId::Square9, 64, 128, 16, 250, 6.07, 91.7, 11.74},
+    {PatternId::Square9, 128, 128, 16, 250, 12.40, 89.8, 11.50},
+    {PatternId::Square9, 128, 256, 16, 100, 10.26, 86.7, 11.10},
+    {PatternId::Square9, 256, 256, 16, 100, 20.12, 88.6, 11.34},
+    {PatternId::Cross9R2, 64, 64, 16, 500, 9.81, 56.8, 7.27},
+    {PatternId::Cross9R2, 64, 128, 16, 250, 8.19, 68.0, 8.70},
+    {PatternId::Cross9R2, 128, 128, 16, 250, 15.30, 72.9, 9.34},
+    {PatternId::Cross9R2, 128, 256, 16, 100, 10.44, 85.3, 10.92},
+    {PatternId::Cross9R2, 256, 256, 16, 100, 20.80, 85.6, 10.95},
+    {PatternId::Diamond13, 64, 64, 16, 500, 11.40, 71.6, 9.16},
+    {PatternId::Diamond13, 64, 128, 16, 250, 9.98, 82.0, 10.50},
+    {PatternId::Diamond13, 128, 128, 16, 250, 18.70, 87.7, 11.23},
+    {PatternId::Diamond13, 128, 256, 16, 100, 15.30, 85.6, 10.95},
+    {PatternId::Diamond13, 256, 256, 16, 100, 30.51, 85.9, 11.00},
+};
+
+/// The full-machine rows (measured 7 Dec 90; the paper reports
+/// 13.65 / 14.95 Gflops on the 2,048-node machine).
+inline const PaperRow PaperRows2048[] = {
+    {PatternId::Diamond13, 128, 256, 2048, 100, 12.30, 13650.0, 0.0},
+    {PatternId::Diamond13, 256, 256, 2048, 100, 22.43, 14950.0, 0.0},
+};
+
+/// Compiles \p Id for \p Config (aborts on failure — the paper patterns
+/// always compile).
+inline CompiledStencil compilePattern(const MachineConfig &Config,
+                                      PatternId Id) {
+  ConvolutionCompiler CC(Config);
+  Expected<CompiledStencil> Compiled = CC.compile(makePattern(Id));
+  if (!Compiled) {
+    std::fprintf(stderr, "failed to compile %s: %s\n", patternName(Id),
+                 Compiled.error().message().c_str());
+    std::abort();
+  }
+  return Compiled.takeValue();
+}
+
+/// Simulated timing of \p Id on a machine with \p Nodes nodes (node grid
+/// chosen as in the real machines: 4x4 or 64x32).
+inline TimingReport simulateRow(const PaperRow &Row,
+                                Executor::Options Opts = {}) {
+  MachineConfig Config = Row.Nodes == 16 ? MachineConfig::testMachine16()
+                                         : MachineConfig::fullMachine2048();
+  CompiledStencil Compiled = compilePattern(Config, Row.Pattern);
+  Executor Exec(Config, Opts);
+  return Exec.timeOnly(Compiled, Row.SubRows, Row.SubCols, Row.Iterations);
+}
+
+/// Registers one google-benchmark entry whose manual time is the
+/// simulated elapsed seconds of \p Report's whole run.
+inline void registerSimulatedBenchmark(const std::string &Name,
+                                       TimingReport Report) {
+  benchmark::RegisterBenchmark(Name.c_str(),
+                               [Report](benchmark::State &State) {
+                                 for (auto _ : State) {
+                                   (void)_;
+                                   State.SetIterationTime(
+                                       Report.elapsedSeconds());
+                                 }
+                                 State.counters["Mflops"] =
+                                     Report.measuredMflops();
+                                 State.counters["sim_s"] =
+                                     Report.elapsedSeconds();
+                               })
+      ->Iterations(1)
+      ->UseManualTime();
+}
+
+} // namespace cmccbench
+
+#endif // CMCC_BENCH_BENCHCOMMON_H

@@ -1,0 +1,95 @@
+//===- bench/bench_ablation_comm.cpp - Communication ablation -*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Experiment A1: the paper's communication design choices — the new
+/// node-grid primitive that exchanges with all four neighbors at once
+/// versus the pre-existing one-direction-per-call primitives, and the
+/// skipped corner step for cornerless stencils ("saves a noticeable
+/// amount of time for smaller arrays").
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace cmccbench;
+
+namespace {
+
+struct Case {
+  PatternId Pattern;
+  int Sub;
+};
+
+const Case Cases[] = {
+    {PatternId::Cross5, 32},    {PatternId::Cross5, 128},
+    {PatternId::Square9, 32},   {PatternId::Square9, 128},
+    {PatternId::Cross9R2, 32},  {PatternId::Cross9R2, 128},
+    {PatternId::Diamond13, 32}, {PatternId::Diamond13, 128},
+};
+
+TimingReport runCase(const Case &C, CommPrimitive Primitive,
+                     bool AllowCornerSkip) {
+  MachineConfig Config = MachineConfig::testMachine16();
+  CompiledStencil Compiled = compilePattern(Config, C.Pattern);
+  Executor::Options Opts;
+  Opts.Primitive = Primitive;
+  Opts.AllowCornerSkip = AllowCornerSkip;
+  Executor Exec(Config, Opts);
+  return Exec.timeOnly(Compiled, C.Sub, C.Sub, 100);
+}
+
+void printTable() {
+  TextTable T;
+  T.setHeader({"stencil", "subgrid", "comm cyc (new)", "comm cyc (legacy)",
+               "legacy/new", "Mflops new", "Mflops legacy",
+               "corner-skip saves"});
+  for (const Case &C : Cases) {
+    TimingReport New = runCase(C, CommPrimitive::NodeGridExchange, true);
+    TimingReport Legacy = runCase(C, CommPrimitive::LegacyNews, true);
+    TimingReport NoSkip = runCase(C, CommPrimitive::NodeGridExchange, false);
+    long Saved = NoSkip.Cycles.Communication - New.Cycles.Communication;
+    T.addRow({patternName(C.Pattern),
+              std::to_string(C.Sub) + "x" + std::to_string(C.Sub),
+              std::to_string(New.Cycles.Communication),
+              std::to_string(Legacy.Cycles.Communication),
+              formatFixed(double(Legacy.Cycles.Communication) /
+                              double(New.Cycles.Communication),
+                          2),
+              formatFixed(New.measuredMflops(), 1),
+              formatFixed(Legacy.measuredMflops(), 1),
+              Saved == 0 ? std::string("n/a (corners needed)")
+                         : std::to_string(Saved) + " cyc"});
+  }
+  std::printf("\n=== A1: halo-exchange primitive ablation (16 nodes, 100 "
+              "iterations) ===\n\n%s\n"
+              "The SIMD machine cannot overlap communication with compute "
+              "(paper §4.1), so every\ncommunication cycle is pure "
+              "overhead; for fixed hardware the comm share shrinks as\n"
+              "the square root of the work, which the 32 -> 128 rows "
+              "show.\n",
+              T.str().c_str());
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  for (const Case &C : Cases) {
+    registerSimulatedBenchmark(
+        std::string("A1/") + patternName(C.Pattern) + "/" +
+            std::to_string(C.Sub) + "/new",
+        runCase(C, CommPrimitive::NodeGridExchange, true));
+    registerSimulatedBenchmark(
+        std::string("A1/") + patternName(C.Pattern) + "/" +
+            std::to_string(C.Sub) + "/legacy",
+        runCase(C, CommPrimitive::LegacyNews, true));
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  printTable();
+  return 0;
+}

@@ -1,0 +1,114 @@
+//===- bench/bench_ablation_width.cpp - Width/register ablation -*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Experiment A2: the register-strategy design space of §5.3–5.4 —
+/// multistencil width sweep (1/2/4/8) and per-column ring buffers versus
+/// the uniform-rows strawman the paper rejects (for the 13-point diamond
+/// at width 4: 28 vs 40 registers).
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "core/Multistencil.h"
+#include "core/RingBufferPlan.h"
+
+using namespace cmccbench;
+
+namespace {
+
+void printWidthSweep() {
+  MachineConfig Config = MachineConfig::testMachine16();
+  TextTable T;
+  T.setHeader({"stencil", "width", "registers", "unroll", "scratch parts",
+               "ops/line", "Mflops@128x128", "extrap Gf@2048"});
+  for (PatternId Id : allPatterns()) {
+    CompiledStencil Compiled = compilePattern(Config, Id);
+    for (int W : {1, 2, 4, 8}) {
+      const WidthSchedule *Sched = Compiled.withWidth(W);
+      if (!Sched) {
+        T.addRow({patternName(Id), std::to_string(W),
+                  "- (does not fit: " +
+                      std::to_string(
+                          Multistencil::build(Compiled.Spec, W)
+                              .naturalRegisterCount()) +
+                      " needed)",
+                  "-", "-", "-", "-", "-"});
+        continue;
+      }
+      Executor::Options Opts;
+      Opts.ForceWidth = W;
+      Opts.Mode = Executor::FunctionalMode::None;
+      Executor Exec(Config, Opts);
+      TimingReport Report = Exec.timeOnly(Compiled, 128, 128, 100);
+      T.addRow({patternName(Id), std::to_string(W),
+                std::to_string(Sched->registersUsed()),
+                std::to_string(Sched->Regs.plan().UnrollFactor),
+                std::to_string(Sched->scratchPartsUsed()),
+                std::to_string(Sched->opsPerLine()),
+                formatFixed(Report.measuredMflops(), 1),
+                formatFixed(Report.extrapolatedGflops(2048), 2)});
+    }
+  }
+  std::printf("\n=== A2a: multistencil width sweep (16 nodes, 128x128 "
+              "subgrids) ===\n\n%s\n",
+              T.str().c_str());
+}
+
+void printRingBufferComparison() {
+  TextTable T;
+  T.setHeader({"stencil", "width", "per-column regs", "uniform-rows regs",
+               "saved", "per-column LCM", "uniform LCM"});
+  for (PatternId Id : allPatterns()) {
+    StencilSpec Spec = makePattern(Id);
+    for (int W : {4, 8}) {
+      Multistencil MS = Multistencil::build(Spec, W);
+      RingBufferPlan Uniform = RingBufferPlan::uniformPlan(MS);
+      auto PerColumn = RingBufferPlan::plan(MS, 31);
+      T.addRow({patternName(Id), std::to_string(W),
+                PerColumn ? std::to_string(PerColumn->DataRegisters)
+                          : "(" + std::to_string(MS.naturalRegisterCount()) +
+                                ", no fit)",
+                std::to_string(Uniform.DataRegisters),
+                std::to_string(Uniform.DataRegisters -
+                               (PerColumn ? PerColumn->DataRegisters
+                                          : MS.naturalRegisterCount())),
+                PerColumn ? std::to_string(PerColumn->UnrollFactor) : "-",
+                std::to_string(Uniform.UnrollFactor)});
+    }
+  }
+  std::printf("=== A2b: per-column ring buffers vs the uniform-rows "
+              "strawman (§5.4) ===\n"
+              "(paper: diamond13 at width 4 needs 28 registers per-column "
+              "but 40 uniform)\n\n%s\n",
+              T.str().c_str());
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  MachineConfig Config = MachineConfig::testMachine16();
+  for (PatternId Id : allPatterns()) {
+    CompiledStencil Compiled = compilePattern(Config, Id);
+    for (int W : {1, 2, 4, 8}) {
+      if (!Compiled.withWidth(W))
+        continue;
+      Executor::Options Opts;
+      Opts.ForceWidth = W;
+      Opts.Mode = Executor::FunctionalMode::None;
+      Executor Exec(Config, Opts);
+      registerSimulatedBenchmark(std::string("A2/") + patternName(Id) +
+                                     "/width:" + std::to_string(W),
+                                 Exec.timeOnly(Compiled, 128, 128, 100));
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  printWidthSweep();
+  printRingBufferComparison();
+  return 0;
+}

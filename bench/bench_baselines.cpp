@@ -1,0 +1,91 @@
+//===- bench/bench_baselines.cpp - The 4 / 5.6 / 10+ Gflops story -*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Experiment B1: the paper's headline comparison on a full 2,048-node
+/// CM-2 —
+///
+///   * stock slicewise CM Fortran code generation: "routinely around 4
+///     gigaflops" (§3);
+///   * the 1989 hand-coded fixed library (one preselected nine-point
+///     cross, old grid primitives): 5.6 Gflops;
+///   * the convolution compiler of this paper: above 10 Gflops.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "baseline/FixedLibrary.h"
+#include "baseline/VectorUnitModel.h"
+
+using namespace cmccbench;
+
+namespace {
+
+constexpr int Iterations = 100;
+
+TimingReport convolutionReport(const MachineConfig &Config, PatternId Id,
+                               int Sub) {
+  CompiledStencil Compiled = compilePattern(Config, Id);
+  Executor Exec(Config);
+  return Exec.timeOnly(Compiled, Sub, Sub, Iterations);
+}
+
+void printTable(const MachineConfig &Config, int Sub) {
+  TextTable T;
+  T.setHeader({"system", "stencil", "Gflops", "paper says", "vs stock"});
+  double Stock = 0.0;
+  for (PatternId Id : {PatternId::Square9, PatternId::Cross9R2}) {
+    TimingReport Vector = vectorUnitStencilReport(
+        Config, makePattern(Id), Sub, Sub, Iterations);
+    if (Id == PatternId::Square9)
+      Stock = Vector.measuredGflops();
+    T.addRow({"stock slicewise CM Fortran", patternName(Id),
+              formatFixed(Vector.measuredGflops(), 2), "~4",
+              formatFixed(Vector.measuredGflops() / Stock, 2)});
+  }
+  Expected<TimingReport> Fixed =
+      fixedLibraryReport(Config, Sub, Sub, Iterations);
+  if (Fixed)
+    T.addRow({"1989 hand-coded library", "cross9r2 (only)",
+              formatFixed(Fixed->measuredGflops(), 2), "5.6",
+              formatFixed(Fixed->measuredGflops() / Stock, 2)});
+  for (PatternId Id : {PatternId::Square9, PatternId::Cross9R2,
+                       PatternId::Diamond13}) {
+    TimingReport Conv = convolutionReport(Config, Id, Sub);
+    T.addRow({"convolution compiler (this paper)", patternName(Id),
+              formatFixed(Conv.measuredGflops(), 2), ">10",
+              formatFixed(Conv.measuredGflops() / Stock, 2)});
+  }
+  std::printf("\n=== B1: baselines on a full 2048-node CM-2, %dx%d "
+              "per-node subgrids ===\n\n%s\n",
+              Sub, Sub, T.str().c_str());
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  MachineConfig Config = MachineConfig::fullMachine2048();
+  const int Sub = 256;
+
+  registerSimulatedBenchmark(
+      "B1/stock-slicewise/square9",
+      vectorUnitStencilReport(Config, makePattern(PatternId::Square9), Sub,
+                              Sub, Iterations));
+  if (Expected<TimingReport> Fixed =
+          fixedLibraryReport(Config, Sub, Sub, Iterations))
+    registerSimulatedBenchmark("B1/fixed-library-1989/cross9r2", *Fixed);
+  for (PatternId Id : {PatternId::Square9, PatternId::Cross9R2,
+                       PatternId::Diamond13})
+    registerSimulatedBenchmark(std::string("B1/convolution-compiler/") +
+                                   patternName(Id),
+                               convolutionReport(Config, Id, Sub));
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  printTable(Config, Sub);
+  return 0;
+}

@@ -1,0 +1,92 @@
+//===- bench/bench_figure1.cpp - Figure 1 decomposition -------*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Experiment F1: Figure 1 of the paper — the division of a 256x256
+/// array among 16 nodes arranged as a 4x4 grid — plus the Gray-code
+/// hypercube embedding the grid primitives rely on, and a host-side
+/// benchmark of the halo-building step.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "runtime/DistributedArray.h"
+
+using namespace cmccbench;
+
+namespace {
+
+void printFigure1() {
+  NodeGrid Grid(4, 4);
+  DistributedArray A(Grid, 64, 64);
+  std::printf("=== F1: division of a 256x256 array among 16 nodes "
+              "(paper Figure 1) ===\n\n%s\n",
+              A.describeDecomposition("A").c_str());
+
+  std::printf("Gray-code hypercube embedding (grid neighbors are hypercube "
+              "neighbors):\n");
+  for (int R = 0; R != Grid.rows(); ++R) {
+    for (int C = 0; C != Grid.cols(); ++C)
+      std::printf("  %04x", Grid.hypercubeAddress({R, C}));
+    std::printf("\n");
+  }
+  int Violations = 0;
+  for (int R = 0; R != Grid.rows(); ++R)
+    for (int C = 0; C != Grid.cols(); ++C) {
+      NodeCoord Here{R, C};
+      for (Direction D : {Direction::North, Direction::South,
+                          Direction::West, Direction::East})
+        if (!Grid.areHypercubeNeighbors(Here, Grid.neighbor(Here, D)) &&
+            // Wraparound edges cross more than one bit except for
+            // power-of-two Gray sequences' closing step.
+            true)
+          ++Violations;
+    }
+  std::printf("\nnon-adjacent neighbor links (torus wrap included): %d of "
+              "%d\n\n",
+              Violations, Grid.nodeCount() * 4);
+}
+
+/// Host-side benchmark: building the padded halo subgrid (the functional
+/// half of the §5.1 exchange).
+void BM_BuildPaddedSubgrid(benchmark::State &State) {
+  NodeGrid Grid(4, 4);
+  DistributedArray A(Grid, static_cast<int>(State.range(0)),
+                     static_cast<int>(State.range(0)));
+  for (auto _ : State) {
+    (void)_;
+    Array2D Padded = buildPaddedSubgrid(A, {1, 2}, 2, BoundaryKind::Circular,
+                                        BoundaryKind::Circular, true);
+    benchmark::DoNotOptimize(Padded);
+  }
+}
+BENCHMARK(BM_BuildPaddedSubgrid)->Arg(64)->Arg(128)->Arg(256);
+
+/// Host-side benchmark: scatter/gather round trip.
+void BM_ScatterGather(benchmark::State &State) {
+  NodeGrid Grid(4, 4);
+  DistributedArray A(Grid, static_cast<int>(State.range(0)),
+                     static_cast<int>(State.range(0)));
+  Array2D Global(A.globalRows(), A.globalCols());
+  Global.fillRandom(1);
+  for (auto _ : State) {
+    (void)_;
+    A.scatter(Global);
+    Array2D Back = A.gather();
+    benchmark::DoNotOptimize(Back);
+  }
+}
+BENCHMARK(BM_ScatterGather)->Arg(64)->Arg(128);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  printFigure1();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,82 @@
+//===- bench/bench_figures.cpp - Stencil/multistencil figures -*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Experiment F2: reproduces the paper's diagram figures as ASCII — the
+/// §2 stencil patterns, the §5.1 border widths, the §5.3 multistencils
+/// with their tagged cells, and the §5.4 ring-buffer sizes with the LCM
+/// unroll factor. Also benchmarks the compiler itself (pattern → verified
+/// schedules) on the host.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "core/Multistencil.h"
+#include "core/RingBufferPlan.h"
+#include "stencil/Render.h"
+
+using namespace cmccbench;
+
+namespace {
+
+void printFigures() {
+  MachineConfig Config = MachineConfig::testMachine16();
+  for (PatternId Id : allPatterns()) {
+    StencilSpec Spec = makePattern(Id);
+    std::printf("=== %s: %s ===\n", patternName(Id), Spec.str().c_str());
+    std::printf("\nstencil (paper §2 figure):\n%s",
+                renderStencil(Spec).c_str());
+    std::printf("\nborder widths (§5.1): %s   corners needed: %s\n",
+                renderBorderWidths(Spec.borderWidths()).c_str(),
+                Spec.needsCornerData() ? "yes" : "no");
+
+    for (int W : {4, 8}) {
+      Multistencil MS = Multistencil::build(Spec, W);
+      std::printf("\nwidth-%d multistencil (§5.3; %d positions, natural "
+                  "registers %d, T = tagged cells):\n%s",
+                  W, MS.totalPositions(), MS.naturalRegisterCount(),
+                  MS.render().c_str());
+      auto Plan = RingBufferPlan::plan(MS, Config.NumRegisters - 1);
+      if (!Plan) {
+        std::printf("ring buffers: do not fit (%d > %d) — the compiler "
+                    "does not generate this width\n",
+                    MS.naturalRegisterCount(), Config.NumRegisters - 1);
+        continue;
+      }
+      std::string Sizes;
+      for (int S : Plan->Sizes)
+        Sizes += (Sizes.empty() ? "" : ",") + std::to_string(S);
+      std::printf("ring buffers (§5.4): sizes [%s]  data registers %d  "
+                  "unroll factor (LCM) %d\n",
+                  Sizes.c_str(), Plan->DataRegisters, Plan->UnrollFactor);
+    }
+    std::printf("\n");
+  }
+}
+
+/// Host benchmark: full compilation (all widths, verified).
+void BM_CompilePattern(benchmark::State &State) {
+  MachineConfig Config = MachineConfig::testMachine16();
+  PatternId Id = allPatterns()[State.range(0)];
+  ConvolutionCompiler CC(Config);
+  for (auto _ : State) {
+    (void)_;
+    Expected<CompiledStencil> Compiled = CC.compile(makePattern(Id));
+    benchmark::DoNotOptimize(Compiled);
+  }
+  State.SetLabel(patternName(Id));
+}
+BENCHMARK(BM_CompilePattern)->DenseRange(0, 4);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  printFigures();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,109 @@
+//===- bench/bench_seismic.cpp - Gordon Bell seismic rows -----*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Experiment T1b: the seismic (Gordon Bell) rows of the paper's table.
+/// The production code's main loop is a nine-point cross stencil plus a
+/// term from two time steps before the current one, added in separately
+/// (the tenth term), followed by either
+///
+///   * rolled: two assignment statements that shift the time-step data
+///     into the correct variables for the next iteration (full-array
+///     copies through the stock code generator) — 11.62 Gflops in the
+///     paper; or
+///   * unrolled: the main loop unrolled by three so the three time-level
+///     arrays exchange roles without copying — 14.88 Gflops.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "baseline/VectorUnitModel.h"
+
+using namespace cmccbench;
+
+namespace {
+
+struct SeismicVariant {
+  const char *Name;
+  int Iterations;
+  double PaperSeconds;
+  double PaperGflops;
+  bool Rolled;
+};
+
+const SeismicVariant Variants[] = {
+    {"rolled", 35000, 1919.41, 11.62, true},
+    {"unrolled-by-3", 38001, 1627.59, 14.88, false},
+};
+
+constexpr int SubRows = 64, SubCols = 128;
+
+/// One seismic time step's timing on the full machine.
+TimingReport seismicStep(const MachineConfig &Config, bool Rolled,
+                         int Iterations) {
+  CompiledStencil Stencil = compilePattern(Config, PatternId::Cross9R2);
+  Executor Exec(Config);
+  TimingReport Step = Exec.timeOnly(Stencil, SubRows, SubCols, Iterations);
+
+  // The tenth term, added in separately by the stock code generator:
+  // one multiply pass and one accumulate pass, 2 useful flops per point.
+  VectorUnitCosts Costs;
+  long Elements = static_cast<long>(SubRows) * SubCols;
+  Step.Cycles.Compute += static_cast<long>(
+      2 * (Costs.PassStartupCycles + Costs.CyclesPerElementPerPass * Elements));
+  Step.HostSecondsPerIteration +=
+      (Config.HostOverheadUsPerCall + 2 * Config.HostOverheadUsPerStrip) *
+      1e-6;
+  Step.UsefulFlopsPerNodePerIteration += 2 * Elements;
+
+  if (Rolled) {
+    // Two whole-array copies to rotate the time levels.
+    TimingReport Copy =
+        vectorUnitCopyReport(Config, SubRows, SubCols, Iterations);
+    Step.Cycles.Compute += 2 * Copy.Cycles.Compute;
+    Step.HostSecondsPerIteration += 2 * Copy.HostSecondsPerIteration;
+  }
+  return Step;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  MachineConfig Config = MachineConfig::fullMachine2048();
+
+  for (const SeismicVariant &V : Variants)
+    registerSimulatedBenchmark(std::string("T1b/seismic/") + V.Name +
+                                   "/nodes:2048",
+                               seismicStep(Config, V.Rolled, V.Iterations));
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  TextTable T;
+  T.setHeader({"variant", "iters", "elapsed(s)", "paper(s)", "Gflops",
+               "paper", "ratio vs rolled"});
+  double RolledG = 0.0;
+  for (const SeismicVariant &V : Variants) {
+    TimingReport Report = seismicStep(Config, V.Rolled, V.Iterations);
+    double G = Report.measuredGflops();
+    if (V.Rolled)
+      RolledG = G;
+    T.addRow({V.Name, std::to_string(V.Iterations),
+              formatFixed(Report.elapsedSeconds(), 2),
+              formatFixed(V.PaperSeconds, 2), formatFixed(G, 2),
+              formatFixed(V.PaperGflops, 2),
+              formatFixed(RolledG > 0 ? G / RolledG : 1.0, 3)});
+  }
+  std::printf("\n=== T1b: seismic finite-difference main loop, 64x128 "
+              "subgrids on 2048 nodes ===\n"
+              "(9-pt cross + separately-added tenth term; 19 useful "
+              "flops/point — see EXPERIMENTS.md\n"
+              "for the paper's flop-accounting discrepancy on these rows)\n"
+              "\n%s\nPaper's unrolled/rolled speedup: %.3f\n",
+              T.str().c_str(), 14.88 / 11.62);
+  return 0;
+}

@@ -1,0 +1,133 @@
+//===- examples/image_blur.cpp - Gaussian blur via defstencil -*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A 3x3 Gaussian blur expressed through the paper's *version-1* front
+/// end — the Lucid Common Lisp (defstencil ...) form — compiled by the
+/// same pipeline as the Fortran path, and applied repeatedly to a
+/// synthetic test image. Demonstrates the square9 pattern (which needs
+/// the corner-exchange communication step) and the defstencil interface.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Compiler.h"
+#include "runtime/Executor.h"
+#include <cmath>
+#include <cstdio>
+
+using namespace cmcc;
+
+namespace {
+
+// 3x3 binomial kernel: 1/16 [1 2 1; 2 4 2; 1 2 1], written the way the
+// paper's Lisp prototype took it.
+const char *BlurDefinition = R"lisp(
+(defstencil blur3x3 (out img)
+  (single-float single-float)
+  (:= out (+ (* 0.0625 (cshift (cshift img 1 -1) 2 -1))
+             (* 0.125  (cshift img 1 -1))
+             (* 0.0625 (cshift (cshift img 1 -1) 2 +1))
+             (* 0.125  (cshift img 2 -1))
+             (* 0.25   img)
+             (* 0.125  (cshift img 2 +1))
+             (* 0.0625 (cshift (cshift img 1 +1) 2 -1))
+             (* 0.125  (cshift img 1 +1))
+             (* 0.0625 (cshift (cshift img 1 +1) 2 +1)))))
+)lisp";
+
+void printImage(const Array2D &I) {
+  static const char Shades[] = " .:-=+*#%@";
+  for (int R = 0; R < I.rows(); R += 2) {
+    for (int C = 0; C < I.cols(); C += 2) {
+      float V = std::min(1.0f, std::max(0.0f, I.at(R, C)));
+      std::putchar(Shades[std::min(9, static_cast<int>(V * 9.99f))]);
+    }
+    std::putchar('\n');
+  }
+  std::putchar('\n');
+}
+
+/// A synthetic test card: circle, bars, and a sharp checkerboard.
+Array2D makeTestImage(int Rows, int Cols) {
+  Array2D I(Rows, Cols);
+  for (int R = 0; R != Rows; ++R)
+    for (int C = 0; C != Cols; ++C) {
+      double Dy = R - Rows * 0.35, Dx = C - Cols * 0.3;
+      bool Circle = Dy * Dy + Dx * Dx < Rows * Cols * 0.02;
+      bool Bars = C > Cols * 0.6 && (R / 4) % 2 == 0;
+      bool Checker = R > Rows * 0.65 && C < Cols * 0.45 &&
+                     ((R / 2) + (C / 2)) % 2 == 0;
+      I.at(R, C) = Circle || Bars || Checker ? 1.0f : 0.0f;
+    }
+  return I;
+}
+
+/// Sharpness proxy: mean absolute horizontal gradient.
+double sharpness(const Array2D &I) {
+  double Sum = 0.0;
+  for (int R = 0; R != I.rows(); ++R)
+    for (int C = 1; C != I.cols(); ++C)
+      Sum += std::fabs(I.at(R, C) - I.at(R, C - 1));
+  return Sum / (I.rows() * (I.cols() - 1));
+}
+
+} // namespace
+
+int main() {
+  MachineConfig Machine = MachineConfig::withNodeGrid(2, 2);
+  const int SubRows = 32, SubCols = 32;
+
+  DiagnosticEngine Diags;
+  ConvolutionCompiler Compiler(Machine);
+  std::optional<CompiledStencil> Compiled =
+      Compiler.compileDefStencil(BlurDefinition, Diags);
+  if (!Compiled) {
+    std::fprintf(stderr, "defstencil failed:\n%s", Diags.str().c_str());
+    return 1;
+  }
+  std::printf("compiled from the Lisp front end: %s\n",
+              Compiled->Spec.str().c_str());
+  std::printf("needs corner exchange: %s   widths:",
+              Compiled->Spec.needsCornerData() ? "yes" : "no");
+  for (int W : Compiled->availableWidths())
+    std::printf(" %d", W);
+  std::printf("\n\n");
+
+  NodeGrid Grid(Machine);
+  DistributedArray Img(Grid, SubRows, SubCols);
+  DistributedArray Out(Grid, SubRows, SubCols);
+  Img.scatter(makeTestImage(Img.globalRows(), Img.globalCols()));
+
+  std::printf("original (sharpness %.4f):\n", sharpness(Img.gather()));
+  printImage(Img.gather());
+
+  Executor Exec(Machine);
+  DistributedArray *Curr = &Img, *Next = &Out;
+  double Previous = sharpness(Curr->gather());
+  for (int Pass = 1; Pass <= 6; ++Pass) {
+    StencilArguments Args;
+    Args.Result = Next;
+    Args.Source = Curr;
+    Expected<TimingReport> Report = Exec.run(*Compiled, Args, 1);
+    if (!Report) {
+      std::fprintf(stderr, "pass %d failed: %s\n", Pass,
+                   Report.error().message().c_str());
+      return 1;
+    }
+    std::swap(Curr, Next);
+    double Now = sharpness(Curr->gather());
+    if (Now > Previous + 1e-6) {
+      std::fprintf(stderr, "blur increased sharpness — impossible\n");
+      return 1;
+    }
+    Previous = Now;
+  }
+  std::printf("after 6 blur passes (sharpness %.4f, strictly decreasing: "
+              "OK):\n",
+              Previous);
+  printImage(Curr->gather());
+  return 0;
+}

@@ -1,0 +1,166 @@
+//===- examples/seismic_shots.cpp - Fused 3-D shot processing -*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Seismic processing the way a survey actually arrives: a *stack* of
+/// independent 2-D shot gathers, time-stepped together. This example
+/// combines both implemented extensions of the paper:
+///
+///   * the §9 multi-source statement — the whole wave update, including
+///     the two-timesteps-ago term, is ONE compiled stencil
+///     ("future versions of the compiler should be able to handle all
+///     ten terms as one stencil pattern"):
+///
+///       UNEXT = (2-5L)*U + (4L/3)*(N+S+E+W) - (L/12)*(NN+SS+EE+WW)
+///               - 1.0 * UPREV
+///
+///   * the multidimensional run-time loop — the shot axis is a serial
+///     third dimension processed plane by plane (DistributedVolume).
+///
+/// Each shot has its source at a different offset, as in a real survey;
+/// the example checks that wavefronts in different shots stay
+/// independent, and reports the timing of the fused statement.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Compiler.h"
+#include "runtime/Volume.h"
+#include "support/StringUtils.h"
+#include <cmath>
+#include <cstdio>
+
+using namespace cmcc;
+
+namespace {
+
+/// Peak |amplitude| position of one plane.
+void peakOf(const Array2D &U, int *Row, int *Col) {
+  float Best = -1.0f;
+  for (int R = 0; R != U.rows(); ++R)
+    for (int C = 0; C != U.cols(); ++C)
+      if (std::fabs(U.at(R, C)) > Best) {
+        Best = std::fabs(U.at(R, C));
+        *Row = R;
+        *Col = C;
+      }
+}
+
+} // namespace
+
+int main() {
+  MachineConfig Machine = MachineConfig::withNodeGrid(2, 2);
+  // 20 steps keep every wavefront inside the domain (radius ~ sqrt(L)
+  // per step), so each shot's center of mass must sit exactly on its
+  // own source column.
+  const int Shots = 3, SubRows = 24, SubCols = 24, Steps = 20;
+  const double Lambda = 0.2;
+
+  auto W = [&](double K) { return formatFixed(K, 6); };
+  std::string Source =
+      "UNEXT = " + W(2.0 - Lambda * 5.0) + " * U"
+      " + " + W(Lambda * (4.0 / 3.0)) + " * EOSHIFT(U, 1, -1)"
+      " + " + W(Lambda * (4.0 / 3.0)) + " * EOSHIFT(U, 1, +1)"
+      " + " + W(Lambda * (4.0 / 3.0)) + " * EOSHIFT(U, 2, -1)"
+      " + " + W(Lambda * (4.0 / 3.0)) + " * EOSHIFT(U, 2, +1)"
+      " - " + W(Lambda / 12.0) + " * EOSHIFT(U, 1, -2)"
+      " - " + W(Lambda / 12.0) + " * EOSHIFT(U, 1, +2)"
+      " - " + W(Lambda / 12.0) + " * EOSHIFT(U, 2, -2)"
+      " - " + W(Lambda / 12.0) + " * EOSHIFT(U, 2, +2)"
+      " - 1.0 * UPREV";
+
+  DiagnosticEngine Diags;
+  ConvolutionCompiler Compiler(Machine);
+  Compiler.setAllowMultipleSources(true); // The §9 extension.
+  std::optional<CompiledStencil> Compiled =
+      Compiler.compileAssignment(Source, Diags);
+  if (!Compiled) {
+    std::fprintf(stderr, "compilation failed:\n%s", Diags.str().c_str());
+    return 1;
+  }
+  std::printf("fused update (one statement, %d sources, %d taps, %d useful "
+              "flops/point):\n  %s\n\n",
+              Compiled->Spec.sourceCount(),
+              static_cast<int>(Compiled->Spec.Taps.size()),
+              Compiled->Spec.usefulFlopsPerPoint(),
+              Compiled->Spec.str().c_str());
+
+  NodeGrid Grid(Machine);
+  DistributedVolume UNext(Grid, Shots, SubRows, SubCols);
+  DistributedVolume UCurr(Grid, Shots, SubRows, SubCols);
+  DistributedVolume UPrev(Grid, Shots, SubRows, SubCols);
+
+  // Each shot fires at a different position along the line.
+  int SourceRow = UCurr.plane(0).globalRows() / 2;
+  int SourceCols[Shots];
+  for (int S = 0; S != Shots; ++S) {
+    Array2D U0(UCurr.plane(S).globalRows(), UCurr.plane(S).globalCols());
+    SourceCols[S] = (S + 1) * U0.cols() / (Shots + 1);
+    U0.at(SourceRow, SourceCols[S]) = 1.0f;
+    UCurr.plane(S).scatter(U0);
+    UPrev.plane(S).scatter(U0);
+  }
+
+  Executor Exec(Machine);
+  DistributedVolume *Next = &UNext, *Curr = &UCurr, *Prev = &UPrev;
+  TimingReport StepTiming;
+
+  for (int Step = 1; Step <= Steps; ++Step) {
+    VolumeArguments Args;
+    Args.Result = Next;
+    Args.Source = Curr;
+    Args.ExtraSources["UPREV"] = Prev;
+    Expected<TimingReport> Report = runVolume(Exec, *Compiled, Args, 1);
+    if (!Report) {
+      std::fprintf(stderr, "step %d failed: %s\n", Step,
+                   Report.error().message().c_str());
+      return 1;
+    }
+    StepTiming = *Report;
+    DistributedVolume *T = Prev;
+    Prev = Curr;
+    Curr = Next;
+    Next = T;
+  }
+
+  // Shots must evolve independently: each wavefront stays centered on
+  // its own source column.
+  bool Ok = true;
+  for (int S = 0; S != Shots; ++S) {
+    Array2D U = Curr->plane(S).gather();
+    // The expanding ring is symmetric about the source; check the
+    // center of mass of |u| instead of the peak.
+    double Mass = 0, ColSum = 0;
+    for (int R = 0; R != U.rows(); ++R)
+      for (int C = 0; C != U.cols(); ++C) {
+        double A = std::fabs(U.at(R, C));
+        Mass += A;
+        ColSum += A * C;
+      }
+    double Center = ColSum / Mass;
+    int Peak0, Peak1;
+    peakOf(U, &Peak0, &Peak1);
+    bool Independent = std::fabs(Center - SourceCols[S]) < 1.5;
+    Ok &= Independent;
+    std::printf("shot %d: source col %d, wavefield center of mass %.1f "
+                "(%s)\n",
+                S, SourceCols[S], Center,
+                Independent ? "independent: OK" : "LEAKED ACROSS SHOTS");
+  }
+  if (!Ok)
+    return 1;
+
+  std::printf("\nper time step over %d shots on this %s:\n", Shots,
+              Machine.summary().c_str());
+  std::printf("  %ld machine cycles + %.1f us host = %.3f ms\n",
+              StepTiming.Cycles.total(),
+              StepTiming.HostSecondsPerIteration * 1e6,
+              StepTiming.secondsPerIteration() * 1e3);
+  std::printf("  sustained %.1f Mflops (%d useful flops/point, fused "
+              "tenth term included)\n",
+              StepTiming.measuredMflops(),
+              Compiled->Spec.usefulFlopsPerPoint());
+  return 0;
+}

@@ -1,0 +1,12 @@
+! The paper's running example (PLDI 1991, section 6): a five-point cross
+! stencil isolated in its own subroutine, as the version-2 prototype
+! required. Compile with:
+!   cmccc examples/stencils/cross.f90 --dump-stencil --estimate
+      SUBROUTINE CROSS (R, X, C1, C2, C3, C4, C5)
+      REAL, ARRAY(:,:) :: R, X, C1, C2, C3, C4, C5
+      R = C1 * CSHIFT (X, DIM=1, SHIFT=-1) &
+        + C2 * CSHIFT (X, DIM=2, SHIFT=-1) &
+        + C3 * X                           &
+        + C4 * CSHIFT (X, DIM=2, SHIFT=+1) &
+        + C5 * CSHIFT (X, DIM=1, SHIFT=+1)
+      END

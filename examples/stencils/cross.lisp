@@ -1,0 +1,10 @@
+; The same five-point cross through the version-1 front end, exactly as
+; the paper's Lucid Common Lisp prototype took it. Compile with:
+;   cmccc examples/stencils/cross.lisp --stats
+(defstencil cross (r x c1 c2 c3 c4 c5)
+  (single-float single-float)
+  (:= r (+ (* c1 (cshift x 1 -1))
+           (* c2 (cshift x 2 -1))
+           (* c3 x)
+           (* c4 (cshift x 2 +1))
+           (* c5 (cshift x 1 +1)))))

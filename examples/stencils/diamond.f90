@@ -1,0 +1,22 @@
+! The 13-point diamond of section 5.3: the width-8 multistencil needs 48
+! registers and is rejected; width 4 needs 28 and works, with the
+! register pattern unrolled 15 times (LCM of ring sizes 5, 3, 1).
+      SUBROUTINE DIAMOND (R, X, C1, C2, C3, C4, C5, C6, C7, &
+     &                    C8, C9, C10, C11, C12, C13)
+      REAL, ARRAY(:,:) :: R, X, C1, C2, C3, C4, C5, C6, C7
+      REAL, ARRAY(:,:) :: C8, C9, C10, C11, C12, C13
+!CMCC$ STENCIL
+      R = C1  * CSHIFT (X, 1, -2)                  &
+        + C2  * CSHIFT (CSHIFT (X, 1, -1), 2, -1)  &
+        + C3  * CSHIFT (X, 1, -1)                  &
+        + C4  * CSHIFT (CSHIFT (X, 1, -1), 2, +1)  &
+        + C5  * CSHIFT (X, 2, -2)                  &
+        + C6  * CSHIFT (X, 2, -1)                  &
+        + C7  * X                                  &
+        + C8  * CSHIFT (X, 2, +1)                  &
+        + C9  * CSHIFT (X, 2, +2)                  &
+        + C10 * CSHIFT (CSHIFT (X, 1, +1), 2, -1)  &
+        + C11 * CSHIFT (X, 1, +1)                  &
+        + C12 * CSHIFT (CSHIFT (X, 1, +1), 2, +1)  &
+        + C13 * CSHIFT (X, 1, +2)
+      END

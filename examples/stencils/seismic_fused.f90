@@ -1,0 +1,10 @@
+! The Gordon Bell seismic update as ONE statement (the section 9 future
+! work, implemented here as the multi-source extension): the nine-point
+! cross on U plus the term from two time steps ago. Compile with:
+!   cmccc examples/stencils/seismic_fused.f90 --multi-source --estimate
+R = C1 * CSHIFT(U, 1, -2) + C2 * CSHIFT(U, 1, -1) &
+  + C3 * CSHIFT(U, 2, -2) + C4 * CSHIFT(U, 2, -1) &
+  + C5 * U                                        &
+  + C6 * CSHIFT(U, 2, +1) + C7 * CSHIFT(U, 2, +2) &
+  + C8 * CSHIFT(U, 1, +1) + C9 * CSHIFT(U, 1, +2) &
+  - C10 * UPREV

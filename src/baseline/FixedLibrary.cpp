@@ -1,0 +1,51 @@
+//===- baseline/FixedLibrary.cpp ------------------------------*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "baseline/FixedLibrary.h"
+#include "core/Compiler.h"
+#include "runtime/Executor.h"
+#include "stencil/PatternLibrary.h"
+#include <cmath>
+
+using namespace cmcc;
+
+Expected<TimingReport>
+cmcc::fixedLibraryReport(const MachineConfig &Config, int SubRows,
+                         int SubCols, int Iterations,
+                         const FixedLibraryCosts &Costs) {
+  // The library's one routine: the nine-point cross of the 1989 seismic
+  // code, at its fixed width, with less tuned sequencer timing.
+  MachineConfig Library = Config;
+  Library.SequencerCyclesPerOp *= Costs.SequencerFactor;
+
+  ConvolutionCompiler CC(Library);
+  Expected<CompiledStencil> Compiled =
+      CC.compile(makePattern(PatternId::Cross9R2));
+  if (!Compiled)
+    return Compiled.error();
+  if (!Compiled->withWidth(Costs.FixedWidth))
+    return makeError("the fixed library's width-" +
+                     std::to_string(Costs.FixedWidth) +
+                     " plan does not fit this machine");
+
+  Executor::Options Opts;
+  Opts.ForceWidth = Costs.FixedWidth;
+  Opts.Primitive = CommPrimitive::LegacyNews; // Pre-1991 grid primitives.
+  Opts.Mode = Executor::FunctionalMode::None;
+  Executor Exec(Library, Opts);
+
+  TimingReport Report;
+  Report.Cycles = Exec.analyticCycles(*Compiled, SubRows, SubCols);
+  Report.Iterations = Iterations;
+  Report.Nodes = Library.nodeCount();
+  Report.ClockMHz = Library.ClockMHz;
+  Report.HostSecondsPerIteration =
+      Exec.hostSecondsPerIteration(*Compiled, SubCols);
+  Report.UsefulFlopsPerNodePerIteration =
+      static_cast<long>(Compiled->Spec.usefulFlopsPerPoint()) * SubRows *
+      SubCols;
+  return Report;
+}

@@ -1,0 +1,64 @@
+//===- baseline/VectorUnitModel.h - Stock slicewise codegen ---*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A model of what the stock CM Fortran compiler (slicewise model, §3)
+/// does with a stencil assignment: each CSHIFT becomes a full-array grid
+/// communication into a temporary, and each multiply and add becomes a
+/// separate full-array elementwise pass through the vector unit (vectors
+/// of length 4, seven vector registers — no cross-statement register
+/// reuse). The paper quotes this framework at "around 4 gigaflops"; the
+/// convolution compiler's entire contribution is the gap between this
+/// baseline and >10 Gflops.
+///
+/// The model is also used for the pointwise fix-up statements of the
+/// seismic application (the separately-added tenth term and the
+/// time-step copies).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMCC_BASELINE_VECTORUNITMODEL_H
+#define CMCC_BASELINE_VECTORUNITMODEL_H
+
+#include "cm2/MachineConfig.h"
+#include "cm2/Timing.h"
+#include "stencil/StencilSpec.h"
+
+namespace cmcc {
+
+/// Cost parameters of the stock code generator (calibrated once; see
+/// DESIGN.md §2).
+struct VectorUnitCosts {
+  /// Cycles per element per elementwise pass (load/load/op/store through
+  /// the vector pipeline).
+  double CyclesPerElementPerPass = 2.0;
+  /// Fixed start-up per elementwise pass.
+  int PassStartupCycles = 120;
+  /// Cycles per element per unit of shift distance (the old NEWS-style
+  /// grid primitive moves the whole array one step per call).
+  double ShiftCyclesPerElementPerStep = 2.0;
+  /// Fixed start-up per one-step shift call.
+  int ShiftStartupCycles = 350;
+};
+
+/// Timing of one stencil assignment compiled by the stock slicewise code
+/// generator on \p Config, for per-node subgrids of SubRows x SubCols.
+/// The numerical result is by definition the reference evaluation, so no
+/// functional path is needed.
+TimingReport vectorUnitStencilReport(const MachineConfig &Config,
+                                     const StencilSpec &Spec, int SubRows,
+                                     int SubCols, int Iterations,
+                                     const VectorUnitCosts &Costs = {});
+
+/// Timing of a whole-array copy "A = B" under the stock code generator
+/// (used by the rolled seismic main loop).
+TimingReport vectorUnitCopyReport(const MachineConfig &Config, int SubRows,
+                                  int SubCols, int Iterations,
+                                  const VectorUnitCosts &Costs = {});
+
+} // namespace cmcc
+
+#endif // CMCC_BASELINE_VECTORUNITMODEL_H

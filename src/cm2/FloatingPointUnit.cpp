@@ -1,0 +1,100 @@
+//===- cm2/FloatingPointUnit.cpp ------------------------------*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cm2/FloatingPointUnit.h"
+#include "support/Assert.h"
+#include <algorithm>
+
+using namespace cmcc;
+
+FpuMemoryInterface::~FpuMemoryInterface() = default;
+
+FloatingPointUnit::FloatingPointUnit(const MachineConfig &Config)
+    : Config(Config) {
+  assert(Config.NumRegisters <= static_cast<int>(Registers.size()) &&
+         "register file model too small");
+}
+
+void FloatingPointUnit::reset() {
+  Registers.fill(0.0f);
+  Pending.clear();
+  ChainSum.fill(0.0f);
+  CycleNow = 0;
+  MaddCount = 0;
+  LoadCount = 0;
+  StoreCount = 0;
+  FillerCount = 0;
+}
+
+void FloatingPointUnit::applyWritesUpTo(long Cycle) {
+  if (Pending.empty())
+    return;
+  size_t Kept = 0;
+  for (PendingWrite &W : Pending) {
+    if (W.Cycle <= Cycle)
+      Registers[W.Reg] = W.Value;
+    else
+      Pending[Kept++] = W;
+  }
+  Pending.resize(Kept);
+}
+
+void FloatingPointUnit::scheduleWrite(long Cycle, uint8_t Reg, float Value) {
+  // Two writes landing on the same register must land in issue order;
+  // keeping the vector unsorted but scanning fully preserves that because
+  // applyWritesUpTo applies in insertion order.
+  Pending.push_back({Cycle, Reg, Value});
+}
+
+void FloatingPointUnit::drainPipeline() {
+  long Last = CycleNow;
+  for (const PendingWrite &W : Pending)
+    Last = std::max(Last, W.Cycle);
+  applyWritesUpTo(Last);
+  CycleNow = Last;
+}
+
+void FloatingPointUnit::executeSequence(const LineSchedule &Ops,
+                                        FpuMemoryInterface &Mem) {
+  const int WriteDelay = Config.MulToAddCycles + Config.AddToWriteCycles;
+  for (const DynamicPart &Op : Ops) {
+    long Cycle = CycleNow++;
+    applyWritesUpTo(Cycle);
+    switch (Op.TheKind) {
+    case DynamicPart::Kind::Load: {
+      float Value = Mem.loadData(Op.DataSource, Op.DataDy, Op.DataDx);
+      scheduleWrite(Cycle + Config.LoadLatencyCycles, Op.DestReg, Value);
+      ++LoadCount;
+      break;
+    }
+    case DynamicPart::Kind::Madd: {
+      float Data = readNow(Op.MulReg);
+      float Coefficient = Mem.loadCoefficient(Op.TapIndex, Op.ResultIndex);
+      float Product = Data * Coefficient;
+      float &Sum = ChainSum[Op.ThreadId & 1];
+      Sum = Op.ChainStart ? readNow(Op.AddReg) + Product : Sum + Product;
+      scheduleWrite(Cycle + WriteDelay, Op.DestReg, Sum);
+      ++MaddCount;
+      break;
+    }
+    case DynamicPart::Kind::Store: {
+      Mem.storeResult(Op.ResultIndex, readNow(Op.MulReg));
+      ++StoreCount;
+      break;
+    }
+    case DynamicPart::Kind::Filler: {
+      // 0 * 0 + 0, stored into the zero register: if the zero register
+      // were corrupted this keeps (and exposes) the corruption, exactly
+      // like the hardware.
+      float Z = readNow(Op.MulReg);
+      float Value = Z * Z + readNow(Op.AddReg);
+      scheduleWrite(Cycle + WriteDelay, Op.DestReg, Value);
+      ++FillerCount;
+      break;
+    }
+    }
+  }
+}

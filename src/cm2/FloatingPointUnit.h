@@ -1,0 +1,109 @@
+//===- cm2/FloatingPointUnit.h - WTL3164 pipeline model -------*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A functional, cycle-ordered model of one node's Weitek WTL3164
+/// floating-point ALU executing a stream of dynamic instruction parts.
+///
+/// Pipeline timing follows the paper exactly: a multiplication started on
+/// cycle k becomes an operand of the addition started on cycle k+2, and
+/// the addition's result is stored into the destination register on cycle
+/// k+4; a load's value reaches its register LoadLatencyCycles after
+/// issue. Register reads observe only writes that have already landed, so
+/// the paper's "just barely allows use of that data element before it is
+/// first written" register reuse is *exercised*, not assumed: a schedule
+/// that reuses a register one cycle too early computes wrong numbers and
+/// is caught by the tests comparing against the reference evaluator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMCC_CM2_FLOATINGPOINTUNIT_H
+#define CMCC_CM2_FLOATINGPOINTUNIT_H
+
+#include "cm2/Instruction.h"
+#include "cm2/MachineConfig.h"
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace cmcc {
+
+/// Resolves the memory side of dynamic parts for the current line: the
+/// sequencer generates these addresses at run time from half-strip
+/// parameters, so the FPU model only sees values.
+class FpuMemoryInterface {
+public:
+  virtual ~FpuMemoryInterface();
+
+  /// Reads the element of source array \p Source at (Dy, Dx) relative to
+  /// the current (line, strip-left) position, through the halo-padded
+  /// storage. Source is 0 except in multi-source stencils.
+  virtual float loadData(int Source, int Dy, int Dx) = 0;
+
+  /// Reads the coefficient-stream operand for tap \p Tap of result
+  /// \p Result in the current line (sign already folded in).
+  virtual float loadCoefficient(int Tap, int Result) = 0;
+
+  /// Writes a finished result element.
+  virtual void storeResult(int Result, float Value) = 0;
+};
+
+/// One node's floating-point unit.
+class FloatingPointUnit {
+public:
+  explicit FloatingPointUnit(const MachineConfig &Config);
+
+  /// Clears registers, pending writes, and counters (start of a
+  /// half-strip: the real microcode reloads everything anyway).
+  void reset();
+
+  /// Executes one dynamic-part sequence against \p Mem. May be called
+  /// repeatedly (prologue, then one call per line).
+  void executeSequence(const LineSchedule &Ops, FpuMemoryInterface &Mem);
+
+  /// Applies all in-flight register writes (end of half-strip).
+  void drainPipeline();
+
+  /// Register file access for tests.
+  float readRegister(int R) const { return Registers.at(R); }
+  void pokeRegister(int R, float Value) { Registers.at(R) = Value; }
+
+  //===--- Counters -------------------------------------------------------===//
+
+  long cyclesExecuted() const { return CycleNow; }
+  long maddsExecuted() const { return MaddCount; }
+  long loadsExecuted() const { return LoadCount; }
+  long storesExecuted() const { return StoreCount; }
+  long fillersExecuted() const { return FillerCount; }
+
+private:
+  struct PendingWrite {
+    long Cycle;
+    uint8_t Reg;
+    float Value;
+  };
+
+  void applyWritesUpTo(long Cycle);
+  void scheduleWrite(long Cycle, uint8_t Reg, float Value);
+  float readNow(uint8_t Reg) { return Registers[Reg]; }
+
+  const MachineConfig &Config;
+  std::array<float, 64> Registers{};
+  /// In-flight writes, kept sorted by landing cycle; never more than a
+  /// few entries deep (the pipeline is 4 cycles).
+  std::vector<PendingWrite> Pending;
+  /// Running accumulator of each interleaved multiply-add thread.
+  std::array<float, 2> ChainSum{};
+  long CycleNow = 0;
+  long MaddCount = 0;
+  long LoadCount = 0;
+  long StoreCount = 0;
+  long FillerCount = 0;
+};
+
+} // namespace cmcc
+
+#endif // CMCC_CM2_FLOATINGPOINTUNIT_H

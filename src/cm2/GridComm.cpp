@@ -1,0 +1,59 @@
+//===- cm2/GridComm.cpp ---------------------------------------*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cm2/GridComm.h"
+#include "support/Assert.h"
+#include <algorithm>
+
+using namespace cmcc;
+
+long cmcc::haloExchangeCycles(const MachineConfig &Config,
+                              const HaloExchangeShape &Shape,
+                              CommPrimitive Primitive) {
+  if (Shape.BorderWidth == 0)
+    return 0;
+
+  long LongerSide =
+      std::max(Shape.SubgridRows, Shape.SubgridCols) + 2L * Shape.BorderWidth;
+  long EdgeElements = static_cast<long>(Shape.BorderWidth) * LongerSide;
+  long CornerElements =
+      static_cast<long>(Shape.BorderWidth) * Shape.BorderWidth;
+
+  switch (Primitive) {
+  case CommPrimitive::NodeGridExchange: {
+    // One start-up, all four directions in flight together: the element
+    // term is the maximum over directions (rows vs columns), i.e. the
+    // longer side.
+    long Cycles = Config.CommStartupCycles +
+                  EdgeElements * Config.CommCyclesPerElement;
+    if (Shape.NeedsCorners)
+      Cycles += Config.CornerStartupCycles +
+                CornerElements * Config.CommCyclesPerElement;
+    return Cycles;
+  }
+  case CommPrimitive::LegacyNews: {
+    // Four sequential one-direction transfers over the processor grid;
+    // corner data takes two further relayed steps. Each element is also
+    // slower by the legacy factor (processor-level addressing).
+    double PerElement =
+        Config.CommCyclesPerElement * Config.LegacyCommElementFactor;
+    long RowElements =
+        static_cast<long>(Shape.BorderWidth) *
+        (Shape.SubgridCols + 2L * Shape.BorderWidth);
+    long ColElements =
+        static_cast<long>(Shape.BorderWidth) *
+        (Shape.SubgridRows + 2L * Shape.BorderWidth);
+    long Cycles = 4L * Config.LegacyCommStartupCycles +
+                  static_cast<long>((2.0 * RowElements + 2.0 * ColElements) *
+                                    PerElement);
+    if (Shape.NeedsCorners)
+      Cycles += 2L * Config.LegacyCommStartupCycles +
+                static_cast<long>(4.0 * CornerElements * PerElement);
+    return Cycles;
+  }
+  }
+  CMCC_UNREACHABLE("unknown communication primitive");
+}

@@ -1,0 +1,59 @@
+//===- cm2/GridComm.h - Halo-exchange cost model --------------*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cycle costs of the interprocessor communication step (§4.1, §5.1).
+///
+/// The paper microcodes a *new* grid primitive that organizes nodes (not
+/// bit-serial processors) into a 2-D grid and lets every node exchange
+/// with all four neighbors simultaneously; a second step handles corner
+/// (diagonal) data and may be skipped for cornerless stencils. The
+/// pre-existing primitives moved data in a single direction per call over
+/// the processor grid and are kept as the legacy baseline for ablation
+/// A1. The SIMD machine cannot overlap communication with computation, so
+/// these cycles are pure overhead added to every iteration.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMCC_CM2_GRIDCOMM_H
+#define CMCC_CM2_GRIDCOMM_H
+
+#include "cm2/MachineConfig.h"
+
+namespace cmcc {
+
+/// Which communication implementation to cost.
+enum class CommPrimitive {
+  NodeGridExchange, ///< The paper's new 4-neighbors-at-once primitive.
+  LegacyNews,       ///< Old processor-grid, one direction per call.
+};
+
+/// Inputs of one halo exchange.
+struct HaloExchangeShape {
+  int SubgridRows = 0;
+  int SubgridCols = 0;
+  /// All four sides are padded by the same amount — the maximum border
+  /// width — per the paper's simplification (§5.1).
+  int BorderWidth = 0;
+  /// Whether the third (corner/diagonal) step is required.
+  bool NeedsCorners = false;
+};
+
+/// Cycles for one complete halo exchange with \p Primitive.
+///
+/// The edge step of the new primitive transfers BorderWidth rows/columns
+/// to all four neighbors simultaneously, so its per-element term is
+/// proportional to the *longer* side (the paper: "the communications time
+/// will be proportional to the length of the longer side"). The corner
+/// step moves BorderWidth^2 elements. The legacy primitive serializes the
+/// four directions.
+long haloExchangeCycles(const MachineConfig &Config,
+                        const HaloExchangeShape &Shape,
+                        CommPrimitive Primitive);
+
+} // namespace cmcc
+
+#endif // CMCC_CM2_GRIDCOMM_H

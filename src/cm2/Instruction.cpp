@@ -1,0 +1,36 @@
+//===- cm2/Instruction.cpp ------------------------------------*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cm2/Instruction.h"
+#include "support/Assert.h"
+
+using namespace cmcc;
+
+std::string DynamicPart::str() const {
+  switch (TheKind) {
+  case Kind::Load:
+    return "load data(" + std::to_string(DataDy) + "," +
+           std::to_string(DataDx) + ")->r" + std::to_string(DestReg);
+  case Kind::Madd: {
+    std::string Out = "madd r" + std::to_string(MulReg) + "*coef[" +
+                      std::to_string(TapIndex) + "]->r" +
+                      std::to_string(DestReg) + " res" +
+                      std::to_string(ResultIndex) + " t" +
+                      std::to_string(ThreadId);
+    if (ChainStart)
+      Out += " start";
+    if (ChainEnd)
+      Out += " end";
+    return Out;
+  }
+  case Kind::Store:
+    return "store r" + std::to_string(MulReg) + "->res" +
+           std::to_string(ResultIndex);
+  case Kind::Filler:
+    return "filler->r" + std::to_string(DestReg);
+  }
+  CMCC_UNREACHABLE("unknown dynamic-part kind");
+}

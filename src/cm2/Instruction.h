@@ -1,0 +1,152 @@
+//===- cm2/Instruction.h - Static/dynamic instruction parts ---*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Instructions to the CM-2 floating-point units are split in two: the
+/// *static part* (operation codes, latched once on the processor boards)
+/// and the *dynamic part* (load/store control and internal register
+/// addresses, issued one per cycle from the sequencer's scratch data
+/// memory). The convolution compiler's whole output is a stream of
+/// dynamic parts; the static part is fixed per microcode routine.
+///
+/// Memory operands are symbolic: the sequencer generates the actual
+/// addresses at run time from half-strip parameters, so a dynamic part
+/// only records *what* to address (a data element of the shifted array, a
+/// coefficient stream element, or a result slot) relative to the current
+/// line and strip.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMCC_CM2_INSTRUCTION_H
+#define CMCC_CM2_INSTRUCTION_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cmcc {
+
+/// One dynamic instruction part; the FPU consumes exactly one per cycle.
+struct DynamicPart {
+  enum class Kind : uint8_t {
+    /// Move a source-array element from (padded) memory into a register.
+    Load,
+    /// Chained multiply-add: multiply register MulReg by the memory
+    /// operand (a coefficient element, or the 1.0 register for bare
+    /// terms) and feed the pipelined adder.
+    Madd,
+    /// Store register SrcReg to the result array.
+    Store,
+    /// A wasted cycle: the FPU multiplies zero by zero, adds zero, and
+    /// stores the result into the reserved zero register — there is no
+    /// way not to store the result (paper §5.3).
+    Filler,
+  };
+
+  Kind TheKind = Kind::Filler;
+
+  /// Madd: the register holding the data element. Store: the register
+  /// holding the finished result.
+  uint8_t MulReg = 0;
+
+  /// Load: destination register. Madd: the accumulator register that
+  /// receives the add result on cycle k+4. Filler: the zero register.
+  uint8_t DestReg = 0;
+
+  /// Madd: which of the two interleaved multiply-add threads this op
+  /// belongs to (paper §5.3 computes results in pairs).
+  uint8_t ThreadId = 0;
+
+  /// Madd with ChainStart, and Filler: the register whose value begins
+  /// the accumulation (the reserved zero register). The simulator reads
+  /// it — rather than assuming 0.0 — so corruption of the zero register
+  /// is observable, as it would be on the real machine.
+  uint8_t AddReg = 0;
+
+  /// Madd: true when this is the first multiply of a result (its add
+  /// consumes the zero register); false when it chains.
+  bool ChainStart = false;
+
+  /// Madd: true when this is the last multiply of a result.
+  bool ChainEnd = false;
+
+  /// Madd: the tap this operation evaluates (indexes StencilSpec::Taps);
+  /// selects the coefficient stream. Sign is folded in by the executor.
+  int16_t TapIndex = -1;
+
+  /// Madd/Store: which of the line's w results this op contributes to.
+  int16_t ResultIndex = -1;
+
+  /// Load: data element offset relative to (current line, strip left
+  /// column).
+  int16_t DataDy = 0;
+  int16_t DataDx = 0;
+
+  /// Load: which source array the element comes from (multi-source
+  /// extension; always 0 for the paper's single-variable form).
+  int8_t DataSource = 0;
+
+  //===--- Constructors ---------------------------------------------------===//
+
+  static DynamicPart load(int DestReg, int Dy, int Dx, int Source = 0) {
+    DynamicPart P;
+    P.TheKind = Kind::Load;
+    P.DestReg = static_cast<uint8_t>(DestReg);
+    P.DataDy = static_cast<int16_t>(Dy);
+    P.DataDx = static_cast<int16_t>(Dx);
+    P.DataSource = static_cast<int8_t>(Source);
+    return P;
+  }
+
+  static DynamicPart madd(int MulReg, int DestReg, int ZeroReg, int Thread,
+                          int Tap, int Result, bool Start, bool End) {
+    DynamicPart P;
+    P.TheKind = Kind::Madd;
+    P.MulReg = static_cast<uint8_t>(MulReg);
+    P.DestReg = static_cast<uint8_t>(DestReg);
+    P.AddReg = static_cast<uint8_t>(ZeroReg);
+    P.ThreadId = static_cast<uint8_t>(Thread);
+    P.TapIndex = static_cast<int16_t>(Tap);
+    P.ResultIndex = static_cast<int16_t>(Result);
+    P.ChainStart = Start;
+    P.ChainEnd = End;
+    return P;
+  }
+
+  static DynamicPart store(int SrcReg, int Result) {
+    DynamicPart P;
+    P.TheKind = Kind::Store;
+    P.MulReg = static_cast<uint8_t>(SrcReg);
+    P.ResultIndex = static_cast<int16_t>(Result);
+    return P;
+  }
+
+  static DynamicPart filler(int ZeroReg) {
+    DynamicPart P;
+    P.TheKind = Kind::Filler;
+    P.MulReg = static_cast<uint8_t>(ZeroReg);
+    P.DestReg = static_cast<uint8_t>(ZeroReg);
+    P.AddReg = static_cast<uint8_t>(ZeroReg);
+    return P;
+  }
+
+  /// Compact rendering for dumps and tests, e.g. "madd r5*coef[3]->r9".
+  std::string str() const;
+};
+
+/// The static instruction part: fixed per microcode routine. Only its
+/// identity matters to the model (it is latched once per half-strip).
+struct StaticPart {
+  std::string RoutineName;
+};
+
+/// The per-line dynamic-part sequence for one phase of the unrolled
+/// register-access pattern.
+using LineSchedule = std::vector<DynamicPart>;
+
+} // namespace cmcc
+
+#endif // CMCC_CM2_INSTRUCTION_H

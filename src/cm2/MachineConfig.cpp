@@ -1,0 +1,42 @@
+//===- cm2/MachineConfig.cpp ----------------------------------*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cm2/MachineConfig.h"
+#include "support/StringUtils.h"
+
+using namespace cmcc;
+
+double MachineConfig::peakGflops() const {
+  return nodeCount() * flopsPerMaddCycle() * ClockMHz * 1e6 / 1e9;
+}
+
+std::string MachineConfig::summary() const {
+  return std::to_string(nodeCount()) + " nodes (" + std::to_string(NodeRows) +
+         "x" + std::to_string(NodeCols) + "), " + formatFixed(ClockMHz, 1) +
+         " MHz, " + (Fpu == FpuKind::WTL3164 ? "WTL3164" : "WTL3132") +
+         ", peak " + formatFixed(peakGflops(), 2) + " Gflops";
+}
+
+MachineConfig MachineConfig::testMachine16() {
+  MachineConfig C;
+  C.NodeRows = 4;
+  C.NodeCols = 4;
+  return C;
+}
+
+MachineConfig MachineConfig::fullMachine2048() {
+  MachineConfig C;
+  C.NodeRows = 64;
+  C.NodeCols = 32;
+  return C;
+}
+
+MachineConfig MachineConfig::withNodeGrid(int Rows, int Cols) {
+  MachineConfig C;
+  C.NodeRows = Rows;
+  C.NodeCols = Cols;
+  return C;
+}

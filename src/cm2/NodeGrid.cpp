@@ -1,0 +1,52 @@
+//===- cm2/NodeGrid.cpp ---------------------------------------*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cm2/NodeGrid.h"
+#include "support/Assert.h"
+#include <cassert>
+
+using namespace cmcc;
+
+/// Returns log2 of \p V, asserting V is a power of two.
+static int log2Exact(int V) {
+  assert(V > 0 && (V & (V - 1)) == 0 && "grid side must be a power of two");
+  int Bits = 0;
+  while ((1 << Bits) < V)
+    ++Bits;
+  return Bits;
+}
+
+NodeGrid::NodeGrid(int Rows, int Cols)
+    : Rows(Rows), Cols(Cols), RowBits(log2Exact(Rows)),
+      ColBits(log2Exact(Cols)) {}
+
+NodeCoord NodeGrid::neighbor(NodeCoord C, Direction D) const {
+  switch (D) {
+  case Direction::North:
+    return {(C.Row - 1 + Rows) % Rows, C.Col};
+  case Direction::South:
+    return {(C.Row + 1) % Rows, C.Col};
+  case Direction::West:
+    return {C.Row, (C.Col - 1 + Cols) % Cols};
+  case Direction::East:
+    return {C.Row, (C.Col + 1) % Cols};
+  }
+  CMCC_UNREACHABLE("unknown direction");
+}
+
+uint32_t NodeGrid::hypercubeAddress(NodeCoord C) const {
+  assert(C.Row >= 0 && C.Row < Rows && C.Col >= 0 && C.Col < Cols &&
+         "coordinate out of grid");
+  return (grayCode(static_cast<uint32_t>(C.Row)) << ColBits) |
+         grayCode(static_cast<uint32_t>(C.Col));
+}
+
+int NodeGrid::hypercubeDimension() const { return RowBits + ColBits; }
+
+bool NodeGrid::areHypercubeNeighbors(NodeCoord A, NodeCoord B) const {
+  uint32_t Diff = hypercubeAddress(A) ^ hypercubeAddress(B);
+  return Diff != 0 && (Diff & (Diff - 1)) == 0;
+}

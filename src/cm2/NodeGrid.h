@@ -1,0 +1,81 @@
+//===- cm2/NodeGrid.h - 2-D node grid in the hypercube --------*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The arrangement of CM-2 nodes into a two-dimensional grid, embedded in
+/// the machine's boolean hypercube with a Gray-code numbering so that
+/// grid neighbors are hypercube neighbors (one address bit apart) — the
+/// property the paper's grid primitives rely on to use the network
+/// effectively.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMCC_CM2_NODEGRID_H
+#define CMCC_CM2_NODEGRID_H
+
+#include "cm2/MachineConfig.h"
+#include <cstdint>
+
+namespace cmcc {
+
+/// A node's position in the 2-D grid.
+struct NodeCoord {
+  int Row = 0;
+  int Col = 0;
+
+  friend bool operator==(NodeCoord A, NodeCoord B) {
+    return A.Row == B.Row && A.Col == B.Col;
+  }
+};
+
+/// The four grid directions of the exchange primitive.
+enum class Direction { North, South, West, East };
+
+/// The node grid of one machine. Rows and columns must be powers of two
+/// (they are sub-dimensions of the hypercube).
+class NodeGrid {
+public:
+  NodeGrid(int Rows, int Cols);
+
+  explicit NodeGrid(const MachineConfig &Config)
+      : NodeGrid(Config.NodeRows, Config.NodeCols) {}
+
+  int rows() const { return Rows; }
+  int cols() const { return Cols; }
+  int nodeCount() const { return Rows * Cols; }
+
+  /// Linear node id, row-major.
+  int nodeId(NodeCoord C) const { return C.Row * Cols + C.Col; }
+  NodeCoord coordOf(int NodeId) const {
+    return {NodeId / Cols, NodeId % Cols};
+  }
+
+  /// The grid neighbor in \p D, with wraparound (the grid is a torus; the
+  /// paper's CSHIFT semantics are circular).
+  NodeCoord neighbor(NodeCoord C, Direction D) const;
+
+  /// The hypercube address of a node: Gray(row) in the high bits,
+  /// Gray(col) in the low bits.
+  uint32_t hypercubeAddress(NodeCoord C) const;
+
+  /// Number of address bits (the hypercube dimension for this grid).
+  int hypercubeDimension() const;
+
+  /// True if two nodes are neighbors in the hypercube (addresses differ
+  /// in exactly one bit).
+  bool areHypercubeNeighbors(NodeCoord A, NodeCoord B) const;
+
+  /// The binary-reflected Gray code of \p V.
+  static uint32_t grayCode(uint32_t V) { return V ^ (V >> 1); }
+
+private:
+  int Rows, Cols;
+  int RowBits, ColBits;
+};
+
+} // namespace cmcc
+
+#endif // CMCC_CM2_NODEGRID_H

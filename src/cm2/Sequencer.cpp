@@ -1,0 +1,31 @@
+//===- cm2/Sequencer.cpp --------------------------------------*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cm2/Sequencer.h"
+#include <cmath>
+
+using namespace cmcc;
+
+CycleBreakdown Sequencer::halfStripCycles(int PrologueOps, int Lines,
+                                          int OpsPerLine,
+                                          int MaddsPerLine) const {
+  CycleBreakdown Cycles;
+  long Ops = static_cast<long>(PrologueOps) +
+             static_cast<long>(Lines) * OpsPerLine;
+  // The WTL3132 cannot chain: every multiply-add needs a separate
+  // multiply and add issue.
+  if (Config.Fpu == FpuKind::WTL3132)
+    Ops += static_cast<long>(Lines) * MaddsPerLine;
+  Cycles.Compute =
+      static_cast<long>(std::llround(Ops * Config.SequencerCyclesPerOp));
+  Cycles.LineOverhead = static_cast<long>(Lines) *
+                        Config.PerLineOverheadCycles;
+  Cycles.PipeReversal = static_cast<long>(Lines) * 2L *
+                        Config.PipeReversalCycles;
+  Cycles.StripStartup =
+      Config.HalfStripStartupCycles + Config.StaticPartLatchCycles;
+  return Cycles;
+}

@@ -1,0 +1,55 @@
+//===- cm2/Sequencer.h - Instruction-sequencer cost model -----*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The CM-2 instruction sequencer driving one microcode half-strip
+/// invocation (§4.3): it latches the static instruction part once,
+/// streams the dynamic parts from scratch data memory — generating a
+/// parallel-memory address for each through its ALU, the dominant
+/// per-op cost — and pays per-line bookkeeping (the conditional branch
+/// cannot share a cycle with a dynamic-part issue) plus the memory-pipe
+/// reversal penalties between the load, multiply-add, and store blocks.
+///
+/// The class turns a width schedule and a line count into a cycle
+/// breakdown; the run-time library sums it over the strip plan.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMCC_CM2_SEQUENCER_H
+#define CMCC_CM2_SEQUENCER_H
+
+#include "cm2/MachineConfig.h"
+#include "cm2/Timing.h"
+
+namespace cmcc {
+
+/// Cost model of one sequencer (every node's sequencer is the same
+/// physical unit on a SIMD machine).
+class Sequencer {
+public:
+  explicit Sequencer(const MachineConfig &Config) : Config(Config) {}
+
+  /// Cycles to run one half-strip: \p PrologueOps ring-fill loads, then
+  /// \p Lines lines of \p OpsPerLine dynamic parts each (of which
+  /// \p MaddsPerLine are multiply-adds — they cost an extra issue slot
+  /// on the WTL3132, which has no usable chaining).
+  CycleBreakdown halfStripCycles(int PrologueOps, int Lines, int OpsPerLine,
+                                 int MaddsPerLine) const;
+
+  /// True when \p Parts dynamic parts fit the scratch data memory.
+  bool fitsScratch(int Parts) const {
+    return Parts <= Config.ScratchMemoryParts;
+  }
+
+  const MachineConfig &machine() const { return Config; }
+
+private:
+  MachineConfig Config;
+};
+
+} // namespace cmcc
+
+#endif // CMCC_CM2_SEQUENCER_H

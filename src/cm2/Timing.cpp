@@ -1,0 +1,64 @@
+//===- cm2/Timing.cpp -----------------------------------------*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cm2/Timing.h"
+#include "support/StringUtils.h"
+
+using namespace cmcc;
+
+CycleBreakdown &CycleBreakdown::operator+=(const CycleBreakdown &O) {
+  Compute += O.Compute;
+  PipeReversal += O.PipeReversal;
+  LineOverhead += O.LineOverhead;
+  StripStartup += O.StripStartup;
+  Communication += O.Communication;
+  return *this;
+}
+
+double TimingReport::secondsPerIteration() const {
+  double MachineSeconds = static_cast<double>(Cycles.total()) /
+                          (ClockMHz * 1e6);
+  return MachineSeconds + HostSecondsPerIteration;
+}
+
+double TimingReport::measuredMflops() const {
+  double Seconds = secondsPerIteration();
+  if (Seconds <= 0.0)
+    return 0.0;
+  double FlopsPerIteration =
+      static_cast<double>(UsefulFlopsPerNodePerIteration) * Nodes;
+  return FlopsPerIteration / Seconds / 1e6;
+}
+
+double TimingReport::extrapolatedGflops(int TargetNodes) const {
+  if (Nodes == 0)
+    return 0.0;
+  return measuredGflops() * (static_cast<double>(TargetNodes) / Nodes);
+}
+
+double TimingReport::computeFraction() const {
+  long Total = Cycles.total();
+  if (Total == 0)
+    return 0.0;
+  return static_cast<double>(Cycles.Compute) / static_cast<double>(Total);
+}
+
+std::string TimingReport::str() const {
+  std::string Out;
+  Out += "iterations:        " + std::to_string(Iterations) + "\n";
+  Out += "nodes:             " + std::to_string(Nodes) + "\n";
+  Out += "cycles/iteration:  " + std::to_string(Cycles.total()) + "\n";
+  Out += "  compute:         " + std::to_string(Cycles.Compute) + "\n";
+  Out += "  pipe reversal:   " + std::to_string(Cycles.PipeReversal) + "\n";
+  Out += "  line overhead:   " + std::to_string(Cycles.LineOverhead) + "\n";
+  Out += "  strip startup:   " + std::to_string(Cycles.StripStartup) + "\n";
+  Out += "  communication:   " + std::to_string(Cycles.Communication) + "\n";
+  Out += "host s/iteration:  " + formatFixed(HostSecondsPerIteration, 6) +
+         "\n";
+  Out += "elapsed seconds:   " + formatFixed(elapsedSeconds(), 2) + "\n";
+  Out += "measured Mflops:   " + formatFixed(measuredMflops(), 1) + "\n";
+  return Out;
+}

@@ -1,0 +1,91 @@
+//===- cm2/Timing.h - Cycle accounting and flop rates ---------*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cycle breakdowns and the paper's figures of merit. The CM-2 is fully
+/// synchronous SIMD: every node spends the same cycles, so one node's
+/// cycle count *is* the machine's, and per-node rates extrapolate to
+/// larger machines by multiplying by the node count (the paper's
+/// extrapolation method, "quite reliable").
+///
+/// Only *useful* flops are counted (a 5-tap pattern counts 9 flops per
+/// point, not 10 — the first add-to-zero is wasted), matching the paper's
+/// accounting in §7.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMCC_CM2_TIMING_H
+#define CMCC_CM2_TIMING_H
+
+#include "cm2/MachineConfig.h"
+#include <string>
+
+namespace cmcc {
+
+/// Cycle breakdown for one stencil invocation on one node (= the whole
+/// synchronous machine).
+struct CycleBreakdown {
+  /// Dynamic-part issue cycles in the microcode inner loops (loads,
+  /// multiply-adds, stores, fillers, pipeline-drain slack).
+  long Compute = 0;
+  /// Memory-pipe direction-reversal penalties.
+  long PipeReversal = 0;
+  /// Per-line sequencer bookkeeping (branch + address updates).
+  long LineOverhead = 0;
+  /// Half-strip start-ups (static-part latch, parameter setup).
+  long StripStartup = 0;
+  /// Halo exchange.
+  long Communication = 0;
+
+  long total() const {
+    return Compute + PipeReversal + LineOverhead + StripStartup +
+           Communication;
+  }
+
+  CycleBreakdown &operator+=(const CycleBreakdown &O);
+};
+
+/// The outcome of timing one stencil computation for a number of
+/// iterations.
+class TimingReport {
+public:
+  CycleBreakdown Cycles;
+  /// Useful flops per iteration per node (the paper's counting).
+  long UsefulFlopsPerNodePerIteration = 0;
+  long Iterations = 1;
+  /// Host front-end overhead per iteration, in seconds.
+  double HostSecondsPerIteration = 0.0;
+  /// The machine this was measured on.
+  int Nodes = 1;
+  double ClockMHz = 7.0;
+
+  /// Machine seconds for one iteration (cycles / clock + host overhead).
+  double secondsPerIteration() const;
+
+  /// Total elapsed seconds for all iterations.
+  double elapsedSeconds() const { return secondsPerIteration() * Iterations; }
+
+  /// Sustained rate over the whole machine, in Mflops.
+  double measuredMflops() const;
+
+  /// Sustained rate in Gflops.
+  double measuredGflops() const { return measuredMflops() / 1000.0; }
+
+  /// The paper's extrapolation: per-node subgrids (and therefore cycle
+  /// counts) are unchanged on a bigger machine, so the rate scales by
+  /// the node ratio.
+  double extrapolatedGflops(int TargetNodes) const;
+
+  /// Fraction of cycles spent in useful multiply-add issue slots.
+  double computeFraction() const;
+
+  /// Multi-line human-readable description.
+  std::string str() const;
+};
+
+} // namespace cmcc
+
+#endif // CMCC_CM2_TIMING_H

@@ -1,0 +1,213 @@
+//===- core/Compiler.cpp --------------------------------------*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Compiler.h"
+#include "fortran/Lexer.h"
+#include "fortran/Parser.h"
+#include "sexpr/DefStencil.h"
+#include "stencil/Recognizer.h"
+
+using namespace cmcc;
+
+const int ConvolutionCompiler::CandidateWidths[4] = {8, 4, 2, 1};
+
+const WidthSchedule *CompiledStencil::widestFitting(int RemainingCols) const {
+  for (const WidthSchedule &W : Widths)
+    if (W.Width <= RemainingCols)
+      return &W;
+  return nullptr;
+}
+
+const WidthSchedule *CompiledStencil::withWidth(int Width) const {
+  for (const WidthSchedule &W : Widths)
+    if (W.Width == Width)
+      return &W;
+  return nullptr;
+}
+
+std::vector<int> CompiledStencil::availableWidths() const {
+  std::vector<int> Out;
+  Out.reserve(Widths.size());
+  for (const WidthSchedule &W : Widths)
+    Out.push_back(W.Width);
+  return Out;
+}
+
+Expected<CompiledStencil> ConvolutionCompiler::compile(
+    const StencilSpec &Spec) const {
+  if (Error E = Spec.validate())
+    return E;
+  if (Spec.distinctDataOffsets().empty())
+    return makeError("statement has no shifted-data terms; the convolution "
+                     "technique does not apply");
+
+  CompiledStencil Out;
+  Out.Spec = Spec;
+  for (int Width : CandidateWidths) {
+    Expected<WidthSchedule> Sched = buildWidthSchedule(Spec, Config, Width);
+    if (!Sched) {
+      Out.Notes.push_back(Sched.error().message());
+      continue;
+    }
+    if (Error E = verifySchedule(*Sched, Spec, Config)) {
+      // The tagged-register accumulator reuse is unprovable for this
+      // pattern (e.g. three taps at the tagged cell). Fall back to
+      // dedicated accumulator registers, spending Width more of the
+      // register budget.
+      Expected<WidthSchedule> Retry = buildWidthSchedule(
+          Spec, Config, Width, /*DedicatedAccumulators=*/true);
+      if (Retry && !verifySchedule(*Retry, Spec, Config)) {
+        Out.Notes.push_back("width " + std::to_string(Width) +
+                            " uses dedicated accumulators (" + E.message() +
+                            ")");
+        Out.Widths.push_back(std::move(*Retry));
+        continue;
+      }
+      Out.Notes.push_back("width " + std::to_string(Width) +
+                          " failed verification: " + E.message());
+      continue;
+    }
+    Out.Widths.push_back(std::move(*Sched));
+  }
+  if (Out.Widths.empty()) {
+    std::string Why = "no workable multistencil width";
+    for (const std::string &Note : Out.Notes)
+      Why += "; " + Note;
+    return makeError(Why);
+  }
+  return Out;
+}
+
+std::optional<CompiledStencil>
+ConvolutionCompiler::compileAssignment(std::string_view FortranSource,
+                                       DiagnosticEngine &Diags) const {
+  std::optional<fortran::AssignmentStmt> Stmt =
+      fortran::Parser::assignmentFromSource(FortranSource, Diags);
+  if (!Stmt)
+    return std::nullopt;
+  Recognizer R(Diags, RecognizerOpts);
+  std::optional<StencilSpec> Spec = R.recognize(*Stmt);
+  if (!Spec)
+    return std::nullopt;
+  Expected<CompiledStencil> Result = compile(*Spec);
+  if (!Result) {
+    Diags.error(Stmt->Location, Result.error().message());
+    return std::nullopt;
+  }
+  return Result.takeValue();
+}
+
+std::optional<CompiledStencil>
+ConvolutionCompiler::compileSubroutine(std::string_view FortranSource,
+                                       DiagnosticEngine &Diags) const {
+  std::optional<fortran::Subroutine> Sub =
+      fortran::Parser::subroutineFromSource(FortranSource, Diags);
+  if (!Sub)
+    return std::nullopt;
+  Recognizer R(Diags, RecognizerOpts);
+  std::optional<StencilSpec> Spec = R.recognize(*Sub);
+  if (!Spec)
+    return std::nullopt;
+  Expected<CompiledStencil> Result = compile(*Spec);
+  if (!Result) {
+    Diags.error(Sub->Location, Result.error().message());
+    return std::nullopt;
+  }
+  return Result.takeValue();
+}
+
+int ConvolutionCompiler::ProcessedSubroutine::compiledCount() const {
+  int N = 0;
+  for (const std::optional<CompiledStencil> &S : Statements)
+    if (S)
+      ++N;
+  return N;
+}
+
+std::optional<ConvolutionCompiler::ProcessedSubroutine>
+ConvolutionCompiler::processSubroutine(std::string_view FortranSource,
+                                       DiagnosticEngine &Diags) const {
+  std::optional<fortran::Subroutine> Sub =
+      fortran::Parser::subroutineFromSource(FortranSource, Diags);
+  if (!Sub)
+    return std::nullopt;
+  return processUnit(std::move(*Sub), Diags);
+}
+
+std::optional<std::vector<ConvolutionCompiler::ProcessedSubroutine>>
+ConvolutionCompiler::processProgram(std::string_view FortranSource,
+                                    DiagnosticEngine &Diags) const {
+  fortran::Lexer L(FortranSource, Diags);
+  fortran::Parser P(L.lexAll(), Diags);
+  std::optional<std::vector<fortran::Subroutine>> Units = P.parseProgram();
+  if (!Units || Diags.hasErrors())
+    return std::nullopt;
+  std::vector<ProcessedSubroutine> Out;
+  Out.reserve(Units->size());
+  for (fortran::Subroutine &Sub : *Units) {
+    std::optional<ProcessedSubroutine> Processed =
+        processUnit(std::move(Sub), Diags);
+    if (!Processed)
+      return std::nullopt;
+    Out.push_back(std::move(*Processed));
+  }
+  return Out;
+}
+
+std::optional<ConvolutionCompiler::ProcessedSubroutine>
+ConvolutionCompiler::processUnit(fortran::Subroutine Sub,
+                                 DiagnosticEngine &Diags) const {
+  ProcessedSubroutine Out;
+  Out.Statements.reserve(Sub.Body.size());
+  for (const fortran::AssignmentStmt &Stmt : Sub.Body) {
+    // Recognition failures are not unit errors: unflagged statements
+    // silently fall back to the stock code generator; flagged ones earn
+    // the paper's warning.
+    DiagnosticEngine Scratch;
+    Recognizer R(Scratch, RecognizerOpts);
+    std::optional<StencilSpec> Spec = R.recognize(Stmt);
+    std::optional<CompiledStencil> Compiled;
+    std::string Why;
+    if (Spec) {
+      Expected<CompiledStencil> Result = compile(*Spec);
+      if (Result)
+        Compiled = Result.takeValue();
+      else
+        Why = Result.error().message();
+    } else {
+      for (const Diagnostic &D : Scratch.diagnostics())
+        if (D.Severity == DiagnosticSeverity::Error) {
+          Why = D.Message;
+          break;
+        }
+    }
+    if (!Compiled && Stmt.Flagged) {
+      Diags.warning(Stmt.Location,
+                    "statement is flagged !CMCC$ STENCIL but could not be "
+                    "processed by the convolution technique: " +
+                        (Why.empty() ? std::string("unrecognized form")
+                                     : Why));
+    }
+    Out.Statements.push_back(std::move(Compiled));
+  }
+  Out.Unit = std::move(Sub);
+  return Out;
+}
+
+std::optional<CompiledStencil>
+ConvolutionCompiler::compileDefStencil(std::string_view Source,
+                                       DiagnosticEngine &Diags) const {
+  std::optional<sexpr::DefStencil> Def =
+      sexpr::defStencilFromSource(Source, Diags);
+  if (!Def)
+    return std::nullopt;
+  Expected<CompiledStencil> Result = compile(Def->Spec);
+  if (!Result) {
+    Diags.error({1, 1}, Result.error().message());
+    return std::nullopt;
+  }
+  return Result.takeValue();
+}

@@ -1,0 +1,131 @@
+//===- core/Compiler.h - The convolution compiler -------------*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The top of the compiler module: recognizes a stencil statement and
+/// produces, for each workable multistencil width in {8, 4, 2, 1}, a
+/// verified register plan and dynamic-part schedule. The run-time library
+/// then shaves off, at each step, the widest strip for which a workable
+/// multistencil exists (§5.3) — widths that fail for lack of registers or
+/// scratch memory are simply absent, with a note explaining why (the
+/// user feedback the paper's production version planned).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMCC_CORE_COMPILER_H
+#define CMCC_CORE_COMPILER_H
+
+#include "cm2/MachineConfig.h"
+#include "core/Schedule.h"
+#include "core/Verifier.h"
+#include "stencil/Recognizer.h"
+#include "stencil/StencilSpec.h"
+#include "support/Diagnostic.h"
+#include "support/Error.h"
+#include <optional>
+#include <string_view>
+#include <vector>
+
+namespace cmcc {
+
+/// The compiled form of one stencil statement: everything the run-time
+/// library needs.
+struct CompiledStencil {
+  StencilSpec Spec;
+  /// Verified schedules in decreasing width order (at least one).
+  std::vector<WidthSchedule> Widths;
+  /// Human-readable notes about widths that were not generated.
+  std::vector<std::string> Notes;
+
+  /// The widest schedule not exceeding \p RemainingCols, or nullptr when
+  /// even width 1 does not fit (RemainingCols == 0).
+  const WidthSchedule *widestFitting(int RemainingCols) const;
+
+  /// The schedule of exactly \p Width, or nullptr.
+  const WidthSchedule *withWidth(int Width) const;
+
+  /// Widths available, e.g. {8, 4, 2, 1}.
+  std::vector<int> availableWidths() const;
+};
+
+/// Compiles stencil statements for one machine configuration.
+class ConvolutionCompiler {
+public:
+  explicit ConvolutionCompiler(const MachineConfig &Config)
+      : Config(Config) {}
+
+  /// Enables the §9 multi-source extension in the front-end recognizer
+  /// (terms may shift several different arrays; see RecognizerOptions).
+  void setAllowMultipleSources(bool Allow) {
+    RecognizerOpts.AllowMultipleSources = Allow;
+  }
+
+  /// The widths the compiler attempts, widest first (§5.3: "we have
+  /// found it practical for the compiler to attempt to construct
+  /// multistencils of width 8, 4, 2, and 1").
+  static const int CandidateWidths[4];
+
+  /// Compiles an already-recognized stencil.
+  Expected<CompiledStencil> compile(const StencilSpec &Spec) const;
+
+  /// Front end entry: a bare assignment statement (the version-3 style
+  /// that needs no isolated subroutine).
+  std::optional<CompiledStencil>
+  compileAssignment(std::string_view FortranSource,
+                    DiagnosticEngine &Diags) const;
+
+  /// Front end entry: an isolated SUBROUTINE (the paper's version 2).
+  std::optional<CompiledStencil>
+  compileSubroutine(std::string_view FortranSource,
+                    DiagnosticEngine &Diags) const;
+
+  /// Front end entry: a Lisp (defstencil ...) form (the paper's
+  /// version 1).
+  std::optional<CompiledStencil>
+  compileDefStencil(std::string_view Source, DiagnosticEngine &Diags) const;
+
+  /// A subroutine processed the version-3 way: the compiler recognizes
+  /// candidate assignment statements on its own; statements flagged with
+  /// the "!CMCC$ STENCIL" directive earn a warning when the technique
+  /// does not apply after all (for lack of registers, for example).
+  struct ProcessedSubroutine {
+    fortran::Subroutine Unit;
+    /// Parallel to Unit.Body: the compiled stencil where the convolution
+    /// technique applies, std::nullopt where the stock code generator
+    /// would take over.
+    std::vector<std::optional<CompiledStencil>> Statements;
+
+    /// Number of statements the convolution technique handles.
+    int compiledCount() const;
+  };
+
+  /// The paper's version-3 driver: processes every assignment in a
+  /// subroutine, no isolated-subroutine restriction. Parse errors fail
+  /// the whole unit; per-statement rejections do not.
+  std::optional<ProcessedSubroutine>
+  processSubroutine(std::string_view FortranSource,
+                    DiagnosticEngine &Diags) const;
+
+  /// Processes every subroutine in a multi-unit source file the same
+  /// way (a whole CM Fortran file, as the integrated version would see
+  /// it).
+  std::optional<std::vector<ProcessedSubroutine>>
+  processProgram(std::string_view FortranSource,
+                 DiagnosticEngine &Diags) const;
+
+  const MachineConfig &machine() const { return Config; }
+
+private:
+  std::optional<ProcessedSubroutine>
+  processUnit(fortran::Subroutine Sub, DiagnosticEngine &Diags) const;
+
+  MachineConfig Config;
+  RecognizerOptions RecognizerOpts;
+};
+
+} // namespace cmcc
+
+#endif // CMCC_CORE_COMPILER_H

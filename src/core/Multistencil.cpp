@@ -1,0 +1,125 @@
+//===- core/Multistencil.cpp ----------------------------------*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Multistencil.h"
+#include "support/Assert.h"
+#include <algorithm>
+#include <map>
+
+using namespace cmcc;
+
+Multistencil Multistencil::build(const StencilSpec &Spec, int Width) {
+  assert(Width >= 1 && "multistencil width must be positive");
+  std::vector<Offset> AllOffsets = Spec.distinctDataOffsets();
+  assert(!AllOffsets.empty() && "multistencil needs at least one data tap");
+
+  Multistencil MS;
+  MS.Width = Width;
+
+  // Per source: the union of Width copies shifted right by 0..Width-1.
+  for (int Source = 0; Source != Spec.sourceCount(); ++Source) {
+    std::map<int, std::vector<int>> RowsByColumn;
+    for (const Offset &At : Spec.distinctDataOffsets(Source))
+      for (int R = 0; R != Width; ++R)
+        RowsByColumn[At.Dx + R].push_back(At.Dy);
+    for (auto &[Dx, Rows] : RowsByColumn) {
+      std::sort(Rows.begin(), Rows.end());
+      Rows.erase(std::unique(Rows.begin(), Rows.end()), Rows.end());
+      MultistencilColumn C;
+      C.SourceIndex = Source;
+      C.Dx = Dx;
+      C.Rows = Rows;
+      MS.Columns.push_back(std::move(C));
+    }
+  }
+
+  MS.MinRow = AllOffsets.front().Dy;
+  MS.MaxRow = AllOffsets.front().Dy;
+  for (const Offset &At : AllOffsets) {
+    MS.MinRow = std::min(MS.MinRow, At.Dy);
+    MS.MaxRow = std::max(MS.MaxRow, At.Dy);
+  }
+
+  // Tag: bottommost row of the primary source, leftmost tap in it (§5.3
+  // — "in practice we always choose the bottommost row"). An element is
+  // dead once its own source's bottom row passes it, so tagging within
+  // one source is sound even with extra sources present.
+  std::vector<Offset> Primary = Spec.distinctDataOffsets(0);
+  assert(!Primary.empty() && "primary source has no taps");
+  int TagDy = Primary.front().Dy;
+  for (const Offset &At : Primary)
+    TagDy = std::max(TagDy, At.Dy);
+  int TagDx = 0;
+  bool Found = false;
+  for (const Offset &At : Primary) {
+    if (At.Dy != TagDy)
+      continue;
+    if (!Found || At.Dx < TagDx) {
+      TagDx = At.Dx;
+      Found = true;
+    }
+  }
+  assert(Found && "pattern has no tap in its bottommost row?");
+  MS.Tag = {TagDy, TagDx};
+  MS.TagSource = 0;
+  return MS;
+}
+
+int Multistencil::columnIndexFor(int Source, int Dx, int Result) const {
+  int Wanted = Dx + Result;
+  for (int I = 0; I != columnCount(); ++I)
+    if (Columns[I].SourceIndex == Source && Columns[I].Dx == Wanted)
+      return I;
+  CMCC_UNREACHABLE("offset outside the multistencil");
+}
+
+int Multistencil::totalPositions() const {
+  int Total = 0;
+  for (const MultistencilColumn &C : Columns)
+    Total += C.height();
+  return Total;
+}
+
+int Multistencil::naturalRegisterCount() const {
+  int Total = 0;
+  for (const MultistencilColumn &C : Columns)
+    Total += C.extent();
+  return Total;
+}
+
+int Multistencil::uniformRowsRegisterCount() const {
+  int MaxExtent = 0;
+  for (const MultistencilColumn &C : Columns)
+    MaxExtent = std::max(MaxExtent, C.extent());
+  return MaxExtent * columnCount();
+}
+
+std::string Multistencil::render() const {
+  std::string Out;
+  int Sources = Columns.empty() ? 0 : Columns.back().SourceIndex + 1;
+  for (int Source = 0; Source != Sources; ++Source) {
+    if (Sources > 1)
+      Out += "source " + std::to_string(Source) + ":\n";
+    for (int Dy = MinRow; Dy <= MaxRow; ++Dy) {
+      bool FirstColumn = true;
+      for (int I = 0; I != columnCount(); ++I) {
+        const MultistencilColumn &C = Columns[I];
+        if (C.SourceIndex != Source)
+          continue;
+        if (!FirstColumn)
+          Out.push_back(' ');
+        FirstColumn = false;
+        bool Present =
+            std::find(C.Rows.begin(), C.Rows.end(), Dy) != C.Rows.end();
+        bool Tagged = Present && Source == TagSource && Dy == Tag.Dy &&
+                      C.Dx >= Tag.Dx && C.Dx < Tag.Dx + Width;
+        Out.push_back(Tagged ? 'T' : (Present ? '#' : '.'));
+      }
+      Out.push_back('\n');
+    }
+  }
+  return Out;
+}

@@ -1,0 +1,57 @@
+//===- core/RegisterAllocation.cpp ----------------------------*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/RegisterAllocation.h"
+#include "support/Assert.h"
+
+using namespace cmcc;
+
+RegisterAllocation::RegisterAllocation(const Multistencil &MS,
+                                       const RingBufferPlan &Plan,
+                                       bool NeedUnitRegister)
+    : MS(MS), Plan(Plan) {
+  assert(static_cast<int>(Plan.Sizes.size()) == MS.columnCount() &&
+         "plan does not match multistencil");
+  ZeroReg = 0;
+  if (NeedUnitRegister) {
+    UnitReg = 1;
+    FirstData = 2;
+  } else {
+    FirstData = 1;
+  }
+  int Next = FirstData;
+  Bases.reserve(Plan.Sizes.size());
+  for (int S : Plan.Sizes) {
+    Bases.push_back(Next);
+    Next += S;
+  }
+}
+
+int RegisterAllocation::unitRegister() const {
+  assert(UnitReg >= 0 && "allocation has no unit register");
+  return UnitReg;
+}
+
+/// Non-negative modulus.
+static int wrap(long V, int M) {
+  long R = V % M;
+  return static_cast<int>(R < 0 ? R + M : R);
+}
+
+int RegisterAllocation::registerForElement(int ColumnIdx, int Dy,
+                                           long Step) const {
+  const MultistencilColumn &C = MS.column(ColumnIdx);
+  assert(Dy >= C.minRow() && Dy <= C.maxRow() &&
+         "row not covered by this column");
+  // Loaded (Dy - minRow) steps ago into slot (Step - (Dy - minRow)) mod S.
+  int Slot = wrap(Step - (Dy - C.minRow()), Plan.Sizes[ColumnIdx]);
+  return Bases[ColumnIdx] + Slot;
+}
+
+int RegisterAllocation::leadingEdgeRegister(int ColumnIdx, long Step) const {
+  int Slot = wrap(Step, Plan.Sizes[ColumnIdx]);
+  return Bases[ColumnIdx] + Slot;
+}

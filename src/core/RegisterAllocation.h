@@ -1,0 +1,70 @@
+//===- core/RegisterAllocation.h - FPU register assignment ----*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Maps multistencil data cells to physical WTL3164 registers across the
+/// unrolled phases. Register 0 is reserved to hold 0.0 (every filler op
+/// and every chain start uses it — initializing an accumulator by adding
+/// to zero is faster than clearing it, §5.3); register 1 holds 1.0 when
+/// the statement has a bare-coefficient term. Each multistencil column
+/// owns a contiguous block of registers used as a ring buffer: on line
+/// step t the column's leading-edge element is loaded into slot t mod S,
+/// so the element for pattern row dy sits in slot (t - (dy - minRow))
+/// mod S. The whole mapping repeats with period UnrollFactor.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMCC_CORE_REGISTERALLOCATION_H
+#define CMCC_CORE_REGISTERALLOCATION_H
+
+#include "core/Multistencil.h"
+#include "core/RingBufferPlan.h"
+#include <vector>
+
+namespace cmcc {
+
+/// The physical register assignment for one (multistencil, plan) pair.
+class RegisterAllocation {
+public:
+  RegisterAllocation(const Multistencil &MS, const RingBufferPlan &Plan,
+                     bool NeedUnitRegister);
+
+  int zeroRegister() const { return ZeroReg; }
+  /// Valid only when the allocation was built with NeedUnitRegister.
+  int unitRegister() const;
+  bool hasUnitRegister() const { return UnitReg >= 0; }
+
+  /// Total physical registers consumed (reserved + data).
+  int registersUsed() const { return FirstData + Plan.DataRegisters; }
+
+  /// The register holding the data element of pattern row \p Dy in
+  /// column index \p ColumnIdx at line step \p Step (any integer; the
+  /// mapping is periodic).
+  int registerForElement(int ColumnIdx, int Dy, long Step) const;
+
+  /// The register receiving column \p ColumnIdx's leading-edge load at
+  /// line step \p Step.
+  int leadingEdgeRegister(int ColumnIdx, long Step) const;
+
+  /// First register of column \p ColumnIdx's ring buffer.
+  int columnBase(int ColumnIdx) const { return Bases[ColumnIdx]; }
+  int columnSize(int ColumnIdx) const { return Plan.Sizes[ColumnIdx]; }
+
+  const Multistencil &multistencil() const { return MS; }
+  const RingBufferPlan &plan() const { return Plan; }
+
+private:
+  Multistencil MS;
+  RingBufferPlan Plan;
+  int ZeroReg = 0;
+  int UnitReg = -1;
+  int FirstData = 1;
+  std::vector<int> Bases;
+};
+
+} // namespace cmcc
+
+#endif // CMCC_CORE_REGISTERALLOCATION_H

@@ -1,0 +1,76 @@
+//===- core/RingBufferPlan.cpp --------------------------------*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/RingBufferPlan.h"
+#include "support/Assert.h"
+#include <algorithm>
+#include <numeric>
+
+using namespace cmcc;
+
+long cmcc::leastCommonMultiple(long A, long B) {
+  assert(A > 0 && B > 0 && "LCM of nonpositive sizes");
+  return A / std::gcd(A, B) * B;
+}
+
+/// Recomputes the derived fields from Sizes.
+static void finalize(RingBufferPlan &Plan) {
+  Plan.DataRegisters = 0;
+  long Lcm = 1;
+  for (int S : Plan.Sizes) {
+    Plan.DataRegisters += S;
+    Lcm = leastCommonMultiple(Lcm, S);
+  }
+  Plan.UnrollFactor = static_cast<int>(Lcm);
+}
+
+RingBufferPlan RingBufferPlan::uniformPlan(const Multistencil &MS) {
+  int MaxExtent = 0;
+  for (const MultistencilColumn &C : MS.columns())
+    MaxExtent = std::max(MaxExtent, C.extent());
+  RingBufferPlan Plan;
+  Plan.Sizes.assign(MS.columnCount(), MaxExtent);
+  finalize(Plan);
+  return Plan;
+}
+
+std::optional<RingBufferPlan> RingBufferPlan::plan(const Multistencil &MS,
+                                                   int RegisterBudget) {
+  int MaxExtent = 0;
+  for (const MultistencilColumn &C : MS.columns())
+    MaxExtent = std::max(MaxExtent, C.extent());
+
+  // Start: everything at the maximum extent, except extent-1 columns.
+  RingBufferPlan Plan;
+  Plan.Sizes.reserve(MS.columnCount());
+  for (const MultistencilColumn &C : MS.columns())
+    Plan.Sizes.push_back(C.extent() == 1 ? 1 : MaxExtent);
+  finalize(Plan);
+  if (Plan.DataRegisters <= RegisterBudget)
+    return Plan;
+
+  // Compress columns toward their natural extents, smallest natural
+  // extent first (the paper's strategy; it tends to keep the LCM small
+  // for the column heights typically encountered).
+  std::vector<int> Order(MS.columnCount());
+  std::iota(Order.begin(), Order.end(), 0);
+  std::stable_sort(Order.begin(), Order.end(), [&](int A, int B) {
+    return MS.column(A).extent() < MS.column(B).extent();
+  });
+  for (int I : Order) {
+    if (Plan.DataRegisters <= RegisterBudget)
+      break;
+    int Natural = MS.column(I).extent();
+    if (Plan.Sizes[I] == Natural)
+      continue;
+    Plan.DataRegisters -= Plan.Sizes[I] - Natural;
+    Plan.Sizes[I] = Natural;
+  }
+  finalize(Plan);
+  if (Plan.DataRegisters > RegisterBudget)
+    return std::nullopt;
+  return Plan;
+}

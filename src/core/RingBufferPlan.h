@@ -1,0 +1,57 @@
+//===- core/RingBufferPlan.h - Ring-buffer sizing and LCM -----*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Sizing of the per-column register ring buffers (§5.4). The register
+/// access pattern must be unrolled by the least common multiple of the
+/// ring-buffer sizes, which costs sequencer scratch memory, so the
+/// compiler tries to keep the LCM small: every buffer starts at the
+/// maximum column extent — except extent-1 columns, which always stay at
+/// 1 ("reducing a ring buffer to size 1 always saves registers and never
+/// makes the LCM larger") — and if the total exceeds the register budget
+/// the columns are compressed toward their natural sizes, from smallest
+/// to largest. For the 13-point diamond at width 4 this yields sizes
+/// 1,3,5,5,5,5,3,1 (28 registers) and unroll factor LCM(5,3,1) = 15,
+/// matching the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMCC_CORE_RINGBUFFERPLAN_H
+#define CMCC_CORE_RINGBUFFERPLAN_H
+
+#include "core/Multistencil.h"
+#include <optional>
+#include <vector>
+
+namespace cmcc {
+
+/// The chosen ring-buffer sizes for one multistencil.
+struct RingBufferPlan {
+  /// One size per multistencil column; Sizes[i] >= extent of column i.
+  std::vector<int> Sizes;
+  /// LCM of the sizes: the register-access pattern repeats with this
+  /// period, so the microcode loop is unrolled this many times.
+  int UnrollFactor = 1;
+  /// Total data registers consumed (sum of sizes).
+  int DataRegisters = 0;
+
+  /// Plans buffers for \p MS within \p RegisterBudget data registers.
+  /// Returns std::nullopt when even the natural sizes do not fit — the
+  /// compiler then simply does not generate code for this width.
+  static std::optional<RingBufferPlan> plan(const Multistencil &MS,
+                                            int RegisterBudget);
+
+  /// The naive uniform plan (every column at the maximum extent, no
+  /// height-1 exception): the §5.4 strawman, kept for ablation A2.
+  static RingBufferPlan uniformPlan(const Multistencil &MS);
+};
+
+/// Least common multiple (safe for the small sizes involved).
+long leastCommonMultiple(long A, long B);
+
+} // namespace cmcc
+
+#endif // CMCC_CORE_RINGBUFFERPLAN_H

@@ -1,0 +1,244 @@
+//===- core/Schedule.cpp --------------------------------------*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Schedule.h"
+#include "support/Assert.h"
+#include <algorithm>
+
+using namespace cmcc;
+
+int WidthSchedule::maddsPerLine() const {
+  int Madds = 0;
+  for (const DynamicPart &Op : Phases.front())
+    if (Op.TheKind == DynamicPart::Kind::Madd)
+      ++Madds;
+  return Madds;
+}
+
+int WidthSchedule::scratchPartsUsed() const {
+  int Total = static_cast<int>(Prologue.size());
+  for (const LineSchedule &L : Phases)
+    Total += static_cast<int>(L.size());
+  return Total;
+}
+
+namespace {
+
+/// One tap with its scheduling metadata for a particular result index.
+struct OrderedTap {
+  int TapIndex;   ///< Index into Spec.Taps.
+  bool HasData;   ///< False for bare-coefficient terms.
+  Offset At;      ///< Pattern offset (data taps only).
+  int ColumnIdx;  ///< Multistencil column for this result (data taps).
+  int Priority;   ///< Lower runs earlier.
+  bool IsFreshLoad; ///< Reads a register loaded by this line's load block.
+};
+
+} // namespace
+
+Expected<WidthSchedule> cmcc::buildWidthSchedule(const StencilSpec &Spec,
+                                                 const MachineConfig &Config,
+                                                 int Width,
+                                                 bool DedicatedAccumulators) {
+  if (Error E = Spec.validate())
+    return E;
+  if (Spec.distinctDataOffsets().empty())
+    return makeError("statement has no data taps; nothing to convolve");
+
+  Multistencil MS = Multistencil::build(Spec, Width);
+
+  // Register budget: 32 minus the reserved zero register, minus the 1.0
+  // register when a bare-coefficient term is present (paper §5.3), minus
+  // the dedicated accumulators when the fallback mode is in force.
+  bool NeedUnit = Spec.needsUnitRegister();
+  int Budget = Config.NumRegisters - 1 - (NeedUnit ? 1 : 0) -
+               (DedicatedAccumulators ? Width : 0);
+  std::optional<RingBufferPlan> Plan = RingBufferPlan::plan(MS, Budget);
+  if (!Plan)
+    return makeError(
+        "width-" + std::to_string(Width) + " multistencil would require " +
+        std::to_string(MS.naturalRegisterCount()) + " registers but only " +
+        std::to_string(Budget) + " are available");
+
+  RegisterAllocation Regs(MS, *Plan, NeedUnit);
+  WidthSchedule Sched(MS, Regs);
+  Sched.Width = Width;
+  Sched.DedicatedAccumulators = DedicatedAccumulators;
+
+  const int Zero = Regs.zeroRegister();
+  const int T = static_cast<int>(Spec.Taps.size());
+  const Offset Tag = MS.taggedOffset();
+  const int WriteDelay = Config.MulToAddCycles + Config.AddToWriteCycles;
+
+  //===--- Prologue: fill the ring buffers --------------------------------===//
+  // Element loaded at virtual step t0 < 0 sits at relative row
+  // (minRow - t0) when line 0 is processed.
+  for (int C = 0; C != MS.columnCount(); ++C) {
+    const MultistencilColumn &Col = MS.column(C);
+    for (int T0 = -(Col.extent() - 1); T0 <= -1; ++T0) {
+      int Reg = Regs.leadingEdgeRegister(C, T0);
+      Sched.Prologue.push_back(DynamicPart::load(
+          Reg, Col.minRow() - T0, Col.Dx, Col.SourceIndex));
+    }
+  }
+
+  //===--- Per-phase line schedules ---------------------------------------===//
+  const int U = Plan->UnrollFactor;
+  const int NumPairs = (Width + 1) / 2;
+
+  for (int Phase = 0; Phase != U; ++Phase) {
+    LineSchedule Line;
+
+    // 1. Leading-edge loads, left to right.
+    const int NumLoads = MS.columnCount();
+    for (int C = 0; C != MS.columnCount(); ++C)
+      Line.push_back(DynamicPart::load(Regs.leadingEdgeRegister(C, Phase),
+                                       MS.column(C).minRow(),
+                                       MS.column(C).Dx,
+                                       MS.column(C).SourceIndex));
+
+    // Accumulator register of each result this phase: the tagged cell
+    // of its own occurrence, or a dedicated register past the data
+    // block in the fallback mode.
+    std::vector<int> AccReg(Width);
+    for (int R = 0; R != Width; ++R)
+      AccReg[R] = DedicatedAccumulators
+                      ? Regs.registersUsed() + R
+                      : Regs.registerForElement(
+                            MS.columnIndexFor(MS.taggedSource(), Tag.Dx, R),
+                            Tag.Dy, Phase);
+
+    // 2. Build each result's tap order.
+    auto OrderedTapsFor = [&](int R) {
+      std::vector<OrderedTap> Taps;
+      Taps.reserve(T);
+      for (int I = 0; I != T; ++I) {
+        const Tap &TheTap = Spec.Taps[I];
+        OrderedTap O;
+        O.TapIndex = I;
+        O.HasData = TheTap.HasData;
+        O.At = TheTap.At;
+        O.ColumnIdx = 0;
+        O.IsFreshLoad = false;
+        O.Priority = 2;
+        if (TheTap.HasData) {
+          O.ColumnIdx =
+              MS.columnIndexFor(TheTap.SourceIndex, TheTap.At.Dx, R);
+          const MultistencilColumn &Col = MS.column(O.ColumnIdx);
+          O.IsFreshLoad = TheTap.At.Dy == Col.minRow();
+          // Own tagged cell first; the pair partner's tagged cell (one
+          // column to the right in pattern space) next.
+          bool IsTagSource = TheTap.SourceIndex == MS.taggedSource();
+          if (IsTagSource && TheTap.At == Tag)
+            O.Priority = 0;
+          else if (IsTagSource && (R & 1) == 0 && R + 1 < Width &&
+                   TheTap.At.Dy == Tag.Dy && TheTap.At.Dx == Tag.Dx + 1)
+            O.Priority = 1;
+        }
+        Taps.push_back(O);
+      }
+      std::stable_sort(Taps.begin(), Taps.end(),
+                       [](const OrderedTap &A, const OrderedTap &B) {
+                         if (A.Priority != B.Priority)
+                           return A.Priority < B.Priority;
+                         // Fresh loads later (load latency), earlier
+                         // columns first (loaded earlier).
+                         if (A.IsFreshLoad != B.IsFreshLoad)
+                           return !A.IsFreshLoad;
+                         return false;
+                       });
+      return Taps;
+    };
+
+    std::vector<std::vector<OrderedTap>> ResultTaps;
+    ResultTaps.reserve(Width);
+    for (int R = 0; R != Width; ++R)
+      ResultTaps.push_back(OrderedTapsFor(R));
+
+    // Fillers between loads and multiply-adds to cover the load latency
+    // of fresh elements read early in the multiply-add block.
+    int LoadGap = 0;
+    for (int R = 0; R != Width; ++R) {
+      for (int J = 0; J != T; ++J) {
+        const OrderedTap &O = ResultTaps[R][J];
+        if (!O.HasData || !O.IsFreshLoad)
+          continue;
+        long LoadCycle = O.ColumnIdx; // loads issue at cycles 0..C-1
+        long ReadCycle = NumLoads + 2L * T * (R / 2) + 2L * J + (R & 1);
+        long Needed = LoadCycle + Config.LoadLatencyCycles - ReadCycle;
+        LoadGap = std::max(LoadGap, static_cast<int>(Needed));
+      }
+    }
+    for (int I = 0; I != LoadGap; ++I)
+      Line.push_back(DynamicPart::filler(Zero));
+
+    // 3. Multiply-adds, two interleaved threads per pair of results.
+    for (int Pair = 0; Pair != NumPairs; ++Pair) {
+      int RA = 2 * Pair;
+      int RB = RA + 1;
+      bool HasB = RB < Width;
+      for (int J = 0; J != T; ++J) {
+        // Thread 0 (result RA).
+        {
+          const OrderedTap &O = ResultTaps[RA][J];
+          int MulReg = O.HasData
+                           ? Regs.registerForElement(O.ColumnIdx, O.At.Dy,
+                                                     Phase)
+                           : Regs.unitRegister();
+          Line.push_back(DynamicPart::madd(MulReg, AccReg[RA], Zero,
+                                           /*Thread=*/0, O.TapIndex, RA,
+                                           /*Start=*/J == 0,
+                                           /*End=*/J == T - 1));
+        }
+        // Thread 1 (result RB), or a filler to keep thread 0's chain on
+        // its every-other-cycle schedule.
+        if (HasB) {
+          const OrderedTap &O = ResultTaps[RB][J];
+          int MulReg = O.HasData
+                           ? Regs.registerForElement(O.ColumnIdx, O.At.Dy,
+                                                     Phase)
+                           : Regs.unitRegister();
+          Line.push_back(DynamicPart::madd(MulReg, AccReg[RB], Zero,
+                                           /*Thread=*/1, O.TapIndex, RB,
+                                           /*Start=*/J == 0,
+                                           /*End=*/J == T - 1));
+        } else {
+          Line.push_back(DynamicPart::filler(Zero));
+        }
+      }
+    }
+
+    // 4. Pipeline drain, then the consecutive stores.
+    long MaddBase = NumLoads + LoadGap;
+    long StoreBase = MaddBase + 2L * T * NumPairs;
+    int Drain = 0;
+    for (int R = 0; R != Width; ++R) {
+      long LastMadd = MaddBase + 2L * T * (R / 2) + 2L * (T - 1) + (R & 1);
+      long Needed = (LastMadd + WriteDelay) - (StoreBase + R);
+      Drain = std::max(Drain, static_cast<int>(Needed));
+    }
+    for (int I = 0; I != Drain; ++I)
+      Line.push_back(DynamicPart::filler(Zero));
+    for (int R = 0; R != Width; ++R)
+      Line.push_back(DynamicPart::store(AccReg[R], R));
+
+    Sched.Phases.push_back(std::move(Line));
+  }
+
+  // All phases have identical length (same structure, possibly differing
+  // only in register numbers).
+  for (const LineSchedule &L : Sched.Phases)
+    assert(L.size() == Sched.Phases.front().size() &&
+           "phases must have uniform length");
+
+  if (Sched.scratchPartsUsed() > Config.ScratchMemoryParts)
+    return makeError("width-" + std::to_string(Width) +
+                     " unrolled schedule needs " +
+                     std::to_string(Sched.scratchPartsUsed()) +
+                     " scratch-memory parts; the sequencer has " +
+                     std::to_string(Config.ScratchMemoryParts));
+  return Sched;
+}

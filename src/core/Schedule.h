@@ -1,0 +1,98 @@
+//===- core/Schedule.h - Dynamic-part schedule generation -----*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generates the per-line dynamic-part sequences for one multistencil
+/// width. Each line of w results is processed as (§5.3–5.4):
+///
+///   1. one leading-edge load per multistencil column (left to right),
+///      plus any fillers needed to cover the load latency;
+///   2. the multiply-adds, two results at a time as two interleaved
+///      chained threads (the WTL3164 accepts a chained multiply-add
+///      every other cycle per thread); result r accumulates into the
+///      register of the *tagged* cell of its own occurrence, which the
+///      pipeline frees just in time;
+///   3. fillers draining the pipeline so the last results have landed;
+///   4. w consecutive stores (avoiding memory-pipe direction reversals).
+///
+/// The register-access pattern repeats with period UnrollFactor, so
+/// UnrollFactor line variants are emitted — this is the paper's unrolled
+/// pattern kept in sequencer scratch memory. A prologue fills the ring
+/// buffers before the first line of each half-strip.
+///
+/// Within each result the taps are ordered so that reads of registers
+/// about to be overwritten (the accumulators of this result and of its
+/// pair partner) come first; the Verifier then proves every schedule
+/// correct against the pipeline timing, and widths whose schedules
+/// cannot be proven are simply not offered ("it is all right if some of
+/// these don't work").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMCC_CORE_SCHEDULE_H
+#define CMCC_CORE_SCHEDULE_H
+
+#include "cm2/Instruction.h"
+#include "cm2/MachineConfig.h"
+#include "core/RegisterAllocation.h"
+#include "stencil/StencilSpec.h"
+#include "support/Error.h"
+#include <vector>
+
+namespace cmcc {
+
+/// Everything needed to run one width's microcode: the register plan and
+/// the dynamic-part streams.
+struct WidthSchedule {
+  int Width = 1;
+  Multistencil MS{};
+  RegisterAllocation Regs;
+  /// True when results accumulate into dedicated registers instead of
+  /// the freed tagged data registers — the fallback for patterns whose
+  /// tagged cell is read too many times (three or more taps at the same
+  /// offset); costs Width extra registers ("in the general case even
+  /// more clever strategies may be required", §5.4).
+  bool DedicatedAccumulators = false;
+  /// Ring-buffer fill executed once at the start of each half-strip.
+  LineSchedule Prologue;
+  /// One line variant per phase (size = plan().UnrollFactor).
+  std::vector<LineSchedule> Phases;
+
+  WidthSchedule(Multistencil MS, RegisterAllocation Regs)
+      : MS(std::move(MS)), Regs(std::move(Regs)) {}
+
+  /// Dynamic parts per line for phase \p P (they all have equal length;
+  /// asserted in the builder).
+  int opsPerLine() const { return static_cast<int>(Phases.front().size()); }
+
+  /// Multiply-add operations per line (for the WTL3132 ablation, where
+  /// each multiply-add costs a separate multiply and add issue).
+  int maddsPerLine() const;
+
+  /// Sequencer scratch-memory footprint in dynamic parts.
+  int scratchPartsUsed() const;
+
+  /// Physical registers consumed.
+  int registersUsed() const {
+    return Regs.registersUsed() + (DedicatedAccumulators ? Width : 0);
+  }
+};
+
+/// Builds the schedule for \p Spec at \p Width under \p Config.
+/// Fails (with a paper-style explanation: lack of registers, scratch
+/// memory overflow) when the width is not realizable; the caller falls
+/// back to the next narrower width. With \p DedicatedAccumulators the
+/// tagged-register reuse is abandoned in favor of Width reserved
+/// accumulator registers (the fallback the compiler tries when the
+/// tagged schedule fails verification).
+Expected<WidthSchedule> buildWidthSchedule(const StencilSpec &Spec,
+                                           const MachineConfig &Config,
+                                           int Width,
+                                           bool DedicatedAccumulators = false);
+
+} // namespace cmcc
+
+#endif // CMCC_CORE_SCHEDULE_H

@@ -1,0 +1,62 @@
+//===- core/ScheduleIO.h - Compiled-stencil serialization -----*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A text serialization of compiled stencils (the ".cmccode" format).
+///
+/// In the paper's system the compiler's entire output is *data*: the
+/// register-access patterns (dynamic instruction parts) are computed at
+/// compile time and loaded into the sequencer's scratch memory at run
+/// time, where fixed microcode streams them. This module makes that
+/// split concrete — a stencil can be compiled once, written out, and
+/// later loaded and executed without the compiler. The loader
+/// revalidates everything: the op streams are re-verified against the
+/// pipeline model before they may run.
+///
+/// Format (line-oriented; '#' starts a comment):
+///
+///   cmccode 1
+///   machine registers 32
+///   stencil result R sources 2 X UPREV boundary circular zero
+///   tap data 0 -1 0 sign + coeff array C1
+///   tap bare sign - coeff scalar 0.5
+///   width 4 dedicated 0 unit 0
+///   sizes 1 3 5 5 5 5 3 1
+///   prologue 16
+///   L <reg> <dy> <dx> <src>
+///   ...
+///   phase 0 64
+///   M <mulreg> <destreg> <addreg> <thread> <tap> <result> <start> <end>
+///   S <reg> <result>
+///   F <zeroreg>
+///   ...
+///   end
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMCC_CORE_SCHEDULEIO_H
+#define CMCC_CORE_SCHEDULEIO_H
+
+#include "core/Compiler.h"
+#include "support/Error.h"
+#include <string>
+
+namespace cmcc {
+
+/// Serializes \p Compiled (all widths) to the .cmccode text format.
+std::string writeCompiledStencil(const CompiledStencil &Compiled,
+                                 const MachineConfig &Config);
+
+/// Parses a .cmccode document, reconstructing the compiled stencil. The
+/// register plans are rebuilt from the stored ring sizes and every op
+/// stream is checked against the stored counts and re-verified against
+/// the pipeline model under \p Config; any mismatch is an error.
+Expected<CompiledStencil> parseCompiledStencil(const std::string &Text,
+                                               const MachineConfig &Config);
+
+} // namespace cmcc
+
+#endif // CMCC_CORE_SCHEDULEIO_H

@@ -1,0 +1,80 @@
+//===- core/ScheduleStats.cpp ---------------------------------*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ScheduleStats.h"
+#include "support/StringUtils.h"
+
+using namespace cmcc;
+
+double ScheduleStats::usefulFlopsPerOp() const {
+  int Ops = opsPerLine();
+  return Ops == 0 ? 0.0 : static_cast<double>(UsefulFlopsPerLine) / Ops;
+}
+
+double ScheduleStats::maddFraction() const {
+  int Ops = opsPerLine();
+  return Ops == 0 ? 0.0 : static_cast<double>(MaddsPerLine) / Ops;
+}
+
+double ScheduleStats::peakFraction(const MachineConfig &Config) const {
+  // Peak is flopsPerMaddCycle useful flops every cycle; the inner loop
+  // delivers UsefulFlopsPerLine flops in opsPerLine dynamic parts, each
+  // costing SequencerCyclesPerOp cycles.
+  double CyclesPerLine = opsPerLine() * Config.SequencerCyclesPerOp;
+  if (Config.Fpu == FpuKind::WTL3132)
+    CyclesPerLine += MaddsPerLine * Config.SequencerCyclesPerOp;
+  if (CyclesPerLine == 0.0)
+    return 0.0;
+  double FlopsPerCycle = UsefulFlopsPerLine / CyclesPerLine;
+  return FlopsPerCycle / Config.flopsPerMaddCycle();
+}
+
+ScheduleStats ScheduleStats::analyze(const WidthSchedule &Sched,
+                                     const StencilSpec &Spec) {
+  ScheduleStats S;
+  S.Width = Sched.Width;
+  for (const DynamicPart &Op : Sched.Phases.front()) {
+    switch (Op.TheKind) {
+    case DynamicPart::Kind::Load:
+      ++S.LoadsPerLine;
+      break;
+    case DynamicPart::Kind::Madd:
+      ++S.MaddsPerLine;
+      break;
+    case DynamicPart::Kind::Store:
+      ++S.StoresPerLine;
+      break;
+    case DynamicPart::Kind::Filler:
+      ++S.FillersPerLine;
+      break;
+    }
+  }
+  S.PrologueOps = static_cast<int>(Sched.Prologue.size());
+  S.UnrollFactor = Sched.Regs.plan().UnrollFactor;
+  S.RegistersUsed = Sched.registersUsed();
+  S.ScratchParts = Sched.scratchPartsUsed();
+  S.UsefulFlopsPerLine = Sched.Width * Spec.usefulFlopsPerPoint();
+  return S;
+}
+
+std::string ScheduleStats::str(const MachineConfig &Config) const {
+  std::string Out;
+  Out += "width " + std::to_string(Width) + ": " +
+         std::to_string(opsPerLine()) + " ops/line (" +
+         std::to_string(LoadsPerLine) + " load, " +
+         std::to_string(MaddsPerLine) + " madd, " +
+         std::to_string(StoresPerLine) + " store, " +
+         std::to_string(FillersPerLine) + " filler)\n";
+  Out += "  registers " + std::to_string(RegistersUsed) + ", unroll " +
+         std::to_string(UnrollFactor) + ", scratch parts " +
+         std::to_string(ScratchParts) + ", prologue " +
+         std::to_string(PrologueOps) + " ops\n";
+  Out += "  useful flops: " + formatFixed(usefulFlopsPerOp(), 2) +
+         " per op, madd slots " + formatFixed(100 * maddFraction(), 1) +
+         "%, inner-loop ceiling " +
+         formatFixed(100 * peakFraction(Config), 1) + "% of peak\n";
+  return Out;
+}

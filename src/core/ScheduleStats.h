@@ -1,0 +1,67 @@
+//===- core/ScheduleStats.h - Static schedule analysis --------*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Static analysis of a generated width schedule: the op mix of one
+/// line, issue efficiency (useful flops per dynamic part), and the
+/// fraction of the machine's multiply-add peak the inner loop can
+/// sustain before per-line, strip, communication, and front-end
+/// overheads. This is the number the paper's whole design maximizes —
+/// wider multistencils exist exactly to raise it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMCC_CORE_SCHEDULESTATS_H
+#define CMCC_CORE_SCHEDULESTATS_H
+
+#include "cm2/MachineConfig.h"
+#include "core/Schedule.h"
+#include "stencil/StencilSpec.h"
+#include <string>
+
+namespace cmcc {
+
+/// Per-line static properties of one width's inner loop.
+struct ScheduleStats {
+  int Width = 0;
+  int LoadsPerLine = 0;
+  int MaddsPerLine = 0;
+  int StoresPerLine = 0;
+  int FillersPerLine = 0;
+  int PrologueOps = 0;
+  int UnrollFactor = 0;
+  int RegistersUsed = 0;
+  int ScratchParts = 0;
+  /// Useful flops produced by one line (Width * usefulFlopsPerPoint).
+  int UsefulFlopsPerLine = 0;
+
+  int opsPerLine() const {
+    return LoadsPerLine + MaddsPerLine + StoresPerLine + FillersPerLine;
+  }
+
+  /// Useful flops per issued dynamic part (the memory-bandwidth economy
+  /// of §5.3: wider multistencils amortize loads and stores).
+  double usefulFlopsPerOp() const;
+
+  /// Fraction of issue slots doing multiply-adds.
+  double maddFraction() const;
+
+  /// The inner loop's ceiling as a fraction of the machine's
+  /// multiply-add peak, accounting for the sequencer's cycles-per-op
+  /// and the wasted first add of every chain.
+  double peakFraction(const MachineConfig &Config) const;
+
+  /// Analyzes one width of a compiled stencil.
+  static ScheduleStats analyze(const WidthSchedule &Sched,
+                               const StencilSpec &Spec);
+
+  /// Multi-line human-readable summary.
+  std::string str(const MachineConfig &Config) const;
+};
+
+} // namespace cmcc
+
+#endif // CMCC_CORE_SCHEDULESTATS_H

@@ -1,0 +1,246 @@
+//===- core/Verifier.cpp --------------------------------------*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Verifier.h"
+#include "support/Assert.h"
+#include <algorithm>
+#include <vector>
+
+using namespace cmcc;
+
+namespace {
+
+/// A symbolic register value.
+struct SymVal {
+  enum class Kind : uint8_t {
+    Zero,    ///< The constant 0.0 (reset state / zero register).
+    One,     ///< The constant 1.0 (unit register).
+    Data,    ///< Source element at absolute (Row, Col).
+    Partial, ///< Partial or finished sum for (Line, Result).
+  };
+
+  Kind TheKind = Kind::Zero;
+  // Data: absolute position and source array. Lines are processed bottom
+  // to top; line t sits at absolute row -t, so element row = -t + dy.
+  int Source = 0;
+  int Row = 0, Col = 0;
+  // Partial: which result of which line, and which taps are folded in.
+  int Line = 0, Result = 0;
+  uint64_t TapsSeen = 0;
+  bool TapsDuplicated = false;
+
+  static SymVal zero() { return SymVal{}; }
+  static SymVal one() {
+    SymVal V;
+    V.TheKind = Kind::One;
+    return V;
+  }
+  static SymVal data(int Source, int Row, int Col) {
+    SymVal V;
+    V.TheKind = Kind::Data;
+    V.Source = Source;
+    V.Row = Row;
+    V.Col = Col;
+    return V;
+  }
+};
+
+/// Symbolic twin of the FloatingPointUnit's write pipeline.
+class SymbolicFpu {
+public:
+  SymbolicFpu(const MachineConfig &Config, int UnitReg)
+      : Config(Config) {
+    Registers.assign(64, SymVal::zero());
+    if (UnitReg >= 0)
+      Registers[UnitReg] = SymVal::one();
+  }
+
+  SymVal read(int Reg) { return Registers[Reg]; }
+
+  void applyUpTo(long Cycle) {
+    size_t Kept = 0;
+    for (auto &W : Pending) {
+      if (W.Cycle <= Cycle)
+        Registers[W.Reg] = W.Value;
+      else
+        Pending[Kept++] = W;
+    }
+    Pending.resize(Kept);
+  }
+
+  void scheduleWrite(long Cycle, int Reg, SymVal Value) {
+    Pending.push_back({Cycle, Reg, Value});
+  }
+
+  long CycleNow = 0;
+  const MachineConfig &Config;
+
+private:
+  struct PendingWrite {
+    long Cycle;
+    int Reg;
+    SymVal Value;
+  };
+  std::vector<SymVal> Registers;
+  std::vector<PendingWrite> Pending;
+};
+
+} // namespace
+
+Error cmcc::verifySchedule(const WidthSchedule &Sched,
+                           const StencilSpec &Spec,
+                           const MachineConfig &Config) {
+  const int T = static_cast<int>(Spec.Taps.size());
+  if (T > 63)
+    return makeError("verifier supports at most 63 taps");
+  const uint64_t AllTaps = (uint64_t(1) << T) - 1;
+  const int Regs = Config.NumRegisters;
+  const int Zero = Sched.Regs.zeroRegister();
+  const int Unit =
+      Sched.Regs.hasUnitRegister() ? Sched.Regs.unitRegister() : -1;
+  const int WriteDelay = Config.MulToAddCycles + Config.AddToWriteCycles;
+  const int U = static_cast<int>(Sched.Phases.size());
+
+  // Enough lines to cover the unroll period twice plus the deepest ring.
+  int MaxExtent = 1;
+  for (const MultistencilColumn &C : Sched.MS.columns())
+    MaxExtent = std::max(MaxExtent, C.extent());
+  const int LinesToCheck = 2 * U + MaxExtent + 2;
+
+  SymbolicFpu Fpu(Config, Unit);
+  // Running chain state per thread.
+  SymVal ChainSum[2] = {SymVal::zero(), SymVal::zero()};
+  bool ChainOpen[2] = {false, false};
+  long LastChainIssue[2] = {-1, -1};
+
+  auto CheckCommon = [&](const DynamicPart &Op) -> Error {
+    if (Op.DestReg >= Regs || Op.MulReg >= Regs || Op.AddReg >= Regs)
+      return makeError("register number out of range in: " + Op.str());
+    if (Op.TheKind != DynamicPart::Kind::Store &&
+        Op.DestReg == static_cast<uint8_t>(Zero) &&
+        Op.TheKind != DynamicPart::Kind::Filler)
+      return makeError("non-filler writes the zero register: " + Op.str());
+    if (Unit >= 0 && Op.DestReg == static_cast<uint8_t>(Unit) &&
+        Op.TheKind != DynamicPart::Kind::Store)
+      return makeError("operation writes the 1.0 register: " + Op.str());
+    return Error::success();
+  };
+
+  auto RunSequence = [&](const LineSchedule &Ops, int Line) -> Error {
+    for (const DynamicPart &Op : Ops) {
+      long Cycle = Fpu.CycleNow++;
+      Fpu.applyUpTo(Cycle);
+      if (Error E = CheckCommon(Op))
+        return E;
+      switch (Op.TheKind) {
+      case DynamicPart::Kind::Load: {
+        // Loads never clobber an open chain's accumulator register in
+        // our schedules; data correctness is checked at the reads.
+        SymVal V =
+            SymVal::data(Op.DataSource, -Line + Op.DataDy, Op.DataDx);
+        Fpu.scheduleWrite(Cycle + Config.LoadLatencyCycles, Op.DestReg, V);
+        break;
+      }
+      case DynamicPart::Kind::Madd: {
+        int Thread = Op.ThreadId & 1;
+        if (Op.TapIndex < 0 || Op.TapIndex >= T)
+          return makeError("madd has invalid tap index: " + Op.str());
+        const Tap &TheTap = Spec.Taps[Op.TapIndex];
+        SymVal Mul = Fpu.read(Op.MulReg);
+        if (TheTap.HasData) {
+          int WantRow = -Line + TheTap.At.Dy;
+          int WantCol = TheTap.At.Dx + Op.ResultIndex;
+          if (Mul.TheKind != SymVal::Kind::Data ||
+              Mul.Source != TheTap.SourceIndex || Mul.Row != WantRow ||
+              Mul.Col != WantCol)
+            return makeError("line " + std::to_string(Line) + ": " +
+                             Op.str() + " reads the wrong value (wanted "
+                             "data element (" + std::to_string(WantRow) +
+                             "," + std::to_string(WantCol) + "))");
+        } else if (Mul.TheKind != SymVal::Kind::One) {
+          return makeError("line " + std::to_string(Line) + ": " +
+                           Op.str() +
+                           " should multiply the 1.0 register");
+        }
+        // A thread's chained multiply-adds must issue exactly every
+        // other cycle: the add of the op issued at k starts at k+2,
+        // just as the next op of the same thread supplies its operand.
+        if (!Op.ChainStart && LastChainIssue[Thread] >= 0 &&
+            Cycle - LastChainIssue[Thread] != Config.MulToAddCycles)
+          return makeError("chained madd off its every-other-cycle slot: " +
+                           Op.str());
+        LastChainIssue[Thread] = Cycle;
+        SymVal Sum;
+        if (Op.ChainStart) {
+          if (ChainOpen[Thread])
+            return makeError("chain restarted while open: " + Op.str());
+          SymVal Add = Fpu.read(Op.AddReg);
+          if (Add.TheKind != SymVal::Kind::Zero)
+            return makeError("chain start does not add zero: " + Op.str());
+          Sum.TheKind = SymVal::Kind::Partial;
+          Sum.Line = Line;
+          Sum.Result = Op.ResultIndex;
+          Sum.TapsSeen = 0;
+          ChainOpen[Thread] = true;
+        } else {
+          Sum = ChainSum[Thread];
+          if (!ChainOpen[Thread] || Sum.TheKind != SymVal::Kind::Partial)
+            return makeError("madd chains with no open chain: " + Op.str());
+          if (Sum.Line != Line || Sum.Result != Op.ResultIndex)
+            return makeError("madd chains into the wrong result: " +
+                             Op.str());
+        }
+        uint64_t Bit = uint64_t(1) << Op.TapIndex;
+        if (Sum.TapsSeen & Bit)
+          Sum.TapsDuplicated = true;
+        Sum.TapsSeen |= Bit;
+        ChainSum[Thread] = Sum;
+        if (Op.ChainEnd)
+          ChainOpen[Thread] = false;
+        Fpu.scheduleWrite(Cycle + WriteDelay, Op.DestReg, Sum);
+        break;
+      }
+      case DynamicPart::Kind::Store: {
+        SymVal V = Fpu.read(Op.MulReg);
+        if (V.TheKind != SymVal::Kind::Partial || V.Line != Line ||
+            V.Result != Op.ResultIndex)
+          return makeError("line " + std::to_string(Line) + ": " +
+                           Op.str() + " does not read its finished result");
+        if (V.TapsSeen != AllTaps || V.TapsDuplicated)
+          return makeError("line " + std::to_string(Line) + ": " +
+                           Op.str() +
+                           " stores a sum with missing or duplicated taps");
+        break;
+      }
+      case DynamicPart::Kind::Filler: {
+        // Fillers are legal even while a chain is open: they occupy the
+        // other interleave slot (a one-result tail pairs its chain with
+        // fillers). Chain integrity is guaranteed by the exact
+        // every-other-cycle spacing check on chained madds above.
+        if (Op.MulReg != static_cast<uint8_t>(Zero) ||
+            Op.AddReg != static_cast<uint8_t>(Zero) ||
+            Op.DestReg != static_cast<uint8_t>(Zero))
+          return makeError("filler must use only the zero register: " +
+                           Op.str());
+        SymVal Z = Fpu.read(Op.MulReg);
+        if (Z.TheKind != SymVal::Kind::Zero)
+          return makeError("zero register corrupted before filler: " +
+                           Op.str());
+        Fpu.scheduleWrite(Cycle + WriteDelay, Op.DestReg, SymVal::zero());
+        break;
+      }
+      }
+    }
+    return Error::success();
+  };
+
+  if (Error E = RunSequence(Sched.Prologue, /*Line=*/0))
+    return E;
+  for (int Line = 0; Line != LinesToCheck; ++Line)
+    if (Error E = RunSequence(Sched.Phases[Line % U], Line))
+      return E;
+  return Error::success();
+}

@@ -1,0 +1,46 @@
+//===- core/Verifier.h - Symbolic schedule verification -------*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Proves a generated WidthSchedule correct against the WTL3164 pipeline
+/// timing by symbolic execution: every register holds a tagged symbolic
+/// value (zero, one, a specific data element, or a partial sum), writes
+/// land with the same delays the hardware imposes (multiply at k → add at
+/// k+2 → register at k+4; loads land after the interface-chip latency),
+/// and the verifier checks that
+///
+///   * every multiply-add reads exactly the data element its tap calls
+///     for (so the "freed just in time" accumulator reuse is sound),
+///   * every chain start reads a true zero and every store reads the
+///     finished sum containing each tap exactly once,
+///   * fillers touch only the zero register and never appear inside a
+///     chain, and register numbers stay within the machine.
+///
+/// Lines are assumed issued back to back, which is *stricter* than the
+/// real microcode (the end-of-line branch adds slack), so a schedule that
+/// verifies here is safe on the modeled machine. The compiler discards
+/// any width whose schedule fails — the paper's "it is all right if some
+/// of these don't work".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMCC_CORE_VERIFIER_H
+#define CMCC_CORE_VERIFIER_H
+
+#include "cm2/MachineConfig.h"
+#include "core/Schedule.h"
+#include "support/Error.h"
+
+namespace cmcc {
+
+/// Verifies \p Sched (built for \p Spec under \p Config). Returns a
+/// failure describing the first violation, or success.
+Error verifySchedule(const WidthSchedule &Sched, const StencilSpec &Spec,
+                     const MachineConfig &Config);
+
+} // namespace cmcc
+
+#endif // CMCC_CORE_VERIFIER_H

@@ -1,0 +1,20 @@
+//===- fortran/Ast.cpp ----------------------------------------*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fortran/Ast.h"
+
+using namespace cmcc;
+using namespace cmcc::fortran;
+
+// Out-of-line virtual method anchor (LLVM rule: avoid vtable duplication).
+Expr::~Expr() = default;
+
+const ArrayDecl *Subroutine::findDeclaration(const std::string &Name) const {
+  for (const ArrayDecl &D : Declarations)
+    if (D.Name == Name)
+      return &D;
+  return nullptr;
+}

@@ -1,0 +1,209 @@
+//===- fortran/Ast.h - AST for the stencil Fortran subset -----*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Abstract syntax for the subset the convolution compiler processes:
+/// whole-array assignment statements whose right-hand sides are built from
+/// +, -, *, real literals, whole-array references, and CSHIFT/EOSHIFT
+/// applications, optionally wrapped in SUBROUTINE units with
+/// REAL, ARRAY(:,:) declarations.
+///
+/// The hierarchy uses LLVM-style kind tags with classof so that isa<> /
+/// cast<> / dyn_cast<>-style helpers work without C++ RTTI.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMCC_FORTRAN_AST_H
+#define CMCC_FORTRAN_AST_H
+
+#include "support/Assert.h"
+#include "support/SourceLocation.h"
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace cmcc {
+namespace fortran {
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+/// Base class of all expressions.
+class Expr {
+public:
+  enum class Kind {
+    ArrayName,
+    RealLiteral,
+    Unary,
+    Binary,
+    ShiftCall,
+  };
+
+  virtual ~Expr();
+
+  Kind kind() const { return TheKind; }
+  SourceLocation location() const { return Location; }
+
+protected:
+  Expr(Kind K, SourceLocation Loc) : TheKind(K), Location(Loc) {}
+
+private:
+  Kind TheKind;
+  SourceLocation Location;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// Checked downcast in the spirit of llvm::cast.
+template <typename T> const T &exprCast(const Expr &E) {
+  assert(T::classof(&E) && "exprCast to wrong expression kind");
+  return static_cast<const T &>(E);
+}
+
+/// Conditional downcast in the spirit of llvm::dyn_cast.
+template <typename T> const T *exprDynCast(const Expr *E) {
+  return E && T::classof(E) ? static_cast<const T *>(E) : nullptr;
+}
+
+/// A whole-array reference (a bare identifier).
+class ArrayNameExpr : public Expr {
+public:
+  ArrayNameExpr(SourceLocation Loc, std::string Name)
+      : Expr(Kind::ArrayName, Loc), Name(std::move(Name)) {}
+
+  const std::string &name() const { return Name; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::ArrayName; }
+
+private:
+  std::string Name;
+};
+
+/// A real (or integer, widened) literal constant.
+class RealLiteralExpr : public Expr {
+public:
+  RealLiteralExpr(SourceLocation Loc, double Value)
+      : Expr(Kind::RealLiteral, Loc), Value(Value) {}
+
+  double value() const { return Value; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::RealLiteral; }
+
+private:
+  double Value;
+};
+
+/// Unary '+' or '-'.
+class UnaryExpr : public Expr {
+public:
+  enum class Op { Plus, Minus };
+
+  UnaryExpr(SourceLocation Loc, Op TheOp, ExprPtr Operand)
+      : Expr(Kind::Unary, Loc), TheOp(TheOp), Operand(std::move(Operand)) {}
+
+  Op op() const { return TheOp; }
+  const Expr &operand() const { return *Operand; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Unary; }
+
+private:
+  Op TheOp;
+  ExprPtr Operand;
+};
+
+/// Binary '+', '-', or '*'.
+class BinaryExpr : public Expr {
+public:
+  enum class Op { Add, Sub, Mul };
+
+  BinaryExpr(SourceLocation Loc, Op TheOp, ExprPtr Lhs, ExprPtr Rhs)
+      : Expr(Kind::Binary, Loc), TheOp(TheOp), Lhs(std::move(Lhs)),
+        Rhs(std::move(Rhs)) {}
+
+  Op op() const { return TheOp; }
+  const Expr &lhs() const { return *Lhs; }
+  const Expr &rhs() const { return *Rhs; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Binary; }
+
+private:
+  Op TheOp;
+  ExprPtr Lhs, Rhs;
+};
+
+/// A CSHIFT or EOSHIFT application.
+///
+/// Following the paper's grammar, the argument order is
+/// (array-expression, DIM, SHIFT); DIM and SHIFT may also be given as
+/// keyword arguments in either order. Both must be integer constants.
+class ShiftCallExpr : public Expr {
+public:
+  enum class ShiftKind {
+    Circular, ///< CSHIFT: wraparound boundary.
+    EndOff,   ///< EOSHIFT: zero boundary.
+  };
+
+  ShiftCallExpr(SourceLocation Loc, ShiftKind TheShiftKind, ExprPtr Array,
+                int Dim, int Shift)
+      : Expr(Kind::ShiftCall, Loc), TheShiftKind(TheShiftKind),
+        Array(std::move(Array)), Dim(Dim), Shift(Shift) {}
+
+  ShiftKind shiftKind() const { return TheShiftKind; }
+  const Expr &array() const { return *Array; }
+  /// The DIM argument: 1 (rows) or 2 (columns).
+  int dim() const { return Dim; }
+  /// The SHIFT argument (may be negative).
+  int shift() const { return Shift; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::ShiftCall; }
+
+private:
+  ShiftKind TheShiftKind;
+  ExprPtr Array;
+  int Dim;
+  int Shift;
+};
+
+//===----------------------------------------------------------------------===//
+// Statements and declarations
+//===----------------------------------------------------------------------===//
+
+/// A whole-array assignment statement "R = expr".
+struct AssignmentStmt {
+  SourceLocation Location;
+  std::string Target;
+  ExprPtr Value;
+  /// True when the statement was flagged with the "!CMCC$ STENCIL"
+  /// structured comment (§6): the compiler then reports a warning if
+  /// the statement cannot be processed by the convolution technique.
+  bool Flagged = false;
+};
+
+/// One declared array: "REAL, ARRAY(:,:) :: NAME" gives rank 2.
+struct ArrayDecl {
+  SourceLocation Location;
+  std::string Name;
+  unsigned Rank = 0;
+};
+
+/// A SUBROUTINE unit of the restricted form the paper's second prototype
+/// accepts: parameters, REAL array declarations, assignment statements.
+struct Subroutine {
+  SourceLocation Location;
+  std::string Name;
+  std::vector<std::string> Parameters;
+  std::vector<ArrayDecl> Declarations;
+  std::vector<AssignmentStmt> Body;
+
+  /// Returns the declaration for \p Name, or nullptr.
+  const ArrayDecl *findDeclaration(const std::string &Name) const;
+};
+
+} // namespace fortran
+} // namespace cmcc
+
+#endif // CMCC_FORTRAN_AST_H

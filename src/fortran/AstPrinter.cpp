@@ -1,0 +1,95 @@
+//===- fortran/AstPrinter.cpp ---------------------------------*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fortran/AstPrinter.h"
+#include "support/Assert.h"
+#include "support/StringUtils.h"
+
+using namespace cmcc;
+using namespace cmcc::fortran;
+
+namespace {
+
+/// Precedence levels: additive < multiplicative < unary/primary.
+enum Precedence { PrecAdd = 1, PrecMul = 2, PrecUnary = 3 };
+
+std::string printWithPrecedence(const Expr &E, int Minimum);
+
+std::string printImpl(const Expr &E, int &OutPrec) {
+  switch (E.kind()) {
+  case Expr::Kind::ArrayName:
+    OutPrec = PrecUnary;
+    return exprCast<ArrayNameExpr>(E).name();
+  case Expr::Kind::RealLiteral: {
+    OutPrec = PrecUnary;
+    double V = exprCast<RealLiteralExpr>(E).value();
+    if (V == static_cast<long>(V))
+      return std::to_string(static_cast<long>(V)) + ".0";
+    return formatFixed(V, 6);
+  }
+  case Expr::Kind::Unary: {
+    const auto &U = exprCast<UnaryExpr>(E);
+    OutPrec = PrecUnary;
+    const char *Sign = U.op() == UnaryExpr::Op::Minus ? "-" : "+";
+    return Sign + printWithPrecedence(U.operand(), PrecUnary);
+  }
+  case Expr::Kind::Binary: {
+    const auto &B = exprCast<BinaryExpr>(E);
+    const char *OpText = "";
+    int Prec = PrecAdd;
+    switch (B.op()) {
+    case BinaryExpr::Op::Add:
+      OpText = " + ";
+      Prec = PrecAdd;
+      break;
+    case BinaryExpr::Op::Sub:
+      OpText = " - ";
+      Prec = PrecAdd;
+      break;
+    case BinaryExpr::Op::Mul:
+      OpText = " * ";
+      Prec = PrecMul;
+      break;
+    }
+    OutPrec = Prec;
+    // Right operand of '-' needs the next tighter level to stay correct.
+    int RhsMin = B.op() == BinaryExpr::Op::Sub ? Prec + 1 : Prec;
+    return printWithPrecedence(B.lhs(), Prec) + OpText +
+           printWithPrecedence(B.rhs(), RhsMin);
+  }
+  case Expr::Kind::ShiftCall: {
+    const auto &S = exprCast<ShiftCallExpr>(E);
+    OutPrec = PrecUnary;
+    std::string Out =
+        S.shiftKind() == ShiftCallExpr::ShiftKind::Circular ? "CSHIFT("
+                                                            : "EOSHIFT(";
+    Out += printWithPrecedence(S.array(), 0);
+    Out += ", " + std::to_string(S.dim());
+    Out += ", " + std::to_string(S.shift());
+    Out += ")";
+    return Out;
+  }
+  }
+  CMCC_UNREACHABLE("unknown expression kind");
+}
+
+std::string printWithPrecedence(const Expr &E, int Minimum) {
+  int Prec = 0;
+  std::string Text = printImpl(E, Prec);
+  if (Prec < Minimum)
+    return "(" + Text + ")";
+  return Text;
+}
+
+} // namespace
+
+std::string cmcc::fortran::printExpr(const Expr &E) {
+  return printWithPrecedence(E, 0);
+}
+
+std::string cmcc::fortran::printAssignment(const AssignmentStmt &S) {
+  return S.Target + " = " + printExpr(*S.Value);
+}

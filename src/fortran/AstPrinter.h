@@ -1,0 +1,32 @@
+//===- fortran/AstPrinter.h - AST dumping ---------------------*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders expressions and statements back to a canonical one-line Fortran
+/// spelling, for diagnostics and tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMCC_FORTRAN_ASTPRINTER_H
+#define CMCC_FORTRAN_ASTPRINTER_H
+
+#include "fortran/Ast.h"
+#include <string>
+
+namespace cmcc {
+namespace fortran {
+
+/// Renders \p E with explicit parentheses around binary subexpressions
+/// where precedence requires them.
+std::string printExpr(const Expr &E);
+
+/// Renders "TARGET = expr".
+std::string printAssignment(const AssignmentStmt &S);
+
+} // namespace fortran
+} // namespace cmcc
+
+#endif // CMCC_FORTRAN_ASTPRINTER_H

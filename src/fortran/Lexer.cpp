@@ -1,0 +1,260 @@
+//===- fortran/Lexer.cpp --------------------------------------*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fortran/Lexer.h"
+#include "support/StringUtils.h"
+#include <cassert>
+#include <cctype>
+#include <cstdlib>
+
+using namespace cmcc;
+using namespace cmcc::fortran;
+
+char Lexer::advance() {
+  char C = Source[Pos++];
+  if (C == '\n') {
+    ++Line;
+    Column = 1;
+  } else {
+    ++Column;
+  }
+  return C;
+}
+
+void Lexer::skipHorizontalSpaceAndComments() {
+  while (!atEnd()) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\r') {
+      advance();
+      continue;
+    }
+    if (C == '!') {
+      // "!CMCC$ ..." is a structured-comment directive, not blank space.
+      if (isDirectiveAhead())
+        break;
+      while (!atEnd() && peek() != '\n')
+        advance();
+      continue;
+    }
+    break;
+  }
+}
+
+bool Lexer::isDirectiveAhead() const {
+  static const char Sentinel[] = "!CMCC$";
+  for (size_t I = 0; Sentinel[I] != '\0'; ++I) {
+    char C = peek(I);
+    if (std::toupper(static_cast<unsigned char>(C)) != Sentinel[I])
+      return false;
+  }
+  return true;
+}
+
+Token Lexer::lexDirective() {
+  SourceLocation Loc = here();
+  for (int I = 0; I != 6; ++I)
+    advance(); // The "!CMCC$" sentinel.
+  std::string Text;
+  while (!atEnd() && peek() != '\n')
+    Text.push_back(advance());
+  Token T = makeToken(TokenKind::Directive, Loc,
+                      toUpper(std::string(trim(Text))));
+  return T;
+}
+
+bool Lexer::consumeContinuation() {
+  assert(peek() == '&' && "continuation must start at '&'");
+  advance(); // the '&'
+  skipHorizontalSpaceAndComments();
+  if (atEnd())
+    return true; // '&' at end of file: treat as harmless.
+  if (peek() != '\n')
+    return false;
+  advance(); // the newline
+  // The continued line may begin with another '&'.
+  skipHorizontalSpaceAndComments();
+  if (!atEnd() && peek() == '&')
+    advance();
+  return true;
+}
+
+Token Lexer::makeToken(TokenKind Kind, SourceLocation Loc,
+                       std::string Spelling) {
+  Token T;
+  T.Kind = Kind;
+  T.Location = Loc;
+  T.Spelling = std::move(Spelling);
+  return T;
+}
+
+Token Lexer::lexNumber() {
+  SourceLocation Loc = here();
+  std::string Text;
+  bool SawDot = false;
+  bool SawExponent = false;
+  while (!atEnd()) {
+    char C = peek();
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      Text.push_back(advance());
+      continue;
+    }
+    if (C == '.' && !SawDot && !SawExponent &&
+        std::isdigit(static_cast<unsigned char>(peek(1)))) {
+      SawDot = true;
+      Text.push_back(advance());
+      continue;
+    }
+    // Trailing dot as in "1." is also legal Fortran.
+    if (C == '.' && !SawDot && !SawExponent) {
+      char After = peek(1);
+      if (!std::isalpha(static_cast<unsigned char>(After))) {
+        SawDot = true;
+        Text.push_back(advance());
+        continue;
+      }
+    }
+    if ((C == 'e' || C == 'E' || C == 'd' || C == 'D') && !SawExponent &&
+        (std::isdigit(static_cast<unsigned char>(peek(1))) ||
+         ((peek(1) == '+' || peek(1) == '-') &&
+          std::isdigit(static_cast<unsigned char>(peek(2)))))) {
+      SawExponent = true;
+      advance();
+      Text.push_back('e'); // Normalize 'D' exponents for strtod.
+      if (peek() == '+' || peek() == '-')
+        Text.push_back(advance());
+      continue;
+    }
+    break;
+  }
+
+  if (SawDot || SawExponent) {
+    Token T = makeToken(TokenKind::RealLiteral, Loc, Text);
+    T.RealValue = std::strtod(Text.c_str(), nullptr);
+    return T;
+  }
+  Token T = makeToken(TokenKind::IntegerLiteral, Loc, Text);
+  T.IntegerValue = std::strtol(Text.c_str(), nullptr, 10);
+  T.RealValue = static_cast<double>(T.IntegerValue);
+  return T;
+}
+
+Token Lexer::lexIdentifier() {
+  SourceLocation Loc = here();
+  std::string Text;
+  while (!atEnd()) {
+    char C = peek();
+    if (std::isalnum(static_cast<unsigned char>(C)) || C == '_') {
+      Text.push_back(advance());
+      continue;
+    }
+    break;
+  }
+  std::string Upper = toUpper(Text);
+  TokenKind Kind = TokenKind::Identifier;
+  if (Upper == "SUBROUTINE")
+    Kind = TokenKind::KwSubroutine;
+  else if (Upper == "END")
+    Kind = TokenKind::KwEnd;
+  else if (Upper == "REAL")
+    Kind = TokenKind::KwReal;
+  else if (Upper == "ARRAY")
+    Kind = TokenKind::KwArray;
+  else if (Upper == "DIMENSION")
+    Kind = TokenKind::KwDimension;
+  return makeToken(Kind, Loc, std::move(Upper));
+}
+
+Token Lexer::lexToken() {
+  while (true) {
+    skipHorizontalSpaceAndComments();
+    if (atEnd())
+      return makeToken(TokenKind::EndOfFile, here(), "");
+    char C = peek();
+    if (C == '&') {
+      SourceLocation Loc = here();
+      if (!consumeContinuation()) {
+        Diags.error(Loc, "'&' continuation must end its line");
+        // Skip to end of line to recover.
+        while (!atEnd() && peek() != '\n')
+          advance();
+      }
+      continue;
+    }
+    if (C == '\n') {
+      SourceLocation Loc = here();
+      advance();
+      return makeToken(TokenKind::EndOfStatement, Loc, "\\n");
+    }
+    break;
+  }
+
+  SourceLocation Loc = here();
+  char C = peek();
+  if (C == '!')
+    return lexDirective();
+  if (std::isdigit(static_cast<unsigned char>(C)))
+    return lexNumber();
+  // A '.' starting a real literal like ".5".
+  if (C == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+    std::string Text = "0";
+    Token T;
+    advance();
+    Text.push_back('.');
+    while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+      Text.push_back(advance());
+    T = makeToken(TokenKind::RealLiteral, Loc, Text);
+    T.RealValue = std::strtod(Text.c_str(), nullptr);
+    return T;
+  }
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_')
+    return lexIdentifier();
+
+  advance();
+  switch (C) {
+  case '+':
+    return makeToken(TokenKind::Plus, Loc, "+");
+  case '-':
+    return makeToken(TokenKind::Minus, Loc, "-");
+  case '*':
+    return makeToken(TokenKind::Star, Loc, "*");
+  case '(':
+    return makeToken(TokenKind::LParen, Loc, "(");
+  case ')':
+    return makeToken(TokenKind::RParen, Loc, ")");
+  case ',':
+    return makeToken(TokenKind::Comma, Loc, ",");
+  case '=':
+    return makeToken(TokenKind::Equal, Loc, "=");
+  case ':':
+    if (peek() == ':') {
+      advance();
+      return makeToken(TokenKind::DoubleColon, Loc, "::");
+    }
+    return makeToken(TokenKind::Colon, Loc, ":");
+  case ';':
+    // Fortran permits ';' as a statement separator on one line.
+    return makeToken(TokenKind::EndOfStatement, Loc, ";");
+  default:
+    Diags.error(Loc, std::string("unexpected character '") + C + "'");
+    return lexToken();
+  }
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Tokens;
+  while (true) {
+    Token T = lexToken();
+    // Collapse runs of statement separators and drop leading ones.
+    if (T.is(TokenKind::EndOfStatement) &&
+        (Tokens.empty() || Tokens.back().is(TokenKind::EndOfStatement)))
+      continue;
+    bool Done = T.is(TokenKind::EndOfFile);
+    Tokens.push_back(std::move(T));
+    if (Done)
+      break;
+  }
+  return Tokens;
+}

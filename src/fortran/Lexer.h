@@ -1,0 +1,71 @@
+//===- fortran/Lexer.h - Free-form Fortran lexer --------------*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lexer for the free-form Fortran 90 subset. Handles '!' comments, '&'
+/// line continuations (with the optional leading '&' on the continued
+/// line), case-insensitive keywords, and integer/real literals.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMCC_FORTRAN_LEXER_H
+#define CMCC_FORTRAN_LEXER_H
+
+#include "fortran/Token.h"
+#include "support/Diagnostic.h"
+#include <string_view>
+#include <vector>
+
+namespace cmcc {
+namespace fortran {
+
+/// Converts a source buffer into a token stream.
+///
+/// The lexer is run eagerly; lexical errors (bad characters, malformed
+/// literals) are reported through the DiagnosticEngine and the offending
+/// character skipped, so the parser always sees a well-formed stream that
+/// ends with EndOfFile.
+class Lexer {
+public:
+  Lexer(std::string_view Source, DiagnosticEngine &Diags)
+      : Source(Source), Diags(Diags) {}
+
+  /// Lexes the whole buffer. Consecutive statement separators are
+  /// collapsed; an EndOfFile token is always last.
+  std::vector<Token> lexAll();
+
+private:
+  Token lexToken();
+  Token makeToken(TokenKind Kind, SourceLocation Loc, std::string Spelling);
+  Token lexNumber();
+  Token lexIdentifier();
+  Token lexDirective();
+  /// True when the upcoming comment is a "!CMCC$" directive.
+  bool isDirectiveAhead() const;
+  void skipHorizontalSpaceAndComments();
+  /// Consumes a '&' continuation: skips to and over the newline (and an
+  /// optional leading '&' on the next line). Returns false if the '&' is
+  /// not followed by a newline.
+  bool consumeContinuation();
+
+  char peek(size_t Ahead = 0) const {
+    return Pos + Ahead < Source.size() ? Source[Pos + Ahead] : '\0';
+  }
+  char advance();
+  bool atEnd() const { return Pos >= Source.size(); }
+  SourceLocation here() const { return {Line, Column}; }
+
+  std::string_view Source;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  unsigned Line = 1;
+  unsigned Column = 1;
+};
+
+} // namespace fortran
+} // namespace cmcc
+
+#endif // CMCC_FORTRAN_LEXER_H

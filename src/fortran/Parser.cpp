@@ -1,0 +1,400 @@
+//===- fortran/Parser.cpp -------------------------------------*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fortran/Parser.h"
+#include "fortran/Lexer.h"
+#include "support/Assert.h"
+
+using namespace cmcc;
+using namespace cmcc::fortran;
+
+const Token &Parser::peek(size_t Ahead) const {
+  size_t I = Pos + Ahead;
+  if (I >= Tokens.size())
+    I = Tokens.size() - 1; // The stream always ends with EndOfFile.
+  return Tokens[I];
+}
+
+const Token &Parser::advance() {
+  const Token &T = Tokens[Pos];
+  if (Pos + 1 < Tokens.size())
+    ++Pos;
+  return T;
+}
+
+bool Parser::consumeIf(TokenKind Kind) {
+  if (!peek().is(Kind))
+    return false;
+  advance();
+  return true;
+}
+
+void Parser::error(const Token &At, std::string Message) {
+  Diags.error(At.Location, std::move(Message));
+}
+
+bool Parser::expect(TokenKind Kind, const char *Context) {
+  if (consumeIf(Kind))
+    return true;
+  error(peek(), std::string("expected ") + tokenKindName(Kind) + " " +
+                    Context + ", found " + tokenKindName(peek().Kind));
+  return false;
+}
+
+void Parser::skipToEndOfStatement() {
+  while (!peek().is(TokenKind::EndOfStatement) &&
+         !peek().is(TokenKind::EndOfFile))
+    advance();
+  consumeIf(TokenKind::EndOfStatement);
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+ExprPtr Parser::parseExpr() { return parseAdditive(); }
+
+ExprPtr Parser::parseAdditive() {
+  ExprPtr Lhs = parseMultiplicative();
+  if (!Lhs)
+    return nullptr;
+  while (peek().is(TokenKind::Plus) || peek().is(TokenKind::Minus)) {
+    const Token &OpTok = advance();
+    BinaryExpr::Op Op = OpTok.is(TokenKind::Plus) ? BinaryExpr::Op::Add
+                                                  : BinaryExpr::Op::Sub;
+    ExprPtr Rhs = parseMultiplicative();
+    if (!Rhs)
+      return nullptr;
+    Lhs = std::make_unique<BinaryExpr>(OpTok.Location, Op, std::move(Lhs),
+                                       std::move(Rhs));
+  }
+  return Lhs;
+}
+
+ExprPtr Parser::parseMultiplicative() {
+  ExprPtr Lhs = parseUnary();
+  if (!Lhs)
+    return nullptr;
+  while (peek().is(TokenKind::Star)) {
+    const Token &OpTok = advance();
+    ExprPtr Rhs = parseUnary();
+    if (!Rhs)
+      return nullptr;
+    Lhs = std::make_unique<BinaryExpr>(OpTok.Location, BinaryExpr::Op::Mul,
+                                       std::move(Lhs), std::move(Rhs));
+  }
+  return Lhs;
+}
+
+ExprPtr Parser::parseUnary() {
+  if (peek().is(TokenKind::Minus) || peek().is(TokenKind::Plus)) {
+    const Token &OpTok = advance();
+    UnaryExpr::Op Op = OpTok.is(TokenKind::Minus) ? UnaryExpr::Op::Minus
+                                                  : UnaryExpr::Op::Plus;
+    ExprPtr Operand = parseUnary();
+    if (!Operand)
+      return nullptr;
+    return std::make_unique<UnaryExpr>(OpTok.Location, Op, std::move(Operand));
+  }
+  return parsePrimary();
+}
+
+std::optional<long> Parser::parseIntegerConstant() {
+  bool Negative = false;
+  if (consumeIf(TokenKind::Minus))
+    Negative = true;
+  else
+    consumeIf(TokenKind::Plus);
+  if (!peek().is(TokenKind::IntegerLiteral)) {
+    error(peek(), "expected integer constant");
+    return std::nullopt;
+  }
+  long Value = advance().IntegerValue;
+  return Negative ? -Value : Value;
+}
+
+ExprPtr Parser::parseShiftCall(ShiftCallExpr::ShiftKind Kind,
+                               const Token &Callee) {
+  if (!expect(TokenKind::LParen, "after shift intrinsic name"))
+    return nullptr;
+  ExprPtr Array = parseExpr();
+  if (!Array)
+    return nullptr;
+
+  // Remaining arguments: positional (DIM, SHIFT) as in the paper's
+  // grammar, or keyword DIM= / SHIFT= in either order.
+  std::optional<long> Dim, Shift;
+  unsigned PositionalIndex = 0;
+  while (consumeIf(TokenKind::Comma)) {
+    if (peek().is(TokenKind::Identifier) && peek(1).is(TokenKind::Equal)) {
+      Token Keyword = advance();
+      advance(); // '='
+      std::optional<long> Value = parseIntegerConstant();
+      if (!Value)
+        return nullptr;
+      if (Keyword.Spelling == "DIM") {
+        if (Dim)
+          error(Keyword, "duplicate DIM argument");
+        Dim = *Value;
+      } else if (Keyword.Spelling == "SHIFT") {
+        if (Shift)
+          error(Keyword, "duplicate SHIFT argument");
+        Shift = *Value;
+      } else {
+        error(Keyword, "unknown keyword argument '" + Keyword.Spelling +
+                           "' (expected DIM or SHIFT)");
+        return nullptr;
+      }
+      continue;
+    }
+    std::optional<long> Value = parseIntegerConstant();
+    if (!Value)
+      return nullptr;
+    // The paper's positional form is (array, DIM, SHIFT).
+    if (PositionalIndex == 0 && !Dim)
+      Dim = *Value;
+    else if (PositionalIndex <= 1 && !Shift)
+      Shift = *Value;
+    else {
+      error(peek(), "too many arguments to shift intrinsic");
+      return nullptr;
+    }
+    ++PositionalIndex;
+  }
+  if (!expect(TokenKind::RParen, "to close shift intrinsic call"))
+    return nullptr;
+  if (!Dim || !Shift) {
+    error(Callee, std::string(Kind == ShiftCallExpr::ShiftKind::Circular
+                                  ? "CSHIFT"
+                                  : "EOSHIFT") +
+                      " requires both DIM and SHIFT arguments");
+    return nullptr;
+  }
+  if (*Dim != 1 && *Dim != 2) {
+    error(Callee, "DIM must be 1 or 2 (stencils are over the two "
+                  "distributed axes)");
+    return nullptr;
+  }
+  return std::make_unique<ShiftCallExpr>(Callee.Location, Kind,
+                                         std::move(Array),
+                                         static_cast<int>(*Dim),
+                                         static_cast<int>(*Shift));
+}
+
+ExprPtr Parser::parsePrimary() {
+  const Token &T = peek();
+  switch (T.Kind) {
+  case TokenKind::RealLiteral: {
+    const Token &Lit = advance();
+    return std::make_unique<RealLiteralExpr>(Lit.Location, Lit.RealValue);
+  }
+  case TokenKind::IntegerLiteral: {
+    const Token &Lit = advance();
+    return std::make_unique<RealLiteralExpr>(Lit.Location, Lit.RealValue);
+  }
+  case TokenKind::LParen: {
+    advance();
+    ExprPtr Inner = parseExpr();
+    if (!Inner)
+      return nullptr;
+    if (!expect(TokenKind::RParen, "to close parenthesized expression"))
+      return nullptr;
+    return Inner;
+  }
+  case TokenKind::Identifier: {
+    Token Name = advance();
+    if (Name.Spelling == "CSHIFT")
+      return parseShiftCall(ShiftCallExpr::ShiftKind::Circular, Name);
+    if (Name.Spelling == "EOSHIFT")
+      return parseShiftCall(ShiftCallExpr::ShiftKind::EndOff, Name);
+    if (peek().is(TokenKind::LParen)) {
+      error(Name, "only whole-array references are supported; '" +
+                      Name.Spelling +
+                      "(...)' looks like an array section or a call other "
+                      "than CSHIFT/EOSHIFT");
+      return nullptr;
+    }
+    return std::make_unique<ArrayNameExpr>(Name.Location, Name.Spelling);
+  }
+  default:
+    error(T, std::string("expected expression, found ") +
+                 tokenKindName(T.Kind));
+    return nullptr;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Statements and units
+//===----------------------------------------------------------------------===//
+
+std::optional<AssignmentStmt> Parser::parseAssignment() {
+  // Structured-comment directives precede the statement they flag.
+  bool Flagged = false;
+  while (peek().is(TokenKind::Directive)) {
+    Token D = advance();
+    if (D.Spelling == "STENCIL")
+      Flagged = true;
+    else
+      Diags.warning(D.Location,
+                    "ignoring unknown directive '!CMCC$ " + D.Spelling +
+                        "'");
+    consumeIf(TokenKind::EndOfStatement);
+  }
+  if (!peek().is(TokenKind::Identifier)) {
+    error(peek(), "expected array name on the left-hand side");
+    return std::nullopt;
+  }
+  Token Target = advance();
+  if (!expect(TokenKind::Equal, "in assignment statement"))
+    return std::nullopt;
+  ExprPtr Value = parseExpr();
+  if (!Value)
+    return std::nullopt;
+  if (!peek().is(TokenKind::EndOfStatement) &&
+      !peek().is(TokenKind::EndOfFile)) {
+    error(peek(), std::string("unexpected ") + tokenKindName(peek().Kind) +
+                      " after assignment expression");
+    return std::nullopt;
+  }
+  consumeIf(TokenKind::EndOfStatement);
+  AssignmentStmt S;
+  S.Location = Target.Location;
+  S.Target = Target.Spelling;
+  S.Value = std::move(Value);
+  S.Flagged = Flagged;
+  return S;
+}
+
+bool Parser::parseDeclarationStatement(std::vector<ArrayDecl> &Out) {
+  const Token &RealTok = advance(); // KwReal
+  unsigned Rank = 0;
+  if (consumeIf(TokenKind::Comma)) {
+    if (!peek().is(TokenKind::KwArray) && !peek().is(TokenKind::KwDimension)) {
+      error(peek(), "expected ARRAY or DIMENSION attribute after 'REAL,'");
+      return false;
+    }
+    advance();
+    if (!expect(TokenKind::LParen, "after ARRAY/DIMENSION"))
+      return false;
+    do {
+      if (!expect(TokenKind::Colon, "in assumed-shape specification"))
+        return false;
+      ++Rank;
+    } while (consumeIf(TokenKind::Comma));
+    if (!expect(TokenKind::RParen, "to close shape specification"))
+      return false;
+  }
+  if (!expect(TokenKind::DoubleColon, "in declaration"))
+    return false;
+  do {
+    if (!peek().is(TokenKind::Identifier)) {
+      error(peek(), "expected declared name");
+      return false;
+    }
+    Token Name = advance();
+    ArrayDecl D;
+    D.Location = Name.Location;
+    D.Name = Name.Spelling;
+    D.Rank = Rank;
+    Out.push_back(std::move(D));
+  } while (consumeIf(TokenKind::Comma));
+  if (!peek().is(TokenKind::EndOfStatement) &&
+      !peek().is(TokenKind::EndOfFile)) {
+    error(peek(), "unexpected token after declaration");
+    return false;
+  }
+  consumeIf(TokenKind::EndOfStatement);
+  (void)RealTok;
+  return true;
+}
+
+std::optional<Subroutine> Parser::parseSubroutine() {
+  if (!expect(TokenKind::KwSubroutine, "to begin subroutine"))
+    return std::nullopt;
+  if (!peek().is(TokenKind::Identifier)) {
+    error(peek(), "expected subroutine name");
+    return std::nullopt;
+  }
+  Token Name = advance();
+
+  Subroutine Sub;
+  Sub.Location = Name.Location;
+  Sub.Name = Name.Spelling;
+
+  if (consumeIf(TokenKind::LParen)) {
+    if (!peek().is(TokenKind::RParen)) {
+      do {
+        if (!peek().is(TokenKind::Identifier)) {
+          error(peek(), "expected parameter name");
+          return std::nullopt;
+        }
+        Sub.Parameters.push_back(advance().Spelling);
+      } while (consumeIf(TokenKind::Comma));
+    }
+    if (!expect(TokenKind::RParen, "to close parameter list"))
+      return std::nullopt;
+  }
+  if (!peek().is(TokenKind::EndOfStatement) &&
+      !peek().is(TokenKind::EndOfFile)) {
+    error(peek(), "unexpected token after subroutine header");
+    return std::nullopt;
+  }
+  consumeIf(TokenKind::EndOfStatement);
+
+  // Declarations first, then executable statements.
+  while (peek().is(TokenKind::KwReal))
+    if (!parseDeclarationStatement(Sub.Declarations))
+      return std::nullopt;
+
+  while (!peek().is(TokenKind::KwEnd) && !peek().is(TokenKind::EndOfFile)) {
+    std::optional<AssignmentStmt> S = parseAssignment();
+    if (!S)
+      return std::nullopt;
+    Sub.Body.push_back(std::move(*S));
+  }
+
+  if (!expect(TokenKind::KwEnd, "to close subroutine"))
+    return std::nullopt;
+  // Optional "END SUBROUTINE [name]".
+  if (consumeIf(TokenKind::KwSubroutine))
+    if (peek().is(TokenKind::Identifier))
+      advance();
+  consumeIf(TokenKind::EndOfStatement);
+  return Sub;
+}
+
+std::optional<std::vector<Subroutine>> Parser::parseProgram() {
+  std::vector<Subroutine> Units;
+  while (!peek().is(TokenKind::EndOfFile)) {
+    std::optional<Subroutine> Sub = parseSubroutine();
+    if (!Sub)
+      return std::nullopt;
+    Units.push_back(std::move(*Sub));
+  }
+  return Units;
+}
+
+std::optional<Subroutine>
+Parser::subroutineFromSource(std::string_view Source,
+                             DiagnosticEngine &Diags) {
+  Lexer L(Source, Diags);
+  Parser P(L.lexAll(), Diags);
+  std::optional<Subroutine> Sub = P.parseSubroutine();
+  if (Diags.hasErrors())
+    return std::nullopt;
+  return Sub;
+}
+
+std::optional<AssignmentStmt>
+Parser::assignmentFromSource(std::string_view Source,
+                             DiagnosticEngine &Diags) {
+  Lexer L(Source, Diags);
+  Parser P(L.lexAll(), Diags);
+  std::optional<AssignmentStmt> S = P.parseAssignment();
+  if (Diags.hasErrors())
+    return std::nullopt;
+  return S;
+}

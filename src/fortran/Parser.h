@@ -1,0 +1,95 @@
+//===- fortran/Parser.h - Recursive-descent parser ------------*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for the restricted Fortran 90 form of the
+/// paper's second prototype:
+///
+/// \code
+///   SUBROUTINE CROSS (R, X, C1, C2, C3, C4, C5)
+///   REAL, ARRAY(:,:) :: R, X, C1, C2, C3, C4, C5
+///   R = C1 * CSHIFT(X, 1, -1) &
+///     + C2 * CSHIFT(X, 2, -1) &
+///     + C3 * X                &
+///     + C4 * CSHIFT(X, 2, +1) &
+///     + C5 * CSHIFT(X, 1, +1)
+///   END
+/// \endcode
+///
+/// Expression grammar: additive over multiplicative over unary over
+/// primary; the only calls allowed are CSHIFT and EOSHIFT, whose argument
+/// order follows the paper ((array, DIM, SHIFT), keywords allowed).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMCC_FORTRAN_PARSER_H
+#define CMCC_FORTRAN_PARSER_H
+
+#include "fortran/Ast.h"
+#include "fortran/Token.h"
+#include "support/Diagnostic.h"
+#include <optional>
+#include <vector>
+
+namespace cmcc {
+namespace fortran {
+
+/// Parses token streams produced by the Lexer.
+///
+/// Parse failures are reported through the DiagnosticEngine; the failing
+/// entry point returns std::nullopt. The parser does not attempt error
+/// recovery beyond statement resynchronization: the paper's compiler
+/// rejects anything outside the recognized form.
+class Parser {
+public:
+  Parser(std::vector<Token> Tokens, DiagnosticEngine &Diags)
+      : Tokens(std::move(Tokens)), Diags(Diags) {}
+
+  /// Parses a full SUBROUTINE ... END unit.
+  std::optional<Subroutine> parseSubroutine();
+
+  /// Parses a sequence of SUBROUTINE units until end of file.
+  std::optional<std::vector<Subroutine>> parseProgram();
+
+  /// Parses a single bare assignment statement (the production-compiler
+  /// entry point that needs no isolated subroutine).
+  std::optional<AssignmentStmt> parseAssignment();
+
+  /// Convenience: lexes and parses \p Source as one subroutine.
+  static std::optional<Subroutine> subroutineFromSource(std::string_view Source,
+                                                        DiagnosticEngine &Diags);
+
+  /// Convenience: lexes and parses \p Source as one assignment statement.
+  static std::optional<AssignmentStmt>
+  assignmentFromSource(std::string_view Source, DiagnosticEngine &Diags);
+
+private:
+  ExprPtr parseExpr();
+  ExprPtr parseAdditive();
+  ExprPtr parseMultiplicative();
+  ExprPtr parseUnary();
+  ExprPtr parsePrimary();
+  ExprPtr parseShiftCall(ShiftCallExpr::ShiftKind Kind, const Token &Callee);
+  std::optional<ArrayDecl> parseDeclGroupInto(std::vector<ArrayDecl> &Out);
+  bool parseDeclarationStatement(std::vector<ArrayDecl> &Out);
+  std::optional<long> parseIntegerConstant();
+
+  const Token &peek(size_t Ahead = 0) const;
+  const Token &advance();
+  bool consumeIf(TokenKind Kind);
+  bool expect(TokenKind Kind, const char *Context);
+  void skipToEndOfStatement();
+  void error(const Token &At, std::string Message);
+
+  std::vector<Token> Tokens;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+};
+
+} // namespace fortran
+} // namespace cmcc
+
+#endif // CMCC_FORTRAN_PARSER_H

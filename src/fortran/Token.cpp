@@ -1,0 +1,57 @@
+//===- fortran/Token.cpp --------------------------------------*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fortran/Token.h"
+#include "support/Assert.h"
+
+using namespace cmcc;
+using namespace cmcc::fortran;
+
+const char *cmcc::fortran::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::EndOfFile:
+    return "end of file";
+  case TokenKind::EndOfStatement:
+    return "end of statement";
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::IntegerLiteral:
+    return "integer literal";
+  case TokenKind::RealLiteral:
+    return "real literal";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Equal:
+    return "'='";
+  case TokenKind::DoubleColon:
+    return "'::'";
+  case TokenKind::Colon:
+    return "':'";
+  case TokenKind::KwSubroutine:
+    return "'SUBROUTINE'";
+  case TokenKind::KwEnd:
+    return "'END'";
+  case TokenKind::KwReal:
+    return "'REAL'";
+  case TokenKind::KwArray:
+    return "'ARRAY'";
+  case TokenKind::KwDimension:
+    return "'DIMENSION'";
+  case TokenKind::Directive:
+    return "directive";
+  }
+  CMCC_UNREACHABLE("unknown token kind");
+}

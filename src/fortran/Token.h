@@ -1,0 +1,70 @@
+//===- fortran/Token.h - Fortran token definitions ------------*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokens for the free-form Fortran 90 subset accepted by the paper's
+/// version-2 prototype: SUBROUTINE ... END units whose bodies are
+/// whole-array assignment statements built from +, -, *, CSHIFT and
+/// EOSHIFT.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMCC_FORTRAN_TOKEN_H
+#define CMCC_FORTRAN_TOKEN_H
+
+#include "support/SourceLocation.h"
+#include <string>
+
+namespace cmcc {
+namespace fortran {
+
+/// Kinds of token produced by the Lexer.
+enum class TokenKind {
+  EndOfFile,
+  EndOfStatement, ///< Newline not cancelled by a '&' continuation.
+  Identifier,
+  IntegerLiteral,
+  RealLiteral,
+  Plus,
+  Minus,
+  Star,
+  LParen,
+  RParen,
+  Comma,
+  Equal,
+  DoubleColon,
+  Colon,
+  KwSubroutine,
+  KwEnd,
+  KwReal,
+  KwArray,
+  KwDimension,
+  /// A structured comment "!CMCC$ ..." (the paper's planned directive
+  /// for flagging stencil assignment statements; §6).
+  Directive,
+};
+
+/// Returns a human-readable name for \p Kind (for diagnostics).
+const char *tokenKindName(TokenKind Kind);
+
+/// One lexed token. Identifier text is stored upper-cased (Fortran is
+/// case-insensitive); Spelling preserves the source spelling of literals.
+struct Token {
+  TokenKind Kind = TokenKind::EndOfFile;
+  SourceLocation Location;
+  std::string Spelling;
+  /// Valid for IntegerLiteral.
+  long IntegerValue = 0;
+  /// Valid for RealLiteral.
+  double RealValue = 0.0;
+
+  bool is(TokenKind K) const { return Kind == K; }
+};
+
+} // namespace fortran
+} // namespace cmcc
+
+#endif // CMCC_FORTRAN_TOKEN_H

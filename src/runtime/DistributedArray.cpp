@@ -1,0 +1,121 @@
+//===- runtime/DistributedArray.cpp ---------------------------*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/DistributedArray.h"
+#include <cmath>
+#include <limits>
+
+using namespace cmcc;
+
+DistributedArray::DistributedArray(const NodeGrid &Grid, int SubRows,
+                                   int SubCols)
+    : Grid(Grid), SubRows(SubRows), SubCols(SubCols) {
+  assert(SubRows > 0 && SubCols > 0 && "subgrid must be nonempty");
+  Subgrids.reserve(Grid.nodeCount());
+  for (int I = 0; I != Grid.nodeCount(); ++I)
+    Subgrids.emplace_back(SubRows, SubCols);
+}
+
+Array2D &DistributedArray::subgrid(NodeCoord C) {
+  return Subgrids[Grid.nodeId(C)];
+}
+
+const Array2D &DistributedArray::subgrid(NodeCoord C) const {
+  return Subgrids[Grid.nodeId(C)];
+}
+
+void DistributedArray::scatter(const Array2D &Global) {
+  assert(Global.rows() == globalRows() && Global.cols() == globalCols() &&
+         "global shape mismatch");
+  for (int NR = 0; NR != Grid.rows(); ++NR)
+    for (int NC = 0; NC != Grid.cols(); ++NC) {
+      Array2D &Sub = subgrid({NR, NC});
+      for (int R = 0; R != SubRows; ++R)
+        for (int C = 0; C != SubCols; ++C)
+          Sub.at(R, C) = Global.at(NR * SubRows + R, NC * SubCols + C);
+    }
+}
+
+Array2D DistributedArray::gather() const {
+  Array2D Global(globalRows(), globalCols());
+  for (int NR = 0; NR != Grid.rows(); ++NR)
+    for (int NC = 0; NC != Grid.cols(); ++NC) {
+      const Array2D &Sub = subgrid({NR, NC});
+      for (int R = 0; R != SubRows; ++R)
+        for (int C = 0; C != SubCols; ++C)
+          Global.at(NR * SubRows + R, NC * SubCols + C) = Sub.at(R, C);
+    }
+  return Global;
+}
+
+float DistributedArray::atGlobal(int R, int C) const {
+  assert(R >= 0 && R < globalRows() && C >= 0 && C < globalCols() &&
+         "global index out of range");
+  NodeCoord Node{R / SubRows, C / SubCols};
+  return subgrid(Node).at(R % SubRows, C % SubCols);
+}
+
+std::string
+DistributedArray::describeDecomposition(const std::string &Name) const {
+  std::string Out;
+  for (int NR = 0; NR != Grid.rows(); ++NR) {
+    for (int NC = 0; NC != Grid.cols(); ++NC) {
+      Out += Name + "(" + std::to_string(NR * SubRows + 1) + ":" +
+             std::to_string((NR + 1) * SubRows) + "," +
+             std::to_string(NC * SubCols + 1) + ":" +
+             std::to_string((NC + 1) * SubCols) + ")";
+      Out += NC + 1 == Grid.cols() ? "\n" : "  ";
+    }
+  }
+  return Out;
+}
+
+Array2D cmcc::buildPaddedSubgrid(const DistributedArray &A, NodeCoord Node,
+                                 int Border, BoundaryKind BoundaryDim1,
+                                 BoundaryKind BoundaryDim2,
+                                 bool FetchCorners) {
+  const int SR = A.subRows();
+  const int SC = A.subCols();
+  const int GR = A.globalRows();
+  const int GC = A.globalCols();
+  assert(Border >= 0 && "negative border width");
+  assert(Border <= SR && Border <= SC &&
+         "border width exceeds the subgrid (data would come from beyond "
+         "the four neighbors)");
+
+  const float Nan = std::numeric_limits<float>::quiet_NaN();
+  Array2D Padded(SR + 2 * Border, SC + 2 * Border);
+
+  const int BaseR = Node.Row * SR;
+  const int BaseC = Node.Col * SC;
+  for (int R = -Border; R != SR + Border; ++R) {
+    for (int C = -Border; C != SC + Border; ++C) {
+      bool RowPad = R < 0 || R >= SR;
+      bool ColPad = C < 0 || C >= SC;
+      if (RowPad && ColPad && !FetchCorners) {
+        // Corner data was not exchanged: poison it so that any kernel
+        // that touches unfetched data is caught.
+        Padded.at(R + Border, C + Border) = Nan;
+        continue;
+      }
+      int GRow = BaseR + R;
+      int GCol = BaseC + C;
+      bool RowOutside = GRow < 0 || GRow >= GR;
+      bool ColOutside = GCol < 0 || GCol >= GC;
+      float Value;
+      if ((RowOutside && BoundaryDim1 == BoundaryKind::Zero) ||
+          (ColOutside && BoundaryDim2 == BoundaryKind::Zero)) {
+        Value = 0.0f;
+      } else {
+        int WR = ((GRow % GR) + GR) % GR;
+        int WC = ((GCol % GC) + GC) % GC;
+        Value = A.atGlobal(WR, WC);
+      }
+      Padded.at(R + Border, C + Border) = Value;
+    }
+  }
+  return Padded;
+}

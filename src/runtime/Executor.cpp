@@ -1,0 +1,294 @@
+//===- runtime/Executor.cpp -----------------------------------*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Executor.h"
+#include "cm2/FloatingPointUnit.h"
+#include "cm2/Sequencer.h"
+#include "runtime/HaloExchange.h"
+#include <algorithm>
+#include <cmath>
+
+using namespace cmcc;
+
+namespace {
+
+/// Resolves memory operands for one half-strip on one node: the
+/// sequencer's run-time address generation.
+class NodeMemoryBinding : public FpuMemoryInterface {
+public:
+  NodeMemoryBinding(std::vector<const Array2D *> PaddedSources, int Border,
+                    const StencilSpec &Spec,
+                    std::vector<const Array2D *> TapCoefficients,
+                    Array2D &Result, int LeftCol)
+      : PaddedSources(std::move(PaddedSources)), Border(Border), Spec(Spec),
+        TapCoefficients(std::move(TapCoefficients)), Result(Result),
+        LeftCol(LeftCol) {}
+
+  void setLine(int Row) { AbsRow = Row; }
+
+  float loadData(int Source, int Dy, int Dx) override {
+    return PaddedSources[Source]->at(AbsRow + Dy + Border,
+                                     LeftCol + Dx + Border);
+  }
+
+  float loadCoefficient(int TapIndex, int ResultIndex) override {
+    const Tap &T = Spec.Taps[TapIndex];
+    float C = T.Coeff.isArray()
+                  ? TapCoefficients[TapIndex]->at(AbsRow, LeftCol + ResultIndex)
+                  : static_cast<float>(T.Coeff.Value);
+    return static_cast<float>(T.Sign) * C;
+  }
+
+  void storeResult(int ResultIndex, float Value) override {
+    Result.at(AbsRow, LeftCol + ResultIndex) = Value;
+  }
+
+private:
+  std::vector<const Array2D *> PaddedSources;
+  int Border;
+  const StencilSpec &Spec;
+  std::vector<const Array2D *> TapCoefficients;
+  Array2D &Result;
+  int LeftCol;
+  int AbsRow = 0;
+};
+
+} // namespace
+
+std::vector<HalfStrip> Executor::planFor(const CompiledStencil &Compiled,
+                                         int SubRows, int SubCols) const {
+  std::vector<int> Widths;
+  for (int W : Compiled.availableWidths()) {
+    if (Opts.ForceWidth != 0 && W != Opts.ForceWidth && W != 1)
+      continue;
+    Widths.push_back(W);
+  }
+  if (Widths.empty())
+    return {};
+  return planHalfStrips(planStrips(SubCols, Widths), SubRows,
+                        Opts.UseHalfStrips);
+}
+
+Error Executor::validateArguments(const CompiledStencil &Compiled,
+                                  const StencilArguments &Args) const {
+  const StencilSpec &Spec = Compiled.Spec;
+  if (!Args.Result || !Args.Source)
+    return makeError("result and source arrays must be bound");
+  if (Args.Result == Args.Source)
+    return makeError("result must not alias the stencil variable");
+  const DistributedArray &R = *Args.Result;
+  auto SameShape = [&](const DistributedArray &A) {
+    return A.subRows() == R.subRows() && A.subCols() == R.subCols() &&
+           A.grid().rows() == R.grid().rows() &&
+           A.grid().cols() == R.grid().cols();
+  };
+  if (!SameShape(*Args.Source))
+    return makeError("source shape differs from result shape (the paper "
+                     "requires all arrays be divided the same way)");
+  for (const std::string &Name : Spec.ExtraSources) {
+    auto It = Args.ExtraSources.find(Name);
+    if (It == Args.ExtraSources.end() || !It->second)
+      return makeError("source array '" + Name + "' is not bound");
+    if (!SameShape(*It->second))
+      return makeError("source array '" + Name +
+                       "' has a different shape");
+    if (It->second == Args.Result)
+      return makeError("result must not alias source '" + Name + "'");
+  }
+  for (const std::string &Name : Spec.coefficientArrayNames()) {
+    auto It = Args.Coefficients.find(Name);
+    if (It == Args.Coefficients.end() || !It->second)
+      return makeError("coefficient array '" + Name + "' is not bound");
+    if (!SameShape(*It->second))
+      return makeError("coefficient array '" + Name +
+                       "' has a different shape");
+  }
+  int Border = Spec.borderWidths().maximum();
+  if (Border > R.subRows() || Border > R.subCols())
+    return makeError("stencil border width " + std::to_string(Border) +
+                     " exceeds the per-node subgrid; data would be needed "
+                     "from beyond the four neighbors");
+  if (R.grid().rows() != Config.NodeRows || R.grid().cols() != Config.NodeCols)
+    return makeError("arrays are distributed over a different node grid "
+                     "than this executor's machine");
+  if (planFor(Compiled, R.subRows(), R.subCols()).empty())
+    return makeError("the available multistencil widths cannot cover a "
+                     "subgrid of " + std::to_string(R.subCols()) +
+                     " columns (no width-1 schedule)");
+  return Error::success();
+}
+
+void Executor::runNode(const CompiledStencil &Compiled,
+                       StencilArguments &Args,
+                       const std::vector<std::vector<Array2D>> &PaddedBySource,
+                       NodeCoord Node, long *OpsExecuted) const {
+  const StencilSpec &Spec = Compiled.Spec;
+  const int Border = Spec.borderWidths().maximum();
+
+  // The halo exchange already ran (every node exchanges simultaneously);
+  // pick this node's padded copy of each source.
+  const int NodeId = Args.Result->grid().nodeId(Node);
+  std::vector<const Array2D *> PaddedSources;
+  PaddedSources.reserve(Spec.sourceCount());
+  for (int S = 0; S != Spec.sourceCount(); ++S)
+    PaddedSources.push_back(&PaddedBySource[S][NodeId]);
+
+  std::vector<const Array2D *> TapCoefficients(Spec.Taps.size(), nullptr);
+  for (size_t I = 0; I != Spec.Taps.size(); ++I)
+    if (Spec.Taps[I].Coeff.isArray())
+      TapCoefficients[I] =
+          &Args.Coefficients.at(Spec.Taps[I].Coeff.Name)->subgrid(Node);
+
+  Array2D &Result = Args.Result->subgrid(Node);
+  const int SubRows = Args.Result->subRows();
+  const int SubCols = Args.Result->subCols();
+
+  FloatingPointUnit Fpu(Config);
+  long Ops = 0;
+  for (const HalfStrip &HS : planFor(Compiled, SubRows, SubCols)) {
+    const WidthSchedule *W = Compiled.withWidth(HS.Width);
+    assert(W && "strip plan chose an unavailable width");
+    Fpu.reset();
+    if (W->Regs.hasUnitRegister())
+      Fpu.pokeRegister(W->Regs.unitRegister(), 1.0f);
+
+    NodeMemoryBinding Mem(PaddedSources, Border, Spec, TapCoefficients,
+                          Result, HS.LeftCol);
+    // Lines are processed bottom to top; the prologue's offsets are
+    // relative to the first (bottom) line.
+    Mem.setLine(HS.RowEnd - 1);
+    Fpu.executeSequence(W->Prologue, Mem);
+    const int U = static_cast<int>(W->Phases.size());
+    for (int T = 0; T != HS.lines(); ++T) {
+      Mem.setLine(HS.RowEnd - 1 - T);
+      Fpu.executeSequence(W->Phases[T % U], Mem);
+    }
+    Fpu.drainPipeline();
+    Ops += Fpu.loadsExecuted() + Fpu.maddsExecuted() +
+           Fpu.storesExecuted() + Fpu.fillersExecuted();
+  }
+  if (OpsExecuted)
+    *OpsExecuted = Ops;
+}
+
+CycleBreakdown Executor::analyticCycles(const CompiledStencil &Compiled,
+                                        int SubRows, int SubCols) const {
+  const StencilSpec &Spec = Compiled.Spec;
+  CycleBreakdown Cycles;
+
+  Sequencer Seq(Config);
+  for (const HalfStrip &HS : planFor(Compiled, SubRows, SubCols)) {
+    const WidthSchedule *W = Compiled.withWidth(HS.Width);
+    assert(W && "strip plan chose an unavailable width");
+    Cycles += Seq.halfStripCycles(static_cast<int>(W->Prologue.size()),
+                                  HS.lines(), W->opsPerLine(),
+                                  W->maddsPerLine());
+  }
+
+  int Border = Spec.borderWidths().maximum();
+  HaloExchangeShape Shape;
+  Shape.SubgridRows = SubRows;
+  Shape.SubgridCols = SubCols;
+  Shape.BorderWidth = Border;
+  Shape.NeedsCorners = Spec.needsCornerData() || !Opts.AllowCornerSkip;
+  // Every source array needs its own halo exchange.
+  Cycles.Communication =
+      haloExchangeCycles(Config, Shape, Opts.Primitive) *
+      std::max(1, Spec.sourceCount());
+  return Cycles;
+}
+
+double Executor::hostSecondsPerIteration(const CompiledStencil &Compiled,
+                                         int SubCols) const {
+  // The run-time library's outer loops run on the front-end computer:
+  // one dispatch per call plus one per half-strip. SubRows only affects
+  // the microcode's internal line count, not the dispatch count.
+  size_t Dispatches = planFor(Compiled, /*SubRows=*/2, SubCols).size();
+  return (Config.HostOverheadUsPerCall +
+          static_cast<double>(Dispatches) * Config.HostOverheadUsPerStrip) *
+         1e-6;
+}
+
+TimingReport Executor::timeOnly(const CompiledStencil &Compiled, int SubRows,
+                                int SubCols, int Iterations) const {
+  TimingReport Report;
+  Report.Cycles = analyticCycles(Compiled, SubRows, SubCols);
+  Report.Iterations = Iterations;
+  Report.Nodes = Config.nodeCount();
+  Report.ClockMHz = Config.ClockMHz;
+  Report.HostSecondsPerIteration = hostSecondsPerIteration(Compiled, SubCols);
+  Report.UsefulFlopsPerNodePerIteration =
+      static_cast<long>(Compiled.Spec.usefulFlopsPerPoint()) * SubRows *
+      SubCols;
+  return Report;
+}
+
+Expected<TimingReport> Executor::run(const CompiledStencil &Compiled,
+                                     StencilArguments &Args,
+                                     int Iterations) const {
+  if (Error E = validateArguments(Compiled, Args))
+    return E;
+  assert(Iterations > 0 && "iteration count must be positive");
+
+  const int SubRows = Args.Result->subRows();
+  const int SubCols = Args.Result->subCols();
+
+  long Node0Ops = -1;
+  if (Opts.Mode != FunctionalMode::None) {
+    // Step one of the run-time library: the halo exchange (the paper's
+    // three-step protocol), once per source array, all nodes at once.
+    const StencilSpec &Spec = Compiled.Spec;
+    const int Border = Spec.borderWidths().maximum();
+    const bool FetchCorners =
+        Spec.needsCornerData() || !Opts.AllowCornerSkip;
+    std::vector<std::vector<Array2D>> PaddedBySource;
+    PaddedBySource.reserve(Spec.sourceCount());
+    for (int S = 0; S != Spec.sourceCount(); ++S) {
+      const DistributedArray *Src =
+          S == 0 ? Args.Source : Args.ExtraSources.at(Spec.sourceName(S));
+      PaddedBySource.push_back(exchangeHalos(*Src, Border,
+                                             Spec.BoundaryDim1,
+                                             Spec.BoundaryDim2,
+                                             FetchCorners));
+    }
+
+    switch (Opts.Mode) {
+    case FunctionalMode::AllNodes: {
+      const NodeGrid &Grid = Args.Result->grid();
+      for (int NR = 0; NR != Grid.rows(); ++NR)
+        for (int NC = 0; NC != Grid.cols(); ++NC) {
+          long Ops = 0;
+          runNode(Compiled, Args, PaddedBySource, {NR, NC}, &Ops);
+          if (NR == 0 && NC == 0)
+            Node0Ops = Ops;
+        }
+      break;
+    }
+    case FunctionalMode::SingleNode:
+      runNode(Compiled, Args, PaddedBySource, {0, 0}, &Node0Ops);
+      break;
+    case FunctionalMode::None:
+      break;
+    }
+  }
+
+  TimingReport Report = timeOnly(Compiled, SubRows, SubCols, Iterations);
+
+  // Cross-check: the ops the pipeline model actually executed must match
+  // the analytic count the cycle cost is derived from.
+  if (Node0Ops >= 0) {
+    long Analytic = 0;
+    for (const HalfStrip &HS : planFor(Compiled, SubRows, SubCols)) {
+      const WidthSchedule *W = Compiled.withWidth(HS.Width);
+      Analytic += static_cast<long>(W->Prologue.size()) +
+                  static_cast<long>(HS.lines()) * W->opsPerLine();
+    }
+    assert(Node0Ops == Analytic &&
+           "analytic op count disagrees with executed ops");
+    (void)Analytic;
+  }
+  return Report;
+}

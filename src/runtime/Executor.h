@@ -1,0 +1,117 @@
+//===- runtime/Executor.h - The run-time library --------------*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's run-time library (§5): allocates halo storage, performs
+/// the border exchange, strip-mines each node's subgrid (greedy widest
+/// strip, two half-strips each), and drives the microcode — here, the
+/// FPU pipeline model executing the compiled dynamic-part schedules.
+///
+/// Execution is *functional* (it produces the numerical result by running
+/// the schedules through the pipeline model) and *timed* (cycle costs per
+/// the machine configuration). Because the CM-2 is synchronous SIMD, one
+/// iteration's cycle count is exact for every iteration, so a timed run
+/// of N iterations executes the arrays once and scales the cycle cost —
+/// the same reasoning that makes the paper's extrapolations reliable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMCC_RUNTIME_EXECUTOR_H
+#define CMCC_RUNTIME_EXECUTOR_H
+
+#include "cm2/GridComm.h"
+#include "cm2/Timing.h"
+#include "core/Compiler.h"
+#include "runtime/DistributedArray.h"
+#include "runtime/StripMiner.h"
+#include <map>
+#include <string>
+
+namespace cmcc {
+
+/// Arrays bound to one stencil call.
+struct StencilArguments {
+  DistributedArray *Result = nullptr;
+  const DistributedArray *Source = nullptr;
+  std::map<std::string, const DistributedArray *> Coefficients;
+  /// Additional source arrays, by name (multi-source extension).
+  std::map<std::string, const DistributedArray *> ExtraSources;
+};
+
+/// Executes compiled stencils on a simulated machine.
+class Executor {
+public:
+  /// How much functional work to do; timing is identical in all modes.
+  enum class FunctionalMode {
+    /// Run the schedules on every node's data (full result).
+    AllNodes,
+    /// Run only node (0,0) — still exercises every schedule; used by
+    /// large-machine benches where gathering a full result is pointless.
+    SingleNode,
+    /// Timing only.
+    None,
+  };
+
+  struct Options {
+    CommPrimitive Primitive = CommPrimitive::NodeGridExchange;
+    /// Skip the corner-exchange step for cornerless stencils (§5.1).
+    bool AllowCornerSkip = true;
+    /// Process strips as two half-strips (§5.2); false = ablation A3.
+    bool UseHalfStrips = true;
+    /// Force a single multistencil width (0 = greedy widest).
+    int ForceWidth = 0;
+    FunctionalMode Mode = FunctionalMode::AllNodes;
+  };
+
+  explicit Executor(const MachineConfig &Config) : Config(Config) {}
+  Executor(const MachineConfig &Config, Options Opts)
+      : Config(Config), Opts(Opts) {}
+
+  /// Runs \p Compiled over \p Args for \p Iterations. The result
+  /// subgrids are written once (all iterations compute the same values —
+  /// the paper's timing loops re-execute one statement); the report's
+  /// cycle counts cover one iteration and scale by Iterations.
+  Expected<TimingReport> run(const CompiledStencil &Compiled,
+                             StencilArguments &Args, int Iterations) const;
+
+  /// Cycle cost of one iteration on one node, computed analytically from
+  /// the schedules (no functional work). Exposed for tests, which check
+  /// it against the op counts the pipeline model actually executed.
+  CycleBreakdown analyticCycles(const CompiledStencil &Compiled, int SubRows,
+                                int SubCols) const;
+
+  /// A full timing report without touching (or allocating) any array
+  /// data: exact for any machine size because the timing of a
+  /// synchronous SIMD machine depends only on the per-node subgrid
+  /// shape. Used for full-machine benchmark rows.
+  TimingReport timeOnly(const CompiledStencil &Compiled, int SubRows,
+                        int SubCols, int Iterations) const;
+
+  /// Host (front-end) seconds per iteration.
+  double hostSecondsPerIteration(const CompiledStencil &Compiled,
+                                 int SubCols) const;
+
+  const MachineConfig &machine() const { return Config; }
+  const Options &options() const { return Opts; }
+
+private:
+  Error validateArguments(const CompiledStencil &Compiled,
+                          const StencilArguments &Args) const;
+  /// Runs one node's strips against the already-exchanged halos
+  /// (PaddedBySource[sourceIndex][nodeId]).
+  void runNode(const CompiledStencil &Compiled, StencilArguments &Args,
+               const std::vector<std::vector<Array2D>> &PaddedBySource,
+               NodeCoord Node, long *OpsExecuted) const;
+  std::vector<HalfStrip> planFor(const CompiledStencil &Compiled,
+                                 int SubRows, int SubCols) const;
+
+  MachineConfig Config;
+  Options Opts;
+};
+
+} // namespace cmcc
+
+#endif // CMCC_RUNTIME_EXECUTOR_H

@@ -1,0 +1,101 @@
+//===- runtime/HaloExchange.cpp -------------------------------*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/HaloExchange.h"
+#include <limits>
+
+using namespace cmcc;
+
+std::vector<Array2D> cmcc::exchangeHalos(const DistributedArray &A,
+                                         int Border,
+                                         BoundaryKind BoundaryDim1,
+                                         BoundaryKind BoundaryDim2,
+                                         bool FetchCorners) {
+  const NodeGrid &Grid = A.grid();
+  const int SR = A.subRows();
+  const int SC = A.subCols();
+  const int B = Border;
+  assert(B >= 0 && B <= SR && B <= SC &&
+         "border width exceeds the subgrid");
+  const float Nan = std::numeric_limits<float>::quiet_NaN();
+
+  // Step 1: temporary storage, own subgrid in the center. Unwritten pad
+  // cells stay poisoned so mistakes are loud.
+  std::vector<Array2D> Padded;
+  Padded.reserve(Grid.nodeCount());
+  for (int Id = 0; Id != Grid.nodeCount(); ++Id) {
+    Array2D P(SR + 2 * B, SC + 2 * B, B > 0 ? Nan : 0.0f);
+    const Array2D &Own = A.subgrid(Grid.coordOf(Id));
+    for (int R = 0; R != SR; ++R)
+      for (int C = 0; C != SC; ++C)
+        P.at(R + B, C + B) = Own.at(R, C);
+    Padded.push_back(std::move(P));
+  }
+  if (B == 0)
+    return Padded;
+
+  // Step 2: every node exchanges its edge columns with its West and
+  // East neighbors simultaneously.
+  for (int Id = 0; Id != Grid.nodeCount(); ++Id) {
+    NodeCoord Here = Grid.coordOf(Id);
+    Array2D &P = Padded[Id];
+
+    // West pad <- west neighbor's rightmost core columns.
+    NodeCoord West = Grid.neighbor(Here, Direction::West);
+    bool CrossW = Here.Col == 0;
+    const Array2D &WestSub = A.subgrid(West);
+    for (int R = 0; R != SR; ++R)
+      for (int C = 0; C != B; ++C)
+        P.at(R + B, C) = (CrossW && BoundaryDim2 == BoundaryKind::Zero)
+                             ? 0.0f
+                             : WestSub.at(R, SC - B + C);
+
+    // East pad <- east neighbor's leftmost core columns.
+    NodeCoord East = Grid.neighbor(Here, Direction::East);
+    bool CrossE = Here.Col == Grid.cols() - 1;
+    const Array2D &EastSub = A.subgrid(East);
+    for (int R = 0; R != SR; ++R)
+      for (int C = 0; C != B; ++C)
+        P.at(R + B, SC + B + C) =
+            (CrossE && BoundaryDim2 == BoundaryKind::Zero)
+                ? 0.0f
+                : EastSub.at(R, C);
+  }
+
+  // Step 3: exchange edge rows with the North and South neighbors. The
+  // shipped rows include the side pads received in step 2, so corner
+  // data arrives from the diagonal neighbor in two hops. For cornerless
+  // stencils only the core columns move and the corner pads stay
+  // poisoned (§5.1's skipped third step).
+  const int ColBegin = FetchCorners ? 0 : B;
+  const int ColEnd = FetchCorners ? SC + 2 * B : SC + B;
+  for (int Id = 0; Id != Grid.nodeCount(); ++Id) {
+    NodeCoord Here = Grid.coordOf(Id);
+    Array2D &P = Padded[Id];
+
+    // North pad <- north neighbor's bottommost core rows (with pads).
+    NodeCoord North = Grid.neighbor(Here, Direction::North);
+    bool CrossN = Here.Row == 0;
+    const Array2D &NorthP = Padded[Grid.nodeId(North)];
+    for (int R = 0; R != B; ++R)
+      for (int C = ColBegin; C != ColEnd; ++C)
+        P.at(R, C) = (CrossN && BoundaryDim1 == BoundaryKind::Zero)
+                         ? 0.0f
+                         : NorthP.at(SR + R, C);
+
+    // South pad <- south neighbor's topmost core rows (with pads).
+    NodeCoord South = Grid.neighbor(Here, Direction::South);
+    bool CrossS = Here.Row == Grid.rows() - 1;
+    const Array2D &SouthP = Padded[Grid.nodeId(South)];
+    for (int R = 0; R != B; ++R)
+      for (int C = ColBegin; C != ColEnd; ++C)
+        P.at(SR + B + R, C) =
+            (CrossS && BoundaryDim1 == BoundaryKind::Zero)
+                ? 0.0f
+                : SouthP.at(B + R, C);
+  }
+  return Padded;
+}

@@ -1,0 +1,48 @@
+//===- runtime/HaloExchange.h - The §5.1 exchange protocol ----*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The interprocessor communication step of §5.1, implemented as the
+/// protocol the paper describes rather than by global-index gathering:
+///
+///   1. temporary storage is allocated, padded on all four sides by the
+///      maximum border width, and the node's own subgrid copied in;
+///   2. data is exchanged with all four neighbors at once — the
+///      West/East edge columns move first;
+///   3. a second exchange moves the North/South edge rows *including
+///      the just-received side pads*, so corner data reaches the
+///      diagonal neighbor in two hops ("corner sections must be copied
+///      to two neighbors (and, ultimately, to a diagonal neighbor as
+///      well)"). For cornerless stencils this step ships only the core
+///      columns and the corner pads are left poisoned (NaN), matching
+///      the §5.1 optimization.
+///
+/// Every node performs the same steps simultaneously (the machine is
+/// synchronous SIMD), so the protocol is computed for all nodes in one
+/// call. The result is bit-identical to the direct global-torus
+/// construction in buildPaddedSubgrid — a property the tests enforce —
+/// but the data really moves neighbor to neighbor here.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMCC_RUNTIME_HALOEXCHANGE_H
+#define CMCC_RUNTIME_HALOEXCHANGE_H
+
+#include "runtime/DistributedArray.h"
+#include <vector>
+
+namespace cmcc {
+
+/// Performs the three-step exchange for every node of \p A at once.
+/// Returns one padded subgrid per node, indexed by NodeGrid::nodeId.
+std::vector<Array2D> exchangeHalos(const DistributedArray &A, int Border,
+                                   BoundaryKind BoundaryDim1,
+                                   BoundaryKind BoundaryDim2,
+                                   bool FetchCorners);
+
+} // namespace cmcc
+
+#endif // CMCC_RUNTIME_HALOEXCHANGE_H

@@ -1,0 +1,59 @@
+//===- runtime/Reference.cpp ----------------------------------*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Reference.h"
+#include "support/Assert.h"
+
+using namespace cmcc;
+
+Array2D cmcc::evaluateReference(const StencilSpec &Spec,
+                                const ReferenceBindings &Bindings, int Rows,
+                                int Cols) {
+  Array2D Result(Rows, Cols);
+
+  auto SourceArray = [&](int Index) -> const Array2D * {
+    if (Index == 0)
+      return Bindings.Source;
+    auto It = Bindings.ExtraSources.find(Spec.sourceName(Index));
+    assert(It != Bindings.ExtraSources.end() && "source array not bound");
+    return It->second;
+  };
+
+  auto SourceAt = [&](int Index, int R, int C) -> float {
+    bool RowOutside = R < 0 || R >= Rows;
+    bool ColOutside = C < 0 || C >= Cols;
+    if ((RowOutside && Spec.BoundaryDim1 == BoundaryKind::Zero) ||
+        (ColOutside && Spec.BoundaryDim2 == BoundaryKind::Zero))
+      return 0.0f;
+    return SourceArray(Index)->atWrapped(R, C);
+  };
+
+  auto CoefficientAt = [&](const Tap &T, int R, int C) -> float {
+    if (!T.Coeff.isArray())
+      return static_cast<float>(T.Coeff.Value);
+    auto It = Bindings.Coefficients.find(T.Coeff.Name);
+    assert(It != Bindings.Coefficients.end() &&
+           "coefficient array not bound");
+    assert(It->second->rows() == Rows && It->second->cols() == Cols &&
+           "coefficient shape mismatch");
+    return It->second->at(R, C);
+  };
+
+  for (int R = 0; R != Rows; ++R) {
+    for (int C = 0; C != Cols; ++C) {
+      float Sum = 0.0f;
+      for (const Tap &T : Spec.Taps) {
+        float Coefficient = CoefficientAt(T, R, C);
+        float Data = T.HasData
+                         ? SourceAt(T.SourceIndex, R + T.At.Dy, C + T.At.Dx)
+                         : 1.0f;
+        Sum += static_cast<float>(T.Sign) * Coefficient * Data;
+      }
+      Result.at(R, C) = Sum;
+    }
+  }
+  return Result;
+}

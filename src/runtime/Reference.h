@@ -1,0 +1,41 @@
+//===- runtime/Reference.h - Golden scalar evaluator ----------*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Direct scalar evaluation of a StencilSpec over global arrays — the
+/// semantic ground truth every compiled execution is tested against.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMCC_RUNTIME_REFERENCE_H
+#define CMCC_RUNTIME_REFERENCE_H
+
+#include "runtime/Array2D.h"
+#include "stencil/StencilSpec.h"
+#include <map>
+#include <string>
+
+namespace cmcc {
+
+/// Arrays bound by name for a reference evaluation.
+struct ReferenceBindings {
+  const Array2D *Source = nullptr;
+  std::map<std::string, const Array2D *> Coefficients;
+  /// Additional source arrays, by name (multi-source extension).
+  std::map<std::string, const Array2D *> ExtraSources;
+};
+
+/// Evaluates \p Spec pointwise: for every (i, j),
+/// R(i,j) = sum_t Sign_t * Coeff_t(i,j) * X(i+Dy_t, j+Dx_t), with
+/// circular or zero boundary per dimension. Coefficient arrays must all
+/// be present in \p Bindings and share the result's shape.
+Array2D evaluateReference(const StencilSpec &Spec,
+                          const ReferenceBindings &Bindings, int Rows,
+                          int Cols);
+
+} // namespace cmcc
+
+#endif // CMCC_RUNTIME_REFERENCE_H

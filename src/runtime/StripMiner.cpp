@@ -1,0 +1,50 @@
+//===- runtime/StripMiner.cpp ---------------------------------*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/StripMiner.h"
+#include "support/Assert.h"
+
+using namespace cmcc;
+
+std::vector<Strip>
+cmcc::planStrips(int SubCols, const std::vector<int> &AvailableWidths) {
+  assert(!AvailableWidths.empty() && "no widths available");
+  std::vector<Strip> Strips;
+  int Col = 0;
+  while (Col < SubCols) {
+    int Remaining = SubCols - Col;
+    int Chosen = 0;
+    for (int W : AvailableWidths) {
+      if (W <= Remaining) {
+        Chosen = W;
+        break;
+      }
+    }
+    // No available width fits the leftover columns (width 1 missing):
+    // the subgrid cannot be covered; signal failure with an empty plan.
+    if (Chosen == 0)
+      return {};
+    Strips.push_back({Col, Chosen});
+    Col += Chosen;
+  }
+  return Strips;
+}
+
+std::vector<HalfStrip>
+cmcc::planHalfStrips(const std::vector<Strip> &Strips, int SubRows,
+                     bool UseHalfStrips) {
+  std::vector<HalfStrip> Out;
+  for (const Strip &S : Strips) {
+    if (!UseHalfStrips || SubRows < 2) {
+      Out.push_back({S.LeftCol, S.Width, 0, SubRows});
+      continue;
+    }
+    int Mid = SubRows / 2;
+    Out.push_back({S.LeftCol, S.Width, 0, Mid});
+    Out.push_back({S.LeftCol, S.Width, Mid, SubRows});
+  }
+  return Out;
+}

@@ -1,0 +1,54 @@
+//===- runtime/StripMiner.h - Strip and half-strip planning ---*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The strip-mining step of §5.2–5.3. The subgrid is partitioned along
+/// its column axis into strips, greedily shaving off the widest strip for
+/// which the compiler produced a workable multistencil (a length-21 axis
+/// with widths {8,4,2,1} becomes 8+8+4+1). Each strip is processed as two
+/// half-strips so that the microcode handles only one boundary condition
+/// per loop, at the price of starting the loop twice as often.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMCC_RUNTIME_STRIPMINER_H
+#define CMCC_RUNTIME_STRIPMINER_H
+
+#include <vector>
+
+namespace cmcc {
+
+/// One vertical strip of a subgrid.
+struct Strip {
+  int LeftCol = 0;
+  int Width = 0;
+};
+
+/// One half of a strip (a row range; [RowBegin, RowEnd)).
+struct HalfStrip {
+  int LeftCol = 0;
+  int Width = 0;
+  int RowBegin = 0;
+  int RowEnd = 0;
+
+  int lines() const { return RowEnd - RowBegin; }
+};
+
+/// Greedy decomposition of \p SubCols columns into strips drawn from
+/// \p AvailableWidths (must be sorted descending and end with 1).
+std::vector<Strip> planStrips(int SubCols,
+                              const std::vector<int> &AvailableWidths);
+
+/// Splits each strip into half-strips over \p SubRows lines. When
+/// \p UseHalfStrips is false (ablation A3), whole strips are emitted —
+/// the model then charges the full-strip microcode's double boundary
+/// handling elsewhere.
+std::vector<HalfStrip> planHalfStrips(const std::vector<Strip> &Strips,
+                                      int SubRows, bool UseHalfStrips);
+
+} // namespace cmcc
+
+#endif // CMCC_RUNTIME_STRIPMINER_H

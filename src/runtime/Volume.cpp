@@ -1,0 +1,66 @@
+//===- runtime/Volume.cpp -------------------------------------*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Volume.h"
+
+using namespace cmcc;
+
+DistributedVolume::DistributedVolume(const NodeGrid &Grid, int Depth,
+                                     int SubRows, int SubCols) {
+  assert(Depth > 0 && "volume needs at least one plane");
+  Planes.reserve(Depth);
+  for (int D = 0; D != Depth; ++D)
+    Planes.push_back(
+        std::make_unique<DistributedArray>(Grid, SubRows, SubCols));
+}
+
+Expected<TimingReport> cmcc::runVolume(const Executor &Exec,
+                                       const CompiledStencil &Compiled,
+                                       VolumeArguments &Args,
+                                       int Iterations) {
+  if (!Args.Result || !Args.Source)
+    return makeError("result and source volumes must be bound");
+  const int Depth = Args.Result->depth();
+  if (Args.Source->depth() != Depth)
+    return makeError("source volume depth differs from result depth");
+  for (const auto &[Name, V] : Args.Coefficients)
+    if (!V || V->depth() != Depth)
+      return makeError("coefficient volume '" + Name +
+                       "' has a different depth");
+  for (const auto &[Name, V] : Args.ExtraSources)
+    if (!V || V->depth() != Depth)
+      return makeError("source volume '" + Name +
+                       "' has a different depth");
+
+  TimingReport Total;
+  for (int D = 0; D != Depth; ++D) {
+    StencilArguments Plane;
+    Plane.Result = &Args.Result->plane(D);
+    Plane.Source = &Args.Source->plane(D);
+    for (const auto &[Name, V] : Args.Coefficients)
+      Plane.Coefficients[Name] = &V->plane(D);
+    for (const auto &[Name, V] : Args.ExtraSources)
+      Plane.ExtraSources[Name] = &V->plane(D);
+
+    Expected<TimingReport> Report = Exec.run(Compiled, Plane, Iterations);
+    if (!Report)
+      return makeError("plane " + std::to_string(D) + ": " +
+                       Report.error().message());
+    if (D == 0) {
+      Total = *Report;
+      continue;
+    }
+    // Machine cycles accumulate plane by plane; the host pays the
+    // per-strip dispatches again but the call overhead only once.
+    Total.Cycles += Report->Cycles;
+    Total.UsefulFlopsPerNodePerIteration +=
+        Report->UsefulFlopsPerNodePerIteration;
+    Total.HostSecondsPerIteration +=
+        Report->HostSecondsPerIteration -
+        Exec.machine().HostOverheadUsPerCall * 1e-6;
+  }
+  return Total;
+}

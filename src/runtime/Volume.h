@@ -1,0 +1,65 @@
+//===- runtime/Volume.h - Multidimensional array support ------*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Rank-3 arrays for the run-time library. The paper's library "provides
+/// the outer loop structure for strip-mining and for handling
+/// multidimensional arrays": the two stencil axes are distributed over
+/// the node grid, and any further axis is serial — the runtime loops
+/// over its planes, re-dispatching the same microcode with new base
+/// addresses. The stencil itself only ever shifts along DIM=1 and DIM=2
+/// (the recognizer enforces this), so a rank-3 computation is exactly a
+/// plane-by-plane sweep.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMCC_RUNTIME_VOLUME_H
+#define CMCC_RUNTIME_VOLUME_H
+
+#include "runtime/Executor.h"
+#include <memory>
+#include <vector>
+
+namespace cmcc {
+
+/// A depth-major stack of distributed 2-D planes: a global
+/// (Depth, SubRows*NodeRows, SubCols*NodeCols) array.
+class DistributedVolume {
+public:
+  DistributedVolume(const NodeGrid &Grid, int Depth, int SubRows,
+                    int SubCols);
+
+  int depth() const { return static_cast<int>(Planes.size()); }
+  DistributedArray &plane(int D) { return *Planes[D]; }
+  const DistributedArray &plane(int D) const { return *Planes[D]; }
+
+  int subRows() const { return Planes.front()->subRows(); }
+  int subCols() const { return Planes.front()->subCols(); }
+
+private:
+  std::vector<std::unique_ptr<DistributedArray>> Planes;
+};
+
+/// Arrays bound to one rank-3 stencil call. All volumes must share depth
+/// and plane shape.
+struct VolumeArguments {
+  DistributedVolume *Result = nullptr;
+  const DistributedVolume *Source = nullptr;
+  std::map<std::string, const DistributedVolume *> Coefficients;
+  std::map<std::string, const DistributedVolume *> ExtraSources;
+};
+
+/// Applies \p Compiled to every plane of \p Args (the paper's serial
+/// outer loop), accumulating machine cycles across planes; the per-call
+/// host overhead is paid once, the per-strip dispatch cost once per
+/// plane.
+Expected<TimingReport> runVolume(const Executor &Exec,
+                                 const CompiledStencil &Compiled,
+                                 VolumeArguments &Args, int Iterations);
+
+} // namespace cmcc
+
+#endif // CMCC_RUNTIME_VOLUME_H

@@ -1,0 +1,181 @@
+//===- sexpr/DefStencil.cpp -----------------------------------*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sexpr/DefStencil.h"
+#include "fortran/Ast.h"
+#include "stencil/Recognizer.h"
+#include "support/StringUtils.h"
+
+using namespace cmcc;
+using namespace cmcc::sexpr;
+namespace ft = cmcc::fortran;
+
+namespace {
+
+/// Lowers a defstencil expression to the shared Fortran AST.
+class ExprLowering {
+public:
+  explicit ExprLowering(DiagnosticEngine &Diags) : Diags(Diags) {}
+
+  ft::ExprPtr lower(const SExpr &E);
+
+private:
+  ft::ExprPtr lowerCall(const SExpr &E);
+  ft::ExprPtr fail(const SExpr &E, std::string Message) {
+    Diags.error(E.Location, std::move(Message));
+    return nullptr;
+  }
+
+  DiagnosticEngine &Diags;
+};
+
+ft::ExprPtr ExprLowering::lower(const SExpr &E) {
+  if (E.isNumber())
+    return std::make_unique<ft::RealLiteralExpr>(E.Location, E.Number);
+  if (E.isSymbol())
+    return std::make_unique<ft::ArrayNameExpr>(E.Location, E.Symbol);
+  if (E.isList())
+    return lowerCall(E);
+  return fail(E, "unsupported expression form");
+}
+
+ft::ExprPtr ExprLowering::lowerCall(const SExpr &E) {
+  if (E.size() == 0 || !E[0].isSymbol())
+    return fail(E, "expected an operator form");
+  const std::string &Op = E[0].Symbol;
+
+  if (Op == "+" || Op == "-") {
+    if (E.size() < 2)
+      return fail(E, "'" + Op + "' needs at least one operand");
+    // Unary minus.
+    if (Op == "-" && E.size() == 2) {
+      ft::ExprPtr Inner = lower(E[1]);
+      if (!Inner)
+        return nullptr;
+      return std::make_unique<ft::UnaryExpr>(
+          E.Location, ft::UnaryExpr::Op::Minus, std::move(Inner));
+    }
+    ft::ExprPtr Acc = lower(E[1]);
+    if (!Acc)
+      return nullptr;
+    for (size_t I = 2; I != E.size(); ++I) {
+      ft::ExprPtr Next = lower(E[I]);
+      if (!Next)
+        return nullptr;
+      ft::BinaryExpr::Op BOp =
+          Op == "+" ? ft::BinaryExpr::Op::Add : ft::BinaryExpr::Op::Sub;
+      Acc = std::make_unique<ft::BinaryExpr>(E.Location, BOp, std::move(Acc),
+                                             std::move(Next));
+    }
+    return Acc;
+  }
+
+  if (Op == "*") {
+    if (E.size() != 3)
+      return fail(E, "'*' takes exactly two operands in the recognized "
+                     "stencil form");
+    ft::ExprPtr L = lower(E[1]);
+    ft::ExprPtr R = lower(E[2]);
+    if (!L || !R)
+      return nullptr;
+    return std::make_unique<ft::BinaryExpr>(
+        E.Location, ft::BinaryExpr::Op::Mul, std::move(L), std::move(R));
+  }
+
+  if (Op == "CSHIFT" || Op == "EOSHIFT") {
+    if (E.size() != 4 || !E[2].isNumber() || !E[3].isNumber())
+      return fail(E, "(" + toLower(Op) + " x dim shift) expects an array "
+                                         "expression and two integers");
+    ft::ExprPtr Array = lower(E[1]);
+    if (!Array)
+      return nullptr;
+    int Dim = static_cast<int>(E[2].Number);
+    int Shift = static_cast<int>(E[3].Number);
+    if (Dim != 1 && Dim != 2)
+      return fail(E[2], "DIM must be 1 or 2");
+    ft::ShiftCallExpr::ShiftKind Kind =
+        Op == "CSHIFT" ? ft::ShiftCallExpr::ShiftKind::Circular
+                       : ft::ShiftCallExpr::ShiftKind::EndOff;
+    return std::make_unique<ft::ShiftCallExpr>(E.Location, Kind,
+                                               std::move(Array), Dim, Shift);
+  }
+
+  return fail(E[0], "unknown operator '" + toLower(Op) + "'");
+}
+
+} // namespace
+
+std::optional<DefStencil>
+cmcc::sexpr::translateDefStencil(const SExpr &Form, DiagnosticEngine &Diags) {
+  if (!Form.isList() || Form.size() < 4 || !Form[0].isSymbol("DEFSTENCIL")) {
+    Diags.error(Form.Location, "expected (defstencil name (params) (types) "
+                               "(:= result expr))");
+    return std::nullopt;
+  }
+  if (!Form[1].isSymbol()) {
+    Diags.error(Form[1].Location, "defstencil name must be a symbol");
+    return std::nullopt;
+  }
+
+  DefStencil Def;
+  Def.Name = Form[1].Symbol;
+
+  if (!Form[2].isList()) {
+    Diags.error(Form[2].Location, "defstencil parameter list must be a list");
+    return std::nullopt;
+  }
+  for (const SExpr &P : Form[2].Elements) {
+    if (!P.isSymbol()) {
+      Diags.error(P.Location, "parameter names must be symbols");
+      return std::nullopt;
+    }
+    Def.Parameters.push_back(P.Symbol);
+  }
+
+  // Form[3] is the type list, e.g. (single-float single-float). The
+  // prototype only handled single precision; accept and ignore it, but
+  // reject anything that is plainly not a type list.
+  const SExpr *Body = nullptr;
+  if (Form[3].isList() && Form[3].size() > 0 && Form[3][0].isSymbol(":=")) {
+    Body = &Form[3]; // Types omitted.
+  } else if (Form.size() >= 5 && Form[4].isList() && Form[4].size() > 0 &&
+             Form[4][0].isSymbol(":=")) {
+    Body = &Form[4];
+  } else {
+    Diags.error(Form.Location, "defstencil body (:= result expr) not found");
+    return std::nullopt;
+  }
+  if (Body->size() != 3 || !(*Body)[1].isSymbol()) {
+    Diags.error(Body->Location, "body must be (:= result expr)");
+    return std::nullopt;
+  }
+
+  ExprLowering Lowering(Diags);
+  ft::ExprPtr Value = Lowering.lower((*Body)[2]);
+  if (!Value)
+    return std::nullopt;
+
+  ft::AssignmentStmt Stmt;
+  Stmt.Location = Body->Location;
+  Stmt.Target = (*Body)[1].Symbol;
+  Stmt.Value = std::move(Value);
+
+  Recognizer R(Diags);
+  std::optional<StencilSpec> Spec = R.recognize(Stmt);
+  if (!Spec)
+    return std::nullopt;
+  Def.Spec = std::move(*Spec);
+  return Def;
+}
+
+std::optional<DefStencil>
+cmcc::sexpr::defStencilFromSource(std::string_view Source,
+                                  DiagnosticEngine &Diags) {
+  std::optional<SExpr> Form = readOne(Source, Diags);
+  if (!Form)
+    return std::nullopt;
+  return translateDefStencil(*Form, Diags);
+}

@@ -1,0 +1,58 @@
+//===- sexpr/DefStencil.h - The Lisp defstencil front end -----*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Translator for the paper's version-1 front end, which processed Lisp
+/// definitions such as
+///
+/// \code
+///   (defstencil cross (r x c1 c2 c3 c4 c5)
+///     (single-float single-float)
+///     (:= r (+ (* c1 (cshift x 1 -1))
+///              (* c2 (cshift x 2 -1))
+///              (* c3 x)
+///              (* c4 (cshift x 2 +1))
+///              (* c5 (cshift x 1 +1)))))
+/// \endcode
+///
+/// The form is lowered to the same Fortran AST the version-2 front end
+/// produces and run through the shared Recognizer, so both front ends
+/// feed one compilation pipeline (as in the paper, where the microcode
+/// and compilation algorithms were shared).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMCC_SEXPR_DEFSTENCIL_H
+#define CMCC_SEXPR_DEFSTENCIL_H
+
+#include "sexpr/SExpr.h"
+#include "stencil/StencilSpec.h"
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace cmcc {
+namespace sexpr {
+
+/// A translated (defstencil ...) form.
+struct DefStencil {
+  std::string Name;
+  std::vector<std::string> Parameters;
+  StencilSpec Spec;
+};
+
+/// Translates one (defstencil ...) form.
+std::optional<DefStencil> translateDefStencil(const SExpr &Form,
+                                              DiagnosticEngine &Diags);
+
+/// Reads and translates \p Source, which must contain one defstencil.
+std::optional<DefStencil> defStencilFromSource(std::string_view Source,
+                                               DiagnosticEngine &Diags);
+
+} // namespace sexpr
+} // namespace cmcc
+
+#endif // CMCC_SEXPR_DEFSTENCIL_H

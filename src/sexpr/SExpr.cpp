@@ -1,0 +1,190 @@
+//===- sexpr/SExpr.cpp ----------------------------------------*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sexpr/SExpr.h"
+#include "support/StringUtils.h"
+#include <cctype>
+#include <cstdlib>
+
+using namespace cmcc;
+using namespace cmcc::sexpr;
+
+bool SExpr::isSymbol(std::string_view Name) const {
+  return isSymbol() && equalsInsensitive(Symbol, Name);
+}
+
+std::string SExpr::str() const {
+  switch (TheKind) {
+  case Kind::Symbol:
+    return toLower(Symbol);
+  case Kind::Number: {
+    if (Number == static_cast<long>(Number))
+      return std::to_string(static_cast<long>(Number));
+    return formatFixed(Number, 6);
+  }
+  case Kind::List: {
+    std::string Out = "(";
+    for (size_t I = 0; I != Elements.size(); ++I) {
+      if (I != 0)
+        Out += ' ';
+      Out += Elements[I].str();
+    }
+    Out += ')';
+    return Out;
+  }
+  }
+  return "";
+}
+
+namespace {
+
+/// Tokenizing reader over one buffer.
+class Reader {
+public:
+  Reader(std::string_view Source, DiagnosticEngine &Diags)
+      : Source(Source), Diags(Diags) {}
+
+  std::optional<SExpr> readForm();
+  void skipSpace();
+  bool atEnd() {
+    skipSpace();
+    return Pos >= Source.size();
+  }
+  SourceLocation here() const { return {Line, Column}; }
+
+private:
+  char peek() const { return Pos < Source.size() ? Source[Pos] : '\0'; }
+  char advance() {
+    char C = Source[Pos++];
+    if (C == '\n') {
+      ++Line;
+      Column = 1;
+    } else {
+      ++Column;
+    }
+    return C;
+  }
+
+  std::string_view Source;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  unsigned Line = 1;
+  unsigned Column = 1;
+};
+
+void Reader::skipSpace() {
+  while (Pos < Source.size()) {
+    char C = peek();
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      advance();
+      continue;
+    }
+    if (C == ';') {
+      while (Pos < Source.size() && peek() != '\n')
+        advance();
+      continue;
+    }
+    break;
+  }
+}
+
+/// True for characters that can appear in a Lisp atom in this subset.
+static bool isAtomChar(char C) {
+  return std::isalnum(static_cast<unsigned char>(C)) || C == '-' ||
+         C == '+' || C == '_' || C == '*' || C == ':' || C == '=' ||
+         C == '.' || C == '/' || C == '<' || C == '>' || C == '?';
+}
+
+std::optional<SExpr> Reader::readForm() {
+  skipSpace();
+  if (Pos >= Source.size()) {
+    Diags.error(here(), "unexpected end of input");
+    return std::nullopt;
+  }
+  SourceLocation Loc = here();
+  char C = peek();
+  if (C == '(') {
+    advance();
+    SExpr List;
+    List.TheKind = SExpr::Kind::List;
+    List.Location = Loc;
+    while (true) {
+      skipSpace();
+      if (Pos >= Source.size()) {
+        Diags.error(Loc, "unterminated list");
+        return std::nullopt;
+      }
+      if (peek() == ')') {
+        advance();
+        return List;
+      }
+      std::optional<SExpr> Element = readForm();
+      if (!Element)
+        return std::nullopt;
+      List.Elements.push_back(std::move(*Element));
+    }
+  }
+  if (C == ')') {
+    Diags.error(Loc, "unmatched ')'");
+    advance();
+    return std::nullopt;
+  }
+
+  // Atom.
+  std::string Text;
+  while (Pos < Source.size() && isAtomChar(peek()))
+    Text.push_back(advance());
+  if (Text.empty()) {
+    Diags.error(Loc, std::string("unexpected character '") + C + "'");
+    advance();
+    return std::nullopt;
+  }
+
+  // A number if it parses fully as one.
+  char *End = nullptr;
+  double Value = std::strtod(Text.c_str(), &End);
+  if (End && *End == '\0' && End != Text.c_str()) {
+    SExpr Num;
+    Num.TheKind = SExpr::Kind::Number;
+    Num.Location = Loc;
+    Num.Number = Value;
+    return Num;
+  }
+
+  SExpr Sym;
+  Sym.TheKind = SExpr::Kind::Symbol;
+  Sym.Location = Loc;
+  Sym.Symbol = toUpper(Text);
+  return Sym;
+}
+
+} // namespace
+
+std::optional<std::vector<SExpr>>
+cmcc::sexpr::readAll(std::string_view Source, DiagnosticEngine &Diags) {
+  Reader R(Source, Diags);
+  std::vector<SExpr> Forms;
+  while (!R.atEnd()) {
+    std::optional<SExpr> Form = R.readForm();
+    if (!Form)
+      return std::nullopt;
+    Forms.push_back(std::move(*Form));
+  }
+  return Forms;
+}
+
+std::optional<SExpr> cmcc::sexpr::readOne(std::string_view Source,
+                                          DiagnosticEngine &Diags) {
+  std::optional<std::vector<SExpr>> Forms = readAll(Source, Diags);
+  if (!Forms)
+    return std::nullopt;
+  if (Forms->size() != 1) {
+    Diags.error({1, 1}, "expected exactly one form, found " +
+                            std::to_string(Forms->size()));
+    return std::nullopt;
+  }
+  return std::move(Forms->front());
+}

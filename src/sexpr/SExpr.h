@@ -1,0 +1,62 @@
+//===- sexpr/SExpr.h - S-expression reader ---------------------*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small S-expression reader for the paper's version-1 front end, which
+/// was prototyped in Lucid Common Lisp and processed (defstencil ...)
+/// forms. Atoms are symbols (upper-cased, Lisp-style) or numbers; lists
+/// are parenthesized. ';' starts a comment.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMCC_SEXPR_SEXPR_H
+#define CMCC_SEXPR_SEXPR_H
+
+#include "support/Diagnostic.h"
+#include "support/SourceLocation.h"
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cmcc {
+namespace sexpr {
+
+/// One node of a parsed S-expression tree.
+struct SExpr {
+  enum class Kind { Symbol, Number, List };
+
+  Kind TheKind = Kind::List;
+  SourceLocation Location;
+  std::string Symbol;           ///< Valid for Symbol (upper-cased).
+  double Number = 0.0;          ///< Valid for Number.
+  std::vector<SExpr> Elements;  ///< Valid for List.
+
+  bool isSymbol() const { return TheKind == Kind::Symbol; }
+  bool isSymbol(std::string_view Name) const;
+  bool isNumber() const { return TheKind == Kind::Number; }
+  bool isList() const { return TheKind == Kind::List; }
+  size_t size() const { return Elements.size(); }
+  const SExpr &operator[](size_t I) const { return Elements[I]; }
+
+  /// Renders back to text (canonical spacing).
+  std::string str() const;
+};
+
+/// Reads every top-level form in \p Source. Errors go to \p Diags and
+/// yield std::nullopt.
+std::optional<std::vector<SExpr>> readAll(std::string_view Source,
+                                          DiagnosticEngine &Diags);
+
+/// Reads exactly one top-level form.
+std::optional<SExpr> readOne(std::string_view Source,
+                             DiagnosticEngine &Diags);
+
+} // namespace sexpr
+} // namespace cmcc
+
+#endif // CMCC_SEXPR_SEXPR_H

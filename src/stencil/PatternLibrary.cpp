@@ -1,0 +1,129 @@
+//===- stencil/PatternLibrary.cpp -----------------------------*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "stencil/PatternLibrary.h"
+#include "support/Assert.h"
+
+using namespace cmcc;
+
+std::vector<PatternId> cmcc::allPatterns() {
+  return {PatternId::Cross5, PatternId::Square9, PatternId::Cross9R2,
+          PatternId::Diamond13, PatternId::Asym5};
+}
+
+const char *cmcc::patternName(PatternId Id) {
+  switch (Id) {
+  case PatternId::Cross5:
+    return "cross5";
+  case PatternId::Square9:
+    return "square9";
+  case PatternId::Cross9R2:
+    return "cross9r2";
+  case PatternId::Diamond13:
+    return "diamond13";
+  case PatternId::Asym5:
+    return "asym5";
+  }
+  CMCC_UNREACHABLE("unknown pattern id");
+}
+
+/// Returns the tap offsets of \p Id in the order the paper writes the
+/// corresponding Fortran terms.
+static std::vector<Offset> patternOffsets(PatternId Id) {
+  switch (Id) {
+  case PatternId::Cross5:
+    // R = C1*CSHIFT(X,1,-1) + C2*CSHIFT(X,2,-1) + C3*X
+    //   + C4*CSHIFT(X,2,+1) + C5*CSHIFT(X,1,+1)
+    return {{-1, 0}, {0, -1}, {0, 0}, {0, 1}, {1, 0}};
+  case PatternId::Square9:
+    return {{-1, -1}, {-1, 0}, {-1, 1}, {0, -1}, {0, 0},
+            {0, 1},   {1, -1}, {1, 0},  {1, 1}};
+  case PatternId::Cross9R2:
+    // R = C1*CSHIFT(X,1,-2) + C2*CSHIFT(X,1,-1) + C3*CSHIFT(X,2,-2)
+    //   + C4*CSHIFT(X,2,-1) + C5*X + C6*CSHIFT(X,2,+2)
+    //   + C7*CSHIFT(X,2,+1) + C8*CSHIFT(X,1,+1) + C9*CSHIFT(X,1,+2)
+    return {{-2, 0}, {-1, 0}, {0, -2}, {0, -1}, {0, 0},
+            {0, 2},  {0, 1},  {1, 0},  {2, 0}};
+  case PatternId::Diamond13: {
+    // All offsets with |dy| + |dx| <= 2: the 13-point diamond of §5.3.
+    std::vector<Offset> Offsets;
+    for (int Dy = -2; Dy <= 2; ++Dy)
+      for (int Dx = -2; Dx <= 2; ++Dx)
+        if (std::abs(Dy) + std::abs(Dx) <= 2)
+          Offsets.push_back({Dy, Dx});
+    return Offsets;
+  }
+  case PatternId::Asym5:
+    // R = C1*X + C2*CSHIFT(X,2,+1) + C3*CSHIFT(CSHIFT(X,1,+1),2,-1)
+    //   + C4*CSHIFT(X,1,+1) + C5*CSHIFT(X,1,+2)
+    return {{0, 0}, {0, 1}, {1, -1}, {1, 0}, {2, 0}};
+  }
+  CMCC_UNREACHABLE("unknown pattern id");
+}
+
+StencilSpec cmcc::makePattern(PatternId Id) {
+  StencilSpec Spec;
+  Spec.Result = "R";
+  Spec.Source = "X";
+  std::vector<Offset> Offsets = patternOffsets(Id);
+  for (size_t I = 0; I != Offsets.size(); ++I) {
+    Tap T;
+    T.At = Offsets[I];
+    T.Coeff = Coefficient::array("C" + std::to_string(I + 1));
+    Spec.Taps.push_back(std::move(T));
+  }
+  return Spec;
+}
+
+/// Renders the term for a single offset, composing CSHIFTs the way the
+/// paper does for diagonal taps.
+static std::string termForOffset(Offset At) {
+  if (At.Dy == 0 && At.Dx == 0)
+    return "X";
+  auto Signed = [](int V) {
+    return V > 0 ? "+" + std::to_string(V) : std::to_string(V);
+  };
+  if (At.Dy == 0)
+    return "CSHIFT(X, 2, " + Signed(At.Dx) + ")";
+  if (At.Dx == 0)
+    return "CSHIFT(X, 1, " + Signed(At.Dy) + ")";
+  return "CSHIFT(CSHIFT(X, 1, " + Signed(At.Dy) + "), 2, " + Signed(At.Dx) +
+         ")";
+}
+
+std::string cmcc::patternFortranSource(PatternId Id) {
+  std::vector<Offset> Offsets = patternOffsets(Id);
+  std::string ArgList = "R, X";
+  for (size_t I = 0; I != Offsets.size(); ++I)
+    ArgList += ", C" + std::to_string(I + 1);
+
+  std::string Source;
+  Source += "      SUBROUTINE " + std::string(patternName(Id)) + " (" +
+            ArgList + ")\n";
+  Source += "      REAL, ARRAY(:,:) :: " + ArgList + "\n";
+  for (size_t I = 0; I != Offsets.size(); ++I) {
+    Source += I == 0 ? "      R = " : "     &  + ";
+    Source += "C" + std::to_string(I + 1) + " * " + termForOffset(Offsets[I]);
+    if (I + 1 != Offsets.size())
+      Source += " &";
+    Source += "\n";
+  }
+  Source += "      END\n";
+  return Source;
+}
+
+StencilSpec cmcc::makeSpecFromOffsets(const std::vector<Offset> &Offsets) {
+  StencilSpec Spec;
+  Spec.Result = "R";
+  Spec.Source = "X";
+  for (Offset At : Offsets) {
+    Tap T;
+    T.At = At;
+    T.Coeff = Coefficient::scalar(1.0);
+    Spec.Taps.push_back(std::move(T));
+  }
+  return Spec;
+}

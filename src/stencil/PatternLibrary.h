@@ -1,0 +1,54 @@
+//===- stencil/PatternLibrary.h - Paper's named stencils ------*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The stencil patterns that appear in the paper's figures and results
+/// table, both as ready-made StencilSpecs and as the Fortran subroutine
+/// sources the paper's second prototype would process. Having both lets
+/// tests and benchmarks drive either the IR directly or the full
+/// lexer → parser → recognizer pipeline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMCC_STENCIL_PATTERNLIBRARY_H
+#define CMCC_STENCIL_PATTERNLIBRARY_H
+
+#include "stencil/StencilSpec.h"
+#include <string>
+#include <vector>
+
+namespace cmcc {
+
+/// The named patterns used throughout the paper.
+enum class PatternId {
+  Cross5,    ///< §2 first example: N/S/E/W + center (9 useful flops).
+  Square9,   ///< §2 third example: full 3x3 block (17 useful flops).
+  Cross9R2,  ///< §2 second example: radius-2 cross (17 useful flops).
+  Diamond13, ///< §5.3: the 13-point diamond (25 useful flops).
+  Asym5,     ///< §2 fourth example: the asymmetric 5-point pattern.
+};
+
+/// All patterns, in the order they appear in the paper.
+std::vector<PatternId> allPatterns();
+
+/// A short stable name ("cross5", "diamond13", ...).
+const char *patternName(PatternId Id);
+
+/// Builds the StencilSpec with coefficient arrays C1..Cn, source X,
+/// result R, circular boundaries.
+StencilSpec makePattern(PatternId Id);
+
+/// The Fortran subroutine source for the pattern, in the paper's
+/// isolated-subroutine style.
+std::string patternFortranSource(PatternId Id);
+
+/// Builds a StencilSpec from a plain offset list with scalar coefficient
+/// 1.0 everywhere (convenient for property tests).
+StencilSpec makeSpecFromOffsets(const std::vector<Offset> &Offsets);
+
+} // namespace cmcc
+
+#endif // CMCC_STENCIL_PATTERNLIBRARY_H

@@ -1,0 +1,387 @@
+//===- stencil/Recognizer.cpp ---------------------------------*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "stencil/Recognizer.h"
+#include "fortran/AstPrinter.h"
+#include "support/Assert.h"
+#include <algorithm>
+
+using namespace cmcc;
+using namespace cmcc::fortran;
+
+void Recognizer::flattenSum(const Expr &E, double Sign,
+                            std::vector<Term> &Out) {
+  if (const auto *B = exprDynCast<BinaryExpr>(&E)) {
+    if (B->op() == BinaryExpr::Op::Add) {
+      flattenSum(B->lhs(), Sign, Out);
+      flattenSum(B->rhs(), Sign, Out);
+      return;
+    }
+    if (B->op() == BinaryExpr::Op::Sub) {
+      flattenSum(B->lhs(), Sign, Out);
+      flattenSum(B->rhs(), -Sign, Out);
+      return;
+    }
+  }
+  if (const auto *U = exprDynCast<UnaryExpr>(&E)) {
+    double S = U->op() == UnaryExpr::Op::Minus ? -Sign : Sign;
+    flattenSum(U->operand(), S, Out);
+    return;
+  }
+  Out.push_back({&E, Sign});
+}
+
+bool Recognizer::isShiftChain(const Expr &E) const {
+  if (exprDynCast<ArrayNameExpr>(&E))
+    return true;
+  if (const auto *S = exprDynCast<ShiftCallExpr>(&E))
+    return isShiftChain(S->array());
+  return false;
+}
+
+std::optional<Recognizer::ShiftChain>
+Recognizer::matchShiftChain(const Expr &E) {
+  if (const auto *Name = exprDynCast<ArrayNameExpr>(&E)) {
+    ShiftChain C;
+    C.Variable = Name->name();
+    return C;
+  }
+  const auto *S = exprDynCast<ShiftCallExpr>(&E);
+  if (!S)
+    return std::nullopt;
+  std::optional<ShiftChain> Inner = matchShiftChain(S->array());
+  if (!Inner)
+    return std::nullopt;
+
+  // Composition sums offsets: CSHIFT(CSHIFT(X,1,a),2,b) reads
+  // X(i+a, j+b), matching the paper's composed-shift examples.
+  bool Circular = S->shiftKind() == ShiftCallExpr::ShiftKind::Circular;
+  if (S->dim() == 1) {
+    Inner->At.Dy += S->shift();
+    (Circular ? Inner->UsedCircularDim1 : Inner->UsedZeroDim1) = true;
+  } else {
+    assert(S->dim() == 2 && "parser guarantees DIM is 1 or 2");
+    Inner->At.Dx += S->shift();
+    (Circular ? Inner->UsedCircularDim2 : Inner->UsedZeroDim2) = true;
+  }
+  return Inner;
+}
+
+std::optional<double> Recognizer::matchScalar(const Expr &E) const {
+  if (const auto *Lit = exprDynCast<RealLiteralExpr>(&E))
+    return Lit->value();
+  if (const auto *U = exprDynCast<UnaryExpr>(&E)) {
+    std::optional<double> Inner = matchScalar(U->operand());
+    if (!Inner)
+      return std::nullopt;
+    return U->op() == UnaryExpr::Op::Minus ? -*Inner : *Inner;
+  }
+  return std::nullopt;
+}
+
+std::optional<StencilSpec>
+Recognizer::recognize(const AssignmentStmt &Stmt) {
+  std::vector<Term> Terms;
+  flattenSum(*Stmt.Value, 1.0, Terms);
+
+  // First pass: the stencil variable is whatever appears under a shift.
+  // All shiftings within the statement must shift the same name, unless
+  // the multi-source extension is enabled.
+  std::string Source;
+  std::vector<std::string> ExtraSources;
+  for (const Term &T : Terms) {
+    const Expr *Candidates[2] = {T.E, nullptr};
+    if (const auto *B = exprDynCast<BinaryExpr>(T.E);
+        B && B->op() == BinaryExpr::Op::Mul) {
+      Candidates[0] = &B->lhs();
+      Candidates[1] = &B->rhs();
+    }
+    for (const Expr *C : Candidates) {
+      if (!C || !exprDynCast<ShiftCallExpr>(C))
+        continue;
+      std::optional<ShiftChain> Chain = matchShiftChain(*C);
+      if (!Chain) {
+        Diags.error(C->location(),
+                    "shift intrinsic must be applied to a (possibly "
+                    "shifted) array name");
+        return std::nullopt;
+      }
+      if (Source.empty()) {
+        Source = Chain->Variable;
+      } else if (Source != Chain->Variable) {
+        if (!Opts.AllowMultipleSources) {
+          Diags.error(C->location(),
+                      "all shiftings in one statement must shift the same "
+                      "variable: found '" +
+                          Chain->Variable + "' after '" + Source +
+                          "' (the multi-source extension lifts this)");
+          return std::nullopt;
+        }
+        if (std::find(ExtraSources.begin(), ExtraSources.end(),
+                      Chain->Variable) == ExtraSources.end())
+          ExtraSources.push_back(Chain->Variable);
+      }
+    }
+  }
+
+  StencilSpec Spec;
+  Spec.Result = Stmt.Target;
+  Spec.Source = Source;
+  Spec.ExtraSources = ExtraSources;
+
+  // Index of an already-registered source, or -1.
+  auto SourceIndexOf = [&Spec](const std::string &Name) -> int {
+    for (int I = 0; I != Spec.sourceCount(); ++I)
+      if (Spec.sourceName(I) == Name)
+        return I;
+    return -1;
+  };
+
+  bool SawCircular1 = false, SawZero1 = false;
+  bool SawCircular2 = false, SawZero2 = false;
+
+  // Strips unary +/- layers, folding them into *SignOut.
+  auto PeelSign = [](const Expr &E, double *SignOut) -> const Expr * {
+    const Expr *Cur = &E;
+    while (const auto *U = exprDynCast<UnaryExpr>(Cur)) {
+      if (U->op() == UnaryExpr::Op::Minus)
+        *SignOut = -*SignOut;
+      Cur = &U->operand();
+    }
+    return Cur;
+  };
+
+  // Classifies one factor of a product as a data factor over an
+  // already-registered source.
+  auto IsDataFactor = [&](const Expr &E) {
+    double Sign = 1.0;
+    const Expr *Core = PeelSign(E, &Sign);
+    if (!isShiftChain(*Core))
+      return false;
+    std::optional<ShiftChain> C = matchShiftChain(*Core);
+    assert(C && "isShiftChain and matchShiftChain disagree");
+    if (!Spec.Source.empty())
+      return SourceIndexOf(C->Variable) >= 0;
+    // No shift appears anywhere in the statement: only a bare name can
+    // be data, and we have nothing to distinguish it by yet.
+    return exprDynCast<ShiftCallExpr>(Core) != nullptr;
+  };
+
+  // Builds a coefficient from a factor, folding unary signs into
+  // *SignInOut.
+  auto MakeCoefficient = [&](const Expr &E,
+                             double *SignInOut) -> std::optional<Coefficient> {
+    if (std::optional<double> S = matchScalar(E))
+      return Coefficient::scalar(*S); // Sign already inside the value.
+    const Expr *Core = PeelSign(E, SignInOut);
+    if (const auto *Name = exprDynCast<ArrayNameExpr>(Core))
+      return Coefficient::array(Name->name());
+    return std::nullopt;
+  };
+
+  auto AddDataTap = [&](const Expr &ChainOrSigned, Coefficient Coeff,
+                        double Sign) -> bool {
+    const Expr &ChainExpr = *PeelSign(ChainOrSigned, &Sign);
+    std::optional<ShiftChain> Chain = matchShiftChain(ChainExpr);
+    if (!Chain)
+      return false;
+    int SourceIdx;
+    if (Spec.Source.empty()) {
+      Spec.Source = Chain->Variable;
+      SourceIdx = 0;
+    } else {
+      SourceIdx = SourceIndexOf(Chain->Variable);
+      if (SourceIdx < 0) {
+        if (!Opts.AllowMultipleSources)
+          return false;
+        Spec.ExtraSources.push_back(Chain->Variable);
+        SourceIdx = Spec.sourceCount() - 1;
+      }
+    }
+    SawCircular1 |= Chain->UsedCircularDim1;
+    SawZero1 |= Chain->UsedZeroDim1;
+    SawCircular2 |= Chain->UsedCircularDim2;
+    SawZero2 |= Chain->UsedZeroDim2;
+    Tap T;
+    T.At = Chain->At;
+    T.Coeff = std::move(Coeff);
+    T.Sign = Sign;
+    T.HasData = true;
+    T.SourceIndex = SourceIdx;
+    Spec.Taps.push_back(std::move(T));
+    return true;
+  };
+
+  for (const Term &T : Terms) {
+    const Expr &E = *T.E;
+
+    if (const auto *B = exprDynCast<BinaryExpr>(&E);
+        B && B->op() == BinaryExpr::Op::Mul) {
+      const Expr &L = B->lhs();
+      const Expr &R = B->rhs();
+      const Expr *Data = nullptr;
+      const Expr *Coeff = nullptr;
+      if (IsDataFactor(L) && !IsDataFactor(R)) {
+        Data = &L;
+        Coeff = &R;
+      } else if (IsDataFactor(R) && !IsDataFactor(L)) {
+        Data = &R;
+        Coeff = &L;
+      } else if (IsDataFactor(L) && IsDataFactor(R)) {
+        Diags.error(B->location(),
+                    "term multiplies the stencil variable by itself; the "
+                    "recognized form is linear in the shifted variable");
+        return std::nullopt;
+      } else if (double Tmp = 1.0;
+                 (Spec.Source.empty() || Opts.AllowMultipleSources) &&
+                 [&] {
+                   // Neither factor is a registered source. Either the
+                   // statement has no shifts at all (classic pointwise
+                   // fallback) or the multi-source extension is on and
+                   // this term introduces a new source. Prefer a shifted
+                   // factor as data; between two bare names take the
+                   // right one (documented convention).
+                   const Expr *LCore = PeelSign(L, &Tmp);
+                   const Expr *RCore = PeelSign(R, &Tmp);
+                   bool LCall = exprDynCast<ShiftCallExpr>(LCore) != nullptr;
+                   bool RCall = exprDynCast<ShiftCallExpr>(RCore) != nullptr;
+                   if (isShiftChain(*RCore) && (RCall || !LCall)) {
+                     Data = &R;
+                     Coeff = &L;
+                     return true;
+                   }
+                   if (isShiftChain(*LCore) && LCall) {
+                     Data = &L;
+                     Coeff = &R;
+                     return true;
+                   }
+                   return false;
+                 }()) {
+        // Data/Coeff set by the lambda above.
+      } else {
+        Diags.error(B->location(),
+                    "term is not of the form c * s(" +
+                        (Spec.Source.empty() ? std::string("x")
+                                             : Spec.Source) +
+                        "): " + printExpr(E));
+        return std::nullopt;
+      }
+      double Sign = T.Sign;
+      std::optional<Coefficient> C = MakeCoefficient(*Coeff, &Sign);
+      if (!C) {
+        Diags.error(Coeff->location(),
+                    "coefficient must be a whole-array name or a scalar "
+                    "constant: " +
+                        printExpr(*Coeff));
+        return std::nullopt;
+      }
+      if (!AddDataTap(*Data, std::move(*C), Sign))
+        CMCC_UNREACHABLE("data factor stopped matching");
+      continue;
+    }
+
+    // A lone shift chain of a stencil variable: coefficient 1.0.
+    if (isShiftChain(E)) {
+      std::optional<ShiftChain> Chain = matchShiftChain(E);
+      assert(Chain && "isShiftChain and matchShiftChain disagree");
+      bool IsSourceChain =
+          !Spec.Source.empty() ? SourceIndexOf(Chain->Variable) >= 0
+                               : exprDynCast<ShiftCallExpr>(&E) != nullptr;
+      if (IsSourceChain) {
+        if (!AddDataTap(E, Coefficient::scalar(1.0), T.Sign))
+          CMCC_UNREACHABLE("data factor stopped matching");
+        continue;
+      }
+      // A bare array name that is not the stencil variable: the paper's
+      // "c" term, added in via the reserved 1.0 register.
+      if (const auto *Name = exprDynCast<ArrayNameExpr>(&E)) {
+        Tap Bare;
+        Bare.Coeff = Coefficient::array(Name->name());
+        Bare.Sign = T.Sign;
+        Bare.HasData = false;
+        Spec.Taps.push_back(std::move(Bare));
+        continue;
+      }
+    }
+
+    if (std::optional<double> S = matchScalar(E)) {
+      Tap Bare;
+      Bare.Coeff = Coefficient::scalar(*S);
+      Bare.Sign = T.Sign;
+      Bare.HasData = false;
+      Spec.Taps.push_back(std::move(Bare));
+      continue;
+    }
+
+    Diags.error(E.location(),
+                "term is outside the recognized stencil form: " +
+                    printExpr(E));
+    return std::nullopt;
+  }
+
+  if (SawCircular1 && SawZero1) {
+    Diags.error(Stmt.Location,
+                "mixing CSHIFT and EOSHIFT along DIM=1 is not supported "
+                "(the composition is order-dependent)");
+    return std::nullopt;
+  }
+  if (SawCircular2 && SawZero2) {
+    Diags.error(Stmt.Location,
+                "mixing CSHIFT and EOSHIFT along DIM=2 is not supported "
+                "(the composition is order-dependent)");
+    return std::nullopt;
+  }
+  Spec.BoundaryDim1 = SawZero1 ? BoundaryKind::Zero : BoundaryKind::Circular;
+  Spec.BoundaryDim2 = SawZero2 ? BoundaryKind::Zero : BoundaryKind::Circular;
+
+  if (Error E = Spec.validate()) {
+    Diags.error(Stmt.Location, E.message());
+    return std::nullopt;
+  }
+  return Spec;
+}
+
+std::optional<StencilSpec> Recognizer::recognize(const Subroutine &Sub) {
+  if (Sub.Body.size() != 1) {
+    Diags.error(Sub.Location,
+                "stencil subroutine must contain exactly one assignment "
+                "statement (found " +
+                    std::to_string(Sub.Body.size()) + ")");
+    return std::nullopt;
+  }
+  std::optional<StencilSpec> Spec = recognize(Sub.Body.front());
+  if (!Spec)
+    return std::nullopt;
+
+  if (!Sub.Declarations.empty()) {
+    auto CheckDeclared = [&](const std::string &Name) {
+      const ArrayDecl *D = Sub.findDeclaration(Name);
+      if (!D) {
+        Diags.error(Sub.Location,
+                    "array '" + Name + "' is not declared in subroutine '" +
+                        Sub.Name + "'");
+        return false;
+      }
+      if (D->Rank != 2)
+        Diags.warning(D->Location,
+                      "array '" + Name + "' has rank " +
+                          std::to_string(D->Rank) +
+                          "; the convolution kernel operates on the two "
+                          "distributed axes");
+      return true;
+    };
+    bool Ok = CheckDeclared(Spec->Result);
+    if (!Spec->Source.empty())
+      Ok &= CheckDeclared(Spec->Source);
+    for (const std::string &Name : Spec->ExtraSources)
+      Ok &= CheckDeclared(Name);
+    for (const std::string &Name : Spec->coefficientArrayNames())
+      Ok &= CheckDeclared(Name);
+    if (!Ok)
+      return std::nullopt;
+  }
+  return Spec;
+}

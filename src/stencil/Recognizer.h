@@ -1,0 +1,86 @@
+//===- stencil/Recognizer.h - Assignment pattern matcher ------*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The pattern matcher at the heart of the paper's compiler module. It
+/// accepts single arithmetic assignment statements of the form
+///
+///   R = T + T + ... + T
+///
+/// where each term T is c*s(x), s(x)*c, s(x), or c, with c a whole-array
+/// (or scalar literal) coefficient and s(x) a possibly nested
+/// CSHIFT/EOSHIFT shifting of a single variable x. All shiftings within
+/// one statement must shift the same variable name, exactly as the paper
+/// requires. Violations produce diagnostics — the feedback the paper's
+/// production version planned to give for flagged statements.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMCC_STENCIL_RECOGNIZER_H
+#define CMCC_STENCIL_RECOGNIZER_H
+
+#include "fortran/Ast.h"
+#include "stencil/StencilSpec.h"
+#include "support/Diagnostic.h"
+#include <optional>
+
+namespace cmcc {
+
+/// Knobs controlling how permissive recognition is.
+struct RecognizerOptions {
+  /// The paper requires all shiftings in one statement to shift the same
+  /// variable. Enabling this implements the §9 extension: terms may
+  /// shift several different arrays ("future versions of the compiler
+  /// should be able to handle all ten terms as one stencil pattern"),
+  /// which become additional sources with their own register columns
+  /// and halo exchanges.
+  bool AllowMultipleSources = false;
+};
+
+/// Matches assignment ASTs against the recognized stencil form.
+class Recognizer {
+public:
+  explicit Recognizer(DiagnosticEngine &Diags) : Diags(Diags) {}
+  Recognizer(DiagnosticEngine &Diags, RecognizerOptions Opts)
+      : Diags(Diags), Opts(Opts) {}
+
+  /// Recognizes one assignment statement. Returns std::nullopt (with
+  /// diagnostics) when the statement is outside the supported form.
+  std::optional<StencilSpec> recognize(const fortran::AssignmentStmt &S);
+
+  /// Recognizes the paper's version-2 unit: a subroutine whose body is a
+  /// single stencil assignment. Declarations, when present, are checked
+  /// (every referenced array must be declared rank-2 or be a parameter).
+  std::optional<StencilSpec> recognize(const fortran::Subroutine &Sub);
+
+private:
+  /// One additive term with its folded sign.
+  struct Term {
+    const fortran::Expr *E;
+    double Sign;
+  };
+
+  /// Result of analyzing one shift chain s(x).
+  struct ShiftChain {
+    std::string Variable;
+    Offset At;
+    bool UsedCircularDim1 = false, UsedZeroDim1 = false;
+    bool UsedCircularDim2 = false, UsedZeroDim2 = false;
+  };
+
+  void flattenSum(const fortran::Expr &E, double Sign,
+                  std::vector<Term> &Out);
+  std::optional<ShiftChain> matchShiftChain(const fortran::Expr &E);
+  bool isShiftChain(const fortran::Expr &E) const;
+  std::optional<double> matchScalar(const fortran::Expr &E) const;
+
+  DiagnosticEngine &Diags;
+  RecognizerOptions Opts;
+};
+
+} // namespace cmcc
+
+#endif // CMCC_STENCIL_RECOGNIZER_H

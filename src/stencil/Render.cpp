@@ -1,0 +1,52 @@
+//===- stencil/Render.cpp -------------------------------------*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "stencil/Render.h"
+#include <algorithm>
+
+using namespace cmcc;
+
+std::string cmcc::renderOffsets(const std::vector<Offset> &Offsets) {
+  if (Offsets.empty())
+    return "(empty)\n";
+  int MinDy = 0, MaxDy = 0, MinDx = 0, MaxDx = 0;
+  for (Offset At : Offsets) {
+    MinDy = std::min(MinDy, At.Dy);
+    MaxDy = std::max(MaxDy, At.Dy);
+    MinDx = std::min(MinDx, At.Dx);
+    MaxDx = std::max(MaxDx, At.Dx);
+  }
+  std::string Out;
+  for (int Dy = MinDy; Dy <= MaxDy; ++Dy) {
+    for (int Dx = MinDx; Dx <= MaxDx; ++Dx) {
+      bool IsTap =
+          std::find(Offsets.begin(), Offsets.end(), Offset{Dy, Dx}) !=
+          Offsets.end();
+      char C = '.';
+      if (Dy == 0 && Dx == 0)
+        C = IsTap ? '@' : 'o';
+      else if (IsTap)
+        C = '#';
+      Out.push_back(C);
+      if (Dx != MaxDx)
+        Out.push_back(' ');
+    }
+    Out.push_back('\n');
+  }
+  return Out;
+}
+
+std::string cmcc::renderStencil(const StencilSpec &Spec) {
+  return renderOffsets(Spec.distinctDataOffsets());
+}
+
+std::string cmcc::renderBorderWidths(const BorderWidths &B) {
+  return "north=" + std::to_string(B.North) +
+         " south=" + std::to_string(B.South) +
+         " west=" + std::to_string(B.West) +
+         " east=" + std::to_string(B.East) +
+         " (max=" + std::to_string(B.maximum()) + ")";
+}

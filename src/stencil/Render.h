@@ -1,0 +1,37 @@
+//===- stencil/Render.h - ASCII stencil diagrams --------------*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ASCII renderings of the paper's figures: stencil patterns (shaded
+/// squares with a bullet at the store position), border widths, and the
+/// halo-padding picture of §5.1. Multistencil renderings live with the
+/// Multistencil class in core/.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMCC_STENCIL_RENDER_H
+#define CMCC_STENCIL_RENDER_H
+
+#include "stencil/StencilSpec.h"
+#include <string>
+
+namespace cmcc {
+
+/// Renders the tap pattern: '#' for a tap, '@' for the center when it is
+/// itself a tap, 'o' for the (store) center when it is not, '.' empty.
+/// North (negative Dy) is the top row.
+std::string renderStencil(const StencilSpec &Spec);
+
+/// Renders the same pattern from a bare offset list.
+std::string renderOffsets(const std::vector<Offset> &Offsets);
+
+/// Renders the border widths as the paper annotates them, e.g.
+/// "north=2 south=0 west=3 east=1 (max=3)".
+std::string renderBorderWidths(const BorderWidths &B);
+
+} // namespace cmcc
+
+#endif // CMCC_STENCIL_RENDER_H

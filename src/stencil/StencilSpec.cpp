@@ -1,0 +1,153 @@
+//===- stencil/StencilSpec.cpp --------------------------------*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "stencil/StencilSpec.h"
+#include "support/StringUtils.h"
+#include <algorithm>
+
+using namespace cmcc;
+
+int BorderWidths::maximum() const {
+  return std::max(std::max(North, South), std::max(West, East));
+}
+
+Error StencilSpec::validate() const {
+  if (Result.empty())
+    return makeError("stencil has no result array");
+  if (Taps.empty())
+    return makeError("stencil has no terms");
+
+  bool AnyData = false;
+  for (const Tap &T : Taps) {
+    if (T.Sign != 1.0 && T.Sign != -1.0)
+      return makeError("tap sign must be +1 or -1");
+    if (T.HasData)
+      AnyData = true;
+    if (!T.HasData && (T.At.Dy != 0 || T.At.Dx != 0))
+      return makeError("bare-coefficient term cannot carry a data offset");
+    if (T.HasData && (T.SourceIndex < 0 || T.SourceIndex >= sourceCount()))
+      return makeError("tap references source index " +
+                       std::to_string(T.SourceIndex) + " of " +
+                       std::to_string(sourceCount()));
+    if (T.Coeff.isArray()) {
+      for (int S = 0; S != sourceCount(); ++S)
+        if (T.Coeff.Name == sourceName(S))
+          return makeError("coefficient array '" + T.Coeff.Name +
+                           "' aliases a stencil variable");
+      if (T.Coeff.Name == Result)
+        return makeError("coefficient array '" + T.Coeff.Name +
+                         "' aliases the result array");
+    }
+  }
+  if (AnyData && Source.empty())
+    return makeError("stencil has data terms but no source array");
+  for (int S = 0; S != sourceCount(); ++S)
+    if (Result == sourceName(S))
+      return makeError("result array '" + Result +
+                       "' aliases a stencil variable (the run-time library "
+                       "stores results while neighbors are still live)");
+  for (int S = 0; S != sourceCount(); ++S)
+    for (int S2 = S + 1; S2 != sourceCount(); ++S2)
+      if (sourceName(S) == sourceName(S2))
+        return makeError("duplicate source array '" + sourceName(S) + "'");
+  return Error::success();
+}
+
+BorderWidths StencilSpec::borderWidths() const {
+  BorderWidths B;
+  for (const Tap &T : Taps) {
+    if (!T.HasData)
+      continue;
+    B.North = std::max(B.North, -T.At.Dy);
+    B.South = std::max(B.South, T.At.Dy);
+    B.West = std::max(B.West, -T.At.Dx);
+    B.East = std::max(B.East, T.At.Dx);
+  }
+  return B;
+}
+
+std::vector<Offset> StencilSpec::distinctDataOffsets() const {
+  std::vector<Offset> Offsets;
+  for (const Tap &T : Taps)
+    if (T.HasData)
+      Offsets.push_back(T.At);
+  std::sort(Offsets.begin(), Offsets.end());
+  Offsets.erase(std::unique(Offsets.begin(), Offsets.end()), Offsets.end());
+  return Offsets;
+}
+
+std::vector<Offset> StencilSpec::distinctDataOffsets(int SourceIdx) const {
+  std::vector<Offset> Offsets;
+  for (const Tap &T : Taps)
+    if (T.HasData && T.SourceIndex == SourceIdx)
+      Offsets.push_back(T.At);
+  std::sort(Offsets.begin(), Offsets.end());
+  Offsets.erase(std::unique(Offsets.begin(), Offsets.end()), Offsets.end());
+  return Offsets;
+}
+
+bool StencilSpec::needsCornerData() const {
+  for (const Tap &T : Taps)
+    if (T.HasData && T.At.Dy != 0 && T.At.Dx != 0)
+      return true;
+  return false;
+}
+
+bool StencilSpec::needsUnitRegister() const {
+  for (const Tap &T : Taps)
+    if (!T.HasData)
+      return true;
+  return false;
+}
+
+int StencilSpec::usefulFlopsPerPoint() const {
+  int Multiplies = 0;
+  for (const Tap &T : Taps)
+    if (T.HasData)
+      ++Multiplies;
+  int Adds = static_cast<int>(Taps.size()) - 1;
+  return Multiplies + std::max(Adds, 0);
+}
+
+std::vector<std::string> StencilSpec::coefficientArrayNames() const {
+  std::vector<std::string> Names;
+  for (const Tap &T : Taps) {
+    if (!T.Coeff.isArray())
+      continue;
+    if (std::find(Names.begin(), Names.end(), T.Coeff.Name) == Names.end())
+      Names.push_back(T.Coeff.Name);
+  }
+  return Names;
+}
+
+std::string StencilSpec::str() const {
+  std::string Out = Result + " =";
+  bool First = true;
+  for (const Tap &T : Taps) {
+    if (First) {
+      Out += T.Sign < 0 ? " -" : " ";
+      First = false;
+    } else {
+      Out += T.Sign < 0 ? " - " : " + ";
+    }
+    std::string CoeffText = T.Coeff.isArray()
+                                ? T.Coeff.Name
+                                : formatFixed(T.Coeff.Value, 3);
+    if (!T.HasData) {
+      Out += CoeffText;
+      continue;
+    }
+    Out += CoeffText + "*";
+    const std::string &Src = sourceName(T.SourceIndex);
+    if (T.At.Dy == 0 && T.At.Dx == 0) {
+      Out += Src;
+      continue;
+    }
+    Out += Src + "(" + std::to_string(T.At.Dy) + "," +
+           std::to_string(T.At.Dx) + ")";
+  }
+  return Out;
+}

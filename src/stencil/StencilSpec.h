@@ -1,0 +1,170 @@
+//===- stencil/StencilSpec.h - Stencil intermediate form ------*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The stencil intermediate representation produced by the recognizer and
+/// consumed by the convolution compiler and run-time library.
+///
+/// A stencil computes, for every (i, j):
+///
+///   R(i,j) = sum over taps t of
+///              Sign_t * Coeff_t(i,j) * X(i + Dy_t, j + Dx_t)
+///
+/// where Dy is the offset along Fortran DIM=1 (rows) and Dx along DIM=2
+/// (columns), and the boundary is circular (CSHIFT) or zero (EOSHIFT) per
+/// dimension. A tap may also have no data factor at all (the paper's bare
+/// "c" term), in which case Coeff_t(i,j) is simply added in.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMCC_STENCIL_STENCILSPEC_H
+#define CMCC_STENCIL_STENCILSPEC_H
+
+#include "support/Error.h"
+#include <string>
+#include <vector>
+
+namespace cmcc {
+
+/// A relative grid offset. Dy indexes DIM=1 (rows, increasing southward in
+/// diagrams), Dx indexes DIM=2 (columns, increasing eastward).
+struct Offset {
+  int Dy = 0;
+  int Dx = 0;
+
+  friend bool operator==(Offset A, Offset B) {
+    return A.Dy == B.Dy && A.Dx == B.Dx;
+  }
+  friend bool operator<(Offset A, Offset B) {
+    if (A.Dy != B.Dy)
+      return A.Dy < B.Dy;
+    return A.Dx < B.Dx;
+  }
+};
+
+/// The coefficient of one term: either a whole coefficient array (the
+/// paper's normal case) or a scalar literal (a convenience extension).
+struct Coefficient {
+  enum class Kind { Array, Scalar };
+
+  Kind TheKind = Kind::Scalar;
+  std::string Name;   ///< Valid for Array.
+  double Value = 0.0; ///< Valid for Scalar.
+
+  static Coefficient array(std::string Name) {
+    Coefficient C;
+    C.TheKind = Kind::Array;
+    C.Name = std::move(Name);
+    return C;
+  }
+  static Coefficient scalar(double Value) {
+    Coefficient C;
+    C.TheKind = Kind::Scalar;
+    C.Value = Value;
+    return C;
+  }
+
+  bool isArray() const { return TheKind == Kind::Array; }
+};
+
+/// One term of the recognized sum.
+struct Tap {
+  Offset At;
+  Coefficient Coeff;
+  /// +1.0 or -1.0, folding the surrounding +/- and unary signs.
+  double Sign = 1.0;
+  /// False for a bare-coefficient term (no shifted-data factor); such a
+  /// term consumes the reserved 1.0 register at run time.
+  bool HasData = true;
+  /// Which source array the data factor shifts: 0 is StencilSpec::Source,
+  /// k > 0 is ExtraSources[k-1]. Always 0 in the paper's recognized form;
+  /// additional sources implement the §9 extension ("handle all ten
+  /// terms as one stencil pattern").
+  int SourceIndex = 0;
+};
+
+/// Per-direction halo extents of a pattern (the paper's border widths).
+struct BorderWidths {
+  int North = 0; ///< max(0, -min Dy)
+  int South = 0; ///< max(0, max Dy)
+  int West = 0;  ///< max(0, -min Dx)
+  int East = 0;  ///< max(0, max Dx)
+
+  int maximum() const;
+};
+
+/// How out-of-range source indices behave along one dimension.
+enum class BoundaryKind {
+  Circular, ///< CSHIFT wraparound.
+  Zero,     ///< EOSHIFT end-off with zero fill.
+};
+
+/// A fully recognized stencil assignment statement.
+class StencilSpec {
+public:
+  std::string Result;
+  std::string Source;
+  /// Additional shifted arrays (the multi-source extension); tap source
+  /// index k refers to ExtraSources[k-1].
+  std::vector<std::string> ExtraSources;
+  std::vector<Tap> Taps;
+  BoundaryKind BoundaryDim1 = BoundaryKind::Circular;
+  BoundaryKind BoundaryDim2 = BoundaryKind::Circular;
+
+  /// Number of source arrays (0 when the statement has no data terms).
+  int sourceCount() const {
+    return Source.empty() ? 0 : 1 + static_cast<int>(ExtraSources.size());
+  }
+
+  /// Name of source \p I (0 = Source).
+  const std::string &sourceName(int I) const {
+    return I == 0 ? Source : ExtraSources[I - 1];
+  }
+
+  /// Checks internal consistency (nonempty, no result/source aliasing,
+  /// signs are ±1). Returns a failure describing the first problem.
+  Error validate() const;
+
+  /// Border widths of the tap pattern.
+  BorderWidths borderWidths() const;
+
+  /// The distinct data offsets referenced by data-bearing taps (of all
+  /// sources), sorted. Two taps at the same offset of the same source
+  /// share one data element (and one register), exactly as in the
+  /// paper's multistencils.
+  std::vector<Offset> distinctDataOffsets() const;
+
+  /// The distinct data offsets of one source only.
+  std::vector<Offset> distinctDataOffsets(int SourceIdx) const;
+
+  /// True if any tap needs data that is diagonal from the subgrid (both
+  /// offsets nonzero) — such stencils require the corner-exchange step.
+  bool needsCornerData() const;
+
+  /// True if any bare-coefficient term is present (consumes the reserved
+  /// 1.0 register).
+  bool needsUnitRegister() const;
+
+  /// Useful floating-point operations per result point, counted the way
+  /// the paper counts them: one multiply per data-bearing tap with a
+  /// coefficient, plus (number of terms - 1) adds. A 5-tap cross counts 9
+  /// even though it executes as 5 multiply-add steps.
+  int usefulFlopsPerPoint() const;
+
+  /// The number of multiply-add machine operations per result point (one
+  /// per tap; the first add is a wasted add-to-zero).
+  int machineOpsPerPoint() const { return static_cast<int>(Taps.size()); }
+
+  /// Names of all coefficient arrays, in tap order, without duplicates.
+  std::vector<std::string> coefficientArrayNames() const;
+
+  /// A canonical Fortran-style rendering (for tests and messages).
+  std::string str() const;
+};
+
+} // namespace cmcc
+
+#endif // CMCC_STENCIL_STENCILSPEC_H

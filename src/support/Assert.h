@@ -1,0 +1,40 @@
+//===- support/Assert.h - Programmatic-error helpers ----------*- C++ -*-===//
+//
+// Part of the CMCC project: a reproduction of "Fortran at Ten Gigaflops:
+// The Connection Machine Convolution Compiler" (PLDI 1991).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Assertion-style helpers for documenting invariants that must hold unless
+/// the program itself is buggy. Recoverable (user-input) errors go through
+/// support/Error.h and support/Diagnostic.h instead.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMCC_SUPPORT_ASSERT_H
+#define CMCC_SUPPORT_ASSERT_H
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+namespace cmcc {
+
+/// Reports a violated internal invariant and aborts. Used by
+/// CMCC_UNREACHABLE; do not call directly.
+[[noreturn]] inline void reportUnreachable(const char *Msg, const char *File,
+                                           unsigned Line) {
+  std::fprintf(stderr, "%s:%u: unreachable executed: %s\n", File, Line, Msg);
+  std::abort();
+}
+
+} // namespace cmcc
+
+/// Marks a point in the program that cannot be reached if the program's
+/// invariants hold. Always aborts with a message (this is a research
+/// codebase; we keep the check in release builds too).
+#define CMCC_UNREACHABLE(Msg)                                                  \
+  ::cmcc::reportUnreachable(Msg, __FILE__, __LINE__)
+
+#endif // CMCC_SUPPORT_ASSERT_H

@@ -1,0 +1,63 @@
+//===- support/Diagnostic.cpp ---------------------------------*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostic.h"
+#include "support/Assert.h"
+
+using namespace cmcc;
+
+static const char *severityName(DiagnosticSeverity S) {
+  switch (S) {
+  case DiagnosticSeverity::Note:
+    return "note";
+  case DiagnosticSeverity::Warning:
+    return "warning";
+  case DiagnosticSeverity::Error:
+    return "error";
+  }
+  CMCC_UNREACHABLE("unknown diagnostic severity");
+}
+
+void DiagnosticEngine::error(SourceLocation Loc, std::string Message) {
+  Diags.push_back({DiagnosticSeverity::Error, Loc, std::move(Message)});
+  ++NumErrors;
+}
+
+void DiagnosticEngine::warning(SourceLocation Loc, std::string Message) {
+  Diags.push_back({DiagnosticSeverity::Warning, Loc, std::move(Message)});
+}
+
+void DiagnosticEngine::note(SourceLocation Loc, std::string Message) {
+  Diags.push_back({DiagnosticSeverity::Note, Loc, std::move(Message)});
+}
+
+void DiagnosticEngine::clear() {
+  Diags.clear();
+  NumErrors = 0;
+}
+
+std::string cmcc::formatDiagnostic(const Diagnostic &D) {
+  std::string Out;
+  if (D.Location.isValid()) {
+    Out += std::to_string(D.Location.Line);
+    Out += ':';
+    Out += std::to_string(D.Location.Column);
+    Out += ": ";
+  }
+  Out += severityName(D.Severity);
+  Out += ": ";
+  Out += D.Message;
+  return Out;
+}
+
+std::string DiagnosticEngine::str() const {
+  std::string Out;
+  for (const Diagnostic &D : Diags) {
+    Out += formatDiagnostic(D);
+    Out += '\n';
+  }
+  return Out;
+}

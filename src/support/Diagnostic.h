@@ -1,0 +1,75 @@
+//===- support/Diagnostic.h - Diagnostics engine --------------*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small diagnostics engine. The paper's planned production compiler
+/// emits feedback when a flagged assignment statement cannot be handled by
+/// the convolution technique (for lack of registers, for example); every
+/// recognizer/compiler rejection in this codebase flows through here so
+/// that user-facing messages carry locations and severities.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMCC_SUPPORT_DIAGNOSTIC_H
+#define CMCC_SUPPORT_DIAGNOSTIC_H
+
+#include "support/SourceLocation.h"
+#include <string>
+#include <vector>
+
+namespace cmcc {
+
+/// Severity of a diagnostic.
+enum class DiagnosticSeverity {
+  Note,
+  Warning,
+  Error,
+};
+
+/// One diagnostic message with an optional source location.
+struct Diagnostic {
+  DiagnosticSeverity Severity = DiagnosticSeverity::Error;
+  SourceLocation Location;
+  std::string Message;
+};
+
+/// Collects diagnostics produced while processing one compilation unit.
+class DiagnosticEngine {
+public:
+  /// Records an error diagnostic.
+  void error(SourceLocation Loc, std::string Message);
+
+  /// Records a warning diagnostic.
+  void warning(SourceLocation Loc, std::string Message);
+
+  /// Records a note diagnostic.
+  void note(SourceLocation Loc, std::string Message);
+
+  /// Returns true if any error has been recorded.
+  bool hasErrors() const { return NumErrors != 0; }
+
+  /// Returns the number of recorded errors.
+  unsigned errorCount() const { return NumErrors; }
+
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// Renders all diagnostics as "line:col: severity: message" lines.
+  std::string str() const;
+
+  /// Drops all recorded diagnostics.
+  void clear();
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+/// Renders one diagnostic as "line:col: severity: message".
+std::string formatDiagnostic(const Diagnostic &D);
+
+} // namespace cmcc
+
+#endif // CMCC_SUPPORT_DIAGNOSTIC_H

@@ -1,0 +1,13 @@
+//===- support/Error.cpp --------------------------------------*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Error.h"
+
+using namespace cmcc;
+
+Error cmcc::makeError(std::string Message) {
+  return Error::failure(std::move(Message));
+}

@@ -1,0 +1,108 @@
+//===- support/Error.h - Lightweight recoverable-error types --*- C++ -*-===//
+//
+// Part of the CMCC project: a reproduction of "Fortran at Ten Gigaflops:
+// The Connection Machine Convolution Compiler" (PLDI 1991).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal Error / Expected<T> pair in the spirit of llvm::Error and
+/// llvm::Expected, for propagating recoverable errors (malformed source,
+/// unsupported statement forms) without exceptions. An Error carries a
+/// message; success is the empty state.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMCC_SUPPORT_ERROR_H
+#define CMCC_SUPPORT_ERROR_H
+
+#include "support/Assert.h"
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace cmcc {
+
+/// A recoverable error: either success (empty) or a failure message.
+///
+/// Unlike llvm::Error this type does not enforce checking at destruction
+/// time; callers are expected to test it with the boolean conversion
+/// (true means failure, matching LLVM's convention).
+class Error {
+public:
+  /// Constructs a success value.
+  Error() = default;
+
+  /// Constructs a failure value carrying \p Message.
+  static Error failure(std::string Message) {
+    Error E;
+    E.Message = std::move(Message);
+    return E;
+  }
+
+  /// Constructs a success value (for symmetry with llvm::Error::success).
+  static Error success() { return Error(); }
+
+  /// True when this is a failure.
+  explicit operator bool() const { return Message.has_value(); }
+
+  /// Returns the failure message. Only valid on failure values.
+  const std::string &message() const {
+    assert(Message && "message() called on a success Error");
+    return *Message;
+  }
+
+private:
+  std::optional<std::string> Message;
+};
+
+/// Either a value of type T or an error message, in the spirit of
+/// llvm::Expected. True on success (opposite of Error).
+template <typename T> class Expected {
+public:
+  /// Constructs a success value.
+  Expected(T Value) : Value(std::move(Value)) {}
+
+  /// Constructs a failure from \p E (which must be a failure).
+  Expected(Error E) : Err(std::move(E)) {
+    assert(Err && "Expected constructed from a success Error");
+  }
+
+  /// True when this holds a value.
+  explicit operator bool() const { return Value.has_value(); }
+
+  /// Accesses the contained value. Only valid on success.
+  T &operator*() {
+    assert(Value && "dereferencing a failed Expected");
+    return *Value;
+  }
+  const T &operator*() const {
+    assert(Value && "dereferencing a failed Expected");
+    return *Value;
+  }
+  T *operator->() { return &**this; }
+  const T *operator->() const { return &**this; }
+
+  /// Returns the error (valid only on failure).
+  const Error &error() const {
+    assert(!Value && "error() called on a successful Expected");
+    return Err;
+  }
+
+  /// Moves the contained value out. Only valid on success.
+  T takeValue() {
+    assert(Value && "takeValue() on a failed Expected");
+    return std::move(*Value);
+  }
+
+private:
+  std::optional<T> Value;
+  Error Err;
+};
+
+/// Builds a failure Error from a message.
+Error makeError(std::string Message);
+
+} // namespace cmcc
+
+#endif // CMCC_SUPPORT_ERROR_H

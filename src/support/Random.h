@@ -1,0 +1,60 @@
+//===- support/Random.h - Deterministic RNG -------------------*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small deterministic SplitMix64 generator for tests and workload
+/// generators. std::mt19937 is avoided so that property-test inputs are
+/// identical across standard-library implementations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMCC_SUPPORT_RANDOM_H
+#define CMCC_SUPPORT_RANDOM_H
+
+#include <cstdint>
+
+namespace cmcc {
+
+/// SplitMix64: fast, high-quality, and trivially reproducible.
+class SplitMix64 {
+public:
+  explicit SplitMix64(uint64_t Seed) : State(Seed) {}
+
+  /// Returns the next 64-bit value.
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Returns a value uniform in [0, Bound). Bound must be nonzero.
+  uint64_t nextBelow(uint64_t Bound) { return next() % Bound; }
+
+  /// Returns an integer uniform in [Low, High] inclusive.
+  int64_t nextInRange(int64_t Low, int64_t High) {
+    return Low + static_cast<int64_t>(
+                     nextBelow(static_cast<uint64_t>(High - Low + 1)));
+  }
+
+  /// Returns a float uniform in [0, 1).
+  float nextFloat() {
+    return static_cast<float>(next() >> 40) * (1.0f / 16777216.0f);
+  }
+
+  /// Returns a float uniform in [Low, High).
+  float nextFloatInRange(float Low, float High) {
+    return Low + (High - Low) * nextFloat();
+  }
+
+private:
+  uint64_t State;
+};
+
+} // namespace cmcc
+
+#endif // CMCC_SUPPORT_RANDOM_H

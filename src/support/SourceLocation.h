@@ -1,0 +1,33 @@
+//===- support/SourceLocation.h - Line/column positions -------*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A 1-based line/column position into a source buffer, used by the lexer,
+/// parser, recognizer, and diagnostics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMCC_SUPPORT_SOURCELOCATION_H
+#define CMCC_SUPPORT_SOURCELOCATION_H
+
+namespace cmcc {
+
+/// A position in a source buffer. Line and column are 1-based; the value
+/// {0, 0} means "unknown location".
+struct SourceLocation {
+  unsigned Line = 0;
+  unsigned Column = 0;
+
+  bool isValid() const { return Line != 0; }
+
+  friend bool operator==(SourceLocation A, SourceLocation B) {
+    return A.Line == B.Line && A.Column == B.Column;
+  }
+};
+
+} // namespace cmcc
+
+#endif // CMCC_SUPPORT_SOURCELOCATION_H

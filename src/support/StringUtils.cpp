@@ -1,0 +1,67 @@
+//===- support/StringUtils.cpp --------------------------------*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StringUtils.h"
+#include <cctype>
+#include <cstdio>
+
+using namespace cmcc;
+
+std::string cmcc::toUpper(std::string_view S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S)
+    Out.push_back(static_cast<char>(std::toupper(static_cast<unsigned char>(C))));
+  return Out;
+}
+
+std::string cmcc::toLower(std::string_view S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S)
+    Out.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(C))));
+  return Out;
+}
+
+std::string_view cmcc::trim(std::string_view S) {
+  size_t Begin = 0;
+  while (Begin < S.size() &&
+         std::isspace(static_cast<unsigned char>(S[Begin])))
+    ++Begin;
+  size_t End = S.size();
+  while (End > Begin && std::isspace(static_cast<unsigned char>(S[End - 1])))
+    --End;
+  return S.substr(Begin, End - Begin);
+}
+
+std::vector<std::string_view> cmcc::split(std::string_view S, char Separator) {
+  std::vector<std::string_view> Pieces;
+  size_t Start = 0;
+  for (size_t I = 0; I <= S.size(); ++I) {
+    if (I == S.size() || S[I] == Separator) {
+      Pieces.push_back(S.substr(Start, I - Start));
+      Start = I + 1;
+    }
+  }
+  return Pieces;
+}
+
+bool cmcc::equalsInsensitive(std::string_view A, std::string_view B) {
+  if (A.size() != B.size())
+    return false;
+  for (size_t I = 0; I != A.size(); ++I)
+    if (std::toupper(static_cast<unsigned char>(A[I])) !=
+        std::toupper(static_cast<unsigned char>(B[I])))
+      return false;
+  return true;
+}
+
+std::string cmcc::formatFixed(double Value, unsigned Digits) {
+  char Buffer[64];
+  std::snprintf(Buffer, sizeof(Buffer), "%.*f", static_cast<int>(Digits),
+                Value);
+  return Buffer;
+}

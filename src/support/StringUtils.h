@@ -1,0 +1,42 @@
+//===- support/StringUtils.h - String helpers -----------------*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small string helpers used across the front ends and report writers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMCC_SUPPORT_STRINGUTILS_H
+#define CMCC_SUPPORT_STRINGUTILS_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cmcc {
+
+/// Returns \p S converted to upper case (ASCII only; Fortran identifiers
+/// are case-insensitive).
+std::string toUpper(std::string_view S);
+
+/// Returns \p S converted to lower case (ASCII only).
+std::string toLower(std::string_view S);
+
+/// Returns \p S with leading and trailing ASCII whitespace removed.
+std::string_view trim(std::string_view S);
+
+/// Splits \p S on \p Separator; empty pieces are kept.
+std::vector<std::string_view> split(std::string_view S, char Separator);
+
+/// Case-insensitive ASCII string equality (Fortran keyword matching).
+bool equalsInsensitive(std::string_view A, std::string_view B);
+
+/// Formats \p Value with \p Digits digits after the decimal point.
+std::string formatFixed(double Value, unsigned Digits);
+
+} // namespace cmcc
+
+#endif // CMCC_SUPPORT_STRINGUTILS_H

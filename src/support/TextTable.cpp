@@ -1,0 +1,89 @@
+//===- support/TextTable.cpp ----------------------------------*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/TextTable.h"
+#include <algorithm>
+#include <cctype>
+
+using namespace cmcc;
+
+void TextTable::setHeader(std::vector<std::string> Cells) {
+  Header = std::move(Cells);
+}
+
+void TextTable::addRow(std::vector<std::string> Cells) {
+  Rows.push_back({std::move(Cells), /*IsSeparator=*/false});
+}
+
+void TextTable::addSeparator() { Rows.push_back({{}, /*IsSeparator=*/true}); }
+
+/// Returns true if \p Cell looks like a number (right-align it).
+static bool looksNumeric(const std::string &Cell) {
+  if (Cell.empty())
+    return false;
+  for (char C : Cell)
+    if (!std::isdigit(static_cast<unsigned char>(C)) && C != '.' && C != '-' &&
+        C != '+' && C != 'x' && C != 'e' && C != 'E')
+      return false;
+  return true;
+}
+
+std::string TextTable::str() const {
+  // Compute column widths over header and all rows.
+  std::vector<size_t> Widths;
+  auto Grow = [&](const std::vector<std::string> &Cells) {
+    if (Cells.size() > Widths.size())
+      Widths.resize(Cells.size(), 0);
+    for (size_t I = 0; I != Cells.size(); ++I)
+      Widths[I] = std::max(Widths[I], Cells[I].size());
+  };
+  Grow(Header);
+  for (const Row &R : Rows)
+    Grow(R.Cells);
+
+  auto RenderRow = [&](const std::vector<std::string> &Cells,
+                       std::string &Out) {
+    for (size_t I = 0; I != Widths.size(); ++I) {
+      const std::string Cell = I < Cells.size() ? Cells[I] : std::string();
+      size_t Pad = Widths[I] - Cell.size();
+      if (looksNumeric(Cell)) {
+        Out.append(Pad, ' ');
+        Out += Cell;
+      } else {
+        Out += Cell;
+        Out.append(Pad, ' ');
+      }
+      if (I + 1 != Widths.size())
+        Out += "  ";
+    }
+    // Trim trailing spaces from left-aligned last columns.
+    while (!Out.empty() && Out.back() == ' ')
+      Out.pop_back();
+    Out += '\n';
+  };
+
+  std::string Out;
+  size_t Total = 0;
+  for (size_t W : Widths)
+    Total += W;
+  if (!Widths.empty())
+    Total += 2 * (Widths.size() - 1);
+
+  if (!Header.empty()) {
+    RenderRow(Header, Out);
+    Out.append(Total, '-');
+    Out += '\n';
+  }
+  for (const Row &R : Rows) {
+    if (R.IsSeparator) {
+      Out.append(Total, '-');
+      Out += '\n';
+      continue;
+    }
+    RenderRow(R.Cells, Out);
+  }
+  return Out;
+}

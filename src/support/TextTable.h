@@ -1,0 +1,49 @@
+//===- support/TextTable.h - Aligned text tables --------------*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A column-aligned plain-text table writer used by the benchmark
+/// harnesses to print paper-style result tables.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMCC_SUPPORT_TEXTTABLE_H
+#define CMCC_SUPPORT_TEXTTABLE_H
+
+#include <string>
+#include <vector>
+
+namespace cmcc {
+
+/// Accumulates rows of cells and renders them with aligned columns.
+class TextTable {
+public:
+  /// Sets the header row.
+  void setHeader(std::vector<std::string> Cells);
+
+  /// Appends one data row.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Appends a horizontal separator row.
+  void addSeparator();
+
+  /// Renders the table. Columns are separated by two spaces; numeric-
+  /// looking cells are right-aligned, everything else left-aligned.
+  std::string str() const;
+
+private:
+  struct Row {
+    std::vector<std::string> Cells;
+    bool IsSeparator = false;
+  };
+
+  std::vector<std::string> Header;
+  std::vector<Row> Rows;
+};
+
+} // namespace cmcc
+
+#endif // CMCC_SUPPORT_TEXTTABLE_H

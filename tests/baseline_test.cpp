@@ -1,0 +1,115 @@
+//===- tests/baseline_test.cpp - Baseline-model tests ---------*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the comparison systems: the stock slicewise code-generator
+/// model (the ~4 Gflops framework of §3) and the 1989 hand-coded fixed
+/// library (5.6 Gflops). These anchor benchmark B1.
+///
+//===----------------------------------------------------------------------===//
+
+#include "baseline/FixedLibrary.h"
+#include "baseline/VectorUnitModel.h"
+#include "core/Compiler.h"
+#include "runtime/Executor.h"
+#include "stencil/PatternLibrary.h"
+#include <gtest/gtest.h>
+
+using namespace cmcc;
+
+TEST(VectorUnitTest, LandsNearFourGigaflops) {
+  MachineConfig Full = MachineConfig::fullMachine2048();
+  TimingReport R = vectorUnitStencilReport(
+      Full, makePattern(PatternId::Square9), 256, 256, 100);
+  EXPECT_GT(R.measuredGflops(), 3.0);
+  EXPECT_LT(R.measuredGflops(), 5.0);
+}
+
+TEST(VectorUnitTest, CostGrowsWithTapsAndShiftDistance) {
+  MachineConfig C = MachineConfig::testMachine16();
+  TimingReport Small =
+      vectorUnitStencilReport(C, makePattern(PatternId::Cross5), 64, 64, 1);
+  TimingReport Large = vectorUnitStencilReport(
+      C, makePattern(PatternId::Diamond13), 64, 64, 1);
+  EXPECT_GT(Large.Cycles.Compute, Small.Cycles.Compute);
+
+  // Radius-2 taps pay two one-step shifts.
+  TimingReport Near =
+      vectorUnitStencilReport(C, makeSpecFromOffsets({{0, 1}}), 64, 64, 1);
+  TimingReport Far =
+      vectorUnitStencilReport(C, makeSpecFromOffsets({{0, 2}}), 64, 64, 1);
+  EXPECT_GT(Far.Cycles.Compute, Near.Cycles.Compute);
+}
+
+TEST(VectorUnitTest, BareTermCostsOnlyAccumulate) {
+  MachineConfig C = MachineConfig::testMachine16();
+  StencilSpec WithBare;
+  WithBare.Result = "R";
+  WithBare.Source = "X";
+  Tap D;
+  D.At = {0, 0};
+  D.Coeff = Coefficient::array("C1");
+  WithBare.Taps.push_back(D);
+  Tap Bare;
+  Bare.HasData = false;
+  Bare.Coeff = Coefficient::array("C0");
+  WithBare.Taps.push_back(Bare);
+
+  TimingReport R = vectorUnitStencilReport(C, WithBare, 32, 32, 1);
+  // One multiply pass + one accumulate pass, no shifts.
+  VectorUnitCosts Costs;
+  long Elements = 32 * 32;
+  long Want = static_cast<long>(
+      2 * (Costs.PassStartupCycles + Costs.CyclesPerElementPerPass * Elements));
+  EXPECT_EQ(R.Cycles.Compute, Want);
+}
+
+TEST(VectorUnitTest, CopyHasNoUsefulFlops) {
+  MachineConfig C = MachineConfig::testMachine16();
+  TimingReport R = vectorUnitCopyReport(C, 64, 64, 10);
+  EXPECT_EQ(R.UsefulFlopsPerNodePerIteration, 0);
+  EXPECT_GT(R.Cycles.Compute, 0);
+  EXPECT_EQ(R.measuredMflops(), 0.0);
+}
+
+TEST(FixedLibraryTest, LandsNearFivePointSix) {
+  MachineConfig Full = MachineConfig::fullMachine2048();
+  Expected<TimingReport> R = fixedLibraryReport(Full, 256, 256, 100);
+  ASSERT_TRUE(R);
+  EXPECT_GT(R->measuredGflops(), 5.0);
+  EXPECT_LT(R->measuredGflops(), 7.0);
+}
+
+TEST(FixedLibraryTest, SlowerThanTheCompiler) {
+  MachineConfig Full = MachineConfig::fullMachine2048();
+  Expected<TimingReport> Fixed = fixedLibraryReport(Full, 256, 256, 100);
+  ASSERT_TRUE(Fixed);
+
+  ConvolutionCompiler CC(Full);
+  Expected<CompiledStencil> Compiled =
+      CC.compile(makePattern(PatternId::Cross9R2));
+  ASSERT_TRUE(Compiled);
+  Executor Exec(Full);
+  TimingReport New = Exec.timeOnly(*Compiled, 256, 256, 100);
+  EXPECT_GT(New.measuredGflops(), Fixed->measuredGflops());
+}
+
+TEST(FixedLibraryTest, FasterThanStock) {
+  MachineConfig Full = MachineConfig::fullMachine2048();
+  Expected<TimingReport> Fixed = fixedLibraryReport(Full, 256, 256, 100);
+  ASSERT_TRUE(Fixed);
+  TimingReport Stock = vectorUnitStencilReport(
+      Full, makePattern(PatternId::Cross9R2), 256, 256, 100);
+  EXPECT_GT(Fixed->measuredGflops(), Stock.measuredGflops());
+}
+
+TEST(FixedLibraryTest, RespectsWidthConstraint) {
+  MachineConfig C = MachineConfig::testMachine16();
+  FixedLibraryCosts Costs;
+  Costs.FixedWidth = 8; // cross9r2 cannot do width 8 (44 registers).
+  Expected<TimingReport> R = fixedLibraryReport(C, 64, 64, 1, Costs);
+  EXPECT_FALSE(R);
+}

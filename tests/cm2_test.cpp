@@ -1,0 +1,411 @@
+//===- tests/cm2_test.cpp - Machine-model unit tests ----------*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for the CM-2 model: the WTL3164 pipeline (timing-visible
+/// register writes), the node grid's Gray-code hypercube embedding, the
+/// halo-exchange cost model, and timing arithmetic.
+///
+//===----------------------------------------------------------------------===//
+
+#include "cm2/FloatingPointUnit.h"
+#include "cm2/GridComm.h"
+#include "cm2/NodeGrid.h"
+#include "cm2/Sequencer.h"
+#include "cm2/Timing.h"
+#include <cmath>
+#include <gtest/gtest.h>
+#include <map>
+
+using namespace cmcc;
+
+namespace {
+
+/// A scriptable memory for FPU tests.
+class ScriptedMemory : public FpuMemoryInterface {
+public:
+  std::map<std::pair<int, int>, float> Data;
+  std::map<std::pair<int, int>, float> Coefficients; // (tap, result) -> c
+  std::map<int, float> Stored;
+
+  float loadData(int Source, int Dy, int Dx) override {
+    (void)Source;
+    return Data.at({Dy, Dx});
+  }
+  float loadCoefficient(int Tap, int Result) override {
+    auto It = Coefficients.find({Tap, Result});
+    return It == Coefficients.end() ? 1.0f : It->second;
+  }
+  void storeResult(int Result, float Value) override {
+    Stored[Result] = Value;
+  }
+};
+
+MachineConfig config() { return MachineConfig::testMachine16(); }
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// FloatingPointUnit
+//===----------------------------------------------------------------------===//
+
+TEST(FpuTest, LoadLatencyIsVisible) {
+  MachineConfig C = config();
+  FloatingPointUnit Fpu(C);
+  ScriptedMemory Mem;
+  Mem.Data[{0, 0}] = 7.0f;
+
+  // Load into r5, then immediately madd r5: the madd issues one cycle
+  // after the load, before the value lands (latency 2), so it sees the
+  // old register contents (0.0), not 7.0.
+  LineSchedule Ops;
+  Ops.push_back(DynamicPart::load(5, 0, 0));
+  Ops.push_back(DynamicPart::madd(5, 6, 0, 0, 0, 0, true, true));
+  Ops.push_back(DynamicPart::store(6, 0)); // Also premature, reads 0.
+  Fpu.executeSequence(Ops, Mem);
+  EXPECT_EQ(Mem.Stored[0], 0.0f);
+
+  // With enough spacing the value is visible.
+  Fpu.reset();
+  LineSchedule Ok;
+  Ok.push_back(DynamicPart::load(5, 0, 0));
+  Ok.push_back(DynamicPart::filler(0));
+  Ok.push_back(DynamicPart::filler(0));
+  Ok.push_back(DynamicPart::madd(5, 6, 0, 0, 0, 0, true, true));
+  for (int I = 0; I != 4; ++I)
+    Ok.push_back(DynamicPart::filler(0));
+  Ok.push_back(DynamicPart::store(6, 0));
+  Fpu.executeSequence(Ok, Mem);
+  EXPECT_EQ(Mem.Stored[0], 7.0f);
+}
+
+TEST(FpuTest, MaddWriteLandsFourCyclesLater) {
+  MachineConfig C = config();
+  FloatingPointUnit Fpu(C);
+  ScriptedMemory Mem;
+  Fpu.pokeRegister(3, 2.0f);
+  Mem.Coefficients[{0, 0}] = 5.0f;
+
+  LineSchedule Ops;
+  Ops.push_back(DynamicPart::madd(3, 9, 0, 0, 0, 0, true, true));
+  Ops.push_back(DynamicPart::store(9, 0)); // +1: too early.
+  Fpu.executeSequence(Ops, Mem);
+  EXPECT_EQ(Mem.Stored[0], 0.0f);
+
+  LineSchedule More;
+  More.push_back(DynamicPart::filler(0));
+  More.push_back(DynamicPart::filler(0));
+  More.push_back(DynamicPart::filler(0));
+  More.push_back(DynamicPart::store(9, 0)); // Now +5: value landed at +4.
+  Fpu.executeSequence(More, Mem);
+  EXPECT_EQ(Mem.Stored[0], 10.0f);
+}
+
+TEST(FpuTest, TwoInterleavedChains) {
+  MachineConfig C = config();
+  FloatingPointUnit Fpu(C);
+  ScriptedMemory Mem;
+  Fpu.pokeRegister(2, 1.0f);
+  Fpu.pokeRegister(3, 10.0f);
+  // Result 0 = 1*1 + 1*1 = 2; result 1 = 10*1 + 10*1 = 20.
+  LineSchedule Ops;
+  Ops.push_back(DynamicPart::madd(2, 8, 0, 0, 0, 0, true, false));
+  Ops.push_back(DynamicPart::madd(3, 9, 0, 1, 0, 1, true, false));
+  Ops.push_back(DynamicPart::madd(2, 8, 0, 0, 1, 0, false, true));
+  Ops.push_back(DynamicPart::madd(3, 9, 0, 1, 1, 1, false, true));
+  for (int I = 0; I != 4; ++I)
+    Ops.push_back(DynamicPart::filler(0));
+  Ops.push_back(DynamicPart::store(8, 0));
+  Ops.push_back(DynamicPart::store(9, 1));
+  Fpu.executeSequence(Ops, Mem);
+  EXPECT_EQ(Mem.Stored[0], 2.0f);
+  EXPECT_EQ(Mem.Stored[1], 20.0f);
+  EXPECT_EQ(Fpu.maddsExecuted(), 4);
+  EXPECT_EQ(Fpu.fillersExecuted(), 4);
+  EXPECT_EQ(Fpu.storesExecuted(), 2);
+}
+
+TEST(FpuTest, ChainStartReadsTheZeroRegister) {
+  MachineConfig C = config();
+  FloatingPointUnit Fpu(C);
+  ScriptedMemory Mem;
+  Fpu.pokeRegister(0, 100.0f); // Corrupt the "zero" register.
+  Fpu.pokeRegister(2, 1.0f);
+  LineSchedule Ops;
+  Ops.push_back(DynamicPart::madd(2, 8, 0, 0, 0, 0, true, true));
+  for (int I = 0; I != 4; ++I)
+    Ops.push_back(DynamicPart::filler(0));
+  Ops.push_back(DynamicPart::store(8, 0));
+  Fpu.executeSequence(Ops, Mem);
+  // The corruption is observable: 1*1 + 100.
+  EXPECT_EQ(Mem.Stored[0], 101.0f);
+}
+
+TEST(FpuTest, JustInTimeReuseBoundary) {
+  // The register being accumulated into can serve as a multiplier
+  // operand up to (but not at) the write-landing cycle.
+  MachineConfig C = config();
+  FloatingPointUnit Fpu(C);
+  ScriptedMemory Mem;
+  Fpu.pokeRegister(4, 3.0f); // Data element, also the accumulator.
+  // Thread 0 accumulates into r4; thread 1 reads r4 at +1 and +3
+  // (before the +4 write) — both reads must see 3.0.
+  LineSchedule Ops;
+  Ops.push_back(DynamicPart::madd(4, 4, 0, 0, 0, 0, true, false));  // t0
+  Ops.push_back(DynamicPart::madd(4, 9, 0, 1, 0, 1, true, false));  // t1
+  Ops.push_back(DynamicPart::madd(4, 4, 0, 0, 1, 0, false, true));  // t0
+  Ops.push_back(DynamicPart::madd(4, 9, 0, 1, 1, 1, false, true));  // t1
+  for (int I = 0; I != 4; ++I)
+    Ops.push_back(DynamicPart::filler(0));
+  Ops.push_back(DynamicPart::store(4, 0));
+  Ops.push_back(DynamicPart::store(9, 1));
+  Fpu.executeSequence(Ops, Mem);
+  EXPECT_EQ(Mem.Stored[0], 6.0f); // 3+3 into r4.
+  EXPECT_EQ(Mem.Stored[1], 6.0f); // Thread 1 saw 3.0 both times.
+}
+
+TEST(FpuTest, ResetClearsEverything) {
+  MachineConfig C = config();
+  FloatingPointUnit Fpu(C);
+  ScriptedMemory Mem;
+  Fpu.pokeRegister(7, 5.0f);
+  LineSchedule Ops;
+  Ops.push_back(DynamicPart::filler(0));
+  Fpu.executeSequence(Ops, Mem);
+  Fpu.reset();
+  EXPECT_EQ(Fpu.readRegister(7), 0.0f);
+  EXPECT_EQ(Fpu.cyclesExecuted(), 0);
+  EXPECT_EQ(Fpu.fillersExecuted(), 0);
+}
+
+TEST(FpuTest, DrainAppliesPendingWrites) {
+  MachineConfig C = config();
+  FloatingPointUnit Fpu(C);
+  ScriptedMemory Mem;
+  Mem.Data[{1, 2}] = 42.0f;
+  LineSchedule Ops;
+  Ops.push_back(DynamicPart::load(6, 1, 2));
+  Fpu.executeSequence(Ops, Mem);
+  EXPECT_EQ(Fpu.readRegister(6), 0.0f); // Still in flight.
+  Fpu.drainPipeline();
+  EXPECT_EQ(Fpu.readRegister(6), 42.0f);
+}
+
+//===----------------------------------------------------------------------===//
+// NodeGrid
+//===----------------------------------------------------------------------===//
+
+TEST(NodeGridTest, GrayCode) {
+  EXPECT_EQ(NodeGrid::grayCode(0), 0u);
+  EXPECT_EQ(NodeGrid::grayCode(1), 1u);
+  EXPECT_EQ(NodeGrid::grayCode(2), 3u);
+  EXPECT_EQ(NodeGrid::grayCode(3), 2u);
+  EXPECT_EQ(NodeGrid::grayCode(7), 4u);
+}
+
+TEST(NodeGridTest, NeighborsWrapAround) {
+  NodeGrid G(4, 8);
+  EXPECT_EQ(G.neighbor({0, 0}, Direction::North), (NodeCoord{3, 0}));
+  EXPECT_EQ(G.neighbor({3, 7}, Direction::South), (NodeCoord{0, 7}));
+  EXPECT_EQ(G.neighbor({2, 0}, Direction::West), (NodeCoord{2, 7}));
+  EXPECT_EQ(G.neighbor({2, 7}, Direction::East), (NodeCoord{2, 0}));
+}
+
+TEST(NodeGridTest, GridNeighborsAreHypercubeNeighbors) {
+  // The property the paper's grid primitives exploit, for every link of
+  // several machine shapes (including the full 64x32 machine).
+  for (auto [R, C] : std::vector<std::pair<int, int>>{
+           {4, 4}, {2, 8}, {64, 32}, {1, 16}}) {
+    NodeGrid G(R, C);
+    for (int NR = 0; NR != R; ++NR)
+      for (int NC = 0; NC != C; ++NC) {
+        NodeCoord Here{NR, NC};
+        for (Direction D : {Direction::North, Direction::South,
+                            Direction::West, Direction::East}) {
+          NodeCoord N = G.neighbor(Here, D);
+          if (N == Here)
+            continue; // Length-1 axis.
+          EXPECT_TRUE(G.areHypercubeNeighbors(Here, N))
+              << R << "x" << C << " (" << NR << "," << NC << ")";
+        }
+      }
+  }
+}
+
+TEST(NodeGridTest, AddressesAreUnique) {
+  NodeGrid G(8, 4);
+  std::vector<bool> Seen(32, false);
+  for (int R = 0; R != 8; ++R)
+    for (int C = 0; C != 4; ++C) {
+      uint32_t A = G.hypercubeAddress({R, C});
+      ASSERT_LT(A, 32u);
+      EXPECT_FALSE(Seen[A]);
+      Seen[A] = true;
+    }
+}
+
+TEST(NodeGridTest, FullMachineDimension) {
+  NodeGrid G(64, 32);
+  EXPECT_EQ(G.nodeCount(), 2048);
+  EXPECT_EQ(G.hypercubeDimension(), 11); // The CM-2's node hypercube.
+}
+
+TEST(NodeGridTest, NodeIdRoundTrip) {
+  NodeGrid G(4, 8);
+  for (int Id = 0; Id != 32; ++Id)
+    EXPECT_EQ(G.nodeId(G.coordOf(Id)), Id);
+}
+
+//===----------------------------------------------------------------------===//
+// GridComm cost model
+//===----------------------------------------------------------------------===//
+
+TEST(GridCommTest, ZeroBorderIsFree) {
+  HaloExchangeShape Shape{64, 64, 0, false};
+  EXPECT_EQ(haloExchangeCycles(config(), Shape,
+                               CommPrimitive::NodeGridExchange),
+            0);
+}
+
+TEST(GridCommTest, ProportionalToLongerSide) {
+  MachineConfig C = config();
+  HaloExchangeShape Tall{128, 8, 1, false};
+  HaloExchangeShape Wide{8, 128, 1, false};
+  EXPECT_EQ(haloExchangeCycles(C, Tall, CommPrimitive::NodeGridExchange),
+            haloExchangeCycles(C, Wide, CommPrimitive::NodeGridExchange));
+  HaloExchangeShape Small{8, 8, 1, false};
+  EXPECT_LT(haloExchangeCycles(C, Small, CommPrimitive::NodeGridExchange),
+            haloExchangeCycles(C, Tall, CommPrimitive::NodeGridExchange));
+}
+
+TEST(GridCommTest, CornerStepCostsExtra) {
+  MachineConfig C = config();
+  HaloExchangeShape NoCorners{64, 64, 2, false};
+  HaloExchangeShape Corners{64, 64, 2, true};
+  long Without =
+      haloExchangeCycles(C, NoCorners, CommPrimitive::NodeGridExchange);
+  long With = haloExchangeCycles(C, Corners, CommPrimitive::NodeGridExchange);
+  EXPECT_EQ(With - Without,
+            C.CornerStartupCycles + 4L * C.CommCyclesPerElement);
+}
+
+TEST(GridCommTest, BorderWidthScalesLinearly) {
+  MachineConfig C = config();
+  C.CommStartupCycles = 0;
+  HaloExchangeShape B1{64, 64, 1, false};
+  HaloExchangeShape B2{64, 64, 2, false};
+  long C1 = haloExchangeCycles(C, B1, CommPrimitive::NodeGridExchange);
+  long C2 = haloExchangeCycles(C, B2, CommPrimitive::NodeGridExchange);
+  // Slightly superlinear: padding grows the side length too.
+  EXPECT_GT(C2, 2 * C1 - 1);
+  EXPECT_LT(C2, 3 * C1);
+}
+
+TEST(GridCommTest, LegacySerializesDirections) {
+  MachineConfig C = config();
+  HaloExchangeShape Shape{64, 64, 1, true};
+  long New = haloExchangeCycles(C, Shape, CommPrimitive::NodeGridExchange);
+  long Legacy = haloExchangeCycles(C, Shape, CommPrimitive::LegacyNews);
+  EXPECT_GT(Legacy, 4 * New);
+}
+
+//===----------------------------------------------------------------------===//
+// Timing
+//===----------------------------------------------------------------------===//
+
+TEST(TimingTest, BreakdownSumsAndAdds) {
+  CycleBreakdown A{100, 10, 20, 30, 40};
+  EXPECT_EQ(A.total(), 200);
+  CycleBreakdown B{1, 2, 3, 4, 5};
+  A += B;
+  EXPECT_EQ(A.total(), 215);
+  EXPECT_EQ(A.Compute, 101);
+  EXPECT_EQ(A.Communication, 45);
+}
+
+TEST(TimingTest, RatesAndExtrapolation) {
+  TimingReport R;
+  R.Cycles.Compute = 7000; // 1 ms at 7 MHz.
+  R.UsefulFlopsPerNodePerIteration = 1000;
+  R.Nodes = 16;
+  R.Iterations = 100;
+  R.ClockMHz = 7.0;
+  EXPECT_DOUBLE_EQ(R.secondsPerIteration(), 0.001);
+  EXPECT_DOUBLE_EQ(R.elapsedSeconds(), 0.1);
+  EXPECT_DOUBLE_EQ(R.measuredMflops(), 16.0); // 16k flops / ms.
+  EXPECT_DOUBLE_EQ(R.extrapolatedGflops(2048), 16.0 / 1000 * 128);
+}
+
+TEST(TimingTest, HostOverheadIncluded) {
+  TimingReport R;
+  R.Cycles.Compute = 7000;
+  R.HostSecondsPerIteration = 0.001;
+  R.ClockMHz = 7.0;
+  EXPECT_DOUBLE_EQ(R.secondsPerIteration(), 0.002);
+}
+
+TEST(TimingTest, PeakGflops) {
+  EXPECT_NEAR(MachineConfig::fullMachine2048().peakGflops(), 28.67, 0.01);
+  EXPECT_NEAR(MachineConfig::testMachine16().peakGflops(), 0.224, 0.001);
+}
+
+TEST(TimingTest, ReportStringContainsBreakdown) {
+  TimingReport R;
+  R.Cycles.Compute = 123;
+  R.Cycles.Communication = 45;
+  std::string S = R.str();
+  EXPECT_NE(S.find("compute:         123"), std::string::npos) << S;
+  EXPECT_NE(S.find("communication:   45"), std::string::npos) << S;
+}
+
+TEST(InstructionTest, DynamicPartStrings) {
+  EXPECT_EQ(DynamicPart::load(5, -1, 2).str(), "load data(-1,2)->r5");
+  EXPECT_EQ(DynamicPart::store(9, 3).str(), "store r9->res3");
+  EXPECT_EQ(DynamicPart::filler(0).str(), "filler->r0");
+  std::string M = DynamicPart::madd(4, 7, 0, 1, 2, 3, true, false).str();
+  EXPECT_NE(M.find("madd r4"), std::string::npos);
+  EXPECT_NE(M.find("start"), std::string::npos);
+  EXPECT_EQ(M.find("end"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Sequencer cost model
+//===----------------------------------------------------------------------===//
+
+TEST(SequencerTest, HalfStripBreakdown) {
+  MachineConfig C = config();
+  Sequencer Seq(C);
+  CycleBreakdown B = Seq.halfStripCycles(/*PrologueOps=*/20, /*Lines=*/32,
+                                         /*OpsPerLine=*/90,
+                                         /*MaddsPerLine=*/72);
+  long Ops = 20 + 32L * 90;
+  EXPECT_EQ(B.Compute,
+            static_cast<long>(std::llround(Ops * C.SequencerCyclesPerOp)));
+  EXPECT_EQ(B.LineOverhead, 32L * C.PerLineOverheadCycles);
+  EXPECT_EQ(B.PipeReversal, 32L * 2 * C.PipeReversalCycles);
+  EXPECT_EQ(B.StripStartup,
+            C.HalfStripStartupCycles + C.StaticPartLatchCycles);
+  EXPECT_EQ(B.Communication, 0);
+}
+
+TEST(SequencerTest, Wtl3132PaysPerMadd) {
+  MachineConfig A = config();
+  MachineConfig B = A;
+  B.Fpu = FpuKind::WTL3132;
+  CycleBreakdown CA = Sequencer(A).halfStripCycles(0, 10, 50, 30);
+  CycleBreakdown CB = Sequencer(B).halfStripCycles(0, 10, 50, 30);
+  long ExtraOps = 10L * 30;
+  EXPECT_EQ(CB.Compute - CA.Compute,
+            static_cast<long>(std::llround(ExtraOps *
+                                           A.SequencerCyclesPerOp)));
+}
+
+TEST(SequencerTest, ScratchCapacity) {
+  MachineConfig C = config();
+  Sequencer Seq(C);
+  EXPECT_TRUE(Seq.fitsScratch(C.ScratchMemoryParts));
+  EXPECT_FALSE(Seq.fitsScratch(C.ScratchMemoryParts + 1));
+}

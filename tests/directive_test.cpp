@@ -1,0 +1,183 @@
+//===- tests/directive_test.cpp - Version-3 driver tests ------*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the paper's §6 "version 3" behavior: stencil assignment
+/// statements are recognized without the isolated-subroutine
+/// restriction, and statements flagged with the "!CMCC$ STENCIL"
+/// structured comment get a warning when the technique cannot process
+/// them after all.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Compiler.h"
+#include "fortran/Lexer.h"
+#include "fortran/Parser.h"
+#include <gtest/gtest.h>
+
+using namespace cmcc;
+using namespace cmcc::fortran;
+
+namespace {
+
+MachineConfig machine() { return MachineConfig::testMachine16(); }
+
+} // namespace
+
+TEST(DirectiveTest, LexerProducesDirectiveToken) {
+  DiagnosticEngine Diags;
+  Lexer L("!CMCC$ STENCIL\nR = X\n", Diags);
+  auto Tokens = L.lexAll();
+  ASSERT_FALSE(Diags.hasErrors()) << Diags.str();
+  ASSERT_GE(Tokens.size(), 2u);
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::Directive);
+  EXPECT_EQ(Tokens[0].Spelling, "STENCIL");
+}
+
+TEST(DirectiveTest, CaseInsensitiveSentinel) {
+  DiagnosticEngine Diags;
+  Lexer L("!cmcc$ stencil\nR = X\n", Diags);
+  auto Tokens = L.lexAll();
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::Directive);
+  EXPECT_EQ(Tokens[0].Spelling, "STENCIL");
+}
+
+TEST(DirectiveTest, OrdinaryCommentsStillIgnored) {
+  DiagnosticEngine Diags;
+  Lexer L("! just a comment, not CMCC$\nR = X\n", Diags);
+  auto Tokens = L.lexAll();
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::Identifier);
+}
+
+TEST(DirectiveTest, ParserFlagsStatement) {
+  DiagnosticEngine Diags;
+  auto Stmt = Parser::assignmentFromSource(
+      "!CMCC$ STENCIL\nR = C1 * CSHIFT(X, 1, -1)\n", Diags);
+  ASSERT_TRUE(Stmt.has_value()) << Diags.str();
+  EXPECT_TRUE(Stmt->Flagged);
+
+  auto Plain =
+      Parser::assignmentFromSource("R = C1 * CSHIFT(X, 1, -1)\n", Diags);
+  ASSERT_TRUE(Plain.has_value());
+  EXPECT_FALSE(Plain->Flagged);
+}
+
+TEST(DirectiveTest, UnknownDirectiveWarns) {
+  DiagnosticEngine Diags;
+  auto Stmt =
+      Parser::assignmentFromSource("!CMCC$ VECTORIZE\nR = X\n", Diags);
+  ASSERT_TRUE(Stmt.has_value());
+  EXPECT_FALSE(Stmt->Flagged);
+  EXPECT_FALSE(Diags.hasErrors());
+  EXPECT_NE(Diags.str().find("VECTORIZE"), std::string::npos);
+}
+
+TEST(DirectiveTest, ProcessSubroutineCompilesCandidates) {
+  DiagnosticEngine Diags;
+  ConvolutionCompiler CC(machine());
+  auto Processed = CC.processSubroutine(
+      "SUBROUTINE STEP (R, S, X, C1, C2)\n"
+      "REAL, ARRAY(:,:) :: R, S, X, C1, C2\n"
+      "!CMCC$ STENCIL\n"
+      "R = C1 * CSHIFT(X, 1, -1) + C2 * X\n"
+      "S = C1 * X\n"
+      "END\n",
+      Diags);
+  ASSERT_TRUE(Processed.has_value()) << Diags.str();
+  ASSERT_EQ(Processed->Statements.size(), 2u);
+  EXPECT_TRUE(Processed->Statements[0].has_value());
+  EXPECT_TRUE(Processed->Statements[1].has_value());
+  EXPECT_EQ(Processed->compiledCount(), 2);
+  EXPECT_FALSE(Diags.hasErrors());
+}
+
+TEST(DirectiveTest, FlaggedFailureWarnsButDoesNotError) {
+  // X * X is outside the recognized form; the flagged statement earns a
+  // warning, the unflagged one stays silent, and the unit still parses.
+  DiagnosticEngine Diags;
+  ConvolutionCompiler CC(machine());
+  auto Processed = CC.processSubroutine("SUBROUTINE F (R, S, X)\n"
+                                        "REAL, ARRAY(:,:) :: R, S, X\n"
+                                        "!CMCC$ STENCIL\n"
+                                        "R = X * X\n"
+                                        "S = X * X\n"
+                                        "END\n",
+                                        Diags);
+  ASSERT_TRUE(Processed.has_value()) << Diags.str();
+  EXPECT_EQ(Processed->compiledCount(), 0);
+  EXPECT_FALSE(Diags.hasErrors());
+  int Warnings = 0;
+  for (const Diagnostic &D : Diags.diagnostics())
+    if (D.Severity == DiagnosticSeverity::Warning)
+      ++Warnings;
+  EXPECT_EQ(Warnings, 1); // Only the flagged statement warns.
+  EXPECT_NE(Diags.str().find("flagged"), std::string::npos);
+}
+
+TEST(DirectiveTest, FlaggedRegisterPressureWarns) {
+  // Recognized but uncompilable (too many registers even at width 1).
+  std::string Statement = "R = ";
+  for (int Dy = -20; Dy <= 20; ++Dy)
+    Statement += "C" + std::to_string(Dy + 21) + " * CSHIFT(X, 1, " +
+                 std::to_string(Dy) + ")" + (Dy == 20 ? "\n" : " + ");
+  DiagnosticEngine Diags;
+  ConvolutionCompiler CC(machine());
+  auto Processed = CC.processSubroutine(
+      "SUBROUTINE F (R, X)\n!CMCC$ STENCIL\n" + Statement + "END\n", Diags);
+  ASSERT_TRUE(Processed.has_value()) << Diags.str();
+  EXPECT_EQ(Processed->compiledCount(), 0);
+  EXPECT_NE(Diags.str().find("registers"), std::string::npos)
+      << Diags.str();
+}
+
+TEST(DirectiveTest, MultipleStatementsNoIsolationNeeded) {
+  // The version-2 restriction (one statement per subroutine) is gone.
+  DiagnosticEngine Diags;
+  ConvolutionCompiler CC(machine());
+  auto Processed = CC.processSubroutine(
+      "SUBROUTINE SWEEP (A, B, C, X, K1, K2)\n"
+      "REAL, ARRAY(:,:) :: A, B, C, X, K1, K2\n"
+      "A = K1 * CSHIFT(X, 1, -1) + K2 * CSHIFT(X, 1, +1)\n"
+      "B = K1 * CSHIFT(X, 2, -1) + K2 * CSHIFT(X, 2, +1)\n"
+      "C = K1 * X\n"
+      "END\n",
+      Diags);
+  ASSERT_TRUE(Processed.has_value()) << Diags.str();
+  EXPECT_EQ(Processed->compiledCount(), 3);
+}
+
+TEST(DirectiveTest, ProcessProgramHandlesMultipleUnits) {
+  DiagnosticEngine Diags;
+  ConvolutionCompiler CC(machine());
+  auto Units = CC.processProgram(
+      "SUBROUTINE A (R, X, K)\n"
+      "REAL, ARRAY(:,:) :: R, X, K\n"
+      "R = K * CSHIFT(X, 1, -1)\n"
+      "END\n"
+      "SUBROUTINE B (P, Q, K1, K2)\n"
+      "REAL, ARRAY(:,:) :: P, Q, K1, K2\n"
+      "P = K1 * Q\n"
+      "!CMCC$ STENCIL\n"
+      "P = Q * Q\n"
+      "END\n",
+      Diags);
+  ASSERT_TRUE(Units.has_value()) << Diags.str();
+  ASSERT_EQ(Units->size(), 2u);
+  EXPECT_EQ((*Units)[0].Unit.Name, "A");
+  EXPECT_EQ((*Units)[0].compiledCount(), 1);
+  EXPECT_EQ((*Units)[1].Unit.Name, "B");
+  EXPECT_EQ((*Units)[1].compiledCount(), 1); // P = K1*Q; the Q*Q fails.
+  EXPECT_FALSE(Diags.hasErrors());
+  EXPECT_NE(Diags.str().find("flagged"), std::string::npos);
+}
+
+TEST(DirectiveTest, ProcessProgramParseErrorFailsUnit) {
+  DiagnosticEngine Diags;
+  ConvolutionCompiler CC(machine());
+  EXPECT_FALSE(CC.processProgram("SUBROUTINE A (R\nEND\n", Diags)
+                   .has_value());
+  EXPECT_TRUE(Diags.hasErrors());
+}

@@ -1,0 +1,380 @@
+//===- tests/executor_test.cpp - End-to-end execution tests ---*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// End-to-end tests: Fortran/IR → convolution compiler → run-time library
+/// → FPU pipeline model, checked numerically against the golden scalar
+/// evaluator. Because the executor really runs the generated register
+/// schedules through the pipeline timing, these tests exercise the
+/// paper's "freed just in time" register reuse on real data.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Compiler.h"
+#include "runtime/Executor.h"
+#include "runtime/Reference.h"
+#include "stencil/PatternLibrary.h"
+#include "support/Random.h"
+#include <gtest/gtest.h>
+
+using namespace cmcc;
+
+namespace {
+
+/// Bundles the distributed arrays for one stencil run.
+struct World {
+  World(const MachineConfig &Config, const StencilSpec &Spec, int SubRows,
+        int SubCols, uint64_t Seed)
+      : Grid(Config), Result(Grid, SubRows, SubCols),
+        Source(Grid, SubRows, SubCols) {
+    Array2D GlobalSource(Result.globalRows(), Result.globalCols());
+    GlobalSource.fillRandom(Seed);
+    Source.scatter(GlobalSource);
+    Args.Result = &Result;
+    Args.Source = &Source;
+    int Index = 0;
+    for (const std::string &Name : Spec.coefficientArrayNames()) {
+      auto Coeff = std::make_unique<DistributedArray>(Grid, SubRows, SubCols);
+      Array2D Global(Result.globalRows(), Result.globalCols());
+      Global.fillRandom(Seed + 1000 + Index++);
+      Coeff->scatter(Global);
+      Args.Coefficients[Name] = Coeff.get();
+      Coefficients.push_back(std::move(Coeff));
+    }
+  }
+
+  /// Reference result over the gathered global arrays.
+  Array2D reference(const StencilSpec &Spec) const {
+    ReferenceBindings Bindings;
+    Array2D GlobalSource = Source.gather();
+    Bindings.Source = &GlobalSource;
+    std::vector<Array2D> Globals;
+    Globals.reserve(Coefficients.size());
+    std::map<std::string, const Array2D *> Map;
+    for (const auto &[Name, DA] : Args.Coefficients)
+      Globals.push_back(DA->gather());
+    size_t I = 0;
+    for (const auto &[Name, DA] : Args.Coefficients)
+      Bindings.Coefficients[Name] = &Globals[I++];
+    return evaluateReference(Spec, Bindings, Source.globalRows(),
+                             Source.globalCols());
+  }
+
+  NodeGrid Grid;
+  DistributedArray Result;
+  DistributedArray Source;
+  std::vector<std::unique_ptr<DistributedArray>> Coefficients;
+  StencilArguments Args;
+};
+
+/// Compiles and runs \p Spec on a machine, returning max |diff| vs the
+/// reference.
+float runAndCompare(const MachineConfig &Config, const StencilSpec &Spec,
+                    int SubRows, int SubCols, uint64_t Seed,
+                    Executor::Options Opts = {}) {
+  ConvolutionCompiler CC(Config);
+  Expected<CompiledStencil> Compiled = CC.compile(Spec);
+  EXPECT_TRUE(Compiled) << (Compiled ? "" : Compiled.error().message());
+  if (!Compiled)
+    return 1e9f;
+  World W(Config, Spec, SubRows, SubCols, Seed);
+  Executor Exec(Config, Opts);
+  Expected<TimingReport> Report = Compiled ? Exec.run(*Compiled, W.Args, 1)
+                                           : Expected<TimingReport>(
+                                                 makeError("unreachable"));
+  EXPECT_TRUE(Report) << (Report ? "" : Report.error().message());
+  if (!Report)
+    return 1e9f;
+  return Array2D::maxAbsDifference(W.Result.gather(), W.reference(Spec));
+}
+
+MachineConfig smallMachine() {
+  MachineConfig C = MachineConfig::withNodeGrid(2, 2);
+  return C;
+}
+
+constexpr float Tolerance = 2e-4f; // Summation order differs from reference.
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Correctness against the golden evaluator
+//===----------------------------------------------------------------------===//
+
+TEST(ExecutorTest, AllPaperPatternsMatchReference) {
+  for (PatternId Id : allPatterns()) {
+    float Diff =
+        runAndCompare(smallMachine(), makePattern(Id), 16, 16, 42);
+    EXPECT_LT(Diff, Tolerance) << patternName(Id);
+  }
+}
+
+TEST(ExecutorTest, SixteenNodeMachine) {
+  float Diff = runAndCompare(MachineConfig::testMachine16(),
+                             makePattern(PatternId::Square9), 8, 12, 7);
+  EXPECT_LT(Diff, Tolerance);
+}
+
+TEST(ExecutorTest, OddSubgridWidthsUseNarrowStrips) {
+  // 21 columns = strips 8 + 8 + 4 + 1 (the paper's example).
+  for (int SubCols : {21, 3, 5, 7, 9, 13}) {
+    float Diff = runAndCompare(smallMachine(),
+                               makePattern(PatternId::Cross5), 10, SubCols,
+                               SubCols * 31ull);
+    EXPECT_LT(Diff, Tolerance) << "SubCols=" << SubCols;
+  }
+}
+
+TEST(ExecutorTest, OddSubgridHeights) {
+  for (int SubRows : {3, 5, 9, 15}) {
+    float Diff = runAndCompare(smallMachine(),
+                               makePattern(PatternId::Square9), SubRows, 8,
+                               SubRows * 17ull);
+    EXPECT_LT(Diff, Tolerance) << "SubRows=" << SubRows;
+  }
+}
+
+TEST(ExecutorTest, ScalarCoefficientStencil) {
+  DiagnosticEngine Diags;
+  ConvolutionCompiler CC(smallMachine());
+  auto Compiled = CC.compileAssignment(
+      "R = 0.25 * CSHIFT(X, 1, -1) + 0.25 * CSHIFT(X, 1, +1) "
+      "  + 0.25 * CSHIFT(X, 2, -1) + 0.25 * CSHIFT(X, 2, +1) - X",
+      Diags);
+  ASSERT_TRUE(Compiled.has_value()) << Diags.str();
+  World W(smallMachine(), Compiled->Spec, 12, 12, 5);
+  Executor Exec(smallMachine());
+  auto Report = Exec.run(*Compiled, W.Args, 1);
+  ASSERT_TRUE(Report) << Report.error().message();
+  EXPECT_LT(Array2D::maxAbsDifference(W.Result.gather(),
+                                      W.reference(Compiled->Spec)),
+            Tolerance);
+}
+
+TEST(ExecutorTest, BareCoefficientTermUsesUnitRegister) {
+  DiagnosticEngine Diags;
+  ConvolutionCompiler CC(smallMachine());
+  auto Compiled =
+      CC.compileAssignment("R = C1 * CSHIFT(X, 1, 1) + C2 * X + C3", Diags);
+  ASSERT_TRUE(Compiled.has_value()) << Diags.str();
+  EXPECT_TRUE(Compiled->Spec.needsUnitRegister());
+  World W(smallMachine(), Compiled->Spec, 8, 8, 9);
+  Executor Exec(smallMachine());
+  auto Report = Exec.run(*Compiled, W.Args, 1);
+  ASSERT_TRUE(Report) << Report.error().message();
+  EXPECT_LT(Array2D::maxAbsDifference(W.Result.gather(),
+                                      W.reference(Compiled->Spec)),
+            Tolerance);
+}
+
+TEST(ExecutorTest, EoshiftZeroBoundary) {
+  DiagnosticEngine Diags;
+  ConvolutionCompiler CC(smallMachine());
+  auto Compiled = CC.compileAssignment(
+      "R = C1 * EOSHIFT(X, 1, -1) + C2 * EOSHIFT(X, 1, +1) + C3 * X", Diags);
+  ASSERT_TRUE(Compiled.has_value()) << Diags.str();
+  World W(smallMachine(), Compiled->Spec, 8, 8, 11);
+  Executor Exec(smallMachine());
+  auto Report = Exec.run(*Compiled, W.Args, 1);
+  ASSERT_TRUE(Report) << Report.error().message();
+  EXPECT_LT(Array2D::maxAbsDifference(W.Result.gather(),
+                                      W.reference(Compiled->Spec)),
+            Tolerance);
+}
+
+TEST(ExecutorTest, ForcedWidthsAllAgree) {
+  for (int W : {1, 2, 4, 8}) {
+    Executor::Options Opts;
+    Opts.ForceWidth = W;
+    float Diff = runAndCompare(smallMachine(),
+                               makePattern(PatternId::Square9), 12, 16,
+                               77 + W, Opts);
+    EXPECT_LT(Diff, Tolerance) << "forced width " << W;
+  }
+}
+
+TEST(ExecutorTest, FullStripsMatchHalfStrips) {
+  Executor::Options Opts;
+  Opts.UseHalfStrips = false;
+  float Diff = runAndCompare(smallMachine(),
+                             makePattern(PatternId::Diamond13), 12, 12, 3,
+                             Opts);
+  EXPECT_LT(Diff, Tolerance);
+}
+
+TEST(ExecutorTest, LegacyCommPrimitiveSameResult) {
+  Executor::Options Opts;
+  Opts.Primitive = CommPrimitive::LegacyNews;
+  float Diff = runAndCompare(smallMachine(),
+                             makePattern(PatternId::Cross9R2), 8, 8, 13,
+                             Opts);
+  EXPECT_LT(Diff, Tolerance);
+}
+
+TEST(ExecutorTest, CornerSkipDoesNotCorruptCornerlessStencils) {
+  // cross5/cross9r2 need no corner data: the skipped (NaN-poisoned)
+  // corners must never be read.
+  for (PatternId Id : {PatternId::Cross5, PatternId::Cross9R2}) {
+    float Diff = runAndCompare(smallMachine(), makePattern(Id), 8, 8, 21);
+    EXPECT_LT(Diff, Tolerance) << patternName(Id);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Property test: random stencils
+//===----------------------------------------------------------------------===//
+
+class RandomStencilTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomStencilTest, MatchesReference) {
+  SplitMix64 Rng(GetParam() * 0x9e37ULL + 1);
+  // Random tap set within a 5x5 neighborhood.
+  std::vector<Offset> Offsets;
+  int Taps = 1 + static_cast<int>(Rng.nextBelow(12));
+  for (int I = 0; I != Taps; ++I)
+    Offsets.push_back({static_cast<int>(Rng.nextInRange(-2, 2)),
+                       static_cast<int>(Rng.nextInRange(-2, 2))});
+  StencilSpec Spec;
+  Spec.Result = "R";
+  Spec.Source = "X";
+  for (size_t I = 0; I != Offsets.size(); ++I) {
+    Tap T;
+    T.At = Offsets[I];
+    T.Coeff = Coefficient::array("C" + std::to_string(I + 1));
+    T.Sign = Rng.nextBelow(2) ? 1.0 : -1.0;
+    Spec.Taps.push_back(std::move(T));
+  }
+  int SubRows = 4 + static_cast<int>(Rng.nextBelow(12));
+  int SubCols = 4 + static_cast<int>(Rng.nextBelow(12));
+  // Keep the halo within the neighbors.
+  SubRows = std::max(SubRows, Spec.borderWidths().maximum());
+  SubCols = std::max(SubCols, Spec.borderWidths().maximum());
+  float Diff = runAndCompare(smallMachine(), Spec, SubRows, SubCols,
+                             GetParam() * 1009ull);
+  EXPECT_LT(Diff, 5e-4f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RandomStencilTest, ::testing::Range(0, 24));
+
+//===----------------------------------------------------------------------===//
+// Timing model sanity
+//===----------------------------------------------------------------------===//
+
+TEST(ExecutorTimingTest, ReportFieldsPopulated) {
+  MachineConfig Config = MachineConfig::testMachine16();
+  ConvolutionCompiler CC(Config);
+  auto Compiled = CC.compile(makePattern(PatternId::Square9));
+  ASSERT_TRUE(Compiled);
+  World W(Config, Compiled->Spec, 16, 16, 1);
+  Executor Exec(Config);
+  auto Report = Exec.run(*Compiled, W.Args, 100);
+  ASSERT_TRUE(Report) << Report.error().message();
+  EXPECT_EQ(Report->Iterations, 100);
+  EXPECT_EQ(Report->Nodes, 16);
+  EXPECT_EQ(Report->UsefulFlopsPerNodePerIteration, 17L * 16 * 16);
+  EXPECT_GT(Report->Cycles.Compute, 0);
+  EXPECT_GT(Report->Cycles.Communication, 0);
+  EXPECT_GT(Report->measuredMflops(), 0.0);
+  // Extrapolation scales by the node ratio.
+  EXPECT_NEAR(Report->extrapolatedGflops(2048),
+              Report->measuredGflops() * 128.0, 1e-9);
+}
+
+TEST(ExecutorTimingTest, WiderStripsAreFaster) {
+  MachineConfig Config = MachineConfig::testMachine16();
+  ConvolutionCompiler CC(Config);
+  auto Compiled = CC.compile(makePattern(PatternId::Square9));
+  ASSERT_TRUE(Compiled);
+  long Cycles[3];
+  int I = 0;
+  for (int W : {8, 4, 1}) {
+    Executor::Options Opts;
+    Opts.ForceWidth = W;
+    Opts.Mode = Executor::FunctionalMode::None;
+    Executor Exec(Config, Opts);
+    Cycles[I++] = Exec.analyticCycles(*Compiled, 64, 64).total();
+  }
+  EXPECT_LT(Cycles[0], Cycles[1]);
+  EXPECT_LT(Cycles[1], Cycles[2]);
+}
+
+TEST(ExecutorTimingTest, CornerSkipSavesCommunication) {
+  MachineConfig Config = MachineConfig::testMachine16();
+  ConvolutionCompiler CC(Config);
+  auto Compiled = CC.compile(makePattern(PatternId::Cross5));
+  ASSERT_TRUE(Compiled);
+  Executor::Options Skip;
+  Skip.Mode = Executor::FunctionalMode::None;
+  Executor::Options NoSkip = Skip;
+  NoSkip.AllowCornerSkip = false;
+  long WithSkip = Executor(Config, Skip)
+                      .analyticCycles(*Compiled, 32, 32)
+                      .Communication;
+  long Without = Executor(Config, NoSkip)
+                     .analyticCycles(*Compiled, 32, 32)
+                     .Communication;
+  EXPECT_LT(WithSkip, Without);
+}
+
+TEST(ExecutorTimingTest, LegacyCommIsSlower) {
+  MachineConfig Config = MachineConfig::testMachine16();
+  ConvolutionCompiler CC(Config);
+  auto Compiled = CC.compile(makePattern(PatternId::Square9));
+  ASSERT_TRUE(Compiled);
+  Executor::Options New;
+  New.Mode = Executor::FunctionalMode::None;
+  Executor::Options Legacy = New;
+  Legacy.Primitive = CommPrimitive::LegacyNews;
+  long NewCycles =
+      Executor(Config, New).analyticCycles(*Compiled, 64, 64).Communication;
+  long LegacyCycles = Executor(Config, Legacy)
+                          .analyticCycles(*Compiled, 64, 64)
+                          .Communication;
+  EXPECT_GT(LegacyCycles, 2 * NewCycles);
+}
+
+TEST(ExecutorTimingTest, HalfStripsDoubleTheStartups) {
+  MachineConfig Config = MachineConfig::testMachine16();
+  ConvolutionCompiler CC(Config);
+  auto Compiled = CC.compile(makePattern(PatternId::Square9));
+  ASSERT_TRUE(Compiled);
+  Executor::Options Half;
+  Half.Mode = Executor::FunctionalMode::None;
+  Executor::Options Full = Half;
+  Full.UseHalfStrips = false;
+  long HalfStartups = Executor(Config, Half)
+                          .analyticCycles(*Compiled, 64, 64)
+                          .StripStartup;
+  long FullStartups = Executor(Config, Full)
+                          .analyticCycles(*Compiled, 64, 64)
+                          .StripStartup;
+  EXPECT_EQ(HalfStartups, 2 * FullStartups);
+}
+
+TEST(ExecutorTimingTest, ValidationErrors) {
+  MachineConfig Config = MachineConfig::testMachine16();
+  ConvolutionCompiler CC(Config);
+  auto Compiled = CC.compile(makePattern(PatternId::Cross5));
+  ASSERT_TRUE(Compiled);
+  NodeGrid Grid(Config);
+  DistributedArray R(Grid, 8, 8), X(Grid, 8, 8);
+  Executor Exec(Config);
+
+  StencilArguments Missing; // No arrays bound.
+  EXPECT_FALSE(Exec.run(*Compiled, Missing, 1));
+
+  StencilArguments NoCoeffs;
+  NoCoeffs.Result = &R;
+  NoCoeffs.Source = &X;
+  auto Err = Exec.run(*Compiled, NoCoeffs, 1);
+  ASSERT_FALSE(Err);
+  EXPECT_NE(Err.error().message().find("C1"), std::string::npos);
+
+  StencilArguments Aliased;
+  Aliased.Result = &R;
+  Aliased.Source = &R;
+  EXPECT_FALSE(Exec.run(*Compiled, Aliased, 1));
+}

@@ -1,0 +1,166 @@
+//===- tests/frontend_robustness_test.cpp - Fuzz-lite tests ---*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic robustness sweeps: the front ends must never crash on
+/// garbage — they either parse or produce diagnostics. Also round-trip
+/// properties: printing a parsed expression and re-parsing it yields the
+/// same canonical print, and the recognizer is a pure function of the
+/// statement.
+///
+//===----------------------------------------------------------------------===//
+
+#include "fortran/AstPrinter.h"
+#include "fortran/Lexer.h"
+#include "fortran/Parser.h"
+#include "sexpr/DefStencil.h"
+#include "stencil/Recognizer.h"
+#include "support/Random.h"
+#include <gtest/gtest.h>
+
+using namespace cmcc;
+using namespace cmcc::fortran;
+
+namespace {
+
+/// Builds a random character soup biased toward tokens the grammar uses.
+std::string randomSoup(SplitMix64 &Rng, int Length) {
+  static const char *Pieces[] = {
+      "R",      "X",     "C1",    "CSHIFT", "EOSHIFT", "(",  ")",  ",",
+      "+",      "-",     "*",     "=",      "::",      ":",  "&",  "\n",
+      "1",      "-2",    "0.5",   "1e3",    "REAL",    "END", " ",  "!c",
+      "SUBROUTINE",      "ARRAY", "DIM=",   "SHIFT=",  ";",  "_",  ".",
+      "!CMCC$ STENCIL\n"};
+  std::string Out;
+  for (int I = 0; I != Length; ++I) {
+    Out += Pieces[Rng.nextBelow(sizeof(Pieces) / sizeof(Pieces[0]))];
+    Out += ' ';
+  }
+  return Out;
+}
+
+} // namespace
+
+class FortranSoupTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FortranSoupTest, NeverCrashes) {
+  SplitMix64 Rng(0xf00d + GetParam() * 7919);
+  std::string Source = randomSoup(Rng, 3 + GetParam() % 40);
+  DiagnosticEngine Diags;
+  // All entry points must survive arbitrary input.
+  (void)Parser::assignmentFromSource(Source, Diags);
+  Diags.clear();
+  (void)Parser::subroutineFromSource(Source, Diags);
+  Diags.clear();
+  Lexer L(Source, Diags);
+  std::vector<Token> Tokens = L.lexAll();
+  ASSERT_FALSE(Tokens.empty());
+  EXPECT_EQ(Tokens.back().Kind, TokenKind::EndOfFile);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FortranSoupTest, ::testing::Range(0, 50));
+
+class SExprSoupTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SExprSoupTest, NeverCrashes) {
+  SplitMix64 Rng(0xbeef + GetParam() * 104729);
+  static const char *Pieces[] = {"(", ")", "defstencil", ":=", "+", "*",
+                                 "cshift", "x", "r", "c1", "1", "-2",
+                                 "0.5", ";c\n", "single-float"};
+  std::string Source;
+  int Length = 2 + GetParam() % 30;
+  for (int I = 0; I != Length; ++I) {
+    Source += Pieces[Rng.nextBelow(sizeof(Pieces) / sizeof(Pieces[0]))];
+    Source += ' ';
+  }
+  DiagnosticEngine Diags;
+  (void)sexpr::defStencilFromSource(Source, Diags);
+  DiagnosticEngine Diags2;
+  (void)sexpr::readAll(Source, Diags2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SExprSoupTest, ::testing::Range(0, 50));
+
+//===----------------------------------------------------------------------===//
+// Round-trip properties
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Generates a random well-formed stencil statement as source text.
+std::string randomStatement(SplitMix64 &Rng) {
+  std::string Out = "R = ";
+  int Terms = 1 + static_cast<int>(Rng.nextBelow(6));
+  for (int I = 0; I != Terms; ++I) {
+    if (I != 0)
+      Out += Rng.nextBelow(2) ? " + " : " - ";
+    std::string Factor;
+    int Dy = static_cast<int>(Rng.nextInRange(-2, 2));
+    int Dx = static_cast<int>(Rng.nextInRange(-2, 2));
+    if (Dy == 0 && Dx == 0) {
+      Factor = "X";
+    } else if (Dy == 0) {
+      Factor = "CSHIFT(X, 2, " + std::to_string(Dx) + ")";
+    } else if (Dx == 0) {
+      Factor = "CSHIFT(X, 1, " + std::to_string(Dy) + ")";
+    } else {
+      Factor = "CSHIFT(CSHIFT(X, 1, " + std::to_string(Dy) + "), 2, " +
+               std::to_string(Dx) + ")";
+    }
+    switch (Rng.nextBelow(3)) {
+    case 0:
+      Out += "C" + std::to_string(I + 1) + " * " + Factor;
+      break;
+    case 1:
+      Out += Factor + " * C" + std::to_string(I + 1);
+      break;
+    default:
+      Out += Factor;
+      break;
+    }
+  }
+  return Out;
+}
+
+} // namespace
+
+class RoundTripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RoundTripTest, PrintParsePrintIsStable) {
+  SplitMix64 Rng(0xcafe + GetParam());
+  std::string Source = randomStatement(Rng);
+  DiagnosticEngine Diags;
+  auto First = Parser::assignmentFromSource(Source, Diags);
+  ASSERT_TRUE(First.has_value()) << Source << "\n" << Diags.str();
+  std::string Printed = printAssignment(*First);
+  auto Second = Parser::assignmentFromSource(Printed, Diags);
+  ASSERT_TRUE(Second.has_value()) << Printed << "\n" << Diags.str();
+  EXPECT_EQ(printAssignment(*Second), Printed);
+}
+
+TEST_P(RoundTripTest, RecognitionIsDeterministicAndStable) {
+  SplitMix64 Rng(0xcafe + GetParam());
+  std::string Source = randomStatement(Rng);
+  DiagnosticEngine Diags;
+  auto Stmt = Parser::assignmentFromSource(Source, Diags);
+  ASSERT_TRUE(Stmt.has_value());
+  Recognizer R1(Diags), R2(Diags);
+  auto A = R1.recognize(*Stmt);
+  auto B = R2.recognize(*Stmt);
+  ASSERT_TRUE(A.has_value()) << Source << "\n" << Diags.str();
+  ASSERT_TRUE(B.has_value());
+  EXPECT_EQ(A->str(), B->str());
+
+  // Recognizing the printed form gives the same stencil.
+  auto Reparsed = Parser::assignmentFromSource(printAssignment(*Stmt), Diags);
+  ASSERT_TRUE(Reparsed.has_value());
+  Recognizer R3(Diags);
+  auto C = R3.recognize(*Reparsed);
+  ASSERT_TRUE(C.has_value());
+  EXPECT_EQ(A->str(), C->str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RoundTripTest, ::testing::Range(0, 30));

@@ -1,0 +1,124 @@
+//===- tests/haloexchange_test.cpp - §5.1 protocol tests ------*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the three-step exchange protocol (edges to four neighbors,
+/// then corners relayed through two hops): for every machine shape,
+/// boundary kind, border width, and corner flag, the protocol result
+/// must be cell-for-cell identical (NaN poisoning included) to the
+/// direct global-torus construction.
+///
+//===----------------------------------------------------------------------===//
+
+#include "runtime/HaloExchange.h"
+#include "support/Random.h"
+#include <cmath>
+#include <gtest/gtest.h>
+
+using namespace cmcc;
+
+namespace {
+
+/// Equality where NaN == NaN (poisoned corners must match exactly).
+bool sameCells(const Array2D &A, const Array2D &B, std::string *Where) {
+  if (A.rows() != B.rows() || A.cols() != B.cols()) {
+    *Where = "shape mismatch";
+    return false;
+  }
+  for (int R = 0; R != A.rows(); ++R)
+    for (int C = 0; C != A.cols(); ++C) {
+      float X = A.at(R, C), Y = B.at(R, C);
+      bool Equal = (std::isnan(X) && std::isnan(Y)) || X == Y;
+      if (!Equal) {
+        *Where = "(" + std::to_string(R) + "," + std::to_string(C) +
+                 "): " + std::to_string(X) + " vs " + std::to_string(Y);
+        return false;
+      }
+    }
+  return true;
+}
+
+} // namespace
+
+struct HaloCase {
+  int NodeRows, NodeCols, SubRows, SubCols, Border;
+  BoundaryKind B1, B2;
+  bool Corners;
+};
+
+class HaloProtocolTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HaloProtocolTest, MatchesDirectConstruction) {
+  SplitMix64 Rng(0x4a10 + GetParam());
+  const int Shapes[][2] = {{1, 1}, {1, 4}, {4, 1}, {2, 2}, {2, 4}, {4, 4}};
+  auto [NR, NC] = std::pair{Shapes[GetParam() % 6][0],
+                            Shapes[GetParam() % 6][1]};
+  int SubRows = 2 + static_cast<int>(Rng.nextBelow(6));
+  int SubCols = 2 + static_cast<int>(Rng.nextBelow(6));
+  int Border = static_cast<int>(
+      Rng.nextBelow(std::min(SubRows, SubCols) + 1));
+  BoundaryKind B1 =
+      Rng.nextBelow(2) ? BoundaryKind::Circular : BoundaryKind::Zero;
+  BoundaryKind B2 =
+      Rng.nextBelow(2) ? BoundaryKind::Circular : BoundaryKind::Zero;
+  bool Corners = Rng.nextBelow(2) != 0;
+
+  NodeGrid Grid(NR, NC);
+  DistributedArray A(Grid, SubRows, SubCols);
+  Array2D Global(A.globalRows(), A.globalCols());
+  Global.fillRandom(GetParam() * 97 + 5);
+  A.scatter(Global);
+
+  std::vector<Array2D> Protocol = exchangeHalos(A, Border, B1, B2, Corners);
+  ASSERT_EQ(Protocol.size(), static_cast<size_t>(Grid.nodeCount()));
+  for (int Id = 0; Id != Grid.nodeCount(); ++Id) {
+    Array2D Direct = buildPaddedSubgrid(A, Grid.coordOf(Id), Border, B1,
+                                        B2, Corners);
+    std::string Where;
+    EXPECT_TRUE(sameCells(Protocol[Id], Direct, &Where))
+        << "node " << Id << " at " << Where << "  [grid " << NR << "x" << NC
+        << " sub " << SubRows << "x" << SubCols << " border " << Border
+        << " b1=" << (B1 == BoundaryKind::Zero ? "zero" : "circ")
+        << " b2=" << (B2 == BoundaryKind::Zero ? "zero" : "circ")
+        << " corners=" << Corners << "]";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, HaloProtocolTest, ::testing::Range(0, 36));
+
+TEST(HaloProtocolTest, CornerDataTravelsTwoHops) {
+  // The defining property of the relay: the NE corner pad equals the
+  // diagonal neighbor's data even though only N/S/W/E exchanges happen.
+  NodeGrid Grid(4, 4);
+  DistributedArray A(Grid, 4, 4);
+  Array2D Global(16, 16);
+  for (int R = 0; R != 16; ++R)
+    for (int C = 0; C != 16; ++C)
+      Global.at(R, C) = static_cast<float>(R * 100 + C);
+  A.scatter(Global);
+  std::vector<Array2D> Halos =
+      exchangeHalos(A, 2, BoundaryKind::Circular, BoundaryKind::Circular,
+                    /*FetchCorners=*/true);
+  // Node (1,1) covers rows 4..7, cols 4..7. Its NW corner pad cell
+  // (0,0) is global (2,2) — owned by diagonal node (0,0).
+  const Array2D &P = Halos[Grid.nodeId({1, 1})];
+  EXPECT_EQ(P.at(0, 0), 2 * 100 + 2);
+  EXPECT_EQ(P.at(7, 7), 9 * 100 + 9); // SE corner interior edge.
+}
+
+TEST(HaloProtocolTest, ZeroBorderIsJustTheSubgrid) {
+  NodeGrid Grid(2, 2);
+  DistributedArray A(Grid, 3, 3);
+  Array2D Global(6, 6);
+  Global.fillRandom(1);
+  A.scatter(Global);
+  std::vector<Array2D> Halos = exchangeHalos(
+      A, 0, BoundaryKind::Circular, BoundaryKind::Circular, true);
+  for (int Id = 0; Id != 4; ++Id)
+    EXPECT_EQ(Array2D::maxAbsDifference(Halos[Id],
+                                        A.subgrid(Grid.coordOf(Id))),
+              0.0f);
+}

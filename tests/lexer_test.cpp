@@ -1,0 +1,145 @@
+//===- tests/lexer_test.cpp - Fortran lexer tests -------------*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fortran/Lexer.h"
+#include <gtest/gtest.h>
+
+using namespace cmcc;
+using namespace cmcc::fortran;
+
+namespace {
+
+std::vector<Token> lex(std::string_view Source) {
+  DiagnosticEngine Diags;
+  Lexer L(Source, Diags);
+  std::vector<Token> Tokens = L.lexAll();
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  return Tokens;
+}
+
+std::vector<TokenKind> kinds(const std::vector<Token> &Tokens) {
+  std::vector<TokenKind> Out;
+  for (const Token &T : Tokens)
+    Out.push_back(T.Kind);
+  return Out;
+}
+
+} // namespace
+
+TEST(LexerTest, SimpleAssignment) {
+  auto Tokens = lex("R = C1 * X");
+  ASSERT_EQ(Tokens.size(), 6u);
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::Identifier);
+  EXPECT_EQ(Tokens[0].Spelling, "R");
+  EXPECT_EQ(Tokens[1].Kind, TokenKind::Equal);
+  EXPECT_EQ(Tokens[2].Spelling, "C1");
+  EXPECT_EQ(Tokens[3].Kind, TokenKind::Star);
+  EXPECT_EQ(Tokens[4].Spelling, "X");
+  EXPECT_EQ(Tokens[5].Kind, TokenKind::EndOfFile);
+}
+
+TEST(LexerTest, IdentifiersAreUpperCased) {
+  auto Tokens = lex("cshift Cshift CSHIFT");
+  EXPECT_EQ(Tokens[0].Spelling, "CSHIFT");
+  EXPECT_EQ(Tokens[1].Spelling, "CSHIFT");
+  EXPECT_EQ(Tokens[2].Spelling, "CSHIFT");
+}
+
+TEST(LexerTest, KeywordsRecognizedCaseInsensitively) {
+  auto Tokens = lex("subroutine END Real array DIMENSION");
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::KwSubroutine);
+  EXPECT_EQ(Tokens[1].Kind, TokenKind::KwEnd);
+  EXPECT_EQ(Tokens[2].Kind, TokenKind::KwReal);
+  EXPECT_EQ(Tokens[3].Kind, TokenKind::KwArray);
+  EXPECT_EQ(Tokens[4].Kind, TokenKind::KwDimension);
+}
+
+TEST(LexerTest, IntegerAndRealLiterals) {
+  auto Tokens = lex("42 3.5 1. .25 1e3 2.5d-2");
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::IntegerLiteral);
+  EXPECT_EQ(Tokens[0].IntegerValue, 42);
+  EXPECT_EQ(Tokens[1].Kind, TokenKind::RealLiteral);
+  EXPECT_DOUBLE_EQ(Tokens[1].RealValue, 3.5);
+  EXPECT_EQ(Tokens[2].Kind, TokenKind::RealLiteral);
+  EXPECT_DOUBLE_EQ(Tokens[2].RealValue, 1.0);
+  EXPECT_EQ(Tokens[3].Kind, TokenKind::RealLiteral);
+  EXPECT_DOUBLE_EQ(Tokens[3].RealValue, 0.25);
+  EXPECT_EQ(Tokens[4].Kind, TokenKind::RealLiteral);
+  EXPECT_DOUBLE_EQ(Tokens[4].RealValue, 1000.0);
+  EXPECT_EQ(Tokens[5].Kind, TokenKind::RealLiteral);
+  EXPECT_DOUBLE_EQ(Tokens[5].RealValue, 0.025);
+}
+
+TEST(LexerTest, ContinuationJoinsLines) {
+  auto Tokens = lex("R = C1 &\n  + C2");
+  // No EndOfStatement between C1 and +.
+  auto Kinds = kinds(Tokens);
+  std::vector<TokenKind> Want = {
+      TokenKind::Identifier, TokenKind::Equal,      TokenKind::Identifier,
+      TokenKind::Plus,       TokenKind::Identifier, TokenKind::EndOfFile};
+  EXPECT_EQ(Kinds, Want);
+}
+
+TEST(LexerTest, ContinuationWithLeadingAmpersand) {
+  auto Tokens = lex("R = C1 &\n     &  + C2");
+  EXPECT_EQ(Tokens.size(), 6u);
+  EXPECT_EQ(Tokens[3].Kind, TokenKind::Plus);
+}
+
+TEST(LexerTest, CommentsIgnored) {
+  auto Tokens = lex("R = X ! the whole right-hand side\n");
+  auto Kinds = kinds(Tokens);
+  std::vector<TokenKind> Want = {TokenKind::Identifier, TokenKind::Equal,
+                                 TokenKind::Identifier,
+                                 TokenKind::EndOfStatement,
+                                 TokenKind::EndOfFile};
+  EXPECT_EQ(Kinds, Want);
+}
+
+TEST(LexerTest, StatementSeparatorsCollapse) {
+  auto Tokens = lex("\n\nA = B\n\n\nC = D\n");
+  int Separators = 0;
+  for (const Token &T : Tokens)
+    if (T.is(TokenKind::EndOfStatement))
+      ++Separators;
+  EXPECT_EQ(Separators, 2);
+  EXPECT_EQ(Tokens.front().Kind, TokenKind::Identifier);
+}
+
+TEST(LexerTest, DoubleColonAndPunctuation) {
+  auto Tokens = lex("REAL, ARRAY(:,:) :: R");
+  auto Kinds = kinds(Tokens);
+  std::vector<TokenKind> Want = {
+      TokenKind::KwReal,  TokenKind::Comma,  TokenKind::KwArray,
+      TokenKind::LParen,  TokenKind::Colon,  TokenKind::Comma,
+      TokenKind::Colon,   TokenKind::RParen, TokenKind::DoubleColon,
+      TokenKind::Identifier, TokenKind::EndOfFile};
+  EXPECT_EQ(Kinds, Want);
+}
+
+TEST(LexerTest, LocationsTracked) {
+  auto Tokens = lex("A = B\nC = D");
+  EXPECT_EQ(Tokens[0].Location.Line, 1u);
+  EXPECT_EQ(Tokens[0].Location.Column, 1u);
+  // "C" is the first token of line 2 (after the separator).
+  ASSERT_GE(Tokens.size(), 5u);
+  EXPECT_EQ(Tokens[4].Spelling, "C");
+  EXPECT_EQ(Tokens[4].Location.Line, 2u);
+}
+
+TEST(LexerTest, BadCharacterDiagnosed) {
+  DiagnosticEngine Diags;
+  Lexer L("R = #", Diags);
+  L.lexAll();
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(LexerTest, DanglingContinuationDiagnosed) {
+  DiagnosticEngine Diags;
+  Lexer L("R = C1 & + C2", Diags);
+  L.lexAll();
+  EXPECT_TRUE(Diags.hasErrors());
+}

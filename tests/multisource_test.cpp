@@ -1,0 +1,295 @@
+//===- tests/multisource_test.cpp - §9 extension tests --------*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the multi-source extension — the paper's §9 future work:
+/// "Future versions of the compiler should be able to handle all ten
+/// terms as one stencil pattern." A statement may shift several
+/// different arrays; each becomes a source with its own register columns
+/// and halo exchange. The flagship case is the Gordon Bell seismic main
+/// loop fused into a single statement: the nine-point cross on U plus
+/// the C10 * UPREV term.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Compiler.h"
+#include "fortran/Parser.h"
+#include "runtime/Executor.h"
+#include "runtime/Reference.h"
+#include "stencil/PatternLibrary.h"
+#include <gtest/gtest.h>
+#include <memory>
+
+using namespace cmcc;
+
+namespace {
+
+const char *FusedSeismic =
+    "R = C1 * CSHIFT(U, 1, -2) + C2 * CSHIFT(U, 1, -1) "
+    "  + C3 * CSHIFT(U, 2, -2) + C4 * CSHIFT(U, 2, -1) "
+    "  + C5 * U "
+    "  + C6 * CSHIFT(U, 2, +1) + C7 * CSHIFT(U, 2, +2) "
+    "  + C8 * CSHIFT(U, 1, +1) + C9 * CSHIFT(U, 1, +2) "
+    "  - C10 * UPREV";
+
+MachineConfig smallMachine() { return MachineConfig::withNodeGrid(2, 2); }
+
+std::optional<StencilSpec> recognizeMulti(std::string_view Source,
+                                          DiagnosticEngine &Diags) {
+  auto Stmt = fortran::Parser::assignmentFromSource(Source, Diags);
+  if (!Stmt)
+    return std::nullopt;
+  RecognizerOptions Opts;
+  Opts.AllowMultipleSources = true;
+  Recognizer R(Diags, Opts);
+  return R.recognize(*Stmt);
+}
+
+/// Builds arrays, runs the compiled stencil, returns max |diff| vs the
+/// reference evaluator.
+float runAndCompare(const MachineConfig &Config,
+                    const CompiledStencil &Compiled, uint64_t Seed,
+                    int SubRows = 12, int SubCols = 12) {
+  const StencilSpec &Spec = Compiled.Spec;
+  NodeGrid Grid(Config);
+  DistributedArray R(Grid, SubRows, SubCols);
+  std::vector<std::unique_ptr<DistributedArray>> Owned;
+  std::vector<Array2D> Globals;
+  StencilArguments Args;
+  Args.Result = &R;
+
+  auto MakeArray = [&](uint64_t S) {
+    auto A = std::make_unique<DistributedArray>(Grid, SubRows, SubCols);
+    Array2D G(R.globalRows(), R.globalCols());
+    G.fillRandom(S);
+    A->scatter(G);
+    Globals.push_back(std::move(G));
+    Owned.push_back(std::move(A));
+    return Owned.back().get();
+  };
+
+  ReferenceBindings Bindings;
+  Args.Source = MakeArray(Seed);
+  size_t SourceBase = Globals.size() - 1;
+  for (size_t I = 0; I != Spec.ExtraSources.size(); ++I)
+    Args.ExtraSources[Spec.ExtraSources[I]] = MakeArray(Seed + 17 * (I + 1));
+  size_t CoeffBase = Globals.size();
+  std::vector<std::string> CoeffNames = Spec.coefficientArrayNames();
+  for (size_t I = 0; I != CoeffNames.size(); ++I)
+    Args.Coefficients[CoeffNames[I]] = MakeArray(Seed + 1000 + I);
+
+  // Bind the *globals* for the reference (Globals vector is stable now).
+  Bindings.Source = &Globals[SourceBase];
+  for (size_t I = 0; I != Spec.ExtraSources.size(); ++I)
+    Bindings.ExtraSources[Spec.ExtraSources[I]] = &Globals[SourceBase + 1 + I];
+  for (size_t I = 0; I != CoeffNames.size(); ++I)
+    Bindings.Coefficients[CoeffNames[I]] = &Globals[CoeffBase + I];
+
+  Executor Exec(Config);
+  Expected<TimingReport> Report =
+      Exec.run(Compiled, Args, /*Iterations=*/1);
+  EXPECT_TRUE(Report) << (Report ? "" : Report.error().message());
+  if (!Report)
+    return 1e9f;
+  Array2D Want = evaluateReference(Spec, Bindings, R.globalRows(),
+                                   R.globalCols());
+  return Array2D::maxAbsDifference(R.gather(), Want);
+}
+
+} // namespace
+
+TEST(MultiSourceTest, RejectedByDefault) {
+  DiagnosticEngine Diags;
+  ConvolutionCompiler CC(smallMachine());
+  EXPECT_FALSE(CC.compileAssignment(FusedSeismic, Diags).has_value());
+  // The C10 * UPREV term is outside the paper's recognized form (no
+  // factor is the stencil variable U).
+  EXPECT_NE(Diags.str().find("not of the form"), std::string::npos)
+      << Diags.str();
+
+  // A second shifted variable trips the same-variable rule instead.
+  DiagnosticEngine Diags2;
+  EXPECT_FALSE(CC.compileAssignment(
+                     "R = C1 * CSHIFT(U, 1, 1) + C2 * CSHIFT(V, 1, 1)",
+                     Diags2)
+                   .has_value());
+  EXPECT_NE(Diags2.str().find("same variable"), std::string::npos)
+      << Diags2.str();
+}
+
+TEST(MultiSourceTest, FusedSeismicRecognized) {
+  DiagnosticEngine Diags;
+  auto Spec = recognizeMulti(FusedSeismic, Diags);
+  ASSERT_TRUE(Spec.has_value()) << Diags.str();
+  EXPECT_EQ(Spec->Source, "U");
+  ASSERT_EQ(Spec->ExtraSources.size(), 1u);
+  EXPECT_EQ(Spec->ExtraSources[0], "UPREV");
+  ASSERT_EQ(Spec->Taps.size(), 10u);
+  EXPECT_EQ(Spec->Taps[9].SourceIndex, 1);
+  EXPECT_EQ(Spec->Taps[9].At, (Offset{0, 0}));
+  EXPECT_DOUBLE_EQ(Spec->Taps[9].Sign, -1.0);
+  // 10 multiplies + 9 adds = 19 useful flops.
+  EXPECT_EQ(Spec->usefulFlopsPerPoint(), 19);
+}
+
+TEST(MultiSourceTest, FusedSeismicCompilesAndVerifies) {
+  DiagnosticEngine Diags;
+  auto Spec = recognizeMulti(FusedSeismic, Diags);
+  ASSERT_TRUE(Spec.has_value()) << Diags.str();
+  MachineConfig Config = smallMachine();
+  ConvolutionCompiler CC(Config);
+  Expected<CompiledStencil> Compiled = CC.compile(*Spec);
+  ASSERT_TRUE(Compiled) << Compiled.error().message();
+  // Width 8 won't fit (the cross9r2 part alone needs 44 at width 8);
+  // width 4 needs 24 + 4 (UPREV column group) = within budget.
+  EXPECT_EQ(Compiled->availableWidths().front(), 4);
+  for (const WidthSchedule &W : Compiled->Widths)
+    EXPECT_FALSE(verifySchedule(W, *Spec, Config))
+        << verifySchedule(W, *Spec, Config).message();
+}
+
+TEST(MultiSourceTest, FusedSeismicMatchesReference) {
+  DiagnosticEngine Diags;
+  auto Spec = recognizeMulti(FusedSeismic, Diags);
+  ASSERT_TRUE(Spec.has_value()) << Diags.str();
+  ConvolutionCompiler CC(smallMachine());
+  Expected<CompiledStencil> Compiled = CC.compile(*Spec);
+  ASSERT_TRUE(Compiled) << Compiled.error().message();
+  EXPECT_LT(runAndCompare(smallMachine(), *Compiled, 101), 5e-4f);
+}
+
+TEST(MultiSourceTest, TwoShiftedFields) {
+  // Both sources shifted: a coupled two-field kernel.
+  DiagnosticEngine Diags;
+  auto Spec = recognizeMulti("R = A1 * CSHIFT(P, 1, -1) + A2 * P "
+                             "  + B1 * CSHIFT(Q, 2, +1) + B2 * Q "
+                             "  + B3 * CSHIFT(CSHIFT(Q, 1, +1), 2, +1)",
+                             Diags);
+  ASSERT_TRUE(Spec.has_value()) << Diags.str();
+  EXPECT_EQ(Spec->sourceCount(), 2);
+  ConvolutionCompiler CC(smallMachine());
+  Expected<CompiledStencil> Compiled = CC.compile(*Spec);
+  ASSERT_TRUE(Compiled) << Compiled.error().message();
+  EXPECT_LT(runAndCompare(smallMachine(), *Compiled, 202), 5e-4f);
+}
+
+TEST(MultiSourceTest, ThreeSources) {
+  DiagnosticEngine Diags;
+  auto Spec = recognizeMulti(
+      "R = C1 * CSHIFT(A, 1, -1) + C2 * CSHIFT(B, 2, -1) + C3 * D", Diags);
+  ASSERT_TRUE(Spec.has_value()) << Diags.str();
+  EXPECT_EQ(Spec->sourceCount(), 3);
+  ConvolutionCompiler CC(smallMachine());
+  Expected<CompiledStencil> Compiled = CC.compile(*Spec);
+  ASSERT_TRUE(Compiled) << Compiled.error().message();
+  EXPECT_LT(runAndCompare(smallMachine(), *Compiled, 303), 5e-4f);
+}
+
+TEST(MultiSourceTest, RegisterBudgetSpansSources) {
+  // Two tall patterns that fit alone at width 8 but not together.
+  DiagnosticEngine Diags;
+  std::string Tall = "R = ";
+  for (int Dy = -2; Dy <= 2; ++Dy)
+    Tall += "CP" + std::to_string(Dy + 3) + " * CSHIFT(P, 1, " +
+            std::to_string(Dy) + ") + ";
+  for (int Dy = -2; Dy <= 2; ++Dy)
+    Tall += "CQ" + std::to_string(Dy + 3) + " * CSHIFT(Q, 1, " +
+            std::to_string(Dy) + ")" + (Dy == 2 ? "" : " + ");
+  auto Spec = recognizeMulti(Tall, Diags);
+  ASSERT_TRUE(Spec.has_value()) << Diags.str();
+  ConvolutionCompiler CC(smallMachine());
+  Expected<CompiledStencil> Compiled = CC.compile(*Spec);
+  ASSERT_TRUE(Compiled) << Compiled.error().message();
+  // Each source needs 5-tall columns; at width 8 that is 2x40 = 80
+  // registers — far over budget. Width 2 gives 2x10=20: fits.
+  EXPECT_LT(Compiled->availableWidths().front(), 8);
+  EXPECT_LT(runAndCompare(smallMachine(), *Compiled, 404, 8, 8), 5e-4f);
+}
+
+TEST(MultiSourceTest, SourceAliasingResultRejected) {
+  DiagnosticEngine Diags;
+  auto Spec =
+      recognizeMulti("R = C1 * CSHIFT(U, 1, 1) + C2 * CSHIFT(R, 2, 1)",
+                     Diags);
+  EXPECT_FALSE(Spec.has_value());
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(MultiSourceTest, MissingExtraSourceBindingFails) {
+  DiagnosticEngine Diags;
+  auto Spec = recognizeMulti(FusedSeismic, Diags);
+  ASSERT_TRUE(Spec.has_value()) << Diags.str();
+  MachineConfig Config = smallMachine();
+  ConvolutionCompiler CC(Config);
+  Expected<CompiledStencil> Compiled = CC.compile(*Spec);
+  ASSERT_TRUE(Compiled);
+
+  NodeGrid Grid(Config);
+  DistributedArray R(Grid, 8, 8), U(Grid, 8, 8);
+  DistributedArray C(Grid, 8, 8);
+  StencilArguments Args;
+  Args.Result = &R;
+  Args.Source = &U;
+  for (const std::string &Name : Spec->coefficientArrayNames())
+    Args.Coefficients[Name] = &C;
+  // UPREV not bound.
+  Executor Exec(Config);
+  auto Err = Exec.run(*Compiled, Args, 1);
+  ASSERT_FALSE(Err);
+  EXPECT_NE(Err.error().message().find("UPREV"), std::string::npos);
+}
+
+TEST(MultiSourceTest, CommunicationScalesWithSources) {
+  DiagnosticEngine Diags;
+  auto Fused = recognizeMulti(FusedSeismic, Diags);
+  ASSERT_TRUE(Fused.has_value());
+  MachineConfig Config = MachineConfig::testMachine16();
+  ConvolutionCompiler CC(Config);
+  Expected<CompiledStencil> FusedCompiled = CC.compile(*Fused);
+  ASSERT_TRUE(FusedCompiled);
+  Expected<CompiledStencil> Single =
+      CC.compile(makePattern(PatternId::Cross9R2));
+  ASSERT_TRUE(Single);
+  Executor::Options Opts;
+  Opts.Mode = Executor::FunctionalMode::None;
+  Executor Exec(Config, Opts);
+  long TwoSources =
+      Exec.analyticCycles(*FusedCompiled, 64, 64).Communication;
+  long OneSource = Exec.analyticCycles(*Single, 64, 64).Communication;
+  EXPECT_EQ(TwoSources, 2 * OneSource);
+}
+
+TEST(MultiSourceTest, FusedBeatsSeparateCalls) {
+  // The point of the §9 extension: one fused call does the ten-term
+  // update with one halo exchange for each array and one pass of
+  // multiply-adds, against a stencil call plus two extra full-array
+  // passes for the separately-added term.
+  DiagnosticEngine Diags;
+  auto Fused = recognizeMulti(FusedSeismic, Diags);
+  ASSERT_TRUE(Fused.has_value());
+  MachineConfig Config = MachineConfig::fullMachine2048();
+  ConvolutionCompiler CC(Config);
+  Expected<CompiledStencil> FusedCompiled = CC.compile(*Fused);
+  ASSERT_TRUE(FusedCompiled);
+  Expected<CompiledStencil> Cross =
+      CC.compile(makePattern(PatternId::Cross9R2));
+  ASSERT_TRUE(Cross);
+
+  Executor::Options Opts;
+  Opts.Mode = Executor::FunctionalMode::None;
+  Executor Exec(Config, Opts);
+  TimingReport FusedReport = Exec.timeOnly(*FusedCompiled, 64, 128, 1);
+  TimingReport CrossReport = Exec.timeOnly(*Cross, 64, 128, 1);
+  // The separate path adds two elementwise passes (~4 cycles/element)
+  // plus an extra host dispatch; even comparing against the stencil
+  // call *alone*, the fused statement does more work in less extra
+  // time. Assert the end-to-end inequality with the extra passes.
+  double SeparateSeconds =
+      CrossReport.secondsPerIteration() +
+      (2.0 * 64 * 128 * 2.0) / (Config.ClockMHz * 1e6) +
+      Config.HostOverheadUsPerCall * 1e-6;
+  EXPECT_LT(FusedReport.secondsPerIteration(), SeparateSeconds);
+}

@@ -1,0 +1,614 @@
+//===- tests/multistencil_test.cpp - Core compiler unit tests -*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for the multistencil, ring-buffer planning, register
+/// allocation, schedule generation, and verification — anchored to every
+/// concrete number the paper quotes in §5.3–§5.4.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Compiler.h"
+#include "core/Multistencil.h"
+#include "core/RegisterAllocation.h"
+#include "core/RingBufferPlan.h"
+#include "core/Schedule.h"
+#include "core/ScheduleStats.h"
+#include "runtime/Executor.h"
+#include "core/Verifier.h"
+#include "stencil/PatternLibrary.h"
+#include <gtest/gtest.h>
+#include <set>
+
+using namespace cmcc;
+
+namespace {
+
+MachineConfig testConfig() { return MachineConfig::testMachine16(); }
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Multistencil geometry — the paper's §5.3 numbers
+//===----------------------------------------------------------------------===//
+
+TEST(MultistencilTest, Asym5Width8Spans26Positions) {
+  // "It spans only 26 array positions; therefore only 26 data elements
+  // need be loaded in order to compute eight results at once."
+  Multistencil MS = Multistencil::build(makePattern(PatternId::Asym5), 8);
+  EXPECT_EQ(MS.totalPositions(), 26);
+}
+
+TEST(MultistencilTest, Diamond13Width8Needs48Registers) {
+  // "A width-8 multistencil would require 48 registers."
+  Multistencil MS = Multistencil::build(makePattern(PatternId::Diamond13), 8);
+  EXPECT_EQ(MS.naturalRegisterCount(), 48);
+}
+
+TEST(MultistencilTest, Diamond13Width4Needs28Registers) {
+  // "...but the width-4 multistencil requires only 28 registers and
+  // therefore works just fine."
+  Multistencil MS = Multistencil::build(makePattern(PatternId::Diamond13), 4);
+  EXPECT_EQ(MS.naturalRegisterCount(), 28);
+  // Column extents 1,3,5,5,5,5,3,1 ("the first and last columns require
+  // only a single register; the second and seventh columns require ring
+  // buffers of three registers apiece; and the middle four columns
+  // require five registers apiece").
+  ASSERT_EQ(MS.columnCount(), 8);
+  std::vector<int> Extents;
+  for (const MultistencilColumn &C : MS.columns())
+    Extents.push_back(C.extent());
+  EXPECT_EQ(Extents, (std::vector<int>{1, 3, 5, 5, 5, 5, 3, 1}));
+}
+
+TEST(MultistencilTest, Diamond13Width4UniformRowsWouldNeed40) {
+  // "...dividing it into five equal rows of eight positions each would
+  // require 40 registers."
+  Multistencil MS = Multistencil::build(makePattern(PatternId::Diamond13), 4);
+  EXPECT_EQ(MS.uniformRowsRegisterCount(), 40);
+}
+
+TEST(MultistencilTest, Square9Width8Fits) {
+  Multistencil MS = Multistencil::build(makePattern(PatternId::Square9), 8);
+  EXPECT_EQ(MS.columnCount(), 10);
+  EXPECT_EQ(MS.naturalRegisterCount(), 30); // 10 columns of height 3.
+}
+
+TEST(MultistencilTest, Cross5Width8) {
+  Multistencil MS = Multistencil::build(makePattern(PatternId::Cross5), 8);
+  EXPECT_EQ(MS.columnCount(), 10);
+  EXPECT_EQ(MS.naturalRegisterCount(), 1 + 3 * 8 + 1);
+}
+
+TEST(MultistencilTest, TaggedOffsetIsBottomLeft) {
+  // The diamond's bottommost row is {(2,0)}.
+  Multistencil MS = Multistencil::build(makePattern(PatternId::Diamond13), 4);
+  EXPECT_EQ(MS.taggedOffset().Dy, 2);
+  EXPECT_EQ(MS.taggedOffset().Dx, 0);
+  // Square9's bottom row spans dx -1..1; leftmost is -1.
+  Multistencil MQ = Multistencil::build(makePattern(PatternId::Square9), 8);
+  EXPECT_EQ(MQ.taggedOffset().Dy, 1);
+  EXPECT_EQ(MQ.taggedOffset().Dx, -1);
+}
+
+TEST(MultistencilTest, Width1IsThePatternItself) {
+  StencilSpec Spec = makePattern(PatternId::Cross9R2);
+  Multistencil MS = Multistencil::build(Spec, 1);
+  EXPECT_EQ(MS.totalPositions(),
+            static_cast<int>(Spec.distinctDataOffsets().size()));
+}
+
+TEST(MultistencilTest, RenderShowsTags) {
+  Multistencil MS = Multistencil::build(makePattern(PatternId::Cross5), 2);
+  std::string Out = MS.render();
+  // Two tagged cells for two results.
+  EXPECT_EQ(std::count(Out.begin(), Out.end(), 'T'), 2) << Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Ring-buffer planning — §5.4
+//===----------------------------------------------------------------------===//
+
+TEST(RingBufferPlanTest, LcmHelper) {
+  EXPECT_EQ(leastCommonMultiple(5, 3), 15);
+  EXPECT_EQ(leastCommonMultiple(4, 6), 12);
+  EXPECT_EQ(leastCommonMultiple(1, 7), 7);
+}
+
+TEST(RingBufferPlanTest, Diamond13Width4UnrollIs15) {
+  // "The compiler must unroll the loop of register access patterns 15
+  // times in this example, because 15 is the LCM of the ring buffer
+  // sizes 5, 3, and 1."
+  Multistencil MS = Multistencil::build(makePattern(PatternId::Diamond13), 4);
+  auto Plan = RingBufferPlan::plan(MS, 31);
+  ASSERT_TRUE(Plan.has_value());
+  EXPECT_EQ(Plan->UnrollFactor, 15);
+  EXPECT_LE(Plan->DataRegisters, 31);
+  // Height-1 columns stay at size 1.
+  EXPECT_EQ(Plan->Sizes.front(), 1);
+  EXPECT_EQ(Plan->Sizes.back(), 1);
+}
+
+TEST(RingBufferPlanTest, Diamond13Width8Rejected) {
+  Multistencil MS = Multistencil::build(makePattern(PatternId::Diamond13), 8);
+  EXPECT_FALSE(RingBufferPlan::plan(MS, 31).has_value());
+}
+
+TEST(RingBufferPlanTest, EqualizedWhenBudgetAllows) {
+  // Square9 width 8: all columns extent 3; equalized = natural, LCM 3.
+  Multistencil MS = Multistencil::build(makePattern(PatternId::Square9), 8);
+  auto Plan = RingBufferPlan::plan(MS, 31);
+  ASSERT_TRUE(Plan.has_value());
+  EXPECT_EQ(Plan->UnrollFactor, 3);
+  EXPECT_EQ(Plan->DataRegisters, 30);
+}
+
+TEST(RingBufferPlanTest, EqualizationKeepsLcmSmall) {
+  // Cross5 width 8: extents 1,3,...,3,1. Equalize-to-max gives all 3s
+  // (LCM 3) instead of mixing; height-1 columns stay 1.
+  Multistencil MS = Multistencil::build(makePattern(PatternId::Cross5), 8);
+  auto Plan = RingBufferPlan::plan(MS, 31);
+  ASSERT_TRUE(Plan.has_value());
+  EXPECT_EQ(Plan->UnrollFactor, 3);
+  EXPECT_EQ(Plan->Sizes.front(), 1);
+}
+
+TEST(RingBufferPlanTest, UniformPlanMatchesPaperStrawman) {
+  Multistencil MS = Multistencil::build(makePattern(PatternId::Diamond13), 4);
+  RingBufferPlan Uniform = RingBufferPlan::uniformPlan(MS);
+  EXPECT_EQ(Uniform.DataRegisters, 40);
+  EXPECT_EQ(Uniform.UnrollFactor, 5);
+}
+
+TEST(RingBufferPlanTest, SizesNeverBelowExtent) {
+  for (PatternId Id : allPatterns()) {
+    for (int W : {1, 2, 4, 8}) {
+      Multistencil MS = Multistencil::build(makePattern(Id), W);
+      auto Plan = RingBufferPlan::plan(MS, 31);
+      if (!Plan)
+        continue;
+      for (int I = 0; I != MS.columnCount(); ++I)
+        EXPECT_GE(Plan->Sizes[I], MS.column(I).extent())
+            << patternName(Id) << " width " << W;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Register allocation
+//===----------------------------------------------------------------------===//
+
+TEST(RegisterAllocationTest, ReservedRegisters) {
+  Multistencil MS = Multistencil::build(makePattern(PatternId::Cross5), 4);
+  auto Plan = RingBufferPlan::plan(MS, 31);
+  ASSERT_TRUE(Plan.has_value());
+  RegisterAllocation WithUnit(MS, *Plan, /*NeedUnitRegister=*/true);
+  EXPECT_EQ(WithUnit.zeroRegister(), 0);
+  EXPECT_EQ(WithUnit.unitRegister(), 1);
+  RegisterAllocation NoUnit(MS, *Plan, /*NeedUnitRegister=*/false);
+  EXPECT_FALSE(NoUnit.hasUnitRegister());
+  EXPECT_EQ(NoUnit.registersUsed(), WithUnit.registersUsed() - 1);
+}
+
+TEST(RegisterAllocationTest, RingRotationIsPeriodic) {
+  Multistencil MS = Multistencil::build(makePattern(PatternId::Diamond13), 4);
+  auto Plan = RingBufferPlan::plan(MS, 31);
+  ASSERT_TRUE(Plan.has_value());
+  RegisterAllocation Regs(MS, *Plan, false);
+  int U = Plan->UnrollFactor;
+  for (int C = 0; C != MS.columnCount(); ++C) {
+    for (int Dy : MS.column(C).Rows) {
+      for (int Step = 0; Step != U; ++Step) {
+        EXPECT_EQ(Regs.registerForElement(C, Dy, Step),
+                  Regs.registerForElement(C, Dy, Step + U));
+      }
+    }
+  }
+}
+
+TEST(RegisterAllocationTest, LeadingEdgeMatchesTopRowElement) {
+  Multistencil MS = Multistencil::build(makePattern(PatternId::Square9), 4);
+  auto Plan = RingBufferPlan::plan(MS, 31);
+  ASSERT_TRUE(Plan.has_value());
+  RegisterAllocation Regs(MS, *Plan, false);
+  for (int C = 0; C != MS.columnCount(); ++C)
+    for (int Step = 0; Step != Plan->UnrollFactor; ++Step)
+      EXPECT_EQ(Regs.leadingEdgeRegister(C, Step),
+                Regs.registerForElement(C, MS.column(C).minRow(), Step));
+}
+
+TEST(RegisterAllocationTest, ElementTrackedThroughItsLifetime) {
+  // The element loaded at step T as the leading edge must be found in
+  // the same register when later rows of the column read it.
+  Multistencil MS = Multistencil::build(makePattern(PatternId::Diamond13), 4);
+  auto Plan = RingBufferPlan::plan(MS, 31);
+  ASSERT_TRUE(Plan.has_value());
+  RegisterAllocation Regs(MS, *Plan, false);
+  for (int C = 0; C != MS.columnCount(); ++C) {
+    const MultistencilColumn &Col = MS.column(C);
+    for (int Step = 0; Step != Plan->UnrollFactor; ++Step) {
+      int LoadedInto = Regs.leadingEdgeRegister(C, Step);
+      for (int Dy : Col.Rows) {
+        int Later = Step + (Dy - Col.minRow());
+        EXPECT_EQ(Regs.registerForElement(C, Dy, Later), LoadedInto);
+      }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Schedules and verification
+//===----------------------------------------------------------------------===//
+
+TEST(ScheduleTest, AllPatternsAllWidthsVerify) {
+  MachineConfig Config = testConfig();
+  for (PatternId Id : allPatterns()) {
+    StencilSpec Spec = makePattern(Id);
+    for (int W : {1, 2, 4, 8}) {
+      Expected<WidthSchedule> Sched = buildWidthSchedule(Spec, Config, W);
+      if (!Sched)
+        continue; // Width not realizable (diamond13 at 8): fine.
+      EXPECT_FALSE(verifySchedule(*Sched, Spec, Config))
+          << patternName(Id) << " width " << W << ": "
+          << verifySchedule(*Sched, Spec, Config).message();
+    }
+  }
+}
+
+TEST(ScheduleTest, Diamond13Width8NotBuildable) {
+  MachineConfig Config = testConfig();
+  Expected<WidthSchedule> Sched =
+      buildWidthSchedule(makePattern(PatternId::Diamond13), Config, 8);
+  EXPECT_FALSE(Sched);
+  EXPECT_NE(Sched.error().message().find("48 registers"), std::string::npos)
+      << Sched.error().message();
+}
+
+TEST(ScheduleTest, PhaseCountEqualsUnrollFactor) {
+  MachineConfig Config = testConfig();
+  Expected<WidthSchedule> Sched =
+      buildWidthSchedule(makePattern(PatternId::Diamond13), Config, 4);
+  ASSERT_TRUE(Sched);
+  EXPECT_EQ(Sched->Phases.size(), 15u);
+}
+
+TEST(ScheduleTest, OpCountsPerLine) {
+  // Square9 width 8: 10 loads + 8*9 interleaved madds + 8 stores.
+  MachineConfig Config = testConfig();
+  Expected<WidthSchedule> Sched =
+      buildWidthSchedule(makePattern(PatternId::Square9), Config, 8);
+  ASSERT_TRUE(Sched);
+  int Loads = 0, Madds = 0, Stores = 0;
+  for (const DynamicPart &Op : Sched->Phases[0]) {
+    switch (Op.TheKind) {
+    case DynamicPart::Kind::Load:
+      ++Loads;
+      break;
+    case DynamicPart::Kind::Madd:
+      ++Madds;
+      break;
+    case DynamicPart::Kind::Store:
+      ++Stores;
+      break;
+    case DynamicPart::Kind::Filler:
+      break;
+    }
+  }
+  EXPECT_EQ(Loads, 10);
+  EXPECT_EQ(Madds, 72);
+  EXPECT_EQ(Stores, 8);
+}
+
+TEST(ScheduleTest, NarrowWidthsPayPipelineDrain) {
+  // Width 1 must insert drain fillers before its store; width 8 needs
+  // none — the paper's motivation for computing all eight results and
+  // storing them consecutively.
+  MachineConfig Config = testConfig();
+  auto CountFillers = [&](int W) {
+    Expected<WidthSchedule> Sched =
+        buildWidthSchedule(makePattern(PatternId::Cross5), Config, W);
+    EXPECT_TRUE(Sched);
+    int Fillers = 0;
+    for (const DynamicPart &Op : Sched->Phases[0])
+      if (Op.TheKind == DynamicPart::Kind::Filler)
+        ++Fillers;
+    return Fillers;
+  };
+  EXPECT_GT(CountFillers(1), 0);
+  EXPECT_GT(CountFillers(2), 0);
+}
+
+TEST(ScheduleTest, PrologueFillsAllRings) {
+  MachineConfig Config = testConfig();
+  Expected<WidthSchedule> Sched =
+      buildWidthSchedule(makePattern(PatternId::Square9), Config, 8);
+  ASSERT_TRUE(Sched);
+  // One load per column per ring step beyond the first: extents are all
+  // 3, ten columns -> 20 prologue loads.
+  EXPECT_EQ(Sched->Prologue.size(), 20u);
+  for (const DynamicPart &Op : Sched->Prologue)
+    EXPECT_EQ(Op.TheKind, DynamicPart::Kind::Load);
+}
+
+TEST(ScheduleTest, RegistersWithinMachine) {
+  MachineConfig Config = testConfig();
+  for (PatternId Id : allPatterns()) {
+    StencilSpec Spec = makePattern(Id);
+    for (int W : {1, 2, 4, 8}) {
+      Expected<WidthSchedule> Sched = buildWidthSchedule(Spec, Config, W);
+      if (!Sched)
+        continue;
+      EXPECT_LE(Sched->registersUsed(), Config.NumRegisters);
+      for (const LineSchedule &L : Sched->Phases)
+        for (const DynamicPart &Op : L) {
+          EXPECT_LT(Op.DestReg, Config.NumRegisters);
+          EXPECT_LT(Op.MulReg, Config.NumRegisters);
+        }
+    }
+  }
+}
+
+TEST(VerifierTest, CatchesCorruptedSchedule) {
+  MachineConfig Config = testConfig();
+  StencilSpec Spec = makePattern(PatternId::Square9);
+  Expected<WidthSchedule> Sched = buildWidthSchedule(Spec, Config, 8);
+  ASSERT_TRUE(Sched);
+  // Sabotage one madd's register: must be detected.
+  for (DynamicPart &Op : Sched->Phases[0]) {
+    if (Op.TheKind == DynamicPart::Kind::Madd) {
+      Op.MulReg = static_cast<uint8_t>(Op.MulReg == 5 ? 6 : 5);
+      break;
+    }
+  }
+  EXPECT_TRUE(verifySchedule(*Sched, Spec, Config));
+}
+
+TEST(VerifierTest, CatchesPrematureStore) {
+  MachineConfig Config = testConfig();
+  StencilSpec Spec = makePattern(PatternId::Cross5);
+  Expected<WidthSchedule> Sched = buildWidthSchedule(Spec, Config, 1);
+  ASSERT_TRUE(Sched);
+  // Remove the drain fillers: the store now reads a stale value.
+  for (LineSchedule &L : Sched->Phases) {
+    LineSchedule Kept;
+    for (const DynamicPart &Op : L)
+      if (Op.TheKind != DynamicPart::Kind::Filler)
+        Kept.push_back(Op);
+    L = std::move(Kept);
+  }
+  EXPECT_TRUE(verifySchedule(*Sched, Spec, Config));
+}
+
+//===----------------------------------------------------------------------===//
+// Compiler driver
+//===----------------------------------------------------------------------===//
+
+TEST(CompilerTest, Diamond13GetsWidths421) {
+  ConvolutionCompiler CC(testConfig());
+  Expected<CompiledStencil> Compiled =
+      CC.compile(makePattern(PatternId::Diamond13));
+  ASSERT_TRUE(Compiled);
+  EXPECT_EQ(Compiled->availableWidths(), (std::vector<int>{4, 2, 1}));
+  // A note explains the missing width 8.
+  ASSERT_FALSE(Compiled->Notes.empty());
+  EXPECT_NE(Compiled->Notes[0].find("width-8"), std::string::npos);
+}
+
+TEST(CompilerTest, Square9GetsAllWidths) {
+  ConvolutionCompiler CC(testConfig());
+  Expected<CompiledStencil> Compiled =
+      CC.compile(makePattern(PatternId::Square9));
+  ASSERT_TRUE(Compiled);
+  EXPECT_EQ(Compiled->availableWidths(), (std::vector<int>{8, 4, 2, 1}));
+}
+
+TEST(CompilerTest, WidestFitting) {
+  ConvolutionCompiler CC(testConfig());
+  Expected<CompiledStencil> Compiled =
+      CC.compile(makePattern(PatternId::Square9));
+  ASSERT_TRUE(Compiled);
+  EXPECT_EQ(Compiled->widestFitting(21)->Width, 8);
+  EXPECT_EQ(Compiled->widestFitting(5)->Width, 4);
+  EXPECT_EQ(Compiled->widestFitting(3)->Width, 2);
+  EXPECT_EQ(Compiled->widestFitting(1)->Width, 1);
+  EXPECT_EQ(Compiled->widestFitting(0), nullptr);
+}
+
+TEST(CompilerTest, CompileFromSubroutineSource) {
+  ConvolutionCompiler CC(testConfig());
+  DiagnosticEngine Diags;
+  auto Compiled = CC.compileSubroutine(
+      patternFortranSource(PatternId::Cross9R2), Diags);
+  ASSERT_TRUE(Compiled.has_value()) << Diags.str();
+  EXPECT_EQ(Compiled->Spec.usefulFlopsPerPoint(), 17);
+}
+
+TEST(CompilerTest, CompileFromDefStencil) {
+  ConvolutionCompiler CC(testConfig());
+  DiagnosticEngine Diags;
+  auto Compiled = CC.compileDefStencil(
+      "(defstencil f (r x c1 c2) (:= r (+ (* c1 x) (* c2 (cshift x 1 1)))))",
+      Diags);
+  ASSERT_TRUE(Compiled.has_value()) << Diags.str();
+  EXPECT_EQ(Compiled->Spec.Taps.size(), 2u);
+}
+
+TEST(CompilerTest, RejectsNonStencil) {
+  ConvolutionCompiler CC(testConfig());
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(CC.compileAssignment("R = X * X", Diags).has_value());
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(CompilerTest, HugePatternReportsLackOfRegisters) {
+  // A pattern so tall even width 1 cannot fit its ring buffers.
+  std::vector<Offset> Offsets;
+  for (int Dy = -20; Dy <= 20; ++Dy)
+    Offsets.push_back({Dy, 0});
+  ConvolutionCompiler CC(testConfig());
+  Expected<CompiledStencil> Compiled =
+      CC.compile(makeSpecFromOffsets(Offsets));
+  EXPECT_FALSE(Compiled);
+  EXPECT_NE(Compiled.error().message().find("registers"), std::string::npos);
+}
+
+TEST(CompilerTest, TripleTapFallsBackToDedicatedAccumulators) {
+  // Three terms at the same offset as the tagged cell: the freed-register
+  // trick cannot cover the third read (it lands after the first write),
+  // so the compiler must fall back to dedicated accumulator registers
+  // and still produce verified schedules.
+  StencilSpec Spec;
+  Spec.Result = "R";
+  Spec.Source = "X";
+  for (int I = 0; I != 3; ++I) {
+    Tap T;
+    T.At = {0, 0};
+    T.Coeff = Coefficient::array("C" + std::to_string(I + 1));
+    Spec.Taps.push_back(std::move(T));
+  }
+  MachineConfig Config = testConfig();
+  ConvolutionCompiler CC(Config);
+  Expected<CompiledStencil> Compiled = CC.compile(Spec);
+  ASSERT_TRUE(Compiled) << Compiled.error().message();
+  ASSERT_FALSE(Compiled->Widths.empty());
+  for (const WidthSchedule &W : Compiled->Widths) {
+    EXPECT_TRUE(W.DedicatedAccumulators) << "width " << W.Width;
+    EXPECT_FALSE(verifySchedule(W, Spec, Config));
+    EXPECT_LE(W.registersUsed(), Config.NumRegisters);
+  }
+  bool Noted = false;
+  for (const std::string &Note : Compiled->Notes)
+    if (Note.find("dedicated accumulators") != std::string::npos)
+      Noted = true;
+  EXPECT_TRUE(Noted);
+}
+
+TEST(CompilerTest, PaperPatternsNeverNeedTheFallback) {
+  // Every pattern in the paper uses the tagged-register reuse directly.
+  ConvolutionCompiler CC(testConfig());
+  for (PatternId Id : allPatterns()) {
+    Expected<CompiledStencil> Compiled = CC.compile(makePattern(Id));
+    ASSERT_TRUE(Compiled) << patternName(Id);
+    for (const WidthSchedule &W : Compiled->Widths)
+      EXPECT_FALSE(W.DedicatedAccumulators)
+          << patternName(Id) << " width " << W.Width;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// ScheduleStats
+//===----------------------------------------------------------------------===//
+
+TEST(ScheduleStatsTest, Square9Width8Breakdown) {
+  MachineConfig Config = testConfig();
+  ConvolutionCompiler CC(Config);
+  Expected<CompiledStencil> Compiled =
+      CC.compile(makePattern(PatternId::Square9));
+  ASSERT_TRUE(Compiled);
+  ScheduleStats S =
+      ScheduleStats::analyze(*Compiled->withWidth(8), Compiled->Spec);
+  EXPECT_EQ(S.LoadsPerLine, 10);
+  EXPECT_EQ(S.MaddsPerLine, 72);
+  EXPECT_EQ(S.StoresPerLine, 8);
+  EXPECT_EQ(S.UsefulFlopsPerLine, 8 * 17);
+  EXPECT_EQ(S.UnrollFactor, 3);
+  EXPECT_NEAR(S.maddFraction(), 72.0 / 90.0, 1e-9);
+  // The ceiling must exceed what the machine actually delivers (it
+  // excludes per-line and strip overheads).
+  Executor::Options Opts;
+  Opts.Mode = Executor::FunctionalMode::None;
+  Executor Exec(Config, Opts);
+  TimingReport R = Exec.timeOnly(*Compiled, 256, 256, 1);
+  double Delivered =
+      R.measuredGflops() / (Config.peakGflops());
+  EXPECT_GT(S.peakFraction(Config), Delivered);
+}
+
+TEST(ScheduleStatsTest, WiderIsMoreEfficient) {
+  MachineConfig Config = testConfig();
+  ConvolutionCompiler CC(Config);
+  Expected<CompiledStencil> Compiled =
+      CC.compile(makePattern(PatternId::Cross9R2));
+  ASSERT_TRUE(Compiled);
+  double Last = 0.0;
+  for (int W : {1, 2, 4}) {
+    const WidthSchedule *Sched = Compiled->withWidth(W);
+    ASSERT_NE(Sched, nullptr);
+    ScheduleStats S = ScheduleStats::analyze(*Sched, Compiled->Spec);
+    EXPECT_GT(S.usefulFlopsPerOp(), Last) << "width " << W;
+    Last = S.usefulFlopsPerOp();
+  }
+}
+
+TEST(ScheduleStatsTest, Wtl3132HalvesTheCeiling) {
+  MachineConfig A = testConfig();
+  MachineConfig B = A;
+  B.Fpu = FpuKind::WTL3132;
+  ConvolutionCompiler CC(A);
+  Expected<CompiledStencil> Compiled =
+      CC.compile(makePattern(PatternId::Square9));
+  ASSERT_TRUE(Compiled);
+  ScheduleStats S =
+      ScheduleStats::analyze(*Compiled->withWidth(8), Compiled->Spec);
+  // 3132: half the peak AND extra madd issue slots; the *fraction* of
+  // (its lower) peak can exceed the 3164's fraction, but absolute
+  // flops/cycle must be lower.
+  double FlopsPerCycleA = S.peakFraction(A) * A.flopsPerMaddCycle();
+  double FlopsPerCycleB = S.peakFraction(B) * B.flopsPerMaddCycle();
+  EXPECT_LT(FlopsPerCycleB, FlopsPerCycleA);
+}
+
+TEST(ScheduleTest, GoldenTwoTapSchedule) {
+  // A complete, human-checkable schedule pin for the simplest
+  // interesting pattern: R = 0.5*X(0,1) + 0.5*X. One row, so every ring
+  // buffer has size 1 and there is a single phase. This documents the
+  // generator's exact output; if codegen changes deliberately, update
+  // the expectations after re-checking them by hand.
+  MachineConfig Config = testConfig();
+  StencilSpec Spec;
+  Spec.Result = "R";
+  Spec.Source = "X";
+  Tap A;
+  A.At = {0, 0};
+  A.Coeff = Coefficient::scalar(0.5);
+  Spec.Taps.push_back(A);
+  Tap B;
+  B.At = {0, 1};
+  B.Coeff = Coefficient::scalar(0.5);
+  Spec.Taps.push_back(B);
+
+  Expected<WidthSchedule> Sched = buildWidthSchedule(Spec, Config, 8);
+  ASSERT_TRUE(Sched);
+  EXPECT_TRUE(Sched->Prologue.empty()); // Single-row pattern: no fill.
+  ASSERT_EQ(Sched->Phases.size(), 1u);  // All ring sizes 1: unroll 1.
+  const LineSchedule &L = Sched->Phases[0];
+  ASSERT_EQ(L.size(), 33u); // 9 loads + 16 madds + 8 stores.
+
+  // Loads r1..r9 left to right.
+  for (int I = 0; I != 9; ++I) {
+    EXPECT_EQ(L[I].TheKind, DynamicPart::Kind::Load);
+    EXPECT_EQ(L[I].DestReg, I + 1);
+    EXPECT_EQ(L[I].DataDx, I);
+  }
+  // First pair: result 0 accumulates into r1 (its own tagged element),
+  // result 1 into r2; each reads its partner's accumulator before the
+  // write lands (the "freed just in time" ordering).
+  // Tap 0 is the tagged (0,0) cell, so it is scheduled first (priority
+  // 0), then tap 1 reads the pair partner's accumulator cell before the
+  // partner's first write lands.
+  EXPECT_EQ(L[9].str(), "madd r1*coef[0]->r1 res0 t0 start");
+  EXPECT_EQ(L[10].str(), "madd r2*coef[0]->r2 res1 t1 start");
+  EXPECT_EQ(L[11].str(), "madd r2*coef[1]->r1 res0 t0 end");
+  EXPECT_EQ(L[12].str(), "madd r3*coef[1]->r2 res1 t1 end");
+  for (size_t I = 9; I != 25; ++I)
+    EXPECT_EQ(L[I].TheKind, DynamicPart::Kind::Madd);
+  // Stores r1..r8, results 0..7, consecutive.
+  for (int I = 0; I != 8; ++I) {
+    EXPECT_EQ(L[25 + I].TheKind, DynamicPart::Kind::Store);
+    EXPECT_EQ(L[25 + I].ResultIndex, I);
+    EXPECT_EQ(L[25 + I].MulReg, I + 1);
+  }
+}

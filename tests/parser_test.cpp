@@ -1,0 +1,189 @@
+//===- tests/parser_test.cpp - Fortran parser tests -----------*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fortran/AstPrinter.h"
+#include "fortran/Lexer.h"
+#include "fortran/Parser.h"
+#include <gtest/gtest.h>
+
+using namespace cmcc;
+using namespace cmcc::fortran;
+
+namespace {
+
+AssignmentStmt parseAssign(std::string_view Source) {
+  DiagnosticEngine Diags;
+  auto S = Parser::assignmentFromSource(Source, Diags);
+  EXPECT_TRUE(S.has_value()) << Diags.str();
+  return std::move(*S);
+}
+
+void expectAssignFails(std::string_view Source) {
+  DiagnosticEngine Diags;
+  auto S = Parser::assignmentFromSource(Source, Diags);
+  EXPECT_FALSE(S.has_value() && !Diags.hasErrors()) << Source;
+  EXPECT_TRUE(Diags.hasErrors()) << Source;
+}
+
+} // namespace
+
+TEST(ParserTest, PrecedenceMulOverAdd) {
+  AssignmentStmt S = parseAssign("R = A + B * C");
+  EXPECT_EQ(printAssignment(S), "R = A + B * C");
+  const auto &Top = exprCast<BinaryExpr>(*S.Value);
+  EXPECT_EQ(Top.op(), BinaryExpr::Op::Add);
+  EXPECT_EQ(exprCast<BinaryExpr>(Top.rhs()).op(), BinaryExpr::Op::Mul);
+}
+
+TEST(ParserTest, ParenthesesOverridePrecedence) {
+  AssignmentStmt S = parseAssign("R = (A + B) * C");
+  const auto &Top = exprCast<BinaryExpr>(*S.Value);
+  EXPECT_EQ(Top.op(), BinaryExpr::Op::Mul);
+  EXPECT_EQ(printAssignment(S), "R = (A + B) * C");
+}
+
+TEST(ParserTest, UnaryMinus) {
+  AssignmentStmt S = parseAssign("R = -A + B");
+  const auto &Top = exprCast<BinaryExpr>(*S.Value);
+  EXPECT_EQ(Top.op(), BinaryExpr::Op::Add);
+  EXPECT_EQ(exprCast<UnaryExpr>(Top.lhs()).op(), UnaryExpr::Op::Minus);
+}
+
+TEST(ParserTest, CshiftPositionalArguments) {
+  // The paper's positional order is (array, DIM, SHIFT).
+  AssignmentStmt S = parseAssign("R = CSHIFT(X, 1, -1)");
+  const auto &Shift = exprCast<ShiftCallExpr>(*S.Value);
+  EXPECT_EQ(Shift.shiftKind(), ShiftCallExpr::ShiftKind::Circular);
+  EXPECT_EQ(Shift.dim(), 1);
+  EXPECT_EQ(Shift.shift(), -1);
+  EXPECT_EQ(exprCast<ArrayNameExpr>(Shift.array()).name(), "X");
+}
+
+TEST(ParserTest, CshiftKeywordArgumentsEitherOrder) {
+  AssignmentStmt A = parseAssign("R = CSHIFT(X, DIM=2, SHIFT=+1)");
+  const auto &SA = exprCast<ShiftCallExpr>(*A.Value);
+  EXPECT_EQ(SA.dim(), 2);
+  EXPECT_EQ(SA.shift(), 1);
+
+  AssignmentStmt B = parseAssign("R = CSHIFT(X, SHIFT=-2, DIM=1)");
+  const auto &SB = exprCast<ShiftCallExpr>(*B.Value);
+  EXPECT_EQ(SB.dim(), 1);
+  EXPECT_EQ(SB.shift(), -2);
+}
+
+TEST(ParserTest, NestedShifts) {
+  AssignmentStmt S = parseAssign("R = CSHIFT(CSHIFT(X, 1, +1), 2, -1)");
+  const auto &Outer = exprCast<ShiftCallExpr>(*S.Value);
+  EXPECT_EQ(Outer.dim(), 2);
+  const auto &Inner = exprCast<ShiftCallExpr>(Outer.array());
+  EXPECT_EQ(Inner.dim(), 1);
+  EXPECT_EQ(Inner.shift(), 1);
+}
+
+TEST(ParserTest, EoshiftRecognized) {
+  AssignmentStmt S = parseAssign("R = EOSHIFT(X, 2, 1)");
+  const auto &Shift = exprCast<ShiftCallExpr>(*S.Value);
+  EXPECT_EQ(Shift.shiftKind(), ShiftCallExpr::ShiftKind::EndOff);
+}
+
+TEST(ParserTest, PaperCrossStatement) {
+  AssignmentStmt S = parseAssign(
+      "R = C1 * CSHIFT (X, DIM=1, SHIFT=-1) &\n"
+      "  + C2 * CSHIFT (X, DIM=2, SHIFT=-1) &\n"
+      "  + C3 * X                           &\n"
+      "  + C4 * CSHIFT (X, DIM=1, SHIFT=+1) &\n"
+      "  + C5 * CSHIFT (X, DIM=2, SHIFT=+1)\n");
+  EXPECT_EQ(S.Target, "R");
+  EXPECT_EQ(printAssignment(S),
+            "R = C1 * CSHIFT(X, 1, -1) + C2 * CSHIFT(X, 2, -1) + C3 * X + "
+            "C4 * CSHIFT(X, 1, 1) + C5 * CSHIFT(X, 2, 1)");
+}
+
+TEST(ParserTest, RejectsBadDim) {
+  expectAssignFails("R = CSHIFT(X, 3, 1)");
+}
+
+TEST(ParserTest, RejectsMissingShift) {
+  expectAssignFails("R = CSHIFT(X, 1)");
+}
+
+TEST(ParserTest, RejectsDuplicateKeyword) {
+  expectAssignFails("R = CSHIFT(X, DIM=1, DIM=2, SHIFT=1)");
+}
+
+TEST(ParserTest, RejectsUnknownCall) {
+  expectAssignFails("R = TRANSPOSE(X)");
+}
+
+TEST(ParserTest, RejectsTrailingGarbage) {
+  expectAssignFails("R = X Y");
+}
+
+TEST(ParserTest, SubroutineOfThePaper) {
+  DiagnosticEngine Diags;
+  auto Sub = Parser::subroutineFromSource(
+      "      SUBROUTINE CROSS (R, X, C1, C2, C3, C4, C5)\n"
+      "      REAL, ARRAY(:,:) :: R, X, C1, C2, C3, C4, C5\n"
+      "      R = C1 * CSHIFT (X, 1, -1) &\n"
+      "     &  + C2 * CSHIFT (X, 2, -1) &\n"
+      "     &  + C3 * X                 &\n"
+      "     &  + C4 * CSHIFT (X, 2, +1) &\n"
+      "     &  + C5 * CSHIFT (X, 1, +1)\n"
+      "      END\n",
+      Diags);
+  ASSERT_TRUE(Sub.has_value()) << Diags.str();
+  EXPECT_EQ(Sub->Name, "CROSS");
+  ASSERT_EQ(Sub->Parameters.size(), 7u);
+  EXPECT_EQ(Sub->Parameters[0], "R");
+  EXPECT_EQ(Sub->Parameters[6], "C5");
+  ASSERT_EQ(Sub->Declarations.size(), 7u);
+  EXPECT_EQ(Sub->Declarations[1].Name, "X");
+  EXPECT_EQ(Sub->Declarations[1].Rank, 2u);
+  ASSERT_EQ(Sub->Body.size(), 1u);
+  EXPECT_EQ(Sub->Body[0].Target, "R");
+}
+
+TEST(ParserTest, SubroutineWithDimensionKeywordAndEndName) {
+  DiagnosticEngine Diags;
+  auto Sub = Parser::subroutineFromSource("SUBROUTINE F (A, B)\n"
+                                          "REAL, DIMENSION(:,:) :: A, B\n"
+                                          "A = B\n"
+                                          "END SUBROUTINE F\n",
+                                          Diags);
+  ASSERT_TRUE(Sub.has_value()) << Diags.str();
+  EXPECT_EQ(Sub->Declarations[0].Rank, 2u);
+}
+
+TEST(ParserTest, ProgramWithTwoSubroutines) {
+  DiagnosticEngine Diags;
+  Lexer L("SUBROUTINE A (X, Y)\nX = Y\nEND\n"
+          "SUBROUTINE B (P, Q)\nP = Q\nEND\n",
+          Diags);
+  Parser P(L.lexAll(), Diags);
+  auto Units = P.parseProgram();
+  ASSERT_TRUE(Units.has_value()) << Diags.str();
+  ASSERT_EQ(Units->size(), 2u);
+  EXPECT_EQ((*Units)[0].Name, "A");
+  EXPECT_EQ((*Units)[1].Name, "B");
+}
+
+TEST(ParserTest, FindDeclaration) {
+  DiagnosticEngine Diags;
+  auto Sub = Parser::subroutineFromSource(
+      "SUBROUTINE F (A)\nREAL, ARRAY(:,:) :: A\nA = A * 1.0\nEND\n", Diags);
+  // Note: A = A * 1.0 parses fine; recognition rejects it later.
+  ASSERT_TRUE(Sub.has_value()) << Diags.str();
+  EXPECT_NE(Sub->findDeclaration("A"), nullptr);
+  EXPECT_EQ(Sub->findDeclaration("B"), nullptr);
+}
+
+TEST(ParserTest, ScalarLiteralsInExpressions) {
+  AssignmentStmt S = parseAssign("R = 0.25 * X + 2 * CSHIFT(X, 1, 1)");
+  EXPECT_EQ(S.Target, "R");
+  const auto &Top = exprCast<BinaryExpr>(*S.Value);
+  const auto &Lhs = exprCast<BinaryExpr>(Top.lhs());
+  EXPECT_DOUBLE_EQ(exprCast<RealLiteralExpr>(Lhs.lhs()).value(), 0.25);
+}

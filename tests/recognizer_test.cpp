@@ -1,0 +1,342 @@
+//===- tests/recognizer_test.cpp - Pattern matcher tests ------*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fortran/Parser.h"
+#include "sexpr/DefStencil.h"
+#include "stencil/PatternLibrary.h"
+#include "stencil/Recognizer.h"
+#include "stencil/Render.h"
+#include <algorithm>
+#include <gtest/gtest.h>
+
+using namespace cmcc;
+using namespace cmcc::fortran;
+
+namespace {
+
+StencilSpec recognizeOk(std::string_view Source) {
+  DiagnosticEngine Diags;
+  auto Stmt = Parser::assignmentFromSource(Source, Diags);
+  EXPECT_TRUE(Stmt.has_value()) << Diags.str();
+  Recognizer R(Diags);
+  auto Spec = R.recognize(*Stmt);
+  if (!Spec) {
+    ADD_FAILURE() << "recognition failed: " << Diags.str();
+    return StencilSpec();
+  }
+  return std::move(*Spec);
+}
+
+void expectRejected(std::string_view Source,
+                    std::string_view MessagePiece = "") {
+  DiagnosticEngine Diags;
+  auto Stmt = Parser::assignmentFromSource(Source, Diags);
+  ASSERT_TRUE(Stmt.has_value()) << Diags.str();
+  Recognizer R(Diags);
+  auto Spec = R.recognize(*Stmt);
+  EXPECT_FALSE(Spec.has_value()) << Source;
+  EXPECT_TRUE(Diags.hasErrors());
+  if (!MessagePiece.empty())
+    EXPECT_NE(Diags.str().find(MessagePiece), std::string::npos)
+        << Diags.str();
+}
+
+bool hasTapAt(const StencilSpec &Spec, int Dy, int Dx) {
+  return std::any_of(Spec.Taps.begin(), Spec.Taps.end(), [&](const Tap &T) {
+    return T.HasData && T.At.Dy == Dy && T.At.Dx == Dx;
+  });
+}
+
+} // namespace
+
+TEST(RecognizerTest, PaperCrossFiveTaps) {
+  StencilSpec Spec = recognizeOk(
+      "R = C1 * CSHIFT (X, DIM=1, SHIFT=-1) "
+      "  + C2 * CSHIFT (X, DIM=2, SHIFT=-1) "
+      "  + C3 * X "
+      "  + C4 * CSHIFT (X, DIM=2, SHIFT=+1) "
+      "  + C5 * CSHIFT (X, DIM=1, SHIFT=+1)");
+  EXPECT_EQ(Spec.Result, "R");
+  EXPECT_EQ(Spec.Source, "X");
+  ASSERT_EQ(Spec.Taps.size(), 5u);
+  EXPECT_TRUE(hasTapAt(Spec, -1, 0));
+  EXPECT_TRUE(hasTapAt(Spec, 0, -1));
+  EXPECT_TRUE(hasTapAt(Spec, 0, 0));
+  EXPECT_TRUE(hasTapAt(Spec, 0, 1));
+  EXPECT_TRUE(hasTapAt(Spec, 1, 0));
+  EXPECT_EQ(Spec.usefulFlopsPerPoint(), 9); // 5 multiplies + 4 adds.
+  EXPECT_FALSE(Spec.needsCornerData());
+}
+
+TEST(RecognizerTest, ComposedShiftsSumOffsets) {
+  StencilSpec Spec =
+      recognizeOk("R = C1 * CSHIFT(CSHIFT(X, 1, -1), 2, -1)");
+  ASSERT_EQ(Spec.Taps.size(), 1u);
+  EXPECT_EQ(Spec.Taps[0].At.Dy, -1);
+  EXPECT_EQ(Spec.Taps[0].At.Dx, -1);
+  EXPECT_TRUE(Spec.needsCornerData());
+}
+
+TEST(RecognizerTest, CoefficientOnEitherSide) {
+  StencilSpec Spec = recognizeOk("R = CSHIFT(X, 1, 1) * C1 + C2 * X");
+  ASSERT_EQ(Spec.Taps.size(), 2u);
+  EXPECT_EQ(Spec.Taps[0].Coeff.Name, "C1");
+  EXPECT_EQ(Spec.Taps[1].Coeff.Name, "C2");
+}
+
+TEST(RecognizerTest, SignsFolded) {
+  StencilSpec Spec = recognizeOk("R = C1 * X - C2 * CSHIFT(X, 1, 1)");
+  ASSERT_EQ(Spec.Taps.size(), 2u);
+  EXPECT_DOUBLE_EQ(Spec.Taps[0].Sign, 1.0);
+  EXPECT_DOUBLE_EQ(Spec.Taps[1].Sign, -1.0);
+}
+
+TEST(RecognizerTest, UnaryMinusOnTermFolded) {
+  StencilSpec Spec = recognizeOk("R = -C1 * X + C2 * X");
+  // -C1*X parses as (-(C1))*X? No: unary binds the product; either way
+  // the tap's sign must be negative.
+  ASSERT_EQ(Spec.Taps.size(), 2u);
+  EXPECT_DOUBLE_EQ(Spec.Taps[0].Sign, -1.0);
+}
+
+TEST(RecognizerTest, ScalarCoefficients) {
+  StencilSpec Spec = recognizeOk("R = 0.25 * CSHIFT(X, 1, 1) + 2 * X");
+  ASSERT_EQ(Spec.Taps.size(), 2u);
+  EXPECT_FALSE(Spec.Taps[0].Coeff.isArray());
+  EXPECT_DOUBLE_EQ(Spec.Taps[0].Coeff.Value, 0.25);
+}
+
+TEST(RecognizerTest, LoneShiftGetsUnitCoefficient) {
+  StencilSpec Spec = recognizeOk("R = CSHIFT(X, 1, -1) + C1 * X");
+  ASSERT_EQ(Spec.Taps.size(), 2u);
+  EXPECT_FALSE(Spec.Taps[0].Coeff.isArray());
+  EXPECT_DOUBLE_EQ(Spec.Taps[0].Coeff.Value, 1.0);
+}
+
+TEST(RecognizerTest, BareCoefficientTerm) {
+  StencilSpec Spec = recognizeOk("R = C1 * X + C0");
+  ASSERT_EQ(Spec.Taps.size(), 2u);
+  EXPECT_FALSE(Spec.Taps[1].HasData);
+  EXPECT_EQ(Spec.Taps[1].Coeff.Name, "C0");
+  EXPECT_TRUE(Spec.needsUnitRegister());
+  // 1 multiply + 1 add.
+  EXPECT_EQ(Spec.usefulFlopsPerPoint(), 2);
+}
+
+TEST(RecognizerTest, EoshiftSetsZeroBoundary) {
+  StencilSpec Spec = recognizeOk("R = C1 * EOSHIFT(X, 1, -1) + C2 * X");
+  EXPECT_EQ(Spec.BoundaryDim1, BoundaryKind::Zero);
+  EXPECT_EQ(Spec.BoundaryDim2, BoundaryKind::Circular);
+}
+
+TEST(RecognizerTest, MixedBoundarySameDimRejected) {
+  expectRejected("R = C1 * EOSHIFT(X, 1, -1) + C2 * CSHIFT(X, 1, 1)",
+                 "mixing CSHIFT and EOSHIFT");
+}
+
+TEST(RecognizerTest, MixedBoundaryDifferentDimsAllowed) {
+  StencilSpec Spec =
+      recognizeOk("R = C1 * EOSHIFT(X, 1, -1) + C2 * CSHIFT(X, 2, 1)");
+  EXPECT_EQ(Spec.BoundaryDim1, BoundaryKind::Zero);
+  EXPECT_EQ(Spec.BoundaryDim2, BoundaryKind::Circular);
+}
+
+TEST(RecognizerTest, DifferentShiftVariablesRejected) {
+  expectRejected("R = C1 * CSHIFT(X, 1, -1) + C2 * CSHIFT(Y, 1, 1)",
+                 "same variable");
+}
+
+TEST(RecognizerTest, QuadraticTermRejected) {
+  expectRejected("R = X * CSHIFT(X, 1, 1)", "linear");
+}
+
+TEST(RecognizerTest, NonProductTermRejected) {
+  expectRejected("R = C1 * C2 * X");
+}
+
+TEST(RecognizerTest, ResultAliasingSourceRejected) {
+  expectRejected("R = C1 * CSHIFT(R, 1, 1)");
+}
+
+TEST(RecognizerTest, CoefficientAliasingSourceRejected) {
+  expectRejected("R = X * X + C1 * CSHIFT(X, 1, 1)");
+}
+
+TEST(RecognizerTest, PointwiseConventionTakesRhsAsData) {
+  StencilSpec Spec = recognizeOk("R = C1 * X");
+  EXPECT_EQ(Spec.Source, "X");
+  ASSERT_EQ(Spec.Taps.size(), 1u);
+  EXPECT_EQ(Spec.Taps[0].Coeff.Name, "C1");
+}
+
+TEST(RecognizerTest, SubroutineFormChecksDeclarations) {
+  DiagnosticEngine Diags;
+  auto Sub = Parser::subroutineFromSource(
+      "SUBROUTINE F (R, X, C1)\n"
+      "REAL, ARRAY(:,:) :: R, X\n" // C1 not declared
+      "R = C1 * X\n"
+      "END\n",
+      Diags);
+  ASSERT_TRUE(Sub.has_value()) << Diags.str();
+  Recognizer R(Diags);
+  auto Spec = R.recognize(*Sub);
+  EXPECT_FALSE(Spec.has_value());
+  EXPECT_NE(Diags.str().find("C1"), std::string::npos);
+}
+
+TEST(RecognizerTest, SubroutineMustHaveOneStatement) {
+  DiagnosticEngine Diags;
+  auto Sub = Parser::subroutineFromSource("SUBROUTINE F (A, B, C)\n"
+                                          "A = B * C\n"
+                                          "B = A * C\n"
+                                          "END\n",
+                                          Diags);
+  ASSERT_TRUE(Sub.has_value()) << Diags.str();
+  Recognizer R(Diags);
+  EXPECT_FALSE(R.recognize(*Sub).has_value());
+  EXPECT_NE(Diags.str().find("exactly one"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Pattern library and paper figures
+//===----------------------------------------------------------------------===//
+
+TEST(PatternLibraryTest, FlopCountsMatchTheResultsTable) {
+  // Derived from the paper's table rows: elapsed * Mflops / points.
+  EXPECT_EQ(makePattern(PatternId::Cross5).usefulFlopsPerPoint(), 9);
+  EXPECT_EQ(makePattern(PatternId::Square9).usefulFlopsPerPoint(), 17);
+  EXPECT_EQ(makePattern(PatternId::Cross9R2).usefulFlopsPerPoint(), 17);
+  EXPECT_EQ(makePattern(PatternId::Diamond13).usefulFlopsPerPoint(), 25);
+  EXPECT_EQ(makePattern(PatternId::Asym5).usefulFlopsPerPoint(), 9);
+}
+
+TEST(PatternLibraryTest, TapCounts) {
+  EXPECT_EQ(makePattern(PatternId::Cross5).Taps.size(), 5u);
+  EXPECT_EQ(makePattern(PatternId::Square9).Taps.size(), 9u);
+  EXPECT_EQ(makePattern(PatternId::Cross9R2).Taps.size(), 9u);
+  EXPECT_EQ(makePattern(PatternId::Diamond13).Taps.size(), 13u);
+  EXPECT_EQ(makePattern(PatternId::Asym5).Taps.size(), 5u);
+}
+
+TEST(PatternLibraryTest, FortranSourcesRecognizeToSamePatterns) {
+  for (PatternId Id : allPatterns()) {
+    DiagnosticEngine Diags;
+    auto Sub = Parser::subroutineFromSource(patternFortranSource(Id), Diags);
+    ASSERT_TRUE(Sub.has_value()) << patternName(Id) << "\n" << Diags.str();
+    Recognizer R(Diags);
+    auto Spec = R.recognize(*Sub);
+    ASSERT_TRUE(Spec.has_value()) << patternName(Id) << "\n" << Diags.str();
+    StencilSpec Direct = makePattern(Id);
+    EXPECT_EQ(Spec->distinctDataOffsets(), Direct.distinctDataOffsets())
+        << patternName(Id);
+    EXPECT_EQ(Spec->usefulFlopsPerPoint(), Direct.usefulFlopsPerPoint());
+  }
+}
+
+TEST(PatternLibraryTest, BorderWidths) {
+  BorderWidths B5 = makePattern(PatternId::Cross5).borderWidths();
+  EXPECT_EQ(B5.North, 1);
+  EXPECT_EQ(B5.South, 1);
+  EXPECT_EQ(B5.West, 1);
+  EXPECT_EQ(B5.East, 1);
+  EXPECT_EQ(B5.maximum(), 1);
+
+  BorderWidths B9 = makePattern(PatternId::Cross9R2).borderWidths();
+  EXPECT_EQ(B9.maximum(), 2);
+
+  // The asymmetric pattern from §2: taps (0,0),(0,1),(1,-1),(1,0),(2,0).
+  BorderWidths BA = makePattern(PatternId::Asym5).borderWidths();
+  EXPECT_EQ(BA.North, 0);
+  EXPECT_EQ(BA.South, 2);
+  EXPECT_EQ(BA.West, 1);
+  EXPECT_EQ(BA.East, 1);
+}
+
+TEST(PatternLibraryTest, CornerNeeds) {
+  EXPECT_FALSE(makePattern(PatternId::Cross5).needsCornerData());
+  EXPECT_TRUE(makePattern(PatternId::Square9).needsCornerData());
+  EXPECT_FALSE(makePattern(PatternId::Cross9R2).needsCornerData());
+  EXPECT_TRUE(makePattern(PatternId::Diamond13).needsCornerData());
+  EXPECT_TRUE(makePattern(PatternId::Asym5).needsCornerData());
+}
+
+TEST(RenderTest, CrossDiagram) {
+  EXPECT_EQ(renderStencil(makePattern(PatternId::Cross5)),
+            ". # .\n"
+            "# @ #\n"
+            ". # .\n");
+}
+
+TEST(RenderTest, DiamondDiagram) {
+  EXPECT_EQ(renderStencil(makePattern(PatternId::Diamond13)),
+            ". . # . .\n"
+            ". # # # .\n"
+            "# # @ # #\n"
+            ". # # # .\n"
+            ". . # . .\n");
+}
+
+TEST(RenderTest, BorderWidthsText) {
+  EXPECT_EQ(renderBorderWidths(makePattern(PatternId::Asym5).borderWidths()),
+            "north=0 south=2 west=1 east=1 (max=2)");
+}
+
+//===----------------------------------------------------------------------===//
+// defstencil front end
+//===----------------------------------------------------------------------===//
+
+TEST(DefStencilTest, PaperExampleTranslates) {
+  DiagnosticEngine Diags;
+  auto Def = sexpr::defStencilFromSource(
+      "(defstencil cross (r x c1 c2 c3 c4 c5)\n"
+      "  (single-float single-float)\n"
+      "  (:= r (+ (* c1 (cshift x 1 -1))\n"
+      "           (* c2 (cshift x 2 -1))\n"
+      "           (* c3 x)\n"
+      "           (* c4 (cshift x 2 +1))\n"
+      "           (* c5 (cshift x 1 +1)))))",
+      Diags);
+  ASSERT_TRUE(Def.has_value()) << Diags.str();
+  EXPECT_EQ(Def->Name, "CROSS");
+  EXPECT_EQ(Def->Parameters.size(), 7u);
+  EXPECT_EQ(Def->Spec.Result, "R");
+  EXPECT_EQ(Def->Spec.Source, "X");
+  EXPECT_EQ(Def->Spec.distinctDataOffsets(),
+            makePattern(PatternId::Cross5).distinctDataOffsets());
+}
+
+TEST(DefStencilTest, MinusAndNestedShifts) {
+  DiagnosticEngine Diags;
+  auto Def = sexpr::defStencilFromSource(
+      "(defstencil f (r x c1 c2)\n"
+      "  (:= r (- (* c1 (cshift (cshift x 1 1) 2 1)) (* c2 x))))",
+      Diags);
+  ASSERT_TRUE(Def.has_value()) << Diags.str();
+  ASSERT_EQ(Def->Spec.Taps.size(), 2u);
+  EXPECT_DOUBLE_EQ(Def->Spec.Taps[1].Sign, -1.0);
+  EXPECT_EQ(Def->Spec.Taps[0].At.Dy, 1);
+  EXPECT_EQ(Def->Spec.Taps[0].At.Dx, 1);
+}
+
+TEST(DefStencilTest, MalformedRejected) {
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(
+      sexpr::defStencilFromSource("(defstencil f (r x))", Diags).has_value());
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(SExprTest, ReaderRoundTrip) {
+  DiagnosticEngine Diags;
+  auto Form = sexpr::readOne("(a (b 1 -2.5) c) ; comment", Diags);
+  ASSERT_TRUE(Form.has_value()) << Diags.str();
+  EXPECT_EQ(Form->str(), "(a (b 1 -2.500000) c)");
+}
+
+TEST(SExprTest, UnbalancedRejected) {
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(sexpr::readOne("(a (b)", Diags).has_value());
+  EXPECT_TRUE(Diags.hasErrors());
+}

@@ -1,0 +1,185 @@
+//===- tests/scheduleio_test.cpp - .cmccode format tests ------*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the compiled-stencil serialization: round-trips preserve
+/// every op, loaded code is re-verified (tampering is caught), and a
+/// loaded schedule executes identically to the original.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/ScheduleIO.h"
+#include "runtime/Executor.h"
+#include "runtime/Reference.h"
+#include "stencil/PatternLibrary.h"
+#include <gtest/gtest.h>
+#include <memory>
+
+using namespace cmcc;
+
+namespace {
+
+MachineConfig machine() { return MachineConfig::testMachine16(); }
+
+CompiledStencil compileById(PatternId Id) {
+  ConvolutionCompiler CC(machine());
+  Expected<CompiledStencil> Compiled = CC.compile(makePattern(Id));
+  EXPECT_TRUE(Compiled);
+  return Compiled.takeValue();
+}
+
+bool sameOps(const LineSchedule &A, const LineSchedule &B) {
+  if (A.size() != B.size())
+    return false;
+  for (size_t I = 0; I != A.size(); ++I)
+    if (A[I].str() != B[I].str() || A[I].ChainStart != B[I].ChainStart ||
+        A[I].ChainEnd != B[I].ChainEnd || A[I].AddReg != B[I].AddReg)
+      return false;
+  return true;
+}
+
+} // namespace
+
+TEST(ScheduleIOTest, RoundTripPreservesEverything) {
+  for (PatternId Id : allPatterns()) {
+    CompiledStencil Original = compileById(Id);
+    std::string Text = writeCompiledStencil(Original, machine());
+    Expected<CompiledStencil> Loaded = parseCompiledStencil(Text, machine());
+    ASSERT_TRUE(Loaded) << patternName(Id) << ": "
+                        << Loaded.error().message();
+    EXPECT_EQ(Loaded->Spec.str(), Original.Spec.str());
+    ASSERT_EQ(Loaded->Widths.size(), Original.Widths.size());
+    for (size_t I = 0; I != Original.Widths.size(); ++I) {
+      const WidthSchedule &A = Original.Widths[I];
+      const WidthSchedule &B = Loaded->Widths[I];
+      EXPECT_EQ(A.Width, B.Width);
+      EXPECT_EQ(A.Regs.plan().Sizes, B.Regs.plan().Sizes);
+      EXPECT_EQ(A.Regs.plan().UnrollFactor, B.Regs.plan().UnrollFactor);
+      EXPECT_TRUE(sameOps(A.Prologue, B.Prologue)) << patternName(Id);
+      ASSERT_EQ(A.Phases.size(), B.Phases.size());
+      for (size_t P = 0; P != A.Phases.size(); ++P)
+        EXPECT_TRUE(sameOps(A.Phases[P], B.Phases[P]))
+            << patternName(Id) << " width " << A.Width << " phase " << P;
+    }
+    // Second round trip is textually identical (canonical form).
+    EXPECT_EQ(writeCompiledStencil(*Loaded, machine()), Text);
+  }
+}
+
+TEST(ScheduleIOTest, LoadedScheduleExecutesCorrectly) {
+  MachineConfig Config = MachineConfig::withNodeGrid(2, 2);
+  ConvolutionCompiler CC(Config);
+  Expected<CompiledStencil> Original =
+      CC.compile(makePattern(PatternId::Diamond13));
+  ASSERT_TRUE(Original);
+  std::string Text = writeCompiledStencil(*Original, Config);
+  Expected<CompiledStencil> Loaded = parseCompiledStencil(Text, Config);
+  ASSERT_TRUE(Loaded) << Loaded.error().message();
+
+  const int Sub = 10;
+  NodeGrid Grid(Config);
+  DistributedArray R(Grid, Sub, Sub), X(Grid, Sub, Sub);
+  Array2D GlobalX(R.globalRows(), R.globalCols());
+  GlobalX.fillRandom(1234);
+  X.scatter(GlobalX);
+  StencilArguments Args;
+  Args.Result = &R;
+  Args.Source = &X;
+  std::vector<std::unique_ptr<DistributedArray>> Coeffs;
+  ReferenceBindings B;
+  B.Source = &GlobalX;
+  std::vector<Array2D> Globals;
+  for (const std::string &Name : Loaded->Spec.coefficientArrayNames()) {
+    auto C = std::make_unique<DistributedArray>(Grid, Sub, Sub);
+    Array2D G(R.globalRows(), R.globalCols());
+    G.fillRandom(std::hash<std::string>{}(Name));
+    C->scatter(G);
+    Args.Coefficients[Name] = C.get();
+    Globals.push_back(std::move(G));
+    Coeffs.push_back(std::move(C));
+  }
+  size_t I = 0;
+  for (const std::string &Name : Loaded->Spec.coefficientArrayNames())
+    B.Coefficients[Name] = &Globals[I++];
+
+  Executor Exec(Config);
+  auto Report = Exec.run(*Loaded, Args, 1);
+  ASSERT_TRUE(Report) << Report.error().message();
+  Array2D Want = evaluateReference(Loaded->Spec, B, R.globalRows(),
+                                   R.globalCols());
+  EXPECT_LT(Array2D::maxAbsDifference(R.gather(), Want), 2e-4f);
+}
+
+TEST(ScheduleIOTest, MultiSourceRoundTrip) {
+  MachineConfig Config = machine();
+  StencilSpec Spec;
+  Spec.Result = "R";
+  Spec.Source = "U";
+  Spec.ExtraSources.push_back("V");
+  Tap A;
+  A.At = {0, 1};
+  A.Coeff = Coefficient::array("C1");
+  Spec.Taps.push_back(A);
+  Tap BTap;
+  BTap.At = {-1, 0};
+  BTap.SourceIndex = 1;
+  BTap.Coeff = Coefficient::scalar(0.25);
+  BTap.Sign = -1.0;
+  Spec.Taps.push_back(BTap);
+
+  ConvolutionCompiler CC(Config);
+  Expected<CompiledStencil> Original = CC.compile(Spec);
+  ASSERT_TRUE(Original);
+  std::string Text = writeCompiledStencil(*Original, Config);
+  Expected<CompiledStencil> Loaded = parseCompiledStencil(Text, Config);
+  ASSERT_TRUE(Loaded) << Loaded.error().message();
+  EXPECT_EQ(Loaded->Spec.ExtraSources,
+            std::vector<std::string>{"V"});
+  EXPECT_EQ(Loaded->Spec.Taps[1].SourceIndex, 1);
+  EXPECT_DOUBLE_EQ(Loaded->Spec.Taps[1].Coeff.Value, 0.25);
+  EXPECT_DOUBLE_EQ(Loaded->Spec.Taps[1].Sign, -1.0);
+}
+
+TEST(ScheduleIOTest, TamperedRegisterCaught) {
+  CompiledStencil Original = compileById(PatternId::Square9);
+  std::string Text = writeCompiledStencil(Original, machine());
+  // Flip one madd's multiplier register: "M 5 ..." -> "M 6 ...".
+  size_t Pos = Text.find("\nM ");
+  ASSERT_NE(Pos, std::string::npos);
+  // Change the first digit of the mul register.
+  size_t Digit = Pos + 3;
+  Text[Digit] = Text[Digit] == '9' ? '8' : Text[Digit] + 1;
+  Expected<CompiledStencil> Loaded = parseCompiledStencil(Text, machine());
+  ASSERT_FALSE(Loaded);
+  EXPECT_NE(Loaded.error().message().find("verification"),
+            std::string::npos)
+      << Loaded.error().message();
+}
+
+TEST(ScheduleIOTest, WrongMachineRejected) {
+  CompiledStencil Original = compileById(PatternId::Cross5);
+  std::string Text = writeCompiledStencil(Original, machine());
+  MachineConfig Other = machine();
+  Other.NumRegisters = 16;
+  Expected<CompiledStencil> Loaded = parseCompiledStencil(Text, Other);
+  ASSERT_FALSE(Loaded);
+  EXPECT_NE(Loaded.error().message().find("registers"), std::string::npos);
+}
+
+TEST(ScheduleIOTest, TruncationCaught) {
+  CompiledStencil Original = compileById(PatternId::Cross5);
+  std::string Text = writeCompiledStencil(Original, machine());
+  Text.resize(Text.size() / 2);
+  EXPECT_FALSE(parseCompiledStencil(Text, machine()));
+}
+
+TEST(ScheduleIOTest, GarbageRejected) {
+  EXPECT_FALSE(parseCompiledStencil("", machine()));
+  EXPECT_FALSE(parseCompiledStencil("not cmccode\n", machine()));
+  EXPECT_FALSE(parseCompiledStencil("cmccode 2\n", machine()));
+  EXPECT_FALSE(parseCompiledStencil(
+      "cmccode 1\nmachine registers 32\nbogus\nend\n", machine()));
+}

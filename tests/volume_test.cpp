@@ -1,0 +1,135 @@
+//===- tests/volume_test.cpp - Rank-3 runtime tests -----------*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the multidimensional outer loop: a rank-3 array processed
+/// plane by plane, checked against the per-plane reference evaluation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Compiler.h"
+#include "runtime/Reference.h"
+#include "runtime/Volume.h"
+#include "stencil/PatternLibrary.h"
+#include <gtest/gtest.h>
+
+using namespace cmcc;
+
+namespace {
+
+MachineConfig smallMachine() { return MachineConfig::withNodeGrid(2, 2); }
+
+void fillVolume(DistributedVolume &V, uint64_t Seed) {
+  for (int D = 0; D != V.depth(); ++D) {
+    Array2D G(V.plane(D).globalRows(), V.plane(D).globalCols());
+    G.fillRandom(Seed + D);
+    V.plane(D).scatter(G);
+  }
+}
+
+} // namespace
+
+TEST(VolumeTest, PlaneByPlaneMatchesReference) {
+  MachineConfig Config = smallMachine();
+  ConvolutionCompiler CC(Config);
+  Expected<CompiledStencil> Compiled =
+      CC.compile(makePattern(PatternId::Cross5));
+  ASSERT_TRUE(Compiled);
+
+  const int Depth = 4, Sub = 8;
+  NodeGrid Grid(Config);
+  DistributedVolume R(Grid, Depth, Sub, Sub);
+  DistributedVolume X(Grid, Depth, Sub, Sub);
+  fillVolume(X, 7);
+  std::vector<std::unique_ptr<DistributedVolume>> Coeffs;
+  VolumeArguments Args;
+  Args.Result = &R;
+  Args.Source = &X;
+  uint64_t Seed = 100;
+  for (const std::string &Name : Compiled->Spec.coefficientArrayNames()) {
+    auto C = std::make_unique<DistributedVolume>(Grid, Depth, Sub, Sub);
+    fillVolume(*C, Seed += 13);
+    Args.Coefficients[Name] = C.get();
+    Coeffs.push_back(std::move(C));
+  }
+
+  Executor Exec(Config);
+  Expected<TimingReport> Report = runVolume(Exec, *Compiled, Args, 1);
+  ASSERT_TRUE(Report) << Report.error().message();
+
+  for (int D = 0; D != Depth; ++D) {
+    ReferenceBindings B;
+    Array2D Source = X.plane(D).gather();
+    B.Source = &Source;
+    std::vector<Array2D> Globals;
+    for (const auto &[Name, V] : Args.Coefficients)
+      Globals.push_back(V->plane(D).gather());
+    size_t I = 0;
+    for (const auto &[Name, V] : Args.Coefficients)
+      B.Coefficients[Name] = &Globals[I++];
+    Array2D Want = evaluateReference(Compiled->Spec, B, Source.rows(),
+                                     Source.cols());
+    EXPECT_LT(Array2D::maxAbsDifference(R.plane(D).gather(), Want), 2e-4f)
+        << "plane " << D;
+  }
+}
+
+TEST(VolumeTest, CyclesScaleWithDepth) {
+  MachineConfig Config = smallMachine();
+  ConvolutionCompiler CC(Config);
+  Expected<CompiledStencil> Compiled =
+      CC.compile(makePattern(PatternId::Square9));
+  ASSERT_TRUE(Compiled);
+  NodeGrid Grid(Config);
+
+  auto ReportFor = [&](int Depth) {
+    DistributedVolume R(Grid, Depth, 8, 8), X(Grid, Depth, 8, 8);
+    fillVolume(X, 3);
+    std::vector<std::unique_ptr<DistributedVolume>> Coeffs;
+    VolumeArguments Args;
+    Args.Result = &R;
+    Args.Source = &X;
+    uint64_t Seed = 50;
+    for (const std::string &Name :
+         Compiled->Spec.coefficientArrayNames()) {
+      auto C = std::make_unique<DistributedVolume>(Grid, Depth, 8, 8);
+      fillVolume(*C, Seed += 7);
+      Args.Coefficients[Name] = C.get();
+      Coeffs.push_back(std::move(C));
+    }
+    Executor Exec(Config);
+    auto Report = runVolume(Exec, *Compiled, Args, 1);
+    EXPECT_TRUE(Report);
+    return *Report;
+  };
+
+  TimingReport One = ReportFor(1);
+  TimingReport Three = ReportFor(3);
+  EXPECT_EQ(Three.Cycles.total(), 3 * One.Cycles.total());
+  EXPECT_EQ(Three.UsefulFlopsPerNodePerIteration,
+            3 * One.UsefulFlopsPerNodePerIteration);
+  // The per-call host overhead is paid once, not per plane.
+  double PerCall = Config.HostOverheadUsPerCall * 1e-6;
+  EXPECT_NEAR(Three.HostSecondsPerIteration - PerCall,
+              3 * (One.HostSecondsPerIteration - PerCall), 1e-12);
+}
+
+TEST(VolumeTest, DepthMismatchRejected) {
+  MachineConfig Config = smallMachine();
+  ConvolutionCompiler CC(Config);
+  Expected<CompiledStencil> Compiled =
+      CC.compile(makeSpecFromOffsets({{0, 0}, {0, 1}}));
+  ASSERT_TRUE(Compiled);
+  NodeGrid Grid(Config);
+  DistributedVolume R(Grid, 2, 8, 8), X(Grid, 3, 8, 8);
+  VolumeArguments Args;
+  Args.Result = &R;
+  Args.Source = &X;
+  Executor Exec(Config);
+  Expected<TimingReport> Report = runVolume(Exec, *Compiled, Args, 1);
+  EXPECT_FALSE(Report);
+  EXPECT_NE(Report.error().message().find("depth"), std::string::npos);
+}

@@ -1,0 +1,149 @@
+//===- tools/calibrate.cpp - Fit timing constants to the paper -*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compares the model's 16-node Mflops against every 16-node row of the
+/// paper's results table and reports the error, optionally grid-searching
+/// the calibrated constants (sequencer cycles/op, per-line overhead, host
+/// overheads, communication cost). The chosen values are baked into
+/// MachineConfig's defaults; this tool documents and reproduces the fit.
+///
+/// Usage: calibrate [--search]
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Compiler.h"
+#include "runtime/Executor.h"
+#include "stencil/PatternLibrary.h"
+#include "support/StringUtils.h"
+#include "support/TextTable.h"
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace cmcc;
+
+namespace {
+
+struct PaperRow {
+  PatternId Pattern;
+  int SubRows, SubCols, Iterations;
+  double ElapsedSeconds; // Paper's measured elapsed time.
+  double Mflops;         // Paper's measured rate.
+};
+
+// Every 16-node row of the paper's §7 table (21 Nov 90 measurements).
+const PaperRow Rows[] = {
+    {PatternId::Cross5, 64, 128, 250, 4.54, 44.6},
+    {PatternId::Cross5, 128, 256, 100, 6.78, 69.5},
+    {PatternId::Cross5, 256, 256, 100, 13.00, 72.8},
+    {PatternId::Square9, 64, 64, 500, 8.10, 68.8},
+    {PatternId::Square9, 64, 128, 250, 6.07, 91.7},
+    {PatternId::Square9, 128, 128, 250, 12.40, 89.8},
+    {PatternId::Square9, 128, 256, 100, 10.26, 86.7},
+    {PatternId::Square9, 256, 256, 100, 20.12, 88.6},
+    {PatternId::Cross9R2, 64, 64, 500, 9.81, 56.8},
+    {PatternId::Cross9R2, 64, 128, 250, 8.19, 68.0},
+    {PatternId::Cross9R2, 128, 128, 250, 15.30, 72.9},
+    {PatternId::Cross9R2, 128, 256, 100, 10.44, 85.3},
+    {PatternId::Cross9R2, 256, 256, 100, 20.80, 85.6},
+    {PatternId::Diamond13, 64, 64, 500, 11.40, 71.6},
+    {PatternId::Diamond13, 64, 128, 250, 9.98, 82.0},
+    {PatternId::Diamond13, 128, 128, 250, 18.70, 87.7},
+    {PatternId::Diamond13, 128, 256, 100, 15.30, 85.6},
+    {PatternId::Diamond13, 256, 256, 100, 30.51, 85.9},
+};
+
+double modelMflops(const MachineConfig &Config, const PaperRow &Row) {
+  ConvolutionCompiler CC(Config);
+  Expected<CompiledStencil> Compiled = CC.compile(makePattern(Row.Pattern));
+  if (!Compiled)
+    return 0.0;
+  Executor::Options Opts;
+  Opts.Mode = Executor::FunctionalMode::None;
+  Executor Exec(Config, Opts);
+  return Exec.timeOnly(*Compiled, Row.SubRows, Row.SubCols, Row.Iterations)
+      .measuredMflops();
+}
+
+/// Mean squared relative error across all rows.
+double fitError(const MachineConfig &Config) {
+  double Sum = 0.0;
+  for (const PaperRow &Row : Rows) {
+    double Model = modelMflops(Config, Row);
+    double Rel = (Model - Row.Mflops) / Row.Mflops;
+    Sum += Rel * Rel;
+  }
+  return Sum / (sizeof(Rows) / sizeof(Rows[0]));
+}
+
+void printComparison(const MachineConfig &Config) {
+  TextTable T;
+  T.setHeader({"pattern", "subgrid", "iters", "paper s", "model s",
+               "paper Mflops", "model Mflops", "ratio"});
+  for (const PaperRow &Row : Rows) {
+    double Model = modelMflops(Config, Row);
+    double FlopsPerIter = makePattern(Row.Pattern).usefulFlopsPerPoint() *
+                          double(Row.SubRows) * Row.SubCols *
+                          Config.nodeCount();
+    double ModelSeconds = FlopsPerIter * Row.Iterations / (Model * 1e6);
+    T.addRow({patternName(Row.Pattern),
+              std::to_string(Row.SubRows) + "x" + std::to_string(Row.SubCols),
+              std::to_string(Row.Iterations),
+              formatFixed(Row.ElapsedSeconds, 2),
+              formatFixed(ModelSeconds, 2), formatFixed(Row.Mflops, 1),
+              formatFixed(Model, 1), formatFixed(Model / Row.Mflops, 3)});
+  }
+  std::printf("%s\nmean squared relative error: %.5f\n", T.str().c_str(),
+              fitError(Config));
+}
+
+void search() {
+  MachineConfig Best = MachineConfig::testMachine16();
+  double BestError = fitError(Best);
+  for (double SeqOp : {1.45, 1.5, 1.55, 1.6, 1.65, 1.7})
+    for (int LineOv : {6, 8, 10, 12, 16, 20})
+      for (double HostCall : {3500.0, 4000.0, 4500.0, 5000.0, 5500.0})
+        for (double HostStrip : {5.0, 10.0, 15.0, 20.0, 25.0, 35.0})
+          for (int CommElem : {8, 12, 16, 24, 32}) {
+            MachineConfig C = MachineConfig::testMachine16();
+            C.SequencerCyclesPerOp = SeqOp;
+            C.PerLineOverheadCycles = LineOv;
+            C.HostOverheadUsPerCall = HostCall;
+            C.HostOverheadUsPerStrip = HostStrip;
+            C.CommCyclesPerElement = CommElem;
+            double E = fitError(C);
+            if (E < BestError) {
+              BestError = E;
+              Best = C;
+            }
+          }
+  std::printf("best: SeqOp=%.2f LineOv=%d HostCall=%.0f HostStrip=%.0f "
+              "CommElem=%d  err=%.5f\n",
+              Best.SequencerCyclesPerOp, Best.PerLineOverheadCycles,
+              Best.HostOverheadUsPerCall, Best.HostOverheadUsPerStrip,
+              Best.CommCyclesPerElement, BestError);
+  printComparison(Best);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bool Search = false;
+  for (int I = 1; I < Argc; ++I)
+    if (std::strcmp(Argv[I], "--search") == 0)
+      Search = true;
+  if (Search) {
+    search();
+    return 0;
+  }
+  std::printf("current defaults: %s\n\n",
+              MachineConfig::testMachine16().summary().c_str());
+  printComparison(MachineConfig::testMachine16());
+  return 0;
+}

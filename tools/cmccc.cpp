@@ -1,0 +1,322 @@
+//===- tools/cmccc.cpp - The convolution compiler driver ------*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Command-line driver for the convolution compiler: reads a stencil
+/// definition (Fortran subroutine, bare assignment, or Lisp defstencil),
+/// compiles it for a simulated CM-2, and reports what the paper's
+/// compiler would tell the user — recognized pattern, border widths,
+/// multistencil widths with register plans, generated schedules, and a
+/// performance estimate.
+///
+///   cmccc [options] file.f90 | file.lisp
+///   cmccc [options] -e 'R = C1*CSHIFT(X,1,-1) + C2*X'
+///
+/// Options:
+///   -e <stmt>           compile a bare assignment statement
+///   --lang=fortran|lisp force the front end (default: by file suffix;
+///                       '-e' implies fortran)
+///   --machine=16|2048|RxC   node grid (default 16 = 4x4)
+///   --subgrid=RxC       per-node subgrid for the estimate (default 128x128)
+///   --iterations=N      iterations for the estimate (default 100)
+///   --multi-source      enable the §9 multi-source extension
+///   --dump-stencil      render the tap pattern and border widths
+///   --dump-multistencil render each generated width's multistencil
+///   --dump-schedule     print the width-8 (or widest) line schedule
+///   --stats             static analysis of every generated width
+///   --emit=<file>       write the compiled register patterns (.cmccode);
+///                       a .cmccode file can be given back as input to
+///                       run precompiled patterns without the compiler
+///   --estimate          print the simulated timing estimate
+///   --quiet             suppress everything but diagnostics
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Compiler.h"
+#include "core/RingBufferPlan.h"
+#include "core/ScheduleIO.h"
+#include "core/ScheduleStats.h"
+#include "runtime/Executor.h"
+#include "stencil/Render.h"
+#include "support/StringUtils.h"
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace cmcc;
+
+namespace {
+
+struct DriverOptions {
+  std::string InputFile;
+  std::string InlineStatement;
+  std::string Language; // "fortran", "lisp", or "" = by suffix.
+  MachineConfig Machine = MachineConfig::testMachine16();
+  int SubRows = 128, SubCols = 128;
+  int Iterations = 100;
+  bool MultiSource = false;
+  bool DumpStencil = false;
+  bool DumpMultistencil = false;
+  bool DumpSchedule = false;
+  bool Stats = false;
+  bool Estimate = false;
+  std::string EmitPath;
+  bool Quiet = false;
+};
+
+void printUsage() {
+  std::fprintf(
+      stderr,
+      "usage: cmccc [options] <file.f90|file.lisp>\n"
+      "       cmccc [options] -e '<assignment statement>'\n"
+      "options: --lang=fortran|lisp --machine=16|2048|RxC\n"
+      "         --subgrid=RxC --iterations=N --multi-source\n"
+      "         --dump-stencil --dump-multistencil --dump-schedule --stats\n"
+      "         --estimate --quiet\n");
+}
+
+bool parseShape(const char *Text, int *Rows, int *Cols) {
+  return std::sscanf(Text, "%dx%d", Rows, Cols) == 2 && *Rows > 0 &&
+         *Cols > 0;
+}
+
+bool parseArguments(int Argc, char **Argv, DriverOptions &Opts) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Value = [&](const char *Prefix) -> const char * {
+      size_t N = std::strlen(Prefix);
+      return Arg.compare(0, N, Prefix) == 0 ? Arg.c_str() + N : nullptr;
+    };
+    if (Arg == "-e") {
+      if (++I >= Argc) {
+        std::fprintf(stderr, "cmccc: -e needs a statement\n");
+        return false;
+      }
+      Opts.InlineStatement = Argv[I];
+    } else if (const char *V = Value("--lang=")) {
+      Opts.Language = V;
+      if (Opts.Language != "fortran" && Opts.Language != "lisp") {
+        std::fprintf(stderr, "cmccc: unknown language '%s'\n", V);
+        return false;
+      }
+    } else if (const char *V = Value("--machine=")) {
+      if (std::strcmp(V, "16") == 0) {
+        Opts.Machine = MachineConfig::testMachine16();
+      } else if (std::strcmp(V, "2048") == 0) {
+        Opts.Machine = MachineConfig::fullMachine2048();
+      } else {
+        int R, C;
+        if (!parseShape(V, &R, &C)) {
+          std::fprintf(stderr, "cmccc: bad --machine value '%s'\n", V);
+          return false;
+        }
+        Opts.Machine = MachineConfig::withNodeGrid(R, C);
+      }
+    } else if (const char *V = Value("--subgrid=")) {
+      if (!parseShape(V, &Opts.SubRows, &Opts.SubCols)) {
+        std::fprintf(stderr, "cmccc: bad --subgrid value '%s'\n", V);
+        return false;
+      }
+    } else if (const char *V = Value("--iterations=")) {
+      Opts.Iterations = std::atoi(V);
+      if (Opts.Iterations <= 0) {
+        std::fprintf(stderr, "cmccc: bad --iterations value '%s'\n", V);
+        return false;
+      }
+    } else if (Arg == "--multi-source") {
+      Opts.MultiSource = true;
+    } else if (Arg == "--dump-stencil") {
+      Opts.DumpStencil = true;
+    } else if (Arg == "--dump-multistencil") {
+      Opts.DumpMultistencil = true;
+    } else if (Arg == "--dump-schedule") {
+      Opts.DumpSchedule = true;
+    } else if (Arg == "--stats") {
+      Opts.Stats = true;
+    } else if (const char *V = Value("--emit=")) {
+      Opts.EmitPath = V;
+    } else if (Arg == "--estimate") {
+      Opts.Estimate = true;
+    } else if (Arg == "--quiet") {
+      Opts.Quiet = true;
+    } else if (Arg == "--help" || Arg == "-h") {
+      printUsage();
+      std::exit(0);
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr, "cmccc: unknown option '%s'\n", Arg.c_str());
+      return false;
+    } else {
+      if (!Opts.InputFile.empty()) {
+        std::fprintf(stderr, "cmccc: more than one input file\n");
+        return false;
+      }
+      Opts.InputFile = Arg;
+    }
+  }
+  if (Opts.InputFile.empty() && Opts.InlineStatement.empty()) {
+    printUsage();
+    return false;
+  }
+  return true;
+}
+
+/// Guesses the front end from the file suffix.
+std::string languageFor(const DriverOptions &Opts) {
+  if (!Opts.Language.empty())
+    return Opts.Language;
+  if (!Opts.InlineStatement.empty())
+    return "fortran";
+  std::string_view Name = Opts.InputFile;
+  auto EndsWith = [&](std::string_view Suffix) {
+    return Name.size() >= Suffix.size() &&
+           Name.substr(Name.size() - Suffix.size()) == Suffix;
+  };
+  if (EndsWith(".lisp") || EndsWith(".lsp") || EndsWith(".sexp"))
+    return "lisp";
+  if (EndsWith(".cmccode"))
+    return "cmccode";
+  return "fortran";
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  DriverOptions Opts;
+  if (!parseArguments(Argc, Argv, Opts))
+    return 2;
+
+  std::string Source = Opts.InlineStatement;
+  if (Source.empty()) {
+    std::ifstream In(Opts.InputFile);
+    if (!In) {
+      std::fprintf(stderr, "cmccc: cannot open '%s'\n",
+                   Opts.InputFile.c_str());
+      return 2;
+    }
+    std::ostringstream Buffer;
+    Buffer << In.rdbuf();
+    Source = Buffer.str();
+  }
+
+  DiagnosticEngine Diags;
+  ConvolutionCompiler Compiler(Opts.Machine);
+  Compiler.setAllowMultipleSources(Opts.MultiSource);
+
+  std::optional<CompiledStencil> Compiled;
+  std::string Lang = languageFor(Opts);
+  if (Lang == "cmccode") {
+    // Precompiled register patterns: load, revalidate, no compiler run.
+    Expected<CompiledStencil> Loaded =
+        parseCompiledStencil(Source, Opts.Machine);
+    if (!Loaded) {
+      std::fprintf(stderr, "cmccc: %s\n", Loaded.error().message().c_str());
+      return 1;
+    }
+    Compiled = Loaded.takeValue();
+  } else if (Lang == "lisp") {
+    Compiled = Compiler.compileDefStencil(Source, Diags);
+  } else if (!Opts.InlineStatement.empty()) {
+    Compiled = Compiler.compileAssignment(Source, Diags);
+  } else {
+    // A file may contain a SUBROUTINE or a bare statement; try the
+    // subroutine form first, then fall back.
+    Compiled = Compiler.compileSubroutine(Source, Diags);
+    if (!Compiled) {
+      DiagnosticEngine Retry;
+      Compiled = Compiler.compileAssignment(Source, Retry);
+      if (Compiled)
+        Diags.clear();
+    }
+  }
+
+  if (Diags.errorCount() || !Compiled) {
+    std::fputs(Diags.str().c_str(), stderr);
+    if (!Compiled)
+      return 1;
+  }
+  // Warnings and notes still print.
+  if (!Diags.diagnostics().empty())
+    std::fputs(Diags.str().c_str(), stderr);
+
+  const StencilSpec &Spec = Compiled->Spec;
+  if (!Opts.Quiet) {
+    std::printf("machine:    %s\n", Opts.Machine.summary().c_str());
+    std::printf("recognized: %s\n", Spec.str().c_str());
+    std::printf("sources:    %d   taps: %zu   useful flops/point: %d\n",
+                Spec.sourceCount(), Spec.Taps.size(),
+                Spec.usefulFlopsPerPoint());
+    std::printf("widths:    ");
+    for (int W : Compiled->availableWidths())
+      std::printf(" %d", W);
+    std::printf("\n");
+    for (const std::string &Note : Compiled->Notes)
+      std::printf("note: %s\n", Note.c_str());
+  }
+
+  if (Opts.DumpStencil) {
+    std::printf("\nstencil pattern:\n%s", renderStencil(Spec).c_str());
+    std::printf("border widths: %s   corners needed: %s\n",
+                renderBorderWidths(Spec.borderWidths()).c_str(),
+                Spec.needsCornerData() ? "yes" : "no");
+  }
+
+  if (Opts.DumpMultistencil) {
+    for (const WidthSchedule &W : Compiled->Widths) {
+      std::printf("\nwidth %d: %d registers, unroll %d, %d scratch parts\n",
+                  W.Width, W.registersUsed(), W.Regs.plan().UnrollFactor,
+                  W.scratchPartsUsed());
+      std::printf("%s", W.MS.render().c_str());
+    }
+  }
+
+  if (Opts.DumpSchedule) {
+    const WidthSchedule &W = Compiled->Widths.front();
+    std::printf("\nwidth-%d schedule, prologue (%zu ops):\n", W.Width,
+                W.Prologue.size());
+    for (const DynamicPart &Op : W.Prologue)
+      std::printf("  %s\n", Op.str().c_str());
+    std::printf("phase 0 of %zu (%zu ops/line):\n", W.Phases.size(),
+                W.Phases[0].size());
+    for (const DynamicPart &Op : W.Phases[0])
+      std::printf("  %s\n", Op.str().c_str());
+  }
+
+  if (!Opts.EmitPath.empty()) {
+    std::ofstream OutFile(Opts.EmitPath);
+    if (!OutFile) {
+      std::fprintf(stderr, "cmccc: cannot write '%s'\n",
+                   Opts.EmitPath.c_str());
+      return 1;
+    }
+    OutFile << writeCompiledStencil(*Compiled, Opts.Machine);
+    if (!Opts.Quiet)
+      std::printf("wrote %s\n", Opts.EmitPath.c_str());
+  }
+
+  if (Opts.Stats) {
+    std::printf("\n");
+    for (const WidthSchedule &W : Compiled->Widths)
+      std::printf("%s", ScheduleStats::analyze(W, Spec)
+                            .str(Opts.Machine)
+                            .c_str());
+  }
+
+  if (Opts.Estimate) {
+    Executor::Options ExecOpts;
+    ExecOpts.Mode = Executor::FunctionalMode::None;
+    Executor Exec(Opts.Machine, ExecOpts);
+    TimingReport Report = Exec.timeOnly(*Compiled, Opts.SubRows,
+                                        Opts.SubCols, Opts.Iterations);
+    std::printf("\nestimate for %dx%d per-node subgrids, %d iterations:\n",
+                Opts.SubRows, Opts.SubCols, Opts.Iterations);
+    std::printf("%s", Report.str().c_str());
+    std::printf("extrapolated to 2048 nodes: %s Gflops\n",
+                formatFixed(Report.extrapolatedGflops(2048), 2).c_str());
+  }
+  return 0;
+}
