@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_strips.dir/bench_ablation_strips.cpp.o"
+  "CMakeFiles/bench_ablation_strips.dir/bench_ablation_strips.cpp.o.d"
+  "bench_ablation_strips"
+  "bench_ablation_strips.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_strips.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

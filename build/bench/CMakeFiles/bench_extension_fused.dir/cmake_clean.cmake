@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_fused.dir/bench_extension_fused.cpp.o"
+  "CMakeFiles/bench_extension_fused.dir/bench_extension_fused.cpp.o.d"
+  "bench_extension_fused"
+  "bench_extension_fused.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_fused.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_results_table.dir/bench_results_table.cpp.o"
+  "CMakeFiles/bench_results_table.dir/bench_results_table.cpp.o.d"
+  "bench_results_table"
+  "bench_results_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_results_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_seismic.dir/bench_seismic.cpp.o"
+  "CMakeFiles/bench_seismic.dir/bench_seismic.cpp.o.d"
+  "bench_seismic"
+  "bench_seismic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_seismic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

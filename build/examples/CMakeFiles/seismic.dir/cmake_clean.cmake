@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seismic.dir/seismic.cpp.o"
+  "CMakeFiles/seismic.dir/seismic.cpp.o.d"
+  "seismic"
+  "seismic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seismic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seismic_shots.dir/seismic_shots.cpp.o"
+  "CMakeFiles/seismic_shots.dir/seismic_shots.cpp.o.d"
+  "seismic_shots"
+  "seismic_shots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seismic_shots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for seismic_shots.
+# This may be replaced when dependencies are built.

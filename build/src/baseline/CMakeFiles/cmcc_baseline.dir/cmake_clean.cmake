@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmcc_baseline.dir/FixedLibrary.cpp.o"
+  "CMakeFiles/cmcc_baseline.dir/FixedLibrary.cpp.o.d"
+  "CMakeFiles/cmcc_baseline.dir/VectorUnitModel.cpp.o"
+  "CMakeFiles/cmcc_baseline.dir/VectorUnitModel.cpp.o.d"
+  "libcmcc_baseline.a"
+  "libcmcc_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmcc_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

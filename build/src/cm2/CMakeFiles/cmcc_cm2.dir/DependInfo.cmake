@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cm2/FloatingPointUnit.cpp" "src/cm2/CMakeFiles/cmcc_cm2.dir/FloatingPointUnit.cpp.o" "gcc" "src/cm2/CMakeFiles/cmcc_cm2.dir/FloatingPointUnit.cpp.o.d"
+  "/root/repo/src/cm2/GridComm.cpp" "src/cm2/CMakeFiles/cmcc_cm2.dir/GridComm.cpp.o" "gcc" "src/cm2/CMakeFiles/cmcc_cm2.dir/GridComm.cpp.o.d"
+  "/root/repo/src/cm2/Instruction.cpp" "src/cm2/CMakeFiles/cmcc_cm2.dir/Instruction.cpp.o" "gcc" "src/cm2/CMakeFiles/cmcc_cm2.dir/Instruction.cpp.o.d"
+  "/root/repo/src/cm2/MachineConfig.cpp" "src/cm2/CMakeFiles/cmcc_cm2.dir/MachineConfig.cpp.o" "gcc" "src/cm2/CMakeFiles/cmcc_cm2.dir/MachineConfig.cpp.o.d"
+  "/root/repo/src/cm2/NodeGrid.cpp" "src/cm2/CMakeFiles/cmcc_cm2.dir/NodeGrid.cpp.o" "gcc" "src/cm2/CMakeFiles/cmcc_cm2.dir/NodeGrid.cpp.o.d"
+  "/root/repo/src/cm2/Sequencer.cpp" "src/cm2/CMakeFiles/cmcc_cm2.dir/Sequencer.cpp.o" "gcc" "src/cm2/CMakeFiles/cmcc_cm2.dir/Sequencer.cpp.o.d"
+  "/root/repo/src/cm2/Timing.cpp" "src/cm2/CMakeFiles/cmcc_cm2.dir/Timing.cpp.o" "gcc" "src/cm2/CMakeFiles/cmcc_cm2.dir/Timing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/cmcc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmcc_cm2.dir/FloatingPointUnit.cpp.o"
+  "CMakeFiles/cmcc_cm2.dir/FloatingPointUnit.cpp.o.d"
+  "CMakeFiles/cmcc_cm2.dir/GridComm.cpp.o"
+  "CMakeFiles/cmcc_cm2.dir/GridComm.cpp.o.d"
+  "CMakeFiles/cmcc_cm2.dir/Instruction.cpp.o"
+  "CMakeFiles/cmcc_cm2.dir/Instruction.cpp.o.d"
+  "CMakeFiles/cmcc_cm2.dir/MachineConfig.cpp.o"
+  "CMakeFiles/cmcc_cm2.dir/MachineConfig.cpp.o.d"
+  "CMakeFiles/cmcc_cm2.dir/NodeGrid.cpp.o"
+  "CMakeFiles/cmcc_cm2.dir/NodeGrid.cpp.o.d"
+  "CMakeFiles/cmcc_cm2.dir/Sequencer.cpp.o"
+  "CMakeFiles/cmcc_cm2.dir/Sequencer.cpp.o.d"
+  "CMakeFiles/cmcc_cm2.dir/Timing.cpp.o"
+  "CMakeFiles/cmcc_cm2.dir/Timing.cpp.o.d"
+  "libcmcc_cm2.a"
+  "libcmcc_cm2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmcc_cm2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/Compiler.cpp" "src/core/CMakeFiles/cmcc_core.dir/Compiler.cpp.o" "gcc" "src/core/CMakeFiles/cmcc_core.dir/Compiler.cpp.o.d"
+  "/root/repo/src/core/Multistencil.cpp" "src/core/CMakeFiles/cmcc_core.dir/Multistencil.cpp.o" "gcc" "src/core/CMakeFiles/cmcc_core.dir/Multistencil.cpp.o.d"
+  "/root/repo/src/core/RegisterAllocation.cpp" "src/core/CMakeFiles/cmcc_core.dir/RegisterAllocation.cpp.o" "gcc" "src/core/CMakeFiles/cmcc_core.dir/RegisterAllocation.cpp.o.d"
+  "/root/repo/src/core/RingBufferPlan.cpp" "src/core/CMakeFiles/cmcc_core.dir/RingBufferPlan.cpp.o" "gcc" "src/core/CMakeFiles/cmcc_core.dir/RingBufferPlan.cpp.o.d"
+  "/root/repo/src/core/Schedule.cpp" "src/core/CMakeFiles/cmcc_core.dir/Schedule.cpp.o" "gcc" "src/core/CMakeFiles/cmcc_core.dir/Schedule.cpp.o.d"
+  "/root/repo/src/core/ScheduleIO.cpp" "src/core/CMakeFiles/cmcc_core.dir/ScheduleIO.cpp.o" "gcc" "src/core/CMakeFiles/cmcc_core.dir/ScheduleIO.cpp.o.d"
+  "/root/repo/src/core/ScheduleStats.cpp" "src/core/CMakeFiles/cmcc_core.dir/ScheduleStats.cpp.o" "gcc" "src/core/CMakeFiles/cmcc_core.dir/ScheduleStats.cpp.o.d"
+  "/root/repo/src/core/Verifier.cpp" "src/core/CMakeFiles/cmcc_core.dir/Verifier.cpp.o" "gcc" "src/core/CMakeFiles/cmcc_core.dir/Verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stencil/CMakeFiles/cmcc_stencil.dir/DependInfo.cmake"
+  "/root/repo/build/src/sexpr/CMakeFiles/cmcc_sexpr.dir/DependInfo.cmake"
+  "/root/repo/build/src/fortran/CMakeFiles/cmcc_fortran.dir/DependInfo.cmake"
+  "/root/repo/build/src/cm2/CMakeFiles/cmcc_cm2.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cmcc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmcc_core.dir/Compiler.cpp.o"
+  "CMakeFiles/cmcc_core.dir/Compiler.cpp.o.d"
+  "CMakeFiles/cmcc_core.dir/Multistencil.cpp.o"
+  "CMakeFiles/cmcc_core.dir/Multistencil.cpp.o.d"
+  "CMakeFiles/cmcc_core.dir/RegisterAllocation.cpp.o"
+  "CMakeFiles/cmcc_core.dir/RegisterAllocation.cpp.o.d"
+  "CMakeFiles/cmcc_core.dir/RingBufferPlan.cpp.o"
+  "CMakeFiles/cmcc_core.dir/RingBufferPlan.cpp.o.d"
+  "CMakeFiles/cmcc_core.dir/Schedule.cpp.o"
+  "CMakeFiles/cmcc_core.dir/Schedule.cpp.o.d"
+  "CMakeFiles/cmcc_core.dir/ScheduleIO.cpp.o"
+  "CMakeFiles/cmcc_core.dir/ScheduleIO.cpp.o.d"
+  "CMakeFiles/cmcc_core.dir/ScheduleStats.cpp.o"
+  "CMakeFiles/cmcc_core.dir/ScheduleStats.cpp.o.d"
+  "CMakeFiles/cmcc_core.dir/Verifier.cpp.o"
+  "CMakeFiles/cmcc_core.dir/Verifier.cpp.o.d"
+  "libcmcc_core.a"
+  "libcmcc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmcc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fortran/Ast.cpp" "src/fortran/CMakeFiles/cmcc_fortran.dir/Ast.cpp.o" "gcc" "src/fortran/CMakeFiles/cmcc_fortran.dir/Ast.cpp.o.d"
+  "/root/repo/src/fortran/AstPrinter.cpp" "src/fortran/CMakeFiles/cmcc_fortran.dir/AstPrinter.cpp.o" "gcc" "src/fortran/CMakeFiles/cmcc_fortran.dir/AstPrinter.cpp.o.d"
+  "/root/repo/src/fortran/Lexer.cpp" "src/fortran/CMakeFiles/cmcc_fortran.dir/Lexer.cpp.o" "gcc" "src/fortran/CMakeFiles/cmcc_fortran.dir/Lexer.cpp.o.d"
+  "/root/repo/src/fortran/Parser.cpp" "src/fortran/CMakeFiles/cmcc_fortran.dir/Parser.cpp.o" "gcc" "src/fortran/CMakeFiles/cmcc_fortran.dir/Parser.cpp.o.d"
+  "/root/repo/src/fortran/Token.cpp" "src/fortran/CMakeFiles/cmcc_fortran.dir/Token.cpp.o" "gcc" "src/fortran/CMakeFiles/cmcc_fortran.dir/Token.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/cmcc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

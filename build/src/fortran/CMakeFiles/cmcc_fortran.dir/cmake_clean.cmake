@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmcc_fortran.dir/Ast.cpp.o"
+  "CMakeFiles/cmcc_fortran.dir/Ast.cpp.o.d"
+  "CMakeFiles/cmcc_fortran.dir/AstPrinter.cpp.o"
+  "CMakeFiles/cmcc_fortran.dir/AstPrinter.cpp.o.d"
+  "CMakeFiles/cmcc_fortran.dir/Lexer.cpp.o"
+  "CMakeFiles/cmcc_fortran.dir/Lexer.cpp.o.d"
+  "CMakeFiles/cmcc_fortran.dir/Parser.cpp.o"
+  "CMakeFiles/cmcc_fortran.dir/Parser.cpp.o.d"
+  "CMakeFiles/cmcc_fortran.dir/Token.cpp.o"
+  "CMakeFiles/cmcc_fortran.dir/Token.cpp.o.d"
+  "libcmcc_fortran.a"
+  "libcmcc_fortran.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmcc_fortran.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

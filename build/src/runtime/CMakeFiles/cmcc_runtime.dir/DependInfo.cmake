@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/Array2D.cpp" "src/runtime/CMakeFiles/cmcc_runtime.dir/Array2D.cpp.o" "gcc" "src/runtime/CMakeFiles/cmcc_runtime.dir/Array2D.cpp.o.d"
+  "/root/repo/src/runtime/DistributedArray.cpp" "src/runtime/CMakeFiles/cmcc_runtime.dir/DistributedArray.cpp.o" "gcc" "src/runtime/CMakeFiles/cmcc_runtime.dir/DistributedArray.cpp.o.d"
+  "/root/repo/src/runtime/Executor.cpp" "src/runtime/CMakeFiles/cmcc_runtime.dir/Executor.cpp.o" "gcc" "src/runtime/CMakeFiles/cmcc_runtime.dir/Executor.cpp.o.d"
+  "/root/repo/src/runtime/HaloExchange.cpp" "src/runtime/CMakeFiles/cmcc_runtime.dir/HaloExchange.cpp.o" "gcc" "src/runtime/CMakeFiles/cmcc_runtime.dir/HaloExchange.cpp.o.d"
+  "/root/repo/src/runtime/Reference.cpp" "src/runtime/CMakeFiles/cmcc_runtime.dir/Reference.cpp.o" "gcc" "src/runtime/CMakeFiles/cmcc_runtime.dir/Reference.cpp.o.d"
+  "/root/repo/src/runtime/StripMiner.cpp" "src/runtime/CMakeFiles/cmcc_runtime.dir/StripMiner.cpp.o" "gcc" "src/runtime/CMakeFiles/cmcc_runtime.dir/StripMiner.cpp.o.d"
+  "/root/repo/src/runtime/Volume.cpp" "src/runtime/CMakeFiles/cmcc_runtime.dir/Volume.cpp.o" "gcc" "src/runtime/CMakeFiles/cmcc_runtime.dir/Volume.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cmcc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cm2/CMakeFiles/cmcc_cm2.dir/DependInfo.cmake"
+  "/root/repo/build/src/stencil/CMakeFiles/cmcc_stencil.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cmcc_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/sexpr/CMakeFiles/cmcc_sexpr.dir/DependInfo.cmake"
+  "/root/repo/build/src/fortran/CMakeFiles/cmcc_fortran.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmcc_runtime.dir/Array2D.cpp.o"
+  "CMakeFiles/cmcc_runtime.dir/Array2D.cpp.o.d"
+  "CMakeFiles/cmcc_runtime.dir/DistributedArray.cpp.o"
+  "CMakeFiles/cmcc_runtime.dir/DistributedArray.cpp.o.d"
+  "CMakeFiles/cmcc_runtime.dir/Executor.cpp.o"
+  "CMakeFiles/cmcc_runtime.dir/Executor.cpp.o.d"
+  "CMakeFiles/cmcc_runtime.dir/HaloExchange.cpp.o"
+  "CMakeFiles/cmcc_runtime.dir/HaloExchange.cpp.o.d"
+  "CMakeFiles/cmcc_runtime.dir/Reference.cpp.o"
+  "CMakeFiles/cmcc_runtime.dir/Reference.cpp.o.d"
+  "CMakeFiles/cmcc_runtime.dir/StripMiner.cpp.o"
+  "CMakeFiles/cmcc_runtime.dir/StripMiner.cpp.o.d"
+  "CMakeFiles/cmcc_runtime.dir/Volume.cpp.o"
+  "CMakeFiles/cmcc_runtime.dir/Volume.cpp.o.d"
+  "libcmcc_runtime.a"
+  "libcmcc_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmcc_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

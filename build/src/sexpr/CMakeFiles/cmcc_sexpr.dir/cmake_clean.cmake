@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmcc_sexpr.dir/DefStencil.cpp.o"
+  "CMakeFiles/cmcc_sexpr.dir/DefStencil.cpp.o.d"
+  "CMakeFiles/cmcc_sexpr.dir/SExpr.cpp.o"
+  "CMakeFiles/cmcc_sexpr.dir/SExpr.cpp.o.d"
+  "libcmcc_sexpr.a"
+  "libcmcc_sexpr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmcc_sexpr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

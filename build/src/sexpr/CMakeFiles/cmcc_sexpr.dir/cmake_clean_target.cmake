@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcmcc_sexpr.a"
+)

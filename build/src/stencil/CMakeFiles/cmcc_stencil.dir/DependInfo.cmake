@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stencil/PatternLibrary.cpp" "src/stencil/CMakeFiles/cmcc_stencil.dir/PatternLibrary.cpp.o" "gcc" "src/stencil/CMakeFiles/cmcc_stencil.dir/PatternLibrary.cpp.o.d"
+  "/root/repo/src/stencil/Recognizer.cpp" "src/stencil/CMakeFiles/cmcc_stencil.dir/Recognizer.cpp.o" "gcc" "src/stencil/CMakeFiles/cmcc_stencil.dir/Recognizer.cpp.o.d"
+  "/root/repo/src/stencil/Render.cpp" "src/stencil/CMakeFiles/cmcc_stencil.dir/Render.cpp.o" "gcc" "src/stencil/CMakeFiles/cmcc_stencil.dir/Render.cpp.o.d"
+  "/root/repo/src/stencil/StencilSpec.cpp" "src/stencil/CMakeFiles/cmcc_stencil.dir/StencilSpec.cpp.o" "gcc" "src/stencil/CMakeFiles/cmcc_stencil.dir/StencilSpec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fortran/CMakeFiles/cmcc_fortran.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cmcc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

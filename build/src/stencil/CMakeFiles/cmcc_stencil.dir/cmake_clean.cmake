@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmcc_stencil.dir/PatternLibrary.cpp.o"
+  "CMakeFiles/cmcc_stencil.dir/PatternLibrary.cpp.o.d"
+  "CMakeFiles/cmcc_stencil.dir/Recognizer.cpp.o"
+  "CMakeFiles/cmcc_stencil.dir/Recognizer.cpp.o.d"
+  "CMakeFiles/cmcc_stencil.dir/Render.cpp.o"
+  "CMakeFiles/cmcc_stencil.dir/Render.cpp.o.d"
+  "CMakeFiles/cmcc_stencil.dir/StencilSpec.cpp.o"
+  "CMakeFiles/cmcc_stencil.dir/StencilSpec.cpp.o.d"
+  "libcmcc_stencil.a"
+  "libcmcc_stencil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmcc_stencil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for cmcc_stencil.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmcc_support.dir/Diagnostic.cpp.o"
+  "CMakeFiles/cmcc_support.dir/Diagnostic.cpp.o.d"
+  "CMakeFiles/cmcc_support.dir/Error.cpp.o"
+  "CMakeFiles/cmcc_support.dir/Error.cpp.o.d"
+  "CMakeFiles/cmcc_support.dir/StringUtils.cpp.o"
+  "CMakeFiles/cmcc_support.dir/StringUtils.cpp.o.d"
+  "CMakeFiles/cmcc_support.dir/TextTable.cpp.o"
+  "CMakeFiles/cmcc_support.dir/TextTable.cpp.o.d"
+  "libcmcc_support.a"
+  "libcmcc_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmcc_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cm2_test.dir/cm2_test.cpp.o"
+  "CMakeFiles/cm2_test.dir/cm2_test.cpp.o.d"
+  "cm2_test"
+  "cm2_test.pdb"
+  "cm2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cm2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/directive_test.dir/directive_test.cpp.o"
+  "CMakeFiles/directive_test.dir/directive_test.cpp.o.d"
+  "directive_test"
+  "directive_test.pdb"
+  "directive_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/directive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

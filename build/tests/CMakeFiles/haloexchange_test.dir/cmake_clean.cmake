@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/haloexchange_test.dir/haloexchange_test.cpp.o"
+  "CMakeFiles/haloexchange_test.dir/haloexchange_test.cpp.o.d"
+  "haloexchange_test"
+  "haloexchange_test.pdb"
+  "haloexchange_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/haloexchange_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multistencil_test.dir/multistencil_test.cpp.o"
+  "CMakeFiles/multistencil_test.dir/multistencil_test.cpp.o.d"
+  "multistencil_test"
+  "multistencil_test.pdb"
+  "multistencil_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multistencil_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

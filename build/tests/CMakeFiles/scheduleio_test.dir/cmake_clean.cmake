@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheduleio_test.dir/scheduleio_test.cpp.o"
+  "CMakeFiles/scheduleio_test.dir/scheduleio_test.cpp.o.d"
+  "scheduleio_test"
+  "scheduleio_test.pdb"
+  "scheduleio_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheduleio_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for scheduleio_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/lexer_test[1]_include.cmake")
+include("/root/repo/build/tests/parser_test[1]_include.cmake")
+include("/root/repo/build/tests/recognizer_test[1]_include.cmake")
+include("/root/repo/build/tests/multistencil_test[1]_include.cmake")
+include("/root/repo/build/tests/executor_test[1]_include.cmake")
+include("/root/repo/build/tests/cm2_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/baseline_test[1]_include.cmake")
+include("/root/repo/build/tests/multisource_test[1]_include.cmake")
+include("/root/repo/build/tests/volume_test[1]_include.cmake")
+include("/root/repo/build/tests/directive_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/frontend_robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/haloexchange_test[1]_include.cmake")
+include("/root/repo/build/tests/scheduleio_test[1]_include.cmake")
+include("/root/repo/build/tests/matrix_test[1]_include.cmake")

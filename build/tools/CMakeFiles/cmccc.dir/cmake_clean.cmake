@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmccc.dir/cmccc.cpp.o"
+  "CMakeFiles/cmccc.dir/cmccc.cpp.o.d"
+  "cmccc"
+  "cmccc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmccc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

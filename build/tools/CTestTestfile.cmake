@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cmccc_inline_estimate "/root/repo/build/tools/cmccc" "-e" "R = C1*CSHIFT(X,1,-1) + C2*X" "--estimate" "--dump-stencil")
+set_tests_properties(cmccc_inline_estimate PROPERTIES  PASS_REGULAR_EXPRESSION "measured Mflops" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cmccc_rejects_bad_statement "/root/repo/build/tools/cmccc" "-e" "R = X * X")
+set_tests_properties(cmccc_rejects_bad_statement PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cmccc_multi_source_flag "/root/repo/build/tools/cmccc" "--multi-source" "--machine=2048" "-e" "R = C1*CSHIFT(U,1,-1) + C2*U - 1.0*UPREV" "--estimate")
+set_tests_properties(cmccc_multi_source_flag PROPERTIES  PASS_REGULAR_EXPRESSION "sources:    2" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cmccc_dump_schedule "/root/repo/build/tools/cmccc" "-e" "R = 0.5*CSHIFT(X,2,1) + 0.5*X" "--dump-schedule" "--dump-multistencil")
+set_tests_properties(cmccc_dump_schedule PROPERTIES  PASS_REGULAR_EXPRESSION "madd" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;22;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cmccc_unknown_option "/root/repo/build/tools/cmccc" "--bogus")
+set_tests_properties(cmccc_unknown_option PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;28;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cmccc_emit_and_reload "sh" "-c" "/root/repo/build/tools/cmccc -e 'R = C1*CSHIFT(X,1,-1) + C2*X' --emit=emit_test.cmccode --quiet && /root/repo/build/tools/cmccc emit_test.cmccode --estimate | grep -q 'measured Mflops'")
+set_tests_properties(cmccc_emit_and_reload PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;31;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cmccc_file_fortran "/root/repo/build/tools/cmccc" "/root/repo/examples/stencils/cross.f90" "--dump-stencil" "--estimate")
+set_tests_properties(cmccc_file_fortran PROPERTIES  PASS_REGULAR_EXPRESSION "widths:     8 4 2 1" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;34;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cmccc_file_diamond "/root/repo/build/tools/cmccc" "/root/repo/examples/stencils/diamond.f90" "--stats")
+set_tests_properties(cmccc_file_diamond PROPERTIES  PASS_REGULAR_EXPRESSION "unroll 15" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;40;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cmccc_file_lisp "/root/repo/build/tools/cmccc" "/root/repo/examples/stencils/cross.lisp" "--quiet" "--estimate")
+set_tests_properties(cmccc_file_lisp PROPERTIES  PASS_REGULAR_EXPRESSION "measured Mflops" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;45;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cmccc_file_fused "/root/repo/build/tools/cmccc" "/root/repo/examples/stencils/seismic_fused.f90" "--multi-source")
+set_tests_properties(cmccc_file_fused PROPERTIES  PASS_REGULAR_EXPRESSION "sources:    2" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;51;add_test;/root/repo/tools/CMakeLists.txt;0;")
