@@ -24,10 +24,14 @@
 #include "runtime/Executor.h"
 #include "stencil/PatternLibrary.h"
 #include "support/StringUtils.h"
+#include "support/ThreadPool.h"
 #include "support/TextTable.h"
 #include <benchmark/benchmark.h>
+#include <chrono>
 #include <cstdio>
+#include <memory>
 #include <string>
+#include <vector>
 
 namespace cmccbench {
 
@@ -96,6 +100,97 @@ inline TimingReport simulateRow(const PaperRow &Row,
   CompiledStencil Compiled = compilePattern(Config, Row.Pattern);
   Executor Exec(Config, Opts);
   return Exec.timeOnly(Compiled, Row.SubRows, Row.SubCols, Row.Iterations);
+}
+
+/// Collects per-row records and writes them as machine-readable JSON to
+/// BENCH_<name>.json in the current directory, so the perf trajectory
+/// (simulated Mflops, which must never regress silently, and host
+/// wall-clock, which each PR tries to shrink) is tracked across PRs.
+class BenchJsonWriter {
+public:
+  explicit BenchJsonWriter(std::string BenchName)
+      : BenchName(std::move(BenchName)) {}
+
+  /// \p HostSeconds is the measured wall-clock of functionally
+  /// executing the row on the host (negative = not measured).
+  void addRow(const std::string &Name, double SimMflops, double SimSeconds,
+              double HostSeconds) {
+    Rows.push_back({Name, SimMflops, SimSeconds, HostSeconds});
+  }
+
+  /// Writes BENCH_<name>.json; returns the path (empty on failure).
+  std::string write() const {
+    std::string Path = "BENCH_" + BenchName + ".json";
+    std::FILE *F = std::fopen(Path.c_str(), "w");
+    if (!F)
+      return "";
+    std::fprintf(F, "{\n  \"bench\": \"%s\",\n", BenchName.c_str());
+    std::fprintf(F, "  \"host_threads\": %d,\n",
+                 cmcc::ThreadPool::sharedThreadCount());
+    std::fprintf(F, "  \"rows\": [\n");
+    for (size_t I = 0; I != Rows.size(); ++I) {
+      const Row &R = Rows[I];
+      std::fprintf(F,
+                   "    {\"name\": \"%s\", \"sim_mflops\": %.6g, "
+                   "\"sim_seconds\": %.6g, \"host_seconds\": %.6g}%s\n",
+                   R.Name.c_str(), R.SimMflops, R.SimSeconds, R.HostSeconds,
+                   I + 1 == Rows.size() ? "" : ",");
+    }
+    std::fprintf(F, "  ]\n}\n");
+    std::fclose(F);
+    return Path;
+  }
+
+private:
+  struct Row {
+    std::string Name;
+    double SimMflops, SimSeconds, HostSeconds;
+  };
+  std::string BenchName;
+  std::vector<Row> Rows;
+};
+
+/// Functionally executes \p Row once (real arrays, real schedules
+/// through the pipeline model, all nodes) and returns the host
+/// wall-clock seconds it took — the quantity the parallel execution
+/// engine exists to shrink. Simulated timing is unaffected by this
+/// measurement.
+inline double measureFunctionalHostSeconds(const PaperRow &Row,
+                                           Executor::Options Opts = {}) {
+  MachineConfig Config = Row.Nodes == 16 ? MachineConfig::testMachine16()
+                                         : MachineConfig::fullMachine2048();
+  CompiledStencil Compiled = compilePattern(Config, Row.Pattern);
+  NodeGrid Grid(Config);
+  DistributedArray Result(Grid, Row.SubRows, Row.SubCols);
+  DistributedArray Source(Grid, Row.SubRows, Row.SubCols);
+  Array2D GlobalSource(Result.globalRows(), Result.globalCols());
+  GlobalSource.fillRandom(1);
+  Source.scatter(GlobalSource);
+  StencilArguments Args;
+  Args.Result = &Result;
+  Args.Source = &Source;
+  std::vector<std::unique_ptr<DistributedArray>> Coefficients;
+  int Index = 0;
+  for (const std::string &Name : Compiled.Spec.coefficientArrayNames()) {
+    auto Coeff = std::make_unique<DistributedArray>(Grid, Row.SubRows,
+                                                    Row.SubCols);
+    Array2D Global(Result.globalRows(), Result.globalCols());
+    Global.fillRandom(1000 + Index++);
+    Coeff->scatter(Global);
+    Args.Coefficients[Name] = Coeff.get();
+    Coefficients.push_back(std::move(Coeff));
+  }
+
+  Executor Exec(Config, Opts);
+  auto Begin = std::chrono::steady_clock::now();
+  Expected<TimingReport> Report = Exec.run(Compiled, Args, 1);
+  auto End = std::chrono::steady_clock::now();
+  if (!Report) {
+    std::fprintf(stderr, "functional run failed: %s\n",
+                 Report.error().message().c_str());
+    std::abort();
+  }
+  return std::chrono::duration<double>(End - Begin).count();
 }
 
 /// Registers one google-benchmark entry whose manual time is the

@@ -57,44 +57,5 @@ void FloatingPointUnit::drainPipeline() {
   CycleNow = Last;
 }
 
-void FloatingPointUnit::executeSequence(const LineSchedule &Ops,
-                                        FpuMemoryInterface &Mem) {
-  const int WriteDelay = Config.MulToAddCycles + Config.AddToWriteCycles;
-  for (const DynamicPart &Op : Ops) {
-    long Cycle = CycleNow++;
-    applyWritesUpTo(Cycle);
-    switch (Op.TheKind) {
-    case DynamicPart::Kind::Load: {
-      float Value = Mem.loadData(Op.DataSource, Op.DataDy, Op.DataDx);
-      scheduleWrite(Cycle + Config.LoadLatencyCycles, Op.DestReg, Value);
-      ++LoadCount;
-      break;
-    }
-    case DynamicPart::Kind::Madd: {
-      float Data = readNow(Op.MulReg);
-      float Coefficient = Mem.loadCoefficient(Op.TapIndex, Op.ResultIndex);
-      float Product = Data * Coefficient;
-      float &Sum = ChainSum[Op.ThreadId & 1];
-      Sum = Op.ChainStart ? readNow(Op.AddReg) + Product : Sum + Product;
-      scheduleWrite(Cycle + WriteDelay, Op.DestReg, Sum);
-      ++MaddCount;
-      break;
-    }
-    case DynamicPart::Kind::Store: {
-      Mem.storeResult(Op.ResultIndex, readNow(Op.MulReg));
-      ++StoreCount;
-      break;
-    }
-    case DynamicPart::Kind::Filler: {
-      // 0 * 0 + 0, stored into the zero register: if the zero register
-      // were corrupted this keeps (and exposes) the corruption, exactly
-      // like the hardware.
-      float Z = readNow(Op.MulReg);
-      float Value = Z * Z + readNow(Op.AddReg);
-      scheduleWrite(Cycle + WriteDelay, Op.DestReg, Value);
-      ++FillerCount;
-      break;
-    }
-    }
-  }
-}
+// executeSequence is a template (see the header): the executor's fast
+// path instantiates it with a concrete, non-virtual memory binding.

@@ -61,8 +61,14 @@ public:
   void reset();
 
   /// Executes one dynamic-part sequence against \p Mem. May be called
-  /// repeatedly (prologue, then one call per line).
-  void executeSequence(const LineSchedule &Ops, FpuMemoryInterface &Mem);
+  /// repeatedly (prologue, then one call per line). \p Mem may be any
+  /// type providing loadData/loadCoefficient/storeResult — a virtual
+  /// FpuMemoryInterface, or a concrete binding the compiler can inline
+  /// (the executor's fast path). Both resolve the same operands, so the
+  /// numerical behavior and every counter are identical; the tests
+  /// assert it.
+  template <typename MemoryT>
+  void executeSequence(const LineSchedule &Ops, MemoryT &Mem);
 
   /// Applies all in-flight register writes (end of half-strip).
   void drainPipeline();
@@ -103,6 +109,49 @@ private:
   long StoreCount = 0;
   long FillerCount = 0;
 };
+
+template <typename MemoryT>
+void FloatingPointUnit::executeSequence(const LineSchedule &Ops,
+                                        MemoryT &Mem) {
+  const int WriteDelay = Config.MulToAddCycles + Config.AddToWriteCycles;
+  for (const DynamicPart &Op : Ops) {
+    long Cycle = CycleNow++;
+    applyWritesUpTo(Cycle);
+    switch (Op.TheKind) {
+    case DynamicPart::Kind::Load: {
+      float Value = Mem.loadData(Op.DataSource, Op.DataDy, Op.DataDx);
+      scheduleWrite(Cycle + Config.LoadLatencyCycles, Op.DestReg, Value);
+      ++LoadCount;
+      break;
+    }
+    case DynamicPart::Kind::Madd: {
+      float Data = readNow(Op.MulReg);
+      float Coefficient = Mem.loadCoefficient(Op.TapIndex, Op.ResultIndex);
+      float Product = Data * Coefficient;
+      float &Sum = ChainSum[Op.ThreadId & 1];
+      Sum = Op.ChainStart ? readNow(Op.AddReg) + Product : Sum + Product;
+      scheduleWrite(Cycle + WriteDelay, Op.DestReg, Sum);
+      ++MaddCount;
+      break;
+    }
+    case DynamicPart::Kind::Store: {
+      Mem.storeResult(Op.ResultIndex, readNow(Op.MulReg));
+      ++StoreCount;
+      break;
+    }
+    case DynamicPart::Kind::Filler: {
+      // 0 * 0 + 0, stored into the zero register: if the zero register
+      // were corrupted this keeps (and exposes) the corruption, exactly
+      // like the hardware.
+      float Z = readNow(Op.MulReg);
+      float Value = Z * Z + readNow(Op.AddReg);
+      scheduleWrite(Cycle + WriteDelay, Op.DestReg, Value);
+      ++FillerCount;
+      break;
+    }
+    }
+  }
+}
 
 } // namespace cmcc
 

@@ -42,6 +42,11 @@ public:
     return Data[static_cast<size_t>(R) * Cols + C];
   }
 
+  /// Raw row-major storage (rows() * cols() floats); the executor's
+  /// fast-path bindings index it with precomputed strides.
+  float *data() { return Data.data(); }
+  const float *data() const { return Data.data(); }
+
   /// Element with circular (toroidal) index wrapping — Fortran CSHIFT
   /// semantics.
   float atWrapped(int R, int C) const;

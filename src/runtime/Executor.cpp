@@ -7,54 +7,59 @@
 #include "runtime/Executor.h"
 #include "cm2/FloatingPointUnit.h"
 #include "cm2/Sequencer.h"
+#include "runtime/FpuBinding.h"
 #include "runtime/HaloExchange.h"
+#include "support/ThreadPool.h"
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 using namespace cmcc;
 
 namespace {
 
-/// Resolves memory operands for one half-strip on one node: the
-/// sequencer's run-time address generation.
-class NodeMemoryBinding : public FpuMemoryInterface {
-public:
-  NodeMemoryBinding(std::vector<const Array2D *> PaddedSources, int Border,
-                    const StencilSpec &Spec,
-                    std::vector<const Array2D *> TapCoefficients,
-                    Array2D &Result, int LeftCol)
-      : PaddedSources(std::move(PaddedSources)), Border(Border), Spec(Spec),
-        TapCoefficients(std::move(TapCoefficients)), Result(Result),
-        LeftCol(LeftCol) {}
+/// Drives the FPU through one node's planned half-strips with \p
+/// BindingT resolving memory operands (FastNodeBinding by default,
+/// VirtualNodeBinding when Options::UseFastPath is off). Returns the
+/// executed-op count for the cross-check against the analytic total.
+template <typename BindingT>
+long runStripsWithBinding(FloatingPointUnit &Fpu,
+                          const std::vector<const Array2D *> &PaddedSources,
+                          int Border, const StencilSpec &Spec,
+                          const std::vector<const Array2D *> &TapCoefficients,
+                          Array2D &Result,
+                          const std::vector<Executor::PlannedStrip> &Plan) {
+  long Ops = 0;
+  for (const Executor::PlannedStrip &PS : Plan) {
+    const HalfStrip &HS = PS.HS;
+    const WidthSchedule *W = PS.Sched;
+    Fpu.reset();
+    if (W->Regs.hasUnitRegister())
+      Fpu.pokeRegister(W->Regs.unitRegister(), 1.0f);
 
-  void setLine(int Row) { AbsRow = Row; }
-
-  float loadData(int Source, int Dy, int Dx) override {
-    return PaddedSources[Source]->at(AbsRow + Dy + Border,
-                                     LeftCol + Dx + Border);
+    HalfStripOperands Operands;
+    Operands.PaddedSources = &PaddedSources;
+    Operands.Border = Border;
+    Operands.Spec = &Spec;
+    Operands.TapCoefficients = &TapCoefficients;
+    Operands.Result = &Result;
+    Operands.LeftCol = HS.LeftCol;
+    BindingT Mem(Operands);
+    // Lines are processed bottom to top; the prologue's offsets are
+    // relative to the first (bottom) line.
+    Mem.setLine(HS.RowEnd - 1);
+    Fpu.executeSequence(W->Prologue, Mem);
+    const int U = static_cast<int>(W->Phases.size());
+    for (int T = 0; T != HS.lines(); ++T) {
+      Mem.setLine(HS.RowEnd - 1 - T);
+      Fpu.executeSequence(W->Phases[T % U], Mem);
+    }
+    Fpu.drainPipeline();
+    Ops += Fpu.loadsExecuted() + Fpu.maddsExecuted() +
+           Fpu.storesExecuted() + Fpu.fillersExecuted();
   }
-
-  float loadCoefficient(int TapIndex, int ResultIndex) override {
-    const Tap &T = Spec.Taps[TapIndex];
-    float C = T.Coeff.isArray()
-                  ? TapCoefficients[TapIndex]->at(AbsRow, LeftCol + ResultIndex)
-                  : static_cast<float>(T.Coeff.Value);
-    return static_cast<float>(T.Sign) * C;
-  }
-
-  void storeResult(int ResultIndex, float Value) override {
-    Result.at(AbsRow, LeftCol + ResultIndex) = Value;
-  }
-
-private:
-  std::vector<const Array2D *> PaddedSources;
-  int Border;
-  const StencilSpec &Spec;
-  std::vector<const Array2D *> TapCoefficients;
-  Array2D &Result;
-  int LeftCol;
-  int AbsRow = 0;
-};
+  return Ops;
+}
 
 } // namespace
 
@@ -70,6 +75,18 @@ std::vector<HalfStrip> Executor::planFor(const CompiledStencil &Compiled,
     return {};
   return planHalfStrips(planStrips(SubCols, Widths), SubRows,
                         Opts.UseHalfStrips);
+}
+
+std::vector<Executor::PlannedStrip>
+Executor::resolvedPlanFor(const CompiledStencil &Compiled, int SubRows,
+                          int SubCols) const {
+  std::vector<PlannedStrip> Plan;
+  for (const HalfStrip &HS : planFor(Compiled, SubRows, SubCols)) {
+    const WidthSchedule *W = Compiled.withWidth(HS.Width);
+    assert(W && "strip plan chose an unavailable width");
+    Plan.push_back({HS, W});
+  }
+  return Plan;
 }
 
 Error Executor::validateArguments(const CompiledStencil &Compiled,
@@ -114,17 +131,14 @@ Error Executor::validateArguments(const CompiledStencil &Compiled,
   if (R.grid().rows() != Config.NodeRows || R.grid().cols() != Config.NodeCols)
     return makeError("arrays are distributed over a different node grid "
                      "than this executor's machine");
-  if (planFor(Compiled, R.subRows(), R.subCols()).empty())
-    return makeError("the available multistencil widths cannot cover a "
-                     "subgrid of " + std::to_string(R.subCols()) +
-                     " columns (no width-1 schedule)");
   return Error::success();
 }
 
 void Executor::runNode(const CompiledStencil &Compiled,
                        StencilArguments &Args,
                        const std::vector<std::vector<Array2D>> &PaddedBySource,
-                       NodeCoord Node, long *OpsExecuted) const {
+                       const std::vector<PlannedStrip> &Plan, NodeCoord Node,
+                       long *OpsExecuted) const {
   const StencilSpec &Spec = Compiled.Spec;
   const int Border = Spec.borderWidths().maximum();
 
@@ -143,33 +157,17 @@ void Executor::runNode(const CompiledStencil &Compiled,
           &Args.Coefficients.at(Spec.Taps[I].Coeff.Name)->subgrid(Node);
 
   Array2D &Result = Args.Result->subgrid(Node);
-  const int SubRows = Args.Result->subRows();
-  const int SubCols = Args.Result->subCols();
 
   FloatingPointUnit Fpu(Config);
-  long Ops = 0;
-  for (const HalfStrip &HS : planFor(Compiled, SubRows, SubCols)) {
-    const WidthSchedule *W = Compiled.withWidth(HS.Width);
-    assert(W && "strip plan chose an unavailable width");
-    Fpu.reset();
-    if (W->Regs.hasUnitRegister())
-      Fpu.pokeRegister(W->Regs.unitRegister(), 1.0f);
-
-    NodeMemoryBinding Mem(PaddedSources, Border, Spec, TapCoefficients,
-                          Result, HS.LeftCol);
-    // Lines are processed bottom to top; the prologue's offsets are
-    // relative to the first (bottom) line.
-    Mem.setLine(HS.RowEnd - 1);
-    Fpu.executeSequence(W->Prologue, Mem);
-    const int U = static_cast<int>(W->Phases.size());
-    for (int T = 0; T != HS.lines(); ++T) {
-      Mem.setLine(HS.RowEnd - 1 - T);
-      Fpu.executeSequence(W->Phases[T % U], Mem);
-    }
-    Fpu.drainPipeline();
-    Ops += Fpu.loadsExecuted() + Fpu.maddsExecuted() +
-           Fpu.storesExecuted() + Fpu.fillersExecuted();
-  }
+  long Ops =
+      Opts.UseFastPath
+          ? runStripsWithBinding<FastNodeBinding>(Fpu, PaddedSources, Border,
+                                                  Spec, TapCoefficients,
+                                                  Result, Plan)
+          : runStripsWithBinding<VirtualNodeBinding>(Fpu, PaddedSources,
+                                                     Border, Spec,
+                                                     TapCoefficients, Result,
+                                                     Plan);
   if (OpsExecuted)
     *OpsExecuted = Ops;
 }
@@ -236,8 +234,30 @@ Expected<TimingReport> Executor::run(const CompiledStencil &Compiled,
   const int SubRows = Args.Result->subRows();
   const int SubCols = Args.Result->subCols();
 
+  // Plan the half-strips once per run: every node executes the same
+  // plan (the machine is synchronous SIMD), and the cross-check below
+  // reuses it too.
+  const std::vector<PlannedStrip> Plan =
+      resolvedPlanFor(Compiled, SubRows, SubCols);
+  if (Plan.empty())
+    return makeError("the available multistencil widths cannot cover a "
+                     "subgrid of " + std::to_string(SubCols) +
+                     " columns (no width-1 schedule)");
+
   long Node0Ops = -1;
   if (Opts.Mode != FunctionalMode::None) {
+    // The host execution engine: Options::ThreadCount == 0 shares the
+    // process-wide pool; otherwise a private pool of exactly that many
+    // threads (ThreadCount == 1 degenerates to inline serial loops).
+    std::unique_ptr<ThreadPool> PrivatePool;
+    ThreadPool *Pool;
+    if (Opts.ThreadCount == 0) {
+      Pool = &ThreadPool::shared();
+    } else {
+      PrivatePool = std::make_unique<ThreadPool>(Opts.ThreadCount);
+      Pool = PrivatePool.get();
+    }
+
     // Step one of the run-time library: the halo exchange (the paper's
     // three-step protocol), once per source array, all nodes at once.
     const StencilSpec &Spec = Compiled.Spec;
@@ -252,23 +272,23 @@ Expected<TimingReport> Executor::run(const CompiledStencil &Compiled,
       PaddedBySource.push_back(exchangeHalos(*Src, Border,
                                              Spec.BoundaryDim1,
                                              Spec.BoundaryDim2,
-                                             FetchCorners));
+                                             FetchCorners, Pool));
     }
 
     switch (Opts.Mode) {
     case FunctionalMode::AllNodes: {
+      // Nodes are independent after the halo exchange — each writes
+      // only its own result subgrid — so the functional loop fans out
+      // over the pool; any thread count computes identical bits.
       const NodeGrid &Grid = Args.Result->grid();
-      for (int NR = 0; NR != Grid.rows(); ++NR)
-        for (int NC = 0; NC != Grid.cols(); ++NC) {
-          long Ops = 0;
-          runNode(Compiled, Args, PaddedBySource, {NR, NC}, &Ops);
-          if (NR == 0 && NC == 0)
-            Node0Ops = Ops;
-        }
+      Pool->parallelFor(Grid.nodeCount(), [&](int Id) {
+        runNode(Compiled, Args, PaddedBySource, Plan, Grid.coordOf(Id),
+                Id == 0 ? &Node0Ops : nullptr);
+      });
       break;
     }
     case FunctionalMode::SingleNode:
-      runNode(Compiled, Args, PaddedBySource, {0, 0}, &Node0Ops);
+      runNode(Compiled, Args, PaddedBySource, Plan, {0, 0}, &Node0Ops);
       break;
     case FunctionalMode::None:
       break;
@@ -281,11 +301,9 @@ Expected<TimingReport> Executor::run(const CompiledStencil &Compiled,
   // the analytic count the cycle cost is derived from.
   if (Node0Ops >= 0) {
     long Analytic = 0;
-    for (const HalfStrip &HS : planFor(Compiled, SubRows, SubCols)) {
-      const WidthSchedule *W = Compiled.withWidth(HS.Width);
-      Analytic += static_cast<long>(W->Prologue.size()) +
-                  static_cast<long>(HS.lines()) * W->opsPerLine();
-    }
+    for (const PlannedStrip &PS : Plan)
+      Analytic += static_cast<long>(PS.Sched->Prologue.size()) +
+                  static_cast<long>(PS.HS.lines()) * PS.Sched->opsPerLine();
     assert(Node0Ops == Analytic &&
            "analytic op count disagrees with executed ops");
     (void)Analytic;

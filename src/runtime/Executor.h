@@ -64,6 +64,17 @@ public:
     /// Force a single multistencil width (0 = greedy widest).
     int ForceWidth = 0;
     FunctionalMode Mode = FunctionalMode::AllNodes;
+    /// Resolve half-strip operands to flat pointer bindings once per
+    /// half-strip (devirtualized inner loop). False runs the virtual
+    /// FpuMemoryInterface reference binding; results are bitwise
+    /// identical either way (tested).
+    bool UseFastPath = true;
+    /// Host threads for the functional fan-out: 0 uses the process-wide
+    /// shared pool (CMCC_THREADS env var, else hardware concurrency);
+    /// N >= 1 uses a private pool of exactly N threads. Thread count
+    /// never changes results or simulated timing — nodes are
+    /// independent after the halo exchange.
+    int ThreadCount = 0;
   };
 
   explicit Executor(const MachineConfig &Config) : Config(Config) {}
@@ -97,6 +108,14 @@ public:
   const MachineConfig &machine() const { return Config; }
   const Options &options() const { return Opts; }
 
+  /// A half-strip with its width's schedule pre-resolved: the plan is
+  /// computed once per run() and shared by every node (the schedule is
+  /// read-only during execution).
+  struct PlannedStrip {
+    HalfStrip HS;
+    const WidthSchedule *Sched = nullptr;
+  };
+
 private:
   Error validateArguments(const CompiledStencil &Compiled,
                           const StencilArguments &Args) const;
@@ -104,9 +123,12 @@ private:
   /// (PaddedBySource[sourceIndex][nodeId]).
   void runNode(const CompiledStencil &Compiled, StencilArguments &Args,
                const std::vector<std::vector<Array2D>> &PaddedBySource,
-               NodeCoord Node, long *OpsExecuted) const;
+               const std::vector<PlannedStrip> &Plan, NodeCoord Node,
+               long *OpsExecuted) const;
   std::vector<HalfStrip> planFor(const CompiledStencil &Compiled,
                                  int SubRows, int SubCols) const;
+  std::vector<PlannedStrip> resolvedPlanFor(const CompiledStencil &Compiled,
+                                            int SubRows, int SubCols) const;
 
   MachineConfig Config;
   Options Opts;

@@ -1,0 +1,133 @@
+//===- runtime/FpuBinding.h - Half-strip operand bindings -----*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The run-time address generation for one half-strip on one node — the
+/// sequencer's job in the real machine — in two interchangeable forms:
+///
+///   * VirtualNodeBinding implements the FpuMemoryInterface abstract
+///     interface and resolves every operand through Array2D::at. It is
+///     the readable reference form, kept for tests.
+///
+///   * FastNodeBinding is a concrete (non-virtual) binding that resolves
+///     each WidthSchedule operand class once per half-strip into flat
+///     arrays: padded-source row pointers with a common row stride,
+///     per-tap coefficient-stream pointers or sign-folded scalar
+///     immediates, and a result row pointer. FloatingPointUnit's
+///     templated executeSequence then runs against it with every call
+///     inlined — no virtual dispatch, no per-access bounds re-checks.
+///
+/// Both forms perform the *same* float operations in the same order, so
+/// their results are bitwise identical and their op counters agree — a
+/// property the tests assert. The executor uses the fast form by
+/// default (Options::UseFastPath).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMCC_RUNTIME_FPUBINDING_H
+#define CMCC_RUNTIME_FPUBINDING_H
+
+#include "cm2/FloatingPointUnit.h"
+#include "runtime/Array2D.h"
+#include "stencil/StencilSpec.h"
+#include <vector>
+
+namespace cmcc {
+
+/// The inputs shared by both binding forms: everything that identifies
+/// one half-strip's operands on one node.
+struct HalfStripOperands {
+  /// One halo-padded source subgrid per source array (all padded by the
+  /// same border, so all share one shape).
+  const std::vector<const Array2D *> *PaddedSources = nullptr;
+  int Border = 0;
+  const StencilSpec *Spec = nullptr;
+  /// Parallel to Spec->Taps; null for scalar coefficients.
+  const std::vector<const Array2D *> *TapCoefficients = nullptr;
+  Array2D *Result = nullptr;
+  int LeftCol = 0;
+};
+
+/// Reference binding: resolves operands through the virtual
+/// FpuMemoryInterface, one Array2D::at per access.
+class VirtualNodeBinding : public FpuMemoryInterface {
+public:
+  explicit VirtualNodeBinding(const HalfStripOperands &O) : O(O) {}
+
+  void setLine(int Row) { AbsRow = Row; }
+
+  float loadData(int Source, int Dy, int Dx) override {
+    return (*O.PaddedSources)[Source]->at(AbsRow + Dy + O.Border,
+                                          O.LeftCol + Dx + O.Border);
+  }
+
+  float loadCoefficient(int TapIndex, int ResultIndex) override {
+    const Tap &T = O.Spec->Taps[TapIndex];
+    float C = T.Coeff.isArray()
+                  ? (*O.TapCoefficients)[TapIndex]->at(AbsRow,
+                                                       O.LeftCol + ResultIndex)
+                  : static_cast<float>(T.Coeff.Value);
+    return static_cast<float>(T.Sign) * C;
+  }
+
+  void storeResult(int ResultIndex, float Value) override {
+    O.Result->at(AbsRow, O.LeftCol + ResultIndex) = Value;
+  }
+
+private:
+  HalfStripOperands O;
+  int AbsRow = 0;
+};
+
+/// Fast binding: operand references pre-resolved to raw pointers and
+/// strides once per half-strip; setLine only advances row pointers.
+class FastNodeBinding {
+public:
+  explicit FastNodeBinding(const HalfStripOperands &O);
+
+  void setLine(int Row);
+
+  float loadData(int Source, int Dy, int Dx) {
+    return SourceRows[Source][Dy * SourceStride + Dx];
+  }
+
+  float loadCoefficient(int TapIndex, int ResultIndex) {
+    const TapStream &T = Taps[TapIndex];
+    return T.Row ? T.Sign * T.Row[ResultIndex] : T.Immediate;
+  }
+
+  void storeResult(int ResultIndex, float Value) {
+    ResultRow[ResultIndex] = Value;
+  }
+
+private:
+  struct TapStream {
+    /// Base of the coefficient subgrid at column LeftCol (row 0); null
+    /// for scalar coefficients.
+    const float *Base = nullptr;
+    /// Base + AbsRow * Stride, updated by setLine.
+    const float *Row = nullptr;
+    int Stride = 0;
+    float Sign = 1.0f;
+    /// Sign-folded scalar value (scalar coefficients only).
+    float Immediate = 0.0f;
+  };
+
+  /// Per source: padded base translated so that index 0 is the element
+  /// at (Border, LeftCol + Border) of the padded array — i.e. (0,
+  /// LeftCol) of the subgrid.
+  std::vector<const float *> SourceOrigins;
+  std::vector<const float *> SourceRows;
+  int SourceStride = 0;
+  std::vector<TapStream> Taps;
+  float *ResultBase = nullptr;
+  float *ResultRow = nullptr;
+  int ResultStride = 0;
+};
+
+} // namespace cmcc
+
+#endif // CMCC_RUNTIME_FPUBINDING_H

@@ -5,6 +5,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "runtime/HaloExchange.h"
+#include "support/ThreadPool.h"
+#include <functional>
 #include <limits>
 
 using namespace cmcc;
@@ -13,7 +15,8 @@ std::vector<Array2D> cmcc::exchangeHalos(const DistributedArray &A,
                                          int Border,
                                          BoundaryKind BoundaryDim1,
                                          BoundaryKind BoundaryDim2,
-                                         bool FetchCorners) {
+                                         bool FetchCorners,
+                                         ThreadPool *Pool) {
   const NodeGrid &Grid = A.grid();
   const int SR = A.subRows();
   const int SC = A.subCols();
@@ -22,24 +25,36 @@ std::vector<Array2D> cmcc::exchangeHalos(const DistributedArray &A,
          "border width exceeds the subgrid");
   const float Nan = std::numeric_limits<float>::quiet_NaN();
 
+  // Every node performs each step simultaneously on the machine; on the
+  // host each step fans out over the pool, and the join between steps
+  // is the barrier the protocol needs (step 3 reads side pads written
+  // in step 2). Within a step, node Id writes only Padded[Id] regions
+  // that no other node reads during that same step.
+  auto ForEachNode = [&](const std::function<void(int)> &Fn) {
+    if (Pool)
+      Pool->parallelFor(Grid.nodeCount(), Fn);
+    else
+      for (int Id = 0; Id != Grid.nodeCount(); ++Id)
+        Fn(Id);
+  };
+
   // Step 1: temporary storage, own subgrid in the center. Unwritten pad
   // cells stay poisoned so mistakes are loud.
-  std::vector<Array2D> Padded;
-  Padded.reserve(Grid.nodeCount());
-  for (int Id = 0; Id != Grid.nodeCount(); ++Id) {
+  std::vector<Array2D> Padded(Grid.nodeCount());
+  ForEachNode([&](int Id) {
     Array2D P(SR + 2 * B, SC + 2 * B, B > 0 ? Nan : 0.0f);
     const Array2D &Own = A.subgrid(Grid.coordOf(Id));
     for (int R = 0; R != SR; ++R)
       for (int C = 0; C != SC; ++C)
         P.at(R + B, C + B) = Own.at(R, C);
-    Padded.push_back(std::move(P));
-  }
+    Padded[Id] = std::move(P);
+  });
   if (B == 0)
     return Padded;
 
   // Step 2: every node exchanges its edge columns with its West and
   // East neighbors simultaneously.
-  for (int Id = 0; Id != Grid.nodeCount(); ++Id) {
+  ForEachNode([&](int Id) {
     NodeCoord Here = Grid.coordOf(Id);
     Array2D &P = Padded[Id];
 
@@ -63,16 +78,19 @@ std::vector<Array2D> cmcc::exchangeHalos(const DistributedArray &A,
             (CrossE && BoundaryDim2 == BoundaryKind::Zero)
                 ? 0.0f
                 : EastSub.at(R, C);
-  }
+  });
 
   // Step 3: exchange edge rows with the North and South neighbors. The
   // shipped rows include the side pads received in step 2, so corner
   // data arrives from the diagonal neighbor in two hops. For cornerless
   // stencils only the core columns move and the corner pads stay
-  // poisoned (§5.1's skipped third step).
+  // poisoned (§5.1's skipped third step). A node writes its own top and
+  // bottom pad rows and reads its neighbors' *core* edge rows (B <= SR
+  // keeps the two disjoint), so the nodes of this step are independent
+  // too.
   const int ColBegin = FetchCorners ? 0 : B;
   const int ColEnd = FetchCorners ? SC + 2 * B : SC + B;
-  for (int Id = 0; Id != Grid.nodeCount(); ++Id) {
+  ForEachNode([&](int Id) {
     NodeCoord Here = Grid.coordOf(Id);
     Array2D &P = Padded[Id];
 
@@ -96,6 +114,6 @@ std::vector<Array2D> cmcc::exchangeHalos(const DistributedArray &A,
             (CrossS && BoundaryDim1 == BoundaryKind::Zero)
                 ? 0.0f
                 : SouthP.at(B + R, C);
-  }
+  });
   return Padded;
 }

@@ -36,12 +36,22 @@
 
 namespace cmcc {
 
+class ThreadPool;
+
 /// Performs the three-step exchange for every node of \p A at once.
 /// Returns one padded subgrid per node, indexed by NodeGrid::nodeId.
+///
+/// With \p Pool, each step fans its per-node work out over the pool —
+/// the steps mirror the machine's simultaneous exchanges, so within a
+/// step every node touches only data no other node writes; the
+/// barrier between steps is the parallelFor join. Results are bitwise
+/// identical for any thread count (and to the serial Pool == nullptr
+/// form).
 std::vector<Array2D> exchangeHalos(const DistributedArray &A, int Border,
                                    BoundaryKind BoundaryDim1,
                                    BoundaryKind BoundaryDim2,
-                                   bool FetchCorners);
+                                   bool FetchCorners,
+                                   ThreadPool *Pool = nullptr);
 
 } // namespace cmcc
 

@@ -1,0 +1,108 @@
+//===- support/ThreadPool.cpp ---------------------------------*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+#include <cstdlib>
+#include <string>
+
+using namespace cmcc;
+
+namespace {
+/// True on threads currently executing a loop body; parallelFor from
+/// such a thread must run inline rather than wait on the pool.
+thread_local bool InsideLoopBody = false;
+} // namespace
+
+ThreadPool::ThreadPool(int Threads) {
+  int Spawn = Threads < 1 ? 0 : Threads - 1;
+  Workers.reserve(Spawn);
+  for (int I = 0; I != Spawn; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ShuttingDown = true;
+  }
+  WorkReady.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::runIndices() {
+  for (;;) {
+    int I = NextIndex.fetch_add(1, std::memory_order_relaxed);
+    if (I >= EndIndex)
+      return;
+    (*Body)(I);
+  }
+}
+
+void ThreadPool::workerLoop() {
+  long SeenGeneration = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      WorkReady.wait(Lock, [&] {
+        return ShuttingDown || Generation != SeenGeneration;
+      });
+      if (ShuttingDown)
+        return;
+      SeenGeneration = Generation;
+    }
+    InsideLoopBody = true;
+    runIndices();
+    InsideLoopBody = false;
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      if (--Active == 0)
+        WorkDone.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallelFor(int N, const std::function<void(int)> &Fn) {
+  if (N <= 0)
+    return;
+  // Serial pool, tiny loop, or a nested call from a loop body: inline.
+  if (Workers.empty() || N == 1 || InsideLoopBody) {
+    for (int I = 0; I != N; ++I)
+      Fn(I);
+    return;
+  }
+  std::lock_guard<std::mutex> OneCaller(CallerMutex);
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Body = &Fn;
+    EndIndex = N;
+    NextIndex.store(0, std::memory_order_relaxed);
+    Active = static_cast<int>(Workers.size());
+    ++Generation;
+  }
+  WorkReady.notify_all();
+  InsideLoopBody = true;
+  runIndices();
+  InsideLoopBody = false;
+  std::unique_lock<std::mutex> Lock(Mutex);
+  WorkDone.wait(Lock, [&] { return Active == 0; });
+  Body = nullptr;
+}
+
+int ThreadPool::sharedThreadCount() {
+  if (const char *Env = std::getenv("CMCC_THREADS")) {
+    int Requested = std::atoi(Env);
+    if (Requested >= 1)
+      return Requested;
+  }
+  unsigned Hw = std::thread::hardware_concurrency();
+  return Hw == 0 ? 1 : static_cast<int>(Hw);
+}
+
+ThreadPool &ThreadPool::shared() {
+  static ThreadPool Pool(sharedThreadCount());
+  return Pool;
+}

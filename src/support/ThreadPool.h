@@ -1,0 +1,93 @@
+//===- support/ThreadPool.h - Host-side parallel-for pool -----*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small fixed-size thread pool with a blocking parallelFor — the host
+/// execution engine behind the simulator's per-node fan-out. The machine
+/// being modeled is synchronous SIMD: after the halo exchange every
+/// node's half-strips are independent, so the functional loop over nodes
+/// is embarrassingly parallel on the host. The pool deliberately has no
+/// work stealing and no futures: one parallelFor at a time, indices
+/// handed out by an atomic counter, the caller participating as a
+/// worker. That is all the executor needs, and it keeps the engine easy
+/// to reason about (and to run under -fsanitize=thread).
+///
+/// Parallelism must never change results: every index writes disjoint
+/// data, and each index's work is internally sequential, so the output
+/// is bitwise identical for any thread count (a property the tests
+/// enforce).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMCC_SUPPORT_THREADPOOL_H
+#define CMCC_SUPPORT_THREADPOOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cmcc {
+
+/// A fixed pool of worker threads executing [0, N) index ranges.
+class ThreadPool {
+public:
+  /// Creates a pool that runs loop bodies on \p Threads threads in
+  /// total (the caller counts as one; Threads - 1 workers are spawned).
+  /// Threads < 1 is clamped to 1, which makes parallelFor run inline.
+  explicit ThreadPool(int Threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Total threads that execute loop bodies (callers of parallelFor
+  /// included).
+  int threadCount() const { return static_cast<int>(Workers.size()) + 1; }
+
+  /// Runs Fn(0) ... Fn(N-1), in unspecified order, and returns when all
+  /// calls have finished. The calling thread executes its share.
+  /// Concurrent calls from different threads are serialized; a call from
+  /// inside a loop body runs inline (no nested fan-out, no deadlock).
+  void parallelFor(int N, const std::function<void(int)> &Fn);
+
+  /// The process-wide pool the executor uses: lazily constructed on
+  /// first use, sized by the CMCC_THREADS environment variable when set
+  /// (clamped to >= 1), else std::thread::hardware_concurrency().
+  static ThreadPool &shared();
+
+  /// The thread count shared() will use (or did use), resolved from the
+  /// environment without constructing the pool.
+  static int sharedThreadCount();
+
+private:
+  void workerLoop();
+  /// Pulls indices until the current loop is exhausted.
+  void runIndices();
+
+  std::vector<std::thread> Workers;
+
+  std::mutex Mutex;
+  std::condition_variable WorkReady;
+  std::condition_variable WorkDone;
+  /// Serializes concurrent parallelFor callers.
+  std::mutex CallerMutex;
+
+  const std::function<void(int)> *Body = nullptr;
+  std::atomic<int> NextIndex{0};
+  int EndIndex = 0;
+  /// Incremented per parallelFor; wakes workers exactly once per loop.
+  long Generation = 0;
+  /// Workers still inside the current loop.
+  int Active = 0;
+  bool ShuttingDown = false;
+};
+
+} // namespace cmcc
+
+#endif // CMCC_SUPPORT_THREADPOOL_H
