@@ -35,6 +35,7 @@ TimingReport convolutionReport(const MachineConfig &Config, PatternId Id,
 
 void printTable(const MachineConfig &Config, int Sub) {
   TextTable T;
+  BenchJsonWriter Json("baselines");
   T.setHeader({"system", "stencil", "Gflops", "paper says", "vs stock"});
   double Stock = 0.0;
   for (PatternId Id : {PatternId::Square9, PatternId::Cross9R2}) {
@@ -45,23 +46,32 @@ void printTable(const MachineConfig &Config, int Sub) {
     T.addRow({"stock slicewise CM Fortran", patternName(Id),
               formatFixed(Vector.measuredGflops(), 2), "~4",
               formatFixed(Vector.measuredGflops() / Stock, 2)});
+    Json.addRow(std::string("B1/stock-slicewise/") + patternName(Id),
+                Vector.measuredMflops(), Vector.elapsedSeconds(), -1.0);
   }
   Expected<TimingReport> Fixed =
       fixedLibraryReport(Config, Sub, Sub, Iterations);
-  if (Fixed)
+  if (Fixed) {
     T.addRow({"1989 hand-coded library", "cross9r2 (only)",
               formatFixed(Fixed->measuredGflops(), 2), "5.6",
               formatFixed(Fixed->measuredGflops() / Stock, 2)});
+    Json.addRow("B1/fixed-library-1989/cross9r2", Fixed->measuredMflops(),
+                Fixed->elapsedSeconds(), -1.0);
+  }
   for (PatternId Id : {PatternId::Square9, PatternId::Cross9R2,
                        PatternId::Diamond13}) {
     TimingReport Conv = convolutionReport(Config, Id, Sub);
     T.addRow({"convolution compiler (this paper)", patternName(Id),
               formatFixed(Conv.measuredGflops(), 2), ">10",
               formatFixed(Conv.measuredGflops() / Stock, 2)});
+    Json.addRow(std::string("B1/convolution-compiler/") + patternName(Id),
+                Conv.measuredMflops(), Conv.elapsedSeconds(), -1.0);
   }
+  std::string Path = Json.write();
   std::printf("\n=== B1: baselines on a full 2048-node CM-2, %dx%d "
-              "per-node subgrids ===\n\n%s\n",
-              Sub, Sub, T.str().c_str());
+              "per-node subgrids ===\n\n%s\n%s%s\n",
+              Sub, Sub, T.str().c_str(), Path.empty() ? "" : "wrote ",
+              Path.c_str());
 }
 
 } // namespace

@@ -84,6 +84,7 @@ int main(int argc, char **argv) {
   benchmark::Shutdown();
 
   TextTable T;
+  BenchJsonWriter Json("seismic");
   T.setHeader({"variant", "iters", "elapsed(s)", "paper(s)", "Gflops",
                "paper", "ratio vs rolled"});
   double RolledG = 0.0;
@@ -97,13 +98,17 @@ int main(int argc, char **argv) {
               formatFixed(V.PaperSeconds, 2), formatFixed(G, 2),
               formatFixed(V.PaperGflops, 2),
               formatFixed(RolledG > 0 ? G / RolledG : 1.0, 3)});
+    Json.addRow(std::string("T1b/seismic/") + V.Name + "/nodes:2048",
+                Report.measuredMflops(), Report.elapsedSeconds(), -1.0);
   }
+  std::string Path = Json.write();
   std::printf("\n=== T1b: seismic finite-difference main loop, 64x128 "
               "subgrids on 2048 nodes ===\n"
               "(9-pt cross + separately-added tenth term; 19 useful "
               "flops/point — see EXPERIMENTS.md\n"
               "for the paper's flop-accounting discrepancy on these rows)\n"
-              "\n%s\nPaper's unrolled/rolled speedup: %.3f\n",
-              T.str().c_str(), 14.88 / 11.62);
+              "\n%s\nPaper's unrolled/rolled speedup: %.3f\n%s%s\n",
+              T.str().c_str(), 14.88 / 11.62, Path.empty() ? "" : "wrote ",
+              Path.c_str());
   return 0;
 }

@@ -8,7 +8,9 @@
 #include "core/RingBufferPlan.h"
 #include "core/Verifier.h"
 #include "support/Assert.h"
+#include <cerrno>
 #include <cstdio>
+#include <limits>
 #include <sstream>
 
 using namespace cmcc;
@@ -143,8 +145,10 @@ private:
 
 bool toInt(const std::string &W, int *Out) {
   char *End = nullptr;
+  errno = 0;
   long V = std::strtol(W.c_str(), &End, 10);
-  if (End == W.c_str() || *End != '\0')
+  if (End == W.c_str() || *End != '\0' || errno == ERANGE ||
+      V < std::numeric_limits<int>::min() || V > std::numeric_limits<int>::max())
     return false;
   *Out = static_cast<int>(V);
   return true;
@@ -296,6 +300,10 @@ cmcc::parseCompiledStencil(const std::string &Text,
       if (!toInt(W[1], &Width) || !toInt(W[3], &Dedicated) ||
           !toInt(W[5], &Unit) || Width < 1)
         return R.fail("malformed width numbers");
+      // A plan wider than the register file cannot have come from the
+      // compiler; reject before Multistencil::build sizes anything to it.
+      if (Width > Config.NumRegisters)
+        return R.fail("width exceeds the register file");
       if ((Unit != 0) != Out.Spec.needsUnitRegister())
         return R.fail("unit-register flag disagrees with the stencil");
 
@@ -315,6 +323,12 @@ cmcc::parseCompiledStencil(const std::string &Text,
           return R.fail("ring size below the column extent");
         Plan.Sizes.push_back(S);
         Plan.DataRegisters += S;
+        // Ring buffers live in registers, so their total bounds both the
+        // allocation and the unroll factor (the LCM of numbers summing to
+        // at most NumRegisters is small). Oversized corrupt values would
+        // otherwise drive giant allocations below.
+        if (Plan.DataRegisters > Config.NumRegisters)
+          return R.fail("ring sizes exceed the register file");
         Lcm = leastCommonMultiple(Lcm, S);
       }
       Plan.UnrollFactor = static_cast<int>(Lcm);
@@ -368,6 +382,8 @@ cmcc::parseCompiledStencil(const std::string &Text,
 
   if (!SawEnd)
     return makeError("cmccode input is truncated (missing 'end')");
+  if (R.nextLine(W))
+    return R.fail("trailing content after 'end'");
   if (Error E = Out.Spec.validate())
     return makeError("invalid stencil in cmccode: " + E.message());
   if (Out.Widths.empty())

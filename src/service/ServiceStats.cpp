@@ -1,0 +1,78 @@
+//===- service/ServiceStats.cpp -------------------------------*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/ServiceStats.h"
+#include "support/StringUtils.h"
+#include "support/TextTable.h"
+#include <cstdio>
+
+using namespace cmcc;
+
+std::string ServiceStats::str() const {
+  TextTable T;
+  T.setHeader({"metric", "value"});
+  T.addRow({"jobs submitted", std::to_string(JobsSubmitted)});
+  T.addRow({"jobs completed", std::to_string(JobsCompleted)});
+  T.addRow({"jobs failed", std::to_string(JobsFailed)});
+  T.addRow({"queue depth (now/max)", std::to_string(QueueDepth) + "/" +
+                                         std::to_string(MaxQueueDepth)});
+  T.addSeparator();
+  T.addRow({"front-end runs", std::to_string(FrontEndRuns)});
+  T.addRow({"source-memo hits", std::to_string(SourceMemoHits)});
+  T.addRow({"compiles performed", std::to_string(CompilesPerformed)});
+  T.addRow({"compiles coalesced", std::to_string(CompilesCoalesced)});
+  T.addRow({"plan-cache hits", std::to_string(Cache.Hits)});
+  T.addRow({"plan-cache misses", std::to_string(Cache.Misses)});
+  T.addRow({"plan-cache hit rate",
+            formatFixed(100.0 * Cache.hitRate(), 1) + "%"});
+  T.addRow({"plan-cache evictions", std::to_string(Cache.Evictions)});
+  T.addRow({"disk-tier hits", std::to_string(Cache.DiskHits)});
+  T.addRow({"disk-tier rejects", std::to_string(Cache.DiskRejects)});
+  T.addSeparator();
+  T.addRow({"compile seconds (total)", formatFixed(CompileSecondsTotal, 4)});
+  T.addRow({"compile seconds (mean)", formatFixed(meanCompileSeconds(), 5)});
+  T.addRow({"execute seconds (total)", formatFixed(ExecuteSecondsTotal, 4)});
+  T.addRow({"execute seconds (mean)", formatFixed(meanExecuteSeconds(), 5)});
+  T.addRow({"simulated seconds served", formatFixed(SimSecondsTotal, 3)});
+  T.addRow({"aggregate simulated Mflops",
+            formatFixed(aggregateSimMflops(), 1)});
+  return T.str();
+}
+
+std::string ServiceStats::json() const {
+  char Buffer[1024];
+  std::snprintf(
+      Buffer, sizeof(Buffer),
+      "{\n"
+      "  \"jobs_submitted\": %ld,\n"
+      "  \"jobs_completed\": %ld,\n"
+      "  \"jobs_failed\": %ld,\n"
+      "  \"queue_depth\": %d,\n"
+      "  \"max_queue_depth\": %d,\n"
+      "  \"front_end_runs\": %ld,\n"
+      "  \"source_memo_hits\": %ld,\n"
+      "  \"compiles_performed\": %ld,\n"
+      "  \"compiles_coalesced\": %ld,\n"
+      "  \"cache_hits\": %ld,\n"
+      "  \"cache_misses\": %ld,\n"
+      "  \"cache_hit_rate\": %.6g,\n"
+      "  \"cache_evictions\": %ld,\n"
+      "  \"disk_hits\": %ld,\n"
+      "  \"disk_rejects\": %ld,\n"
+      "  \"compile_seconds_total\": %.6g,\n"
+      "  \"execute_seconds_total\": %.6g,\n"
+      "  \"sim_seconds_total\": %.6g,\n"
+      "  \"useful_flops_total\": %.6g,\n"
+      "  \"aggregate_sim_mflops\": %.6g\n"
+      "}\n",
+      JobsSubmitted, JobsCompleted, JobsFailed, QueueDepth, MaxQueueDepth,
+      FrontEndRuns, SourceMemoHits, CompilesPerformed, CompilesCoalesced,
+      Cache.Hits, Cache.Misses, Cache.hitRate(), Cache.Evictions,
+      Cache.DiskHits, Cache.DiskRejects, CompileSecondsTotal,
+      ExecuteSecondsTotal, SimSecondsTotal, UsefulFlopsTotal,
+      aggregateSimMflops());
+  return Buffer;
+}

@@ -1,0 +1,72 @@
+//===- service/ServiceStats.h - Serving-layer metrics ---------*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A snapshot of the StencilService's operational metrics: job counts,
+/// compile-vs-execute latency totals, queue depth, plan-cache counters,
+/// and the aggregate simulated rate across everything served. Rendered
+/// as a TextTable for humans and as JSON for the perf-trajectory
+/// tooling.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMCC_SERVICE_SERVICESTATS_H
+#define CMCC_SERVICE_SERVICESTATS_H
+
+#include "service/PlanCache.h"
+#include <string>
+
+namespace cmcc {
+
+/// Point-in-time service metrics (all totals since construction).
+struct ServiceStats {
+  //===--- Jobs -----------------------------------------------------------===//
+  long JobsSubmitted = 0;
+  long JobsCompleted = 0; ///< Finished successfully.
+  long JobsFailed = 0;    ///< Finished with a diagnostic.
+  int QueueDepth = 0;     ///< Jobs queued but not yet picked up.
+  int MaxQueueDepth = 0;  ///< High-water mark of QueueDepth.
+
+  //===--- The compile-once economy ---------------------------------------===//
+  long FrontEndRuns = 0;      ///< Parse+recognize passes actually performed.
+  long SourceMemoHits = 0;    ///< Source text resolved without the front end.
+  long CompilesPerformed = 0; ///< Full recognition+planning+verification runs.
+  long CompilesCoalesced = 0; ///< Jobs that waited on another job's compile.
+  PlanCache::Counters Cache;
+
+  //===--- Latency and throughput -----------------------------------------===//
+  double CompileSecondsTotal = 0.0; ///< Host wall-clock spent compiling.
+  double ExecuteSecondsTotal = 0.0; ///< Host wall-clock spent executing.
+  double SimSecondsTotal = 0.0;     ///< Simulated machine seconds served.
+  double UsefulFlopsTotal = 0.0;    ///< Useful flops across all jobs served.
+
+  /// Aggregate simulated rate: useful flops over simulated seconds.
+  double aggregateSimMflops() const {
+    return SimSecondsTotal > 0.0 ? UsefulFlopsTotal / SimSecondsTotal / 1e6
+                                 : 0.0;
+  }
+
+  /// Mean host compile latency over performed compiles.
+  double meanCompileSeconds() const {
+    return CompilesPerformed > 0 ? CompileSecondsTotal / CompilesPerformed
+                                 : 0.0;
+  }
+
+  /// Mean host execute latency over completed jobs.
+  double meanExecuteSeconds() const {
+    return JobsCompleted > 0 ? ExecuteSecondsTotal / JobsCompleted : 0.0;
+  }
+
+  /// Two-column human-readable table.
+  std::string str() const;
+
+  /// A single JSON object (machine-readable dump).
+  std::string json() const;
+};
+
+} // namespace cmcc
+
+#endif // CMCC_SERVICE_SERVICESTATS_H

@@ -1,0 +1,372 @@
+//===- service/StencilService.cpp -----------------------------*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/StencilService.h"
+#include "core/PlanFingerprint.h"
+#include "fortran/Parser.h"
+#include "sexpr/DefStencil.h"
+#include "stencil/Recognizer.h"
+#include "support/Assert.h"
+#include <chrono>
+
+using namespace cmcc;
+
+namespace {
+
+double secondsSince(std::chrono::steady_clock::time_point Begin) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Begin)
+      .count();
+}
+
+/// Memo key: the front-end kind matters (the same text could be valid
+/// under two front ends), the text is the rest.
+std::string memoKey(StencilService::SourceKind Kind,
+                    const std::string &Source) {
+  return std::to_string(static_cast<int>(Kind)) + "\n" + Source;
+}
+
+} // namespace
+
+StencilService::StencilService(const MachineConfig &Config, Options Opts)
+    : Config(Config), Opts(Opts), Compiler(Config),
+      Exec(Config, Opts.Exec), Cache(Config, Opts.Cache) {
+  Compiler.setAllowMultipleSources(Opts.AllowMultipleSources);
+  int N = std::max(1, Opts.Workers);
+  Workers.reserve(N);
+  for (int I = 0; I != N; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+StencilService::~StencilService() {
+  {
+    std::lock_guard<std::mutex> Lock(JobsMutex);
+    ShuttingDown = true;
+  }
+  JobsChanged.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+StencilService::JobId StencilService::submit(JobRequest Request) {
+  Job *Raw;
+  {
+    std::lock_guard<std::mutex> Lock(JobsMutex);
+    assert(!ShuttingDown && "submit after shutdown began");
+    auto J = std::make_unique<Job>();
+    J->Id = NextId++;
+    J->Request = std::move(Request);
+    Raw = J.get();
+    Jobs.emplace(Raw->Id, std::move(J));
+    Queue.push_back(Raw);
+    MaxQueueDepth = std::max(MaxQueueDepth, static_cast<int>(Queue.size()));
+  }
+  JobsChanged.notify_all();
+  return Raw->Id;
+}
+
+StencilService::JobState StencilService::poll(JobId Id) const {
+  std::lock_guard<std::mutex> Lock(JobsMutex);
+  auto It = Jobs.find(Id);
+  assert(It != Jobs.end() && "poll of an unknown job id");
+  return It->second->State;
+}
+
+StencilService::JobResult StencilService::wait(JobId Id) {
+  std::unique_lock<std::mutex> Lock(JobsMutex);
+  auto It = Jobs.find(Id);
+  assert(It != Jobs.end() && "wait on an unknown job id");
+  Job *J = It->second.get();
+  JobsChanged.wait(Lock, [&] {
+    return J->State == JobState::Done || J->State == JobState::Failed;
+  });
+  return J->Result;
+}
+
+void StencilService::drain() {
+  std::unique_lock<std::mutex> Lock(JobsMutex);
+  JobsChanged.wait(Lock, [&] {
+    for (const auto &Entry : Jobs)
+      if (Entry.second->State != JobState::Done &&
+          Entry.second->State != JobState::Failed)
+        return false;
+    return true;
+  });
+}
+
+void StencilService::workerLoop() {
+  for (;;) {
+    Job *J = nullptr;
+    {
+      std::unique_lock<std::mutex> Lock(JobsMutex);
+      JobsChanged.wait(Lock, [&] { return ShuttingDown || !Queue.empty(); });
+      if (Queue.empty()) {
+        if (ShuttingDown)
+          return; // Queue drained; every submitted job has run.
+        continue;
+      }
+      J = Queue.front();
+      Queue.pop_front();
+      J->State = JobState::Compiling;
+    }
+    process(*J);
+  }
+}
+
+bool StencilService::resolveSpec(Job &J, std::optional<StencilSpec> &Spec,
+                                 uint64_t &Fp) {
+  const JobRequest &Req = J.Request;
+  if (Req.Kind == SourceKind::Fingerprint) {
+    Fp = Req.Fingerprint;
+    return true; // No spec: the plan must already exist (or be in flight).
+  }
+
+  const std::string Key = memoKey(Req.Kind, Req.Source);
+  {
+    std::lock_guard<std::mutex> Lock(MemoMutex);
+    auto It = SourceMemo.find(Key);
+    if (It != SourceMemo.end()) {
+      Spec = It->second.Spec;
+      Fp = It->second.Fingerprint;
+      std::lock_guard<std::mutex> SLock(StatsMutex);
+      ++SourceMemoHits;
+      return true;
+    }
+  }
+
+  // Memo miss: run the front end. Two jobs racing on the same new text
+  // may both pay this (parse + recognize is cheap); the expensive
+  // compile below is still deduplicated by fingerprint.
+  DiagnosticEngine Diags;
+  std::optional<StencilSpec> Recognized;
+  switch (Req.Kind) {
+  case SourceKind::FortranAssignment: {
+    std::optional<fortran::AssignmentStmt> Stmt =
+        fortran::Parser::assignmentFromSource(Req.Source, Diags);
+    if (Stmt) {
+      RecognizerOptions RO;
+      RO.AllowMultipleSources = Opts.AllowMultipleSources;
+      Recognizer R(Diags, RO);
+      Recognized = R.recognize(*Stmt);
+    }
+    break;
+  }
+  case SourceKind::FortranSubroutine: {
+    std::optional<fortran::Subroutine> Sub =
+        fortran::Parser::subroutineFromSource(Req.Source, Diags);
+    if (Sub) {
+      RecognizerOptions RO;
+      RO.AllowMultipleSources = Opts.AllowMultipleSources;
+      Recognizer R(Diags, RO);
+      Recognized = R.recognize(*Sub);
+    }
+    break;
+  }
+  case SourceKind::DefStencil: {
+    std::optional<sexpr::DefStencil> Def =
+        sexpr::defStencilFromSource(Req.Source, Diags);
+    if (Def)
+      Recognized = Def->Spec;
+    break;
+  }
+  case SourceKind::Fingerprint:
+    CMCC_UNREACHABLE("handled above");
+  }
+  {
+    std::lock_guard<std::mutex> Lock(StatsMutex);
+    ++FrontEndRuns;
+  }
+  if (!Recognized) {
+    J.Result.Message = Diags.hasErrors()
+                           ? Diags.str()
+                           : "source was not recognized as a stencil";
+    return false;
+  }
+
+  Fp = planFingerprint(*Recognized, Config);
+  Spec = std::move(Recognized);
+  {
+    std::lock_guard<std::mutex> Lock(MemoMutex);
+    SourceMemo.emplace(Key, MemoEntry{*Spec, Fp});
+  }
+  return true;
+}
+
+std::shared_ptr<const CompiledStencil>
+StencilService::resolvePlan(Job &J, const std::optional<StencilSpec> &Spec,
+                            uint64_t Fp) {
+  // Fast path: the cache (memory, then disk with re-verification).
+  if (std::shared_ptr<const CompiledStencil> Plan = Cache.lookup(Fp)) {
+    J.Result.CacheHit = true;
+    return Plan;
+  }
+
+  // Miss: join an in-flight compile of this fingerprint or become its
+  // owner. The recheck under InFlightMutex closes the window where an
+  // owner has inserted into the cache but not yet unregistered — without
+  // it a second worker could compile the same plan twice.
+  std::shared_ptr<InFlightCompile> IF;
+  bool Owner = false;
+  {
+    std::lock_guard<std::mutex> Lock(InFlightMutex);
+    auto It = InFlight.find(Fp);
+    if (It != InFlight.end()) {
+      IF = It->second;
+    } else if (std::shared_ptr<const CompiledStencil> Plan = Cache.peek(Fp)) {
+      J.Result.CacheHit = true;
+      return Plan;
+    } else {
+      IF = std::make_shared<InFlightCompile>();
+      InFlight.emplace(Fp, IF);
+      Owner = true;
+    }
+  }
+
+  if (!Owner) {
+    // Coalesce: wait for the owner's verdict.
+    {
+      std::lock_guard<std::mutex> Lock(StatsMutex);
+      ++CompilesCoalesced;
+    }
+    J.Result.Coalesced = true;
+    std::unique_lock<std::mutex> Lock(IF->Mutex);
+    IF->Ready.wait(Lock, [&] { return IF->Done; });
+    if (!IF->Plan) {
+      J.Result.Message = IF->Error;
+      return nullptr;
+    }
+    return IF->Plan;
+  }
+
+  // Owner: compile exactly once for everyone parked on IF.
+  std::shared_ptr<const CompiledStencil> Plan;
+  std::string Failure;
+  if (!Spec) {
+    Failure = "fingerprint " + fingerprintHex(Fp) +
+              " is not cached and the job carries no source to compile";
+  } else {
+    auto Begin = std::chrono::steady_clock::now();
+    Expected<CompiledStencil> Compiled = Compiler.compile(*Spec);
+    double Seconds = secondsSince(Begin);
+    {
+      std::lock_guard<std::mutex> Lock(StatsMutex);
+      ++CompilesPerformed;
+      CompileSecondsTotal += Seconds;
+    }
+    if (Compiled)
+      Plan = std::make_shared<const CompiledStencil>(Compiled.takeValue());
+    else
+      Failure = Compiled.error().message();
+  }
+  if (Plan)
+    Cache.insert(Fp, Plan); // Insert BEFORE unregistering (see recheck).
+  {
+    std::lock_guard<std::mutex> Lock(InFlightMutex);
+    InFlight.erase(Fp);
+  }
+  {
+    std::lock_guard<std::mutex> Lock(IF->Mutex);
+    IF->Done = true;
+    IF->Plan = Plan;
+    IF->Error = Failure;
+  }
+  IF->Ready.notify_all();
+  if (!Plan)
+    J.Result.Message = Failure;
+  return Plan;
+}
+
+void StencilService::process(Job &J) {
+  auto CompileBegin = std::chrono::steady_clock::now();
+
+  std::optional<StencilSpec> Spec;
+  uint64_t Fp = 0;
+  if (!resolveSpec(J, Spec, Fp)) {
+    finish(J, JobState::Failed);
+    return;
+  }
+  J.Result.Fingerprint = Fp;
+
+  std::shared_ptr<const CompiledStencil> Plan = resolvePlan(J, Spec, Fp);
+  J.Result.CompileSeconds = secondsSince(CompileBegin);
+  if (!Plan) {
+    finish(J, JobState::Failed);
+    return;
+  }
+  J.Result.Plan = Plan;
+
+  {
+    std::lock_guard<std::mutex> Lock(JobsMutex);
+    J.State = JobState::Executing;
+  }
+  JobsChanged.notify_all();
+
+  auto ExecBegin = std::chrono::steady_clock::now();
+  if (J.Request.Args) {
+    Expected<TimingReport> Report =
+        Exec.run(*Plan, *J.Request.Args, J.Request.Iterations);
+    if (!Report) {
+      J.Result.ExecuteSeconds = secondsSince(ExecBegin);
+      J.Result.Message = Report.error().message();
+      finish(J, JobState::Failed);
+      return;
+    }
+    J.Result.Report = *Report;
+  } else {
+    J.Result.Report = Exec.timeOnly(*Plan, J.Request.SubRows,
+                                    J.Request.SubCols, J.Request.Iterations);
+  }
+  J.Result.ExecuteSeconds = secondsSince(ExecBegin);
+  J.Result.Ok = true;
+  finish(J, JobState::Done);
+}
+
+void StencilService::finish(Job &J, JobState Final) {
+  {
+    std::lock_guard<std::mutex> Lock(StatsMutex);
+    if (Final == JobState::Done) {
+      ++JobsCompleted;
+      ExecuteSecondsTotal += J.Result.ExecuteSeconds;
+      const TimingReport &R = J.Result.Report;
+      SimSecondsTotal += R.elapsedSeconds();
+      UsefulFlopsTotal += static_cast<double>(
+                              R.UsefulFlopsPerNodePerIteration) *
+                          R.Nodes * R.Iterations;
+    } else {
+      ++JobsFailed;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> Lock(JobsMutex);
+    J.State = Final;
+  }
+  JobsChanged.notify_all();
+}
+
+ServiceStats StencilService::stats() const {
+  ServiceStats S;
+  {
+    std::lock_guard<std::mutex> Lock(JobsMutex);
+    S.JobsSubmitted = NextId - 1;
+    S.QueueDepth = static_cast<int>(Queue.size());
+    S.MaxQueueDepth = MaxQueueDepth;
+  }
+  {
+    std::lock_guard<std::mutex> Lock(StatsMutex);
+    S.JobsCompleted = JobsCompleted;
+    S.JobsFailed = JobsFailed;
+    S.FrontEndRuns = FrontEndRuns;
+    S.SourceMemoHits = SourceMemoHits;
+    S.CompilesPerformed = CompilesPerformed;
+    S.CompilesCoalesced = CompilesCoalesced;
+    S.CompileSecondsTotal = CompileSecondsTotal;
+    S.ExecuteSecondsTotal = ExecuteSecondsTotal;
+    S.SimSecondsTotal = SimSecondsTotal;
+    S.UsefulFlopsTotal = UsefulFlopsTotal;
+  }
+  S.Cache = Cache.counters();
+  return S;
+}

@@ -15,6 +15,7 @@
 #include "runtime/Executor.h"
 #include "runtime/Reference.h"
 #include "stencil/PatternLibrary.h"
+#include <cstring>
 #include <gtest/gtest.h>
 #include <memory>
 
@@ -182,4 +183,116 @@ TEST(ScheduleIOTest, GarbageRejected) {
   EXPECT_FALSE(parseCompiledStencil("cmccode 2\n", machine()));
   EXPECT_FALSE(parseCompiledStencil(
       "cmccode 1\nmachine registers 32\nbogus\nend\n", machine()));
+}
+
+//===----------------------------------------------------------------------===//
+// Robustness sweeps: arbitrarily damaged input must produce a diagnostic
+// (an Expected error), never UB, an abort, or a giant allocation. These
+// are the files the service's disk cache tier swallows as counted
+// misses.
+//===----------------------------------------------------------------------===//
+
+TEST(ScheduleIORobustnessTest, TruncationSweep) {
+  CompiledStencil Original = compileById(PatternId::Diamond13);
+  std::string Text = writeCompiledStencil(Original, machine());
+  // Every prefix is either rejected or (never, for this format, since
+  // 'end' is the last line) accepted — the point is that no prefix
+  // crashes. Step through at varied strides to keep the sweep fast but
+  // land on every structural boundary near the end.
+  for (size_t Len = 0; Len < Text.size(); Len += (Len < 200 ? 7 : 131)) {
+    Expected<CompiledStencil> Loaded =
+        parseCompiledStencil(Text.substr(0, Len), machine());
+    EXPECT_FALSE(Loaded) << "prefix of " << Len << " bytes parsed";
+  }
+  // Dropping only the final 'end' line is also truncation.
+  Expected<CompiledStencil> NoEnd = parseCompiledStencil(
+      Text.substr(0, Text.size() - std::strlen("end\n")), machine());
+  ASSERT_FALSE(NoEnd);
+  EXPECT_NE(NoEnd.error().message().find("truncated"), std::string::npos);
+}
+
+TEST(ScheduleIORobustnessTest, BitFlipSweep) {
+  CompiledStencil Original = compileById(PatternId::Cross5);
+  const std::string Text = writeCompiledStencil(Original, machine());
+  // Flip one bit at a sample of positions. Most flips must be rejected;
+  // a few are benign (comment bytes, a '+' sign rendered identically,
+  // whitespace) — but every outcome must be a clean parse or a clean
+  // error, and an accepted parse must still verify, execute, and
+  // re-serialize.
+  int Rejected = 0, Accepted = 0;
+  for (size_t Pos = 0; Pos < Text.size(); Pos += 3) {
+    for (int Bit : {0, 3, 6}) {
+      std::string Damaged = Text;
+      Damaged[Pos] = static_cast<char>(Damaged[Pos] ^ (1 << Bit));
+      Expected<CompiledStencil> Loaded =
+          parseCompiledStencil(Damaged, machine());
+      if (!Loaded) {
+        ++Rejected;
+        EXPECT_FALSE(Loaded.error().message().empty());
+      } else {
+        ++Accepted;
+        // Whatever survived must be a fully verified plan.
+        EXPECT_FALSE(Loaded->Widths.empty());
+      }
+    }
+  }
+  // The format is dense enough that damage overwhelmingly fails parse or
+  // verification.
+  EXPECT_GT(Rejected, Accepted * 3);
+}
+
+TEST(ScheduleIORobustnessTest, OversizedNumbersRejectedQuickly) {
+  // Corrupt counts and sizes must be rejected up front, not passed to
+  // allocators. (Width and ring totals are bounded by the register file;
+  // out-of-range integers fail toInt.)
+  const char *Header = "cmccode 1\n"
+                       "machine registers 32\n"
+                       "stencil result R sources 1 X boundary circular "
+                       "circular\n"
+                       "tap data 0 0 0 sign + coeff array C1\n";
+  for (const char *Block : {
+           "width 4000000 dedicated 0 unit 0\nsizes 1\nprologue 0\nend\n",
+           "width 99999999999999999999 dedicated 0 unit 0\nsizes 1\n"
+           "prologue 0\nend\n",
+           "width 4 dedicated 0 unit 0\nsizes 2000000000\nprologue 0\nend\n",
+           "width 4 dedicated 0 unit 0\nsizes 31 31\nprologue 0\nend\n",
+           "width 4 dedicated 0 unit 0\nsizes 1\nprologue -5\nend\n",
+           "width 4 dedicated 0 unit 0\nsizes 1\nprologue 2147483647\n"
+           "end\n",
+       }) {
+    Expected<CompiledStencil> Loaded =
+        parseCompiledStencil(std::string(Header) + Block, machine());
+    EXPECT_FALSE(Loaded) << Block;
+  }
+}
+
+TEST(ScheduleIORobustnessTest, WrongVersionAndHeaderDamage) {
+  CompiledStencil Original = compileById(PatternId::Cross5);
+  std::string Text = writeCompiledStencil(Original, machine());
+  auto Replaced = [&](const std::string &From, const std::string &To) {
+    std::string Out = Text;
+    size_t Pos = Out.find(From);
+    EXPECT_NE(Pos, std::string::npos);
+    Out.replace(Pos, From.size(), To);
+    return Out;
+  };
+  EXPECT_FALSE(parseCompiledStencil(Replaced("cmccode 1", "cmccode 2"),
+                                    machine()));
+  EXPECT_FALSE(parseCompiledStencil(Replaced("cmccode 1", "cmccode"),
+                                    machine()));
+  EXPECT_FALSE(parseCompiledStencil(
+      Replaced("machine registers 32", "machine registers 33"), machine()));
+  EXPECT_FALSE(parseCompiledStencil(
+      Replaced("boundary circular circular", "boundary circular sideways"),
+      machine()));
+}
+
+TEST(ScheduleIORobustnessTest, TrailingGarbageRejected) {
+  CompiledStencil Original = compileById(PatternId::Cross5);
+  std::string Text = writeCompiledStencil(Original, machine());
+  EXPECT_TRUE(parseCompiledStencil(Text, machine()));
+  EXPECT_FALSE(parseCompiledStencil(Text + "corrupt\n", machine()));
+  EXPECT_FALSE(parseCompiledStencil(Text + Text, machine()));
+  // Trailing blank lines and comments are still fine.
+  EXPECT_TRUE(parseCompiledStencil(Text + "\n# trailer\n", machine()));
 }

@@ -1,0 +1,301 @@
+//===- tools/cmcc_serve.cpp - Batch driver for StencilService -*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Batch front end for the serving layer: reads a job manifest, submits
+/// every job to a StencilService, waits for completion, and reports
+/// throughput plus the service's operational metrics. One manifest line
+/// is one job:
+///
+///   job <kind> <source-or-fingerprint>
+///   repeat <N> <kind> <source-or-fingerprint>
+///
+/// where <kind> is assignment | subroutine | lisp | fingerprint. For the
+/// three source kinds the rest of the line is the source text, or
+/// '@path' to load it from a file (SUBROUTINEs span lines, so they
+/// usually come from files). For fingerprint it is the 16-digit hex plan
+/// key, as printed by this tool or by the service stats. Blank lines and
+/// '#' comments are ignored.
+///
+///   cmcc_serve [options] manifest.jobs
+///
+/// Options:
+///   --machine=16|2048|RxC  node grid (default 16 = 4x4)
+///   --subgrid=RxC          per-node subgrid for timing jobs (128x128)
+///   --iterations=N         iterations per job (default 100)
+///   --workers=N            service dispatch threads (default 2)
+///   --cache-capacity=N     in-memory plan-cache entries (default 64)
+///   --cache-dir=<dir>      enable the on-disk plan-cache tier
+///   --json                 dump the final ServiceStats as JSON
+///   --quiet                suppress the per-job lines
+///
+/// Exits nonzero if any job fails.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/PlanFingerprint.h"
+#include "service/StencilService.h"
+#include "support/StringUtils.h"
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace cmcc;
+
+namespace {
+
+struct ServeOptions {
+  std::string ManifestFile;
+  MachineConfig Machine = MachineConfig::testMachine16();
+  int SubRows = 128, SubCols = 128;
+  int Iterations = 100;
+  int Workers = 2;
+  size_t CacheCapacity = 64;
+  std::string CacheDir;
+  bool Json = false;
+  bool Quiet = false;
+};
+
+void printUsage() {
+  std::fprintf(stderr,
+               "usage: cmcc_serve [options] <manifest.jobs>\n"
+               "options: --machine=16|2048|RxC --subgrid=RxC --iterations=N\n"
+               "         --workers=N --cache-capacity=N --cache-dir=<dir>\n"
+               "         --json --quiet\n"
+               "manifest lines:\n"
+               "  job <assignment|subroutine|lisp|fingerprint> <text|@file>\n"
+               "  repeat <N> <kind> <text|@file>\n");
+}
+
+bool parseShape(const char *Text, int *Rows, int *Cols) {
+  return std::sscanf(Text, "%dx%d", Rows, Cols) == 2 && *Rows > 0 &&
+         *Cols > 0;
+}
+
+bool parseArguments(int Argc, char **Argv, ServeOptions &Opts) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Value = [&](const char *Prefix) -> const char * {
+      size_t N = std::strlen(Prefix);
+      return Arg.compare(0, N, Prefix) == 0 ? Arg.c_str() + N : nullptr;
+    };
+    if (const char *V = Value("--machine=")) {
+      if (std::strcmp(V, "16") == 0) {
+        Opts.Machine = MachineConfig::testMachine16();
+      } else if (std::strcmp(V, "2048") == 0) {
+        Opts.Machine = MachineConfig::fullMachine2048();
+      } else {
+        int R, C;
+        if (!parseShape(V, &R, &C)) {
+          std::fprintf(stderr, "cmcc_serve: bad --machine value '%s'\n", V);
+          return false;
+        }
+        Opts.Machine = MachineConfig::withNodeGrid(R, C);
+      }
+    } else if (const char *V = Value("--subgrid=")) {
+      if (!parseShape(V, &Opts.SubRows, &Opts.SubCols)) {
+        std::fprintf(stderr, "cmcc_serve: bad --subgrid value '%s'\n", V);
+        return false;
+      }
+    } else if (const char *V = Value("--iterations=")) {
+      Opts.Iterations = std::atoi(V);
+      if (Opts.Iterations <= 0) {
+        std::fprintf(stderr, "cmcc_serve: bad --iterations value '%s'\n", V);
+        return false;
+      }
+    } else if (const char *V = Value("--workers=")) {
+      Opts.Workers = std::atoi(V);
+      if (Opts.Workers <= 0) {
+        std::fprintf(stderr, "cmcc_serve: bad --workers value '%s'\n", V);
+        return false;
+      }
+    } else if (const char *V = Value("--cache-capacity=")) {
+      int N = std::atoi(V);
+      if (N <= 0) {
+        std::fprintf(stderr, "cmcc_serve: bad --cache-capacity value '%s'\n",
+                     V);
+        return false;
+      }
+      Opts.CacheCapacity = static_cast<size_t>(N);
+    } else if (const char *V = Value("--cache-dir=")) {
+      Opts.CacheDir = V;
+    } else if (Arg == "--json") {
+      Opts.Json = true;
+    } else if (Arg == "--quiet") {
+      Opts.Quiet = true;
+    } else if (Arg == "--help" || Arg == "-h") {
+      printUsage();
+      std::exit(0);
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr, "cmcc_serve: unknown option '%s'\n", Arg.c_str());
+      return false;
+    } else {
+      if (!Opts.ManifestFile.empty()) {
+        std::fprintf(stderr, "cmcc_serve: more than one manifest\n");
+        return false;
+      }
+      Opts.ManifestFile = Arg;
+    }
+  }
+  if (Opts.ManifestFile.empty()) {
+    printUsage();
+    return false;
+  }
+  return true;
+}
+
+/// One parsed manifest entry, pre-expanded (repeat N becomes N jobs that
+/// share the same request).
+struct ManifestJob {
+  int Line = 0;
+  int Count = 1;
+  StencilService::JobRequest Request;
+};
+
+bool parseKind(const std::string &Word, StencilService::SourceKind &Kind) {
+  if (Word == "assignment")
+    Kind = StencilService::SourceKind::FortranAssignment;
+  else if (Word == "subroutine")
+    Kind = StencilService::SourceKind::FortranSubroutine;
+  else if (Word == "lisp")
+    Kind = StencilService::SourceKind::DefStencil;
+  else if (Word == "fingerprint")
+    Kind = StencilService::SourceKind::Fingerprint;
+  else
+    return false;
+  return true;
+}
+
+bool parseManifest(const ServeOptions &Opts, std::vector<ManifestJob> &Jobs) {
+  std::ifstream In(Opts.ManifestFile);
+  if (!In) {
+    std::fprintf(stderr, "cmcc_serve: cannot open '%s'\n",
+                 Opts.ManifestFile.c_str());
+    return false;
+  }
+  std::string Text;
+  int LineNo = 0;
+  auto Fail = [&](const char *What) {
+    std::fprintf(stderr, "cmcc_serve: %s:%d: %s\n", Opts.ManifestFile.c_str(),
+                 LineNo, What);
+    return false;
+  };
+  while (std::getline(In, Text)) {
+    ++LineNo;
+    std::istringstream Line(Text);
+    std::string Verb;
+    if (!(Line >> Verb) || Verb[0] == '#')
+      continue;
+    ManifestJob Job;
+    Job.Line = LineNo;
+    if (Verb == "repeat") {
+      if (!(Line >> Job.Count) || Job.Count <= 0)
+        return Fail("repeat needs a positive count");
+    } else if (Verb != "job") {
+      return Fail("expected 'job' or 'repeat'");
+    }
+    std::string KindWord;
+    if (!(Line >> KindWord) || !parseKind(KindWord, Job.Request.Kind))
+      return Fail(
+          "expected assignment | subroutine | lisp | fingerprint");
+    std::string Rest;
+    std::getline(Line, Rest);
+    size_t Start = Rest.find_first_not_of(" \t");
+    Rest = Start == std::string::npos ? std::string() : Rest.substr(Start);
+    if (Rest.empty())
+      return Fail("missing source text / fingerprint");
+    if (Job.Request.Kind == StencilService::SourceKind::Fingerprint) {
+      char *End = nullptr;
+      Job.Request.Fingerprint = std::strtoull(Rest.c_str(), &End, 16);
+      if (End == Rest.c_str() || *End != '\0')
+        return Fail("bad fingerprint (want 16 hex digits)");
+    } else if (Rest[0] == '@') {
+      std::ifstream SourceFile(Rest.substr(1));
+      if (!SourceFile)
+        return Fail("cannot open source file");
+      std::ostringstream Buffer;
+      Buffer << SourceFile.rdbuf();
+      Job.Request.Source = Buffer.str();
+    } else {
+      Job.Request.Source = Rest;
+    }
+    Job.Request.SubRows = Opts.SubRows;
+    Job.Request.SubCols = Opts.SubCols;
+    Job.Request.Iterations = Opts.Iterations;
+    Jobs.push_back(std::move(Job));
+  }
+  if (Jobs.empty())
+    return Fail("manifest contains no jobs");
+  return true;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  ServeOptions Opts;
+  if (!parseArguments(Argc, Argv, Opts))
+    return 2;
+  std::vector<ManifestJob> Manifest;
+  if (!parseManifest(Opts, Manifest))
+    return 2;
+
+  StencilService::Options ServiceOpts;
+  ServiceOpts.Workers = Opts.Workers;
+  ServiceOpts.Cache.Capacity = Opts.CacheCapacity;
+  ServiceOpts.Cache.DiskDir = Opts.CacheDir;
+  StencilService Service(Opts.Machine, ServiceOpts);
+
+  if (!Opts.Quiet)
+    std::printf("machine: %s\nserving %s with %d workers\n",
+                Opts.Machine.summary().c_str(), Opts.ManifestFile.c_str(),
+                Opts.Workers);
+
+  auto Start = std::chrono::steady_clock::now();
+  struct Submitted {
+    int Line;
+    StencilService::JobId Id;
+  };
+  std::vector<Submitted> Ids;
+  for (const ManifestJob &Job : Manifest)
+    for (int I = 0; I != Job.Count; ++I)
+      Ids.push_back({Job.Line, Service.submit(Job.Request)});
+
+  int Failures = 0;
+  for (const Submitted &S : Ids) {
+    StencilService::JobResult R = Service.wait(S.Id);
+    if (!R.Ok) {
+      ++Failures;
+      std::fprintf(stderr, "cmcc_serve: job at line %d failed: %s\n", S.Line,
+                   R.Message.c_str());
+      continue;
+    }
+    if (!Opts.Quiet)
+      std::printf("line %-4d fp %s  %-5s compile %8.3f ms  execute %8.3f ms  "
+                  "sim %s Mflops\n",
+                  S.Line, fingerprintHex(R.Fingerprint).c_str(),
+                  R.CacheHit ? "warm" : (R.Coalesced ? "coal" : "cold"),
+                  R.CompileSeconds * 1e3, R.ExecuteSeconds * 1e3,
+                  formatFixed(R.Report.measuredMflops(), 1).c_str());
+  }
+  double HostSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+          .count();
+
+  ServiceStats Stats = Service.stats();
+  if (!Opts.Quiet) {
+    std::printf("\n%s", Stats.str().c_str());
+    std::printf("host wall-clock: %s s  (%s jobs/s)\n",
+                formatFixed(HostSeconds, 3).c_str(),
+                formatFixed(Ids.size() / HostSeconds, 1).c_str());
+  }
+  if (Opts.Json)
+    std::printf("%s\n", Stats.json().c_str());
+  return Failures == 0 ? 0 : 1;
+}

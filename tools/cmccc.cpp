@@ -234,10 +234,12 @@ int main(int Argc, char **Argv) {
     }
   }
 
+  // Any error diagnostic fails the run, even when a fallback front end
+  // ultimately produced a plan — scripted callers must be able to trust
+  // the exit code.
   if (Diags.errorCount() || !Compiled) {
     std::fputs(Diags.str().c_str(), stderr);
-    if (!Compiled)
-      return 1;
+    return 1;
   }
   // Warnings and notes still print.
   if (!Diags.diagnostics().empty())
@@ -287,15 +289,44 @@ int main(int Argc, char **Argv) {
   }
 
   if (!Opts.EmitPath.empty()) {
-    std::ofstream OutFile(Opts.EmitPath);
-    if (!OutFile) {
-      std::fprintf(stderr, "cmccc: cannot write '%s'\n",
+    std::string Emitted = writeCompiledStencil(*Compiled, Opts.Machine);
+    {
+      std::ofstream OutFile(Opts.EmitPath);
+      if (!OutFile) {
+        std::fprintf(stderr, "cmccc: cannot write '%s'\n",
+                     Opts.EmitPath.c_str());
+        return 1;
+      }
+      OutFile << Emitted;
+    }
+    // Round-trip check: read the file back, reparse it (which re-runs the
+    // schedule verifier), and require the re-serialization to be byte
+    // identical. Catches both emitter bugs and short writes before anyone
+    // depends on the file.
+    std::ifstream BackIn(Opts.EmitPath);
+    std::ostringstream BackBuffer;
+    BackBuffer << BackIn.rdbuf();
+    if (!BackIn || BackBuffer.str() != Emitted) {
+      std::fprintf(stderr, "cmccc: wrote '%s' but reading it back differs\n",
                    Opts.EmitPath.c_str());
       return 1;
     }
-    OutFile << writeCompiledStencil(*Compiled, Opts.Machine);
+    Expected<CompiledStencil> Reloaded =
+        parseCompiledStencil(BackBuffer.str(), Opts.Machine);
+    if (!Reloaded) {
+      std::fprintf(stderr, "cmccc: emitted '%s' fails to reload: %s\n",
+                   Opts.EmitPath.c_str(),
+                   Reloaded.error().message().c_str());
+      return 1;
+    }
+    if (writeCompiledStencil(*Reloaded, Opts.Machine) != Emitted) {
+      std::fprintf(stderr,
+                   "cmccc: emitted '%s' does not round-trip losslessly\n",
+                   Opts.EmitPath.c_str());
+      return 1;
+    }
     if (!Opts.Quiet)
-      std::printf("wrote %s\n", Opts.EmitPath.c_str());
+      std::printf("wrote %s (round-trip verified)\n", Opts.EmitPath.c_str());
   }
 
   if (Opts.Stats) {
