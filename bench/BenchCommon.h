@@ -118,6 +118,12 @@ public:
     Rows.push_back({Name, SimMflops, SimSeconds, HostSeconds});
   }
 
+  /// A named top-level scalar (e.g. a measured overhead percentage);
+  /// lands in a "scalars" object alongside "rows".
+  void addScalar(const std::string &Name, double Value) {
+    Scalars.push_back({Name, Value});
+  }
+
   /// Writes BENCH_<name>.json; returns the path (empty on failure).
   std::string write() const {
     std::string Path = "BENCH_" + BenchName + ".json";
@@ -136,7 +142,15 @@ public:
                    R.Name.c_str(), R.SimMflops, R.SimSeconds, R.HostSeconds,
                    I + 1 == Rows.size() ? "" : ",");
     }
-    std::fprintf(F, "  ]\n}\n");
+    std::fprintf(F, "  ]%s\n", Scalars.empty() ? "" : ",");
+    if (!Scalars.empty()) {
+      std::fprintf(F, "  \"scalars\": {\n");
+      for (size_t I = 0; I != Scalars.size(); ++I)
+        std::fprintf(F, "    \"%s\": %.6g%s\n", Scalars[I].Name.c_str(),
+                     Scalars[I].Value, I + 1 == Scalars.size() ? "" : ",");
+      std::fprintf(F, "  }\n");
+    }
+    std::fprintf(F, "}\n");
     std::fclose(F);
     return Path;
   }
@@ -146,8 +160,13 @@ private:
     std::string Name;
     double SimMflops, SimSeconds, HostSeconds;
   };
+  struct Scalar {
+    std::string Name;
+    double Value;
+  };
   std::string BenchName;
   std::vector<Row> Rows;
+  std::vector<Scalar> Scalars;
 };
 
 /// Functionally executes \p Row once (real arrays, real schedules

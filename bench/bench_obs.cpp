@@ -1,0 +1,207 @@
+//===- bench/bench_obs.cpp - Observability overhead benchmark -*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Experiment O1: the observability layer's cost and its zero-effect
+/// guarantee.
+///
+///   1. Measures the disabled-span cost (one relaxed load + branch) in
+///      nanoseconds per span.
+///   2. Runs the same functional stencil execution with tracing OFF and
+///      with tracing ON, and asserts the results are bitwise identical —
+///      every result array float and every simulated cycle total.
+///   3. Estimates the disabled-path overhead of a real run: spans the
+///      traced run recorded x the measured per-span disabled cost,
+///      as a percentage of the untraced run's host wall-clock. The
+///      bench fails if that exceeds 2% (DESIGN.md 5d's bound).
+///
+/// Writes BENCH_obs.json with the overhead scalars.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+#include <cstring>
+
+using namespace cmccbench;
+
+namespace {
+
+constexpr int SubRows = 64, SubCols = 64;
+
+/// Nanoseconds one *disabled* span costs, measured over many spans.
+double measureDisabledSpanNs() {
+  if (obs::Trace::active()) {
+    std::fprintf(stderr, "bench_obs: tracing must be off for the "
+                         "disabled-path measurement\n");
+    std::abort();
+  }
+  constexpr long Spans = 20'000'000;
+  auto Begin = std::chrono::steady_clock::now();
+  for (long I = 0; I != Spans; ++I) {
+    CMCC_SPAN("bench.disabled");
+    benchmark::DoNotOptimize(I);
+  }
+  auto End = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::nano>(End - Begin).count() /
+         Spans;
+}
+
+/// One functional execution's complete observable output: every result
+/// float plus the simulated timing report.
+struct RunOutput {
+  std::vector<float> ResultBits;
+  TimingReport Report;
+  double HostSeconds = 0.0;
+};
+
+RunOutput runFunctional(const MachineConfig &Config,
+                        const CompiledStencil &Compiled) {
+  NodeGrid Grid(Config);
+  DistributedArray Result(Grid, SubRows, SubCols);
+  DistributedArray Source(Grid, SubRows, SubCols);
+  Array2D GlobalSource(Result.globalRows(), Result.globalCols());
+  GlobalSource.fillRandom(1);
+  Source.scatter(GlobalSource);
+  StencilArguments Args;
+  Args.Result = &Result;
+  Args.Source = &Source;
+  std::vector<std::unique_ptr<DistributedArray>> Coefficients;
+  int Index = 0;
+  for (const std::string &Name : Compiled.Spec.coefficientArrayNames()) {
+    auto Coeff =
+        std::make_unique<DistributedArray>(Grid, SubRows, SubCols);
+    Array2D Global(Result.globalRows(), Result.globalCols());
+    Global.fillRandom(1000 + Index++);
+    Coeff->scatter(Global);
+    Args.Coefficients[Name] = Coeff.get();
+    Coefficients.push_back(std::move(Coeff));
+  }
+
+  Executor Exec(Config);
+  auto Begin = std::chrono::steady_clock::now();
+  Expected<TimingReport> Report = Exec.run(Compiled, Args, 1);
+  auto End = std::chrono::steady_clock::now();
+  if (!Report) {
+    std::fprintf(stderr, "bench_obs: functional run failed: %s\n",
+                 Report.error().message().c_str());
+    std::abort();
+  }
+
+  RunOutput Out;
+  Out.Report = *Report;
+  Out.HostSeconds = std::chrono::duration<double>(End - Begin).count();
+  Out.ResultBits.reserve(static_cast<size_t>(Grid.nodeCount()) * SubRows *
+                         SubCols);
+  for (int Id = 0; Id != Grid.nodeCount(); ++Id) {
+    const Array2D &Sub = Result.subgrid(Grid.coordOf(Id));
+    for (int R = 0; R != SubRows; ++R)
+      for (int C = 0; C != SubCols; ++C)
+        Out.ResultBits.push_back(Sub.at(R, C));
+  }
+  return Out;
+}
+
+bool bitwiseEqual(const RunOutput &A, const RunOutput &B) {
+  if (A.ResultBits.size() != B.ResultBits.size())
+    return false;
+  if (std::memcmp(A.ResultBits.data(), B.ResultBits.data(),
+                  A.ResultBits.size() * sizeof(float)) != 0)
+    return false;
+  return A.Report.Cycles.total() == B.Report.Cycles.total() &&
+         A.Report.Cycles.Communication == B.Report.Cycles.Communication &&
+         A.Report.elapsedSeconds() == B.Report.elapsedSeconds();
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  benchmark::Initialize(&argc, argv);
+
+  MachineConfig Config = MachineConfig::testMachine16();
+  CompiledStencil Compiled = compilePattern(Config, PatternId::Square9);
+
+  //===--- 1. Disabled-span microbenchmark --------------------------------===//
+  double DisabledNs = measureDisabledSpanNs();
+
+  //===--- 2. Tracing off vs on: bitwise-identical output -----------------===//
+  obs::Counter &SpanCounter =
+      obs::Registry::process().counter("obs.trace_spans");
+
+  RunOutput Off = runFunctional(Config, Compiled);
+  // Second untraced run: establishes that repeat runs are deterministic
+  // at all (otherwise the traced comparison below would prove nothing).
+  RunOutput Off2 = runFunctional(Config, Compiled);
+  if (!bitwiseEqual(Off, Off2)) {
+    std::fprintf(stderr,
+                 "bench_obs: untraced runs are not deterministic\n");
+    return 1;
+  }
+
+  long SpansBefore = SpanCounter.value();
+  std::string TracePath = "bench_obs_trace.json";
+  if (!obs::Trace::start(TracePath)) {
+    std::fprintf(stderr, "bench_obs: could not start trace\n");
+    return 1;
+  }
+  RunOutput On = runFunctional(Config, Compiled);
+  if (!obs::Trace::stop()) {
+    std::fprintf(stderr, "bench_obs: trace flush failed\n");
+    return 1;
+  }
+  long SpansRecorded = SpanCounter.value() - SpansBefore;
+
+  if (!bitwiseEqual(Off, On)) {
+    std::fprintf(stderr,
+                 "bench_obs: tracing changed results or cycle totals\n");
+    return 1;
+  }
+
+  //===--- 3. Disabled-path overhead bound --------------------------------===//
+  // Every span the traced run recorded is a CMCC_SPAN site the untraced
+  // run paid the disabled cost for; their total as a fraction of the
+  // untraced wall-clock is the instrumentation overhead with tracing
+  // off.
+  double OverheadSeconds = SpansRecorded * DisabledNs * 1e-9;
+  double OverheadPct = 100.0 * OverheadSeconds / Off.HostSeconds;
+  bool OverheadOk = OverheadPct < 2.0;
+
+  TextTable T;
+  T.setHeader({"measurement", "value"});
+  T.addRow({"disabled span cost", formatFixed(DisabledNs, 2) + " ns"});
+  T.addRow({"spans in traced run", std::to_string(SpansRecorded)});
+  T.addRow({"untraced host seconds", formatFixed(Off.HostSeconds, 4)});
+  T.addRow({"disabled-path overhead", formatFixed(OverheadPct, 4) + " %"});
+  T.addRow({"results tracing on vs off", "bitwise identical"});
+  T.addRow({"sim cycles tracing on vs off", "identical (" +
+                std::to_string(Off.Report.Cycles.total()) + ")"});
+
+  BenchJsonWriter Json("obs");
+  Json.addRow("O1/square9_64x64_functional",
+              Off.Report.measuredMflops(), Off.Report.elapsedSeconds(),
+              Off.HostSeconds);
+  Json.addScalar("disabled_span_ns", DisabledNs);
+  Json.addScalar("spans_per_run", static_cast<double>(SpansRecorded));
+  Json.addScalar("disabled_overhead_pct", OverheadPct);
+  std::string Path = Json.write();
+
+  std::printf("\n=== O1: observability overhead, square9 %dx%d functional "
+              "run on 16 nodes ===\n\n%s\n%s%s\n",
+              SubRows, SubCols, T.str().c_str(),
+              Path.empty() ? "" : "wrote ", Path.c_str());
+  std::remove(TracePath.c_str());
+
+  if (!OverheadOk) {
+    std::fprintf(stderr,
+                 "bench_obs: disabled-path overhead %.4f%% exceeds the "
+                 "2%% bound\n",
+                 OverheadPct);
+    return 1;
+  }
+  benchmark::Shutdown();
+  return 0;
+}

@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "cm2/GridComm.h"
+#include "obs/Metrics.h"
 #include "support/Assert.h"
 #include <algorithm>
 
@@ -13,6 +14,9 @@ using namespace cmcc;
 long cmcc::haloExchangeCycles(const MachineConfig &Config,
                               const HaloExchangeShape &Shape,
                               CommPrimitive Primitive) {
+  static obs::Counter &CostEvals =
+      obs::Registry::process().counter("cm2.halo_cost_evals");
+  CostEvals.add(1);
   if (Shape.BorderWidth == 0)
     return 0;
 

@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "cm2/Sequencer.h"
+#include "obs/Metrics.h"
 #include <cmath>
 
 using namespace cmcc;
@@ -12,6 +13,9 @@ using namespace cmcc;
 CycleBreakdown Sequencer::halfStripCycles(int PrologueOps, int Lines,
                                           int OpsPerLine,
                                           int MaddsPerLine) const {
+  static obs::Counter &CostEvals =
+      obs::Registry::process().counter("cm2.halfstrip_cost_evals");
+  CostEvals.add(1);
   CycleBreakdown Cycles;
   long Ops = static_cast<long>(PrologueOps) +
              static_cast<long>(Lines) * OpsPerLine;

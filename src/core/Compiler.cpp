@@ -7,6 +7,8 @@
 #include "core/Compiler.h"
 #include "fortran/Lexer.h"
 #include "fortran/Parser.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "sexpr/DefStencil.h"
 #include "stencil/Recognizer.h"
 
@@ -38,6 +40,13 @@ std::vector<int> CompiledStencil::availableWidths() const {
 
 Expected<CompiledStencil> ConvolutionCompiler::compile(
     const StencilSpec &Spec) const {
+  CMCC_SPAN("compiler.compile");
+  static obs::Counter &Compiles =
+      obs::Registry::process().counter("compiler.compiles");
+  static obs::Histogram &CompileUs =
+      obs::Registry::process().histogram("compiler.compile_us");
+  Compiles.add(1);
+  obs::ScopedLatencyUs Timer(CompileUs);
   if (Error E = Spec.validate())
     return E;
   if (Spec.distinctDataOffsets().empty())

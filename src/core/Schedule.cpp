@@ -5,6 +5,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/Schedule.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "support/Assert.h"
 #include <algorithm>
 
@@ -48,7 +50,18 @@ Expected<WidthSchedule> cmcc::buildWidthSchedule(const StencilSpec &Spec,
   if (Spec.distinctDataOffsets().empty())
     return makeError("statement has no data taps; nothing to convolve");
 
-  Multistencil MS = Multistencil::build(Spec, Width);
+  static obs::Histogram &MultistencilUs =
+      obs::Registry::process().histogram("compile.multistencil_us");
+  static obs::Histogram &RingPlanUs =
+      obs::Registry::process().histogram("compile.ringplan_us");
+  static obs::Histogram &ScheduleUs =
+      obs::Registry::process().histogram("compile.schedule_us");
+
+  Multistencil MS = [&] {
+    CMCC_SPAN("compile.multistencil");
+    obs::ScopedLatencyUs Timer(MultistencilUs);
+    return Multistencil::build(Spec, Width);
+  }();
 
   // Register budget: 32 minus the reserved zero register, minus the 1.0
   // register when a bare-coefficient term is present (paper §5.3), minus
@@ -56,13 +69,19 @@ Expected<WidthSchedule> cmcc::buildWidthSchedule(const StencilSpec &Spec,
   bool NeedUnit = Spec.needsUnitRegister();
   int Budget = Config.NumRegisters - 1 - (NeedUnit ? 1 : 0) -
                (DedicatedAccumulators ? Width : 0);
-  std::optional<RingBufferPlan> Plan = RingBufferPlan::plan(MS, Budget);
+  std::optional<RingBufferPlan> Plan = [&] {
+    CMCC_SPAN("compile.ringplan");
+    obs::ScopedLatencyUs Timer(RingPlanUs);
+    return RingBufferPlan::plan(MS, Budget);
+  }();
   if (!Plan)
     return makeError(
         "width-" + std::to_string(Width) + " multistencil would require " +
         std::to_string(MS.naturalRegisterCount()) + " registers but only " +
         std::to_string(Budget) + " are available");
 
+  CMCC_SPAN("compile.schedule");
+  obs::ScopedLatencyUs EmitTimer(ScheduleUs);
   RegisterAllocation Regs(MS, *Plan, NeedUnit);
   WidthSchedule Sched(MS, Regs);
   Sched.Width = Width;

@@ -5,6 +5,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/Verifier.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "support/Assert.h"
 #include <algorithm>
 #include <vector>
@@ -93,6 +95,13 @@ private:
 Error cmcc::verifySchedule(const WidthSchedule &Sched,
                            const StencilSpec &Spec,
                            const MachineConfig &Config) {
+  CMCC_SPAN("compile.verify");
+  static obs::Counter &VerifyRuns =
+      obs::Registry::process().counter("compile.verify_runs");
+  static obs::Histogram &VerifyUs =
+      obs::Registry::process().histogram("compile.verify_us");
+  VerifyRuns.add(1);
+  obs::ScopedLatencyUs Timer(VerifyUs);
   const int T = static_cast<int>(Spec.Taps.size());
   if (T > 63)
     return makeError("verifier supports at most 63 taps");

@@ -5,6 +5,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "fortran/Lexer.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "support/StringUtils.h"
 #include <cassert>
 #include <cctype>
@@ -244,6 +246,10 @@ Token Lexer::lexToken() {
 }
 
 std::vector<Token> Lexer::lexAll() {
+  CMCC_SPAN("frontend.lex");
+  static obs::Counter &LexRuns =
+      obs::Registry::process().counter("frontend.lex_runs");
+  LexRuns.add(1);
   std::vector<Token> Tokens;
   while (true) {
     Token T = lexToken();

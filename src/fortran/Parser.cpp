@@ -6,6 +6,8 @@
 
 #include "fortran/Parser.h"
 #include "fortran/Lexer.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "support/Assert.h"
 
 using namespace cmcc;
@@ -380,6 +382,10 @@ std::optional<std::vector<Subroutine>> Parser::parseProgram() {
 std::optional<Subroutine>
 Parser::subroutineFromSource(std::string_view Source,
                              DiagnosticEngine &Diags) {
+  CMCC_SPAN("frontend.parse");
+  static obs::Counter &ParseRuns =
+      obs::Registry::process().counter("frontend.parse_runs");
+  ParseRuns.add(1);
   Lexer L(Source, Diags);
   Parser P(L.lexAll(), Diags);
   std::optional<Subroutine> Sub = P.parseSubroutine();
@@ -391,6 +397,10 @@ Parser::subroutineFromSource(std::string_view Source,
 std::optional<AssignmentStmt>
 Parser::assignmentFromSource(std::string_view Source,
                              DiagnosticEngine &Diags) {
+  CMCC_SPAN("frontend.parse");
+  static obs::Counter &ParseRuns =
+      obs::Registry::process().counter("frontend.parse_runs");
+  ParseRuns.add(1);
   Lexer L(Source, Diags);
   Parser P(L.lexAll(), Diags);
   std::optional<AssignmentStmt> S = P.parseAssignment();

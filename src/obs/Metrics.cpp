@@ -1,0 +1,273 @@
+//===- obs/Metrics.cpp ----------------------------------------*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+#include <algorithm>
+#include <cassert>
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+using namespace cmcc;
+using namespace cmcc::obs;
+
+unsigned detail::threadSlot() {
+  static std::atomic<unsigned> NextSlot{0};
+  static thread_local unsigned Slot =
+      NextSlot.fetch_add(1, std::memory_order_relaxed);
+  return Slot;
+}
+
+//===----------------------------------------------------------------------===//
+// Histogram
+//===----------------------------------------------------------------------===//
+
+Histogram::Histogram(std::vector<double> UpperBounds)
+    : Bounds(std::move(UpperBounds)),
+      Buckets(new std::atomic<long>[Bounds.size() + 1]) {
+  assert(!Bounds.empty() && "histogram needs at least one bucket bound");
+  assert(std::is_sorted(Bounds.begin(), Bounds.end()) &&
+         "bucket bounds must be increasing");
+  for (size_t I = 0; I != Bounds.size() + 1; ++I)
+    Buckets[I].store(0, std::memory_order_relaxed);
+}
+
+void Histogram::observe(double V) {
+  size_t I = std::lower_bound(Bounds.begin(), Bounds.end(), V) -
+             Bounds.begin(); // First bound >= V; past-the-end = overflow.
+  Buckets[I].fetch_add(1, std::memory_order_relaxed);
+  N.fetch_add(1, std::memory_order_relaxed);
+  Total.fetch_add(V, std::memory_order_relaxed);
+}
+
+std::vector<long> Histogram::bucketCounts() const {
+  std::vector<long> Out(Bounds.size() + 1);
+  for (size_t I = 0; I != Out.size(); ++I)
+    Out[I] = Buckets[I].load(std::memory_order_relaxed);
+  return Out;
+}
+
+double Histogram::percentile(double P) const {
+  std::vector<long> Counts = bucketCounts();
+  long C = 0;
+  for (long B : Counts)
+    C += B;
+  if (C == 0)
+    return 0.0;
+  double Rank = std::min(std::max(P, 0.0), 100.0) / 100.0 *
+                static_cast<double>(C);
+  long Seen = 0;
+  for (size_t I = 0; I != Counts.size(); ++I) {
+    if (Counts[I] == 0)
+      continue;
+    double Before = static_cast<double>(Seen);
+    Seen += Counts[I];
+    if (static_cast<double>(Seen) < Rank)
+      continue;
+    // The rank falls in bucket I: interpolate between the bucket's
+    // bounds ([0, B0] for the first, [Bi-1, Bi] otherwise; the overflow
+    // bucket reports the last finite bound).
+    if (I == Counts.size() - 1 && I == Bounds.size())
+      return Bounds.back();
+    double Lo = I == 0 ? 0.0 : Bounds[I - 1];
+    double Hi = Bounds[I];
+    double Frac = (Rank - Before) / static_cast<double>(Counts[I]);
+    return Lo + (Hi - Lo) * Frac;
+  }
+  return Bounds.back();
+}
+
+std::vector<double> Histogram::latencyBoundsUs() {
+  std::vector<double> Bounds;
+  for (double B = 1.0; B <= 1024.0 * 1024.0 * 1024.0; B *= 2.0)
+    Bounds.push_back(B); // 1 us .. 2^30 us (~17.9 minutes).
+  return Bounds;
+}
+
+//===----------------------------------------------------------------------===//
+// Registry
+//===----------------------------------------------------------------------===//
+
+Registry &Registry::process() {
+  // Leaked intentionally: metrics handles must outlive every static
+  // destructor (worker threads may still be counting at exit).
+  static Registry *R = new Registry;
+  return *R;
+}
+
+Counter &Registry::counter(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto &Slot = Counters[Name];
+  if (!Slot)
+    Slot = std::make_unique<Counter>();
+  return *Slot;
+}
+
+Gauge &Registry::gauge(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto &Slot = Gauges[Name];
+  if (!Slot)
+    Slot = std::make_unique<Gauge>();
+  return *Slot;
+}
+
+Sum &Registry::sum(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto &Slot = Sums[Name];
+  if (!Slot)
+    Slot = std::make_unique<Sum>();
+  return *Slot;
+}
+
+Histogram &Registry::histogram(const std::string &Name) {
+  return histogram(Name, Histogram::latencyBoundsUs());
+}
+
+Histogram &Registry::histogram(const std::string &Name,
+                               std::vector<double> UpperBounds) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto &Slot = Histograms[Name];
+  if (!Slot)
+    Slot = std::make_unique<Histogram>(std::move(UpperBounds));
+  return *Slot;
+}
+
+namespace {
+
+std::string formatDouble(double V) {
+  char Buffer[64];
+  std::snprintf(Buffer, sizeof(Buffer), "%.6g", V);
+  return Buffer;
+}
+
+std::string promName(const std::string &Name) {
+  std::string Out = "cmcc_";
+  for (char C : Name)
+    Out += (std::isalnum(static_cast<unsigned char>(C)) || C == '_')
+               ? C
+               : '_';
+  return Out;
+}
+
+} // namespace
+
+std::string Registry::table() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  struct Row {
+    std::string Name, Value;
+  };
+  std::vector<Row> Rows;
+  for (const auto &[Name, C] : Counters)
+    Rows.push_back({Name, std::to_string(C->value())});
+  for (const auto &[Name, G] : Gauges)
+    Rows.push_back({Name, std::to_string(G->value()) + " (max " +
+                              std::to_string(G->maximum()) + ")"});
+  for (const auto &[Name, S] : Sums)
+    Rows.push_back({Name, formatDouble(S->value())});
+  for (const auto &[Name, H] : Histograms)
+    Rows.push_back({Name, "count " + std::to_string(H->count()) + "  mean " +
+                              formatDouble(H->mean()) + "  p50 " +
+                              formatDouble(H->percentile(50)) + "  p90 " +
+                              formatDouble(H->percentile(90)) + "  p99 " +
+                              formatDouble(H->percentile(99))});
+  std::sort(Rows.begin(), Rows.end(),
+            [](const Row &A, const Row &B) { return A.Name < B.Name; });
+  size_t Width = 0;
+  for (const Row &R : Rows)
+    Width = std::max(Width, R.Name.size());
+  std::ostringstream Out;
+  for (const Row &R : Rows)
+    Out << R.Name << std::string(Width - R.Name.size() + 2, ' ') << R.Value
+        << "\n";
+  return Out.str();
+}
+
+std::string Registry::json() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::ostringstream Out;
+  Out << "{\n  \"counters\": {";
+  bool First = true;
+  for (const auto &[Name, C] : Counters) {
+    Out << (First ? "" : ",") << "\n    \"" << Name
+        << "\": " << C->value();
+    First = false;
+  }
+  Out << (First ? "" : "\n  ") << "},\n  \"gauges\": {";
+  First = true;
+  for (const auto &[Name, G] : Gauges) {
+    Out << (First ? "" : ",") << "\n    \"" << Name << "\": {\"value\": "
+        << G->value() << ", \"max\": " << G->maximum() << "}";
+    First = false;
+  }
+  Out << (First ? "" : "\n  ") << "},\n  \"sums\": {";
+  First = true;
+  for (const auto &[Name, S] : Sums) {
+    Out << (First ? "" : ",") << "\n    \"" << Name
+        << "\": " << formatDouble(S->value());
+    First = false;
+  }
+  Out << (First ? "" : "\n  ") << "},\n  \"histograms\": {";
+  First = true;
+  for (const auto &[Name, H] : Histograms) {
+    Out << (First ? "" : ",") << "\n    \"" << Name << "\": {\"count\": "
+        << H->count() << ", \"sum\": " << formatDouble(H->sum())
+        << ", \"mean\": " << formatDouble(H->mean())
+        << ", \"p50\": " << formatDouble(H->percentile(50))
+        << ", \"p90\": " << formatDouble(H->percentile(90))
+        << ", \"p99\": " << formatDouble(H->percentile(99)) << "}";
+    First = false;
+  }
+  Out << (First ? "" : "\n  ") << "}\n}\n";
+  return Out.str();
+}
+
+std::string Registry::prometheus() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::ostringstream Out;
+  for (const auto &[Name, C] : Counters) {
+    std::string P = promName(Name);
+    Out << "# TYPE " << P << " counter\n" << P << " " << C->value() << "\n";
+  }
+  for (const auto &[Name, G] : Gauges) {
+    std::string P = promName(Name);
+    Out << "# TYPE " << P << " gauge\n" << P << " " << G->value() << "\n";
+    Out << "# TYPE " << P << "_max gauge\n"
+        << P << "_max " << G->maximum() << "\n";
+  }
+  for (const auto &[Name, S] : Sums) {
+    std::string P = promName(Name);
+    Out << "# TYPE " << P << " counter\n"
+        << P << " " << formatDouble(S->value()) << "\n";
+  }
+  for (const auto &[Name, H] : Histograms) {
+    std::string P = promName(Name);
+    Out << "# TYPE " << P << " histogram\n";
+    std::vector<long> Counts = H->bucketCounts();
+    long Cumulative = 0;
+    for (size_t I = 0; I != H->upperBounds().size(); ++I) {
+      Cumulative += Counts[I];
+      Out << P << "_bucket{le=\"" << formatDouble(H->upperBounds()[I])
+          << "\"} " << Cumulative << "\n";
+    }
+    Cumulative += Counts.back();
+    Out << P << "_bucket{le=\"+Inf\"} " << Cumulative << "\n";
+    Out << P << "_sum " << formatDouble(H->sum()) << "\n";
+    Out << P << "_count " << H->count() << "\n";
+  }
+  return Out.str();
+}
+
+//===----------------------------------------------------------------------===//
+// ScopedLatencyUs
+//===----------------------------------------------------------------------===//
+
+ScopedLatencyUs::ScopedLatencyUs(Histogram &H)
+    : H(H), BeginNs(detail::nowNs()) {}
+
+ScopedLatencyUs::~ScopedLatencyUs() {
+  H.observe(static_cast<double>(detail::nowNs() - BeginNs) / 1000.0);
+}

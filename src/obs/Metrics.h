@@ -1,0 +1,214 @@
+//===- obs/Metrics.h - Process metrics registry ---------------*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The counter system behind every operational number the host-side
+/// system reports: named counters, gauges, double accumulators, and
+/// fixed-bucket latency histograms collected in a Registry and exported
+/// as an aligned text table, a JSON object, or Prometheus exposition
+/// text.
+///
+/// The paper accounts for every simulated cycle (§7); this registry does
+/// the same for the host side — compiler phases, thread-pool dispatch,
+/// halo exchanges, cache traffic — without ever touching the simulation:
+/// recording a metric can change neither numerical results nor simulated
+/// cycle counts, an invariant bench_obs enforces.
+///
+/// Hot-path cost: counters are sharded over cache-line-padded atomic
+/// cells indexed by a per-thread slot, so concurrent increments do not
+/// bounce one cache line; everything uses relaxed atomics (the values
+/// are statistics, not synchronization). Handles returned by the
+/// Registry are stable for the Registry's lifetime — resolve a metric
+/// once, keep the reference.
+///
+/// `Registry::process()` is the process-wide instance used by the
+/// subsystems that are themselves process-wide (the shared ThreadPool,
+/// the compiler, the runtime). Subsystems with per-instance totals (a
+/// StencilService) own a private Registry of the same type, so there is
+/// exactly one counter *system* even where there are several scopes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMCC_OBS_METRICS_H
+#define CMCC_OBS_METRICS_H
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace cmcc {
+namespace obs {
+
+namespace detail {
+/// Small per-thread slot used to spread hot counters over shards.
+unsigned threadSlot();
+} // namespace detail
+
+/// A monotonically increasing count, sharded so concurrent writers from
+/// different threads hit different cache lines.
+class Counter {
+public:
+  static constexpr int NumCells = 16;
+
+  void add(long N = 1) {
+    Cells[detail::threadSlot() % NumCells].V.fetch_add(
+        N, std::memory_order_relaxed);
+  }
+
+  long value() const {
+    long Total = 0;
+    for (const Cell &C : Cells)
+      Total += C.V.load(std::memory_order_relaxed);
+    return Total;
+  }
+
+private:
+  struct alignas(64) Cell {
+    std::atomic<long> V{0};
+  };
+  Cell Cells[NumCells];
+};
+
+/// A point-in-time level (queue depth, entries in flight) with a
+/// high-water mark.
+class Gauge {
+public:
+  void set(long V) {
+    Current.store(V, std::memory_order_relaxed);
+    raiseMax(V);
+  }
+
+  void add(long Delta) {
+    long Now = Current.fetch_add(Delta, std::memory_order_relaxed) + Delta;
+    raiseMax(Now);
+  }
+
+  long value() const { return Current.load(std::memory_order_relaxed); }
+  long maximum() const { return Max.load(std::memory_order_relaxed); }
+
+private:
+  void raiseMax(long V) {
+    long Prev = Max.load(std::memory_order_relaxed);
+    while (V > Prev &&
+           !Max.compare_exchange_weak(Prev, V, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::atomic<long> Current{0};
+  std::atomic<long> Max{0};
+};
+
+/// A double accumulator (total simulated seconds, total useful flops):
+/// the quantities the service sums that are not integer counts.
+class Sum {
+public:
+  void add(double V) { Total.fetch_add(V, std::memory_order_relaxed); }
+  double value() const { return Total.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<double> Total{0.0};
+};
+
+/// A fixed-bucket histogram: bucket upper bounds are chosen at creation
+/// and never change, so recording is one bucket search plus relaxed
+/// atomic adds. Percentiles are estimated by linear interpolation within
+/// the containing bucket (exact when every observation lands on a
+/// bucket boundary — the property the tests exploit).
+class Histogram {
+public:
+  /// \p UpperBounds must be strictly increasing; values above the last
+  /// bound land in an overflow bucket.
+  explicit Histogram(std::vector<double> UpperBounds);
+
+  void observe(double V);
+
+  long count() const { return N.load(std::memory_order_relaxed); }
+  double sum() const { return Total.load(std::memory_order_relaxed); }
+  double mean() const {
+    long C = count();
+    return C == 0 ? 0.0 : sum() / static_cast<double>(C);
+  }
+
+  /// Value at percentile \p P in [0, 100], interpolated within the
+  /// containing bucket (0 when empty). The overflow bucket reports the
+  /// last finite bound.
+  double percentile(double P) const;
+
+  const std::vector<double> &upperBounds() const { return Bounds; }
+  /// One count per bound plus the overflow bucket (a relaxed snapshot).
+  std::vector<long> bucketCounts() const;
+
+  /// The default latency scale: power-of-two microsecond buckets from
+  /// 1 us to ~17 minutes.
+  static std::vector<double> latencyBoundsUs();
+
+private:
+  std::vector<double> Bounds;
+  std::unique_ptr<std::atomic<long>[]> Buckets; ///< Bounds.size() + 1.
+  std::atomic<long> N{0};
+  std::atomic<double> Total{0.0};
+};
+
+/// A named collection of metrics. Lookup creates on first use and is
+/// mutex-guarded; the returned references stay valid for the Registry's
+/// lifetime, so hot paths resolve once and then touch only atomics.
+class Registry {
+public:
+  Registry() = default;
+  Registry(const Registry &) = delete;
+  Registry &operator=(const Registry &) = delete;
+
+  Counter &counter(const std::string &Name);
+  Gauge &gauge(const std::string &Name);
+  Sum &sum(const std::string &Name);
+  Histogram &histogram(const std::string &Name);
+  Histogram &histogram(const std::string &Name,
+                       std::vector<double> UpperBounds);
+
+  /// Aligned two-column text (names sorted; histograms show count, mean
+  /// and the p50/p90/p99 estimates).
+  std::string table() const;
+
+  /// One JSON object: {"counters": {...}, "gauges": {...},
+  /// "sums": {...}, "histograms": {...}}.
+  std::string json() const;
+
+  /// Prometheus exposition text ('.' becomes '_', names prefixed
+  /// cmcc_; histograms emit cumulative le buckets, _count and _sum).
+  std::string prometheus() const;
+
+  /// The process-wide registry.
+  static Registry &process();
+
+private:
+  mutable std::mutex Mutex;
+  std::map<std::string, std::unique_ptr<Counter>> Counters;
+  std::map<std::string, std::unique_ptr<Gauge>> Gauges;
+  std::map<std::string, std::unique_ptr<Sum>> Sums;
+  std::map<std::string, std::unique_ptr<Histogram>> Histograms;
+};
+
+/// Observes the elapsed host time, in microseconds, into a histogram
+/// when the scope closes.
+class ScopedLatencyUs {
+public:
+  explicit ScopedLatencyUs(Histogram &H);
+  ~ScopedLatencyUs();
+  ScopedLatencyUs(const ScopedLatencyUs &) = delete;
+  ScopedLatencyUs &operator=(const ScopedLatencyUs &) = delete;
+
+private:
+  Histogram &H;
+  unsigned long long BeginNs;
+};
+
+} // namespace obs
+} // namespace cmcc
+
+#endif // CMCC_OBS_METRICS_H

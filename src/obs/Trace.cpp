@@ -1,0 +1,159 @@
+//===- obs/Trace.cpp ------------------------------------------*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Trace.h"
+#include "obs/Metrics.h"
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+using namespace cmcc;
+using namespace cmcc::obs;
+
+std::atomic<bool> detail::TraceOn{false};
+
+std::uint64_t detail::nowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+namespace {
+
+struct SpanEvent {
+  const char *Name;
+  std::uint64_t BeginNs, EndNs;
+};
+
+/// One thread's span log. The per-buffer mutex is effectively
+/// uncontended (the owning thread appends; the flusher drains after the
+/// work is over) but makes the flush race-free under ThreadSanitizer.
+struct ThreadBuffer {
+  std::mutex Mutex;
+  std::vector<SpanEvent> Events;
+  int Tid = 0;
+};
+
+struct TraceState {
+  std::mutex Mutex;
+  bool Active = false;
+  std::string Path;
+  std::uint64_t EpochNs = 0;
+  /// shared_ptr keeps a buffer alive past its thread's exit.
+  std::vector<std::shared_ptr<ThreadBuffer>> Buffers;
+};
+
+TraceState &state() {
+  // Leaked: worker threads (e.g. the shared ThreadPool's) may record
+  // spans during static destruction.
+  static TraceState *S = new TraceState;
+  return *S;
+}
+
+ThreadBuffer &threadBuffer() {
+  static thread_local std::shared_ptr<ThreadBuffer> Buf = [] {
+    auto B = std::make_shared<ThreadBuffer>();
+    TraceState &S = state();
+    std::lock_guard<std::mutex> Lock(S.Mutex);
+    B->Tid = static_cast<int>(S.Buffers.size());
+    S.Buffers.push_back(B);
+    return B;
+  }();
+  return *Buf;
+}
+
+/// Minimal JSON string escaping for span names.
+std::string escaped(const char *Name) {
+  std::string Out;
+  for (const char *P = Name; *P; ++P) {
+    if (*P == '"' || *P == '\\')
+      Out += '\\';
+    Out += *P;
+  }
+  return Out;
+}
+
+/// Reads CMCC_TRACE at static-initialization time and arranges the
+/// flush at process exit, so every tool is traceable without code.
+struct EnvTrace {
+  EnvTrace() {
+    const char *Path = std::getenv("CMCC_TRACE");
+    if (Path && *Path && Trace::start(Path))
+      std::atexit([] { Trace::stop(); });
+  }
+} TheEnvTrace;
+
+} // namespace
+
+void detail::recordSpan(const char *Name, std::uint64_t BeginNs,
+                        std::uint64_t EndNs) {
+  ThreadBuffer &Buf = threadBuffer();
+  {
+    std::lock_guard<std::mutex> Lock(Buf.Mutex);
+    Buf.Events.push_back({Name, BeginNs, EndNs});
+  }
+  Registry::process().counter("obs.trace_spans").add(1);
+}
+
+bool Trace::active() { return traceEnabled(); }
+
+bool Trace::start(const std::string &Path) {
+  TraceState &S = state();
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+  if (S.Active)
+    return false;
+  S.Active = true;
+  S.Path = Path;
+  // Drop anything a span in flight at the previous stop() left behind,
+  // so a restarted trace never shows events before its own epoch.
+  for (const std::shared_ptr<ThreadBuffer> &Buf : S.Buffers) {
+    std::lock_guard<std::mutex> BufLock(Buf->Mutex);
+    Buf->Events.clear();
+  }
+  S.EpochNs = detail::nowNs();
+  detail::TraceOn.store(true, std::memory_order_relaxed);
+  return true;
+}
+
+bool Trace::stop() {
+  TraceState &S = state();
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+  if (!S.Active)
+    return false;
+  // Disable first: spans that begin after this line are dropped at
+  // construction; spans already in flight land in a buffer and are
+  // simply carried into the next trace (or never written).
+  detail::TraceOn.store(false, std::memory_order_relaxed);
+  S.Active = false;
+
+  std::FILE *F = std::fopen(S.Path.c_str(), "w");
+  if (!F)
+    return false;
+  std::fprintf(F, "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [");
+  bool First = true;
+  for (const std::shared_ptr<ThreadBuffer> &Buf : S.Buffers) {
+    std::lock_guard<std::mutex> BufLock(Buf->Mutex);
+    for (const SpanEvent &E : Buf->Events) {
+      // Chrome trace-event "complete" (ph:X) events; ts/dur in
+      // microseconds relative to the trace epoch.
+      std::fprintf(
+          F, "%s\n{\"name\": \"%s\", \"cat\": \"cmcc\", \"ph\": \"X\", "
+             "\"pid\": 1, \"tid\": %d, \"ts\": %.3f, \"dur\": %.3f}",
+          First ? "" : ",", escaped(E.Name).c_str(), Buf->Tid,
+          static_cast<double>(E.BeginNs - S.EpochNs) / 1000.0,
+          static_cast<double>(E.EndNs - E.BeginNs) / 1000.0);
+      First = false;
+    }
+    Buf->Events.clear();
+  }
+  std::fprintf(F, "\n]}\n");
+  bool Ok = std::fclose(F) == 0;
+  return Ok;
+}

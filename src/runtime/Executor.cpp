@@ -7,6 +7,8 @@
 #include "runtime/Executor.h"
 #include "cm2/FloatingPointUnit.h"
 #include "cm2/Sequencer.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "runtime/FpuBinding.h"
 #include "runtime/HaloExchange.h"
 #include "support/ThreadPool.h"
@@ -31,6 +33,8 @@ long runStripsWithBinding(FloatingPointUnit &Fpu,
                           const std::vector<Executor::PlannedStrip> &Plan) {
   long Ops = 0;
   for (const Executor::PlannedStrip &PS : Plan) {
+    // Trace-only: one relaxed load + branch per half-strip when off.
+    CMCC_SPAN("fpu.half_strip");
     const HalfStrip &HS = PS.HS;
     const WidthSchedule *W = PS.Sched;
     Fpu.reset();
@@ -212,6 +216,7 @@ double Executor::hostSecondsPerIteration(const CompiledStencil &Compiled,
 
 TimingReport Executor::timeOnly(const CompiledStencil &Compiled, int SubRows,
                                 int SubCols, int Iterations) const {
+  CMCC_SPAN("executor.time_only");
   TimingReport Report;
   Report.Cycles = analyticCycles(Compiled, SubRows, SubCols);
   Report.Iterations = Iterations;
@@ -227,6 +232,13 @@ TimingReport Executor::timeOnly(const CompiledStencil &Compiled, int SubRows,
 Expected<TimingReport> Executor::run(const CompiledStencil &Compiled,
                                      StencilArguments &Args,
                                      int Iterations) const {
+  CMCC_SPAN("executor.run");
+  static obs::Counter &Runs =
+      obs::Registry::process().counter("executor.runs");
+  static obs::Histogram &RunHostUs =
+      obs::Registry::process().histogram("executor.run_host_us");
+  Runs.add(1);
+  obs::ScopedLatencyUs RunTimer(RunHostUs);
   if (Error E = validateArguments(Compiled, Args))
     return E;
   assert(Iterations > 0 && "iteration count must be positive");
@@ -237,8 +249,10 @@ Expected<TimingReport> Executor::run(const CompiledStencil &Compiled,
   // Plan the half-strips once per run: every node executes the same
   // plan (the machine is synchronous SIMD), and the cross-check below
   // reuses it too.
-  const std::vector<PlannedStrip> Plan =
-      resolvedPlanFor(Compiled, SubRows, SubCols);
+  const std::vector<PlannedStrip> Plan = [&] {
+    CMCC_SPAN("executor.plan_strips");
+    return resolvedPlanFor(Compiled, SubRows, SubCols);
+  }();
   if (Plan.empty())
     return makeError("the available multistencil widths cannot cover a "
                      "subgrid of " + std::to_string(SubCols) +

@@ -5,6 +5,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "runtime/HaloExchange.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "support/ThreadPool.h"
 #include <functional>
 #include <limits>
@@ -17,6 +19,10 @@ std::vector<Array2D> cmcc::exchangeHalos(const DistributedArray &A,
                                          BoundaryKind BoundaryDim2,
                                          bool FetchCorners,
                                          ThreadPool *Pool) {
+  CMCC_SPAN("halo.exchange");
+  static obs::Counter &Exchanges =
+      obs::Registry::process().counter("halo.exchanges");
+  Exchanges.add(1);
   const NodeGrid &Grid = A.grid();
   const int SR = A.subRows();
   const int SC = A.subCols();
@@ -41,44 +47,50 @@ std::vector<Array2D> cmcc::exchangeHalos(const DistributedArray &A,
   // Step 1: temporary storage, own subgrid in the center. Unwritten pad
   // cells stay poisoned so mistakes are loud.
   std::vector<Array2D> Padded(Grid.nodeCount());
-  ForEachNode([&](int Id) {
-    Array2D P(SR + 2 * B, SC + 2 * B, B > 0 ? Nan : 0.0f);
-    const Array2D &Own = A.subgrid(Grid.coordOf(Id));
-    for (int R = 0; R != SR; ++R)
-      for (int C = 0; C != SC; ++C)
-        P.at(R + B, C + B) = Own.at(R, C);
-    Padded[Id] = std::move(P);
-  });
+  {
+    CMCC_SPAN("halo.step1_copy");
+    ForEachNode([&](int Id) {
+      Array2D P(SR + 2 * B, SC + 2 * B, B > 0 ? Nan : 0.0f);
+      const Array2D &Own = A.subgrid(Grid.coordOf(Id));
+      for (int R = 0; R != SR; ++R)
+        for (int C = 0; C != SC; ++C)
+          P.at(R + B, C + B) = Own.at(R, C);
+      Padded[Id] = std::move(P);
+    });
+  }
   if (B == 0)
     return Padded;
 
   // Step 2: every node exchanges its edge columns with its West and
   // East neighbors simultaneously.
-  ForEachNode([&](int Id) {
-    NodeCoord Here = Grid.coordOf(Id);
-    Array2D &P = Padded[Id];
+  {
+    CMCC_SPAN("halo.step2_we");
+    ForEachNode([&](int Id) {
+      NodeCoord Here = Grid.coordOf(Id);
+      Array2D &P = Padded[Id];
 
-    // West pad <- west neighbor's rightmost core columns.
-    NodeCoord West = Grid.neighbor(Here, Direction::West);
-    bool CrossW = Here.Col == 0;
-    const Array2D &WestSub = A.subgrid(West);
-    for (int R = 0; R != SR; ++R)
-      for (int C = 0; C != B; ++C)
-        P.at(R + B, C) = (CrossW && BoundaryDim2 == BoundaryKind::Zero)
-                             ? 0.0f
-                             : WestSub.at(R, SC - B + C);
+      // West pad <- west neighbor's rightmost core columns.
+      NodeCoord West = Grid.neighbor(Here, Direction::West);
+      bool CrossW = Here.Col == 0;
+      const Array2D &WestSub = A.subgrid(West);
+      for (int R = 0; R != SR; ++R)
+        for (int C = 0; C != B; ++C)
+          P.at(R + B, C) = (CrossW && BoundaryDim2 == BoundaryKind::Zero)
+                               ? 0.0f
+                               : WestSub.at(R, SC - B + C);
 
-    // East pad <- east neighbor's leftmost core columns.
-    NodeCoord East = Grid.neighbor(Here, Direction::East);
-    bool CrossE = Here.Col == Grid.cols() - 1;
-    const Array2D &EastSub = A.subgrid(East);
-    for (int R = 0; R != SR; ++R)
-      for (int C = 0; C != B; ++C)
-        P.at(R + B, SC + B + C) =
-            (CrossE && BoundaryDim2 == BoundaryKind::Zero)
-                ? 0.0f
-                : EastSub.at(R, C);
-  });
+      // East pad <- east neighbor's leftmost core columns.
+      NodeCoord East = Grid.neighbor(Here, Direction::East);
+      bool CrossE = Here.Col == Grid.cols() - 1;
+      const Array2D &EastSub = A.subgrid(East);
+      for (int R = 0; R != SR; ++R)
+        for (int C = 0; C != B; ++C)
+          P.at(R + B, SC + B + C) =
+              (CrossE && BoundaryDim2 == BoundaryKind::Zero)
+                  ? 0.0f
+                  : EastSub.at(R, C);
+    });
+  }
 
   // Step 3: exchange edge rows with the North and South neighbors. The
   // shipped rows include the side pads received in step 2, so corner
@@ -90,30 +102,33 @@ std::vector<Array2D> cmcc::exchangeHalos(const DistributedArray &A,
   // too.
   const int ColBegin = FetchCorners ? 0 : B;
   const int ColEnd = FetchCorners ? SC + 2 * B : SC + B;
-  ForEachNode([&](int Id) {
-    NodeCoord Here = Grid.coordOf(Id);
-    Array2D &P = Padded[Id];
+  {
+    CMCC_SPAN("halo.step3_ns");
+    ForEachNode([&](int Id) {
+      NodeCoord Here = Grid.coordOf(Id);
+      Array2D &P = Padded[Id];
 
-    // North pad <- north neighbor's bottommost core rows (with pads).
-    NodeCoord North = Grid.neighbor(Here, Direction::North);
-    bool CrossN = Here.Row == 0;
-    const Array2D &NorthP = Padded[Grid.nodeId(North)];
-    for (int R = 0; R != B; ++R)
-      for (int C = ColBegin; C != ColEnd; ++C)
-        P.at(R, C) = (CrossN && BoundaryDim1 == BoundaryKind::Zero)
-                         ? 0.0f
-                         : NorthP.at(SR + R, C);
+      // North pad <- north neighbor's bottommost core rows (with pads).
+      NodeCoord North = Grid.neighbor(Here, Direction::North);
+      bool CrossN = Here.Row == 0;
+      const Array2D &NorthP = Padded[Grid.nodeId(North)];
+      for (int R = 0; R != B; ++R)
+        for (int C = ColBegin; C != ColEnd; ++C)
+          P.at(R, C) = (CrossN && BoundaryDim1 == BoundaryKind::Zero)
+                           ? 0.0f
+                           : NorthP.at(SR + R, C);
 
-    // South pad <- south neighbor's topmost core rows (with pads).
-    NodeCoord South = Grid.neighbor(Here, Direction::South);
-    bool CrossS = Here.Row == Grid.rows() - 1;
-    const Array2D &SouthP = Padded[Grid.nodeId(South)];
-    for (int R = 0; R != B; ++R)
-      for (int C = ColBegin; C != ColEnd; ++C)
-        P.at(SR + B + R, C) =
-            (CrossS && BoundaryDim1 == BoundaryKind::Zero)
-                ? 0.0f
-                : SouthP.at(B + R, C);
-  });
+      // South pad <- south neighbor's topmost core rows (with pads).
+      NodeCoord South = Grid.neighbor(Here, Direction::South);
+      bool CrossS = Here.Row == Grid.rows() - 1;
+      const Array2D &SouthP = Padded[Grid.nodeId(South)];
+      for (int R = 0; R != B; ++R)
+        for (int C = ColBegin; C != ColEnd; ++C)
+          P.at(SR + B + R, C) =
+              (CrossS && BoundaryDim1 == BoundaryKind::Zero)
+                  ? 0.0f
+                  : SouthP.at(B + R, C);
+    });
+  }
   return Padded;
 }

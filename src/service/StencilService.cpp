@@ -7,6 +7,7 @@
 #include "service/StencilService.h"
 #include "core/PlanFingerprint.h"
 #include "fortran/Parser.h"
+#include "obs/Trace.h"
 #include "sexpr/DefStencil.h"
 #include "stencil/Recognizer.h"
 #include "support/Assert.h"
@@ -33,7 +34,19 @@ std::string memoKey(StencilService::SourceKind Kind,
 
 StencilService::StencilService(const MachineConfig &Config, Options Opts)
     : Config(Config), Opts(Opts), Compiler(Config),
-      Exec(Config, Opts.Exec), Cache(Config, Opts.Cache) {
+      Exec(Config, Opts.Exec), Cache(Config, Opts.Cache),
+      JobsSubmitted(Metrics.counter("service.jobs_submitted")),
+      JobsCompleted(Metrics.counter("service.jobs_completed")),
+      JobsFailed(Metrics.counter("service.jobs_failed")),
+      FrontEndRuns(Metrics.counter("service.frontend_runs")),
+      SourceMemoHits(Metrics.counter("service.source_memo_hits")),
+      CompilesPerformed(Metrics.counter("service.compiles_performed")),
+      CompilesCoalesced(Metrics.counter("service.compiles_coalesced")),
+      QueueDepth(Metrics.gauge("service.queue_depth")),
+      CompileUs(Metrics.histogram("service.compile_us")),
+      ExecuteUs(Metrics.histogram("service.execute_us")),
+      SimSeconds(Metrics.sum("service.sim_seconds")),
+      UsefulFlops(Metrics.sum("service.useful_flops")) {
   Compiler.setAllowMultipleSources(Opts.AllowMultipleSources);
   int N = std::max(1, Opts.Workers);
   Workers.reserve(N);
@@ -52,6 +65,7 @@ StencilService::~StencilService() {
 }
 
 StencilService::JobId StencilService::submit(JobRequest Request) {
+  CMCC_SPAN("service.submit");
   Job *Raw;
   {
     std::lock_guard<std::mutex> Lock(JobsMutex);
@@ -62,7 +76,8 @@ StencilService::JobId StencilService::submit(JobRequest Request) {
     Raw = J.get();
     Jobs.emplace(Raw->Id, std::move(J));
     Queue.push_back(Raw);
-    MaxQueueDepth = std::max(MaxQueueDepth, static_cast<int>(Queue.size()));
+    JobsSubmitted.add(1);
+    QueueDepth.add(1);
   }
   JobsChanged.notify_all();
   return Raw->Id;
@@ -110,6 +125,7 @@ void StencilService::workerLoop() {
       }
       J = Queue.front();
       Queue.pop_front();
+      QueueDepth.add(-1);
       J->State = JobState::Compiling;
     }
     process(*J);
@@ -118,6 +134,7 @@ void StencilService::workerLoop() {
 
 bool StencilService::resolveSpec(Job &J, std::optional<StencilSpec> &Spec,
                                  uint64_t &Fp) {
+  CMCC_SPAN("service.resolve_spec");
   const JobRequest &Req = J.Request;
   if (Req.Kind == SourceKind::Fingerprint) {
     Fp = Req.Fingerprint;
@@ -131,8 +148,7 @@ bool StencilService::resolveSpec(Job &J, std::optional<StencilSpec> &Spec,
     if (It != SourceMemo.end()) {
       Spec = It->second.Spec;
       Fp = It->second.Fingerprint;
-      std::lock_guard<std::mutex> SLock(StatsMutex);
-      ++SourceMemoHits;
+      SourceMemoHits.add(1);
       return true;
     }
   }
@@ -175,10 +191,7 @@ bool StencilService::resolveSpec(Job &J, std::optional<StencilSpec> &Spec,
   case SourceKind::Fingerprint:
     CMCC_UNREACHABLE("handled above");
   }
-  {
-    std::lock_guard<std::mutex> Lock(StatsMutex);
-    ++FrontEndRuns;
-  }
+  FrontEndRuns.add(1);
   if (!Recognized) {
     J.Result.Message = Diags.hasErrors()
                            ? Diags.str()
@@ -198,6 +211,7 @@ bool StencilService::resolveSpec(Job &J, std::optional<StencilSpec> &Spec,
 std::shared_ptr<const CompiledStencil>
 StencilService::resolvePlan(Job &J, const std::optional<StencilSpec> &Spec,
                             uint64_t Fp) {
+  CMCC_SPAN("service.resolve_plan");
   // Fast path: the cache (memory, then disk with re-verification).
   if (std::shared_ptr<const CompiledStencil> Plan = Cache.lookup(Fp)) {
     J.Result.CacheHit = true;
@@ -227,10 +241,7 @@ StencilService::resolvePlan(Job &J, const std::optional<StencilSpec> &Spec,
 
   if (!Owner) {
     // Coalesce: wait for the owner's verdict.
-    {
-      std::lock_guard<std::mutex> Lock(StatsMutex);
-      ++CompilesCoalesced;
-    }
+    CompilesCoalesced.add(1);
     J.Result.Coalesced = true;
     std::unique_lock<std::mutex> Lock(IF->Mutex);
     IF->Ready.wait(Lock, [&] { return IF->Done; });
@@ -248,14 +259,12 @@ StencilService::resolvePlan(Job &J, const std::optional<StencilSpec> &Spec,
     Failure = "fingerprint " + fingerprintHex(Fp) +
               " is not cached and the job carries no source to compile";
   } else {
+    CMCC_SPAN("service.compile");
     auto Begin = std::chrono::steady_clock::now();
     Expected<CompiledStencil> Compiled = Compiler.compile(*Spec);
     double Seconds = secondsSince(Begin);
-    {
-      std::lock_guard<std::mutex> Lock(StatsMutex);
-      ++CompilesPerformed;
-      CompileSecondsTotal += Seconds;
-    }
+    CompilesPerformed.add(1);
+    CompileUs.observe(Seconds * 1e6);
     if (Compiled)
       Plan = std::make_shared<const CompiledStencil>(Compiled.takeValue());
     else
@@ -280,6 +289,7 @@ StencilService::resolvePlan(Job &J, const std::optional<StencilSpec> &Spec,
 }
 
 void StencilService::process(Job &J) {
+  CMCC_SPAN("service.job");
   auto CompileBegin = std::chrono::steady_clock::now();
 
   std::optional<StencilSpec> Spec;
@@ -304,6 +314,7 @@ void StencilService::process(Job &J) {
   }
   JobsChanged.notify_all();
 
+  CMCC_SPAN("service.execute");
   auto ExecBegin = std::chrono::steady_clock::now();
   if (J.Request.Args) {
     Expected<TimingReport> Report =
@@ -325,19 +336,15 @@ void StencilService::process(Job &J) {
 }
 
 void StencilService::finish(Job &J, JobState Final) {
-  {
-    std::lock_guard<std::mutex> Lock(StatsMutex);
-    if (Final == JobState::Done) {
-      ++JobsCompleted;
-      ExecuteSecondsTotal += J.Result.ExecuteSeconds;
-      const TimingReport &R = J.Result.Report;
-      SimSecondsTotal += R.elapsedSeconds();
-      UsefulFlopsTotal += static_cast<double>(
-                              R.UsefulFlopsPerNodePerIteration) *
-                          R.Nodes * R.Iterations;
-    } else {
-      ++JobsFailed;
-    }
+  if (Final == JobState::Done) {
+    JobsCompleted.add(1);
+    ExecuteUs.observe(J.Result.ExecuteSeconds * 1e6);
+    const TimingReport &R = J.Result.Report;
+    SimSeconds.add(R.elapsedSeconds());
+    UsefulFlops.add(static_cast<double>(R.UsefulFlopsPerNodePerIteration) *
+                    R.Nodes * R.Iterations);
+  } else {
+    JobsFailed.add(1);
   }
   {
     std::lock_guard<std::mutex> Lock(JobsMutex);
@@ -349,24 +356,23 @@ void StencilService::finish(Job &J, JobState Final) {
 ServiceStats StencilService::stats() const {
   ServiceStats S;
   {
+    // QueueDepth is written only under JobsMutex, so the now/max pair is
+    // consistent with the queue; everything else is a relaxed snapshot.
     std::lock_guard<std::mutex> Lock(JobsMutex);
-    S.JobsSubmitted = NextId - 1;
-    S.QueueDepth = static_cast<int>(Queue.size());
-    S.MaxQueueDepth = MaxQueueDepth;
+    S.JobsSubmitted = JobsSubmitted.value();
+    S.QueueDepth = static_cast<int>(QueueDepth.value());
+    S.MaxQueueDepth = static_cast<int>(QueueDepth.maximum());
   }
-  {
-    std::lock_guard<std::mutex> Lock(StatsMutex);
-    S.JobsCompleted = JobsCompleted;
-    S.JobsFailed = JobsFailed;
-    S.FrontEndRuns = FrontEndRuns;
-    S.SourceMemoHits = SourceMemoHits;
-    S.CompilesPerformed = CompilesPerformed;
-    S.CompilesCoalesced = CompilesCoalesced;
-    S.CompileSecondsTotal = CompileSecondsTotal;
-    S.ExecuteSecondsTotal = ExecuteSecondsTotal;
-    S.SimSecondsTotal = SimSecondsTotal;
-    S.UsefulFlopsTotal = UsefulFlopsTotal;
-  }
+  S.JobsCompleted = JobsCompleted.value();
+  S.JobsFailed = JobsFailed.value();
+  S.FrontEndRuns = FrontEndRuns.value();
+  S.SourceMemoHits = SourceMemoHits.value();
+  S.CompilesPerformed = CompilesPerformed.value();
+  S.CompilesCoalesced = CompilesCoalesced.value();
+  S.CompileSecondsTotal = CompileUs.sum() / 1e6;
+  S.ExecuteSecondsTotal = ExecuteUs.sum() / 1e6;
+  S.SimSecondsTotal = SimSeconds.value();
+  S.UsefulFlopsTotal = UsefulFlops.value();
   S.Cache = Cache.counters();
   return S;
 }

@@ -37,6 +37,7 @@
 #define CMCC_SERVICE_STENCILSERVICE_H
 
 #include "core/Compiler.h"
+#include "obs/Metrics.h"
 #include "runtime/Executor.h"
 #include "service/PlanCache.h"
 #include "service/ServiceStats.h"
@@ -143,6 +144,11 @@ public:
   /// Snapshot of the operational metrics.
   ServiceStats stats() const;
 
+  /// The service's own metric registry (the counters behind stats()).
+  /// Per-instance rather than obs::Registry::process() so that each
+  /// service's totals stand alone; same counter kinds, same exporters.
+  const obs::Registry &metrics() const { return Metrics; }
+
   PlanCache &cache() { return Cache; }
   const MachineConfig &machine() const { return Config; }
 
@@ -195,7 +201,6 @@ private:
   std::deque<Job *> Queue;
   JobId NextId = 1;
   bool ShuttingDown = false;
-  int MaxQueueDepth = 0;
 
   //===--- Compile deduplication ------------------------------------------===//
   std::mutex InFlightMutex;
@@ -205,13 +210,23 @@ private:
   mutable std::mutex MemoMutex;
   std::unordered_map<std::string, MemoEntry> SourceMemo;
 
-  //===--- Stats ----------------------------------------------------------===//
-  mutable std::mutex StatsMutex;
-  long JobsCompleted = 0, JobsFailed = 0;
-  long FrontEndRuns = 0, SourceMemoHits = 0;
-  long CompilesPerformed = 0, CompilesCoalesced = 0;
-  double CompileSecondsTotal = 0.0, ExecuteSecondsTotal = 0.0;
-  double SimSecondsTotal = 0.0, UsefulFlopsTotal = 0.0;
+  //===--- Stats (the service's private obs registry) ---------------------===//
+  // The registry's own atomics are the synchronization; there is no
+  // stats mutex. QueueDepth is only written under JobsMutex (push/pop),
+  // so its now/max pair stays consistent with the queue it describes.
+  obs::Registry Metrics;
+  obs::Counter &JobsSubmitted;     ///< service.jobs_submitted
+  obs::Counter &JobsCompleted;     ///< service.jobs_completed
+  obs::Counter &JobsFailed;        ///< service.jobs_failed
+  obs::Counter &FrontEndRuns;      ///< service.frontend_runs
+  obs::Counter &SourceMemoHits;    ///< service.source_memo_hits
+  obs::Counter &CompilesPerformed; ///< service.compiles_performed
+  obs::Counter &CompilesCoalesced; ///< service.compiles_coalesced
+  obs::Gauge &QueueDepth;          ///< service.queue_depth (now + max)
+  obs::Histogram &CompileUs;       ///< service.compile_us (per performed)
+  obs::Histogram &ExecuteUs;       ///< service.execute_us (per completed)
+  obs::Sum &SimSeconds;            ///< service.sim_seconds
+  obs::Sum &UsefulFlops;           ///< service.useful_flops
 
   std::vector<std::thread> Workers;
 };

@@ -6,6 +6,8 @@
 
 #include "stencil/Recognizer.h"
 #include "fortran/AstPrinter.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "support/Assert.h"
 #include <algorithm>
 
@@ -84,6 +86,10 @@ std::optional<double> Recognizer::matchScalar(const Expr &E) const {
 
 std::optional<StencilSpec>
 Recognizer::recognize(const AssignmentStmt &Stmt) {
+  CMCC_SPAN("frontend.recognize");
+  static obs::Counter &RecognizeRuns =
+      obs::Registry::process().counter("frontend.recognize_runs");
+  RecognizeRuns.add(1);
   std::vector<Term> Terms;
   flattenSum(*Stmt.Value, 1.0, Terms);
 

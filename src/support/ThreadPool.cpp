@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "support/ThreadPool.h"
+#include "obs/Trace.h"
 #include <cstdlib>
 #include <string>
 
@@ -16,7 +17,12 @@ namespace {
 thread_local bool InsideLoopBody = false;
 } // namespace
 
-ThreadPool::ThreadPool(int Threads) {
+ThreadPool::ThreadPool(int Threads)
+    : LoopsTotal(obs::Registry::process().counter("threadpool.loops_total")),
+      LoopsActive(obs::Registry::process().gauge("threadpool.loops_active")),
+      TaskWaitUs(
+          obs::Registry::process().histogram("threadpool.task_wait_us")),
+      LoopUs(obs::Registry::process().histogram("threadpool.loop_us")) {
   int Spawn = Threads < 1 ? 0 : Threads - 1;
   Workers.reserve(Spawn);
   for (int I = 0; I != Spawn; ++I)
@@ -54,8 +60,17 @@ void ThreadPool::workerLoop() {
         return;
       SeenGeneration = Generation;
     }
+    // Wake-up latency: dispatch notify to this worker pulling its
+    // first index (the queueing delay of the pool's "task").
+    TaskWaitUs.observe(
+        static_cast<double>(obs::detail::nowNs() -
+                            DispatchNs.load(std::memory_order_relaxed)) /
+        1000.0);
     InsideLoopBody = true;
-    runIndices();
+    {
+      CMCC_SPAN("threadpool.worker_run");
+      runIndices();
+    }
     InsideLoopBody = false;
     {
       std::lock_guard<std::mutex> Lock(Mutex);
@@ -68,12 +83,18 @@ void ThreadPool::workerLoop() {
 void ThreadPool::parallelFor(int N, const std::function<void(int)> &Fn) {
   if (N <= 0)
     return;
+  LoopsTotal.add(1);
   // Serial pool, tiny loop, or a nested call from a loop body: inline.
   if (Workers.empty() || N == 1 || InsideLoopBody) {
     for (int I = 0; I != N; ++I)
       Fn(I);
     return;
   }
+  // Loops queued on the pool (waiting on CallerMutex) plus the one
+  // running: the pool's task-queue depth, high-water mark included.
+  LoopsActive.add(1);
+  obs::ScopedLatencyUs LoopTimer(LoopUs);
+  CMCC_SPAN("threadpool.parallel_for");
   std::lock_guard<std::mutex> OneCaller(CallerMutex);
   {
     std::lock_guard<std::mutex> Lock(Mutex);
@@ -82,6 +103,7 @@ void ThreadPool::parallelFor(int N, const std::function<void(int)> &Fn) {
     NextIndex.store(0, std::memory_order_relaxed);
     Active = static_cast<int>(Workers.size());
     ++Generation;
+    DispatchNs.store(obs::detail::nowNs(), std::memory_order_relaxed);
   }
   WorkReady.notify_all();
   InsideLoopBody = true;
@@ -90,6 +112,7 @@ void ThreadPool::parallelFor(int N, const std::function<void(int)> &Fn) {
   std::unique_lock<std::mutex> Lock(Mutex);
   WorkDone.wait(Lock, [&] { return Active == 0; });
   Body = nullptr;
+  LoopsActive.add(-1);
 }
 
 int ThreadPool::sharedThreadCount() {

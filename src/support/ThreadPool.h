@@ -25,8 +25,10 @@
 #ifndef CMCC_SUPPORT_THREADPOOL_H
 #define CMCC_SUPPORT_THREADPOOL_H
 
+#include "obs/Metrics.h"
 #include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -81,6 +83,14 @@ private:
   const std::function<void(int)> *Body = nullptr;
   std::atomic<int> NextIndex{0};
   int EndIndex = 0;
+  /// When the current loop was handed to the workers; each worker's
+  /// wake-up latency against it lands in the task-wait histogram.
+  std::atomic<std::uint64_t> DispatchNs{0};
+  //===--- Observability (process registry; pools share the names) --------===//
+  obs::Counter &LoopsTotal;   ///< threadpool.loops_total
+  obs::Gauge &LoopsActive;    ///< threadpool.loops_active (depth + max)
+  obs::Histogram &TaskWaitUs; ///< threadpool.task_wait_us
+  obs::Histogram &LoopUs;     ///< threadpool.loop_us
   /// Incremented per parallelFor; wakes workers exactly once per loop.
   long Generation = 0;
   /// Workers still inside the current loop.

@@ -30,6 +30,10 @@
 ///   --cache-capacity=N     in-memory plan-cache entries (default 64)
 ///   --cache-dir=<dir>      enable the on-disk plan-cache tier
 ///   --json                 dump the final ServiceStats as JSON
+///   --metrics-json <file>  write process + service metric registries
+///                          as JSON to <file> ('-' for stdout)
+///   --trace <file>         record a Chrome trace-event JSON of the run
+///                          (same as setting CMCC_TRACE=<file>)
 ///   --quiet                suppress the per-job lines
 ///
 /// Exits nonzero if any job fails.
@@ -37,6 +41,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/PlanFingerprint.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "service/StencilService.h"
 #include "support/StringUtils.h"
 #include <chrono>
@@ -60,6 +66,8 @@ struct ServeOptions {
   size_t CacheCapacity = 64;
   std::string CacheDir;
   bool Json = false;
+  std::string MetricsJsonPath;
+  std::string TracePath;
   bool Quiet = false;
 };
 
@@ -68,7 +76,7 @@ void printUsage() {
                "usage: cmcc_serve [options] <manifest.jobs>\n"
                "options: --machine=16|2048|RxC --subgrid=RxC --iterations=N\n"
                "         --workers=N --cache-capacity=N --cache-dir=<dir>\n"
-               "         --json --quiet\n"
+               "         --json --metrics-json <file> --trace <file> --quiet\n"
                "manifest lines:\n"
                "  job <assignment|subroutine|lisp|fingerprint> <text|@file>\n"
                "  repeat <N> <kind> <text|@file>\n");
@@ -128,6 +136,22 @@ bool parseArguments(int Argc, char **Argv, ServeOptions &Opts) {
       Opts.CacheDir = V;
     } else if (Arg == "--json") {
       Opts.Json = true;
+    } else if (const char *V = Value("--metrics-json=")) {
+      Opts.MetricsJsonPath = V;
+    } else if (Arg == "--metrics-json") {
+      if (++I >= Argc) {
+        std::fprintf(stderr, "cmcc_serve: --metrics-json needs a file\n");
+        return false;
+      }
+      Opts.MetricsJsonPath = Argv[I];
+    } else if (const char *V = Value("--trace=")) {
+      Opts.TracePath = V;
+    } else if (Arg == "--trace") {
+      if (++I >= Argc) {
+        std::fprintf(stderr, "cmcc_serve: --trace needs a file\n");
+        return false;
+      }
+      Opts.TracePath = Argv[I];
     } else if (Arg == "--quiet") {
       Opts.Quiet = true;
     } else if (Arg == "--help" || Arg == "-h") {
@@ -246,6 +270,9 @@ int main(int Argc, char **Argv) {
   if (!parseManifest(Opts, Manifest))
     return 2;
 
+  if (!Opts.TracePath.empty())
+    obs::Trace::start(Opts.TracePath);
+
   StencilService::Options ServiceOpts;
   ServiceOpts.Workers = Opts.Workers;
   ServiceOpts.Cache.Capacity = Opts.CacheCapacity;
@@ -297,5 +324,25 @@ int main(int Argc, char **Argv) {
   }
   if (Opts.Json)
     std::printf("%s\n", Stats.json().c_str());
+
+  if (!Opts.MetricsJsonPath.empty()) {
+    std::string Combined = "{\n\"process\": " +
+                           obs::Registry::process().json() +
+                           ",\n\"service\": " + Service.metrics().json() +
+                           "\n}\n";
+    if (Opts.MetricsJsonPath == "-") {
+      std::fputs(Combined.c_str(), stdout);
+    } else {
+      std::ofstream Out(Opts.MetricsJsonPath);
+      if (!Out) {
+        std::fprintf(stderr, "cmcc_serve: cannot write '%s'\n",
+                     Opts.MetricsJsonPath.c_str());
+        return 1;
+      }
+      Out << Combined;
+    }
+  }
+  if (!Opts.TracePath.empty())
+    obs::Trace::stop();
   return Failures == 0 ? 0 : 1;
 }

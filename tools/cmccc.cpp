@@ -31,7 +31,11 @@
 ///                       a .cmccode file can be given back as input to
 ///                       run precompiled patterns without the compiler
 ///   --estimate          print the simulated timing estimate
+///   --metrics           print the process metric registry afterwards
 ///   --quiet             suppress everything but diagnostics
+///
+/// Setting CMCC_TRACE=<file> writes a Chrome trace-event JSON of the
+/// run's front-end/compile/runtime spans (open in Perfetto).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -39,6 +43,7 @@
 #include "core/RingBufferPlan.h"
 #include "core/ScheduleIO.h"
 #include "core/ScheduleStats.h"
+#include "obs/Metrics.h"
 #include "runtime/Executor.h"
 #include "stencil/Render.h"
 #include "support/StringUtils.h"
@@ -65,6 +70,7 @@ struct DriverOptions {
   bool DumpSchedule = false;
   bool Stats = false;
   bool Estimate = false;
+  bool Metrics = false;
   std::string EmitPath;
   bool Quiet = false;
 };
@@ -77,7 +83,7 @@ void printUsage() {
       "options: --lang=fortran|lisp --machine=16|2048|RxC\n"
       "         --subgrid=RxC --iterations=N --multi-source\n"
       "         --dump-stencil --dump-multistencil --dump-schedule --stats\n"
-      "         --estimate --quiet\n");
+      "         --estimate --metrics --quiet\n");
 }
 
 bool parseShape(const char *Text, int *Rows, int *Cols) {
@@ -142,6 +148,8 @@ bool parseArguments(int Argc, char **Argv, DriverOptions &Opts) {
       Opts.EmitPath = V;
     } else if (Arg == "--estimate") {
       Opts.Estimate = true;
+    } else if (Arg == "--metrics") {
+      Opts.Metrics = true;
     } else if (Arg == "--quiet") {
       Opts.Quiet = true;
     } else if (Arg == "--help" || Arg == "-h") {
@@ -349,5 +357,9 @@ int main(int Argc, char **Argv) {
     std::printf("extrapolated to 2048 nodes: %s Gflops\n",
                 formatFixed(Report.extrapolatedGflops(2048), 2).c_str());
   }
+
+  if (Opts.Metrics)
+    std::printf("\nprocess metrics:\n%s",
+                obs::Registry::process().table().c_str());
   return 0;
 }
