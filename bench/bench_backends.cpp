@@ -1,0 +1,153 @@
+//===- bench/bench_backends.cpp - cm2 vs native backend table -*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Experiment B1: the same serving workload through each execution
+/// backend. For every paper pattern and every backend the table reports
+///
+///   * cold service latency — first submission ever against a fresh
+///     service (front end + recognition + planning + verification +
+///     execution on that backend);
+///   * warm service latency — the same source streamed again, resolved
+///     through the memo and plan cache, so only execution remains;
+///   * steady-state execution throughput — best of several timeOnly
+///     runs. For cm2 this is *simulated* machine Mflops at the paper's
+///     clock; for native it is measured host wall-clock Mflops.
+///
+/// The two throughput columns are deliberately not comparable to each
+/// other — one is a model of a 1990 machine, the other is this host —
+/// but each is comparable to itself across PRs, which is what
+/// BENCH_backends.json records.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "backends/Registry.h"
+#include "service/StencilService.h"
+#include <chrono>
+
+using namespace cmccbench;
+
+namespace {
+
+constexpr int SubRows = 64, SubCols = 64;
+constexpr int Iterations = 50;
+constexpr int WarmRounds = 20;
+constexpr int SteadyRepeats = 5;
+
+double hostSeconds(StencilService &Service,
+                   const StencilService::JobRequest &Req, int Count) {
+  auto Begin = std::chrono::steady_clock::now();
+  std::vector<StencilService::JobId> Ids;
+  Ids.reserve(Count);
+  for (int I = 0; I != Count; ++I)
+    Ids.push_back(Service.submit(Req));
+  for (StencilService::JobId Id : Ids) {
+    StencilService::JobResult R = Service.wait(Id);
+    if (!R.Ok) {
+      std::fprintf(stderr, "bench_backends: job failed: %s\n",
+                   R.Message.c_str());
+      std::abort();
+    }
+  }
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Begin)
+      .count();
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  benchmark::Initialize(&argc, argv);
+
+  MachineConfig Config = MachineConfig::testMachine16();
+  TextTable T;
+  T.setHeader({"backend", "pattern", "cold(ms)", "warm(ms/job)",
+               "throughput(Mflops)", "timing"});
+  BenchJsonWriter Json("backends");
+
+  for (const std::string &Name : availableBackendNames()) {
+    std::unique_ptr<ExecutionBackend> Backend = createBackend(Name, Config);
+    if (!Backend) {
+      std::fprintf(stderr, "bench_backends: unknown backend %s\n",
+                   Name.c_str());
+      return 1;
+    }
+    const char *Timing = Backend->reportsWallClock() ? "wall" : "sim";
+
+    // A fresh service per backend: cold really means cold.
+    StencilService::Options Opts;
+    Opts.Workers = 4;
+    Opts.Backend = Name;
+    StencilService Service(Config, Opts);
+
+    double ColdTotal = 0.0, WarmTotal = 0.0;
+    for (PatternId Id : allPatterns()) {
+      StencilService::JobRequest Req;
+      Req.Kind = StencilService::SourceKind::FortranSubroutine;
+      Req.Source = patternFortranSource(Id);
+      Req.SubRows = SubRows;
+      Req.SubCols = SubCols;
+      Req.Iterations = Iterations;
+
+      double Cold = hostSeconds(Service, Req, 1);
+      double Warm = hostSeconds(Service, Req, WarmRounds) / WarmRounds;
+      ColdTotal += Cold;
+      WarmTotal += Warm;
+
+      // Steady state: direct timeOnly on the backend, best of a few
+      // repeats (for cm2 every repeat is the same analytic number).
+      CompiledStencil Compiled = compilePattern(Config, Id);
+      double BestMflops = 0.0, BestSeconds = 0.0;
+      for (int R = 0; R != SteadyRepeats; ++R) {
+        Expected<TimingReport> Report =
+            Backend->timeOnly(Compiled, SubRows, SubCols, Iterations);
+        if (!Report) {
+          std::fprintf(stderr, "bench_backends: timeOnly failed: %s\n",
+                       Report.error().message().c_str());
+          return 1;
+        }
+        if (Report->measuredMflops() > BestMflops) {
+          BestMflops = Report->measuredMflops();
+          BestSeconds = Report->elapsedSeconds();
+        }
+      }
+
+      std::string Base = Name + "/" + patternName(Id);
+      T.addRow({Name, patternName(Id), formatFixed(Cold * 1e3, 3),
+                formatFixed(Warm * 1e3, 3), formatFixed(BestMflops, 1),
+                Timing});
+      Json.addRow(Base + "/service_cold", BestMflops, BestSeconds, Cold);
+      Json.addRow(Base + "/service_warm", BestMflops, BestSeconds, Warm);
+      Json.addRow(Base + "/steady", BestMflops, BestSeconds,
+                  Backend->reportsWallClock() ? BestSeconds : -1.0);
+    }
+
+    // The warm path must never have touched the compiler again.
+    ServiceStats Stats = Service.stats();
+    size_t Patterns = allPatterns().size();
+    if (Stats.CompilesPerformed != static_cast<long>(Patterns)) {
+      std::fprintf(stderr,
+                   "bench_backends: %s warm path recompiled (%ld compiles "
+                   "for %zu patterns)\n",
+                   Name.c_str(), Stats.CompilesPerformed, Patterns);
+      return 1;
+    }
+    Json.addScalar(Name + "/cold_total_ms", ColdTotal * 1e3);
+    Json.addScalar(Name + "/warm_mean_ms",
+                   WarmTotal / static_cast<double>(Patterns) * 1e3);
+  }
+
+  std::string Path = Json.write();
+  std::printf("\n=== B1: backends compared, %d warm rounds per pattern, "
+              "%dx%d subgrids on 16 nodes ===\n\n%s\n"
+              "sim rows model the 7 MHz CM-2; wall rows are this host.\n"
+              "%s%s\n",
+              WarmRounds, SubRows, SubCols, T.str().c_str(),
+              Path.empty() ? "" : "wrote ", Path.c_str());
+  benchmark::Shutdown();
+  return 0;
+}

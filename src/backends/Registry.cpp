@@ -1,0 +1,33 @@
+//===- backends/Registry.cpp ----------------------------------*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "backends/Registry.h"
+#include "backends/cm2/Cm2Backend.h"
+#include "backends/native/NativeBackend.h"
+
+using namespace cmcc;
+
+std::vector<std::string> cmcc::availableBackendNames() {
+  return {"cm2", "native"};
+}
+
+bool cmcc::isBackendName(std::string_view Name) {
+  return Name == "cm2" || Name == "native";
+}
+
+std::unique_ptr<ExecutionBackend>
+cmcc::createBackend(std::string_view Name, const MachineConfig &Config,
+                    const Executor::Options &ExecOpts) {
+  if (Name == "cm2")
+    return std::make_unique<Cm2Backend>(Config, ExecOpts);
+  if (Name == "native") {
+    NativeBackend::Options Opts;
+    Opts.AllowCornerSkip = ExecOpts.AllowCornerSkip;
+    Opts.ThreadCount = ExecOpts.ThreadCount;
+    return std::make_unique<NativeBackend>(Config, Opts);
+  }
+  return nullptr;
+}

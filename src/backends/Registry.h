@@ -1,0 +1,43 @@
+//===- backends/Registry.h - Backend lookup by name -----------*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Name-to-backend construction for everything above the seam: the
+/// serving layer routes per-backend, the tools expose --backend= and
+/// --list-backends, and tests/benches enumerate what exists.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMCC_BACKENDS_REGISTRY_H
+#define CMCC_BACKENDS_REGISTRY_H
+
+#include "runtime/Backend.h"
+#include "runtime/Executor.h"
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cmcc {
+
+/// Names of all execution backends, in presentation order.
+std::vector<std::string> availableBackendNames();
+
+/// True if \p Name names a backend createBackend can build.
+bool isBackendName(std::string_view Name);
+
+/// Builds the backend \p Name executes for \p Config. The simulated
+/// backend honors \p ExecOpts wholesale; the native backend adopts the
+/// knobs that translate (corner skip, thread count). Returns null for
+/// an unknown name — callers validate with isBackendName first for a
+/// proper diagnostic.
+std::unique_ptr<ExecutionBackend>
+createBackend(std::string_view Name, const MachineConfig &Config,
+              const Executor::Options &ExecOpts = {});
+
+} // namespace cmcc
+
+#endif // CMCC_BACKENDS_REGISTRY_H

@@ -1,0 +1,52 @@
+//===- backends/cm2/Cm2Backend.h - The simulated CM-2 backend -*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's execution path behind the ExecutionBackend seam: a thin
+/// adapter over runtime/Executor, whose halo exchange, strip mining,
+/// and FPU pipeline model are unchanged. Results and simulated cycle
+/// counts are bit-for-bit what a direct Executor::run produces — the
+/// determinism tests and bench_obs's bitwise-identity assertion pin
+/// this.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMCC_BACKENDS_CM2_CM2BACKEND_H
+#define CMCC_BACKENDS_CM2_CM2BACKEND_H
+
+#include "runtime/Backend.h"
+#include "runtime/Executor.h"
+
+namespace cmcc {
+
+/// Simulated CM-2 execution (the paper's machine). Timing reports carry
+/// analytic cycle counts at the configured clock, not wall-clock.
+class Cm2Backend : public ExecutionBackend {
+public:
+  explicit Cm2Backend(const MachineConfig &Config) : Exec(Config) {}
+  Cm2Backend(const MachineConfig &Config, Executor::Options Opts)
+      : Exec(Config, Opts) {}
+
+  const char *name() const override { return "cm2"; }
+  bool reportsWallClock() const override { return false; }
+  Expected<TimingReport> run(const CompiledStencil &Compiled,
+                             StencilArguments &Args,
+                             int Iterations) const override;
+  Expected<TimingReport> timeOnly(const CompiledStencil &Compiled, int SubRows,
+                                  int SubCols, int Iterations) const override;
+  const MachineConfig &machine() const override { return Exec.machine(); }
+
+  /// The wrapped executor (for callers that need simulated-path knobs
+  /// the seam does not expose, e.g. analytic cycle breakdowns).
+  const Executor &executor() const { return Exec; }
+
+private:
+  Executor Exec;
+};
+
+} // namespace cmcc
+
+#endif // CMCC_BACKENDS_CM2_CM2BACKEND_H

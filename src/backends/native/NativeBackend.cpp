@@ -1,0 +1,219 @@
+//===- backends/native/NativeBackend.cpp ----------------------*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+// Compiled with -ffp-contract=off (see backends/CMakeLists.txt): every
+// term's product must round before the add, as the pipeline model's
+// chain arithmetic does, or the 1-ulp-per-term equivalence contract
+// with the cm2 backend breaks.
+//
+//===----------------------------------------------------------------------===//
+
+#include "backends/native/NativeBackend.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+#include "runtime/HaloExchange.h"
+#include "support/ThreadPool.h"
+#include <algorithm>
+#include <chrono>
+#include <memory>
+
+using namespace cmcc;
+
+namespace {
+
+/// The sign-folded per-tap operand stream for one node, resolved once
+/// before the row loops (the native analogue of FastNodeBinding, with
+/// the tap loop hoisted outside the column loop so the column loop
+/// vectorizes).
+struct NodeTap {
+  /// Padded source base at (Border + Dy, Border + Dx) — indexing it
+  /// with [r * SourceStride + j] yields Source(r + Dy, j + Dx) of the
+  /// subgrid. Null for bare-coefficient terms.
+  const float *Source = nullptr;
+  int SourceStride = 0;
+  /// Coefficient subgrid base; null for scalar coefficients.
+  const float *Coeff = nullptr;
+  int CoeffStride = 0;
+  float Sign = 1.0f;
+  /// Sign * (float)Value, folded once (scalar coefficients only).
+  float Immediate = 0.0f;
+};
+
+/// Computes result rows [RowBegin, RowEnd) of one node's subgrid.
+/// Accumulation per point is 0.0f + term0 + term1 + ... in StencilSpec
+/// tap order, each term Data * (Sign * Coeff) rounded separately —
+/// the same chain the FPU executes, modulo the schedule's tap
+/// permutation.
+void computeRows(const std::vector<NodeTap> &Taps, float *Result,
+                 int ResultStride, int Cols, int RowBegin, int RowEnd) {
+  for (int R = RowBegin; R != RowEnd; ++R) {
+    float *Out = Result + static_cast<size_t>(R) * ResultStride;
+    std::fill(Out, Out + Cols, 0.0f);
+    for (const NodeTap &T : Taps) {
+      if (T.Source) {
+        const float *Src = T.Source + static_cast<size_t>(R) * T.SourceStride;
+        if (T.Coeff) {
+          const float *C = T.Coeff + static_cast<size_t>(R) * T.CoeffStride;
+          const float Sign = T.Sign;
+          for (int J = 0; J != Cols; ++J)
+            Out[J] += Src[J] * (Sign * C[J]);
+        } else {
+          const float Imm = T.Immediate;
+          for (int J = 0; J != Cols; ++J)
+            Out[J] += Src[J] * Imm;
+        }
+      } else if (T.Coeff) {
+        // Bare array-coefficient term: the FPU multiplies by the 1.0
+        // register, which is exact.
+        const float *C = T.Coeff + static_cast<size_t>(R) * T.CoeffStride;
+        const float Sign = T.Sign;
+        for (int J = 0; J != Cols; ++J)
+          Out[J] += Sign * C[J];
+      } else {
+        const float Imm = T.Immediate;
+        for (int J = 0; J != Cols; ++J)
+          Out[J] += Imm;
+      }
+    }
+  }
+}
+
+} // namespace
+
+Expected<TimingReport> NativeBackend::run(const CompiledStencil &Compiled,
+                                          StencilArguments &Args,
+                                          int Iterations) const {
+  CMCC_SPAN("backend.native.run");
+  static obs::Counter &Runs =
+      obs::Registry::process().counter("backend.native.runs");
+  static obs::Histogram &RunHostUs =
+      obs::Registry::process().histogram("backend.native.run_host_us");
+  Runs.add(1);
+  obs::ScopedLatencyUs RunTimer(RunHostUs);
+
+  Expected<ResolvedStencilArguments> Resolved =
+      resolveStencilArguments(Config, Compiled, Args);
+  if (!Resolved)
+    return Resolved.error();
+  assert(Iterations > 0 && "iteration count must be positive");
+
+  const StencilSpec &Spec = Compiled.Spec;
+  const int SubRows = Args.Result->subRows();
+  const int SubCols = Args.Result->subCols();
+  const NodeGrid &Grid = Args.Result->grid();
+
+  std::unique_ptr<ThreadPool> PrivatePool;
+  ThreadPool *Pool;
+  if (Opts.ThreadCount == 0) {
+    Pool = &ThreadPool::shared();
+  } else {
+    PrivatePool = std::make_unique<ThreadPool>(Opts.ThreadCount);
+    Pool = PrivatePool.get();
+  }
+
+  const auto Start = std::chrono::steady_clock::now();
+
+  // Same §5.1 exchange protocol as the simulated path: wraparound /
+  // zero-fill identical, skipped corners identically NaN-poisoned.
+  const int Border = Spec.borderWidths().maximum();
+  const bool FetchCorners = Spec.needsCornerData() || !Opts.AllowCornerSkip;
+  std::vector<std::vector<Array2D>> PaddedBySource;
+  {
+    CMCC_SPAN("backend.native.halo_exchange");
+    PaddedBySource.reserve(Spec.sourceCount());
+    for (int S = 0; S != Spec.sourceCount(); ++S)
+      PaddedBySource.push_back(exchangeHalos(*Resolved->Sources[S], Border,
+                                             Spec.BoundaryDim1,
+                                             Spec.BoundaryDim2, FetchCorners,
+                                             Pool));
+  }
+
+  {
+    CMCC_SPAN("backend.native.compute");
+    const int RowsPerTile = std::max(1, Opts.RowsPerTile);
+    const int TilesPerNode = (SubRows + RowsPerTile - 1) / RowsPerTile;
+    // Tiles are disjoint row bands of distinct result subgrids, so any
+    // thread count computes identical bits.
+    Pool->parallelFor(Grid.nodeCount() * TilesPerNode, [&](int Task) {
+      const NodeCoord Node = Grid.coordOf(Task / TilesPerNode);
+      const int RowBegin = (Task % TilesPerNode) * RowsPerTile;
+      const int RowEnd = std::min(SubRows, RowBegin + RowsPerTile);
+
+      std::vector<NodeTap> Taps;
+      Taps.reserve(Spec.Taps.size());
+      for (size_t I = 0; I != Spec.Taps.size(); ++I) {
+        const Tap &T = Spec.Taps[I];
+        NodeTap N;
+        N.Sign = static_cast<float>(T.Sign);
+        if (T.HasData) {
+          const Array2D &Padded =
+              PaddedBySource[T.SourceIndex][Grid.nodeId(Node)];
+          N.SourceStride = Padded.cols();
+          N.Source = Padded.data() +
+                     static_cast<size_t>(Border + T.At.Dy) * N.SourceStride +
+                     Border + T.At.Dx;
+        }
+        if (const DistributedArray *C = Resolved->TapCoefficients[I]) {
+          const Array2D &Sub = C->subgrid(Node);
+          N.Coeff = Sub.data();
+          N.CoeffStride = Sub.cols();
+        } else {
+          N.Immediate = N.Sign * static_cast<float>(T.Coeff.Value);
+        }
+        Taps.push_back(N);
+      }
+
+      Array2D &Result = Args.Result->subgrid(Node);
+      computeRows(Taps, Result.data(), Result.cols(), SubCols, RowBegin,
+                  RowEnd);
+    });
+  }
+
+  const double Seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+          .count();
+
+  // Wall-clock report: no simulated cycles; the measured seconds ride
+  // in the host field, so secondsPerIteration()/measuredMflops() are
+  // real host throughput.
+  TimingReport Report;
+  Report.Iterations = Iterations;
+  Report.Nodes = Config.nodeCount();
+  Report.ClockMHz = Config.ClockMHz;
+  Report.HostSecondsPerIteration = Seconds;
+  Report.UsefulFlopsPerNodePerIteration =
+      static_cast<long>(Spec.usefulFlopsPerPoint()) * SubRows * SubCols;
+  return Report;
+}
+
+Expected<TimingReport> NativeBackend::timeOnly(const CompiledStencil &Compiled,
+                                               int SubRows, int SubCols,
+                                               int Iterations) const {
+  CMCC_SPAN("backend.native.time_only");
+  const StencilSpec &Spec = Compiled.Spec;
+  const NodeGrid Grid(Config);
+
+  // Scratch arrays, deterministically filled: this backend can only
+  // time by running for real.
+  DistributedArray Result(Grid, SubRows, SubCols);
+  std::vector<std::unique_ptr<DistributedArray>> Owned;
+  auto MakeScratch = [&](uint64_t Seed) {
+    Owned.push_back(std::make_unique<DistributedArray>(Grid, SubRows, SubCols));
+    DistributedArray &A = *Owned.back();
+    for (int Id = 0; Id != Grid.nodeCount(); ++Id)
+      A.subgrid(Grid.coordOf(Id)).fillRandom(Seed * 7919 + Id);
+    return &A;
+  };
+
+  StencilArguments Args;
+  Args.Result = &Result;
+  uint64_t Seed = 1;
+  Args.Source = MakeScratch(Seed++);
+  for (const std::string &Name : Spec.ExtraSources)
+    Args.ExtraSources[Name] = MakeScratch(Seed++);
+  for (const std::string &Name : Spec.coefficientArrayNames())
+    Args.Coefficients[Name] = MakeScratch(Seed++);
+
+  return run(Compiled, Args, Iterations);
+}

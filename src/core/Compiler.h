@@ -69,22 +69,23 @@ public:
   static const int CandidateWidths[4];
 
   /// Compiles an already-recognized stencil.
-  Expected<CompiledStencil> compile(const StencilSpec &Spec) const;
+  [[nodiscard]] Expected<CompiledStencil>
+  compile(const StencilSpec &Spec) const;
 
   /// Front end entry: a bare assignment statement (the version-3 style
   /// that needs no isolated subroutine).
-  std::optional<CompiledStencil>
+  [[nodiscard]] std::optional<CompiledStencil>
   compileAssignment(std::string_view FortranSource,
                     DiagnosticEngine &Diags) const;
 
   /// Front end entry: an isolated SUBROUTINE (the paper's version 2).
-  std::optional<CompiledStencil>
+  [[nodiscard]] std::optional<CompiledStencil>
   compileSubroutine(std::string_view FortranSource,
                     DiagnosticEngine &Diags) const;
 
   /// Front end entry: a Lisp (defstencil ...) form (the paper's
   /// version 1).
-  std::optional<CompiledStencil>
+  [[nodiscard]] std::optional<CompiledStencil>
   compileDefStencil(std::string_view Source, DiagnosticEngine &Diags) const;
 
   /// A subroutine processed the version-3 way: the compiler recognizes
@@ -105,14 +106,14 @@ public:
   /// The paper's version-3 driver: processes every assignment in a
   /// subroutine, no isolated-subroutine restriction. Parse errors fail
   /// the whole unit; per-statement rejections do not.
-  std::optional<ProcessedSubroutine>
+  [[nodiscard]] std::optional<ProcessedSubroutine>
   processSubroutine(std::string_view FortranSource,
                     DiagnosticEngine &Diags) const;
 
   /// Processes every subroutine in a multi-unit source file the same
   /// way (a whole CM Fortran file, as the integrated version would see
   /// it).
-  std::optional<std::vector<ProcessedSubroutine>>
+  [[nodiscard]] std::optional<std::vector<ProcessedSubroutine>>
   processProgram(std::string_view FortranSource,
                  DiagnosticEngine &Diags) const;
 

@@ -28,6 +28,12 @@ const char *boundaryWord(BoundaryKind K) {
 
 std::string cmcc::planFingerprintText(const StencilSpec &Spec,
                                       const MachineConfig &Config) {
+  return planFingerprintText(Spec, Config, "cm2");
+}
+
+std::string cmcc::planFingerprintText(const StencilSpec &Spec,
+                                      const MachineConfig &Config,
+                                      std::string_view Backend) {
   // Version tag: bump when the covered fields or the rendering change,
   // so stale on-disk cache entries from older layouts can never alias a
   // current fingerprint.
@@ -64,12 +70,23 @@ std::string cmcc::planFingerprintText(const StencilSpec &Spec,
          " load-latency " + std::to_string(Config.LoadLatencyCycles) +
          " scratch-parts " + std::to_string(Config.ScratchMemoryParts) +
          "\n";
+  // The backend tag is appended only for non-default backends: every
+  // pre-seam fingerprint (and on-disk .cmccode stem) stays bit-equal
+  // and means "cm2".
+  if (Backend != "cm2")
+    Out += "backend " + std::string(Backend) + "\n";
   return Out;
 }
 
 uint64_t cmcc::planFingerprint(const StencilSpec &Spec,
                                const MachineConfig &Config) {
-  const std::string Text = planFingerprintText(Spec, Config);
+  return planFingerprint(Spec, Config, "cm2");
+}
+
+uint64_t cmcc::planFingerprint(const StencilSpec &Spec,
+                               const MachineConfig &Config,
+                               std::string_view Backend) {
+  const std::string Text = planFingerprintText(Spec, Config, Backend);
   uint64_t H = 1469598103934665603ull; // FNV offset basis
   for (unsigned char C : Text) {
     H ^= C;

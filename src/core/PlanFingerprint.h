@@ -33,6 +33,7 @@
 #include "stencil/StencilSpec.h"
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 namespace cmcc {
 
@@ -40,10 +41,21 @@ namespace cmcc {
 /// the spec and of the compilation-relevant machine fields. Exposed so
 /// tests (and humans debugging cache keys) can see exactly what is
 /// covered.
+///
+/// \p Backend scopes the plan to one execution backend so a cache can
+/// hold both backends' plans for one spec without aliasing. The default
+/// "cm2" contributes nothing to the text — every fingerprint minted
+/// before the backend seam existed (including on-disk .cmccode stems)
+/// remains valid and means the simulated plan.
+std::string planFingerprintText(const StencilSpec &Spec,
+                                const MachineConfig &Config,
+                                std::string_view Backend);
 std::string planFingerprintText(const StencilSpec &Spec,
                                 const MachineConfig &Config);
 
 /// FNV-1a 64-bit hash of planFingerprintText().
+uint64_t planFingerprint(const StencilSpec &Spec, const MachineConfig &Config,
+                         std::string_view Backend);
 uint64_t planFingerprint(const StencilSpec &Spec, const MachineConfig &Config);
 
 /// The fingerprint as a fixed-width lower-case hex string (the on-disk

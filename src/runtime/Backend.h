@@ -1,0 +1,111 @@
+//===- runtime/Backend.h - The execution-backend seam ---------*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The architecture seam between the compiled stencil description and
+/// the machinery that executes it. The paper fixes one execution target
+/// (CM-2 sequencer microcode); systems that outlived their first
+/// machine — Devito's interchangeable backends, ForOpenCL's plain-loop
+/// accelerator target — did so by making "what to compute" (the
+/// recognized StencilSpec and its verified schedules) independent of
+/// "how to run it".
+///
+/// An ExecutionBackend takes a CompiledStencil plus the bound
+/// StencilArguments and returns results in the arrays plus a
+/// TimingReport. Two backends exist today:
+///
+///   * backends/cm2  — the paper's simulated machine: halo-exchange
+///     protocol, strip mining, FPU pipeline model, analytic cycle
+///     accounting. Reports *simulated* machine time.
+///   * backends/native — a host-speed lowering of the recognized spec
+///     to a tiled, thread-pooled, auto-vectorizable C++ loop nest (no
+///     simulation). Reports measured *wall-clock* time.
+///
+/// Both resolve argument names through the same once-per-run
+/// resolution below, exchange halos through the same protocol, and are
+/// asserted equivalent (1 ulp per term; bitwise for single-term
+/// stencils) by tests/backend_equivalence_test.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMCC_RUNTIME_BACKEND_H
+#define CMCC_RUNTIME_BACKEND_H
+
+#include "cm2/Timing.h"
+#include "core/Compiler.h"
+#include "runtime/DistributedArray.h"
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cmcc {
+
+/// Arrays bound to one stencil call.
+struct StencilArguments {
+  DistributedArray *Result = nullptr;
+  const DistributedArray *Source = nullptr;
+  std::map<std::string, const DistributedArray *> Coefficients;
+  /// Additional source arrays, by name (multi-source extension).
+  std::map<std::string, const DistributedArray *> ExtraSources;
+};
+
+/// StencilArguments with every name resolved once per run into flat,
+/// index-addressed vectors: the per-node execution paths (all backends)
+/// index these instead of doing std::map lookups per node or per
+/// half-strip setup.
+struct ResolvedStencilArguments {
+  /// By StencilSpec source index (0 = primary source).
+  std::vector<const DistributedArray *> Sources;
+  /// Parallel to StencilSpec::Taps; null for scalar coefficients and
+  /// for bare terms.
+  std::vector<const DistributedArray *> TapCoefficients;
+};
+
+/// Validates \p Args against \p Compiled for a machine of \p Config's
+/// node grid (shape agreement, no aliasing, border fits the subgrid)
+/// and resolves every array name to a pointer exactly once. Returns a
+/// failure describing the first problem — the messages are shared by
+/// every backend.
+Expected<ResolvedStencilArguments>
+resolveStencilArguments(const MachineConfig &Config,
+                        const CompiledStencil &Compiled,
+                        const StencilArguments &Args);
+
+/// One interchangeable execution engine behind the seam.
+class ExecutionBackend {
+public:
+  virtual ~ExecutionBackend();
+
+  /// Stable identifier ("cm2", "native"): participates in plan-cache
+  /// fingerprints, metric/span names, and the tools' --backend flag.
+  virtual const char *name() const = 0;
+
+  /// True when this backend's TimingReports carry measured host
+  /// wall-clock rather than simulated machine cycles.
+  virtual bool reportsWallClock() const = 0;
+
+  /// Runs \p Compiled over \p Args for \p Iterations, writing the
+  /// result subgrids and returning the backend's timing report.
+  virtual Expected<TimingReport> run(const CompiledStencil &Compiled,
+                                     StencilArguments &Args,
+                                     int Iterations) const = 0;
+
+  /// A timing report for SubRows x SubCols per-node subgrids without
+  /// caller-provided arrays. The cm2 backend computes this analytically
+  /// (exact for any machine size); the native backend measures a real
+  /// run over scratch arrays. Fails only where a run would (e.g. the
+  /// border exceeds the subgrid on a measuring backend).
+  virtual Expected<TimingReport> timeOnly(const CompiledStencil &Compiled,
+                                          int SubRows, int SubCols,
+                                          int Iterations) const = 0;
+
+  /// The machine this backend executes for (node grid, clock).
+  virtual const MachineConfig &machine() const = 0;
+};
+
+} // namespace cmcc
+
+#endif // CMCC_RUNTIME_BACKEND_H

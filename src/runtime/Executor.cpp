@@ -93,53 +93,9 @@ Executor::resolvedPlanFor(const CompiledStencil &Compiled, int SubRows,
   return Plan;
 }
 
-Error Executor::validateArguments(const CompiledStencil &Compiled,
-                                  const StencilArguments &Args) const {
-  const StencilSpec &Spec = Compiled.Spec;
-  if (!Args.Result || !Args.Source)
-    return makeError("result and source arrays must be bound");
-  if (Args.Result == Args.Source)
-    return makeError("result must not alias the stencil variable");
-  const DistributedArray &R = *Args.Result;
-  auto SameShape = [&](const DistributedArray &A) {
-    return A.subRows() == R.subRows() && A.subCols() == R.subCols() &&
-           A.grid().rows() == R.grid().rows() &&
-           A.grid().cols() == R.grid().cols();
-  };
-  if (!SameShape(*Args.Source))
-    return makeError("source shape differs from result shape (the paper "
-                     "requires all arrays be divided the same way)");
-  for (const std::string &Name : Spec.ExtraSources) {
-    auto It = Args.ExtraSources.find(Name);
-    if (It == Args.ExtraSources.end() || !It->second)
-      return makeError("source array '" + Name + "' is not bound");
-    if (!SameShape(*It->second))
-      return makeError("source array '" + Name +
-                       "' has a different shape");
-    if (It->second == Args.Result)
-      return makeError("result must not alias source '" + Name + "'");
-  }
-  for (const std::string &Name : Spec.coefficientArrayNames()) {
-    auto It = Args.Coefficients.find(Name);
-    if (It == Args.Coefficients.end() || !It->second)
-      return makeError("coefficient array '" + Name + "' is not bound");
-    if (!SameShape(*It->second))
-      return makeError("coefficient array '" + Name +
-                       "' has a different shape");
-  }
-  int Border = Spec.borderWidths().maximum();
-  if (Border > R.subRows() || Border > R.subCols())
-    return makeError("stencil border width " + std::to_string(Border) +
-                     " exceeds the per-node subgrid; data would be needed "
-                     "from beyond the four neighbors");
-  if (R.grid().rows() != Config.NodeRows || R.grid().cols() != Config.NodeCols)
-    return makeError("arrays are distributed over a different node grid "
-                     "than this executor's machine");
-  return Error::success();
-}
-
 void Executor::runNode(const CompiledStencil &Compiled,
-                       StencilArguments &Args,
+                       const ResolvedStencilArguments &Resolved,
+                       DistributedArray &ResultArray,
                        const std::vector<std::vector<Array2D>> &PaddedBySource,
                        const std::vector<PlannedStrip> &Plan, NodeCoord Node,
                        long *OpsExecuted) const {
@@ -148,19 +104,19 @@ void Executor::runNode(const CompiledStencil &Compiled,
 
   // The halo exchange already ran (every node exchanges simultaneously);
   // pick this node's padded copy of each source.
-  const int NodeId = Args.Result->grid().nodeId(Node);
+  const int NodeId = ResultArray.grid().nodeId(Node);
   std::vector<const Array2D *> PaddedSources;
   PaddedSources.reserve(Spec.sourceCount());
   for (int S = 0; S != Spec.sourceCount(); ++S)
     PaddedSources.push_back(&PaddedBySource[S][NodeId]);
 
+  // Coefficient names were resolved once per run(); index, don't look up.
   std::vector<const Array2D *> TapCoefficients(Spec.Taps.size(), nullptr);
   for (size_t I = 0; I != Spec.Taps.size(); ++I)
-    if (Spec.Taps[I].Coeff.isArray())
-      TapCoefficients[I] =
-          &Args.Coefficients.at(Spec.Taps[I].Coeff.Name)->subgrid(Node);
+    if (const DistributedArray *C = Resolved.TapCoefficients[I])
+      TapCoefficients[I] = &C->subgrid(Node);
 
-  Array2D &Result = Args.Result->subgrid(Node);
+  Array2D &Result = ResultArray.subgrid(Node);
 
   FloatingPointUnit Fpu(Config);
   long Ops =
@@ -239,8 +195,12 @@ Expected<TimingReport> Executor::run(const CompiledStencil &Compiled,
       obs::Registry::process().histogram("executor.run_host_us");
   Runs.add(1);
   obs::ScopedLatencyUs RunTimer(RunHostUs);
-  if (Error E = validateArguments(Compiled, Args))
-    return E;
+  // Validate and resolve every bound name exactly once; the per-node
+  // paths below index the flat vectors.
+  Expected<ResolvedStencilArguments> Resolved =
+      resolveStencilArguments(Config, Compiled, Args);
+  if (!Resolved)
+    return Resolved.error();
   assert(Iterations > 0 && "iteration count must be positive");
 
   const int SubRows = Args.Result->subRows();
@@ -280,14 +240,11 @@ Expected<TimingReport> Executor::run(const CompiledStencil &Compiled,
         Spec.needsCornerData() || !Opts.AllowCornerSkip;
     std::vector<std::vector<Array2D>> PaddedBySource;
     PaddedBySource.reserve(Spec.sourceCount());
-    for (int S = 0; S != Spec.sourceCount(); ++S) {
-      const DistributedArray *Src =
-          S == 0 ? Args.Source : Args.ExtraSources.at(Spec.sourceName(S));
-      PaddedBySource.push_back(exchangeHalos(*Src, Border,
+    for (int S = 0; S != Spec.sourceCount(); ++S)
+      PaddedBySource.push_back(exchangeHalos(*Resolved->Sources[S], Border,
                                              Spec.BoundaryDim1,
                                              Spec.BoundaryDim2,
                                              FetchCorners, Pool));
-    }
 
     switch (Opts.Mode) {
     case FunctionalMode::AllNodes: {
@@ -296,13 +253,14 @@ Expected<TimingReport> Executor::run(const CompiledStencil &Compiled,
       // over the pool; any thread count computes identical bits.
       const NodeGrid &Grid = Args.Result->grid();
       Pool->parallelFor(Grid.nodeCount(), [&](int Id) {
-        runNode(Compiled, Args, PaddedBySource, Plan, Grid.coordOf(Id),
-                Id == 0 ? &Node0Ops : nullptr);
+        runNode(Compiled, *Resolved, *Args.Result, PaddedBySource, Plan,
+                Grid.coordOf(Id), Id == 0 ? &Node0Ops : nullptr);
       });
       break;
     }
     case FunctionalMode::SingleNode:
-      runNode(Compiled, Args, PaddedBySource, Plan, {0, 0}, &Node0Ops);
+      runNode(Compiled, *Resolved, *Args.Result, PaddedBySource, Plan, {0, 0},
+              &Node0Ops);
       break;
     case FunctionalMode::None:
       break;

@@ -25,21 +25,13 @@
 #include "cm2/GridComm.h"
 #include "cm2/Timing.h"
 #include "core/Compiler.h"
+#include "runtime/Backend.h"
 #include "runtime/DistributedArray.h"
 #include "runtime/StripMiner.h"
 #include <map>
 #include <string>
 
 namespace cmcc {
-
-/// Arrays bound to one stencil call.
-struct StencilArguments {
-  DistributedArray *Result = nullptr;
-  const DistributedArray *Source = nullptr;
-  std::map<std::string, const DistributedArray *> Coefficients;
-  /// Additional source arrays, by name (multi-source extension).
-  std::map<std::string, const DistributedArray *> ExtraSources;
-};
 
 /// Executes compiled stencils on a simulated machine.
 class Executor {
@@ -117,11 +109,12 @@ public:
   };
 
 private:
-  Error validateArguments(const CompiledStencil &Compiled,
-                          const StencilArguments &Args) const;
   /// Runs one node's strips against the already-exchanged halos
-  /// (PaddedBySource[sourceIndex][nodeId]).
-  void runNode(const CompiledStencil &Compiled, StencilArguments &Args,
+  /// (PaddedBySource[sourceIndex][nodeId]). Operand arrays come from
+  /// \p Resolved — names were resolved once, up front, in run().
+  void runNode(const CompiledStencil &Compiled,
+               const ResolvedStencilArguments &Resolved,
+               DistributedArray &ResultArray,
                const std::vector<std::vector<Array2D>> &PaddedBySource,
                const std::vector<PlannedStrip> &Plan, NodeCoord Node,
                long *OpsExecuted) const;

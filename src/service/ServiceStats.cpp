@@ -36,8 +36,10 @@ std::string ServiceStats::str() const {
   T.addRow({"compile seconds (mean)", formatFixed(meanCompileSeconds(), 5)});
   T.addRow({"execute seconds (total)", formatFixed(ExecuteSecondsTotal, 4)});
   T.addRow({"execute seconds (mean)", formatFixed(meanExecuteSeconds(), 5)});
-  T.addRow({"simulated seconds served", formatFixed(SimSecondsTotal, 3)});
-  T.addRow({"aggregate simulated Mflops",
+  const char *Timing = ReportsWallClock ? "wall-clock" : "simulated";
+  T.addRow({std::string(Timing) + " seconds served",
+            formatFixed(SimSecondsTotal, 3)});
+  T.addRow({std::string("aggregate ") + Timing + " Mflops",
             formatFixed(aggregateSimMflops(), 1)});
   return T.str();
 }

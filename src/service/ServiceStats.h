@@ -40,8 +40,15 @@ struct ServiceStats {
   //===--- Latency and throughput -----------------------------------------===//
   double CompileSecondsTotal = 0.0; ///< Host wall-clock spent compiling.
   double ExecuteSecondsTotal = 0.0; ///< Host wall-clock spent executing.
-  double SimSecondsTotal = 0.0;     ///< Simulated machine seconds served.
+  /// Machine seconds served: simulated seconds on the cm2 backend,
+  /// measured wall-clock on backends that report it (see
+  /// ReportsWallClock).
+  double SimSecondsTotal = 0.0;
   double UsefulFlopsTotal = 0.0;    ///< Useful flops across all jobs served.
+  /// True when the service's backend measures wall-clock instead of
+  /// simulating cycles — flips the str() labels from "simulated" to
+  /// "wall-clock" (JSON keys stay stable either way).
+  bool ReportsWallClock = false;
 
   /// Aggregate simulated rate: useful flops over simulated seconds.
   double aggregateSimMflops() const {

@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "service/StencilService.h"
+#include "backends/Registry.h"
 #include "core/PlanFingerprint.h"
 #include "fortran/Parser.h"
 #include "obs/Trace.h"
@@ -34,7 +35,8 @@ std::string memoKey(StencilService::SourceKind Kind,
 
 StencilService::StencilService(const MachineConfig &Config, Options Opts)
     : Config(Config), Opts(Opts), Compiler(Config),
-      Exec(Config, Opts.Exec), Cache(Config, Opts.Cache),
+      Engine(createBackend(Opts.Backend, Config, Opts.Exec)),
+      Cache(Config, Opts.Cache),
       JobsSubmitted(Metrics.counter("service.jobs_submitted")),
       JobsCompleted(Metrics.counter("service.jobs_completed")),
       JobsFailed(Metrics.counter("service.jobs_failed")),
@@ -47,6 +49,7 @@ StencilService::StencilService(const MachineConfig &Config, Options Opts)
       ExecuteUs(Metrics.histogram("service.execute_us")),
       SimSeconds(Metrics.sum("service.sim_seconds")),
       UsefulFlops(Metrics.sum("service.useful_flops")) {
+  assert(Engine && "unknown backend name (validate with isBackendName)");
   Compiler.setAllowMultipleSources(Opts.AllowMultipleSources);
   int N = std::max(1, Opts.Workers);
   Workers.reserve(N);
@@ -199,7 +202,9 @@ bool StencilService::resolveSpec(Job &J, std::optional<StencilSpec> &Spec,
     return false;
   }
 
-  Fp = planFingerprint(*Recognized, Config);
+  // Backend-scoped: the same spec compiles to the same plan either way
+  // today, but a cached plan's identity includes where it runs.
+  Fp = planFingerprint(*Recognized, Config, Opts.Backend);
   Spec = std::move(Recognized);
   {
     std::lock_guard<std::mutex> Lock(MemoMutex);
@@ -316,20 +321,18 @@ void StencilService::process(Job &J) {
 
   CMCC_SPAN("service.execute");
   auto ExecBegin = std::chrono::steady_clock::now();
-  if (J.Request.Args) {
-    Expected<TimingReport> Report =
-        Exec.run(*Plan, *J.Request.Args, J.Request.Iterations);
-    if (!Report) {
-      J.Result.ExecuteSeconds = secondsSince(ExecBegin);
-      J.Result.Message = Report.error().message();
-      finish(J, JobState::Failed);
-      return;
-    }
-    J.Result.Report = *Report;
-  } else {
-    J.Result.Report = Exec.timeOnly(*Plan, J.Request.SubRows,
-                                    J.Request.SubCols, J.Request.Iterations);
+  Expected<TimingReport> Report =
+      J.Request.Args
+          ? Engine->run(*Plan, *J.Request.Args, J.Request.Iterations)
+          : Engine->timeOnly(*Plan, J.Request.SubRows, J.Request.SubCols,
+                             J.Request.Iterations);
+  if (!Report) {
+    J.Result.ExecuteSeconds = secondsSince(ExecBegin);
+    J.Result.Message = Report.error().message();
+    finish(J, JobState::Failed);
+    return;
   }
+  J.Result.Report = *Report;
   J.Result.ExecuteSeconds = secondsSince(ExecBegin);
   J.Result.Ok = true;
   finish(J, JobState::Done);
@@ -373,6 +376,7 @@ ServiceStats StencilService::stats() const {
   S.ExecuteSecondsTotal = ExecuteUs.sum() / 1e6;
   S.SimSecondsTotal = SimSeconds.value();
   S.UsefulFlopsTotal = UsefulFlops.value();
+  S.ReportsWallClock = Engine->reportsWallClock();
   S.Cache = Cache.counters();
   return S;
 }

@@ -118,6 +118,11 @@ public:
     Executor::Options Exec;
     /// Enables the §9 multi-source extension in the recognizer.
     bool AllowMultipleSources = false;
+    /// Execution backend jobs run on (a backends/Registry name). Plan
+    /// fingerprints are backend-scoped, so one PlanCache directory can
+    /// serve several backends without aliasing; "cm2" keeps every
+    /// pre-seam fingerprint valid.
+    std::string Backend = "cm2";
   };
 
   StencilService(const MachineConfig &Config, Options Opts);
@@ -151,6 +156,9 @@ public:
 
   PlanCache &cache() { return Cache; }
   const MachineConfig &machine() const { return Config; }
+
+  /// The execution backend jobs run on.
+  const ExecutionBackend &backend() const { return *Engine; }
 
 private:
   struct Job {
@@ -191,7 +199,7 @@ private:
   MachineConfig Config;
   Options Opts;
   ConvolutionCompiler Compiler;
-  Executor Exec;
+  std::unique_ptr<const ExecutionBackend> Engine;
   PlanCache Cache;
 
   //===--- Job table and queue --------------------------------------------===//

@@ -28,7 +28,7 @@ namespace cmcc {
 /// Unlike llvm::Error this type does not enforce checking at destruction
 /// time; callers are expected to test it with the boolean conversion
 /// (true means failure, matching LLVM's convention).
-class Error {
+class [[nodiscard]] Error {
 public:
   /// Constructs a success value.
   Error() = default;
@@ -58,7 +58,7 @@ private:
 
 /// Either a value of type T or an error message, in the spirit of
 /// llvm::Expected. True on success (opposite of Error).
-template <typename T> class Expected {
+template <typename T> class [[nodiscard]] Expected {
 public:
   /// Constructs a success value.
   Expected(T Value) : Value(std::move(Value)) {}

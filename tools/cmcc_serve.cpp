@@ -23,6 +23,10 @@
 ///   cmcc_serve [options] manifest.jobs
 ///
 /// Options:
+///   --backend=cm2|native   execution backend: the simulated CM-2
+///                          (default) or the host-speed native loop
+///                          nest, whose Mflops are real wall-clock
+///   --list-backends        print backend names and exit
 ///   --machine=16|2048|RxC  node grid (default 16 = 4x4)
 ///   --subgrid=RxC          per-node subgrid for timing jobs (128x128)
 ///   --iterations=N         iterations per job (default 100)
@@ -40,6 +44,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "backends/Registry.h"
 #include "core/PlanFingerprint.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
@@ -59,6 +64,7 @@ namespace {
 
 struct ServeOptions {
   std::string ManifestFile;
+  std::string Backend = "cm2";
   MachineConfig Machine = MachineConfig::testMachine16();
   int SubRows = 128, SubCols = 128;
   int Iterations = 100;
@@ -74,7 +80,8 @@ struct ServeOptions {
 void printUsage() {
   std::fprintf(stderr,
                "usage: cmcc_serve [options] <manifest.jobs>\n"
-               "options: --machine=16|2048|RxC --subgrid=RxC --iterations=N\n"
+               "options: --backend=cm2|native --list-backends\n"
+               "         --machine=16|2048|RxC --subgrid=RxC --iterations=N\n"
                "         --workers=N --cache-capacity=N --cache-dir=<dir>\n"
                "         --json --metrics-json <file> --trace <file> --quiet\n"
                "manifest lines:\n"
@@ -94,7 +101,19 @@ bool parseArguments(int Argc, char **Argv, ServeOptions &Opts) {
       size_t N = std::strlen(Prefix);
       return Arg.compare(0, N, Prefix) == 0 ? Arg.c_str() + N : nullptr;
     };
-    if (const char *V = Value("--machine=")) {
+    if (Arg == "--list-backends") {
+      for (const std::string &Name : availableBackendNames())
+        std::printf("%s\n", Name.c_str());
+      std::exit(0);
+    } else if (const char *V = Value("--backend=")) {
+      if (!isBackendName(V)) {
+        std::fprintf(stderr,
+                     "cmcc_serve: unknown backend '%s' (--list-backends)\n",
+                     V);
+        return false;
+      }
+      Opts.Backend = V;
+    } else if (const char *V = Value("--machine=")) {
       if (std::strcmp(V, "16") == 0) {
         Opts.Machine = MachineConfig::testMachine16();
       } else if (std::strcmp(V, "2048") == 0) {
@@ -277,12 +296,15 @@ int main(int Argc, char **Argv) {
   ServiceOpts.Workers = Opts.Workers;
   ServiceOpts.Cache.Capacity = Opts.CacheCapacity;
   ServiceOpts.Cache.DiskDir = Opts.CacheDir;
+  ServiceOpts.Backend = Opts.Backend;
   StencilService Service(Opts.Machine, ServiceOpts);
 
   if (!Opts.Quiet)
-    std::printf("machine: %s\nserving %s with %d workers\n",
-                Opts.Machine.summary().c_str(), Opts.ManifestFile.c_str(),
-                Opts.Workers);
+    std::printf("machine: %s\nbackend: %s%s\nserving %s with %d workers\n",
+                Opts.Machine.summary().c_str(), Service.backend().name(),
+                Service.backend().reportsWallClock() ? " (wall-clock)"
+                                                     : " (simulated)",
+                Opts.ManifestFile.c_str(), Opts.Workers);
 
   auto Start = std::chrono::steady_clock::now();
   struct Submitted {
@@ -305,10 +327,11 @@ int main(int Argc, char **Argv) {
     }
     if (!Opts.Quiet)
       std::printf("line %-4d fp %s  %-5s compile %8.3f ms  execute %8.3f ms  "
-                  "sim %s Mflops\n",
+                  "%s %s Mflops\n",
                   S.Line, fingerprintHex(R.Fingerprint).c_str(),
                   R.CacheHit ? "warm" : (R.Coalesced ? "coal" : "cold"),
                   R.CompileSeconds * 1e3, R.ExecuteSeconds * 1e3,
+                  Service.backend().reportsWallClock() ? "wall" : "sim",
                   formatFixed(R.Report.measuredMflops(), 1).c_str());
   }
   double HostSeconds =

@@ -30,7 +30,10 @@
 ///   --emit=<file>       write the compiled register patterns (.cmccode);
 ///                       a .cmccode file can be given back as input to
 ///                       run precompiled patterns without the compiler
-///   --estimate          print the simulated timing estimate
+///   --estimate          print the timing estimate (simulated cycles on
+///                       the cm2 backend; measured wall-clock on native)
+///   --backend=cm2|native  execution backend for --estimate
+///   --list-backends     print backend names and exit
 ///   --metrics           print the process metric registry afterwards
 ///   --quiet             suppress everything but diagnostics
 ///
@@ -39,6 +42,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "backends/Registry.h"
 #include "core/Compiler.h"
 #include "core/RingBufferPlan.h"
 #include "core/ScheduleIO.h"
@@ -61,6 +65,7 @@ struct DriverOptions {
   std::string InputFile;
   std::string InlineStatement;
   std::string Language; // "fortran", "lisp", or "" = by suffix.
+  std::string Backend = "cm2";
   MachineConfig Machine = MachineConfig::testMachine16();
   int SubRows = 128, SubCols = 128;
   int Iterations = 100;
@@ -83,7 +88,8 @@ void printUsage() {
       "options: --lang=fortran|lisp --machine=16|2048|RxC\n"
       "         --subgrid=RxC --iterations=N --multi-source\n"
       "         --dump-stencil --dump-multistencil --dump-schedule --stats\n"
-      "         --estimate --metrics --quiet\n");
+      "         --estimate --backend=cm2|native --list-backends\n"
+      "         --metrics --quiet\n");
 }
 
 bool parseShape(const char *Text, int *Rows, int *Cols) {
@@ -148,6 +154,17 @@ bool parseArguments(int Argc, char **Argv, DriverOptions &Opts) {
       Opts.EmitPath = V;
     } else if (Arg == "--estimate") {
       Opts.Estimate = true;
+    } else if (Arg == "--list-backends") {
+      for (const std::string &Name : availableBackendNames())
+        std::printf("%s\n", Name.c_str());
+      std::exit(0);
+    } else if (const char *V = Value("--backend=")) {
+      if (!isBackendName(V)) {
+        std::fprintf(stderr,
+                     "cmccc: unknown backend '%s' (--list-backends)\n", V);
+        return false;
+      }
+      Opts.Backend = V;
     } else if (Arg == "--metrics") {
       Opts.Metrics = true;
     } else if (Arg == "--quiet") {
@@ -348,14 +365,23 @@ int main(int Argc, char **Argv) {
   if (Opts.Estimate) {
     Executor::Options ExecOpts;
     ExecOpts.Mode = Executor::FunctionalMode::None;
-    Executor Exec(Opts.Machine, ExecOpts);
-    TimingReport Report = Exec.timeOnly(*Compiled, Opts.SubRows,
-                                        Opts.SubCols, Opts.Iterations);
-    std::printf("\nestimate for %dx%d per-node subgrids, %d iterations:\n",
-                Opts.SubRows, Opts.SubCols, Opts.Iterations);
-    std::printf("%s", Report.str().c_str());
-    std::printf("extrapolated to 2048 nodes: %s Gflops\n",
-                formatFixed(Report.extrapolatedGflops(2048), 2).c_str());
+    std::unique_ptr<ExecutionBackend> Backend =
+        createBackend(Opts.Backend, Opts.Machine, ExecOpts);
+    Expected<TimingReport> Report = Backend->timeOnly(
+        *Compiled, Opts.SubRows, Opts.SubCols, Opts.Iterations);
+    if (!Report) {
+      std::fprintf(stderr, "cmccc: %s\n", Report.error().message().c_str());
+      return 1;
+    }
+    std::printf("\n%s for %dx%d per-node subgrids, %d iterations "
+                "(%s backend):\n",
+                Backend->reportsWallClock() ? "measured wall-clock"
+                                            : "estimate",
+                Opts.SubRows, Opts.SubCols, Opts.Iterations, Backend->name());
+    std::printf("%s", Report->str().c_str());
+    if (!Backend->reportsWallClock())
+      std::printf("extrapolated to 2048 nodes: %s Gflops\n",
+                  formatFixed(Report->extrapolatedGflops(2048), 2).c_str());
   }
 
   if (Opts.Metrics)
