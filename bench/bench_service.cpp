@@ -16,10 +16,18 @@
 /// change plans, hence never cycles); what shrinks is host seconds per
 /// job, reported per pattern and as a cold/warm speedup.
 ///
+/// Experiment S2: the price of the fault-injection seams (DESIGN.md
+/// §5f). With nothing armed a probe is one relaxed load + branch; this
+/// benchmark measures that cost directly, counts how many probes one
+/// warm job actually crosses, and ASSERTS the product stays under 1% of
+/// the job's host time — the contract that lets the probes live on the
+/// serving path permanently.
+///
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
 #include "service/StencilService.h"
+#include "support/FaultInjection.h"
 #include <chrono>
 
 using namespace cmccbench;
@@ -103,6 +111,58 @@ int main(int argc, char **argv) {
                  "bench_service: warm path ran the compiler (%ld compiles, "
                  "%ld front-end runs for %zu patterns)\n",
                  Stats.CompilesPerformed, Stats.FrontEndRuns, Patterns);
+    return 1;
+  }
+
+  // S2: disabled-probe overhead on the serving hot path.
+  fault::Registry &Faults = fault::Registry::process();
+  Faults.reset(); // Nothing armed: measure the disabled path itself.
+  constexpr long ProbeReps = 20'000'000;
+  long Fired = 0;
+  auto ProbeBegin = std::chrono::steady_clock::now();
+  for (long I = 0; I != ProbeReps; ++I)
+    Fired += fault::probe("bench.disabled") ? 1 : 0;
+  double ProbeNs = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - ProbeBegin)
+                       .count() /
+                   ProbeReps * 1e9;
+  if (Fired != 0) {
+    std::fprintf(stderr, "bench_service: disarmed probe fired\n");
+    return 1;
+  }
+
+  // How many probes does one warm job cross? A rate-0 wildcard arms the
+  // counters without ever firing (armed probes are slow, so this run
+  // only counts — the timing denominator is the unarmed warm mean).
+  StencilService::JobRequest CountReq;
+  CountReq.Kind = StencilService::SourceKind::FortranSubroutine;
+  CountReq.Source = patternFortranSource(allPatterns().front());
+  CountReq.SubRows = SubRows;
+  CountReq.SubCols = SubCols;
+  CountReq.Iterations = Iterations;
+  fault::Rule CountAll;
+  CountAll.Site = "*";
+  CountAll.Rate = 0.0;
+  Faults.arm(CountAll);
+  constexpr int CountJobs = 10;
+  hostSeconds(Service, CountReq, CountJobs);
+  double ProbesPerJob =
+      static_cast<double>(Faults.totalProbes()) / CountJobs;
+  Faults.reset();
+
+  const double WarmJobSeconds = WarmTotal / Patterns;
+  const double OverheadFraction =
+      ProbesPerJob * ProbeNs * 1e-9 / WarmJobSeconds;
+  std::printf("\n=== S2: fault-probe overhead ===\n"
+              "disabled probe: %.2f ns; %.0f probes per warm job; "
+              "overhead %.5f%% of a %.3f ms job\n",
+              ProbeNs, ProbesPerJob, OverheadFraction * 100.0,
+              WarmJobSeconds * 1e3);
+  if (OverheadFraction >= 0.01) {
+    std::fprintf(stderr,
+                 "bench_service: disabled fault probes cost %.3f%% of a warm "
+                 "job (budget is 1%%)\n",
+                 OverheadFraction * 100.0);
     return 1;
   }
 

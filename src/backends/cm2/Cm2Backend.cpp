@@ -7,6 +7,7 @@
 #include "backends/cm2/Cm2Backend.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
+#include "support/FaultInjection.h"
 
 using namespace cmcc;
 
@@ -16,6 +17,8 @@ Expected<TimingReport> Cm2Backend::run(const CompiledStencil &Compiled,
   // Backend-scoped observability; the Executor's own executor.* names
   // are unchanged underneath (bench_obs pins the simulated path).
   CMCC_SPAN("backend.cm2.run");
+  if (fault::probe("backend.cm2.run"))
+    return fault::injectedFault("backend.cm2.run");
   static obs::Counter &Runs =
       obs::Registry::process().counter("backend.cm2.runs");
   Runs.add(1);
@@ -25,6 +28,10 @@ Expected<TimingReport> Cm2Backend::run(const CompiledStencil &Compiled,
 Expected<TimingReport> Cm2Backend::timeOnly(const CompiledStencil &Compiled,
                                             int SubRows, int SubCols,
                                             int Iterations) const {
-  // Analytic: exact for any machine size, cannot fail.
+  // Analytic and exact for any machine size — but still a run of this
+  // backend as far as the serving layer is concerned, so timing-only
+  // jobs exercise the same fault site as array-bound ones.
+  if (fault::probe("backend.cm2.run"))
+    return fault::injectedFault("backend.cm2.run");
   return Exec.timeOnly(Compiled, SubRows, SubCols, Iterations);
 }

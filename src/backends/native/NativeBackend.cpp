@@ -13,6 +13,7 @@
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 #include "runtime/HaloExchange.h"
+#include "support/FaultInjection.h"
 #include "support/ThreadPool.h"
 #include <algorithm>
 #include <chrono>
@@ -85,6 +86,8 @@ Expected<TimingReport> NativeBackend::run(const CompiledStencil &Compiled,
                                           StencilArguments &Args,
                                           int Iterations) const {
   CMCC_SPAN("backend.native.run");
+  if (fault::probe("backend.native.run"))
+    return fault::injectedFault("backend.native.run");
   static obs::Counter &Runs =
       obs::Registry::process().counter("backend.native.runs");
   static obs::Histogram &RunHostUs =
@@ -122,11 +125,16 @@ Expected<TimingReport> NativeBackend::run(const CompiledStencil &Compiled,
   {
     CMCC_SPAN("backend.native.halo_exchange");
     PaddedBySource.reserve(Spec.sourceCount());
-    for (int S = 0; S != Spec.sourceCount(); ++S)
+    for (int S = 0; S != Spec.sourceCount(); ++S) {
+      // Probed per exchange step, not per run: a multi-source stencil
+      // can lose any one of its exchanges.
+      if (fault::probe("halo.exchange"))
+        return fault::injectedFault("halo.exchange");
       PaddedBySource.push_back(exchangeHalos(*Resolved->Sources[S], Border,
                                              Spec.BoundaryDim1,
                                              Spec.BoundaryDim2, FetchCorners,
                                              Pool));
+    }
   }
 
   {

@@ -11,6 +11,7 @@
 #include "obs/Trace.h"
 #include "runtime/FpuBinding.h"
 #include "runtime/HaloExchange.h"
+#include "support/FaultInjection.h"
 #include "support/ThreadPool.h"
 #include <algorithm>
 #include <cmath>
@@ -240,11 +241,18 @@ Expected<TimingReport> Executor::run(const CompiledStencil &Compiled,
         Spec.needsCornerData() || !Opts.AllowCornerSkip;
     std::vector<std::vector<Array2D>> PaddedBySource;
     PaddedBySource.reserve(Spec.sourceCount());
-    for (int S = 0; S != Spec.sourceCount(); ++S)
+    for (int S = 0; S != Spec.sourceCount(); ++S) {
+      // Probed per exchange step, not per run: a multi-source stencil
+      // can lose any one of its exchanges. Failing before the compute
+      // loops means a failed run never leaves partial results — every
+      // retry starts from untouched sources.
+      if (fault::probe("halo.exchange"))
+        return fault::injectedFault("halo.exchange");
       PaddedBySource.push_back(exchangeHalos(*Resolved->Sources[S], Border,
                                              Spec.BoundaryDim1,
                                              Spec.BoundaryDim2,
                                              FetchCorners, Pool));
+    }
 
     switch (Opts.Mode) {
     case FunctionalMode::AllNodes: {

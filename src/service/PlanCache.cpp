@@ -7,6 +7,7 @@
 #include "service/PlanCache.h"
 #include "core/PlanFingerprint.h"
 #include "core/ScheduleIO.h"
+#include "support/FaultInjection.h"
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -35,6 +36,12 @@ PlanCache::loadFromDisk(uint64_t Fingerprint) {
   std::ifstream In(diskPathFor(Fingerprint));
   if (!In)
     return nullptr; // Not on disk: an ordinary miss, not a reject.
+  // Injected read fault: the file opened but behaves as corrupt — the
+  // same counted-reject outcome a real bit flip produces.
+  if (fault::probe("plancache.disk_read")) {
+    DiskRejects.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
   std::ostringstream Buffer;
   Buffer << In.rdbuf();
   // The parser revalidates everything — format, counts, and the full
@@ -53,6 +60,11 @@ PlanCache::loadFromDisk(uint64_t Fingerprint) {
 
 void PlanCache::storeToDisk(uint64_t Fingerprint,
                             const CompiledStencil &Plan) const {
+  // Injected write fault: the store is silently lost, like a full disk.
+  // The tier is best-effort by design, so this must be invisible to
+  // correctness — only future disk hits are forgone.
+  if (fault::probe("plancache.disk_write"))
+    return;
   std::error_code EC;
   std::filesystem::create_directories(Opts.DiskDir, EC);
   if (EC)

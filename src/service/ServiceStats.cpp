@@ -20,6 +20,11 @@ std::string ServiceStats::str() const {
   T.addRow({"queue depth (now/max)", std::to_string(QueueDepth) + "/" +
                                          std::to_string(MaxQueueDepth)});
   T.addSeparator();
+  T.addRow({"jobs rejected (queue full)", std::to_string(Rejected)});
+  T.addRow({"deadlines exceeded", std::to_string(DeadlineExceeded)});
+  T.addRow({"execute retries", std::to_string(Retries)});
+  T.addRow({"backend fallbacks", std::to_string(Fallbacks)});
+  T.addSeparator();
   T.addRow({"front-end runs", std::to_string(FrontEndRuns)});
   T.addRow({"source-memo hits", std::to_string(SourceMemoHits)});
   T.addRow({"compiles performed", std::to_string(CompilesPerformed)});
@@ -45,7 +50,7 @@ std::string ServiceStats::str() const {
 }
 
 std::string ServiceStats::json() const {
-  char Buffer[1024];
+  char Buffer[2048];
   std::snprintf(
       Buffer, sizeof(Buffer),
       "{\n"
@@ -54,6 +59,10 @@ std::string ServiceStats::json() const {
       "  \"jobs_failed\": %ld,\n"
       "  \"queue_depth\": %d,\n"
       "  \"max_queue_depth\": %d,\n"
+      "  \"service.rejected\": %ld,\n"
+      "  \"service.deadline_exceeded\": %ld,\n"
+      "  \"service.retries\": %ld,\n"
+      "  \"service.fallbacks\": %ld,\n"
       "  \"front_end_runs\": %ld,\n"
       "  \"source_memo_hits\": %ld,\n"
       "  \"compiles_performed\": %ld,\n"
@@ -71,6 +80,7 @@ std::string ServiceStats::json() const {
       "  \"aggregate_sim_mflops\": %.6g\n"
       "}\n",
       JobsSubmitted, JobsCompleted, JobsFailed, QueueDepth, MaxQueueDepth,
+      Rejected, DeadlineExceeded, Retries, Fallbacks,
       FrontEndRuns, SourceMemoHits, CompilesPerformed, CompilesCoalesced,
       Cache.Hits, Cache.Misses, Cache.hitRate(), Cache.Evictions,
       Cache.DiskHits, Cache.DiskRejects, CompileSecondsTotal,

@@ -30,6 +30,12 @@ struct ServiceStats {
   int QueueDepth = 0;     ///< Jobs queued but not yet picked up.
   int MaxQueueDepth = 0;  ///< High-water mark of QueueDepth.
 
+  //===--- Robustness (DESIGN.md §5f) -------------------------------------===//
+  long Rejected = 0;         ///< Jobs refused at admission (queue full).
+  long DeadlineExceeded = 0; ///< Jobs cancelled past their deadline.
+  long Retries = 0;          ///< Execute attempts beyond each job's first.
+  long Fallbacks = 0;        ///< Jobs that fell back to the cm2 backend.
+
   //===--- The compile-once economy ---------------------------------------===//
   long FrontEndRuns = 0;      ///< Parse+recognize passes actually performed.
   long SourceMemoHits = 0;    ///< Source text resolved without the front end.

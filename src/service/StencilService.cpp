@@ -12,7 +12,10 @@
 #include "sexpr/DefStencil.h"
 #include "stencil/Recognizer.h"
 #include "support/Assert.h"
+#include "support/FaultInjection.h"
+#include <algorithm>
 #include <chrono>
+#include <thread>
 
 using namespace cmcc;
 
@@ -44,6 +47,10 @@ StencilService::StencilService(const MachineConfig &Config, Options Opts)
       SourceMemoHits(Metrics.counter("service.source_memo_hits")),
       CompilesPerformed(Metrics.counter("service.compiles_performed")),
       CompilesCoalesced(Metrics.counter("service.compiles_coalesced")),
+      Rejected(Metrics.counter("service.rejected")),
+      DeadlinesExceeded(Metrics.counter("service.deadline_exceeded")),
+      Retries(Metrics.counter("service.retries")),
+      Fallbacks(Metrics.counter("service.fallbacks")),
       QueueDepth(Metrics.gauge("service.queue_depth")),
       CompileUs(Metrics.histogram("service.compile_us")),
       ExecuteUs(Metrics.histogram("service.execute_us")),
@@ -70,17 +77,49 @@ StencilService::~StencilService() {
 StencilService::JobId StencilService::submit(JobRequest Request) {
   CMCC_SPAN("service.submit");
   Job *Raw;
+  bool RejectedNow = false;
   {
-    std::lock_guard<std::mutex> Lock(JobsMutex);
+    std::unique_lock<std::mutex> Lock(JobsMutex);
     assert(!ShuttingDown && "submit after shutdown began");
+    const size_t Cap = static_cast<size_t>(std::max(0, Opts.QueueCap));
+    if (Cap != 0 && Queue.size() >= Cap) {
+      if (Opts.Admit == Admission::Block) {
+        // Backpressure: park the producer until a worker makes room.
+        // ShuttingDown also wakes us (workers drain the whole queue at
+        // shutdown, so enqueueing then is still safe).
+        JobsChanged.wait(Lock,
+                         [&] { return ShuttingDown || Queue.size() < Cap; });
+      } else {
+        RejectedNow = true;
+      }
+    }
     auto J = std::make_unique<Job>();
     J->Id = NextId++;
     J->Request = std::move(Request);
+    if (Opts.DeadlineMs > 0) {
+      // The budget starts at admission, not at submit() entry: a
+      // blocked producer's wait is backpressure, not job time.
+      J->Deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(Opts.DeadlineMs);
+      J->HasDeadline = true;
+    }
     Raw = J.get();
-    Jobs.emplace(Raw->Id, std::move(J));
-    Queue.push_back(Raw);
     JobsSubmitted.add(1);
-    QueueDepth.add(1);
+    if (RejectedNow) {
+      // The caller still gets a real JobId — the job is just born
+      // Failed, so poll/wait (and the soak's submitted ==
+      // completed + failed ledger) work uniformly.
+      Raw->State = JobState::Failed;
+      Raw->Result.Status = JobStatus::QueueFull;
+      Raw->Result.Message = "rejected: queue full (cap " +
+                            std::to_string(Opts.QueueCap) + ")";
+      Rejected.add(1);
+      JobsFailed.add(1);
+    } else {
+      Queue.push_back(Raw);
+      QueueDepth.add(1);
+    }
+    Jobs.emplace(Raw->Id, std::move(J));
   }
   JobsChanged.notify_all();
   return Raw->Id;
@@ -89,14 +128,25 @@ StencilService::JobId StencilService::submit(JobRequest Request) {
 StencilService::JobState StencilService::poll(JobId Id) const {
   std::lock_guard<std::mutex> Lock(JobsMutex);
   auto It = Jobs.find(Id);
-  assert(It != Jobs.end() && "poll of an unknown job id");
+  // An id we never issued: report it the way wait() explains it
+  // (BadJobId) rather than asserting — poll is how callers probe.
+  if (It == Jobs.end())
+    return JobState::Failed;
   return It->second->State;
 }
 
 StencilService::JobResult StencilService::wait(JobId Id) {
   std::unique_lock<std::mutex> Lock(JobsMutex);
   auto It = Jobs.find(Id);
-  assert(It != Jobs.end() && "wait on an unknown job id");
+  if (It == Jobs.end()) {
+    // Waiting on an id submit() never returned must not hang (nothing
+    // will ever finish it) or assert (release builds would read past
+    // end). A definite failed result is the only safe answer.
+    JobResult R;
+    R.Status = JobStatus::BadJobId;
+    R.Message = "wait on unknown job id " + std::to_string(Id);
+    return R;
+  }
   Job *J = It->second.get();
   JobsChanged.wait(Lock, [&] {
     return J->State == JobState::Done || J->State == JobState::Failed;
@@ -131,8 +181,33 @@ void StencilService::workerLoop() {
       QueueDepth.add(-1);
       J->State = JobState::Compiling;
     }
+    // The pop made room: wake producers blocked on admission.
+    JobsChanged.notify_all();
+    // First cancellation point: a job that out-waited its deadline in
+    // the queue fails before any compile work is spent on it.
+    if (pastDeadline(*J)) {
+      finish(*J, JobState::Failed);
+      continue;
+    }
     process(*J);
   }
+}
+
+bool StencilService::pastDeadline(Job &J) {
+  if (!J.HasDeadline || std::chrono::steady_clock::now() < J.Deadline)
+    return false;
+  DeadlinesExceeded.add(1);
+  J.Result.Status = JobStatus::DeadlineExceeded;
+  J.Result.Message = "deadline of " + std::to_string(Opts.DeadlineMs) +
+                     " ms exceeded";
+  return true;
+}
+
+const ExecutionBackend &StencilService::fallbackEngine() {
+  std::lock_guard<std::mutex> Lock(FallbackMutex);
+  if (!Fallback)
+    Fallback = createBackend("cm2", Config, Opts.Exec);
+  return *Fallback;
 }
 
 bool StencilService::resolveSpec(Job &J, std::optional<StencilSpec> &Spec,
@@ -263,6 +338,11 @@ StencilService::resolvePlan(Job &J, const std::optional<StencilSpec> &Spec,
   if (!Spec) {
     Failure = "fingerprint " + fingerprintHex(Fp) +
               " is not cached and the job carries no source to compile";
+  } else if (fault::probe("service.compile")) {
+    // The whole compile fails, so every job parked on IF shares the
+    // failure; the fingerprint stays uncached and a later submission
+    // compiles fresh.
+    Failure = fault::injectedFault("service.compile").message();
   } else {
     CMCC_SPAN("service.compile");
     auto Begin = std::chrono::steady_clock::now();
@@ -313,29 +393,94 @@ void StencilService::process(Job &J) {
   }
   J.Result.Plan = Plan;
 
+  // Second cancellation point: plan resolution (a compile, or a wait on
+  // someone else's) may have eaten the whole budget.
+  if (pastDeadline(J)) {
+    finish(J, JobState::Failed);
+    return;
+  }
+
   {
     std::lock_guard<std::mutex> Lock(JobsMutex);
     J.State = JobState::Executing;
   }
   JobsChanged.notify_all();
 
+  execute(J, *Plan);
+}
+
+void StencilService::execute(Job &J, const CompiledStencil &Plan) {
   CMCC_SPAN("service.execute");
   auto ExecBegin = std::chrono::steady_clock::now();
-  Expected<TimingReport> Report =
-      J.Request.Args
-          ? Engine->run(*Plan, *J.Request.Args, J.Request.Iterations)
-          : Engine->timeOnly(*Plan, J.Request.SubRows, J.Request.SubCols,
-                             J.Request.Iterations);
-  if (!Report) {
+  auto Finish = [&](JobState Final) {
     J.Result.ExecuteSeconds = secondsSince(ExecBegin);
+    finish(J, Final);
+  };
+
+  const ExecutionBackend *Exec = Engine.get();
+  int Attempt = 0; // Attempts on the current backend, 0-based.
+  for (;;) {
+    // Checked before each attempt, never after a success: a result that
+    // lands while the final attempt races past the deadline was paid
+    // for and is delivered.
+    if (pastDeadline(J))
+      return Finish(JobState::Failed);
+
+    Expected<TimingReport> Report =
+        J.Request.Args
+            ? Exec->run(Plan, *J.Request.Args, J.Request.Iterations)
+            : Exec->timeOnly(Plan, J.Request.SubRows, J.Request.SubCols,
+                             J.Request.Iterations);
+    if (Report) {
+      J.Result.Report = *Report;
+      J.Result.Ok = true;
+      J.Result.Status = JobStatus::Ok;
+      return Finish(JobState::Done);
+    }
+
+    // A failed attempt leaves no partial state: every backend fails
+    // before its compute loops, and a rerun overwrites the result
+    // arrays from scratch — which is what makes retrying sound.
+    if (!Report.error().isTransient()) {
+      J.Result.Message = Report.error().message();
+      return Finish(JobState::Failed);
+    }
+
+    if (Attempt < Opts.MaxRetries) {
+      ++Attempt;
+      Retries.add(1);
+      ++J.Result.Retries;
+      // Exponential backoff, clamped so a sleep can never push the job
+      // past its deadline asleep (the pre-attempt check above catches
+      // the expiry awake).
+      long BackoffMs = Opts.RetryBackoffMs > 0
+                           ? Opts.RetryBackoffMs << std::min(Attempt - 1, 20)
+                           : 0;
+      if (J.HasDeadline) {
+        const long RemainingMs = static_cast<long>(
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                J.Deadline - std::chrono::steady_clock::now())
+                .count());
+        BackoffMs = std::min(BackoffMs, std::max(0L, RemainingMs));
+      }
+      if (BackoffMs > 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(BackoffMs));
+      continue;
+    }
+
+    // Retries exhausted. Degrade gracefully — once — to the cm2
+    // reference backend, with a fresh retry budget there.
+    if (!J.Result.FellBack && Opts.FallbackToCm2 && Opts.Backend != "cm2") {
+      J.Result.FellBack = true;
+      Fallbacks.add(1);
+      Exec = &fallbackEngine();
+      Attempt = 0;
+      continue;
+    }
+
     J.Result.Message = Report.error().message();
-    finish(J, JobState::Failed);
-    return;
+    return Finish(JobState::Failed);
   }
-  J.Result.Report = *Report;
-  J.Result.ExecuteSeconds = secondsSince(ExecBegin);
-  J.Result.Ok = true;
-  finish(J, JobState::Done);
 }
 
 void StencilService::finish(Job &J, JobState Final) {
@@ -372,6 +517,10 @@ ServiceStats StencilService::stats() const {
   S.SourceMemoHits = SourceMemoHits.value();
   S.CompilesPerformed = CompilesPerformed.value();
   S.CompilesCoalesced = CompilesCoalesced.value();
+  S.Rejected = Rejected.value();
+  S.DeadlineExceeded = DeadlinesExceeded.value();
+  S.Retries = Retries.value();
+  S.Fallbacks = Fallbacks.value();
   S.CompileSecondsTotal = CompileUs.sum() / 1e6;
   S.ExecuteSecondsTotal = ExecuteUs.sum() / 1e6;
   S.SimSecondsTotal = SimSeconds.value();

@@ -31,6 +31,15 @@
 /// per-node functional fan-out of each execution runs on the shared
 /// support/ThreadPool exactly as direct Executor::run calls do.
 ///
+/// Robustness (DESIGN.md §5f): admission control bounds the queue
+/// (reject-with-QueueFull or block, per Options), per-job deadlines are
+/// enforced cooperatively at phase boundaries, transient execution
+/// failures (see Error::isTransient) retry with exponential backoff, and
+/// when a non-cm2 backend keeps failing transiently the job falls back
+/// once to the cm2 reference backend. Every such event is counted
+/// (service.rejected / deadline_exceeded / retries / fallbacks) and
+/// stamped on the JobResult.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CMCC_SERVICE_STENCILSERVICE_H
@@ -41,6 +50,7 @@
 #include "runtime/Executor.h"
 #include "service/PlanCache.h"
 #include "service/ServiceStats.h"
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -75,6 +85,15 @@ public:
     Failed,
   };
 
+  /// Why a job ended the way it did (finer-grained than Done/Failed).
+  enum class JobStatus {
+    Ok,
+    Error,            ///< Permanent failure (diagnostics in Message).
+    QueueFull,        ///< Rejected at admission (Options::QueueCap).
+    DeadlineExceeded, ///< Cancelled at a phase boundary past its deadline.
+    BadJobId,         ///< wait() on an id submit() never returned.
+  };
+
   struct JobRequest {
     SourceKind Kind = SourceKind::FortranAssignment;
     /// Source text for the three source kinds; ignored for Fingerprint.
@@ -93,6 +112,8 @@ public:
 
   struct JobResult {
     bool Ok = false;
+    /// Why the job ended: JobStatus::Ok iff Ok.
+    JobStatus Status = JobStatus::Error;
     /// Diagnostics / failure description when !Ok.
     std::string Message;
     uint64_t Fingerprint = 0;
@@ -105,10 +126,22 @@ public:
     double CompileSeconds = 0.0;
     /// Host wall-clock of the execution phase.
     double ExecuteSeconds = 0.0;
+    /// Execute attempts beyond the first (transient-failure retries,
+    /// counting attempts on the fallback backend too).
+    int Retries = 0;
+    /// The job ran on the cm2 fallback backend after its primary
+    /// backend kept failing transiently.
+    bool FellBack = false;
     TimingReport Report;
     /// The (immutable) plan the job ran; usable for resubmission by
     /// fingerprint or direct Executor calls.
     std::shared_ptr<const CompiledStencil> Plan;
+  };
+
+  /// What submit() does when the queue already holds QueueCap jobs.
+  enum class Admission {
+    Reject, ///< Fail the job immediately with JobStatus::QueueFull.
+    Block,  ///< Block the submitter until a worker makes room.
   };
 
   struct Options {
@@ -123,6 +156,30 @@ public:
     /// serve several backends without aliasing; "cm2" keeps every
     /// pre-seam fingerprint valid.
     std::string Backend = "cm2";
+    /// Queued-job bound for admission control; 0 = unbounded (every
+    /// submit is admitted, the pre-hardening behavior).
+    int QueueCap = 0;
+    /// Policy at the cap. Reject gives callers a definite QueueFull
+    /// answer; Block is backpressure for batch producers.
+    Admission Admit = Admission::Reject;
+    /// Per-job wall-clock budget in milliseconds, measured from
+    /// admission; 0 = none. Enforced cooperatively at phase boundaries
+    /// (dequeue, post-compile, pre-attempt) — a result that lands while
+    /// the final attempt races past the deadline is still delivered.
+    long DeadlineMs = 0;
+    /// Extra execute attempts after a *transient* failure (permanent
+    /// failures never retry). Applies per backend: the fallback gets a
+    /// fresh budget.
+    int MaxRetries = 0;
+    /// Base backoff before retry attempt k sleeps
+    /// RetryBackoffMs * 2^(k-1), clamped to the deadline's remainder.
+    long RetryBackoffMs = 1;
+    /// After the primary backend exhausts its retries transiently, run
+    /// the job once on the cm2 reference backend (no-op when Backend is
+    /// already "cm2"). Plans are backend-portable by construction —
+    /// fingerprints are backend-scoped for cache identity, not ABI —
+    /// so the fallback replays the identical CompiledStencil.
+    bool FallbackToCm2 = true;
   };
 
   StencilService(const MachineConfig &Config, Options Opts);
@@ -134,13 +191,20 @@ public:
   StencilService(const StencilService &) = delete;
   StencilService &operator=(const StencilService &) = delete;
 
-  /// Enqueues a job; returns immediately.
+  /// Enqueues a job. Returns immediately unless the queue is at
+  /// Options::QueueCap under Admission::Block (backpressure: blocks the
+  /// caller until a worker makes room). Under Admission::Reject a job
+  /// over the cap still gets a JobId — already Failed, with
+  /// JobStatus::QueueFull — so poll/wait work uniformly.
   JobId submit(JobRequest Request);
 
-  /// Current state of \p Id (which must be a value submit returned).
+  /// Current state of \p Id. An id submit() never returned reports
+  /// JobState::Failed (the state wait() would explain as BadJobId).
   JobState poll(JobId Id) const;
 
-  /// Blocks until \p Id finishes; returns its result.
+  /// Blocks until \p Id finishes; returns its result. An id submit()
+  /// never returned yields an immediate failed result with
+  /// JobStatus::BadJobId — never a hang.
   JobResult wait(JobId Id);
 
   /// Blocks until every job submitted so far has finished.
@@ -166,6 +230,9 @@ private:
     JobRequest Request;
     JobState State = JobState::Queued;
     JobResult Result;
+    /// Cancellation point for Options::DeadlineMs (set at admission).
+    std::chrono::steady_clock::time_point Deadline;
+    bool HasDeadline = false;
   };
 
   /// One compile in flight: submissions of the same fingerprint park
@@ -194,12 +261,23 @@ private:
   /// Returns the plan for \p Fp, compiling it at most once process-wide.
   std::shared_ptr<const CompiledStencil>
   resolvePlan(Job &J, const std::optional<StencilSpec> &Spec, uint64_t Fp);
+  /// Runs the execute phase: deadline checks before each attempt,
+  /// retry-with-backoff on transient failures, one-shot cm2 fallback.
+  void execute(Job &J, const CompiledStencil &Plan);
   void finish(Job &J, JobState Final);
+  /// True (and counts + stamps the failure) when \p J is past its
+  /// deadline; a cooperative cancellation point.
+  bool pastDeadline(Job &J);
+  /// The lazily built cm2 reference backend fallbacks run on.
+  const ExecutionBackend &fallbackEngine();
 
   MachineConfig Config;
   Options Opts;
   ConvolutionCompiler Compiler;
   std::unique_ptr<const ExecutionBackend> Engine;
+  /// Built on first fallback (never when Backend == "cm2").
+  std::mutex FallbackMutex;
+  std::unique_ptr<const ExecutionBackend> Fallback;
   PlanCache Cache;
 
   //===--- Job table and queue --------------------------------------------===//
@@ -230,6 +308,10 @@ private:
   obs::Counter &SourceMemoHits;    ///< service.source_memo_hits
   obs::Counter &CompilesPerformed; ///< service.compiles_performed
   obs::Counter &CompilesCoalesced; ///< service.compiles_coalesced
+  obs::Counter &Rejected;          ///< service.rejected (QueueFull)
+  obs::Counter &DeadlinesExceeded; ///< service.deadline_exceeded
+  obs::Counter &Retries;           ///< service.retries (attempts past 1st)
+  obs::Counter &Fallbacks;         ///< service.fallbacks (jobs, not attempts)
   obs::Gauge &QueueDepth;          ///< service.queue_depth (now + max)
   obs::Histogram &CompileUs;       ///< service.compile_us (per performed)
   obs::Histogram &ExecuteUs;       ///< service.execute_us (per completed)

@@ -40,8 +40,23 @@ public:
     return E;
   }
 
+  /// Constructs a *transient* failure: one that may well succeed if the
+  /// same operation is simply tried again (an injected fault, a flaky
+  /// tier). The serving layer's retry/fallback machinery keys off this;
+  /// ordinary failures (malformed source, bad arguments) are permanent
+  /// and never retried.
+  static Error transient(std::string Message) {
+    Error E;
+    E.Message = std::move(Message);
+    E.Transient = true;
+    return E;
+  }
+
   /// Constructs a success value (for symmetry with llvm::Error::success).
   static Error success() { return Error(); }
+
+  /// True for failures built with transient().
+  bool isTransient() const { return Message.has_value() && Transient; }
 
   /// True when this is a failure.
   explicit operator bool() const { return Message.has_value(); }
@@ -54,6 +69,7 @@ public:
 
 private:
   std::optional<std::string> Message;
+  bool Transient = false;
 };
 
 /// Either a value of type T or an error message, in the spirit of

@@ -6,6 +6,7 @@
 
 #include "support/ThreadPool.h"
 #include "obs/Trace.h"
+#include "support/FaultInjection.h"
 #include <cstdlib>
 #include <string>
 
@@ -84,8 +85,13 @@ void ThreadPool::parallelFor(int N, const std::function<void(int)> &Fn) {
   if (N <= 0)
     return;
   LoopsTotal.add(1);
-  // Serial pool, tiny loop, or a nested call from a loop body: inline.
-  if (Workers.empty() || N == 1 || InsideLoopBody) {
+  // Serial pool, tiny loop, a nested call from a loop body — or an
+  // injected dispatch fault, which degrades this loop to inline serial
+  // execution. Dispatch is the one site whose fault is benign by
+  // construction: any thread count (including one) computes identical
+  // bits, so the degraded mode must not change results.
+  if (Workers.empty() || N == 1 || InsideLoopBody ||
+      fault::probe("threadpool.dispatch")) {
     for (int I = 0; I != N; ++I)
       Fn(I);
     return;

@@ -1,0 +1,566 @@
+//===- tests/fault_injection_test.cpp - Fault registry + hardening -*-C++-*-==//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the deterministic fault-injection registry (DESIGN.md §5f)
+/// and for each of the StencilService hardening paths it exists to
+/// exercise: queue-full rejection, deadline cancellation,
+/// retry-then-succeed, and fallback to the cm2 reference backend. The
+/// multithreaded cases also run under ThreadSanitizer via
+/// tools/check_tsan.sh, so every test arms and resets the *process*
+/// registry through the fixture — whole-binary runs must not leak rules
+/// between tests.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/PlanFingerprint.h"
+#include "runtime/Executor.h"
+#include "service/StencilService.h"
+#include "stencil/PatternLibrary.h"
+#include "support/FaultInjection.h"
+#include "support/ThreadPool.h"
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <gtest/gtest.h>
+#include <memory>
+#include <thread>
+
+using namespace cmcc;
+
+namespace {
+
+MachineConfig machine() { return MachineConfig::withNodeGrid(2, 2); }
+
+fault::Rule rule(const char *Site, double Rate, long MaxFires = -1,
+                 long DelayMs = 0) {
+  fault::Rule R;
+  R.Site = Site;
+  R.Rate = Rate;
+  R.MaxFires = MaxFires;
+  if (DelayMs > 0) {
+    R.Kind = fault::Action::Delay;
+    R.DelayMs = DelayMs;
+  }
+  return R;
+}
+
+/// The process registry is shared across every test in this binary (and
+/// with the code under test); each test starts and ends disarmed.
+class FaultInjectionTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    fault::Registry::process().reset();
+    fault::Registry::process().setSeed(0);
+  }
+  void TearDown() override { fault::Registry::process().reset(); }
+};
+
+/// Distributed arrays plus ownership for one functional run of \p Spec
+/// (the same shape service_test uses).
+struct BoundArrays {
+  StencilArguments Args;
+  std::unique_ptr<DistributedArray> Result, Source;
+  std::vector<std::unique_ptr<DistributedArray>> Coefficients;
+
+  BoundArrays(const MachineConfig &M, const StencilSpec &Spec, int Sub,
+              uint64_t Seed)
+      : Grid(M) {
+    Result = std::make_unique<DistributedArray>(Grid, Sub, Sub);
+    Source = std::make_unique<DistributedArray>(Grid, Sub, Sub);
+    Array2D GlobalX(Result->globalRows(), Result->globalCols());
+    GlobalX.fillRandom(Seed);
+    Source->scatter(GlobalX);
+    Args.Result = Result.get();
+    Args.Source = Source.get();
+    int Index = 0;
+    for (const std::string &Name : Spec.coefficientArrayNames()) {
+      auto C = std::make_unique<DistributedArray>(Grid, Sub, Sub);
+      Array2D G(Result->globalRows(), Result->globalCols());
+      G.fillRandom(Seed + 1000 + Index++);
+      C->scatter(G);
+      Args.Coefficients[Name] = C.get();
+      Coefficients.push_back(std::move(C));
+    }
+  }
+
+private:
+  NodeGrid Grid;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// The registry itself (local instances: no process-wide state involved)
+//===----------------------------------------------------------------------===//
+
+TEST_F(FaultInjectionTest, DisarmedProbesAreFreeAndUncounted) {
+  fault::Registry R;
+  EXPECT_FALSE(R.enabled());
+  // Counting only happens while armed — the disabled path is a single
+  // relaxed load, so there is nothing to count.
+  EXPECT_EQ(R.totalProbes(), 0);
+}
+
+TEST_F(FaultInjectionTest, SameSeedReplaysTheSameFirePattern) {
+  constexpr int Probes = 256;
+  auto Pattern = [](uint64_t Seed) {
+    fault::Registry R;
+    R.setSeed(Seed);
+    R.arm(rule("site.a", 0.5));
+    std::vector<bool> Fired;
+    for (int I = 0; I != Probes; ++I)
+      Fired.push_back(R.shouldFail("site.a"));
+    return Fired;
+  };
+  std::vector<bool> First = Pattern(7);
+  EXPECT_EQ(First, Pattern(7));
+  // A different seed draws a different pattern (deterministically so:
+  // this comparison has one outcome, not a probability).
+  EXPECT_NE(First, Pattern(8));
+  // And the pattern is neither all-fire nor no-fire at rate 0.5.
+  long Fires = std::count(First.begin(), First.end(), true);
+  EXPECT_GT(Fires, 0);
+  EXPECT_LT(Fires, Probes);
+}
+
+TEST_F(FaultInjectionTest, SitesAreIndependentStreams) {
+  // Probing site.b between site.a probes must not perturb site.a's
+  // pattern: decisions key on the site's own probe index, not on any
+  // shared stream.
+  auto PatternA = [](bool InterleaveB) {
+    fault::Registry R;
+    R.setSeed(3);
+    R.arm(rule("site.a", 0.5));
+    R.arm(rule("site.b", 0.5));
+    std::vector<bool> Fired;
+    for (int I = 0; I != 128; ++I) {
+      Fired.push_back(R.shouldFail("site.a"));
+      if (InterleaveB)
+        R.shouldFail("site.b");
+    }
+    return Fired;
+  };
+  EXPECT_EQ(PatternA(false), PatternA(true));
+}
+
+TEST_F(FaultInjectionTest, SiteScopingExactAndPrefix) {
+  fault::Registry R;
+  R.arm(rule("backend.cm2.run", 1.0));
+  EXPECT_TRUE(R.shouldFail("backend.cm2.run"));
+  EXPECT_FALSE(R.shouldFail("backend.native.run"));
+  EXPECT_FALSE(R.shouldFail("backend.cm2.runway")); // Exact, not prefix.
+
+  fault::Registry P;
+  P.arm(rule("halo.*", 1.0));
+  EXPECT_TRUE(P.shouldFail("halo.exchange"));
+  EXPECT_FALSE(P.shouldFail("backend.cm2.run"));
+
+  fault::Registry All;
+  All.arm(rule("*", 1.0));
+  EXPECT_TRUE(All.shouldFail("anything.at.all"));
+}
+
+TEST_F(FaultInjectionTest, MaxFiresCapsARule) {
+  fault::Registry R;
+  R.arm(rule("site.a", 1.0, /*MaxFires=*/2));
+  EXPECT_TRUE(R.shouldFail("site.a"));
+  EXPECT_TRUE(R.shouldFail("site.a"));
+  EXPECT_FALSE(R.shouldFail("site.a")); // Capped.
+  EXPECT_EQ(R.fires("site.a"), 2);
+  EXPECT_EQ(R.probes("site.a"), 3);
+}
+
+TEST_F(FaultInjectionTest, DelayRulesSleepButDoNotFail) {
+  fault::Registry R;
+  R.arm(rule("site.slow", 1.0, /*MaxFires=*/1, /*DelayMs=*/30));
+  auto Begin = std::chrono::steady_clock::now();
+  EXPECT_FALSE(R.shouldFail("site.slow"));
+  auto Elapsed = std::chrono::steady_clock::now() - Begin;
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::milliseconds>(Elapsed)
+                .count(),
+            30);
+  EXPECT_EQ(R.fires("site.slow"), 1);
+}
+
+TEST_F(FaultInjectionTest, ParseAcceptsTheSpecGrammar) {
+  Expected<std::vector<fault::Rule>> Rules = fault::Registry::parse(
+      "backend.cm2.run:0.25,halo.*:1:3,plancache.disk_write:1:-1:50");
+  ASSERT_TRUE(Rules);
+  ASSERT_EQ(Rules->size(), 3u);
+  EXPECT_EQ((*Rules)[0].Site, "backend.cm2.run");
+  EXPECT_DOUBLE_EQ((*Rules)[0].Rate, 0.25);
+  EXPECT_EQ((*Rules)[0].MaxFires, -1);
+  EXPECT_EQ((*Rules)[0].Kind, fault::Action::Fail);
+  EXPECT_EQ((*Rules)[1].Site, "halo.*");
+  EXPECT_EQ((*Rules)[1].MaxFires, 3);
+  EXPECT_EQ((*Rules)[2].Kind, fault::Action::Delay);
+  EXPECT_EQ((*Rules)[2].DelayMs, 50);
+}
+
+TEST_F(FaultInjectionTest, ParseRejectsMalformedSpecs) {
+  EXPECT_FALSE(fault::Registry::parse("norate"));
+  EXPECT_FALSE(fault::Registry::parse(":0.5"));          // Empty site.
+  EXPECT_FALSE(fault::Registry::parse("site:2.0"));      // Rate > 1.
+  EXPECT_FALSE(fault::Registry::parse("site:x"));        // Not a number.
+  EXPECT_FALSE(fault::Registry::parse("site:0.5:-2"));   // Count < -1.
+  EXPECT_FALSE(fault::Registry::parse("site:0.5:1:-1")); // Negative delay.
+  EXPECT_FALSE(fault::Registry::parse("site:0.5:1:2:9")); // Too many fields.
+  // Benign degenerate forms.
+  Expected<std::vector<fault::Rule>> Empty = fault::Registry::parse("");
+  ASSERT_TRUE(Empty);
+  EXPECT_TRUE(Empty->empty());
+}
+
+TEST_F(FaultInjectionTest, InjectedFaultsAreTransient) {
+  Error E = fault::injectedFault("backend.cm2.run");
+  EXPECT_TRUE(static_cast<bool>(E));
+  EXPECT_TRUE(E.isTransient());
+  EXPECT_NE(E.message().find("backend.cm2.run"), std::string::npos);
+  EXPECT_FALSE(makeError("parse error").isTransient());
+}
+
+//===----------------------------------------------------------------------===//
+// Wired sites below the service
+//===----------------------------------------------------------------------===//
+
+TEST_F(FaultInjectionTest, ThreadPoolDispatchFaultDegradesToIdenticalBits) {
+  fault::Registry &Reg = fault::Registry::process();
+  ThreadPool Pool(4);
+  auto RunLoop = [&] {
+    std::vector<int> Out(64, 0);
+    Pool.parallelFor(64, [&](int I) { Out[I] = I * I; });
+    return Out;
+  };
+  std::vector<int> Healthy = RunLoop();
+  Reg.arm(rule("threadpool.dispatch", 1.0));
+  std::vector<int> Degraded = RunLoop();
+  EXPECT_GE(Reg.fires("threadpool.dispatch"), 1);
+  // Degraded mode is inline serial execution — identical results, by
+  // the pool's own bitwise-determinism contract.
+  EXPECT_EQ(Healthy, Degraded);
+}
+
+TEST_F(FaultInjectionTest, PlanCacheDiskFaultsAreLostWritesAndRejects) {
+  fault::Registry &Reg = fault::Registry::process();
+  MachineConfig M = machine();
+  std::string Dir = std::filesystem::temp_directory_path() /
+                    "cmcc_fault_test_disk";
+  std::filesystem::remove_all(Dir);
+
+  PlanCache::Options Opts;
+  Opts.DiskDir = Dir;
+  uint64_t Fp = planFingerprint(makePattern(PatternId::Cross5), M);
+  ConvolutionCompiler CC(M);
+  Expected<CompiledStencil> C = CC.compile(makePattern(PatternId::Cross5));
+  ASSERT_TRUE(C);
+  auto Plan = std::make_shared<const CompiledStencil>(C.takeValue());
+
+  {
+    // A write fault silently loses the store: after dropping memory the
+    // entry is simply gone (an ordinary miss, not a crash).
+    PlanCache Cache(M, Opts);
+    Reg.arm(rule("plancache.disk_write", 1.0));
+    Cache.insert(Fp, Plan);
+    Cache.clearMemory();
+    EXPECT_EQ(Cache.lookup(Fp), nullptr);
+    EXPECT_EQ(Cache.counters().DiskRejects, 0);
+    Reg.reset();
+  }
+  {
+    // A read fault makes a present, valid file behave as corrupt: a
+    // counted reject. Once the rule's fire budget is spent the very
+    // same file loads fine.
+    PlanCache Cache(M, Opts);
+    Cache.insert(Fp, Plan);
+    Cache.clearMemory();
+    Reg.arm(rule("plancache.disk_read", 1.0, /*MaxFires=*/1));
+    EXPECT_EQ(Cache.lookup(Fp), nullptr);
+    EXPECT_EQ(Cache.counters().DiskRejects, 1);
+    EXPECT_NE(Cache.lookup(Fp), nullptr);
+    EXPECT_EQ(Cache.counters().DiskHits, 1);
+  }
+  std::filesystem::remove_all(Dir);
+}
+
+TEST_F(FaultInjectionTest, HaloExchangeFaultFailsTheRunBeforeAnyWrites) {
+  fault::Registry &Reg = fault::Registry::process();
+  MachineConfig M = machine();
+  StencilSpec Spec = makePattern(PatternId::Cross5);
+  ConvolutionCompiler CC(M);
+  Expected<CompiledStencil> C = CC.compile(Spec);
+  ASSERT_TRUE(C);
+  Executor Exec(M);
+
+  BoundArrays Arrays(M, Spec, /*Sub=*/8, /*Seed=*/11);
+  Reg.arm(rule("halo.exchange", 1.0, /*MaxFires=*/1));
+  Expected<TimingReport> Failed = Exec.run(*C, Arrays.Args, 1);
+  ASSERT_FALSE(Failed);
+  EXPECT_TRUE(Failed.error().isTransient());
+
+  // The failure preceded the compute loops, so an immediate rerun on
+  // the same arrays is a clean first run — bitwise equal to a run that
+  // never saw the fault.
+  Expected<TimingReport> Retried = Exec.run(*C, Arrays.Args, 1);
+  ASSERT_TRUE(Retried);
+  BoundArrays Fresh(M, Spec, /*Sub=*/8, /*Seed=*/11);
+  Reg.reset();
+  Expected<TimingReport> Clean = Exec.run(*C, Fresh.Args, 1);
+  ASSERT_TRUE(Clean);
+  EXPECT_EQ(Array2D::maxAbsDifference(Arrays.Result->gather(),
+                                      Fresh.Result->gather()),
+            0.0f);
+  EXPECT_EQ(Retried->Cycles.total(), Clean->Cycles.total());
+}
+
+//===----------------------------------------------------------------------===//
+// Service hardening paths
+//===----------------------------------------------------------------------===//
+
+TEST_F(FaultInjectionTest, QueueFullRejectsWhenAdmissionIsReject) {
+  fault::Registry &Reg = fault::Registry::process();
+  // Hold the single worker inside job A's execute probe so the queue
+  // state is under our control, deterministically.
+  Reg.arm(rule("backend.cm2.run", 1.0, /*MaxFires=*/1, /*DelayMs=*/500));
+
+  StencilService::Options Opts;
+  Opts.Workers = 1;
+  Opts.QueueCap = 1;
+  Opts.Admit = StencilService::Admission::Reject;
+  StencilService Service(machine(), Opts);
+
+  StencilService::JobRequest Req;
+  Req.Kind = StencilService::SourceKind::FortranAssignment;
+  Req.Source = "R = C1*CSHIFT(X,1,-1) + C2*X";
+  Req.SubRows = Req.SubCols = 8;
+
+  StencilService::JobId A = Service.submit(Req);
+  while (Service.poll(A) == StencilService::JobState::Queued)
+    std::this_thread::yield();
+  // Worker is busy with A (sleeping in the delay fault); B fills the
+  // queue to its cap of 1, so C must be rejected.
+  StencilService::JobId B = Service.submit(Req);
+  StencilService::JobId C = Service.submit(Req);
+
+  StencilService::JobResult RC = Service.wait(C);
+  EXPECT_FALSE(RC.Ok);
+  EXPECT_EQ(RC.Status, StencilService::JobStatus::QueueFull);
+  EXPECT_TRUE(Service.wait(A).Ok);
+  EXPECT_TRUE(Service.wait(B).Ok);
+
+  ServiceStats S = Service.stats();
+  EXPECT_EQ(S.Rejected, 1);
+  EXPECT_EQ(S.JobsSubmitted, 3);
+  EXPECT_EQ(S.JobsCompleted, 2);
+  EXPECT_EQ(S.JobsFailed, 1);
+}
+
+TEST_F(FaultInjectionTest, QueueFullBlocksWhenAdmissionIsBlock) {
+  fault::Registry &Reg = fault::Registry::process();
+  Reg.arm(rule("backend.cm2.run", 1.0, /*MaxFires=*/1, /*DelayMs=*/200));
+
+  StencilService::Options Opts;
+  Opts.Workers = 1;
+  Opts.QueueCap = 1;
+  Opts.Admit = StencilService::Admission::Block;
+  StencilService Service(machine(), Opts);
+
+  StencilService::JobRequest Req;
+  Req.Kind = StencilService::SourceKind::FortranAssignment;
+  Req.Source = "R = C1*CSHIFT(X,1,-1) + C2*X";
+  Req.SubRows = Req.SubCols = 8;
+
+  StencilService::JobId A = Service.submit(Req);
+  while (Service.poll(A) == StencilService::JobState::Queued)
+    std::this_thread::yield();
+  Service.submit(Req); // Fills the queue.
+  // The third submit must block until the worker (asleep ~200 ms in A's
+  // delay fault) makes room — never reject.
+  StencilService::JobId C = Service.submit(Req);
+  EXPECT_TRUE(Service.wait(C).Ok);
+  Service.drain();
+
+  ServiceStats S = Service.stats();
+  EXPECT_EQ(S.Rejected, 0);
+  EXPECT_EQ(S.JobsSubmitted, 3);
+  EXPECT_EQ(S.JobsCompleted, 3);
+  EXPECT_EQ(S.JobsFailed, 0);
+}
+
+TEST_F(FaultInjectionTest, DeadlineCancelsQueuedJobButDeliversRacingSuccess) {
+  fault::Registry &Reg = fault::Registry::process();
+  // Job A's execute sleeps well past the deadline; the sleep is a Delay
+  // fault, so the attempt still succeeds afterwards.
+  Reg.arm(rule("backend.cm2.run", 1.0, /*MaxFires=*/1, /*DelayMs=*/300));
+
+  StencilService::Options Opts;
+  Opts.Workers = 1;
+  Opts.DeadlineMs = 80;
+  StencilService Service(machine(), Opts);
+
+  StencilService::JobRequest Req;
+  Req.Kind = StencilService::SourceKind::FortranAssignment;
+  Req.Source = "R = C1*CSHIFT(X,1,-1) + C2*X";
+  Req.SubRows = Req.SubCols = 8;
+
+  StencilService::JobId A = Service.submit(Req);
+  StencilService::JobId B = Service.submit(Req);
+
+  // A raced past its deadline *inside* a successful attempt: the result
+  // was paid for, so it is delivered.
+  StencilService::JobResult RA = Service.wait(A);
+  EXPECT_TRUE(RA.Ok) << RA.Message;
+  // B spent those 300 ms queued behind A — more than its 80 ms budget —
+  // and is cancelled at the dequeue boundary without any compile work.
+  StencilService::JobResult RB = Service.wait(B);
+  EXPECT_FALSE(RB.Ok);
+  EXPECT_EQ(RB.Status, StencilService::JobStatus::DeadlineExceeded);
+
+  ServiceStats S = Service.stats();
+  EXPECT_EQ(S.DeadlineExceeded, 1);
+  EXPECT_EQ(S.JobsCompleted, 1);
+  EXPECT_EQ(S.JobsFailed, 1);
+}
+
+TEST_F(FaultInjectionTest, TransientExecuteFaultsRetryThenSucceed) {
+  fault::Registry &Reg = fault::Registry::process();
+  Reg.arm(rule("backend.cm2.run", 1.0, /*MaxFires=*/2));
+
+  StencilService::Options Opts;
+  Opts.Workers = 1;
+  Opts.MaxRetries = 3;
+  StencilService Service(machine(), Opts);
+
+  StencilService::JobRequest Req;
+  Req.Kind = StencilService::SourceKind::FortranAssignment;
+  Req.Source = "R = C1*CSHIFT(X,1,-1) + C2*X";
+  Req.SubRows = Req.SubCols = 8;
+
+  StencilService::JobResult R = Service.wait(Service.submit(Req));
+  EXPECT_TRUE(R.Ok) << R.Message;
+  EXPECT_EQ(R.Status, StencilService::JobStatus::Ok);
+  EXPECT_EQ(R.Retries, 2); // Attempts 1 and 2 hit the fault budget.
+  EXPECT_FALSE(R.FellBack);
+  EXPECT_EQ(Reg.fires("backend.cm2.run"), 2);
+
+  ServiceStats S = Service.stats();
+  EXPECT_EQ(S.Retries, 2);
+  EXPECT_EQ(S.JobsCompleted, 1);
+  EXPECT_EQ(S.JobsFailed, 0);
+}
+
+TEST_F(FaultInjectionTest, RetriesExhaustedFailsWithTheTransientMessage) {
+  fault::Registry &Reg = fault::Registry::process();
+  Reg.arm(rule("backend.cm2.run", 1.0)); // Unlimited: never recovers.
+
+  StencilService::Options Opts;
+  Opts.Workers = 1;
+  Opts.MaxRetries = 2;
+  StencilService Service(machine(), Opts);
+
+  StencilService::JobRequest Req;
+  Req.Kind = StencilService::SourceKind::FortranAssignment;
+  Req.Source = "R = C1*CSHIFT(X,1,-1) + C2*X";
+  Req.SubRows = Req.SubCols = 8;
+
+  StencilService::JobResult R = Service.wait(Service.submit(Req));
+  EXPECT_FALSE(R.Ok);
+  EXPECT_EQ(R.Status, StencilService::JobStatus::Error);
+  EXPECT_EQ(R.Retries, 2);
+  EXPECT_NE(R.Message.find("injected fault"), std::string::npos);
+  // No fallback: the primary already is cm2.
+  EXPECT_FALSE(R.FellBack);
+  EXPECT_EQ(Service.stats().Fallbacks, 0);
+}
+
+TEST_F(FaultInjectionTest, PermanentFailuresNeverRetry) {
+  StencilService::Options Opts;
+  Opts.MaxRetries = 3;
+  StencilService Service(machine(), Opts);
+  StencilService::JobRequest Req;
+  Req.Kind = StencilService::SourceKind::FortranAssignment;
+  Req.Source = "R = X * X"; // Not a stencil: a permanent failure.
+  StencilService::JobResult R = Service.wait(Service.submit(Req));
+  EXPECT_FALSE(R.Ok);
+  EXPECT_EQ(R.Retries, 0);
+  EXPECT_EQ(Service.stats().Retries, 0);
+}
+
+TEST_F(FaultInjectionTest, FailingNativeBackendFallsBackToCm2) {
+  fault::Registry &Reg = fault::Registry::process();
+  // Only the native site is armed: the cm2 fallback runs clean.
+  Reg.arm(rule("backend.native.run", 1.0));
+
+  StencilService::Options Opts;
+  Opts.Workers = 1;
+  Opts.Backend = "native";
+  Opts.MaxRetries = 1;
+  StencilService Service(machine(), Opts);
+
+  StencilService::JobRequest Req;
+  Req.Kind = StencilService::SourceKind::FortranAssignment;
+  Req.Source = "R = C1*CSHIFT(X,1,-1) + C2*X";
+  Req.SubRows = Req.SubCols = 8;
+
+  StencilService::JobResult R = Service.wait(Service.submit(Req));
+  EXPECT_TRUE(R.Ok) << R.Message;
+  EXPECT_TRUE(R.FellBack);
+  EXPECT_EQ(R.Retries, 1); // One retry on native before falling back.
+  // The cm2 backend simulates cycles — proof the report came from the
+  // fallback, not the wall-clock-only native path.
+  EXPECT_GT(R.Report.Cycles.total(), 0);
+
+  ServiceStats S = Service.stats();
+  EXPECT_EQ(S.Fallbacks, 1);
+  EXPECT_EQ(S.JobsCompleted, 1);
+  EXPECT_EQ(S.JobsFailed, 0);
+}
+
+TEST_F(FaultInjectionTest, FallbackDisabledFailsInstead) {
+  fault::Registry &Reg = fault::Registry::process();
+  Reg.arm(rule("backend.native.run", 1.0));
+
+  StencilService::Options Opts;
+  Opts.Workers = 1;
+  Opts.Backend = "native";
+  Opts.MaxRetries = 1;
+  Opts.FallbackToCm2 = false;
+  StencilService Service(machine(), Opts);
+
+  StencilService::JobRequest Req;
+  Req.Kind = StencilService::SourceKind::FortranAssignment;
+  Req.Source = "R = C1*CSHIFT(X,1,-1) + C2*X";
+  Req.SubRows = Req.SubCols = 8;
+
+  StencilService::JobResult R = Service.wait(Service.submit(Req));
+  EXPECT_FALSE(R.Ok);
+  EXPECT_FALSE(R.FellBack);
+  EXPECT_EQ(Service.stats().Fallbacks, 0);
+}
+
+TEST_F(FaultInjectionTest, ServiceCompileFaultFailsEveryCoalescedJob) {
+  fault::Registry &Reg = fault::Registry::process();
+  Reg.arm(rule("service.compile", 1.0, /*MaxFires=*/1));
+
+  StencilService::Options Opts;
+  Opts.Workers = 1;
+  StencilService Service(machine(), Opts);
+
+  StencilService::JobRequest Req;
+  Req.Kind = StencilService::SourceKind::FortranAssignment;
+  Req.Source = "R = C1*CSHIFT(X,1,-1) + C2*X";
+  Req.SubRows = Req.SubCols = 8;
+
+  StencilService::JobResult First = Service.wait(Service.submit(Req));
+  EXPECT_FALSE(First.Ok);
+  EXPECT_NE(First.Message.find("service.compile"), std::string::npos);
+  // The failed compile left nothing cached, so a resubmission (fault
+  // budget now spent) compiles fresh and succeeds.
+  StencilService::JobResult Second = Service.wait(Service.submit(Req));
+  EXPECT_TRUE(Second.Ok) << Second.Message;
+  EXPECT_FALSE(Second.CacheHit);
+  EXPECT_EQ(Service.stats().CompilesPerformed, 1);
+}

@@ -22,6 +22,7 @@
 #include "core/Compiler.h"
 #include "runtime/Executor.h"
 #include "runtime/Reference.h"
+#include "service/StencilService.h"
 #include "stencil/PatternLibrary.h"
 #include "support/Random.h"
 #include <gtest/gtest.h>
@@ -286,6 +287,101 @@ TEST(EdgeCaseTest, ScratchMemoryLimitRespected) {
     SUCCEED(); // Nothing fit: also a valid outcome for a tiny sequencer.
   }
 }
+
+//===----------------------------------------------------------------------===//
+// Service robustness options are bitwise-transparent
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Distributed arrays plus ownership for one functional service job.
+struct ServiceArrays {
+  StencilArguments Args;
+  std::vector<std::unique_ptr<DistributedArray>> Owned;
+
+  ServiceArrays(const MachineConfig &M, const StencilSpec &Spec, int Sub,
+                uint64_t Seed)
+      : Grid(M) {
+    auto Make = [&](uint64_t S) {
+      auto A = std::make_unique<DistributedArray>(Grid, Sub, Sub);
+      Array2D G(A->globalRows(), A->globalCols());
+      G.fillRandom(S);
+      A->scatter(G);
+      Owned.push_back(std::move(A));
+      return Owned.back().get();
+    };
+    Args.Result = Make(1);
+    Args.Source = Make(Seed);
+    uint64_t Next = Seed + 1000;
+    for (const std::string &Name : Spec.coefficientArrayNames())
+      Args.Coefficients[Name] = Make(Next++);
+  }
+
+private:
+  NodeGrid Grid;
+};
+
+} // namespace
+
+/// The §5f hardening knobs (admission caps, deadlines, retry budgets,
+/// fallback) steer scheduling and recovery, never arithmetic: a job that
+/// succeeds under any Options produces the same bits as under the
+/// defaults.
+class RandomServiceOptionsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomServiceOptionsTest, RobustnessOptionsNeverChangeTheBits) {
+  SplitMix64 Rng(0x0b71a500 + GetParam());
+  MachineConfig Config = MachineConfig::withNodeGrid(2, 2);
+
+  StencilService::Options Randomized;
+  Randomized.Workers = 1 + static_cast<int>(Rng.nextBelow(4));
+  Randomized.Backend = Rng.nextBelow(2) ? "native" : "cm2";
+  Randomized.QueueCap = 1 + static_cast<int>(Rng.nextBelow(64));
+  // Block so a tiny cap backpressures instead of rejecting.
+  Randomized.Admit = StencilService::Admission::Block;
+  // Off, or generous enough that no fault-free job can miss it.
+  Randomized.DeadlineMs =
+      Rng.nextBelow(2) ? 0 : 10'000 + static_cast<long>(Rng.nextBelow(10'000));
+  Randomized.MaxRetries = static_cast<int>(Rng.nextBelow(4));
+  Randomized.RetryBackoffMs = 1 + static_cast<long>(Rng.nextBelow(8));
+  Randomized.FallbackToCm2 = Rng.nextBelow(2) != 0;
+
+  StencilService::Options Defaults;
+  Defaults.Backend = Randomized.Backend; // Backends differ by design.
+
+  StencilService Tuned(Config, Randomized);
+  StencilService Plain(Config, Defaults);
+  for (PatternId Id : allPatterns()) {
+    StencilSpec Spec = makePattern(Id);
+    const uint64_t Seed = Rng.next();
+    const int Sub = 4 + static_cast<int>(Rng.nextBelow(6));
+    ServiceArrays A(Config, Spec, Sub, Seed);
+    ServiceArrays B(Config, Spec, Sub, Seed);
+
+    StencilService::JobRequest Req;
+    Req.Kind = StencilService::SourceKind::FortranSubroutine;
+    Req.Source = patternFortranSource(Id);
+    Req.Iterations = 1;
+    Req.Args = &A.Args;
+    StencilService::JobResult RA = Tuned.wait(Tuned.submit(Req));
+    Req.Args = &B.Args;
+    StencilService::JobResult RB = Plain.wait(Plain.submit(Req));
+    ASSERT_TRUE(RA.Ok) << RA.Message;
+    ASSERT_TRUE(RB.Ok) << RB.Message;
+    EXPECT_EQ(RA.Status, StencilService::JobStatus::Ok);
+    EXPECT_EQ(RA.Retries, 0);
+    EXPECT_FALSE(RA.FellBack);
+    EXPECT_EQ(Array2D::maxAbsDifference(A.Args.Result->gather(),
+                                        B.Args.Result->gather()),
+              0.0f)
+        << patternName(Id) << " sub " << Sub << " seed " << Seed;
+  }
+  EXPECT_EQ(Tuned.stats().Rejected, 0);
+  EXPECT_EQ(Tuned.stats().DeadlineExceeded, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RandomServiceOptionsTest,
+                         ::testing::Range(0, 8));
 
 TEST(EdgeCaseTest, WTL3132CostsMore) {
   MachineConfig A = MachineConfig::testMachine16();

@@ -475,6 +475,23 @@ TEST(StencilServiceTest, ConcurrentDistinctPatternsCompileOncePerPattern) {
             static_cast<long>(Patterns.size()) * Rounds);
 }
 
+TEST(StencilServiceTest, WaitOnUnknownJobIdReturnsBadJobId) {
+  // Regression: wait() on an id submit() never returned used to assert
+  // (debug) or read past the map's end (release) — and could only ever
+  // hang if it got as far as the wait, since nothing would finish the
+  // job. It must return a definite failed result instead, and poll()
+  // must report the same id as Failed rather than asserting.
+  StencilService Service(machine(), {});
+  StencilService::JobResult R = Service.wait(12345);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_EQ(R.Status, StencilService::JobStatus::BadJobId);
+  EXPECT_NE(R.Message.find("12345"), std::string::npos) << R.Message;
+  EXPECT_EQ(Service.poll(12345), StencilService::JobState::Failed);
+  // The phantom id leaves no trace in the ledger.
+  EXPECT_EQ(Service.stats().JobsSubmitted, 0);
+  EXPECT_EQ(Service.stats().JobsFailed, 0);
+}
+
 TEST(StencilServiceTest, DiskTierSurvivesServiceRestart) {
   MachineConfig M = machine();
   ScratchDir Dir("service_disk");

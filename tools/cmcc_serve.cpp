@@ -33,6 +33,17 @@
 ///   --workers=N            service dispatch threads (default 2)
 ///   --cache-capacity=N     in-memory plan-cache entries (default 64)
 ///   --cache-dir=<dir>      enable the on-disk plan-cache tier
+///   --queue-cap=N          bound the job queue to N entries (default
+///                          unbounded)
+///   --admission=block|reject  policy at the cap: block the submitter
+///                          (default — this is a batch producer) or
+///                          reject with QueueFull
+///   --deadline-ms=N        per-job wall-clock budget (default none)
+///   --max-retries=N        execute retries on transient faults
+///                          (default 0)
+///   --faults=SPEC          arm the fault registry, CMCC_FAULTS syntax
+///                          (site:rate[:count[:delay_ms]],...)
+///   --fault-seed=N         seed of the deterministic fire pattern
 ///   --json                 dump the final ServiceStats as JSON
 ///   --metrics-json <file>  write process + service metric registries
 ///                          as JSON to <file> ('-' for stdout)
@@ -49,6 +60,7 @@
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 #include "service/StencilService.h"
+#include "support/FaultInjection.h"
 #include "support/StringUtils.h"
 #include <chrono>
 #include <cstdio>
@@ -71,6 +83,13 @@ struct ServeOptions {
   int Workers = 2;
   size_t CacheCapacity = 64;
   std::string CacheDir;
+  int QueueCap = 0;
+  /// Batch producers want backpressure, not refusals, by default.
+  StencilService::Admission Admit = StencilService::Admission::Block;
+  long DeadlineMs = 0;
+  int MaxRetries = 0;
+  std::string Faults;
+  uint64_t FaultSeed = 0;
   bool Json = false;
   std::string MetricsJsonPath;
   std::string TracePath;
@@ -83,6 +102,9 @@ void printUsage() {
                "options: --backend=cm2|native --list-backends\n"
                "         --machine=16|2048|RxC --subgrid=RxC --iterations=N\n"
                "         --workers=N --cache-capacity=N --cache-dir=<dir>\n"
+               "         --queue-cap=N --admission=block|reject\n"
+               "         --deadline-ms=N --max-retries=N\n"
+               "         --faults=SPEC --fault-seed=N\n"
                "         --json --metrics-json <file> --trace <file> --quiet\n"
                "manifest lines:\n"
                "  job <assignment|subroutine|lisp|fingerprint> <text|@file>\n"
@@ -153,6 +175,40 @@ bool parseArguments(int Argc, char **Argv, ServeOptions &Opts) {
       Opts.CacheCapacity = static_cast<size_t>(N);
     } else if (const char *V = Value("--cache-dir=")) {
       Opts.CacheDir = V;
+    } else if (const char *V = Value("--queue-cap=")) {
+      Opts.QueueCap = std::atoi(V);
+      if (Opts.QueueCap <= 0) {
+        std::fprintf(stderr, "cmcc_serve: bad --queue-cap value '%s'\n", V);
+        return false;
+      }
+    } else if (const char *V = Value("--admission=")) {
+      if (std::strcmp(V, "block") == 0) {
+        Opts.Admit = StencilService::Admission::Block;
+      } else if (std::strcmp(V, "reject") == 0) {
+        Opts.Admit = StencilService::Admission::Reject;
+      } else {
+        std::fprintf(stderr,
+                     "cmcc_serve: bad --admission value '%s' "
+                     "(want block or reject)\n",
+                     V);
+        return false;
+      }
+    } else if (const char *V = Value("--deadline-ms=")) {
+      Opts.DeadlineMs = std::atol(V);
+      if (Opts.DeadlineMs <= 0) {
+        std::fprintf(stderr, "cmcc_serve: bad --deadline-ms value '%s'\n", V);
+        return false;
+      }
+    } else if (const char *V = Value("--max-retries=")) {
+      Opts.MaxRetries = std::atoi(V);
+      if (Opts.MaxRetries < 0) {
+        std::fprintf(stderr, "cmcc_serve: bad --max-retries value '%s'\n", V);
+        return false;
+      }
+    } else if (const char *V = Value("--faults=")) {
+      Opts.Faults = V;
+    } else if (const char *V = Value("--fault-seed=")) {
+      Opts.FaultSeed = std::strtoull(V, nullptr, 10);
     } else if (Arg == "--json") {
       Opts.Json = true;
     } else if (const char *V = Value("--metrics-json=")) {
@@ -201,6 +257,22 @@ struct ManifestJob {
   int Count = 1;
   StencilService::JobRequest Request;
 };
+
+const char *statusName(StencilService::JobStatus Status) {
+  switch (Status) {
+  case StencilService::JobStatus::Ok:
+    return "ok";
+  case StencilService::JobStatus::Error:
+    return "error";
+  case StencilService::JobStatus::QueueFull:
+    return "queue-full";
+  case StencilService::JobStatus::DeadlineExceeded:
+    return "deadline-exceeded";
+  case StencilService::JobStatus::BadJobId:
+    return "bad-job-id";
+  }
+  return "?";
+}
 
 bool parseKind(const std::string &Word, StencilService::SourceKind &Kind) {
   if (Word == "assignment")
@@ -292,19 +364,41 @@ int main(int Argc, char **Argv) {
   if (!Opts.TracePath.empty())
     obs::Trace::start(Opts.TracePath);
 
+  if (!Opts.Faults.empty()) {
+    Expected<std::vector<fault::Rule>> Rules =
+        fault::Registry::parse(Opts.Faults);
+    if (!Rules) {
+      std::fprintf(stderr, "cmcc_serve: bad --faults: %s\n",
+                   Rules.error().message().c_str());
+      return 2;
+    }
+    fault::Registry &Reg = fault::Registry::process();
+    Reg.setSeed(Opts.FaultSeed);
+    for (fault::Rule &R : *Rules)
+      Reg.arm(std::move(R));
+  }
+
   StencilService::Options ServiceOpts;
   ServiceOpts.Workers = Opts.Workers;
   ServiceOpts.Cache.Capacity = Opts.CacheCapacity;
   ServiceOpts.Cache.DiskDir = Opts.CacheDir;
   ServiceOpts.Backend = Opts.Backend;
+  ServiceOpts.QueueCap = Opts.QueueCap;
+  ServiceOpts.Admit = Opts.Admit;
+  ServiceOpts.DeadlineMs = Opts.DeadlineMs;
+  ServiceOpts.MaxRetries = Opts.MaxRetries;
   StencilService Service(Opts.Machine, ServiceOpts);
 
-  if (!Opts.Quiet)
+  if (!Opts.Quiet) {
     std::printf("machine: %s\nbackend: %s%s\nserving %s with %d workers\n",
                 Opts.Machine.summary().c_str(), Service.backend().name(),
                 Service.backend().reportsWallClock() ? " (wall-clock)"
                                                      : " (simulated)",
                 Opts.ManifestFile.c_str(), Opts.Workers);
+    if (!Opts.Faults.empty())
+      std::printf("faults armed: %s (seed %llu)\n", Opts.Faults.c_str(),
+                  static_cast<unsigned long long>(Opts.FaultSeed));
+  }
 
   auto Start = std::chrono::steady_clock::now();
   struct Submitted {
@@ -321,18 +415,25 @@ int main(int Argc, char **Argv) {
     StencilService::JobResult R = Service.wait(S.Id);
     if (!R.Ok) {
       ++Failures;
-      std::fprintf(stderr, "cmcc_serve: job at line %d failed: %s\n", S.Line,
-                   R.Message.c_str());
+      std::fprintf(stderr, "cmcc_serve: job at line %d failed (%s): %s\n",
+                   S.Line, statusName(R.Status), R.Message.c_str());
       continue;
     }
-    if (!Opts.Quiet)
+    if (!Opts.Quiet) {
+      std::string Recovery;
+      if (R.Retries)
+        Recovery += "  retries " + std::to_string(R.Retries);
+      if (R.FellBack)
+        Recovery += "  (fell back to cm2)";
       std::printf("line %-4d fp %s  %-5s compile %8.3f ms  execute %8.3f ms  "
-                  "%s %s Mflops\n",
+                  "%s %s Mflops%s\n",
                   S.Line, fingerprintHex(R.Fingerprint).c_str(),
                   R.CacheHit ? "warm" : (R.Coalesced ? "coal" : "cold"),
                   R.CompileSeconds * 1e3, R.ExecuteSeconds * 1e3,
                   Service.backend().reportsWallClock() ? "wall" : "sim",
-                  formatFixed(R.Report.measuredMflops(), 1).c_str());
+                  formatFixed(R.Report.measuredMflops(), 1).c_str(),
+                  Recovery.c_str());
+    }
   }
   double HostSeconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
