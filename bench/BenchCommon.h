@@ -31,11 +31,57 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace cmccbench {
 
 using namespace cmcc;
+
+/// Identity of the compiler that built this benchmark binary, so a
+/// BENCH_*.json row is comparable only to rows built the same way.
+inline std::string compilerIdentity() {
+#if defined(__clang__)
+  return std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+  return std::string("gcc ") + __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+/// The flags this benchmark binary was compiled with (stamped in by
+/// bench/CMakeLists.txt; empty when built outside CMake).
+inline std::string benchCompileFlags() {
+#ifdef CMCC_BENCH_COMPILE_FLAGS
+  return CMCC_BENCH_COMPILE_FLAGS;
+#else
+  return "";
+#endif
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars) —
+/// enough for compiler identity and flag strings.
+inline std::string escapeJson(const std::string &S) {
+  std::string Out;
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    if (static_cast<unsigned char>(C) < 0x20) {
+      Out += ' ';
+      continue;
+    }
+    Out += C;
+  }
+  return Out;
+}
+
+/// One-line provenance summary for human-readable bench output.
+inline std::string benchProvenance() {
+  return compilerIdentity() + "; flags: " + benchCompileFlags() +
+         "; host cores: " +
+         std::to_string(std::thread::hardware_concurrency());
+}
 
 /// One published row of the paper's results table.
 struct PaperRow {
@@ -133,6 +179,14 @@ public:
     std::fprintf(F, "{\n  \"bench\": \"%s\",\n", BenchName.c_str());
     std::fprintf(F, "  \"host_threads\": %d,\n",
                  cmcc::ThreadPool::sharedThreadCount());
+    // Provenance: host numbers are only comparable across runs built
+    // by the same compiler with the same flags on similar iron.
+    std::fprintf(F, "  \"host_cores\": %u,\n",
+                 std::thread::hardware_concurrency());
+    std::fprintf(F, "  \"compiler\": \"%s\",\n",
+                 escapeJson(compilerIdentity()).c_str());
+    std::fprintf(F, "  \"compiler_flags\": \"%s\",\n",
+                 escapeJson(benchCompileFlags()).c_str());
     std::fprintf(F, "  \"rows\": [\n");
     for (size_t I = 0; I != Rows.size(); ++I) {
       const Row &R = Rows[I];

@@ -22,12 +22,25 @@
 /// but each is comparable to itself across PRs, which is what
 /// BENCH_backends.json records.
 ///
+/// The njit backend runs under a fresh artifact-cache directory, so its
+/// cold rows include the real emit + cc + dlopen cost. A second section
+/// compares njit against native steady-state throughput on the seismic
+/// loop body and on every examples/stencils source — the speedup the
+/// plan-specialized kernel buys over the generic interpreter is the
+/// njit_vs_native/* scalar family.
+///
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
 #include "backends/Registry.h"
 #include "service/StencilService.h"
 #include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <unistd.h>
 
 using namespace cmccbench;
 
@@ -58,10 +71,88 @@ double hostSeconds(StencilService &Service,
       .count();
 }
 
+/// Best steady-state Mflops of \p Backend over a few timeOnly repeats.
+double steadyMflops(const ExecutionBackend &Backend,
+                    const CompiledStencil &Compiled, int SubRows,
+                    int SubCols) {
+  double Best = 0.0;
+  for (int R = 0; R != SteadyRepeats; ++R) {
+    Expected<TimingReport> Report =
+        Backend.timeOnly(Compiled, SubRows, SubCols, Iterations);
+    if (!Report) {
+      std::fprintf(stderr, "bench_backends: timeOnly failed: %s\n",
+                   Report.error().message().c_str());
+      std::abort();
+    }
+    Best = std::max(Best, Report->measuredMflops());
+  }
+  return Best;
+}
+
+/// One njit-vs-native comparison workload.
+struct RatioWorkload {
+  std::string Name;
+  CompiledStencil Compiled;
+  int SubRows, SubCols;
+};
+
+/// The seismic loop body plus every compilable examples/stencils
+/// source, compiled for \p Config.
+std::vector<RatioWorkload> ratioWorkloads(const MachineConfig &Config) {
+  namespace fs = std::filesystem;
+  std::vector<RatioWorkload> W;
+  // The Gordon Bell production loop's stencil at bench_seismic's
+  // per-node shape.
+  W.push_back({"seismic", compilePattern(Config, PatternId::Cross9R2), 64,
+               128});
+#ifdef CMCC_EXAMPLES_DIR
+  ConvolutionCompiler CC(Config);
+  CC.setAllowMultipleSources(true);
+  std::vector<fs::path> Files;
+  for (const fs::directory_entry &E : fs::directory_iterator(CMCC_EXAMPLES_DIR))
+    Files.push_back(E.path());
+  std::sort(Files.begin(), Files.end());
+  for (const fs::path &Path : Files) {
+    std::string Ext = Path.extension().string();
+    if (Ext != ".f90" && Ext != ".lisp")
+      continue;
+    std::ifstream In(Path);
+    std::ostringstream Buffer;
+    Buffer << In.rdbuf();
+    std::string Source = Buffer.str();
+    std::optional<CompiledStencil> Compiled;
+    if (Ext == ".lisp") {
+      DiagnosticEngine Diags;
+      Compiled = CC.compileDefStencil(Source, Diags);
+    } else {
+      DiagnosticEngine SubDiags;
+      Compiled = CC.compileSubroutine(Source, SubDiags);
+      if (!Compiled) {
+        DiagnosticEngine AsgDiags;
+        Compiled = CC.compileAssignment(Source, AsgDiags);
+      }
+    }
+    if (!Compiled) {
+      std::fprintf(stderr, "bench_backends: cannot compile %s\n",
+                   Path.c_str());
+      std::abort();
+    }
+    W.push_back({"examples/" + Path.filename().string(), *Compiled, 64, 64});
+  }
+#endif
+  return W;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
   benchmark::Initialize(&argc, argv);
+
+  // A fresh artifact-cache directory so njit's cold rows pay the real
+  // emit + cc + dlopen cost, not a previous run's warm disk tier.
+  const std::string NjitCacheDir =
+      "/tmp/cmcc_bench_njit." + std::to_string(::getpid());
+  ::setenv("CMCC_NJIT_CACHE_DIR", NjitCacheDir.c_str(), 1);
 
   MachineConfig Config = MachineConfig::testMachine16();
   TextTable T;
@@ -70,6 +161,11 @@ int main(int argc, char **argv) {
   BenchJsonWriter Json("backends");
 
   for (const std::string &Name : availableBackendNames()) {
+    if (!isBackendAvailable(Name)) {
+      std::fprintf(stderr, "bench_backends: skipping unavailable backend %s\n",
+                   Name.c_str());
+      continue;
+    }
     std::unique_ptr<ExecutionBackend> Backend = createBackend(Name, Config);
     if (!Backend) {
       std::fprintf(stderr, "bench_backends: unknown backend %s\n",
@@ -141,13 +237,40 @@ int main(int argc, char **argv) {
                    WarmTotal / static_cast<double>(Patterns) * 1e3);
   }
 
+  // B1b: the payoff of plan specialization — njit against native,
+  // steady state, on the seismic loop body and the examples corpus.
+  if (isBackendAvailable("njit")) {
+    std::unique_ptr<ExecutionBackend> Native =
+        createBackend("native", Config);
+    std::unique_ptr<ExecutionBackend> Njit = createBackend("njit", Config);
+    TextTable R;
+    R.setHeader({"workload", "subgrid", "native(Mflops)", "njit(Mflops)",
+                 "njit/native"});
+    for (const RatioWorkload &W : ratioWorkloads(Config)) {
+      double NativeMflops =
+          steadyMflops(*Native, W.Compiled, W.SubRows, W.SubCols);
+      double NjitMflops =
+          steadyMflops(*Njit, W.Compiled, W.SubRows, W.SubCols);
+      double Ratio = NjitMflops / NativeMflops;
+      R.addRow({W.Name,
+                std::to_string(W.SubRows) + "x" + std::to_string(W.SubCols),
+                formatFixed(NativeMflops, 1), formatFixed(NjitMflops, 1),
+                formatFixed(Ratio, 2) + "x"});
+      Json.addScalar("njit_vs_native/" + W.Name, Ratio);
+    }
+    std::printf("\n=== B1b: njit vs native, steady state (best of %d) "
+                "===\n\n%s\n",
+                SteadyRepeats, R.str().c_str());
+  }
+
   std::string Path = Json.write();
   std::printf("\n=== B1: backends compared, %d warm rounds per pattern, "
-              "%dx%d subgrids on 16 nodes ===\n\n%s\n"
+              "%dx%d subgrids on 16 nodes ===\nbuilt with: %s\n\n%s\n"
               "sim rows model the 7 MHz CM-2; wall rows are this host.\n"
               "%s%s\n",
-              WarmRounds, SubRows, SubCols, T.str().c_str(),
-              Path.empty() ? "" : "wrote ", Path.c_str());
+              WarmRounds, SubRows, SubCols, benchProvenance().c_str(),
+              T.str().c_str(), Path.empty() ? "" : "wrote ", Path.c_str());
+  std::system(("rm -rf '" + NjitCacheDir + "'").c_str());
   benchmark::Shutdown();
   return 0;
 }

@@ -58,8 +58,9 @@ void measureHostEngineAndEmitJson() {
   }
   std::string Path = Json.write();
   std::printf("\n=== Host execution engine (functional AllNodes runs) ===\n"
-              "shared pool threads: %d\n\n%s\ntotal: serial %.3fs, pool "
-              "%.3fs, speedup %.2fx\n%s%s\n",
+              "built with: %s\nshared pool threads: %d\n\n%s\ntotal: serial "
+              "%.3fs, pool %.3fs, speedup %.2fx\n%s%s\n",
+              benchProvenance().c_str(),
               cmcc::ThreadPool::sharedThreadCount(), T.str().c_str(),
               SerialTotal, PoolTotal, SerialTotal / PoolTotal,
               Path.empty() ? "" : "wrote ", Path.c_str());

@@ -7,15 +7,35 @@
 #include "backends/Registry.h"
 #include "backends/cm2/Cm2Backend.h"
 #include "backends/native/NativeBackend.h"
+#include "backends/njit/NjitBackend.h"
+#include "backends/njit/Toolchain.h"
 
 using namespace cmcc;
 
 std::vector<std::string> cmcc::availableBackendNames() {
-  return {"cm2", "native"};
+  // Kept sorted by hand; the seam test asserts the order is sorted so
+  // the list stays stable as backends are added.
+  return {"cm2", "native", "njit"};
 }
 
 bool cmcc::isBackendName(std::string_view Name) {
-  return Name == "cm2" || Name == "native";
+  return Name == "cm2" || Name == "native" || Name == "njit";
+}
+
+bool cmcc::isBackendAvailable(std::string_view Name) {
+  if (!isBackendName(Name))
+    return false;
+  if (Name == "njit")
+    return njit::toolchainAvailable();
+  return true;
+}
+
+Error cmcc::unknownBackendError(std::string_view Name) {
+  std::string Known;
+  for (const std::string &B : availableBackendNames())
+    Known += Known.empty() ? B : ", " + B;
+  return makeError("unknown backend '" + std::string(Name) +
+                   "' (registered backends: " + Known + ")");
 }
 
 std::unique_ptr<ExecutionBackend>
@@ -28,6 +48,12 @@ cmcc::createBackend(std::string_view Name, const MachineConfig &Config,
     Opts.AllowCornerSkip = ExecOpts.AllowCornerSkip;
     Opts.ThreadCount = ExecOpts.ThreadCount;
     return std::make_unique<NativeBackend>(Config, Opts);
+  }
+  if (Name == "njit") {
+    NjitBackend::Options Opts;
+    Opts.AllowCornerSkip = ExecOpts.AllowCornerSkip;
+    Opts.ThreadCount = ExecOpts.ThreadCount;
+    return std::make_unique<NjitBackend>(Config, Opts);
   }
   return nullptr;
 }

@@ -23,17 +23,30 @@
 
 namespace cmcc {
 
-/// Names of all execution backends, in presentation order.
+/// Names of all execution backends, sorted — a stable presentation
+/// order for --list-backends and for diagnostics.
 std::vector<std::string> availableBackendNames();
 
 /// True if \p Name names a backend createBackend can build.
 bool isBackendName(std::string_view Name);
 
+/// True if \p Name is usable *right now* on this host. Registration and
+/// availability are distinct: njit is always registered but needs a
+/// host C++ compiler (see njit/Toolchain.h); cm2 and native are always
+/// available. Unavailable backends still construct — their run()
+/// reports the failure (transiently, so a service can fall back).
+bool isBackendAvailable(std::string_view Name);
+
+/// The diagnostic for a --backend= value that names no backend: spells
+/// out what was given and every registered name, so callers never
+/// hand-roll (and let drift) their own list.
+Error unknownBackendError(std::string_view Name);
+
 /// Builds the backend \p Name executes for \p Config. The simulated
-/// backend honors \p ExecOpts wholesale; the native backend adopts the
-/// knobs that translate (corner skip, thread count). Returns null for
-/// an unknown name — callers validate with isBackendName first for a
-/// proper diagnostic.
+/// backend honors \p ExecOpts wholesale; the native and njit backends
+/// adopt the knobs that translate (corner skip, thread count). Returns
+/// null for an unknown name — callers validate with isBackendName
+/// first and diagnose with unknownBackendError.
 std::unique_ptr<ExecutionBackend>
 createBackend(std::string_view Name, const MachineConfig &Config,
               const Executor::Options &ExecOpts = {});

@@ -1,0 +1,110 @@
+//===- backends/njit/Emitter.cpp ------------------------------*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "backends/njit/Emitter.h"
+#include "backends/njit/Toolchain.h"
+#include <cstdio>
+
+using namespace cmcc;
+using namespace cmcc::njit;
+
+namespace {
+
+/// Exact float literal: hex-float round-trips every finite value
+/// bit-for-bit through any conforming compiler.
+std::string exactFloat(float V) {
+  char Buffer[48];
+  std::snprintf(Buffer, sizeof(Buffer), "%af", static_cast<double>(V));
+  return Buffer;
+}
+
+std::string tapIndex(size_t I) { return std::to_string(I); }
+
+} // namespace
+
+std::string cmcc::njit::emitKernelSource(const StencilSpec &Spec,
+                                         const std::string &FingerprintHex) {
+  std::string Out;
+  Out += "// cmcc njit kernel (emitter v" + std::to_string(EmitterVersion) +
+         ", abi v" + std::to_string(KernelAbiVersion) + ")\n";
+  Out += "// plan " + FingerprintHex + ": " + Spec.str() + "\n";
+  Out += "// Each term is rounded separately (compiled with "
+         "-ffp-contract=off);\n"
+         "// the accumulation chain matches the native backend bit for "
+         "bit.\n\n";
+  Out += "extern \"C\" const char cmcc_njit_fingerprint[] = \"" +
+         FingerprintHex + "\";\n";
+  Out += "extern \"C\" const int cmcc_njit_abi = " +
+         std::to_string(KernelAbiVersion) + ";\n\n";
+  Out += "extern \"C\" void cmcc_njit_kernel(\n"
+         "    float *__restrict__ Out, long OutStride,\n"
+         "    const float *const *TapSrc, const long *TapSrcStride,\n"
+         "    const float *const *TapCoeff, const long *TapCoeffStride,\n"
+         "    long RowBegin, long RowEnd, long Cols) {\n";
+
+  // Hoist every live tap slot into a named local once.
+  for (size_t I = 0; I != Spec.Taps.size(); ++I) {
+    const Tap &T = Spec.Taps[I];
+    const std::string N = tapIndex(I);
+    if (T.HasData) {
+      Out += "  const float *const S" + N + " = TapSrc[" + N + "];\n";
+      Out += "  const long SS" + N + " = TapSrcStride[" + N + "];\n";
+    }
+    if (T.Coeff.isArray()) {
+      Out += "  const float *const C" + N + " = TapCoeff[" + N + "];\n";
+      Out += "  const long CS" + N + " = TapCoeffStride[" + N + "];\n";
+    }
+  }
+  Out += "  for (long R = RowBegin; R != RowEnd; ++R) {\n";
+  Out += "    float *__restrict__ O = Out + R * OutStride;\n";
+  for (size_t I = 0; I != Spec.Taps.size(); ++I) {
+    const Tap &T = Spec.Taps[I];
+    const std::string N = tapIndex(I);
+    if (T.HasData)
+      Out += "    const float *const P" + N + " = S" + N + " + R * SS" + N +
+             ";\n";
+    if (T.Coeff.isArray())
+      Out += "    const float *const Q" + N + " = C" + N + " + R * CS" + N +
+             ";\n";
+  }
+  Out += "    for (long J = 0; J != Cols; ++J) {\n";
+  Out += "      float Acc = 0.0f;\n";
+  for (size_t I = 0; I != Spec.Taps.size(); ++I) {
+    const Tap &T = Spec.Taps[I];
+    const std::string N = tapIndex(I);
+    const bool Negative = T.Sign < 0.0;
+    std::string Term;
+    if (T.HasData) {
+      if (T.Coeff.isArray()) {
+        // Data * (Sign * Coeff): multiplying by ±1.0f is exact, so the
+        // sign folds into a negation (or vanishes) symbolically.
+        Term = "P" + N + "[J] * " +
+               (Negative ? "(-Q" + N + "[J])" : "Q" + N + "[J]");
+      } else {
+        // Scalar coefficient: the native backend folds
+        // float(Sign) * float(Value) once at run time; fold the same
+        // float product here, at emit time, into an exact literal.
+        float Imm = static_cast<float>(T.Sign) *
+                    static_cast<float>(T.Coeff.Value);
+        Term = "P" + N + "[J] * " + exactFloat(Imm);
+      }
+    } else if (T.Coeff.isArray()) {
+      // Bare array-coefficient term (the paper's "c"): the FPU
+      // multiplies by the exact 1.0 register.
+      Term = Negative ? "(-Q" + N + "[J])" : "Q" + N + "[J]";
+    } else {
+      float Imm =
+          static_cast<float>(T.Sign) * static_cast<float>(T.Coeff.Value);
+      Term = exactFloat(Imm);
+    }
+    Out += "      Acc += " + Term + ";\n";
+  }
+  Out += "      O[J] = Acc;\n";
+  Out += "    }\n";
+  Out += "  }\n";
+  Out += "}\n";
+  return Out;
+}

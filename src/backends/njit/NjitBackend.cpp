@@ -1,0 +1,185 @@
+//===- backends/njit/NjitBackend.cpp --------------------------*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "backends/njit/NjitBackend.h"
+#include "core/PlanFingerprint.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+#include "runtime/HaloExchange.h"
+#include "support/FaultInjection.h"
+#include "support/ThreadPool.h"
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+
+using namespace cmcc;
+
+namespace {
+
+njit::ArtifactCache::Options cacheOptions(const NjitBackend::Options &Opts) {
+  njit::ArtifactCache::Options CO;
+  if (!Opts.CacheDir.empty())
+    CO.DiskDir = Opts.CacheDir;
+  else if (const char *Env = std::getenv("CMCC_NJIT_CACHE_DIR"))
+    CO.DiskDir = Env;
+  return CO;
+}
+
+} // namespace
+
+NjitBackend::NjitBackend(const MachineConfig &Config, Options Opts)
+    : Config(Config), Opts(Opts), Cache(cacheOptions(Opts)) {}
+
+Expected<TimingReport> NjitBackend::run(const CompiledStencil &Compiled,
+                                        StencilArguments &Args,
+                                        int Iterations) const {
+  CMCC_SPAN("backend.njit.run");
+  if (fault::probe("backend.njit.run"))
+    return fault::injectedFault("backend.njit.run");
+  static obs::Counter &Runs =
+      obs::Registry::process().counter("backend.njit.runs");
+  static obs::Histogram &RunHostUs =
+      obs::Registry::process().histogram("backend.njit.run_host_us");
+  Runs.add(1);
+  obs::ScopedLatencyUs RunTimer(RunHostUs);
+
+  Expected<ResolvedStencilArguments> Resolved =
+      resolveStencilArguments(Config, Compiled, Args);
+  if (!Resolved)
+    return Resolved.error();
+  assert(Iterations > 0 && "iteration count must be positive");
+
+  const StencilSpec &Spec = Compiled.Spec;
+
+  // The kernel is a per-plan artifact, resolved before the timed
+  // region. An unusable toolchain is reported transient so a serving
+  // layer degrades to cm2 instead of failing the job.
+  const uint64_t Fingerprint = planFingerprint(Spec, Config, "njit");
+  Expected<njit::Artifact> Kernel = Cache.lookup(Fingerprint, Spec);
+  if (!Kernel)
+    return Kernel.error().isTransient()
+               ? Kernel.error()
+               : Error::transient(Kernel.error().message());
+
+  const int SubRows = Args.Result->subRows();
+  const int SubCols = Args.Result->subCols();
+  const NodeGrid &Grid = Args.Result->grid();
+
+  std::unique_ptr<ThreadPool> PrivatePool;
+  ThreadPool *Pool;
+  if (Opts.ThreadCount == 0) {
+    Pool = &ThreadPool::shared();
+  } else {
+    PrivatePool = std::make_unique<ThreadPool>(Opts.ThreadCount);
+    Pool = PrivatePool.get();
+  }
+
+  const auto Start = std::chrono::steady_clock::now();
+
+  // Same §5.1 exchange protocol as the other backends.
+  const int Border = Spec.borderWidths().maximum();
+  const bool FetchCorners = Spec.needsCornerData() || !Opts.AllowCornerSkip;
+  std::vector<std::vector<Array2D>> PaddedBySource;
+  {
+    CMCC_SPAN("backend.njit.halo_exchange");
+    PaddedBySource.reserve(Spec.sourceCount());
+    for (int S = 0; S != Spec.sourceCount(); ++S) {
+      if (fault::probe("halo.exchange"))
+        return fault::injectedFault("halo.exchange");
+      PaddedBySource.push_back(exchangeHalos(*Resolved->Sources[S], Border,
+                                             Spec.BoundaryDim1,
+                                             Spec.BoundaryDim2, FetchCorners,
+                                             Pool));
+    }
+  }
+
+  {
+    CMCC_SPAN("njit.run");
+    const int RowsPerTile = std::max(1, Opts.RowsPerTile);
+    const int TilesPerNode = (SubRows + RowsPerTile - 1) / RowsPerTile;
+    const size_t TapCount = Spec.Taps.size();
+    Pool->parallelFor(Grid.nodeCount() * TilesPerNode, [&](int Task) {
+      const NodeCoord Node = Grid.coordOf(Task / TilesPerNode);
+      const int RowBegin = (Task % TilesPerNode) * RowsPerTile;
+      const int RowEnd = std::min(SubRows, RowBegin + RowsPerTile);
+
+      // Pre-resolved operand slots, indexed by tap: source bases
+      // already offset to (Border + Dy, Border + Dx) of the padded
+      // array, so the kernel does no offset arithmetic. Slots the
+      // emitted code hard-coded away are never read.
+      std::vector<const float *> TapSrc(TapCount, nullptr);
+      std::vector<long> TapSrcStride(TapCount, 0);
+      std::vector<const float *> TapCoeff(TapCount, nullptr);
+      std::vector<long> TapCoeffStride(TapCount, 0);
+      for (size_t I = 0; I != TapCount; ++I) {
+        const Tap &T = Spec.Taps[I];
+        if (T.HasData) {
+          const Array2D &Padded =
+              PaddedBySource[T.SourceIndex][Grid.nodeId(Node)];
+          TapSrcStride[I] = Padded.cols();
+          TapSrc[I] = Padded.data() +
+                      static_cast<size_t>(Border + T.At.Dy) * Padded.cols() +
+                      Border + T.At.Dx;
+        }
+        if (const DistributedArray *C = Resolved->TapCoefficients[I]) {
+          const Array2D &Sub = C->subgrid(Node);
+          TapCoeff[I] = Sub.data();
+          TapCoeffStride[I] = Sub.cols();
+        }
+      }
+
+      Array2D &Result = Args.Result->subgrid(Node);
+      Kernel->Kernel(Result.data(), Result.cols(), TapSrc.data(),
+                     TapSrcStride.data(), TapCoeff.data(),
+                     TapCoeffStride.data(), RowBegin, RowEnd, SubCols);
+    });
+  }
+
+  const double Seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+          .count();
+
+  TimingReport Report;
+  Report.Iterations = Iterations;
+  Report.Nodes = Config.nodeCount();
+  Report.ClockMHz = Config.ClockMHz;
+  Report.HostSecondsPerIteration = Seconds;
+  Report.UsefulFlopsPerNodePerIteration =
+      static_cast<long>(Spec.usefulFlopsPerPoint()) * SubRows * SubCols;
+  return Report;
+}
+
+Expected<TimingReport> NjitBackend::timeOnly(const CompiledStencil &Compiled,
+                                             int SubRows, int SubCols,
+                                             int Iterations) const {
+  CMCC_SPAN("backend.njit.time_only");
+  const StencilSpec &Spec = Compiled.Spec;
+  const NodeGrid Grid(Config);
+
+  // Scratch arrays, deterministically filled with the same seeds as the
+  // native backend, so timeOnly results are comparable bit for bit.
+  DistributedArray Result(Grid, SubRows, SubCols);
+  std::vector<std::unique_ptr<DistributedArray>> Owned;
+  auto MakeScratch = [&](uint64_t Seed) {
+    Owned.push_back(std::make_unique<DistributedArray>(Grid, SubRows, SubCols));
+    DistributedArray &A = *Owned.back();
+    for (int Id = 0; Id != Grid.nodeCount(); ++Id)
+      A.subgrid(Grid.coordOf(Id)).fillRandom(Seed * 7919 + Id);
+    return &A;
+  };
+
+  StencilArguments Args;
+  Args.Result = &Result;
+  uint64_t Seed = 1;
+  Args.Source = MakeScratch(Seed++);
+  for (const std::string &Name : Spec.ExtraSources)
+    Args.ExtraSources[Name] = MakeScratch(Seed++);
+  for (const std::string &Name : Spec.coefficientArrayNames())
+    Args.Coefficients[Name] = MakeScratch(Seed++);
+
+  return run(Compiled, Args, Iterations);
+}

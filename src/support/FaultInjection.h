@@ -22,6 +22,8 @@
 ///   plancache.disk_write   disk-tier store is silently lost
 ///   backend.cm2.run        simulated execution fails (transient)
 ///   backend.native.run     native execution fails (transient)
+///   backend.njit.run       njit execution fails (transient)
+///   njit.cc                the njit toolchain invocation fails (transient)
 ///   halo.exchange          a halo exchange fails (transient)
 ///   threadpool.dispatch    pool dispatch degrades to inline execution
 ///   service.compile        a service-owned compile fails

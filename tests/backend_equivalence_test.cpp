@@ -7,14 +7,20 @@
 /// \file
 /// The contract between the execution backends: running the same
 /// CompiledStencil over bit-identical inputs through the simulated cm2
-/// backend and the host-speed native backend must agree
+/// backend and each wall-clock backend (native, njit) must agree
 ///
 ///   * bitwise for single-term stencils (both sides compute the one
 ///     rounded product `Data * (Sign * Coeff)` added to 0.0f), and
 ///   * within 1 ulp per term otherwise — the only licensed difference
 ///     is accumulation order (the compiled schedule may permute taps;
-///     native adds in spec order), and reordering N separately rounded
-///     float terms perturbs the sum by at most ~N ulps of sum |term|.
+///     native and njit add in spec order), and reordering N separately
+///     rounded float terms perturbs the sum by at most ~N ulps of
+///     sum |term|.
+///
+/// njit additionally must match native *bitwise for every stencil*: its
+/// emitted kernel performs the identical sequence of rounded float
+/// operations (Emitter.h), so there is no licensed difference at all.
+/// njit legs are skipped when no host toolchain is available.
 ///
 /// Exercised over every spec in examples/stencils/ (via every front-end
 /// entry point: assignment, SUBROUTINE, defstencil) plus randomized
@@ -25,6 +31,7 @@
 #include "backends/Registry.h"
 #include "backends/cm2/Cm2Backend.h"
 #include "backends/native/NativeBackend.h"
+#include "backends/njit/Toolchain.h"
 #include "core/Compiler.h"
 #include "core/PlanFingerprint.h"
 #include "runtime/Reference.h"
@@ -38,7 +45,9 @@
 #include <gtest/gtest.h>
 #include <limits>
 #include <memory>
+#include <optional>
 #include <sstream>
+#include <string_view>
 
 using namespace cmcc;
 
@@ -131,8 +140,10 @@ Array2D absTermSums(const StencilSpec &Spec, const ReferenceBindings &B,
   return Scale;
 }
 
-/// Runs \p Compiled through both backends over bit-identical inputs and
-/// asserts the equivalence contract.
+/// Runs \p Compiled through the cm2 backend and every wall-clock
+/// backend over bit-identical inputs and asserts the equivalence
+/// contract (njit legs skip silently when no host toolchain exists —
+/// the seam test covers availability reporting).
 void expectBackendsAgree(const MachineConfig &Config,
                          const CompiledStencil &Compiled, int SubRows,
                          int SubCols, uint64_t Seed,
@@ -140,51 +151,75 @@ void expectBackendsAgree(const MachineConfig &Config,
   SCOPED_TRACE(Label);
   const StencilSpec &Spec = Compiled.Spec;
   BoundArrays Cm2Side(Config, Spec, SubRows, SubCols, Seed);
-  BoundArrays NativeSide(Config, Spec, SubRows, SubCols, Seed);
 
   Cm2Backend Cm2(Config);
-  NativeBackend Native(Config);
   Expected<TimingReport> Sim = Cm2.run(Compiled, Cm2Side.Args, 1);
   ASSERT_TRUE(Sim) << "cm2 run failed: " << Sim.error().message();
-  Expected<TimingReport> Wall = Native.run(Compiled, NativeSide.Args, 1);
-  ASSERT_TRUE(Wall) << "native run failed: " << Wall.error().message();
   EXPECT_FALSE(Cm2.reportsWallClock());
-  EXPECT_TRUE(Native.reportsWallClock());
-
   Array2D Want = Cm2Side.R.gather();
-  Array2D Got = NativeSide.R.gather();
-  ASSERT_EQ(Want.rows(), Got.rows());
-  ASSERT_EQ(Want.cols(), Got.cols());
 
-  if (Spec.Taps.size() == 1) {
-    // One term: no reordering is possible, so the backends must agree
-    // bit for bit.
-    EXPECT_EQ(std::memcmp(Want.data(), Got.data(),
-                          sizeof(float) * Want.rows() * Want.cols()),
-              0)
-        << "single-term stencil diverged; max |diff| "
-        << Array2D::maxAbsDifference(Want, Got) << "\n"
-        << Spec.str();
-    return;
+  auto CompareToCm2 = [&](const Array2D &Got, const char *Which) {
+    ASSERT_EQ(Want.rows(), Got.rows());
+    ASSERT_EQ(Want.cols(), Got.cols());
+    if (Spec.Taps.size() == 1) {
+      // One term: no reordering is possible, so the backends must
+      // agree bit for bit.
+      EXPECT_EQ(std::memcmp(Want.data(), Got.data(),
+                            sizeof(float) * Want.rows() * Want.cols()),
+                0)
+          << "single-term stencil diverged; max |diff| "
+          << Array2D::maxAbsDifference(Want, Got) << "\n"
+          << Spec.str();
+      return;
+    }
+    Array2D Scale = absTermSums(Spec, Cm2Side.referenceBindings(Spec),
+                                Want.rows(), Want.cols());
+    int BadPoints = 0;
+    for (int R = 0; R != Want.rows(); ++R)
+      for (int C = 0; C != Want.cols(); ++C) {
+        float Tol =
+            static_cast<float>(Spec.Taps.size()) * ulpOf(Scale.at(R, C));
+        float Diff = std::fabs(Want.at(R, C) - Got.at(R, C));
+        if (!(Diff <= Tol) && ++BadPoints <= 3)
+          ADD_FAILURE() << "point (" << R << "," << C << "): cm2 "
+                        << Want.at(R, C) << " " << Which << " "
+                        << Got.at(R, C) << " diff " << Diff << " > tol "
+                        << Tol << " (" << Spec.Taps.size()
+                        << " terms, scale " << Scale.at(R, C) << ")\n"
+                        << Spec.str();
+      }
+    EXPECT_EQ(BadPoints, 0) << Spec.str();
+  };
+
+  std::optional<Array2D> NativeGot, NjitGot;
+  for (const char *Name : {"native", "njit"}) {
+    if (std::string_view(Name) == "njit" && !isBackendAvailable("njit"))
+      continue;
+    SCOPED_TRACE(Name);
+    std::unique_ptr<ExecutionBackend> Backend = createBackend(Name, Config);
+    ASSERT_NE(Backend, nullptr);
+    BoundArrays Side(Config, Spec, SubRows, SubCols, Seed);
+    Expected<TimingReport> Wall = Backend->run(Compiled, Side.Args, 1);
+    ASSERT_TRUE(Wall) << Name << " run failed: " << Wall.error().message();
+    EXPECT_TRUE(Backend->reportsWallClock());
+    Array2D Got = Side.R.gather();
+    CompareToCm2(Got, Name);
+    (std::string_view(Name) == "native" ? NativeGot : NjitGot) =
+        std::move(Got);
   }
 
-  Array2D Scale =
-      absTermSums(Spec, Cm2Side.referenceBindings(Spec), Want.rows(),
-                  Want.cols());
-  int BadPoints = 0;
-  for (int R = 0; R != Want.rows(); ++R)
-    for (int C = 0; C != Want.cols(); ++C) {
-      float Tol = static_cast<float>(Spec.Taps.size()) * ulpOf(Scale.at(R, C));
-      float Diff = std::fabs(Want.at(R, C) - Got.at(R, C));
-      if (!(Diff <= Tol) && ++BadPoints <= 3)
-        ADD_FAILURE() << "point (" << R << "," << C << "): cm2 "
-                      << Want.at(R, C) << " native " << Got.at(R, C)
-                      << " diff " << Diff << " > tol " << Tol << " ("
-                      << Spec.Taps.size() << " terms, scale "
-                      << Scale.at(R, C) << ")\n"
-                      << Spec.str();
-    }
-  EXPECT_EQ(BadPoints, 0) << Spec.str();
+  // njit emits the same sequence of rounded float operations native
+  // executes, so the two wall-clock backends have no licensed
+  // difference at all: bitwise, every stencil.
+  if (NativeGot && NjitGot) {
+    EXPECT_EQ(std::memcmp(NativeGot->data(), NjitGot->data(),
+                          sizeof(float) * NativeGot->rows() *
+                              NativeGot->cols()),
+              0)
+        << "njit diverged from native; max |diff| "
+        << Array2D::maxAbsDifference(*NativeGot, *NjitGot) << "\n"
+        << Spec.str();
+  }
 }
 
 /// Compile-then-compare convenience for spec-level cases.
@@ -346,17 +381,38 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(BackendSeamTest, RegistryListsAndBuildsEveryBackend) {
   MachineConfig Config = MachineConfig::testMachine16();
   std::vector<std::string> Names = availableBackendNames();
-  ASSERT_EQ(Names.size(), 2u);
+  ASSERT_EQ(Names.size(), 3u);
   EXPECT_EQ(Names[0], "cm2");
   EXPECT_EQ(Names[1], "native");
+  EXPECT_EQ(Names[2], "njit");
+  // Sorted = a stable --list-backends order as backends are added.
+  EXPECT_TRUE(std::is_sorted(Names.begin(), Names.end()));
   for (const std::string &Name : Names) {
     EXPECT_TRUE(isBackendName(Name));
     std::unique_ptr<ExecutionBackend> B = createBackend(Name, Config);
     ASSERT_NE(B, nullptr);
     EXPECT_EQ(B->name(), Name);
   }
+  // Registered vs available: cm2 and native always run; njit tracks
+  // the host toolchain probe. Unavailable backends still construct.
+  EXPECT_TRUE(isBackendAvailable("cm2"));
+  EXPECT_TRUE(isBackendAvailable("native"));
+  EXPECT_EQ(isBackendAvailable("njit"), njit::toolchainAvailable());
   EXPECT_FALSE(isBackendName("vax"));
+  EXPECT_FALSE(isBackendAvailable("vax"));
   EXPECT_EQ(createBackend("vax", Config), nullptr);
+}
+
+TEST(BackendSeamTest, UnknownBackendErrorListsEveryRegisteredName) {
+  Error E = unknownBackendError("vax");
+  ASSERT_TRUE(E);
+  // The diagnostic names the offender and every registered backend in
+  // the registry's stable (sorted) order — the tools print this
+  // verbatim for a bad --backend= value.
+  EXPECT_NE(E.message().find("'vax'"), std::string::npos) << E.message();
+  EXPECT_NE(E.message().find("cm2, native, njit"), std::string::npos)
+      << E.message();
+  EXPECT_FALSE(E.isTransient());
 }
 
 TEST(BackendSeamTest, BothBackendsRejectUnboundArgumentsIdentically) {
@@ -391,6 +447,12 @@ TEST(BackendSeamTest, FingerprintTagsNonDefaultBackendsOnly) {
             planFingerprint(Spec, Config, "cm2"));
   EXPECT_NE(planFingerprintText(Spec, Config, "native")
                 .find("backend native"),
+            std::string::npos);
+  EXPECT_NE(planFingerprint(Spec, Config, "njit"),
+            planFingerprint(Spec, Config, "cm2"));
+  EXPECT_NE(planFingerprint(Spec, Config, "njit"),
+            planFingerprint(Spec, Config, "native"));
+  EXPECT_NE(planFingerprintText(Spec, Config, "njit").find("backend njit"),
             std::string::npos);
 }
 

@@ -23,9 +23,10 @@
 ///   cmcc_serve [options] manifest.jobs
 ///
 /// Options:
-///   --backend=cm2|native   execution backend: the simulated CM-2
-///                          (default) or the host-speed native loop
-///                          nest, whose Mflops are real wall-clock
+///   --backend=cm2|native|njit  execution backend: the simulated CM-2
+///                          (default), the host-speed native loop nest,
+///                          or the plan-specialized JIT — native and
+///                          njit Mflops are real wall-clock
 ///   --list-backends        print backend names and exit
 ///   --machine=16|2048|RxC  node grid (default 16 = 4x4)
 ///   --subgrid=RxC          per-node subgrid for timing jobs (128x128)
@@ -99,7 +100,7 @@ struct ServeOptions {
 void printUsage() {
   std::fprintf(stderr,
                "usage: cmcc_serve [options] <manifest.jobs>\n"
-               "options: --backend=cm2|native --list-backends\n"
+               "options: --backend=cm2|native|njit --list-backends\n"
                "         --machine=16|2048|RxC --subgrid=RxC --iterations=N\n"
                "         --workers=N --cache-capacity=N --cache-dir=<dir>\n"
                "         --queue-cap=N --admission=block|reject\n"
@@ -129,9 +130,8 @@ bool parseArguments(int Argc, char **Argv, ServeOptions &Opts) {
       std::exit(0);
     } else if (const char *V = Value("--backend=")) {
       if (!isBackendName(V)) {
-        std::fprintf(stderr,
-                     "cmcc_serve: unknown backend '%s' (--list-backends)\n",
-                     V);
+        std::fprintf(stderr, "cmcc_serve: %s\n",
+                     unknownBackendError(V).message().c_str());
         return false;
       }
       Opts.Backend = V;

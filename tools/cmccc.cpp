@@ -32,7 +32,8 @@
 ///                       run precompiled patterns without the compiler
 ///   --estimate          print the timing estimate (simulated cycles on
 ///                       the cm2 backend; measured wall-clock on native)
-///   --backend=cm2|native  execution backend for --estimate
+///   --backend=cm2|native|njit  execution backend for --estimate
+///                       (njit JIT-compiles a plan-specialized kernel)
 ///   --list-backends     print backend names and exit
 ///   --metrics           print the process metric registry afterwards
 ///   --quiet             suppress everything but diagnostics
@@ -88,7 +89,7 @@ void printUsage() {
       "options: --lang=fortran|lisp --machine=16|2048|RxC\n"
       "         --subgrid=RxC --iterations=N --multi-source\n"
       "         --dump-stencil --dump-multistencil --dump-schedule --stats\n"
-      "         --estimate --backend=cm2|native --list-backends\n"
+      "         --estimate --backend=cm2|native|njit --list-backends\n"
       "         --metrics --quiet\n");
 }
 
@@ -160,8 +161,8 @@ bool parseArguments(int Argc, char **Argv, DriverOptions &Opts) {
       std::exit(0);
     } else if (const char *V = Value("--backend=")) {
       if (!isBackendName(V)) {
-        std::fprintf(stderr,
-                     "cmccc: unknown backend '%s' (--list-backends)\n", V);
+        std::fprintf(stderr, "cmccc: %s\n",
+                     unknownBackendError(V).message().c_str());
         return false;
       }
       Opts.Backend = V;
