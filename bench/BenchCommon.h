@@ -23,6 +23,7 @@
 #include "core/Compiler.h"
 #include "runtime/Executor.h"
 #include "stencil/PatternLibrary.h"
+#include "support/Provenance.h"
 #include "support/StringUtils.h"
 #include "support/ThreadPool.h"
 #include "support/TextTable.h"
@@ -39,26 +40,13 @@ namespace cmccbench {
 using namespace cmcc;
 
 /// Identity of the compiler that built this benchmark binary, so a
-/// BENCH_*.json row is comparable only to rows built the same way.
-inline std::string compilerIdentity() {
-#if defined(__clang__)
-  return std::string("clang ") + __clang_version__;
-#elif defined(__GNUC__)
-  return std::string("gcc ") + __VERSION__;
-#else
-  return "unknown";
-#endif
-}
+/// BENCH_*.json row is comparable only to rows built the same way
+/// (shared with the tools' --version via support/Provenance.h).
+using cmcc::compilerIdentity;
 
 /// The flags this benchmark binary was compiled with (stamped in by
 /// bench/CMakeLists.txt; empty when built outside CMake).
-inline std::string benchCompileFlags() {
-#ifdef CMCC_BENCH_COMPILE_FLAGS
-  return CMCC_BENCH_COMPILE_FLAGS;
-#else
-  return "";
-#endif
-}
+inline std::string benchCompileFlags() { return cmcc::compileFlags(); }
 
 /// Minimal JSON string escaping (quotes, backslashes, control chars) —
 /// enough for compiler identity and flag strings.
@@ -77,11 +65,7 @@ inline std::string escapeJson(const std::string &S) {
 }
 
 /// One-line provenance summary for human-readable bench output.
-inline std::string benchProvenance() {
-  return compilerIdentity() + "; flags: " + benchCompileFlags() +
-         "; host cores: " +
-         std::to_string(std::thread::hardware_concurrency());
-}
+inline std::string benchProvenance() { return cmcc::provenanceSummary(); }
 
 /// One published row of the paper's results table.
 struct PaperRow {

@@ -1,0 +1,458 @@
+//===- bench/bench_net.cpp - Multi-process network load harness -*-C++-*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The load half of the network front door (DESIGN.md §5h): a
+/// multi-process generator that drives many concurrent submit/wait
+/// streams against ONE server process and reports end-to-end job
+/// latency (p50/p99) and throughput into BENCH_net.json.
+///
+/// Topology: the parent forks a server child (StencilService + Server
+/// on a unix socket), then forks worker processes. Each worker opens
+/// --conns connections (one thread each, its own tenant id), and each
+/// connection pipelines --streams independent submit->wait streams
+/// using the raw request-id-correlated protocol — so the default
+/// 8 x 8 x 16 = 1024 streams are genuinely concurrent against one
+/// event loop. Latency is measured per stream cycle from submit to the
+/// arrival of its WaitResponse.
+///
+///   bench_net [--procs=8] [--conns=8] [--streams=16] [--rounds=4]
+///             [--server-workers=4] [--fault-rate=0] [--endpoint=SPEC]
+///
+/// --fault-rate arms the server's net.* fault sites (dropped
+/// connections at accept/read/write): the fault drill. Workers respond
+/// like real clients — reconnect and resubmit — so the run also proves
+/// the recovery story at load. With --endpoint the harness drives an
+/// external server instead of forking its own.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "net/Client.h"
+#include "net/Server.h"
+#include "service/StencilService.h"
+#include "support/FaultInjection.h"
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <sys/wait.h>
+#include <thread>
+#include <unistd.h>
+
+using namespace cmcc;
+using cmcc::net::decodeSubmitResponse;
+using cmcc::net::decodeWaitResponse;
+using cmccbench::BenchJsonWriter;
+
+namespace {
+
+struct BenchOptions {
+  int Procs = 8;
+  int Conns = 8;
+  int Streams = 16;
+  int Rounds = 4;
+  int ServerWorkers = 4;
+  double FaultRate = 0.0;
+  std::string EndpointSpec; ///< Empty: fork our own server.
+};
+
+/// The job mix: a few distinct plans so the server's cache serves warm
+/// hits at load the way a real tenant population would.
+const char *const Sources[] = {
+    "R = C1*CSHIFT(X,1,-1) + C2*X",
+    "R = 0.5*CSHIFT(X,1,-1) + 0.5*CSHIFT(X,1,1)",
+    "R = C1*CSHIFT(X,2,1) + C2*CSHIFT(X,2,-1) + 1.0*X",
+};
+
+std::atomic<net::Server *> GServer{nullptr};
+
+void onTerm(int) {
+  if (net::Server *S = GServer.load(std::memory_order_acquire))
+    S->requestDrain();
+}
+
+/// The forked server process: serve until SIGTERM, drain, exit.
+int runServer(const net::Endpoint &Ep, const BenchOptions &Opts) {
+  if (Opts.FaultRate > 0.0) {
+    fault::Registry &Reg = fault::Registry::process();
+    Reg.setSeed(7);
+    for (const char *Site : {"net.accept", "net.read", "net.write"}) {
+      fault::Rule R;
+      R.Site = Site;
+      R.Rate = Opts.FaultRate;
+      Reg.arm(R);
+    }
+  }
+  StencilService::Options SOpts;
+  SOpts.Workers = Opts.ServerWorkers;
+  StencilService Service(MachineConfig::testMachine16(), SOpts);
+  net::Server::Options NOpts;
+  NOpts.Listen.push_back(Ep);
+  NOpts.MaxConnections = 4096;
+  net::Server Server(Service, NOpts);
+  if (Error E = Server.start()) {
+    std::fprintf(stderr, "bench_net server: %s\n", E.message().c_str());
+    return 1;
+  }
+  GServer.store(&Server, std::memory_order_release);
+  struct sigaction SA {};
+  SA.sa_handler = onTerm;
+  ::sigaction(SIGTERM, &SA, nullptr);
+  while (!Server.finished())
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  GServer.store(nullptr, std::memory_order_release);
+  Server.stop();
+  return 0;
+}
+
+/// One pipelined connection: \p Streams independent submit->wait
+/// streams of \p Rounds cycles each, correlated by request id.
+/// Reconnects and resubmits on any socket failure (the fault drill's
+/// recovery path). Appends one latency sample per completed cycle.
+bool runConnection(const net::Endpoint &Ep, uint32_t Tenant, int Streams,
+                   int Rounds, std::vector<double> &Latencies) {
+  using Clock = std::chrono::steady_clock;
+  struct Stream {
+    int RoundsLeft;
+    Clock::time_point Start;
+    net::SubmitRequest Job;
+  };
+  std::vector<Stream> Work(static_cast<size_t>(Streams));
+  for (int I = 0; I != Streams; ++I) {
+    Stream &S = Work[I];
+    S.RoundsLeft = Rounds;
+    S.Job.Kind =
+        static_cast<uint8_t>(StencilService::SourceKind::FortranAssignment);
+    S.Job.Source = Sources[I % (sizeof(Sources) / sizeof(Sources[0]))];
+    S.Job.SubRows = 16;
+    S.Job.SubCols = 16;
+    S.Job.Iterations = 10;
+  }
+
+  std::unique_ptr<net::Client> Conn;
+  // RequestId -> (stream, isWait): wait responses complete a cycle,
+  // submit responses trigger the wait.
+  std::map<uint64_t, std::pair<int, bool>> Pending;
+  int Incomplete = Streams;
+  long Failures = 0;
+
+  auto Connect = [&]() -> bool {
+    Pending.clear();
+    for (int Attempt = 0; Attempt != 100; ++Attempt) {
+      net::Client::Options COpts;
+      COpts.Target = Ep;
+      COpts.Tenant = Tenant;
+      Expected<std::unique_ptr<net::Client>> C = net::Client::connect(COpts);
+      if (C) {
+        Conn = C.takeValue();
+        return true;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return false;
+  };
+  auto SendSubmit = [&](int S) -> bool {
+    const uint64_t Id = Conn->nextRequestId();
+    Work[S].Start = Clock::now();
+    if (Conn->sendRequest(net::MsgType::SubmitRequest, Id,
+                          encode(Work[S].Job)))
+      return false;
+    Pending[Id] = {S, false};
+    return true;
+  };
+  auto Resubmit = [&]() -> bool {
+    // Connection died: every in-flight cycle restarts from submit (a
+    // duplicate submit at the server is fine — its orphaned job runs
+    // and is discarded).
+    if (!Connect())
+      return false;
+    for (int S = 0; S != Streams; ++S)
+      if (Work[S].RoundsLeft > 0)
+        if (!SendSubmit(S))
+          return false;
+    return true;
+  };
+
+  if (!Resubmit())
+    return false;
+  while (Incomplete > 0) {
+    if (++Failures > 10000)
+      return false; // Pathological network: give up loudly.
+    Expected<net::Client::RawResponse> R = Conn->receive();
+    if (!R) {
+      if (!Resubmit())
+        return false;
+      continue;
+    }
+    --Failures; // Progress: relax the give-up budget.
+    auto It = Pending.find(R->Header.RequestId);
+    if (It == Pending.end())
+      continue; // A stale response from before a reconnect.
+    const auto [S, IsWait] = It->second;
+    Pending.erase(It);
+    if (R->Header.Type == net::MsgType::ErrorResponse) {
+      if (!SendSubmit(S) && !Resubmit())
+        return false;
+      continue;
+    }
+    if (!IsWait) {
+      Expected<net::SubmitResponse> Sub =
+          decodeSubmitResponse(R->Payload.data(), R->Payload.size());
+      if (!Sub)
+        return false;
+      net::WaitRequest W;
+      W.JobId = Sub->JobId;
+      const uint64_t Id = Conn->nextRequestId();
+      if (Conn->sendRequest(net::MsgType::WaitRequest, Id, encode(W))) {
+        if (!Resubmit())
+          return false;
+        continue;
+      }
+      Pending[Id] = {S, true};
+      continue;
+    }
+    Expected<net::WaitResponse> W =
+        decodeWaitResponse(R->Payload.data(), R->Payload.size());
+    if (!W)
+      return false;
+    if (!W->Ok) {
+      // Transient job failure: retry the cycle.
+      if (!SendSubmit(S) && !Resubmit())
+        return false;
+      continue;
+    }
+    Latencies.push_back(
+        std::chrono::duration<double>(Clock::now() - Work[S].Start).count());
+    if (--Work[S].RoundsLeft == 0) {
+      --Incomplete;
+      continue;
+    }
+    if (!SendSubmit(S) && !Resubmit())
+      return false;
+  }
+  return true;
+}
+
+/// One worker process: --conns connection threads, all samples written
+/// to the parent over \p PipeFd as (u64 count, doubles).
+int runWorker(const net::Endpoint &Ep, const BenchOptions &Opts, int Index,
+              int PipeFd) {
+  std::vector<std::vector<double>> PerConn(static_cast<size_t>(Opts.Conns));
+  std::vector<char> Ok(static_cast<size_t>(Opts.Conns), 1);
+  {
+    std::vector<std::thread> Threads;
+    for (int C = 0; C != Opts.Conns; ++C)
+      Threads.emplace_back([&, C] {
+        const uint32_t Tenant = static_cast<uint32_t>(Index + 1);
+        if (!runConnection(Ep, Tenant, Opts.Streams, Opts.Rounds, PerConn[C]))
+          Ok[C] = 0;
+      });
+    for (std::thread &T : Threads)
+      T.join();
+  }
+  std::vector<double> All;
+  bool AllOk = true;
+  for (int C = 0; C != Opts.Conns; ++C) {
+    AllOk = AllOk && Ok[C];
+    All.insert(All.end(), PerConn[C].begin(), PerConn[C].end());
+  }
+  const uint64_t N = All.size();
+  if (::write(PipeFd, &N, sizeof(N)) != sizeof(N))
+    return 1;
+  size_t Done = 0;
+  const char *Bytes = reinterpret_cast<const char *>(All.data());
+  const size_t Total = N * sizeof(double);
+  while (Done < Total) {
+    const ssize_t W = ::write(PipeFd, Bytes + Done, Total - Done);
+    if (W <= 0)
+      return 1;
+    Done += static_cast<size_t>(W);
+  }
+  ::close(PipeFd);
+  return AllOk ? 0 : 1;
+}
+
+double percentile(std::vector<double> &Sorted, double P) {
+  if (Sorted.empty())
+    return 0.0;
+  const size_t I = static_cast<size_t>(P * (Sorted.size() - 1));
+  return Sorted[I];
+}
+
+bool parseArguments(int Argc, char **Argv, BenchOptions &Opts) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Value = [&](const char *Prefix) -> const char * {
+      size_t N = std::strlen(Prefix);
+      return Arg.compare(0, N, Prefix) == 0 ? Arg.c_str() + N : nullptr;
+    };
+    if (const char *V = Value("--procs="))
+      Opts.Procs = std::atoi(V);
+    else if (const char *V = Value("--conns="))
+      Opts.Conns = std::atoi(V);
+    else if (const char *V = Value("--streams="))
+      Opts.Streams = std::atoi(V);
+    else if (const char *V = Value("--rounds="))
+      Opts.Rounds = std::atoi(V);
+    else if (const char *V = Value("--server-workers="))
+      Opts.ServerWorkers = std::atoi(V);
+    else if (const char *V = Value("--fault-rate="))
+      Opts.FaultRate = std::atof(V);
+    else if (const char *V = Value("--endpoint="))
+      Opts.EndpointSpec = V;
+    else {
+      std::fprintf(stderr, "bench_net: unknown option '%s'\n", Arg.c_str());
+      return false;
+    }
+  }
+  return Opts.Procs > 0 && Opts.Conns > 0 && Opts.Streams > 0 &&
+         Opts.Rounds > 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  BenchOptions Opts;
+  if (!parseArguments(Argc, Argv, Opts))
+    return 2;
+
+  net::Endpoint Ep;
+  pid_t ServerPid = -1;
+  if (!Opts.EndpointSpec.empty()) {
+    Expected<net::Endpoint> E = net::Endpoint::parse(Opts.EndpointSpec);
+    if (!E) {
+      std::fprintf(stderr, "bench_net: %s\n", E.error().message().c_str());
+      return 2;
+    }
+    Ep = *E;
+  } else {
+    Ep.Transport = net::Endpoint::Kind::Unix;
+    Ep.Path = "bench_net_" + std::to_string(::getpid()) + ".sock";
+    ::unlink(Ep.Path.c_str());
+    // Fork the server FIRST — before any thread exists anywhere.
+    ServerPid = ::fork();
+    if (ServerPid == 0)
+      ::_exit(runServer(Ep, Opts));
+    // Wait for the socket to appear.
+    for (int I = 0; I != 500; ++I) {
+      if (::access(Ep.Path.c_str(), F_OK) == 0)
+        break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+
+  const long TotalStreams = 1L * Opts.Procs * Opts.Conns * Opts.Streams;
+  const long ExpectedJobs = TotalStreams * Opts.Rounds;
+  std::printf("bench_net: %d procs x %d conns x %d streams = %ld concurrent "
+              "streams, %d rounds (%ld jobs), fault rate %.0f%%\n",
+              Opts.Procs, Opts.Conns, Opts.Streams, TotalStreams, Opts.Rounds,
+              ExpectedJobs, Opts.FaultRate * 100.0);
+  std::printf("provenance: %s\n", cmccbench::benchProvenance().c_str());
+
+  // Workers: fork them all, then read every pipe.
+  const auto Begin = std::chrono::steady_clock::now();
+  std::vector<pid_t> Workers;
+  std::vector<int> Pipes;
+  for (int P = 0; P != Opts.Procs; ++P) {
+    int Fds[2];
+    if (::pipe(Fds) != 0) {
+      std::perror("pipe");
+      return 1;
+    }
+    const pid_t Pid = ::fork();
+    if (Pid == 0) {
+      ::close(Fds[0]);
+      ::_exit(runWorker(Ep, Opts, P, Fds[1]));
+    }
+    ::close(Fds[1]);
+    Workers.push_back(Pid);
+    Pipes.push_back(Fds[0]);
+  }
+
+  std::vector<double> Latencies;
+  Latencies.reserve(static_cast<size_t>(ExpectedJobs));
+  for (int Fd : Pipes) {
+    uint64_t N = 0;
+    if (::read(Fd, &N, sizeof(N)) == sizeof(N)) {
+      std::vector<double> Buf(N);
+      size_t Done = 0;
+      const size_t Total = N * sizeof(double);
+      char *Bytes = reinterpret_cast<char *>(Buf.data());
+      while (Done < Total) {
+        const ssize_t R = ::read(Fd, Bytes + Done, Total - Done);
+        if (R <= 0)
+          break;
+        Done += static_cast<size_t>(R);
+      }
+      if (Done == Total)
+        Latencies.insert(Latencies.end(), Buf.begin(), Buf.end());
+    }
+    ::close(Fd);
+  }
+  int WorkerFailures = 0;
+  for (pid_t Pid : Workers) {
+    int Status = 0;
+    ::waitpid(Pid, &Status, 0);
+    if (!WIFEXITED(Status) || WEXITSTATUS(Status) != 0)
+      ++WorkerFailures;
+  }
+  const double Elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - Begin)
+          .count();
+
+  if (ServerPid > 0) {
+    ::kill(ServerPid, SIGTERM);
+    int Status = 0;
+    ::waitpid(ServerPid, &Status, 0);
+    ::unlink(Ep.Path.c_str());
+    if (!WIFEXITED(Status) || WEXITSTATUS(Status) != 0) {
+      std::fprintf(stderr, "bench_net: server exited abnormally\n");
+      return 1;
+    }
+  }
+
+  std::sort(Latencies.begin(), Latencies.end());
+  const double P50 = percentile(Latencies, 0.50);
+  const double P99 = percentile(Latencies, 0.99);
+  double Sum = 0.0;
+  for (double L : Latencies)
+    Sum += L;
+  const double Mean = Latencies.empty() ? 0.0 : Sum / Latencies.size();
+  const double JobsPerSecond =
+      Elapsed > 0.0 ? static_cast<double>(Latencies.size()) / Elapsed : 0.0;
+
+  std::printf("completed %zu jobs in %.2f s: %.0f jobs/s\n", Latencies.size(),
+              Elapsed, JobsPerSecond);
+  std::printf("latency p50 %.3f ms  p99 %.3f ms  mean %.3f ms\n", P50 * 1e3,
+              P99 * 1e3, Mean * 1e3);
+  if (WorkerFailures)
+    std::fprintf(stderr, "bench_net: %d worker(s) failed\n", WorkerFailures);
+
+  BenchJsonWriter Json("net");
+  Json.addScalar("concurrent_streams", static_cast<double>(TotalStreams));
+  Json.addScalar("jobs_completed", static_cast<double>(Latencies.size()));
+  Json.addScalar("elapsed_seconds", Elapsed);
+  Json.addScalar("jobs_per_second", JobsPerSecond);
+  Json.addScalar("latency_p50_ms", P50 * 1e3);
+  Json.addScalar("latency_p99_ms", P99 * 1e3);
+  Json.addScalar("latency_mean_ms", Mean * 1e3);
+  Json.addScalar("fault_rate", Opts.FaultRate);
+  Json.addScalar("worker_failures", static_cast<double>(WorkerFailures));
+  const std::string Path = Json.write();
+  if (!Path.empty())
+    std::printf("wrote %s\n", Path.c_str());
+
+  // The acceptance bar: every expected job completed (faults may cost
+  // retries, never results) and no worker gave up.
+  return WorkerFailures == 0 &&
+                 Latencies.size() >= static_cast<size_t>(ExpectedJobs)
+             ? 0
+             : 1;
+}

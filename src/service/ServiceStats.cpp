@@ -20,10 +20,25 @@ std::string ServiceStats::str() const {
   T.addRow({"queue depth (now/max)", std::to_string(QueueDepth) + "/" +
                                          std::to_string(MaxQueueDepth)});
   T.addSeparator();
-  T.addRow({"jobs rejected (queue full)", std::to_string(Rejected)});
+  T.addRow({"jobs rejected (cap/quota)", std::to_string(Rejected)});
+  T.addRow({"jobs cancelled", std::to_string(Cancelled)});
   T.addRow({"deadlines exceeded", std::to_string(DeadlineExceeded)});
   T.addRow({"execute retries", std::to_string(Retries)});
   T.addRow({"backend fallbacks", std::to_string(Fallbacks)});
+  // Per-tenant rows only once a non-default tenant shows up — the
+  // single-tenant table stays exactly as it always looked.
+  const bool MultiTenant =
+      Tenants.size() > 1 || (!Tenants.empty() && Tenants[0].Tenant != 0);
+  if (MultiTenant) {
+    T.addSeparator();
+    for (const TenantRow &R : Tenants)
+      T.addRow({"tenant " + std::to_string(R.Tenant) +
+                    " (sub/done/fail/rej)",
+                std::to_string(R.Submitted) + "/" +
+                    std::to_string(R.Completed) + "/" +
+                    std::to_string(R.Failed) + "/" +
+                    std::to_string(R.Rejected)});
+  }
   T.addSeparator();
   T.addRow({"front-end runs", std::to_string(FrontEndRuns)});
   T.addRow({"source-memo hits", std::to_string(SourceMemoHits)});
@@ -60,6 +75,7 @@ std::string ServiceStats::json() const {
       "  \"queue_depth\": %d,\n"
       "  \"max_queue_depth\": %d,\n"
       "  \"service.rejected\": %ld,\n"
+      "  \"service.cancelled\": %ld,\n"
       "  \"service.deadline_exceeded\": %ld,\n"
       "  \"service.retries\": %ld,\n"
       "  \"service.fallbacks\": %ld,\n"
@@ -77,14 +93,26 @@ std::string ServiceStats::json() const {
       "  \"execute_seconds_total\": %.6g,\n"
       "  \"sim_seconds_total\": %.6g,\n"
       "  \"useful_flops_total\": %.6g,\n"
-      "  \"aggregate_sim_mflops\": %.6g\n"
-      "}\n",
+      "  \"aggregate_sim_mflops\": %.6g,\n"
+      "  \"tenants\": [",
       JobsSubmitted, JobsCompleted, JobsFailed, QueueDepth, MaxQueueDepth,
-      Rejected, DeadlineExceeded, Retries, Fallbacks,
+      Rejected, Cancelled, DeadlineExceeded, Retries, Fallbacks,
       FrontEndRuns, SourceMemoHits, CompilesPerformed, CompilesCoalesced,
       Cache.Hits, Cache.Misses, Cache.hitRate(), Cache.Evictions,
       Cache.DiskHits, Cache.DiskRejects, CompileSecondsTotal,
       ExecuteSecondsTotal, SimSecondsTotal, UsefulFlopsTotal,
       aggregateSimMflops());
-  return Buffer;
+  std::string Out = Buffer;
+  for (size_t I = 0; I != Tenants.size(); ++I) {
+    const TenantRow &R = Tenants[I];
+    std::snprintf(Buffer, sizeof(Buffer),
+                  "%s\n    {\"tenant\": %u, \"submitted\": %ld, "
+                  "\"completed\": %ld, \"failed\": %ld, \"rejected\": %ld, "
+                  "\"in_flight\": %d, \"queued\": %d}",
+                  I == 0 ? "" : ",", R.Tenant, R.Submitted, R.Completed,
+                  R.Failed, R.Rejected, R.InFlight, R.Queued);
+    Out += Buffer;
+  }
+  Out += Tenants.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return Out;
 }

@@ -17,7 +17,9 @@
 #define CMCC_SERVICE_SERVICESTATS_H
 
 #include "service/PlanCache.h"
+#include <cstdint>
 #include <string>
+#include <vector>
 
 namespace cmcc {
 
@@ -31,10 +33,25 @@ struct ServiceStats {
   int MaxQueueDepth = 0;  ///< High-water mark of QueueDepth.
 
   //===--- Robustness (DESIGN.md §5f) -------------------------------------===//
-  long Rejected = 0;         ///< Jobs refused at admission (queue full).
+  long Rejected = 0;         ///< Jobs refused at admission (cap or quota).
+  long Cancelled = 0;        ///< Jobs cancelled out of the queue.
   long DeadlineExceeded = 0; ///< Jobs cancelled past their deadline.
   long Retries = 0;          ///< Execute attempts beyond each job's first.
   long Fallbacks = 0;        ///< Jobs that fell back to the cm2 backend.
+
+  //===--- Multi-tenancy (DESIGN.md §5h) ----------------------------------===//
+  /// One row per tenant id that has submitted anything (id 0 is the
+  /// anonymous default tenant).
+  struct TenantRow {
+    uint32_t Tenant = 0;
+    long Submitted = 0;
+    long Completed = 0;
+    long Failed = 0;   ///< Includes rejected and cancelled jobs.
+    long Rejected = 0; ///< Quota or queue-cap rejections.
+    int InFlight = 0;  ///< Admitted, not yet finished.
+    int Queued = 0;    ///< Queued, not yet dispatched.
+  };
+  std::vector<TenantRow> Tenants;
 
   //===--- The compile-once economy ---------------------------------------===//
   long FrontEndRuns = 0;      ///< Parse+recognize passes actually performed.

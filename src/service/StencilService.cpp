@@ -48,6 +48,7 @@ StencilService::StencilService(const MachineConfig &Config, Options Opts)
       CompilesPerformed(Metrics.counter("service.compiles_performed")),
       CompilesCoalesced(Metrics.counter("service.compiles_coalesced")),
       Rejected(Metrics.counter("service.rejected")),
+      CancelledJobs(Metrics.counter("service.cancelled")),
       DeadlinesExceeded(Metrics.counter("service.deadline_exceeded")),
       Retries(Metrics.counter("service.retries")),
       Fallbacks(Metrics.counter("service.fallbacks")),
@@ -81,16 +82,37 @@ StencilService::JobId StencilService::submit(JobRequest Request) {
   {
     std::unique_lock<std::mutex> Lock(JobsMutex);
     assert(!ShuttingDown && "submit after shutdown began");
-    const size_t Cap = static_cast<size_t>(std::max(0, Opts.QueueCap));
-    if (Cap != 0 && Queue.size() >= Cap) {
-      if (Opts.Admit == Admission::Block) {
-        // Backpressure: park the producer until a worker makes room.
-        // ShuttingDown also wakes us (workers drain the whole queue at
-        // shutdown, so enqueueing then is still safe).
-        JobsChanged.wait(Lock,
-                         [&] { return ShuttingDown || Queue.size() < Cap; });
-      } else {
-        RejectedNow = true;
+    TenantCounts &TC = tenantEntry(Request.Tenant);
+    const TenantQuota &Quota = quotaFor(Request.Tenant);
+    std::string RejectReason;
+    // Tenant quotas reject unconditionally (even under Admission::Block):
+    // blocking a quota violator would park it on the shared queue and
+    // let one tenant starve the rest — the exact failure quotas exist
+    // to prevent.
+    if (Quota.MaxInFlight > 0 && TC.InFlight >= Quota.MaxInFlight) {
+      RejectedNow = true;
+      RejectReason = "rejected: tenant " + std::to_string(Request.Tenant) +
+                     " over its in-flight quota (" +
+                     std::to_string(Quota.MaxInFlight) + ")";
+    } else if (Quota.MaxQueued > 0 && TC.Queued >= Quota.MaxQueued) {
+      RejectedNow = true;
+      RejectReason = "rejected: tenant " + std::to_string(Request.Tenant) +
+                     " over its queue-share quota (" +
+                     std::to_string(Quota.MaxQueued) + ")";
+    } else {
+      const size_t Cap = static_cast<size_t>(std::max(0, Opts.QueueCap));
+      if (Cap != 0 && Queue.size() >= Cap) {
+        if (Opts.Admit == Admission::Block) {
+          // Backpressure: park the producer until a worker makes room.
+          // ShuttingDown also wakes us (workers drain the whole queue at
+          // shutdown, so enqueueing then is still safe).
+          JobsChanged.wait(Lock,
+                           [&] { return ShuttingDown || Queue.size() < Cap; });
+        } else {
+          RejectedNow = true;
+          RejectReason = "rejected: queue full (cap " +
+                         std::to_string(Opts.QueueCap) + ")";
+        }
       }
     }
     auto J = std::make_unique<Job>();
@@ -105,23 +127,36 @@ StencilService::JobId StencilService::submit(JobRequest Request) {
     }
     Raw = J.get();
     JobsSubmitted.add(1);
+    ++TC.Submitted;
+    TC.CtrSubmitted->add(1);
     if (RejectedNow) {
       // The caller still gets a real JobId — the job is just born
       // Failed, so poll/wait (and the soak's submitted ==
       // completed + failed ledger) work uniformly.
       Raw->State = JobState::Failed;
       Raw->Result.Status = JobStatus::QueueFull;
-      Raw->Result.Message = "rejected: queue full (cap " +
-                            std::to_string(Opts.QueueCap) + ")";
+      Raw->Result.Message = std::move(RejectReason);
       Rejected.add(1);
       JobsFailed.add(1);
+      ++TC.Rejected;
+      ++TC.Failed;
+      TC.CtrRejected->add(1);
+      TC.CtrFailed->add(1);
     } else {
       Queue.push_back(Raw);
       QueueDepth.add(1);
+      ++TC.InFlight;
+      ++TC.Queued;
     }
     Jobs.emplace(Raw->Id, std::move(J));
   }
   JobsChanged.notify_all();
+  if (RejectedNow) {
+    // A born-Failed job never reaches finish(); deliver its completion
+    // notification here (after the job is visible in the table).
+    if (std::function<void(JobId)> Cb = finishedCallback())
+      Cb(Raw->Id);
+  }
   return Raw->Id;
 }
 
@@ -133,6 +168,68 @@ StencilService::JobState StencilService::poll(JobId Id) const {
   if (It == Jobs.end())
     return JobState::Failed;
   return It->second->State;
+}
+
+const StencilService::TenantQuota &
+StencilService::quotaFor(uint32_t Tenant) const {
+  auto It = Opts.TenantQuotas.find(Tenant);
+  return It != Opts.TenantQuotas.end() ? It->second
+                                       : Opts.DefaultTenantQuota;
+}
+
+StencilService::TenantCounts &StencilService::tenantEntry(uint32_t Tenant) {
+  TenantCounts &TC = Tenants[Tenant];
+  if (!TC.CtrSubmitted) {
+    const std::string Prefix =
+        "service.tenant." + std::to_string(Tenant) + ".";
+    TC.CtrSubmitted = &Metrics.counter(Prefix + "submitted");
+    TC.CtrCompleted = &Metrics.counter(Prefix + "completed");
+    TC.CtrFailed = &Metrics.counter(Prefix + "failed");
+    TC.CtrRejected = &Metrics.counter(Prefix + "rejected");
+  }
+  return TC;
+}
+
+void StencilService::setJobFinishedCallback(std::function<void(JobId)> Cb) {
+  std::lock_guard<std::mutex> Lock(CallbackMutex);
+  OnJobFinished = std::move(Cb);
+}
+
+std::function<void(StencilService::JobId)>
+StencilService::finishedCallback() const {
+  std::lock_guard<std::mutex> Lock(CallbackMutex);
+  return OnJobFinished;
+}
+
+bool StencilService::cancel(JobId Id) {
+  {
+    std::lock_guard<std::mutex> Lock(JobsMutex);
+    auto It = Jobs.find(Id);
+    if (It == Jobs.end())
+      return false;
+    Job *J = It->second.get();
+    if (J->State != JobState::Queued)
+      return false; // Picked up (or finished) — the real outcome wins.
+    auto Pos = std::find(Queue.begin(), Queue.end(), J);
+    assert(Pos != Queue.end() && "queued job missing from the queue");
+    Queue.erase(Pos);
+    QueueDepth.add(-1);
+    J->State = JobState::Failed;
+    J->Result.Status = JobStatus::Cancelled;
+    J->Result.Message = "cancelled before execution";
+    CancelledJobs.add(1);
+    JobsFailed.add(1);
+    TenantCounts &TC = tenantEntry(J->Request.Tenant);
+    --TC.Queued;
+    --TC.InFlight;
+    ++TC.Failed;
+    TC.CtrFailed->add(1);
+  }
+  // The erase made room at the cap; blocked producers may proceed.
+  JobsChanged.notify_all();
+  if (std::function<void(JobId)> Cb = finishedCallback())
+    Cb(Id);
+  return true;
 }
 
 StencilService::JobResult StencilService::wait(JobId Id) {
@@ -179,6 +276,7 @@ void StencilService::workerLoop() {
       J = Queue.front();
       Queue.pop_front();
       QueueDepth.add(-1);
+      --tenantEntry(J->Request.Tenant).Queued;
       J->State = JobState::Compiling;
     }
     // The pop made room: wake producers blocked on admission.
@@ -496,9 +594,20 @@ void StencilService::finish(Job &J, JobState Final) {
   }
   {
     std::lock_guard<std::mutex> Lock(JobsMutex);
+    TenantCounts &TC = tenantEntry(J.Request.Tenant);
+    --TC.InFlight;
+    if (Final == JobState::Done) {
+      ++TC.Completed;
+      TC.CtrCompleted->add(1);
+    } else {
+      ++TC.Failed;
+      TC.CtrFailed->add(1);
+    }
     J.State = Final;
   }
   JobsChanged.notify_all();
+  if (std::function<void(JobId)> Cb = finishedCallback())
+    Cb(J.Id);
 }
 
 ServiceStats StencilService::stats() const {
@@ -510,6 +619,12 @@ ServiceStats StencilService::stats() const {
     S.JobsSubmitted = JobsSubmitted.value();
     S.QueueDepth = static_cast<int>(QueueDepth.value());
     S.MaxQueueDepth = static_cast<int>(QueueDepth.maximum());
+    S.Tenants.reserve(Tenants.size());
+    for (const auto &Entry : Tenants) {
+      const TenantCounts &TC = Entry.second;
+      S.Tenants.push_back({Entry.first, TC.Submitted, TC.Completed,
+                           TC.Failed, TC.Rejected, TC.InFlight, TC.Queued});
+    }
   }
   S.JobsCompleted = JobsCompleted.value();
   S.JobsFailed = JobsFailed.value();
@@ -518,6 +633,7 @@ ServiceStats StencilService::stats() const {
   S.CompilesPerformed = CompilesPerformed.value();
   S.CompilesCoalesced = CompilesCoalesced.value();
   S.Rejected = Rejected.value();
+  S.Cancelled = CancelledJobs.value();
   S.DeadlineExceeded = DeadlinesExceeded.value();
   S.Retries = Retries.value();
   S.Fallbacks = Fallbacks.value();

@@ -54,6 +54,8 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -89,9 +91,10 @@ public:
   enum class JobStatus {
     Ok,
     Error,            ///< Permanent failure (diagnostics in Message).
-    QueueFull,        ///< Rejected at admission (Options::QueueCap).
+    QueueFull,        ///< Rejected at admission (queue cap or tenant quota).
     DeadlineExceeded, ///< Cancelled at a phase boundary past its deadline.
     BadJobId,         ///< wait() on an id submit() never returned.
+    Cancelled,        ///< cancel() removed the job before it started.
   };
 
   struct JobRequest {
@@ -100,6 +103,10 @@ public:
     std::string Source;
     /// The plan key for SourceKind::Fingerprint.
     uint64_t Fingerprint = 0;
+    /// Who this job is served for (0 = the anonymous default tenant).
+    /// Tenants are metered separately in ServiceStats and the service
+    /// registry, and admission enforces Options::TenantQuotas per id.
+    uint32_t Tenant = 0;
     /// When set, the job executes functionally against these arrays
     /// (caller keeps them alive until wait() returns; concurrent jobs
     /// must bind disjoint result arrays). When null, the job produces a
@@ -144,6 +151,17 @@ public:
     Block,  ///< Block the submitter until a worker makes room.
   };
 
+  /// Per-tenant admission limits. A quota violation always rejects
+  /// (never blocks), so one greedy tenant cannot park its producers on
+  /// the shared queue and starve everyone else.
+  struct TenantQuota {
+    /// Cap on a tenant's admitted-but-unfinished jobs; 0 = unlimited.
+    int MaxInFlight = 0;
+    /// Cap on a tenant's share of the queued (not yet dispatched)
+    /// jobs; 0 = unlimited.
+    int MaxQueued = 0;
+  };
+
   struct Options {
     /// Dispatch threads draining the job queue.
     int Workers = 2;
@@ -180,6 +198,12 @@ public:
     /// fingerprints are backend-scoped for cache identity, not ABI —
     /// so the fallback replays the identical CompiledStencil.
     bool FallbackToCm2 = true;
+    /// Per-tenant admission limits by tenant id; tenants without an
+    /// entry get DefaultTenantQuota.
+    std::map<uint32_t, TenantQuota> TenantQuotas;
+    /// The quota applied to tenants absent from TenantQuotas
+    /// (unlimited by default — single-tenant callers see no change).
+    TenantQuota DefaultTenantQuota;
   };
 
   StencilService(const MachineConfig &Config, Options Opts);
@@ -206,6 +230,20 @@ public:
   /// never returned yields an immediate failed result with
   /// JobStatus::BadJobId — never a hang.
   JobResult wait(JobId Id);
+
+  /// Best-effort cancellation: removes \p Id from the queue and fails
+  /// it with JobStatus::Cancelled. Returns false (and does nothing)
+  /// once a worker has picked the job up — execution is never torn
+  /// down mid-flight, so a false return means wait() will deliver the
+  /// job's real outcome.
+  bool cancel(JobId Id);
+
+  /// Registers \p Cb to run (on the finishing thread, outside service
+  /// locks) after any job reaches Done or Failed — including jobs born
+  /// Failed at admission, whose callback may fire before submit()
+  /// returns their id to the caller. The network server bridges its
+  /// poll loop onto the service through this. Call before submitting.
+  void setJobFinishedCallback(std::function<void(JobId)> Cb);
 
   /// Blocks until every job submitted so far has finished.
   void drain();
@@ -253,6 +291,23 @@ private:
     uint64_t Fingerprint = 0;
   };
 
+  /// Per-tenant admission/outcome ledger (all writes under JobsMutex).
+  /// The counter handles mirror the ledger into the service registry as
+  /// tenant-labelled metrics ("service.tenant.<id>.<what>"), resolved
+  /// once when the tenant is first seen.
+  struct TenantCounts {
+    long Submitted = 0;
+    long Completed = 0;
+    long Failed = 0;   ///< Includes rejected and cancelled jobs.
+    long Rejected = 0; ///< Quota or queue-cap rejections.
+    int InFlight = 0;  ///< Admitted, not yet finished.
+    int Queued = 0;    ///< Queued, not yet dispatched.
+    obs::Counter *CtrSubmitted = nullptr;
+    obs::Counter *CtrCompleted = nullptr;
+    obs::Counter *CtrFailed = nullptr;
+    obs::Counter *CtrRejected = nullptr;
+  };
+
   void workerLoop();
   void process(Job &J);
   /// Resolves the job's spec+fingerprint, running the front end only on
@@ -270,6 +325,13 @@ private:
   bool pastDeadline(Job &J);
   /// The lazily built cm2 reference backend fallbacks run on.
   const ExecutionBackend &fallbackEngine();
+  /// The quota that applies to \p Tenant.
+  const TenantQuota &quotaFor(uint32_t Tenant) const;
+  /// The tenant's ledger entry, with its registry counters resolved on
+  /// first sighting. Caller holds JobsMutex.
+  TenantCounts &tenantEntry(uint32_t Tenant);
+  /// Snapshot of the registered finished-callback (may be empty).
+  std::function<void(JobId)> finishedCallback() const;
 
   MachineConfig Config;
   Options Opts;
@@ -287,6 +349,12 @@ private:
   std::deque<Job *> Queue;
   JobId NextId = 1;
   bool ShuttingDown = false;
+  /// Per-tenant ledger (ordered so stats snapshots are stable).
+  std::map<uint32_t, TenantCounts> Tenants;
+
+  //===--- Completion notification ----------------------------------------===//
+  mutable std::mutex CallbackMutex;
+  std::function<void(JobId)> OnJobFinished;
 
   //===--- Compile deduplication ------------------------------------------===//
   std::mutex InFlightMutex;
@@ -309,6 +377,7 @@ private:
   obs::Counter &CompilesPerformed; ///< service.compiles_performed
   obs::Counter &CompilesCoalesced; ///< service.compiles_coalesced
   obs::Counter &Rejected;          ///< service.rejected (QueueFull)
+  obs::Counter &CancelledJobs;     ///< service.cancelled
   obs::Counter &DeadlinesExceeded; ///< service.deadline_exceeded
   obs::Counter &Retries;           ///< service.retries (attempts past 1st)
   obs::Counter &Fallbacks;         ///< service.fallbacks (jobs, not attempts)

@@ -27,6 +27,9 @@
 ///   halo.exchange          a halo exchange fails (transient)
 ///   threadpool.dispatch    pool dispatch degrades to inline execution
 ///   service.compile        a service-owned compile fails
+///   net.accept             an accepted connection is dropped immediately
+///   net.read               a socket read fails; the connection drops
+///   net.write              a socket write fails; the connection drops
 ///
 /// Rules are armed programmatically (arm()) or from the environment:
 ///

@@ -1,0 +1,56 @@
+//===- support/Provenance.h - Build-provenance stamp ----------*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Identity of the compiler (and flags) that built the current binary,
+/// shared by the benchmark JSON stamps and the tools' --version output.
+/// A measured number — or a served result — is only comparable to
+/// another produced by the same toolchain on similar iron, so every
+/// artifact that leaves the process carries this stamp.
+///
+/// The flags come in through the CMCC_COMPILE_FLAGS macro, defined per
+/// target by CMake (empty when built outside CMake).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMCC_SUPPORT_PROVENANCE_H
+#define CMCC_SUPPORT_PROVENANCE_H
+
+#include <string>
+#include <thread>
+
+namespace cmcc {
+
+/// Compiler family and version that built this translation unit.
+inline std::string compilerIdentity() {
+#if defined(__clang__)
+  return std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+  return std::string("gcc ") + __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+/// The effective compile flags CMake stamped into this target.
+inline std::string compileFlags() {
+#ifdef CMCC_COMPILE_FLAGS
+  return CMCC_COMPILE_FLAGS;
+#else
+  return "";
+#endif
+}
+
+/// One-line provenance summary: compiler, flags, host core count.
+inline std::string provenanceSummary() {
+  return compilerIdentity() + "; flags: " + compileFlags() +
+         "; host cores: " +
+         std::to_string(std::thread::hardware_concurrency());
+}
+
+} // namespace cmcc
+
+#endif // CMCC_SUPPORT_PROVENANCE_H

@@ -17,6 +17,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/PlanFingerprint.h"
+#include "net/Client.h"
+#include "net/Server.h"
 #include "runtime/Executor.h"
 #include "service/StencilService.h"
 #include "stencil/PatternLibrary.h"
@@ -563,4 +565,107 @@ TEST_F(FaultInjectionTest, ServiceCompileFaultFailsEveryCoalescedJob) {
   EXPECT_TRUE(Second.Ok) << Second.Message;
   EXPECT_FALSE(Second.CacheHit);
   EXPECT_EQ(Service.stats().CompilesPerformed, 1);
+}
+
+//===----------------------------------------------------------------------===//
+// The net.* sites (the network front door; see also net_soak_test)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A service + server on a fresh unix socket, for the net.* site tests.
+struct NetHarness {
+  MachineConfig M = machine();
+  StencilService Service;
+  net::Endpoint Ep;
+  std::unique_ptr<net::Server> Server;
+
+  NetHarness() : Service(machine(), {}) {
+    Ep.Transport = net::Endpoint::Kind::Unix;
+    static int Counter = 0;
+    Ep.Path = (std::filesystem::temp_directory_path() /
+               ("cmcc_fault_net_" + std::to_string(::getpid()) + "_" +
+                std::to_string(++Counter) + ".sock"))
+                  .string();
+    net::Server::Options NOpts;
+    NOpts.Listen.push_back(Ep);
+    Server = std::make_unique<net::Server>(Service, NOpts);
+    Error E = Server->start();
+    EXPECT_FALSE(E) << E.message();
+  }
+
+  ~NetHarness() {
+    Server->stop();
+    std::filesystem::remove(Ep.Path);
+  }
+
+  std::unique_ptr<net::Client> client() {
+    net::Client::Options Opts;
+    Opts.Target = Ep;
+    Expected<std::unique_ptr<net::Client>> C = net::Client::connect(Opts);
+    return C ? C.takeValue() : nullptr;
+  }
+};
+
+} // namespace
+
+TEST_F(FaultInjectionTest, NetAcceptFaultDropsTheConnectionThenRecovers) {
+  NetHarness H;
+  fault::Registry &Reg = fault::Registry::process();
+  Reg.arm(rule("net.accept", 1.0, /*MaxFires=*/1));
+
+  // First connection: accepted by the kernel, dropped by the fault —
+  // the handshake sees a clean close, never a hang.
+  auto Dropped = H.client();
+  ASSERT_TRUE(Dropped);
+  EXPECT_FALSE(Dropped->hello("doomed"));
+
+  // Budget spent: the next connection serves normally.
+  auto Fine = H.client();
+  ASSERT_TRUE(Fine);
+  EXPECT_TRUE(Fine->hello("fine"));
+  EXPECT_EQ(H.Server->counters().DroppedFault, 1);
+  EXPECT_EQ(Reg.fires("net.accept"), 1);
+}
+
+TEST_F(FaultInjectionTest, NetReadFaultDropsTheConnectionMidStream) {
+  NetHarness H;
+  auto C = H.client();
+  ASSERT_TRUE(C);
+  ASSERT_TRUE(C->hello("before"));
+
+  fault::Registry &Reg = fault::Registry::process();
+  Reg.arm(rule("net.read", 1.0, /*MaxFires=*/1));
+  // The next readable event on this connection hits the fault: the
+  // server drops it, and the client's blocking read sees EOF.
+  EXPECT_FALSE(C->hello("after"));
+  EXPECT_EQ(Reg.fires("net.read"), 1);
+
+  // The server itself is unharmed. Counters publish once per loop
+  // iteration, so check DroppedFault only after this later round trip.
+  auto Fresh = H.client();
+  ASSERT_TRUE(Fresh);
+  EXPECT_TRUE(Fresh->hello("fresh"));
+  EXPECT_GE(H.Server->counters().DroppedFault, 1);
+}
+
+TEST_F(FaultInjectionTest, NetWriteFaultDropsTheConnectionMidStream) {
+  NetHarness H;
+  auto C = H.client();
+  ASSERT_TRUE(C);
+  ASSERT_TRUE(C->hello("before"));
+
+  fault::Registry &Reg = fault::Registry::process();
+  Reg.arm(rule("net.write", 1.0, /*MaxFires=*/1));
+  // The request arrives, the response write fails: dropped connection,
+  // clean EOF client-side.
+  EXPECT_FALSE(C->hello("after"));
+  EXPECT_EQ(Reg.fires("net.write"), 1);
+
+  // Counters publish once per loop iteration; the fresh round trip
+  // guarantees the drop's iteration has published.
+  auto Fresh = H.client();
+  ASSERT_TRUE(Fresh);
+  EXPECT_TRUE(Fresh->hello("fresh"));
+  EXPECT_GE(H.Server->counters().DroppedFault, 1);
 }

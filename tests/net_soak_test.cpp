@@ -1,0 +1,264 @@
+//===- tests/net_soak_test.cpp - Socket chaos soak ------------*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The network edition of the DESIGN.md §5f soak: client threads hammer
+/// a real Server over a loopback unix socket while the net.* fault
+/// sites drop connections (at accept, mid-read, mid-write) and the
+/// backend throws transient execution faults. Clients respond the way
+/// real clients do — reconnect and resubmit — and the system must come
+/// out clean:
+///
+///   * every work item eventually completes with a result;
+///   * every delivered result is bitwise identical to a fault-free
+///     in-process run of the same work — dropped connections and
+///     retries cost time, never bits;
+///   * the service ledger balances (submitted == completed + failed)
+///     even counting jobs orphaned by killed connections;
+///   * the net fault sites demonstrably fired (a zero means the sites
+///     are wired to nothing).
+///
+/// Also runs under ThreadSanitizer via tools/check_tsan.sh.
+///
+//===----------------------------------------------------------------------===//
+
+#include "net/Client.h"
+#include "net/Server.h"
+#include "service/StencilService.h"
+#include "support/FaultInjection.h"
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <gtest/gtest.h>
+#include <memory>
+#include <thread>
+#include <unistd.h>
+
+using namespace cmcc;
+
+namespace {
+
+constexpr const char *CrossSource = "R = C1*CSHIFT(X,1,-1) + C2*X";
+constexpr int Threads = 4;
+constexpr int ItemsPerThread = 10;
+constexpr int MaxAttempts = 60;
+
+fault::Rule rule(const char *Site, double Rate) {
+  fault::Rule R;
+  R.Site = Site;
+  R.Rate = Rate;
+  return R;
+}
+
+/// One unit of client work, deterministic in its seed.
+struct WorkItem {
+  uint64_t Seed = 0;
+  int Sub = 4;
+  int Attempts = 0;       ///< Submissions it took (>= 1).
+  bool Done = false;
+  std::vector<float> Result; ///< The delivered global grid.
+  uint32_t Rows = 0, Cols = 0;
+};
+
+net::SubmitRequest buildJob(const MachineConfig &M, const WorkItem &Item) {
+  const int Rows = Item.Sub * M.NodeRows, Cols = Item.Sub * M.NodeCols;
+  net::SubmitRequest Req;
+  Req.Kind =
+      static_cast<uint8_t>(StencilService::SourceKind::FortranAssignment);
+  Req.Source = CrossSource;
+  Req.Iterations = 1;
+  Req.ResultName = "R";
+  auto AddGrid = [&](const char *Name, net::SubmitRequest::Role Role,
+                     uint64_t S) {
+    net::SubmitRequest::BoundGrid B;
+    B.Kind = Role;
+    B.Grid.Name = Name;
+    B.Grid.Rows = static_cast<uint32_t>(Rows);
+    B.Grid.Cols = static_cast<uint32_t>(Cols);
+    Array2D G(Rows, Cols);
+    G.fillRandom(S);
+    B.Grid.Data.assign(G.data(), G.data() + static_cast<size_t>(Rows) * Cols);
+    Req.Grids.push_back(std::move(B));
+  };
+  AddGrid("X", net::SubmitRequest::Role::Source, Item.Seed);
+  AddGrid("C1", net::SubmitRequest::Role::Coefficient, Item.Seed + 1000);
+  AddGrid("C2", net::SubmitRequest::Role::Coefficient, Item.Seed + 1001);
+  return Req;
+}
+
+/// The same work fault-free and in process: the bitwise reference.
+Array2D referenceRun(const MachineConfig &M, StencilService &Service,
+                     const WorkItem &Item) {
+  NodeGrid Grid(M);
+  DistributedArray Result(Grid, Item.Sub, Item.Sub);
+  DistributedArray Source(Grid, Item.Sub, Item.Sub);
+  DistributedArray C1(Grid, Item.Sub, Item.Sub), C2(Grid, Item.Sub, Item.Sub);
+  const int Rows = Result.globalRows(), Cols = Result.globalCols();
+  auto Scatter = [&](DistributedArray &A, uint64_t S) {
+    Array2D G(Rows, Cols);
+    G.fillRandom(S);
+    A.scatter(G);
+  };
+  Scatter(Source, Item.Seed);
+  Scatter(C1, Item.Seed + 1000);
+  Scatter(C2, Item.Seed + 1001);
+  StencilArguments Args;
+  Args.Result = &Result;
+  Args.Source = &Source;
+  Args.Coefficients["C1"] = &C1;
+  Args.Coefficients["C2"] = &C2;
+  StencilService::JobRequest Req;
+  Req.Kind = StencilService::SourceKind::FortranAssignment;
+  Req.Source = CrossSource;
+  Req.Args = &Args;
+  StencilService::JobResult R = Service.wait(Service.submit(Req));
+  EXPECT_TRUE(R.Ok) << R.Message;
+  return Result.gather();
+}
+
+} // namespace
+
+TEST(NetSoakTest, SocketChaosLosesNoJobsAndNoBits) {
+  const MachineConfig M = MachineConfig::withNodeGrid(2, 2);
+
+  fault::Registry &Reg = fault::Registry::process();
+  Reg.reset();
+  Reg.setSeed(1234);
+  // Network chaos on every site plus transient backend failures, so
+  // recovery engages at both layers at once: the service retries
+  // execution, the clients retry connections.
+  Reg.arm(rule("net.accept", 0.05));
+  Reg.arm(rule("net.read", 0.02));
+  Reg.arm(rule("net.write", 0.02));
+  Reg.arm(rule("backend.cm2.run", 0.02));
+  Reg.arm(rule("halo.exchange", 0.01));
+
+  StencilService::Options SOpts;
+  SOpts.Workers = 4;
+  SOpts.MaxRetries = 6;
+  StencilService Service(M, SOpts);
+
+  net::Endpoint Ep;
+  Ep.Transport = net::Endpoint::Kind::Unix;
+  Ep.Path = (std::filesystem::temp_directory_path() /
+             ("cmcc_net_soak_" + std::to_string(::getpid()) + ".sock"))
+                .string();
+  net::Server::Options NOpts;
+  NOpts.Listen.push_back(Ep);
+  net::Server Server(Service, NOpts);
+  {
+    Error E = Server.start();
+    ASSERT_FALSE(E) << E.message();
+  }
+
+  // [thread][item]: each thread owns its row; no cross-thread sharing.
+  std::vector<std::vector<WorkItem>> Work(Threads);
+  for (int T = 0; T != Threads; ++T)
+    for (int I = 0; I != ItemsPerThread; ++I) {
+      WorkItem Item;
+      Item.Seed = 10000ull * T + I;
+      Item.Sub = (I % 2) ? 8 : 4;
+      Work[T].push_back(std::move(Item));
+    }
+
+  {
+    std::vector<std::thread> Pool;
+    for (int T = 0; T != Threads; ++T)
+      Pool.emplace_back([&, T] {
+        std::unique_ptr<net::Client> Conn;
+        for (WorkItem &Item : Work[T]) {
+          for (int Attempt = 0; Attempt != MaxAttempts && !Item.Done;
+               ++Attempt) {
+            if (!Conn) {
+              net::Client::Options COpts;
+              COpts.Target = Ep;
+              COpts.Tenant = static_cast<uint32_t>(T + 1);
+              Expected<std::unique_ptr<net::Client>> C =
+                  net::Client::connect(COpts);
+              if (!C)
+                continue; // Accept backlog hiccup: try again.
+              Conn = C.takeValue();
+            }
+            ++Item.Attempts;
+            // Any failure below means the connection is suspect (a
+            // net.* fault dropped it, or the job died transiently):
+            // throw the connection away and resubmit from scratch —
+            // the real client recovery story.
+            Expected<net::SubmitResponse> S =
+                Conn->submit(buildJob(M, Item));
+            if (!S) {
+              Conn.reset();
+              continue;
+            }
+            Expected<net::WaitResponse> W = Conn->wait(S->JobId);
+            if (!W) {
+              Conn.reset();
+              continue;
+            }
+            if (!W->Ok)
+              continue; // Transient execution failure: same connection.
+            Item.Done = true;
+            Item.Rows = W->Result.Rows;
+            Item.Cols = W->Result.Cols;
+            Item.Result = std::move(W->Result.Data);
+          }
+        }
+      });
+    for (std::thread &T : Pool)
+      T.join();
+  }
+
+  // Every item made it despite the weather.
+  long TotalAttempts = 0;
+  for (const std::vector<WorkItem> &Row : Work)
+    for (const WorkItem &Item : Row) {
+      EXPECT_TRUE(Item.Done) << "seed " << Item.Seed;
+      TotalAttempts += Item.Attempts;
+    }
+
+  // The chaos actually happened: net sites fired (dropping conns is the
+  // whole point) and clients had to work for their results.
+  EXPECT_GT(Reg.fires("net.accept") + Reg.fires("net.read") +
+                Reg.fires("net.write"),
+            0);
+  EXPECT_GE(TotalAttempts, static_cast<long>(Threads) * ItemsPerThread);
+  EXPECT_GT(Server.counters().DroppedFault, 0);
+
+  // Quiescence: orphaned jobs (submitter dropped mid-flight) still run
+  // to completion; the ledger must balance once the queue empties.
+  ServiceStats Stats;
+  for (int I = 0; I != 500; ++I) {
+    Stats = Service.stats();
+    if (Stats.QueueDepth == 0 &&
+        Stats.JobsCompleted + Stats.JobsFailed == Stats.JobsSubmitted)
+      break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(Stats.JobsCompleted + Stats.JobsFailed, Stats.JobsSubmitted);
+  EXPECT_EQ(Stats.QueueDepth, 0);
+  EXPECT_GE(Stats.JobsSubmitted, static_cast<long>(Threads) * ItemsPerThread);
+  // Every thread's tenant shows up in the per-tenant rows.
+  EXPECT_GE(Stats.Tenants.size(), static_cast<size_t>(Threads));
+
+  Server.stop();
+  std::filesystem::remove(Ep.Path);
+
+  // Bitwise identity: rerun every item fault-free in process. Faults
+  // cost reconnects and retries, never bits.
+  Reg.reset();
+  for (const std::vector<WorkItem> &Row : Work)
+    for (const WorkItem &Item : Row) {
+      if (!Item.Done)
+        continue;
+      const Array2D Ref = referenceRun(M, Service, Item);
+      ASSERT_EQ(Item.Rows, static_cast<uint32_t>(Ref.rows()));
+      ASSERT_EQ(Item.Cols, static_cast<uint32_t>(Ref.cols()));
+      EXPECT_EQ(std::memcmp(Item.Result.data(), Ref.data(),
+                            Item.Result.size() * sizeof(float)),
+                0)
+          << "seed " << Item.Seed;
+    }
+}

@@ -21,8 +21,23 @@
 /// '#' comments are ignored.
 ///
 ///   cmcc_serve [options] manifest.jobs
+///   cmcc_serve [options] --listen=unix:PATH|tcp:HOST:PORT [manifest.jobs]
+///
+/// With --listen the tool becomes the network front door (DESIGN.md
+/// §5h): it serves the wire protocol on every given endpoint until
+/// SIGTERM/SIGINT triggers a graceful drain (stop accepting, finish
+/// in-flight jobs, flush, exit). A manifest, when also given, is
+/// served locally before the listeners take over.
 ///
 /// Options:
+///   --listen=SPEC          serve the network protocol on SPEC
+///                          (repeatable: one TCP + one Unix is common)
+///   --max-connections=N    concurrent-connection bound (default 256;
+///                          excess accepts are closed immediately)
+///   --tenant-quota=ID:INFLIGHT[:QUEUED]
+///                          per-tenant admission quota (repeatable);
+///                          0 = unlimited for that dimension
+///   --version              print protocol version + build provenance
 ///   --backend=cm2|native|njit  execution backend: the simulated CM-2
 ///                          (default), the host-speed native loop nest,
 ///                          or the plan-specialized JIT — native and
@@ -58,17 +73,22 @@
 
 #include "backends/Registry.h"
 #include "core/PlanFingerprint.h"
+#include "net/Server.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 #include "service/StencilService.h"
 #include "support/FaultInjection.h"
+#include "support/Provenance.h"
 #include "support/StringUtils.h"
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 using namespace cmcc;
@@ -91,6 +111,9 @@ struct ServeOptions {
   int MaxRetries = 0;
   std::string Faults;
   uint64_t FaultSeed = 0;
+  std::vector<net::Endpoint> Listen;
+  int MaxConnections = 256;
+  std::map<uint32_t, StencilService::TenantQuota> TenantQuotas;
   bool Json = false;
   std::string MetricsJsonPath;
   std::string TracePath;
@@ -100,7 +123,10 @@ struct ServeOptions {
 void printUsage() {
   std::fprintf(stderr,
                "usage: cmcc_serve [options] <manifest.jobs>\n"
+               "       cmcc_serve [options] --listen=unix:PATH|tcp:HOST:PORT\n"
                "options: --backend=cm2|native|njit --list-backends\n"
+               "         --listen=SPEC --max-connections=N\n"
+               "         --tenant-quota=ID:INFLIGHT[:QUEUED] --version\n"
                "         --machine=16|2048|RxC --subgrid=RxC --iterations=N\n"
                "         --workers=N --cache-capacity=N --cache-dir=<dir>\n"
                "         --queue-cap=N --admission=block|reject\n"
@@ -124,7 +150,42 @@ bool parseArguments(int Argc, char **Argv, ServeOptions &Opts) {
       size_t N = std::strlen(Prefix);
       return Arg.compare(0, N, Prefix) == 0 ? Arg.c_str() + N : nullptr;
     };
-    if (Arg == "--list-backends") {
+    if (Arg == "--version") {
+      std::printf("cmcc_serve: protocol version %u\nbuilt with: %s\n",
+                  static_cast<unsigned>(net::ProtocolVersion),
+                  provenanceSummary().c_str());
+      std::exit(0);
+    } else if (const char *V = Value("--listen=")) {
+      Expected<net::Endpoint> E = net::Endpoint::parse(V);
+      if (!E) {
+        std::fprintf(stderr, "cmcc_serve: bad --listen: %s\n",
+                     E.error().message().c_str());
+        return false;
+      }
+      Opts.Listen.push_back(*E);
+    } else if (const char *V = Value("--max-connections=")) {
+      Opts.MaxConnections = std::atoi(V);
+      if (Opts.MaxConnections <= 0) {
+        std::fprintf(stderr, "cmcc_serve: bad --max-connections value '%s'\n",
+                     V);
+        return false;
+      }
+    } else if (const char *V = Value("--tenant-quota=")) {
+      unsigned Tenant = 0;
+      int InFlight = 0, Queued = 0;
+      const int N = std::sscanf(V, "%u:%d:%d", &Tenant, &InFlight, &Queued);
+      if (N < 2 || InFlight < 0 || Queued < 0) {
+        std::fprintf(stderr,
+                     "cmcc_serve: bad --tenant-quota value '%s' "
+                     "(want ID:INFLIGHT[:QUEUED])\n",
+                     V);
+        return false;
+      }
+      StencilService::TenantQuota Q;
+      Q.MaxInFlight = InFlight;
+      Q.MaxQueued = Queued;
+      Opts.TenantQuotas[Tenant] = Q;
+    } else if (Arg == "--list-backends") {
       for (const std::string &Name : availableBackendNames())
         std::printf("%s\n", Name.c_str());
       std::exit(0);
@@ -243,7 +304,7 @@ bool parseArguments(int Argc, char **Argv, ServeOptions &Opts) {
       Opts.ManifestFile = Arg;
     }
   }
-  if (Opts.ManifestFile.empty()) {
+  if (Opts.ManifestFile.empty() && Opts.Listen.empty()) {
     printUsage();
     return false;
   }
@@ -270,6 +331,8 @@ const char *statusName(StencilService::JobStatus Status) {
     return "deadline-exceeded";
   case StencilService::JobStatus::BadJobId:
     return "bad-job-id";
+  case StencilService::JobStatus::Cancelled:
+    return "cancelled";
   }
   return "?";
 }
@@ -351,6 +414,15 @@ bool parseManifest(const ServeOptions &Opts, std::vector<ManifestJob> &Jobs) {
   return true;
 }
 
+/// The server a SIGTERM/SIGINT drains. requestDrain() is
+/// async-signal-safe, so the handler may call it directly.
+std::atomic<net::Server *> GServer{nullptr};
+
+void onDrainSignal(int) {
+  if (net::Server *S = GServer.load(std::memory_order_acquire))
+    S->requestDrain();
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -358,7 +430,7 @@ int main(int Argc, char **Argv) {
   if (!parseArguments(Argc, Argv, Opts))
     return 2;
   std::vector<ManifestJob> Manifest;
-  if (!parseManifest(Opts, Manifest))
+  if (!Opts.ManifestFile.empty() && !parseManifest(Opts, Manifest))
     return 2;
 
   if (!Opts.TracePath.empty())
@@ -387,6 +459,7 @@ int main(int Argc, char **Argv) {
   ServiceOpts.Admit = Opts.Admit;
   ServiceOpts.DeadlineMs = Opts.DeadlineMs;
   ServiceOpts.MaxRetries = Opts.MaxRetries;
+  ServiceOpts.TenantQuotas = Opts.TenantQuotas;
   StencilService Service(Opts.Machine, ServiceOpts);
 
   if (!Opts.Quiet) {
@@ -394,10 +467,38 @@ int main(int Argc, char **Argv) {
                 Opts.Machine.summary().c_str(), Service.backend().name(),
                 Service.backend().reportsWallClock() ? " (wall-clock)"
                                                      : " (simulated)",
-                Opts.ManifestFile.c_str(), Opts.Workers);
+                Opts.ManifestFile.empty() ? "the network"
+                                          : Opts.ManifestFile.c_str(),
+                Opts.Workers);
     if (!Opts.Faults.empty())
       std::printf("faults armed: %s (seed %llu)\n", Opts.Faults.c_str(),
                   static_cast<unsigned long long>(Opts.FaultSeed));
+  }
+
+  std::unique_ptr<net::Server> Server;
+  if (!Opts.Listen.empty()) {
+    net::Server::Options NetOpts;
+    NetOpts.Listen = Opts.Listen;
+    NetOpts.MaxConnections = Opts.MaxConnections;
+    NetOpts.Banner = provenanceSummary();
+    Server = std::make_unique<net::Server>(Service, NetOpts);
+    if (Error E = Server->start()) {
+      std::fprintf(stderr, "cmcc_serve: %s\n", E.message().c_str());
+      return 1;
+    }
+    GServer.store(Server.get(), std::memory_order_release);
+    struct sigaction SA {};
+    SA.sa_handler = onDrainSignal;
+    ::sigaction(SIGTERM, &SA, nullptr);
+    ::sigaction(SIGINT, &SA, nullptr);
+    for (const net::Endpoint &E : Opts.Listen) {
+      if (E.Transport == net::Endpoint::Kind::Tcp && E.Port == 0)
+        std::printf("listening on tcp:%s:%d\n", E.Host.c_str(),
+                    Server->tcpPort());
+      else
+        std::printf("listening on %s\n", E.str().c_str());
+    }
+    std::fflush(stdout);
   }
 
   auto Start = std::chrono::steady_clock::now();
@@ -439,12 +540,29 @@ int main(int Argc, char **Argv) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
           .count();
 
+  if (Server) {
+    // Serve the network until a drain signal lands; the loop thread
+    // exits once every in-flight job is done and every buffer flushed.
+    while (!Server->finished())
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    GServer.store(nullptr, std::memory_order_release);
+    Server->stop();
+    const net::Server::Counters C = Server->counters();
+    if (!Opts.Quiet)
+      std::printf("server drained: %ld conns (%ld overload-rejected, "
+                  "%ld fault-dropped), %ld frames in, %ld frames out, "
+                  "%ld decode errors\n",
+                  C.Accepted, C.RejectedOverload, C.DroppedFault, C.FramesIn,
+                  C.FramesOut, C.DecodeErrors);
+  }
+
   ServiceStats Stats = Service.stats();
   if (!Opts.Quiet) {
     std::printf("\n%s", Stats.str().c_str());
-    std::printf("host wall-clock: %s s  (%s jobs/s)\n",
-                formatFixed(HostSeconds, 3).c_str(),
-                formatFixed(Ids.size() / HostSeconds, 1).c_str());
+    if (!Ids.empty())
+      std::printf("host wall-clock: %s s  (%s jobs/s)\n",
+                  formatFixed(HostSeconds, 3).c_str(),
+                  formatFixed(Ids.size() / HostSeconds, 1).c_str());
   }
   if (Opts.Json)
     std::printf("%s\n", Stats.json().c_str());
