@@ -17,15 +17,26 @@
 ///      traced run recorded x the measured per-span disabled cost,
 ///      as a percentage of the untraced run's host wall-clock. The
 ///      bench fails if that exceeds 2% (DESIGN.md 5d's bound).
+///   4. Repeats the exercise over the wire: warm networked jobs through
+///      a real unix-socket server, untraced vs traced, plus the cost of
+///      an untraced ScopedTraceContext (what every request pays when no
+///      client sends a trace id). The disabled-probe overhead of the
+///      wire path must also stay under 2%.
 ///
 /// Writes BENCH_obs.json with the overhead scalars.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
+#include "net/Client.h"
+#include "net/Server.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
+#include "obs/TraceContext.h"
+#include "service/StencilService.h"
 #include <cstring>
+#include <filesystem>
+#include <unistd.h>
 
 using namespace cmccbench;
 
@@ -106,6 +117,92 @@ RunOutput runFunctional(const MachineConfig &Config,
   return Out;
 }
 
+/// Nanoseconds an untraced ScopedTraceContext costs — the price every
+/// server request pays when the client sent no trace id.
+double measureZeroContextScopeNs() {
+  constexpr long Scopes = 20'000'000;
+  auto Begin = std::chrono::steady_clock::now();
+  for (long I = 0; I != Scopes; ++I) {
+    obs::ScopedTraceContext Scope(0, 0);
+    benchmark::DoNotOptimize(I);
+  }
+  auto End = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::nano>(End - Begin).count() /
+         Scopes;
+}
+
+/// One service + server + client over a unix socket, for the wire-path
+/// overhead measurement.
+struct WireBench {
+  std::unique_ptr<StencilService> Service;
+  std::unique_ptr<cmcc::net::Server> Server;
+  std::unique_ptr<cmcc::net::Client> Client;
+  std::string SocketPath;
+
+  explicit WireBench(const MachineConfig &Config) {
+    SocketPath = (std::filesystem::temp_directory_path() /
+                  ("bench_obs_" + std::to_string(::getpid()) + ".sock"))
+                     .string();
+    Service = std::make_unique<StencilService>(Config,
+                                               StencilService::Options{});
+    cmcc::net::Endpoint Ep;
+    Ep.Transport = cmcc::net::Endpoint::Kind::Unix;
+    Ep.Path = SocketPath;
+    cmcc::net::Server::Options NOpts;
+    NOpts.Listen.push_back(Ep);
+    NOpts.Banner = "bench_obs";
+    Server = std::make_unique<cmcc::net::Server>(*Service, NOpts);
+    if (Error E = Server->start()) {
+      std::fprintf(stderr, "bench_obs: server start failed: %s\n",
+                   E.message().c_str());
+      std::abort();
+    }
+    cmcc::net::Client::Options COpts;
+    COpts.Target = Ep;
+    Expected<std::unique_ptr<cmcc::net::Client>> C =
+        cmcc::net::Client::connect(COpts);
+    if (!C) {
+      std::fprintf(stderr, "bench_obs: client connect failed: %s\n",
+                   C.error().message().c_str());
+      std::abort();
+    }
+    Client = C.takeValue();
+  }
+
+  ~WireBench() {
+    Client.reset();
+    Server->stop();
+    std::filesystem::remove(SocketPath);
+  }
+
+  /// One warm timing-only job, submit through wait; returns host
+  /// seconds for the round trip.
+  double runJob(uint64_t TraceId) {
+    cmcc::net::SubmitRequest Req;
+    Req.Kind =
+        static_cast<uint8_t>(StencilService::SourceKind::FortranAssignment);
+    Req.Source = "R = C1*CSHIFT(X,1,-1) + C2*X";
+    Req.SubRows = Req.SubCols = 16;
+    Req.Iterations = 1;
+    Req.TraceId = TraceId;
+    Req.ParentSpan = TraceId ? obs::mintSpanId() : 0;
+    auto Begin = std::chrono::steady_clock::now();
+    Expected<cmcc::net::SubmitResponse> S = Client->submit(Req);
+    if (!S) {
+      std::fprintf(stderr, "bench_obs: submit failed: %s\n",
+                   S.error().message().c_str());
+      std::abort();
+    }
+    Expected<cmcc::net::WaitResponse> W = Client->wait(S->JobId);
+    if (!W || !W->Ok) {
+      std::fprintf(stderr, "bench_obs: wire job failed\n");
+      std::abort();
+    }
+    auto End = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(End - Begin).count();
+  }
+};
+
 bool bitwiseEqual(const RunOutput &A, const RunOutput &B) {
   if (A.ResultBits.size() != B.ResultBits.size())
     return false;
@@ -161,6 +258,47 @@ int main(int argc, char **argv) {
     return 1;
   }
 
+  //===--- 4. Wire-path disabled-probe overhead ---------------------------===//
+  // Warm networked jobs through a real unix-socket server. The traced
+  // leg counts the spans a wire job records end to end (client submit,
+  // server dispatch, service stages); the untraced leg prices what the
+  // instrumentation costs when no one is tracing — per-span disabled
+  // cost plus the untraced ScopedTraceContext every request installs —
+  // as a fraction of the measured round-trip latency.
+  double ZeroCtxNs = measureZeroContextScopeNs();
+  constexpr int WireJobs = 200;
+  double WireUntracedSeconds = 0.0, WireTracedSeconds = 0.0;
+  long WireSpans = 0;
+  {
+    WireBench Wire(Config);
+    Wire.runJob(0); // Warm: compile once, prime the plan cache.
+    for (int I = 0; I != WireJobs; ++I)
+      WireUntracedSeconds += Wire.runJob(0);
+
+    std::string WireTracePath = "bench_obs_wire_trace.json";
+    long Before = SpanCounter.value();
+    if (!obs::Trace::start(WireTracePath)) {
+      std::fprintf(stderr, "bench_obs: could not start wire trace\n");
+      return 1;
+    }
+    for (int I = 0; I != WireJobs; ++I)
+      WireTracedSeconds += Wire.runJob(obs::mintTraceId());
+    if (!obs::Trace::stop()) {
+      std::fprintf(stderr, "bench_obs: wire trace flush failed\n");
+      return 1;
+    }
+    WireSpans = SpanCounter.value() - Before;
+    std::remove(WireTracePath.c_str());
+  }
+  double WireJobUs = WireUntracedSeconds / WireJobs * 1e6;
+  double WireSpansPerJob = static_cast<double>(WireSpans) / WireJobs;
+  // Disabled-path cost per job: every span site at its disabled price,
+  // plus the request's zero-context scope.
+  double WireOverheadPct = 100.0 *
+                           (WireSpansPerJob * DisabledNs + ZeroCtxNs) /
+                           (WireJobUs * 1000.0);
+  bool WireOverheadOk = WireOverheadPct < 2.0;
+
   //===--- 3. Disabled-path overhead bound --------------------------------===//
   // Every span the traced run recorded is a CMCC_SPAN site the untraced
   // run paid the disabled cost for; their total as a fraction of the
@@ -179,6 +317,11 @@ int main(int argc, char **argv) {
   T.addRow({"results tracing on vs off", "bitwise identical"});
   T.addRow({"sim cycles tracing on vs off", "identical (" +
                 std::to_string(Off.Report.Cycles.total()) + ")"});
+  T.addRow({"untraced scope cost", formatFixed(ZeroCtxNs, 2) + " ns"});
+  T.addRow({"wire job latency (warm)", formatFixed(WireJobUs, 1) + " us"});
+  T.addRow({"spans per wire job", formatFixed(WireSpansPerJob, 1)});
+  T.addRow({"wire disabled-path overhead",
+            formatFixed(WireOverheadPct, 4) + " %"});
 
   BenchJsonWriter Json("obs");
   Json.addRow("O1/square9_64x64_functional",
@@ -187,6 +330,10 @@ int main(int argc, char **argv) {
   Json.addScalar("disabled_span_ns", DisabledNs);
   Json.addScalar("spans_per_run", static_cast<double>(SpansRecorded));
   Json.addScalar("disabled_overhead_pct", OverheadPct);
+  Json.addScalar("zero_context_scope_ns", ZeroCtxNs);
+  Json.addScalar("wire_job_us", WireJobUs);
+  Json.addScalar("wire_spans_per_job", WireSpansPerJob);
+  Json.addScalar("wire_disabled_overhead_pct", WireOverheadPct);
   std::string Path = Json.write();
 
   std::printf("\n=== O1: observability overhead, square9 %dx%d functional "
@@ -200,6 +347,13 @@ int main(int argc, char **argv) {
                  "bench_obs: disabled-path overhead %.4f%% exceeds the "
                  "2%% bound\n",
                  OverheadPct);
+    return 1;
+  }
+  if (!WireOverheadOk) {
+    std::fprintf(stderr,
+                 "bench_obs: wire disabled-path overhead %.4f%% exceeds "
+                 "the 2%% bound\n",
+                 WireOverheadPct);
     return 1;
   }
   benchmark::Shutdown();

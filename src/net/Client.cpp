@@ -206,3 +206,23 @@ Expected<StatsResponse> Client::stats() {
     return R.error();
   return decodeStatsResponse(R->Payload.data(), R->Payload.size());
 }
+
+Expected<TimelineResponse> Client::timeline(int64_t JobId) {
+  TimelineRequest M;
+  M.JobId = JobId;
+  Expected<RawResponse> R = roundTrip(MsgType::TimelineRequest,
+                                      nextRequestId(), encode(M),
+                                      MsgType::TimelineResponse);
+  if (!R)
+    return R.error();
+  return decodeTimelineResponse(R->Payload.data(), R->Payload.size());
+}
+
+Expected<DumpResponse> Client::dump() {
+  Expected<RawResponse> R =
+      roundTrip(MsgType::DumpRequest, nextRequestId(), encode(DumpRequest{}),
+                MsgType::DumpResponse);
+  if (!R)
+    return R.error();
+  return decodeDumpResponse(R->Payload.data(), R->Payload.size());
+}

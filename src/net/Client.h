@@ -58,6 +58,10 @@ public:
   Expected<WaitResponse> wait(int64_t JobId);
   Expected<CancelResponse> cancel(int64_t JobId);
   Expected<StatsResponse> stats();
+  /// Per-job event timeline of a recently finished job (version 2).
+  Expected<TimelineResponse> timeline(int64_t JobId);
+  /// The server's flight-recorder JSON (version 2).
+  Expected<DumpResponse> dump();
 
   //===--- Pipelining primitives ------------------------------------------===//
 

@@ -115,6 +115,11 @@ std::vector<uint8_t> net::encode(const SubmitRequest &M) {
     W.u8(static_cast<uint8_t>(B.Kind));
     encodeGrid(W, B.Grid);
   }
+  // Version 2 trace context, always appended: a v2 payload decodes on
+  // both ends, and a v1 decoder never gets here (it rejects the frame
+  // header's version first).
+  W.u64(M.TraceId);
+  W.u64(M.ParentSpan);
   return W.take();
 }
 
@@ -138,6 +143,9 @@ Expected<SubmitRequest> net::decodeSubmitRequest(const uint8_t *Data,
     B.Kind = static_cast<SubmitRequest::Role>(Role);
     M.Grids.push_back(std::move(B));
   }
+  // A version-1 payload ends here; version 2 appends the trace context.
+  if (R.remaining() != 0 && (!R.u64(M.TraceId) || !R.u64(M.ParentSpan)))
+    return Error::failure("malformed SubmitRequest payload");
   return finish(R, std::move(M), "SubmitRequest");
 }
 
@@ -289,6 +297,8 @@ std::vector<uint8_t> net::encode(const StatsResponse &M) {
   ByteWriter W;
   W.str(M.Json);
   W.str(M.Table);
+  W.str(M.NetJson);
+  W.str(M.NetTable);
   return W.take();
 }
 
@@ -298,7 +308,67 @@ Expected<StatsResponse> net::decodeStatsResponse(const uint8_t *Data,
   StatsResponse M;
   R.str(M.Json);
   R.str(M.Table);
+  // A version-1 response ends here; version 2 appends the net metrics.
+  if (R.remaining() != 0 && (!R.str(M.NetJson) || !R.str(M.NetTable)))
+    return Error::failure("malformed StatsResponse payload");
   return finish(R, std::move(M), "StatsResponse");
+}
+
+//===--- Timeline ---------------------------------------------------------===//
+
+std::vector<uint8_t> net::encode(const TimelineRequest &M) {
+  ByteWriter W;
+  W.i64(M.JobId);
+  return W.take();
+}
+
+Expected<TimelineRequest> net::decodeTimelineRequest(const uint8_t *Data,
+                                                     size_t Len) {
+  ByteReader R(Data, Len);
+  TimelineRequest M;
+  R.i64(M.JobId);
+  return finish(R, std::move(M), "TimelineRequest");
+}
+
+std::vector<uint8_t> net::encode(const TimelineResponse &M) {
+  ByteWriter W;
+  W.u8(M.Found);
+  W.str(M.Json);
+  return W.take();
+}
+
+Expected<TimelineResponse> net::decodeTimelineResponse(const uint8_t *Data,
+                                                       size_t Len) {
+  ByteReader R(Data, Len);
+  TimelineResponse M;
+  R.u8(M.Found);
+  R.str(M.Json);
+  return finish(R, std::move(M), "TimelineResponse");
+}
+
+//===--- Dump -------------------------------------------------------------===//
+
+std::vector<uint8_t> net::encode(const DumpRequest &) { return {}; }
+
+Expected<DumpRequest> net::decodeDumpRequest(const uint8_t *Data, size_t Len) {
+  ByteReader R(Data, Len);
+  return finish(R, DumpRequest{}, "DumpRequest");
+}
+
+std::vector<uint8_t> net::encode(const DumpResponse &M) {
+  ByteWriter W;
+  W.str(M.Json);
+  return W.take();
+}
+
+Expected<DumpResponse> net::decodeDumpResponse(const uint8_t *Data,
+                                               size_t Len) {
+  ByteReader R(Data, Len);
+  DumpResponse M;
+  // A full flight-recorder ring serializes to a few hundred KiB; allow
+  // well past that while staying under the frame cap.
+  R.str(M.Json, 8u << 20);
+  return finish(R, std::move(M), "DumpResponse");
 }
 
 //===--- Error ------------------------------------------------------------===//

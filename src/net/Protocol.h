@@ -80,6 +80,11 @@ struct SubmitRequest {
     GridPayload Grid;
   };
   std::vector<BoundGrid> Grids;
+  /// Version 2: client-minted trace context, appended after the grids
+  /// so a version-1 payload (which simply ends there) still decodes.
+  /// Zero means "not traced".
+  uint64_t TraceId = 0;
+  uint64_t ParentSpan = 0;
 };
 
 struct SubmitResponse {
@@ -153,6 +158,35 @@ struct StatsRequest {};
 struct StatsResponse {
   std::string Json;  ///< ServiceStats::json().
   std::string Table; ///< ServiceStats::str().
+  /// Version 2: the server's net.* wire metrics (request latency and
+  /// frame-size histograms), appended so a version-1 response still
+  /// decodes. Empty when the peer predates them.
+  std::string NetJson;  ///< Registry::json("net.").
+  std::string NetTable; ///< Registry::table("net.").
+};
+
+//===--- Timeline ---------------------------------------------------------===//
+
+/// Asks for the per-job event timeline (admitted, queued, compile
+/// begin/end, execute attempts, retries, fallback, completion) of a
+/// recently finished job, from the service's bounded ring.
+struct TimelineRequest {
+  int64_t JobId = 0;
+};
+
+struct TimelineResponse {
+  uint8_t Found = 0;
+  std::string Json; ///< StencilService::timelineJson() when Found.
+};
+
+//===--- Dump -------------------------------------------------------------===//
+
+/// Asks for the process flight recorder (obs::FlightRecorder JSON):
+/// black-box forensics over the wire, the remote twin of SIGUSR1.
+struct DumpRequest {};
+
+struct DumpResponse {
+  std::string Json;
 };
 
 //===--- Error ------------------------------------------------------------===//
@@ -188,6 +222,10 @@ std::vector<uint8_t> encode(const CancelResponse &M);
 std::vector<uint8_t> encode(const StatsRequest &M);
 std::vector<uint8_t> encode(const StatsResponse &M);
 std::vector<uint8_t> encode(const ErrorResponse &M);
+std::vector<uint8_t> encode(const TimelineRequest &M);
+std::vector<uint8_t> encode(const TimelineResponse &M);
+std::vector<uint8_t> encode(const DumpRequest &M);
+std::vector<uint8_t> encode(const DumpResponse &M);
 
 Expected<HelloRequest> decodeHelloRequest(const uint8_t *Data, size_t Len);
 Expected<HelloResponse> decodeHelloResponse(const uint8_t *Data, size_t Len);
@@ -202,6 +240,12 @@ Expected<CancelResponse> decodeCancelResponse(const uint8_t *Data, size_t Len);
 Expected<StatsRequest> decodeStatsRequest(const uint8_t *Data, size_t Len);
 Expected<StatsResponse> decodeStatsResponse(const uint8_t *Data, size_t Len);
 Expected<ErrorResponse> decodeErrorResponse(const uint8_t *Data, size_t Len);
+Expected<TimelineRequest> decodeTimelineRequest(const uint8_t *Data,
+                                                size_t Len);
+Expected<TimelineResponse> decodeTimelineResponse(const uint8_t *Data,
+                                                  size_t Len);
+Expected<DumpRequest> decodeDumpRequest(const uint8_t *Data, size_t Len);
+Expected<DumpResponse> decodeDumpResponse(const uint8_t *Data, size_t Len);
 
 } // namespace net
 } // namespace cmcc

@@ -6,7 +6,10 @@
 
 #include "net/Server.h"
 #include "cm2/NodeGrid.h"
+#include "obs/FlightRecorder.h"
 #include "obs/Metrics.h"
+#include "obs/Trace.h"
+#include "obs/TraceContext.h"
 #include "support/FaultInjection.h"
 
 #include <arpa/inet.h>
@@ -134,6 +137,69 @@ Expected<int> openListener(const Endpoint &E, int &BoundPort) {
   return Fd;
 }
 
+//===--- Wire histograms --------------------------------------------------===//
+// Process-registry histograms for the wire path. Function-local statics
+// so the references resolve once (thread-safe init) and the loop pays
+// only the observe() itself.
+
+obs::Histogram &frameBytesIn() {
+  static obs::Histogram &H = obs::Registry::process().histogram(
+      "net.frame_bytes_in", obs::Histogram::byteBounds());
+  return H;
+}
+
+obs::Histogram &frameBytesOut() {
+  static obs::Histogram &H = obs::Registry::process().histogram(
+      "net.frame_bytes_out", obs::Histogram::byteBounds());
+  return H;
+}
+
+/// Per-message-type request latency, dispatch to response queued (for
+/// waits: request arrival to result delivery, park time included).
+obs::Histogram &reqHistogram(MsgType T) {
+  obs::Registry &Reg = obs::Registry::process();
+  switch (T) {
+  case MsgType::HelloRequest: {
+    static obs::Histogram &H = Reg.histogram("net.req_us.hello");
+    return H;
+  }
+  case MsgType::SubmitRequest: {
+    static obs::Histogram &H = Reg.histogram("net.req_us.submit");
+    return H;
+  }
+  case MsgType::PollRequest: {
+    static obs::Histogram &H = Reg.histogram("net.req_us.poll");
+    return H;
+  }
+  case MsgType::WaitRequest: {
+    static obs::Histogram &H = Reg.histogram("net.req_us.wait");
+    return H;
+  }
+  case MsgType::CancelRequest: {
+    static obs::Histogram &H = Reg.histogram("net.req_us.cancel");
+    return H;
+  }
+  case MsgType::StatsRequest: {
+    static obs::Histogram &H = Reg.histogram("net.req_us.stats");
+    return H;
+  }
+  case MsgType::TimelineRequest: {
+    static obs::Histogram &H = Reg.histogram("net.req_us.timeline");
+    return H;
+  }
+  case MsgType::DumpRequest: {
+    static obs::Histogram &H = Reg.histogram("net.req_us.dump");
+    return H;
+  }
+  default: {
+    static obs::Histogram &H = Reg.histogram("net.req_us.other");
+    return H;
+  }
+  }
+}
+
+using FR = obs::FlightRecorder;
+
 } // namespace
 
 //===----------------------------------------------------------------------===//
@@ -183,6 +249,9 @@ Error Server::start() {
     [[maybe_unused]] ssize_t N = ::write(WakePipe[1], &Byte, 1);
   });
 
+  FR::process().record(FR::EventKind::ServerStart, "server",
+                       static_cast<uint64_t>(ListenFds.size()),
+                       static_cast<uint64_t>(Opts.MaxConnections));
   LoopThread = std::thread([this] { loop(); });
   return Error::success();
 }
@@ -252,6 +321,9 @@ void Server::loop() {
   while (true) {
     const bool Drain = Draining.load(std::memory_order_acquire);
     if (Drain && !AcceptingClosed) {
+      FR::process().record(FR::EventKind::DrainBegin, "server",
+                           static_cast<uint64_t>(Conns.size()),
+                           static_cast<uint64_t>(Jobs.size()));
       for (int Fd : ListenFds)
         ::close(Fd);
       ListenFds.clear();
@@ -347,6 +419,9 @@ void Server::loop() {
     std::lock_guard<std::mutex> Lock(CountersMutex);
     PublishedStats = Stats;
   }
+  FR::process().record(FR::EventKind::ServerStop, "server",
+                       static_cast<uint64_t>(Stats.Accepted),
+                       static_cast<uint64_t>(Stats.FramesIn));
   LoopDone.store(true, std::memory_order_release);
 }
 
@@ -364,6 +439,8 @@ void Server::acceptAll(int ListenFd) {
       // Bounded accept: shedding beyond the cap beats collapsing
       // under it. The client sees a clean close before any frame.
       ++Stats.RejectedOverload;
+      FR::process().record(FR::EventKind::ConnRejected, "overload",
+                           static_cast<uint64_t>(Conns.size()));
       ::close(Fd);
       continue;
     }
@@ -374,6 +451,7 @@ void Server::acceptAll(int ListenFd) {
     C.Id = NextConnId++;
     C.Fd = Fd;
     ++Stats.Accepted;
+    FR::process().record(FR::EventKind::ConnAccepted, nullptr, C.Id);
     Conns.emplace(C.Id, std::move(C));
   }
 }
@@ -425,6 +503,7 @@ void Server::closeConn(uint64_t ConnId) {
   ::close(It->second.Fd);
   Conns.erase(It);
   ++Stats.Closed;
+  FR::process().record(FR::EventKind::ConnClosed, nullptr, ConnId);
   // Jobs this connection submitted stay alive — the service is already
   // running them and tearing down their arrays mid-execution would be
   // a use-after-free. Their results are discarded at completion.
@@ -456,6 +535,8 @@ bool Server::parseFrames(Conn &C) {
     if (C.In.size() - Pos < FrameHeaderBytes + H->PayloadBytes)
       break; // Frame incomplete; wait for more bytes.
     ++Stats.FramesIn;
+    frameBytesIn().observe(
+        static_cast<double>(FrameHeaderBytes + H->PayloadBytes));
     dispatch(C, *H, C.In.data() + Pos + FrameHeaderBytes);
     Pos += FrameHeaderBytes + H->PayloadBytes;
   }
@@ -469,6 +550,7 @@ bool Server::parseFrames(Conn &C) {
 void Server::send(Conn &C, MsgType Type, uint64_t RequestId, uint32_t Tenant,
                   const std::vector<uint8_t> &Payload) {
   C.Out.push_back(buildFrame(Type, RequestId, Tenant, Payload));
+  frameBytesOut().observe(static_cast<double>(C.Out.back().size()));
   ++Stats.FramesOut;
 }
 
@@ -477,12 +559,29 @@ void Server::sendError(Conn &C, const FrameHeader &H, uint16_t Code,
   ErrorResponse E;
   E.Code = Code;
   E.Message = Message;
-  if (Code == ErrBadRequest)
+  if (Code == ErrBadRequest) {
     ++Stats.DecodeErrors;
+    FR::process().record(FR::EventKind::DecodeError, "bad_request",
+                         static_cast<uint64_t>(H.Type), H.RequestId);
+  }
   send(C, MsgType::ErrorResponse, H.RequestId, H.Tenant, encode(E));
 }
 
 void Server::dispatch(Conn &C, const FrameHeader &H, const uint8_t *Payload) {
+  // Dispatch-to-response-queued latency per message type. Waits are the
+  // exception: a parked wait's latency runs until deliverResult, so the
+  // timer stays disarmed here and deliverResult observes instead.
+  struct ReqTimer {
+    obs::Histogram &Hist;
+    uint64_t StartNs;
+    bool Armed;
+    ~ReqTimer() {
+      if (Armed)
+        Hist.observe(
+            static_cast<double>(obs::detail::nowNs() - StartNs) / 1000.0);
+    }
+  } Timer{reqHistogram(H.Type), obs::detail::nowNs(),
+          H.Type != MsgType::WaitRequest};
   switch (H.Type) {
   case MsgType::HelloRequest: {
     Expected<HelloRequest> M = decodeHelloRequest(Payload, H.PayloadBytes);
@@ -528,7 +627,29 @@ void Server::dispatch(Conn &C, const FrameHeader &H, const uint8_t *Payload) {
     StatsResponse R;
     R.Json = S.json();
     R.Table = S.str();
+    R.NetJson = obs::Registry::process().json("net.");
+    R.NetTable = obs::Registry::process().table("net.");
     send(C, MsgType::StatsResponse, H.RequestId, H.Tenant, encode(R));
+    return;
+  }
+  case MsgType::TimelineRequest: {
+    Expected<TimelineRequest> M =
+        decodeTimelineRequest(Payload, H.PayloadBytes);
+    if (!M)
+      return sendError(C, H, ErrBadRequest, M.error().message());
+    TimelineResponse R;
+    R.Json = Service.timelineJson(M->JobId);
+    R.Found = R.Json.empty() ? 0 : 1;
+    send(C, MsgType::TimelineResponse, H.RequestId, H.Tenant, encode(R));
+    return;
+  }
+  case MsgType::DumpRequest: {
+    Expected<DumpRequest> M = decodeDumpRequest(Payload, H.PayloadBytes);
+    if (!M)
+      return sendError(C, H, ErrBadRequest, M.error().message());
+    DumpResponse R;
+    R.Json = obs::FlightRecorder::process().json();
+    send(C, MsgType::DumpResponse, H.RequestId, H.Tenant, encode(R));
     return;
   }
   default:
@@ -551,6 +672,12 @@ void Server::handleSubmit(Conn &C, const FrameHeader &H,
   if (Draining.load(std::memory_order_acquire))
     return sendError(C, H, ErrDraining, "server is draining; resubmit elsewhere");
 
+  // Adopt the client-minted trace context for the dispatch itself, so
+  // the server's submit span nests under the client's in a merged
+  // Perfetto trace; the ids then travel into the service job.
+  obs::ScopedTraceContext TraceScope(M->TraceId, M->ParentSpan);
+  CMCC_SPAN("server.submit");
+
   JobRec J;
   J.ConnId = C.Id;
   J.Tenant = H.Tenant;
@@ -564,6 +691,8 @@ void Server::handleSubmit(Conn &C, const FrameHeader &H,
   Req.Source = M->Source;
   Req.Fingerprint = M->Fingerprint;
   Req.Tenant = H.Tenant;
+  Req.TraceId = M->TraceId;
+  Req.ParentSpan = M->ParentSpan;
   Req.Iterations = static_cast<int>(M->Iterations);
   if (Req.Iterations <= 0)
     return sendError(C, H, ErrBadRequest, "iterations must be positive");
@@ -658,6 +787,7 @@ void Server::handleWait(Conn &C, const FrameHeader &H, const WaitRequest &M) {
   }
   JobRec &J = It->second;
   if (J.Finished) {
+    J.WaiterArrivedNs = obs::detail::nowNs();
     deliverResult(C, J, H.RequestId);
     Jobs.erase(It);
     return;
@@ -669,6 +799,7 @@ void Server::handleWait(Conn &C, const FrameHeader &H, const WaitRequest &M) {
   J.HasWaiter = true;
   J.WaiterConn = C.Id;
   J.WaiterRequestId = H.RequestId;
+  J.WaiterArrivedNs = obs::detail::nowNs();
 }
 
 void Server::deliverResult(Conn &C, JobRec &J, uint64_t RequestId) {
@@ -697,6 +828,11 @@ void Server::deliverResult(Conn &C, JobRec &J, uint64_t RequestId) {
                                              Global.cols());
   }
   send(C, MsgType::WaitResponse, RequestId, J.Tenant, encode(R));
+  if (J.WaiterArrivedNs)
+    reqHistogram(MsgType::WaitRequest)
+        .observe(static_cast<double>(obs::detail::nowNs() -
+                                     J.WaiterArrivedNs) /
+                 1000.0);
 }
 
 void Server::processFinished() {

@@ -182,6 +182,9 @@ private:
     bool HasWaiter = false;
     uint64_t WaiterConn = 0;
     uint64_t WaiterRequestId = 0;
+    /// When the (current) WaitRequest arrived; deliverResult observes
+    /// the park-to-delivery latency into net.req_us.wait.
+    uint64_t WaiterArrivedNs = 0;
     std::unique_ptr<StencilArguments> Args;
     std::vector<std::unique_ptr<DistributedArray>> Arrays;
   };

@@ -24,6 +24,10 @@ bool net::isKnownMsgType(uint16_t Raw) {
   case MsgType::StatsRequest:
   case MsgType::StatsResponse:
   case MsgType::ErrorResponse:
+  case MsgType::TimelineRequest:
+  case MsgType::TimelineResponse:
+  case MsgType::DumpRequest:
+  case MsgType::DumpResponse:
     return true;
   }
   return false;
@@ -99,9 +103,10 @@ Expected<FrameHeader> net::decodeFrameHeader(const uint8_t *Data, size_t Len) {
     return Error::failure("frame header checksum mismatch");
   FrameHeader H;
   H.Version = getLe16(Data + 4);
-  if (H.Version != ProtocolVersion)
+  if (H.Version < MinProtocolVersion || H.Version > ProtocolVersion)
     return Error::failure("unsupported protocol version " + std::to_string(H.Version) +
-                 " (this end speaks " + std::to_string(ProtocolVersion) + ")");
+                 " (this end speaks " + std::to_string(MinProtocolVersion) +
+                 ".." + std::to_string(ProtocolVersion) + ")");
   const uint16_t RawType = getLe16(Data + 6);
   if (!isKnownMsgType(RawType))
     return Error::failure("unknown message type " + std::to_string(RawType));

@@ -18,7 +18,7 @@
 ///
 ///   offset  size  field
 ///        0     4  magic      0x434D4331 ("CMC1" on a little-endian wire)
-///        4     2  version    protocol version (currently 1)
+///        4     2  version    protocol version (currently 2; 1 accepted)
 ///        6     2  type       MsgType
 ///        8     4  tenant     tenant id (0 = anonymous default tenant)
 ///       12     8  request id caller-chosen correlation id, echoed back
@@ -48,8 +48,12 @@ namespace net {
 constexpr uint32_t FrameMagic = 0x31434D43u;
 
 /// The protocol version this library speaks. Bumped on any frame or
-/// payload layout change; both ends reject other versions cleanly.
-constexpr uint16_t ProtocolVersion = 1;
+/// payload layout change. Version 2 added the submit trace-context
+/// fields and the Timeline/Dump message pairs; every v2 payload change
+/// is append-only, so frames from MinProtocolVersion peers still decode
+/// and both ends reject anything outside [Min, Current] cleanly.
+constexpr uint16_t ProtocolVersion = 2;
+constexpr uint16_t MinProtocolVersion = 1;
 
 /// Upper bound on one frame's payload. Large enough for a 2048-node
 /// machine's gathered result grid, small enough that a corrupt or
@@ -76,6 +80,11 @@ enum class MsgType : uint16_t {
   StatsRequest = 11,
   StatsResponse = 12,
   ErrorResponse = 14,
+  // Version 2.
+  TimelineRequest = 15,
+  TimelineResponse = 16,
+  DumpRequest = 17,
+  DumpResponse = 18,
 };
 
 /// True for type values this protocol version defines.

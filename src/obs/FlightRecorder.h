@@ -1,0 +1,137 @@
+//===- obs/FlightRecorder.h - Lock-free black-box event ring --*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A process-wide, fixed-size, lock-free ring of structured events —
+/// the black box a chaos-killed cmcc_serve leaves behind. Producers
+/// (fault injector, service admission/retry/fallback paths, server
+/// connection handling) record from any thread with a handful of
+/// relaxed atomic stores; readers snapshot without stopping writers and
+/// discard torn slots via a per-slot sequence word (seqlock-style, but
+/// every field is an atomic so the race is benign and TSan-clean).
+///
+/// Dumped as JSON on SIGUSR1 (cmcc_serve polls a flag set by the
+/// handler), on fatal error (reportUnreachable), or over the wire via
+/// the `dump` request.
+///
+/// The detail string is recorded by pointer: pass string literals (all
+/// call sites do — fault site names, fixed event descriptions).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMCC_OBS_FLIGHTRECORDER_H
+#define CMCC_OBS_FLIGHTRECORDER_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace cmcc {
+namespace obs {
+
+class FlightRecorder {
+public:
+  enum class EventKind : std::uint8_t {
+    None = 0,
+    ServerStart,
+    ServerStop,
+    FaultFired,
+    AdmissionReject,
+    Retry,
+    Fallback,
+    DeadlineExceeded,
+    Cancelled,
+    JobFailed,
+    SlowJob,
+    DrainBegin,
+    ConnAccepted,
+    ConnClosed,
+    ConnRejected,
+    DecodeError,
+    FatalError,
+  };
+
+  /// A consistent snapshot of one recorded event.
+  struct Event {
+    std::uint64_t Seq = 0; ///< 1-based global record index (monotonic).
+    std::uint64_t Ns = 0;  ///< Steady-clock nanoseconds (obs::detail::nowNs).
+    EventKind Kind = EventKind::None;
+    std::uint64_t A = 0;       ///< Kind-specific (job id, conn id, ...).
+    std::uint64_t B = 0;       ///< Kind-specific (tenant, attempt, ms, ...).
+    std::uint64_t TraceId = 0; ///< Originating trace id, 0 if none.
+    const char *Detail = nullptr; ///< Literal site / description, may be null.
+  };
+
+  /// Number of slots; events older than the newest Capacity are
+  /// overwritten. Power of two (index masking).
+  static constexpr std::size_t Capacity = 4096;
+
+  FlightRecorder();
+
+  /// Records one event. Lock-free on the common path: one fetch_add,
+  /// one claim CAS, six relaxed stores, and one release store. Two
+  /// writers contend on a slot only when one slept through a full ring
+  /// wrap; the newer event wins and the stale one is dropped (it was
+  /// logically overwritten already). Safe from any thread, including
+  /// while other threads snapshot.
+  void record(EventKind Kind, const char *Detail = nullptr,
+              std::uint64_t A = 0, std::uint64_t B = 0,
+              std::uint64_t TraceId = 0);
+
+  /// Copies out every slot that reads back consistent (writers racing
+  /// with the snapshot lose only their own in-flight slot), oldest
+  /// first.
+  std::vector<Event> snapshot() const;
+
+  /// Total events ever recorded (including overwritten ones).
+  std::uint64_t totalRecorded() const {
+    return Head.load(std::memory_order_relaxed);
+  }
+
+  /// The snapshot as one JSON object:
+  /// {"capacity":..,"recorded":..,"dropped":..,"events":[...]}.
+  std::string json() const;
+
+  /// Human-readable name for \p Kind ("fault_fired", ...).
+  static const char *kindName(EventKind Kind);
+
+  /// The process-wide recorder every hook reports into.
+  static FlightRecorder &process();
+
+  /// Dumps the process recorder on the way to an abort: to the path in
+  /// CMCC_FLIGHT_DUMP if set, else to stderr. Keeps the work out of
+  /// Assert.h (which must stay header-light).
+  static void dumpOnFatal(const char *Reason);
+
+private:
+  /// Set in a slot's Seq word while a writer owns the payload fields.
+  /// Makes writers mutually exclusive per slot, so a published Seq can
+  /// never sit over a mix of two writers' payloads.
+  static constexpr std::uint64_t ClaimBit = 1ULL << 63;
+
+  struct Slot {
+    /// 0 = never written; Seq | ClaimBit = write in flight; otherwise
+    /// the event's Seq. Published last (release) and read twice around
+    /// the payload to detect tearing.
+    std::atomic<std::uint64_t> Seq{0};
+    std::atomic<std::uint64_t> Ns{0};
+    std::atomic<std::uint64_t> KindBits{0};
+    std::atomic<std::uint64_t> A{0};
+    std::atomic<std::uint64_t> B{0};
+    std::atomic<std::uint64_t> Trace{0};
+    std::atomic<const char *> Detail{nullptr};
+  };
+
+  std::atomic<std::uint64_t> Head{0};
+  std::unique_ptr<Slot[]> Slots;
+};
+
+} // namespace obs
+} // namespace cmcc
+
+#endif // CMCC_OBS_FLIGHTRECORDER_H

@@ -88,6 +88,13 @@ std::vector<double> Histogram::latencyBoundsUs() {
   return Bounds;
 }
 
+std::vector<double> Histogram::byteBounds() {
+  std::vector<double> Bounds;
+  for (double B = 16.0; B <= 64.0 * 1024.0 * 1024.0; B *= 2.0)
+    Bounds.push_back(B); // 16 B .. 64 MiB (MaxPayloadBytes).
+  return Bounds;
+}
+
 //===----------------------------------------------------------------------===//
 // Registry
 //===----------------------------------------------------------------------===//
@@ -144,6 +151,10 @@ std::string formatDouble(double V) {
   return Buffer;
 }
 
+bool hasPrefix(const std::string &Name, const std::string &Prefix) {
+  return Prefix.empty() || Name.compare(0, Prefix.size(), Prefix) == 0;
+}
+
 std::string promName(const std::string &Name) {
   std::string Out = "cmcc_";
   for (char C : Name)
@@ -155,25 +166,29 @@ std::string promName(const std::string &Name) {
 
 } // namespace
 
-std::string Registry::table() const {
+std::string Registry::table(const std::string &Prefix) const {
   std::lock_guard<std::mutex> Lock(Mutex);
   struct Row {
     std::string Name, Value;
   };
   std::vector<Row> Rows;
   for (const auto &[Name, C] : Counters)
-    Rows.push_back({Name, std::to_string(C->value())});
+    if (hasPrefix(Name, Prefix))
+      Rows.push_back({Name, std::to_string(C->value())});
   for (const auto &[Name, G] : Gauges)
-    Rows.push_back({Name, std::to_string(G->value()) + " (max " +
-                              std::to_string(G->maximum()) + ")"});
+    if (hasPrefix(Name, Prefix))
+      Rows.push_back({Name, std::to_string(G->value()) + " (max " +
+                                std::to_string(G->maximum()) + ")"});
   for (const auto &[Name, S] : Sums)
-    Rows.push_back({Name, formatDouble(S->value())});
+    if (hasPrefix(Name, Prefix))
+      Rows.push_back({Name, formatDouble(S->value())});
   for (const auto &[Name, H] : Histograms)
-    Rows.push_back({Name, "count " + std::to_string(H->count()) + "  mean " +
-                              formatDouble(H->mean()) + "  p50 " +
-                              formatDouble(H->percentile(50)) + "  p90 " +
-                              formatDouble(H->percentile(90)) + "  p99 " +
-                              formatDouble(H->percentile(99))});
+    if (hasPrefix(Name, Prefix))
+      Rows.push_back({Name, "count " + std::to_string(H->count()) +
+                                "  mean " + formatDouble(H->mean()) +
+                                "  p50 " + formatDouble(H->percentile(50)) +
+                                "  p90 " + formatDouble(H->percentile(90)) +
+                                "  p99 " + formatDouble(H->percentile(99))});
   std::sort(Rows.begin(), Rows.end(),
             [](const Row &A, const Row &B) { return A.Name < B.Name; });
   size_t Width = 0;
@@ -186,12 +201,14 @@ std::string Registry::table() const {
   return Out.str();
 }
 
-std::string Registry::json() const {
+std::string Registry::json(const std::string &Prefix) const {
   std::lock_guard<std::mutex> Lock(Mutex);
   std::ostringstream Out;
   Out << "{\n  \"counters\": {";
   bool First = true;
   for (const auto &[Name, C] : Counters) {
+    if (!hasPrefix(Name, Prefix))
+      continue;
     Out << (First ? "" : ",") << "\n    \"" << Name
         << "\": " << C->value();
     First = false;
@@ -199,6 +216,8 @@ std::string Registry::json() const {
   Out << (First ? "" : "\n  ") << "},\n  \"gauges\": {";
   First = true;
   for (const auto &[Name, G] : Gauges) {
+    if (!hasPrefix(Name, Prefix))
+      continue;
     Out << (First ? "" : ",") << "\n    \"" << Name << "\": {\"value\": "
         << G->value() << ", \"max\": " << G->maximum() << "}";
     First = false;
@@ -206,6 +225,8 @@ std::string Registry::json() const {
   Out << (First ? "" : "\n  ") << "},\n  \"sums\": {";
   First = true;
   for (const auto &[Name, S] : Sums) {
+    if (!hasPrefix(Name, Prefix))
+      continue;
     Out << (First ? "" : ",") << "\n    \"" << Name
         << "\": " << formatDouble(S->value());
     First = false;
@@ -213,6 +234,8 @@ std::string Registry::json() const {
   Out << (First ? "" : "\n  ") << "},\n  \"histograms\": {";
   First = true;
   for (const auto &[Name, H] : Histograms) {
+    if (!hasPrefix(Name, Prefix))
+      continue;
     Out << (First ? "" : ",") << "\n    \"" << Name << "\": {\"count\": "
         << H->count() << ", \"sum\": " << formatDouble(H->sum())
         << ", \"mean\": " << formatDouble(H->mean())
@@ -225,25 +248,33 @@ std::string Registry::json() const {
   return Out.str();
 }
 
-std::string Registry::prometheus() const {
+std::string Registry::prometheus(const std::string &Prefix) const {
   std::lock_guard<std::mutex> Lock(Mutex);
   std::ostringstream Out;
   for (const auto &[Name, C] : Counters) {
+    if (!hasPrefix(Name, Prefix))
+      continue;
     std::string P = promName(Name);
     Out << "# TYPE " << P << " counter\n" << P << " " << C->value() << "\n";
   }
   for (const auto &[Name, G] : Gauges) {
+    if (!hasPrefix(Name, Prefix))
+      continue;
     std::string P = promName(Name);
     Out << "# TYPE " << P << " gauge\n" << P << " " << G->value() << "\n";
     Out << "# TYPE " << P << "_max gauge\n"
         << P << "_max " << G->maximum() << "\n";
   }
   for (const auto &[Name, S] : Sums) {
+    if (!hasPrefix(Name, Prefix))
+      continue;
     std::string P = promName(Name);
     Out << "# TYPE " << P << " counter\n"
         << P << " " << formatDouble(S->value()) << "\n";
   }
   for (const auto &[Name, H] : Histograms) {
+    if (!hasPrefix(Name, Prefix))
+      continue;
     std::string P = promName(Name);
     Out << "# TYPE " << P << " histogram\n";
     std::vector<long> Counts = H->bucketCounts();

@@ -148,6 +148,10 @@ public:
   /// 1 us to ~17 minutes.
   static std::vector<double> latencyBoundsUs();
 
+  /// The size scale for wire frames: power-of-two byte buckets from
+  /// 16 B to 64 MiB (the frame payload cap).
+  static std::vector<double> byteBounds();
+
 private:
   std::vector<double> Bounds;
   std::unique_ptr<std::atomic<long>[]> Buckets; ///< Bounds.size() + 1.
@@ -172,16 +176,17 @@ public:
                        std::vector<double> UpperBounds);
 
   /// Aligned two-column text (names sorted; histograms show count, mean
-  /// and the p50/p90/p99 estimates).
-  std::string table() const;
+  /// and the p50/p90/p99 estimates). A non-empty \p Prefix restricts
+  /// every exporter to metrics whose name starts with it (e.g. "net.").
+  std::string table(const std::string &Prefix = std::string()) const;
 
   /// One JSON object: {"counters": {...}, "gauges": {...},
   /// "sums": {...}, "histograms": {...}}.
-  std::string json() const;
+  std::string json(const std::string &Prefix = std::string()) const;
 
   /// Prometheus exposition text ('.' becomes '_', names prefixed
   /// cmcc_; histograms emit cumulative le buckets, _count and _sum).
-  std::string prometheus() const;
+  std::string prometheus(const std::string &Prefix = std::string()) const;
 
   /// The process-wide registry.
   static Registry &process();

@@ -14,9 +14,22 @@
 /// atomic load and one branch — cheap enough to leave CMCC_SPAN in the
 /// per-half-strip inner loop (bench_obs measures the cost and holds it
 /// under 2% of a functional run). Enable either with the CMCC_TRACE
-/// environment variable (`CMCC_TRACE=trace.json cmccc ...`; the file is
-/// written at process exit) or programmatically with Trace::start /
-/// Trace::stop.
+/// environment variable (`CMCC_TRACE=trace.json cmccc ...`) or
+/// programmatically with Trace::start / Trace::stop.
+///
+/// The trace file is written incrementally: start() writes a valid
+/// empty trace immediately, and every flush (periodic when a flush
+/// interval is configured — CMCC_TRACE_FLUSH_MS, default 500 ms, for
+/// env-started traces — or explicit via Trace::flush()) appends the
+/// accumulated spans and rewrites the closing bracket, so the file on
+/// disk parses as JSON at every flush boundary and a killed process
+/// loses at most one interval of spans, not the whole trace.
+///
+/// When a thread has an obs::TraceContext established (a job carried a
+/// client-minted trace id across the wire), each span additionally
+/// records the trace id plus its own and its parent's span ids, so
+/// spans from the client, server, and service processes line up under
+/// one id in a merged trace.
 ///
 /// Tracing can never change results: spans observe host wall-clock
 /// only, and the simulated cycle accounting is analytic (bench_obs
@@ -31,6 +44,7 @@
 #ifndef CMCC_OBS_TRACE_H
 #define CMCC_OBS_TRACE_H
 
+#include "obs/TraceContext.h"
 #include <atomic>
 #include <cstdint>
 #include <string>
@@ -42,9 +56,11 @@ namespace detail {
 extern std::atomic<bool> TraceOn;
 /// Monotonic nanoseconds (steady clock).
 std::uint64_t nowNs();
-/// Appends one complete span to the calling thread's buffer.
-void recordSpan(const char *Name, std::uint64_t BeginNs,
-                std::uint64_t EndNs);
+/// Appends one complete span to the calling thread's buffer. The id
+/// triple is zero for spans recorded outside any trace context.
+void recordSpan(const char *Name, std::uint64_t BeginNs, std::uint64_t EndNs,
+                std::uint64_t TraceId = 0, std::uint64_t SpanId = 0,
+                std::uint64_t ParentId = 0);
 } // namespace detail
 
 /// True while a trace is being recorded. The single branch every
@@ -55,38 +71,67 @@ inline bool traceEnabled() {
 
 /// One scoped span: construction notes the begin time, destruction
 /// records the complete event. A span constructed while tracing is
-/// disabled does nothing at all.
+/// disabled does nothing at all. While tracing, a span also threads the
+/// ambient TraceContext: it becomes the thread's current parent for its
+/// dynamic extent, so nested spans (and spans on pool workers the
+/// context was propagated to) form a tree under the job's trace id.
 class Span {
 public:
   explicit Span(const char *SpanName) {
     if (traceEnabled()) {
       Name = SpanName;
+      TraceContext Ctx = currentTraceContext();
+      CtxTrace = Ctx.TraceId;
+      CtxParent = Ctx.SpanId;
+      if (CtxTrace) {
+        OwnId = mintSpanId();
+        exchangeTraceContext({CtxTrace, OwnId});
+      }
       BeginNs = detail::nowNs();
     }
   }
   ~Span() {
-    if (Name)
-      detail::recordSpan(Name, BeginNs, detail::nowNs());
+    if (Name) {
+      std::uint64_t EndNs = detail::nowNs();
+      if (CtxTrace)
+        exchangeTraceContext({CtxTrace, CtxParent});
+      detail::recordSpan(Name, BeginNs, EndNs, CtxTrace,
+                         CtxTrace ? OwnId : 0, CtxTrace ? CtxParent : 0);
+    }
   }
   Span(const Span &) = delete;
   Span &operator=(const Span &) = delete;
 
 private:
   const char *Name = nullptr;
+  // Only read while tracing (Name != nullptr); the zero-inits are
+  // cheap stack stores (bench_obs keeps the disabled span under its
+  // budget with them).
   std::uint64_t BeginNs = 0;
+  std::uint64_t CtxTrace = 0;
+  std::uint64_t CtxParent = 0;
+  std::uint64_t OwnId = 0;
 };
 
 /// The process-wide trace recorder.
 class Trace {
 public:
-  /// Begins recording; spans accumulate until stop() writes them to
-  /// \p Path as Chrome trace-event JSON. Returns false (and records
-  /// nothing) if a trace is already active.
-  static bool start(const std::string &Path);
+  /// Begins recording; spans accumulate in per-thread buffers and are
+  /// appended to \p Path (valid Chrome trace-event JSON from the first
+  /// write) by flush()/stop(). With \p FlushIntervalMs > 0 a
+  /// background thread flushes that often. Returns false (and records
+  /// nothing) if a trace is already active or the file cannot be
+  /// opened.
+  static bool start(const std::string &Path, long FlushIntervalMs = 0);
 
-  /// Flushes every thread's spans to the file given to start() and
-  /// disables recording. Safe to call when not recording (no-op).
-  /// Returns true if the file was written successfully.
+  /// Appends every thread's accumulated spans to the file and rewrites
+  /// the JSON tail, leaving the file parseable. No-op when not
+  /// recording. Returns true if the write succeeded.
+  static bool flush();
+
+  /// Final flush, then disables recording and closes the file. Safe to
+  /// call when not recording (no-op). Returns true if the file was
+  /// written successfully.
   static bool stop();
 
   /// True between start() and stop(). (CMCC_TRACE starts a trace at

@@ -8,13 +8,16 @@
 #include "backends/Registry.h"
 #include "core/PlanFingerprint.h"
 #include "fortran/Parser.h"
+#include "obs/FlightRecorder.h"
 #include "obs/Trace.h"
+#include "obs/TraceContext.h"
 #include "sexpr/DefStencil.h"
 #include "stencil/Recognizer.h"
 #include "support/Assert.h"
 #include "support/FaultInjection.h"
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <thread>
 
 using namespace cmcc;
@@ -52,6 +55,7 @@ StencilService::StencilService(const MachineConfig &Config, Options Opts)
       DeadlinesExceeded(Metrics.counter("service.deadline_exceeded")),
       Retries(Metrics.counter("service.retries")),
       Fallbacks(Metrics.counter("service.fallbacks")),
+      SlowJobs(Metrics.counter("service.slow_jobs")),
       QueueDepth(Metrics.gauge("service.queue_depth")),
       CompileUs(Metrics.histogram("service.compile_us")),
       ExecuteUs(Metrics.histogram("service.execute_us")),
@@ -73,6 +77,125 @@ StencilService::~StencilService() {
   JobsChanged.notify_all();
   for (std::thread &W : Workers)
     W.join();
+}
+
+const char *StencilService::jobEventName(JobEvent E) {
+  switch (E) {
+  case JobEvent::Submitted:
+    return "submitted";
+  case JobEvent::Rejected:
+    return "rejected";
+  case JobEvent::Queued:
+    return "queued";
+  case JobEvent::Dequeued:
+    return "dequeued";
+  case JobEvent::CacheHit:
+    return "cache_hit";
+  case JobEvent::Coalesced:
+    return "coalesced";
+  case JobEvent::CompileBegin:
+    return "compile_begin";
+  case JobEvent::CompileEnd:
+    return "compile_end";
+  case JobEvent::ExecuteAttempt:
+    return "execute_attempt";
+  case JobEvent::TransientFailure:
+    return "transient_failure";
+  case JobEvent::Retry:
+    return "retry";
+  case JobEvent::Fallback:
+    return "fallback";
+  case JobEvent::DeadlineExceeded:
+    return "deadline_exceeded";
+  case JobEvent::Cancelled:
+    return "cancelled";
+  case JobEvent::SlowJob:
+    return "slow_job";
+  case JobEvent::Done:
+    return "done";
+  case JobEvent::Failed:
+    return "failed";
+  }
+  return "unknown";
+}
+
+const char *StencilService::jobStatusName(JobStatus S) {
+  switch (S) {
+  case JobStatus::Ok:
+    return "ok";
+  case JobStatus::Error:
+    return "error";
+  case JobStatus::QueueFull:
+    return "queue_full";
+  case JobStatus::DeadlineExceeded:
+    return "deadline_exceeded";
+  case JobStatus::BadJobId:
+    return "bad_job_id";
+  case JobStatus::Cancelled:
+    return "cancelled";
+  }
+  return "unknown";
+}
+
+void StencilService::note(Job &J, JobEvent E, int32_t Detail) {
+  J.Timeline.push_back({obs::detail::nowNs(), E, Detail});
+}
+
+void StencilService::archiveTimelineLocked(Job &J) {
+  JobTimeline T;
+  T.Id = J.Id;
+  T.TraceId = J.Request.TraceId;
+  T.Tenant = J.Request.Tenant;
+  T.Fingerprint = J.Result.Fingerprint;
+  T.Status = J.Result.Status;
+  T.Events = std::move(J.Timeline);
+  FinishedTimelines.push_back(std::move(T));
+  while (FinishedTimelines.size() > std::max<size_t>(1, Opts.TimelineRingCap))
+    FinishedTimelines.pop_front();
+}
+
+std::optional<StencilService::JobTimeline>
+StencilService::timeline(JobId Id) const {
+  std::lock_guard<std::mutex> Lock(JobsMutex);
+  // Newest first: re-used ids (never in practice) would find the
+  // latest life.
+  for (auto It = FinishedTimelines.rbegin(); It != FinishedTimelines.rend();
+       ++It)
+    if (It->Id == Id)
+      return *It;
+  return std::nullopt;
+}
+
+std::string StencilService::timelineJson(JobId Id) const {
+  std::optional<JobTimeline> T = timeline(Id);
+  if (!T)
+    return std::string();
+  std::string Out;
+  Out.reserve(256 + T->Events.size() * 64);
+  char Buf[160];
+  std::snprintf(Buf, sizeof(Buf),
+                "{\"job\": %ld, \"tenant\": %u, \"status\": \"%s\", ",
+                T->Id, T->Tenant, jobStatusName(T->Status));
+  Out += Buf;
+  Out += "\"trace_id\": \"";
+  Out += T->TraceId ? obs::formatTraceId(T->TraceId) : "";
+  Out += "\", \"fingerprint\": \"";
+  Out += obs::formatTraceId(T->Fingerprint);
+  Out += "\", \"events\": [";
+  const uint64_t Epoch = T->Events.empty() ? 0 : T->Events.front().Ns;
+  bool First = true;
+  for (const TimelineEntry &E : T->Events) {
+    std::snprintf(Buf, sizeof(Buf),
+                  "%s\n{\"t_ms\": %.6f, \"event\": \"%s\", \"detail\": %d, "
+                  "\"ns\": %llu}",
+                  First ? "" : ",",
+                  static_cast<double>(E.Ns - Epoch) / 1e6, jobEventName(E.Event),
+                  E.Detail, static_cast<unsigned long long>(E.Ns));
+    Out += Buf;
+    First = false;
+  }
+  Out += "\n]}\n";
+  return Out;
 }
 
 StencilService::JobId StencilService::submit(JobRequest Request) {
@@ -126,6 +249,8 @@ StencilService::JobId StencilService::submit(JobRequest Request) {
       J->HasDeadline = true;
     }
     Raw = J.get();
+    Raw->AdmittedNs = obs::detail::nowNs();
+    note(*Raw, JobEvent::Submitted);
     JobsSubmitted.add(1);
     ++TC.Submitted;
     TC.CtrSubmitted->add(1);
@@ -136,13 +261,20 @@ StencilService::JobId StencilService::submit(JobRequest Request) {
       Raw->State = JobState::Failed;
       Raw->Result.Status = JobStatus::QueueFull;
       Raw->Result.Message = std::move(RejectReason);
+      note(*Raw, JobEvent::Rejected);
+      obs::FlightRecorder::process().record(
+          obs::FlightRecorder::EventKind::AdmissionReject, "service.submit",
+          static_cast<uint64_t>(Raw->Id), Raw->Request.Tenant,
+          Raw->Request.TraceId);
       Rejected.add(1);
       JobsFailed.add(1);
       ++TC.Rejected;
       ++TC.Failed;
       TC.CtrRejected->add(1);
       TC.CtrFailed->add(1);
+      archiveTimelineLocked(*Raw);
     } else {
+      note(*Raw, JobEvent::Queued);
       Queue.push_back(Raw);
       QueueDepth.add(1);
       ++TC.InFlight;
@@ -217,6 +349,11 @@ bool StencilService::cancel(JobId Id) {
     J->State = JobState::Failed;
     J->Result.Status = JobStatus::Cancelled;
     J->Result.Message = "cancelled before execution";
+    note(*J, JobEvent::Cancelled);
+    obs::FlightRecorder::process().record(
+        obs::FlightRecorder::EventKind::Cancelled, "service.cancel",
+        static_cast<uint64_t>(J->Id), J->Request.Tenant, J->Request.TraceId);
+    archiveTimelineLocked(*J);
     CancelledJobs.add(1);
     JobsFailed.add(1);
     TenantCounts &TC = tenantEntry(J->Request.Tenant);
@@ -278,6 +415,7 @@ void StencilService::workerLoop() {
       QueueDepth.add(-1);
       --tenantEntry(J->Request.Tenant).Queued;
       J->State = JobState::Compiling;
+      note(*J, JobEvent::Dequeued);
     }
     // The pop made room: wake producers blocked on admission.
     JobsChanged.notify_all();
@@ -298,6 +436,12 @@ bool StencilService::pastDeadline(Job &J) {
   J.Result.Status = JobStatus::DeadlineExceeded;
   J.Result.Message = "deadline of " + std::to_string(Opts.DeadlineMs) +
                      " ms exceeded";
+  note(J, JobEvent::DeadlineExceeded,
+       static_cast<int32_t>(Opts.DeadlineMs));
+  obs::FlightRecorder::process().record(
+      obs::FlightRecorder::EventKind::DeadlineExceeded, "service.deadline",
+      static_cast<uint64_t>(J.Id), static_cast<uint64_t>(Opts.DeadlineMs),
+      J.Request.TraceId);
   return true;
 }
 
@@ -393,6 +537,7 @@ StencilService::resolvePlan(Job &J, const std::optional<StencilSpec> &Spec,
   // Fast path: the cache (memory, then disk with re-verification).
   if (std::shared_ptr<const CompiledStencil> Plan = Cache.lookup(Fp)) {
     J.Result.CacheHit = true;
+    note(J, JobEvent::CacheHit);
     return Plan;
   }
 
@@ -409,6 +554,7 @@ StencilService::resolvePlan(Job &J, const std::optional<StencilSpec> &Spec,
       IF = It->second;
     } else if (std::shared_ptr<const CompiledStencil> Plan = Cache.peek(Fp)) {
       J.Result.CacheHit = true;
+      note(J, JobEvent::CacheHit);
       return Plan;
     } else {
       IF = std::make_shared<InFlightCompile>();
@@ -421,6 +567,7 @@ StencilService::resolvePlan(Job &J, const std::optional<StencilSpec> &Spec,
     // Coalesce: wait for the owner's verdict.
     CompilesCoalesced.add(1);
     J.Result.Coalesced = true;
+    note(J, JobEvent::Coalesced);
     std::unique_lock<std::mutex> Lock(IF->Mutex);
     IF->Ready.wait(Lock, [&] { return IF->Done; });
     if (!IF->Plan) {
@@ -443,6 +590,7 @@ StencilService::resolvePlan(Job &J, const std::optional<StencilSpec> &Spec,
     Failure = fault::injectedFault("service.compile").message();
   } else {
     CMCC_SPAN("service.compile");
+    note(J, JobEvent::CompileBegin);
     auto Begin = std::chrono::steady_clock::now();
     Expected<CompiledStencil> Compiled = Compiler.compile(*Spec);
     double Seconds = secondsSince(Begin);
@@ -452,6 +600,7 @@ StencilService::resolvePlan(Job &J, const std::optional<StencilSpec> &Spec,
       Plan = std::make_shared<const CompiledStencil>(Compiled.takeValue());
     else
       Failure = Compiled.error().message();
+    note(J, JobEvent::CompileEnd, Plan ? 1 : 0);
   }
   if (Plan)
     Cache.insert(Fp, Plan); // Insert BEFORE unregistering (see recheck).
@@ -472,6 +621,11 @@ StencilService::resolvePlan(Job &J, const std::optional<StencilSpec> &Spec,
 }
 
 void StencilService::process(Job &J) {
+  // Re-establish the submitting client's trace context on this worker:
+  // every span below (resolve, compile, execute, the backend's own
+  // spans, halo exchange on pool workers) inherits the client-minted
+  // trace id.
+  obs::ScopedTraceContext TraceScope(J.Request.TraceId, J.Request.ParentSpan);
   CMCC_SPAN("service.job");
   auto CompileBegin = std::chrono::steady_clock::now();
 
@@ -524,6 +678,7 @@ void StencilService::execute(Job &J, const CompiledStencil &Plan) {
     if (pastDeadline(J))
       return Finish(JobState::Failed);
 
+    note(J, JobEvent::ExecuteAttempt, J.Result.Retries + 1);
     Expected<TimingReport> Report =
         J.Request.Args
             ? Exec->run(Plan, *J.Request.Args, J.Request.Iterations)
@@ -544,10 +699,15 @@ void StencilService::execute(Job &J, const CompiledStencil &Plan) {
       return Finish(JobState::Failed);
     }
 
+    note(J, JobEvent::TransientFailure, J.Result.Retries + 1);
     if (Attempt < Opts.MaxRetries) {
       ++Attempt;
       Retries.add(1);
       ++J.Result.Retries;
+      obs::FlightRecorder::process().record(
+          obs::FlightRecorder::EventKind::Retry, "service.execute",
+          static_cast<uint64_t>(J.Id),
+          static_cast<uint64_t>(J.Result.Retries), J.Request.TraceId);
       // Exponential backoff, clamped so a sleep can never push the job
       // past its deadline asleep (the pre-attempt check above catches
       // the expiry awake).
@@ -561,6 +721,7 @@ void StencilService::execute(Job &J, const CompiledStencil &Plan) {
                 .count());
         BackoffMs = std::min(BackoffMs, std::max(0L, RemainingMs));
       }
+      note(J, JobEvent::Retry, static_cast<int32_t>(BackoffMs));
       if (BackoffMs > 0)
         std::this_thread::sleep_for(std::chrono::milliseconds(BackoffMs));
       continue;
@@ -571,6 +732,10 @@ void StencilService::execute(Job &J, const CompiledStencil &Plan) {
     if (!J.Result.FellBack && Opts.FallbackToCm2 && Opts.Backend != "cm2") {
       J.Result.FellBack = true;
       Fallbacks.add(1);
+      note(J, JobEvent::Fallback);
+      obs::FlightRecorder::process().record(
+          obs::FlightRecorder::EventKind::Fallback, "service.execute",
+          static_cast<uint64_t>(J.Id), 0, J.Request.TraceId);
       Exec = &fallbackEngine();
       Attempt = 0;
       continue;
@@ -582,6 +747,17 @@ void StencilService::execute(Job &J, const CompiledStencil &Plan) {
 }
 
 void StencilService::finish(Job &J, JobState Final) {
+  note(J, Final == JobState::Done ? JobEvent::Done : JobEvent::Failed);
+  const uint64_t TotalMs = (obs::detail::nowNs() - J.AdmittedNs) / 1000000u;
+  const bool Slow =
+      Opts.SlowJobMs > 0 && TotalMs > static_cast<uint64_t>(Opts.SlowJobMs);
+  if (Slow) {
+    note(J, JobEvent::SlowJob, static_cast<int32_t>(TotalMs));
+    SlowJobs.add(1);
+    obs::FlightRecorder::process().record(
+        obs::FlightRecorder::EventKind::SlowJob, "service.finish",
+        static_cast<uint64_t>(J.Id), TotalMs, J.Request.TraceId);
+  }
   if (Final == JobState::Done) {
     JobsCompleted.add(1);
     ExecuteUs.observe(J.Result.ExecuteSeconds * 1e6);
@@ -604,8 +780,14 @@ void StencilService::finish(Job &J, JobState Final) {
       TC.CtrFailed->add(1);
     }
     J.State = Final;
+    archiveTimelineLocked(J);
   }
   JobsChanged.notify_all();
+  // A slow job's spans go to disk NOW (even though the trace normally
+  // flushes on its own cadence): if the process dies later, the
+  // evidence for the job that was already over budget survives.
+  if (Slow && obs::Trace::active())
+    obs::Trace::flush();
   if (std::function<void(JobId)> Cb = finishedCallback())
     Cb(J.Id);
 }

@@ -103,6 +103,13 @@ public:
     std::string Source;
     /// The plan key for SourceKind::Fingerprint.
     uint64_t Fingerprint = 0;
+    /// Distributed-trace context minted by the submitting client (0 =
+    /// untraced). The worker re-establishes it around the job so every
+    /// span the job touches — service stages, compile phases, backend
+    /// execution, halo exchange — carries the client's trace id, and
+    /// the job's timeline records it for correlation.
+    uint64_t TraceId = 0;
+    uint64_t ParentSpan = 0;
     /// Who this job is served for (0 = the anonymous default tenant).
     /// Tenants are metered separately in ServiceStats and the service
     /// registry, and admission enforces Options::TenantQuotas per id.
@@ -144,6 +151,52 @@ public:
     /// fingerprint or direct Executor calls.
     std::shared_ptr<const CompiledStencil> Plan;
   };
+
+  /// One step in a job's life, recorded with a nanosecond timestamp in
+  /// the job's timeline. Detail disambiguates repeats (attempt number,
+  /// backoff milliseconds).
+  enum class JobEvent : uint8_t {
+    Submitted,        ///< Entered submit() and passed/failed admission.
+    Rejected,         ///< Failed admission (queue cap or tenant quota).
+    Queued,           ///< Admitted onto the FIFO queue.
+    Dequeued,         ///< A worker picked the job up.
+    CacheHit,         ///< Plan came out of the cache.
+    Coalesced,        ///< Parked on another job's in-flight compile.
+    CompileBegin,     ///< This job owns the compile.
+    CompileEnd,       ///< Compile finished (Detail: 1 ok, 0 failed).
+    ExecuteAttempt,   ///< Execute attempt began (Detail: 1-based attempt).
+    TransientFailure, ///< The attempt failed transiently (Detail: attempt).
+    Retry,            ///< Retrying (Detail: backoff milliseconds).
+    Fallback,         ///< Switched to the cm2 fallback backend.
+    DeadlineExceeded, ///< Cooperative deadline cancellation fired.
+    Cancelled,        ///< cancel() removed the job from the queue.
+    SlowJob,          ///< Total latency exceeded Options::SlowJobMs.
+    Done,             ///< Finished successfully.
+    Failed,           ///< Finished unsuccessfully.
+  };
+
+  struct TimelineEntry {
+    uint64_t Ns = 0; ///< obs::detail::nowNs() at the event.
+    JobEvent Event = JobEvent::Submitted;
+    int32_t Detail = 0;
+  };
+
+  /// The compact per-job event log, kept for recently finished jobs in
+  /// a bounded ring (Options::TimelineRingCap) and served over the wire
+  /// by the `timeline` request / `cmcc_client trace <jobid>`.
+  struct JobTimeline {
+    JobId Id = 0;
+    uint64_t TraceId = 0;
+    uint32_t Tenant = 0;
+    uint64_t Fingerprint = 0;
+    JobStatus Status = JobStatus::Error;
+    std::vector<TimelineEntry> Events;
+  };
+
+  /// Stable lower-case name for \p E ("execute_attempt", ...).
+  static const char *jobEventName(JobEvent E);
+  /// Stable lower-case name for \p S ("ok", "deadline_exceeded", ...).
+  static const char *jobStatusName(JobStatus S);
 
   /// What submit() does when the queue already holds QueueCap jobs.
   enum class Admission {
@@ -204,6 +257,14 @@ public:
     /// The quota applied to tenants absent from TenantQuotas
     /// (unlimited by default — single-tenant callers see no change).
     TenantQuota DefaultTenantQuota;
+    /// Jobs whose admission-to-finish latency exceeds this many
+    /// milliseconds are flagged: counted (service.slow_jobs), recorded
+    /// in the flight recorder, and — when a trace is active — the
+    /// trace file is flushed immediately so the slow job's spans are on
+    /// disk even if the process dies later. 0 disables the threshold.
+    long SlowJobMs = 0;
+    /// Finished-job timelines retained for the `timeline` query.
+    size_t TimelineRingCap = 256;
   };
 
   StencilService(const MachineConfig &Config, Options Opts);
@@ -248,6 +309,15 @@ public:
   /// Blocks until every job submitted so far has finished.
   void drain();
 
+  /// The event log of a recently *finished* job (in-flight jobs are
+  /// still being written by their worker; poll for completion first).
+  /// Empty when \p Id was never issued or has aged out of the ring.
+  std::optional<JobTimeline> timeline(JobId Id) const;
+
+  /// The same timeline as one JSON object ({"job":..., "trace_id":...,
+  /// "status":..., "events":[...]}); empty string when unknown.
+  std::string timelineJson(JobId Id) const;
+
   /// Snapshot of the operational metrics.
   ServiceStats stats() const;
 
@@ -271,7 +341,16 @@ private:
     /// Cancellation point for Options::DeadlineMs (set at admission).
     std::chrono::steady_clock::time_point Deadline;
     bool HasDeadline = false;
+    /// Event log, moved into FinishedTimelines at finish. Written under
+    /// JobsMutex until a worker dequeues the job (cancel refuses
+    /// non-queued jobs), then exclusively by that worker.
+    std::vector<TimelineEntry> Timeline;
+    uint64_t AdmittedNs = 0; ///< Timeline epoch / slow-job baseline.
   };
+
+  /// Appends one timeline event to \p J (see Job::Timeline for the
+  /// ownership discipline making this safe without its own lock).
+  static void note(Job &J, JobEvent E, int32_t Detail = 0);
 
   /// One compile in flight: submissions of the same fingerprint park
   /// here instead of compiling again.
@@ -330,6 +409,9 @@ private:
   /// The tenant's ledger entry, with its registry counters resolved on
   /// first sighting. Caller holds JobsMutex.
   TenantCounts &tenantEntry(uint32_t Tenant);
+  /// Moves \p J's timeline into the finished ring. Caller holds
+  /// JobsMutex.
+  void archiveTimelineLocked(Job &J);
   /// Snapshot of the registered finished-callback (may be empty).
   std::function<void(JobId)> finishedCallback() const;
 
@@ -351,6 +433,9 @@ private:
   bool ShuttingDown = false;
   /// Per-tenant ledger (ordered so stats snapshots are stable).
   std::map<uint32_t, TenantCounts> Tenants;
+  /// Recently finished jobs' timelines, oldest first (bounded by
+  /// Options::TimelineRingCap; guarded by JobsMutex).
+  std::deque<JobTimeline> FinishedTimelines;
 
   //===--- Completion notification ----------------------------------------===//
   mutable std::mutex CallbackMutex;
@@ -381,6 +466,7 @@ private:
   obs::Counter &DeadlinesExceeded; ///< service.deadline_exceeded
   obs::Counter &Retries;           ///< service.retries (attempts past 1st)
   obs::Counter &Fallbacks;         ///< service.fallbacks (jobs, not attempts)
+  obs::Counter &SlowJobs;          ///< service.slow_jobs (over SlowJobMs)
   obs::Gauge &QueueDepth;          ///< service.queue_depth (now + max)
   obs::Histogram &CompileUs;       ///< service.compile_us (per performed)
   obs::Histogram &ExecuteUs;       ///< service.execute_us (per completed)

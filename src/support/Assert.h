@@ -15,17 +15,21 @@
 #ifndef CMCC_SUPPORT_ASSERT_H
 #define CMCC_SUPPORT_ASSERT_H
 
+#include "obs/FlightRecorder.h"
 #include <cassert>
 #include <cstdio>
 #include <cstdlib>
 
 namespace cmcc {
 
-/// Reports a violated internal invariant and aborts. Used by
+/// Reports a violated internal invariant and aborts. The flight
+/// recorder is dumped first so the crash leaves the last few thousand
+/// structured events behind ($CMCC_FLIGHT_DUMP or stderr). Used by
 /// CMCC_UNREACHABLE; do not call directly.
 [[noreturn]] inline void reportUnreachable(const char *Msg, const char *File,
                                            unsigned Line) {
   std::fprintf(stderr, "%s:%u: unreachable executed: %s\n", File, Line, Msg);
+  obs::FlightRecorder::dumpOnFatal(Msg);
   std::abort();
 }
 

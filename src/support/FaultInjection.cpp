@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "support/FaultInjection.h"
+#include "obs/FlightRecorder.h"
 #include "support/Random.h"
 #include <chrono>
 #include <cstdio>
@@ -93,6 +94,15 @@ bool Registry::shouldFail(const char *Site) {
         Fail = true;
     }
   }
+  // Record fired faults in the flight recorder (outside the lock; the
+  // recorder is lock-free) so a post-mortem dump shows exactly which
+  // injected faults the process absorbed. A = 1 for a failure, B =
+  // accumulated delay in ms. Site is a string literal at every probe
+  // site, so storing the pointer is safe.
+  if (Fail || DelayMs > 0)
+    obs::FlightRecorder::process().record(
+        obs::FlightRecorder::EventKind::FaultFired, Site, Fail ? 1 : 0,
+        static_cast<uint64_t>(DelayMs));
   // Sleep outside the lock: a latency fault must not stall every other
   // site's probes.
   if (DelayMs > 0)

@@ -61,6 +61,8 @@ void ThreadPool::workerLoop() {
         return;
       SeenGeneration = Generation;
     }
+    // Adopt the submitter's trace context for this loop's spans.
+    obs::ScopedTraceContext TraceScope(LoopCtx.TraceId, LoopCtx.SpanId);
     // Wake-up latency: dispatch notify to this worker pulling its
     // first index (the queueing delay of the pool's "task").
     TaskWaitUs.observe(
@@ -105,6 +107,8 @@ void ThreadPool::parallelFor(int N, const std::function<void(int)> &Fn) {
   {
     std::lock_guard<std::mutex> Lock(Mutex);
     Body = &Fn;
+    LoopCtx = obs::traceEnabled() ? obs::currentTraceContext()
+                                  : obs::TraceContext();
     EndIndex = N;
     NextIndex.store(0, std::memory_order_relaxed);
     Active = static_cast<int>(Workers.size());

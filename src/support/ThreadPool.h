@@ -26,6 +26,7 @@
 #define CMCC_SUPPORT_THREADPOOL_H
 
 #include "obs/Metrics.h"
+#include "obs/TraceContext.h"
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
@@ -81,6 +82,10 @@ private:
   std::mutex CallerMutex;
 
   const std::function<void(int)> *Body = nullptr;
+  /// The submitting thread's trace context, captured per loop (under
+  /// Mutex, like Body) so worker spans nest under the caller's span and
+  /// carry the job's trace id instead of appearing as orphan roots.
+  obs::TraceContext LoopCtx;
   std::atomic<int> NextIndex{0};
   int EndIndex = 0;
   /// When the current loop was handed to the workers; each worker's

@@ -1,0 +1,154 @@
+//===- tests/TestJson.h - Minimal JSON validity checker -------*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal recursive-descent JSON validator shared by the tests that
+/// assert an export (metrics registry, trace file, flight recorder,
+/// job timeline) is well-formed, without pulling in an external parser.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMCC_TESTS_TESTJSON_H
+#define CMCC_TESTS_TESTJSON_H
+
+#include <cctype>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace cmcc {
+namespace testjson {
+
+class JsonValidator {
+public:
+  explicit JsonValidator(std::string Text) : Text(std::move(Text)) {}
+
+  bool valid() {
+    Pos = 0;
+    if (!value())
+      return false;
+    skipSpace();
+    return Pos == Text.size();
+  }
+
+private:
+  const std::string Text;
+  size_t Pos = 0;
+
+  void skipSpace() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool consume(char C) {
+    skipSpace();
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(const char *Word) {
+    size_t N = std::strlen(Word);
+    if (Text.compare(Pos, N, Word) != 0)
+      return false;
+    Pos += N;
+    return true;
+  }
+
+  bool string() {
+    if (!consume('"'))
+      return false;
+    while (Pos < Text.size() && Text[Pos] != '"') {
+      if (Text[Pos] == '\\') {
+        ++Pos;
+        if (Pos >= Text.size())
+          return false;
+      }
+      ++Pos;
+    }
+    return consume('"');
+  }
+
+  bool number() {
+    size_t Start = Pos;
+    if (Pos < Text.size() && (Text[Pos] == '-' || Text[Pos] == '+'))
+      ++Pos;
+    bool Digits = false;
+    while (Pos < Text.size() &&
+           (std::isdigit(static_cast<unsigned char>(Text[Pos])) ||
+            Text[Pos] == '.' || Text[Pos] == 'e' || Text[Pos] == 'E' ||
+            Text[Pos] == '-' || Text[Pos] == '+')) {
+      if (std::isdigit(static_cast<unsigned char>(Text[Pos])))
+        Digits = true;
+      ++Pos;
+    }
+    return Digits && Pos > Start;
+  }
+
+  bool object() {
+    if (!consume('{'))
+      return false;
+    skipSpace();
+    if (consume('}'))
+      return true;
+    do {
+      skipSpace();
+      if (!string() || !consume(':') || !value())
+        return false;
+    } while (consume(','));
+    return consume('}');
+  }
+
+  bool array() {
+    if (!consume('['))
+      return false;
+    skipSpace();
+    if (consume(']'))
+      return true;
+    do {
+      if (!value())
+        return false;
+    } while (consume(','));
+    return consume(']');
+  }
+
+  bool value() {
+    skipSpace();
+    if (Pos >= Text.size())
+      return false;
+    char C = Text[Pos];
+    if (C == '{')
+      return object();
+    if (C == '[')
+      return array();
+    if (C == '"')
+      return string();
+    if (C == 't')
+      return literal("true");
+    if (C == 'f')
+      return literal("false");
+    if (C == 'n')
+      return literal("null");
+    return number();
+  }
+};
+
+inline std::string slurp(const std::string &Path) {
+  std::ifstream In(Path);
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  return Buffer.str();
+}
+
+} // namespace testjson
+} // namespace cmcc
+
+#endif // CMCC_TESTS_TESTJSON_H

@@ -1,0 +1,174 @@
+//===- tests/flight_recorder_test.cpp - Lock-free ring tests --*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the obs::FlightRecorder: ordered recording, wraparound of
+/// the bounded ring, snapshot consistency while writers hammer it from
+/// many threads (the seqlock-per-slot discipline must never surface a
+/// torn event), JSON export validity, trace-id auto-fill from the
+/// ambient TraceContext, and the fatal-dump path. Runs under
+/// ThreadSanitizer in tools/check_tsan.sh.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestJson.h"
+#include "obs/FlightRecorder.h"
+#include "obs/TraceContext.h"
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <gtest/gtest.h>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace cmcc;
+using FR = obs::FlightRecorder;
+using testjson::JsonValidator;
+using testjson::slurp;
+
+namespace {
+
+TEST(FlightRecorderTest, RecordsInOrderWithPayload) {
+  FR R;
+  R.record(FR::EventKind::ServerStart, "boot", 3, 256);
+  R.record(FR::EventKind::Retry, "attempt", 7, 40);
+  R.record(FR::EventKind::Fallback);
+
+  std::vector<FR::Event> Events = R.snapshot();
+  ASSERT_EQ(Events.size(), 3u);
+  EXPECT_EQ(Events[0].Seq, 1u);
+  EXPECT_EQ(Events[0].Kind, FR::EventKind::ServerStart);
+  EXPECT_STREQ(Events[0].Detail, "boot");
+  EXPECT_EQ(Events[0].A, 3u);
+  EXPECT_EQ(Events[0].B, 256u);
+  EXPECT_EQ(Events[1].Seq, 2u);
+  EXPECT_EQ(Events[1].Kind, FR::EventKind::Retry);
+  EXPECT_EQ(Events[2].Seq, 3u);
+  EXPECT_EQ(Events[2].Detail, nullptr);
+  // Steady timestamps never run backwards.
+  EXPECT_LE(Events[0].Ns, Events[1].Ns);
+  EXPECT_LE(Events[1].Ns, Events[2].Ns);
+  EXPECT_EQ(R.totalRecorded(), 3u);
+}
+
+TEST(FlightRecorderTest, WraparoundKeepsOnlyTheNewest) {
+  FR R;
+  const uint64_t Total = FR::Capacity + 137;
+  for (uint64_t I = 1; I <= Total; ++I)
+    R.record(FR::EventKind::JobFailed, nullptr, I);
+
+  std::vector<FR::Event> Events = R.snapshot();
+  ASSERT_EQ(Events.size(), FR::Capacity);
+  EXPECT_EQ(R.totalRecorded(), Total);
+  // Oldest surviving event is Total - Capacity + 1; order is by Seq.
+  EXPECT_EQ(Events.front().Seq, Total - FR::Capacity + 1);
+  EXPECT_EQ(Events.back().Seq, Total);
+  for (size_t I = 0; I != Events.size(); ++I) {
+    EXPECT_EQ(Events[I].A, Events[I].Seq) << "payload follows its slot";
+    if (I)
+      EXPECT_EQ(Events[I].Seq, Events[I - 1].Seq + 1);
+  }
+}
+
+TEST(FlightRecorderTest, ConcurrentWritersNeverTearASnapshot) {
+  // Each thread stamps its id into A, its own counter into B, and a
+  // per-thread Detail literal. Any mixed-up combination in a snapshot
+  // would prove a torn read.
+  static const char *const Details[] = {"t0", "t1", "t2", "t3",
+                                        "t4", "t5", "t6", "t7"};
+  constexpr int Threads = 8;
+  constexpr uint64_t PerThread = 20000;
+  FR R;
+  std::atomic<bool> Stop{false};
+  std::atomic<uint64_t> Inconsistent{0};
+
+  std::thread Reader([&] {
+    while (!Stop.load(std::memory_order_acquire)) {
+      std::vector<FR::Event> Events = R.snapshot();
+      uint64_t PrevSeq = 0;
+      for (const FR::Event &E : Events) {
+        if (E.Seq <= PrevSeq || E.Kind != FR::EventKind::FaultFired ||
+            E.A >= static_cast<uint64_t>(Threads) || E.B >= PerThread ||
+            E.Detail != Details[E.A])
+          Inconsistent.fetch_add(1, std::memory_order_relaxed);
+        PrevSeq = E.Seq;
+      }
+    }
+  });
+
+  std::vector<std::thread> Writers;
+  for (int T = 0; T != Threads; ++T)
+    Writers.emplace_back([&, T] {
+      for (uint64_t I = 0; I != PerThread; ++I)
+        R.record(FR::EventKind::FaultFired, Details[T],
+                 static_cast<uint64_t>(T), I);
+    });
+  for (std::thread &W : Writers)
+    W.join();
+  Stop.store(true, std::memory_order_release);
+  Reader.join();
+
+  EXPECT_EQ(Inconsistent.load(), 0u);
+  EXPECT_EQ(R.totalRecorded(), Threads * PerThread);
+  // After the writers quiesce a snapshot is full and fully consistent.
+  std::vector<FR::Event> Events = R.snapshot();
+  EXPECT_EQ(Events.size(), FR::Capacity);
+  for (const FR::Event &E : Events)
+    EXPECT_EQ(E.Detail, Details[E.A]);
+}
+
+TEST(FlightRecorderTest, JsonExportParsesAndNamesKinds) {
+  FR R;
+  R.record(FR::EventKind::FaultFired, "backend.cm2.run", 1, 0);
+  R.record(FR::EventKind::SlowJob, nullptr, 42, 1200);
+  std::string Json = R.json();
+  EXPECT_TRUE(JsonValidator(Json).valid()) << Json;
+  EXPECT_NE(Json.find("\"fault_fired\""), std::string::npos);
+  EXPECT_NE(Json.find("\"slow_job\""), std::string::npos);
+  EXPECT_NE(Json.find("backend.cm2.run"), std::string::npos);
+  EXPECT_NE(Json.find("\"recorded\": 2"), std::string::npos);
+}
+
+TEST(FlightRecorderTest, EmptyRecorderJsonParses) {
+  FR R;
+  std::string Json = R.json();
+  EXPECT_TRUE(JsonValidator(Json).valid()) << Json;
+  EXPECT_NE(Json.find("\"events\": ["), std::string::npos);
+}
+
+TEST(FlightRecorderTest, RecordAutoFillsTheAmbientTraceId) {
+  FR R;
+  R.record(FR::EventKind::Retry); // No context: zero.
+  {
+    obs::ScopedTraceContext Ctx(0xabcdef12u, 1);
+    R.record(FR::EventKind::Retry);
+  }
+  std::vector<FR::Event> Events = R.snapshot();
+  ASSERT_EQ(Events.size(), 2u);
+  EXPECT_EQ(Events[0].TraceId, 0u);
+  EXPECT_EQ(Events[1].TraceId, 0xabcdef12u);
+  std::string Json = R.json();
+  EXPECT_NE(Json.find("\"trace_id\""), std::string::npos) << Json;
+}
+
+TEST(FlightRecorderTest, DumpOnFatalWritesTheConfiguredFile) {
+  std::string Path = ::testing::TempDir() + "flight_fatal_dump.json";
+  std::remove(Path.c_str());
+  ::setenv("CMCC_FLIGHT_DUMP", Path.c_str(), 1);
+  FR::process().record(FR::EventKind::Retry, "pre_fatal_marker");
+  FR::dumpOnFatal("test fatal");
+  ::unsetenv("CMCC_FLIGHT_DUMP");
+
+  std::string Json = slurp(Path);
+  ASSERT_FALSE(Json.empty());
+  EXPECT_TRUE(JsonValidator(Json).valid()) << Json;
+  EXPECT_NE(Json.find("\"fatal_error\""), std::string::npos);
+  EXPECT_NE(Json.find("pre_fatal_marker"), std::string::npos);
+  std::remove(Path.c_str());
+}
+
+} // namespace

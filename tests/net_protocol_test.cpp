@@ -139,6 +139,10 @@ const AnyDecoder AllDecoders[] = {
     [](const uint8_t *D, size_t N) { return !!decodeStatsRequest(D, N); },
     [](const uint8_t *D, size_t N) { return !!decodeStatsResponse(D, N); },
     [](const uint8_t *D, size_t N) { return !!decodeErrorResponse(D, N); },
+    [](const uint8_t *D, size_t N) { return !!decodeTimelineRequest(D, N); },
+    [](const uint8_t *D, size_t N) { return !!decodeTimelineResponse(D, N); },
+    [](const uint8_t *D, size_t N) { return !!decodeDumpRequest(D, N); },
+    [](const uint8_t *D, size_t N) { return !!decodeDumpResponse(D, N); },
 };
 
 } // namespace
@@ -374,22 +378,131 @@ TEST(NetProtocolTest, EveryTruncationPrefixFailsCleanly) {
   // Chop every valid payload at every length short of full: each prefix
   // must decode to a clean error (a prefix of a valid message is never
   // itself valid — every codec ends with an exhaustion check, so this
-  // also proves no decoder quietly ignores missing tail fields).
+  // also proves no decoder quietly ignores missing tail fields). The
+  // one deliberate exception: messages with a version-2 appended tail
+  // (SubmitRequest's trace context, StatsResponse's net metrics) decode
+  // at exactly the version-1 boundary — that is the compatibility
+  // contract, asserted separately below.
   struct Case {
     std::vector<uint8_t> Bytes;
     AnyDecoder Decode;
+    size_t V1Boundary; // Prefix length that is a valid v1 payload.
   };
+  const size_t None = static_cast<size_t>(-1);
+  const std::vector<uint8_t> Submit = encode(sampleSubmitRequest());
+  const std::vector<uint8_t> Stats = encode(sampleStatsResponse());
   const Case Cases[] = {
-      {encode(sampleHelloRequest()), AllDecoders[0]},
-      {encode(sampleHelloResponse()), AllDecoders[1]},
-      {encode(sampleSubmitRequest()), AllDecoders[2]},
-      {encode(sampleWaitResponse()), AllDecoders[7]},
-      {encode(sampleStatsResponse()), AllDecoders[11]},
-      {encode(sampleErrorResponse()), AllDecoders[12]},
+      {encode(sampleHelloRequest()), AllDecoders[0], None},
+      {encode(sampleHelloResponse()), AllDecoders[1], None},
+      {Submit, AllDecoders[2], Submit.size() - 16},
+      {encode(sampleWaitResponse()), AllDecoders[7], None},
+      {Stats, AllDecoders[11], Stats.size() - 8},
+      {encode(sampleErrorResponse()), AllDecoders[12], None},
   };
   for (const Case &C : Cases)
-    for (size_t Len = 0; Len != C.Bytes.size(); ++Len)
+    for (size_t Len = 0; Len != C.Bytes.size(); ++Len) {
+      if (Len == C.V1Boundary)
+        continue;
       EXPECT_FALSE(C.Decode(C.Bytes.data(), Len)) << "prefix " << Len;
+    }
+}
+
+TEST(NetProtocolTest, SubmitRoundTripCarriesTraceContext) {
+  SubmitRequest M = sampleSubmitRequest();
+  M.TraceId = 0x0123456789abcdefull;
+  M.ParentSpan = 0xfedcba9876543210ull;
+  std::vector<uint8_t> B = encode(M);
+  Expected<SubmitRequest> Back = decodeSubmitRequest(B.data(), B.size());
+  ASSERT_TRUE(Back);
+  EXPECT_EQ(Back->TraceId, M.TraceId);
+  EXPECT_EQ(Back->ParentSpan, M.ParentSpan);
+}
+
+TEST(NetProtocolTest, SubmitDecodesAVersionOnePayload) {
+  // A v1 peer's payload simply ends after the grids. Stripping the
+  // 16-byte trace tail reproduces one exactly; it must decode with the
+  // context zeroed and everything else intact.
+  SubmitRequest M = sampleSubmitRequest();
+  M.TraceId = 0x1111111111111111ull;
+  M.ParentSpan = 0x2222222222222222ull;
+  std::vector<uint8_t> B = encode(M);
+  B.resize(B.size() - 16);
+  Expected<SubmitRequest> Back = decodeSubmitRequest(B.data(), B.size());
+  ASSERT_TRUE(Back);
+  EXPECT_EQ(Back->TraceId, 0u);
+  EXPECT_EQ(Back->ParentSpan, 0u);
+  EXPECT_EQ(Back->Source, M.Source);
+  EXPECT_EQ(Back->Grids.size(), M.Grids.size());
+}
+
+TEST(NetProtocolTest, StatsResponseCarriesNetMetricsAndDecodesV1) {
+  StatsResponse M = sampleStatsResponse();
+  M.NetJson = "{\"net.req_us.submit\": {\"count\": 4}}";
+  M.NetTable = "net.req_us.submit  p50 12us\n";
+  std::vector<uint8_t> B = encode(M);
+  Expected<StatsResponse> Back = decodeStatsResponse(B.data(), B.size());
+  ASSERT_TRUE(Back);
+  EXPECT_EQ(Back->NetJson, M.NetJson);
+  EXPECT_EQ(Back->NetTable, M.NetTable);
+
+  // The v1 payload ends after Table; the net fields come back empty.
+  StatsResponse Old = sampleStatsResponse();
+  std::vector<uint8_t> B1 = encode(Old);
+  B1.resize(B1.size() - 8); // Two empty trailing strings.
+  Expected<StatsResponse> BackOld = decodeStatsResponse(B1.data(), B1.size());
+  ASSERT_TRUE(BackOld);
+  EXPECT_EQ(BackOld->Json, Old.Json);
+  EXPECT_EQ(BackOld->Table, Old.Table);
+  EXPECT_TRUE(BackOld->NetJson.empty());
+  EXPECT_TRUE(BackOld->NetTable.empty());
+}
+
+TEST(NetProtocolTest, TimelineAndDumpRoundTrip) {
+  {
+    TimelineRequest M;
+    M.JobId = 4242;
+    std::vector<uint8_t> B = encode(M);
+    Expected<TimelineRequest> R = decodeTimelineRequest(B.data(), B.size());
+    ASSERT_TRUE(R);
+    EXPECT_EQ(R->JobId, 4242);
+  }
+  {
+    TimelineResponse M;
+    M.Found = 1;
+    M.Json = "{\"id\": 4242, \"events\": []}";
+    std::vector<uint8_t> B = encode(M);
+    Expected<TimelineResponse> R = decodeTimelineResponse(B.data(), B.size());
+    ASSERT_TRUE(R);
+    EXPECT_EQ(R->Found, 1);
+    EXPECT_EQ(R->Json, M.Json);
+  }
+  {
+    std::vector<uint8_t> B = encode(DumpRequest{});
+    EXPECT_TRUE(B.empty());
+    EXPECT_TRUE(decodeDumpRequest(B.data(), B.size()));
+  }
+  {
+    DumpResponse M;
+    M.Json = "{\"events\": [{\"kind\": \"server_start\"}]}";
+    std::vector<uint8_t> B = encode(M);
+    Expected<DumpResponse> R = decodeDumpResponse(B.data(), B.size());
+    ASSERT_TRUE(R);
+    EXPECT_EQ(R->Json, M.Json);
+  }
+}
+
+TEST(NetWireTest, FrameHeaderAcceptsTheOldestSupportedVersion) {
+  // A v1 peer's frames still decode (the payload codecs treat the
+  // missing v2 tails as absent); only versions outside
+  // [MinProtocolVersion, ProtocolVersion] are refused.
+  FrameHeader H;
+  H.Version = MinProtocolVersion;
+  H.Type = MsgType::SubmitRequest;
+  uint8_t Buf[FrameHeaderBytes];
+  encodeFrameHeader(H, Buf);
+  Expected<FrameHeader> R = decodeFrameHeader(Buf, sizeof(Buf));
+  ASSERT_TRUE(R);
+  EXPECT_EQ(R->Version, MinProtocolVersion);
 }
 
 TEST(NetProtocolTest, TrailingGarbageIsRejected) {

@@ -13,8 +13,13 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "TestJson.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
+#include "obs/TraceContext.h"
+#include "support/ThreadPool.h"
+#include <atomic>
+#include <chrono>
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
@@ -29,135 +34,10 @@ using namespace cmcc;
 
 namespace {
 
-//===----------------------------------------------------------------------===//
-// A minimal recursive-descent JSON validator: enough to assert that the
-// registry and trace exports are well-formed without external parsers.
-//===----------------------------------------------------------------------===//
-
-class JsonValidator {
-public:
-  explicit JsonValidator(std::string Text) : Text(std::move(Text)) {}
-
-  bool valid() {
-    Pos = 0;
-    if (!value())
-      return false;
-    skipSpace();
-    return Pos == Text.size();
-  }
-
-private:
-  const std::string Text;
-  size_t Pos = 0;
-
-  void skipSpace() {
-    while (Pos < Text.size() &&
-           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
-            Text[Pos] == '\r'))
-      ++Pos;
-  }
-
-  bool consume(char C) {
-    skipSpace();
-    if (Pos < Text.size() && Text[Pos] == C) {
-      ++Pos;
-      return true;
-    }
-    return false;
-  }
-
-  bool literal(const char *Word) {
-    size_t N = std::strlen(Word);
-    if (Text.compare(Pos, N, Word) != 0)
-      return false;
-    Pos += N;
-    return true;
-  }
-
-  bool string() {
-    if (!consume('"'))
-      return false;
-    while (Pos < Text.size() && Text[Pos] != '"') {
-      if (Text[Pos] == '\\') {
-        ++Pos;
-        if (Pos >= Text.size())
-          return false;
-      }
-      ++Pos;
-    }
-    return consume('"');
-  }
-
-  bool number() {
-    size_t Start = Pos;
-    if (Pos < Text.size() && (Text[Pos] == '-' || Text[Pos] == '+'))
-      ++Pos;
-    bool Digits = false;
-    while (Pos < Text.size() &&
-           (std::isdigit(static_cast<unsigned char>(Text[Pos])) ||
-            Text[Pos] == '.' || Text[Pos] == 'e' || Text[Pos] == 'E' ||
-            Text[Pos] == '-' || Text[Pos] == '+')) {
-      if (std::isdigit(static_cast<unsigned char>(Text[Pos])))
-        Digits = true;
-      ++Pos;
-    }
-    return Digits && Pos > Start;
-  }
-
-  bool object() {
-    if (!consume('{'))
-      return false;
-    skipSpace();
-    if (consume('}'))
-      return true;
-    do {
-      skipSpace();
-      if (!string() || !consume(':') || !value())
-        return false;
-    } while (consume(','));
-    return consume('}');
-  }
-
-  bool array() {
-    if (!consume('['))
-      return false;
-    skipSpace();
-    if (consume(']'))
-      return true;
-    do {
-      if (!value())
-        return false;
-    } while (consume(','));
-    return consume(']');
-  }
-
-  bool value() {
-    skipSpace();
-    if (Pos >= Text.size())
-      return false;
-    char C = Text[Pos];
-    if (C == '{')
-      return object();
-    if (C == '[')
-      return array();
-    if (C == '"')
-      return string();
-    if (C == 't')
-      return literal("true");
-    if (C == 'f')
-      return literal("false");
-    if (C == 'n')
-      return literal("null");
-    return number();
-  }
-};
-
-std::string slurp(const std::string &Path) {
-  std::ifstream In(Path);
-  std::ostringstream Buffer;
-  Buffer << In.rdbuf();
-  return Buffer.str();
-}
+// The shared JSON validator lives in TestJson.h; these aliases keep
+// the existing assertions unchanged.
+using testjson::JsonValidator;
+using testjson::slurp;
 
 /// One ph:X event pulled back out of a trace file.
 struct TraceEvent {
@@ -476,6 +356,179 @@ TEST(ObsTraceTest, SpanNamesAreJsonEscaped) {
   ASSERT_TRUE(obs::Trace::stop());
   std::string Json = slurp(Path);
   EXPECT_TRUE(JsonValidator(Json).valid()) << Json;
+  std::remove(Path.c_str());
+}
+
+TEST(ObsTraceTest, FileIsValidJsonAtEveryFlushBoundary) {
+  std::string Path = tempTracePath("obs_trace_incremental.json");
+  ASSERT_TRUE(obs::Trace::start(Path));
+
+  // Before any span: start() already wrote a valid empty trace.
+  EXPECT_TRUE(JsonValidator(slurp(Path)).valid());
+
+  {
+    CMCC_SPAN("first_flush_span");
+  }
+  ASSERT_TRUE(obs::Trace::flush());
+  std::string Mid = slurp(Path);
+  EXPECT_TRUE(JsonValidator(Mid).valid()) << Mid;
+  EXPECT_NE(Mid.find("first_flush_span"), std::string::npos)
+      << "a flushed span must be on disk while the trace is still live";
+
+  {
+    CMCC_SPAN("second_flush_span");
+  }
+  ASSERT_TRUE(obs::Trace::flush());
+  std::string Later = slurp(Path);
+  EXPECT_TRUE(JsonValidator(Later).valid()) << Later;
+  EXPECT_NE(Later.find("first_flush_span"), std::string::npos);
+  EXPECT_NE(Later.find("second_flush_span"), std::string::npos);
+
+  ASSERT_TRUE(obs::Trace::stop());
+  std::string Final = slurp(Path);
+  EXPECT_TRUE(JsonValidator(Final).valid());
+  EXPECT_EQ(traceEvents(Final).size(), 2u);
+  std::remove(Path.c_str());
+}
+
+TEST(ObsTraceTest, BackgroundFlusherKeepsFileCurrent) {
+  std::string Path = tempTracePath("obs_trace_flusher.json");
+  ASSERT_TRUE(obs::Trace::start(Path, /*FlushIntervalMs=*/20));
+  {
+    CMCC_SPAN("flusher_visible_span");
+  }
+  // The span must reach disk without an explicit flush or stop.
+  bool Seen = false;
+  for (int I = 0; I != 200 && !Seen; ++I) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    Seen = slurp(Path).find("flusher_visible_span") != std::string::npos;
+  }
+  EXPECT_TRUE(Seen);
+  EXPECT_TRUE(JsonValidator(slurp(Path)).valid());
+  ASSERT_TRUE(obs::Trace::stop());
+  std::remove(Path.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Trace context
+//===----------------------------------------------------------------------===//
+
+TEST(ObsTraceContextTest, MintedIdsAreNonZeroAndDistinct) {
+  uint64_t A = obs::mintTraceId();
+  uint64_t B = obs::mintTraceId();
+  EXPECT_NE(A, 0u);
+  EXPECT_NE(B, 0u);
+  EXPECT_NE(A, B);
+  EXPECT_NE(obs::mintSpanId(), obs::mintSpanId());
+}
+
+TEST(ObsTraceContextTest, FormatParseRoundTrip) {
+  uint64_t Id = 0x0123456789abcdefULL;
+  EXPECT_EQ(obs::formatTraceId(Id), "0123456789abcdef");
+  EXPECT_EQ(obs::parseTraceId("0123456789abcdef"), Id);
+  EXPECT_EQ(obs::parseTraceId("0x0123456789abcdef"), Id);
+  EXPECT_EQ(obs::parseTraceId("not-hex"), 0u);
+  EXPECT_EQ(obs::parseTraceId(""), 0u);
+}
+
+TEST(ObsTraceContextTest, ScopedContextNestsAndRestores) {
+  EXPECT_FALSE(obs::currentTraceContext().valid());
+  {
+    obs::ScopedTraceContext Outer(0x1111u, 0x2222u);
+    EXPECT_EQ(obs::currentTraceContext().TraceId, 0x1111u);
+    EXPECT_EQ(obs::currentTraceContext().SpanId, 0x2222u);
+    {
+      obs::ScopedTraceContext Inner(0x3333u, 0x4444u);
+      EXPECT_EQ(obs::currentTraceContext().TraceId, 0x3333u);
+    }
+    EXPECT_EQ(obs::currentTraceContext().TraceId, 0x1111u);
+    EXPECT_EQ(obs::currentTraceContext().SpanId, 0x2222u);
+  }
+  EXPECT_FALSE(obs::currentTraceContext().valid());
+  // A zero trace id is "not traced": the scope is a no-op.
+  {
+    obs::ScopedTraceContext NoOp(0, 0x5555u);
+    EXPECT_FALSE(obs::currentTraceContext().valid());
+  }
+}
+
+TEST(ObsTraceContextTest, SpansRecordTheAmbientContextIds) {
+  std::string Path = tempTracePath("obs_trace_ctx.json");
+  const uint64_t TraceId = obs::mintTraceId();
+  ASSERT_TRUE(obs::Trace::start(Path));
+  {
+    obs::ScopedTraceContext Ctx(TraceId, obs::mintSpanId());
+    CMCC_SPAN("traced_parent");
+    {
+      CMCC_SPAN("traced_child");
+    }
+  }
+  {
+    CMCC_SPAN("untraced_span");
+  }
+  ASSERT_TRUE(obs::Trace::stop());
+  std::string Json = slurp(Path);
+  EXPECT_TRUE(JsonValidator(Json).valid()) << Json;
+
+  // Both traced spans carry the trace id; the untraced span has no args.
+  const std::string Hex = obs::formatTraceId(TraceId);
+  size_t Count = 0;
+  for (size_t P = Json.find(Hex); P != std::string::npos;
+       P = Json.find(Hex, P + 1))
+    ++Count;
+  EXPECT_EQ(Count, 2u) << Json;
+  std::istringstream In(Json);
+  std::string Line;
+  std::string ParentSpanId, ChildParentId;
+  auto Arg = [](const std::string &L, const char *Key) {
+    size_t P = L.find(Key);
+    if (P == std::string::npos)
+      return std::string();
+    P = L.find('"', P + std::strlen(Key) + 2);
+    return L.substr(P + 1, 16);
+  };
+  while (std::getline(In, Line)) {
+    if (Line.find("traced_parent") != std::string::npos)
+      ParentSpanId = Arg(Line, "\"span_id\"");
+    else if (Line.find("traced_child") != std::string::npos)
+      ChildParentId = Arg(Line, "\"parent_id\"");
+    else if (Line.find("untraced_span") != std::string::npos)
+      EXPECT_EQ(Line.find("trace_id"), std::string::npos) << Line;
+  }
+  // The child's parent_id is the parent span's own id: a proper tree.
+  ASSERT_FALSE(ParentSpanId.empty());
+  EXPECT_EQ(ChildParentId, ParentSpanId);
+  std::remove(Path.c_str());
+}
+
+TEST(ObsTraceContextTest, ThreadPoolWorkersInheritTheSubmitterContext) {
+  std::string Path = tempTracePath("obs_trace_pool_ctx.json");
+  const uint64_t TraceId = obs::mintTraceId();
+  ASSERT_TRUE(obs::Trace::start(Path));
+  {
+    obs::ScopedTraceContext Ctx(TraceId, obs::mintSpanId());
+    ThreadPool Pool(4);
+    std::atomic<int> Hits{0};
+    Pool.parallelFor(64, [&](int) {
+      CMCC_SPAN("pool_body_span");
+      Hits.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(Hits.load(), 64);
+  }
+  ASSERT_TRUE(obs::Trace::stop());
+  std::string Json = slurp(Path);
+  EXPECT_TRUE(JsonValidator(Json).valid());
+  // Worker-side spans (threadpool.worker_run runs on pool threads)
+  // carry the submitting thread's trace id.
+  const std::string Hex = obs::formatTraceId(TraceId);
+  std::istringstream In(Json);
+  std::string Line;
+  int WorkerTraced = 0;
+  while (std::getline(In, Line))
+    if (Line.find("threadpool.worker_run") != std::string::npos &&
+        Line.find(Hex) != std::string::npos)
+      ++WorkerTraced;
+  EXPECT_GT(WorkerTraced, 0) << Json;
   std::remove(Path.c_str());
 }
 

@@ -19,11 +19,13 @@ cmake -B "$BUILD" -S "$ROOT" \
   -DCMAKE_CXX_FLAGS=-fsanitize=thread
 cmake --build "$BUILD" -j --target parallel_executor_test executor_test \
   haloexchange_test service_test obs_test fault_injection_test \
-  service_soak_test njit_test net_server_test net_soak_test
+  service_soak_test njit_test net_server_test net_soak_test \
+  flight_recorder_test timeline_test
 
 for T in parallel_executor_test executor_test haloexchange_test \
          service_test obs_test fault_injection_test service_soak_test \
-         njit_test net_server_test net_soak_test; do
+         njit_test net_server_test net_soak_test \
+         flight_recorder_test timeline_test; do
   echo "== tsan: $T (CMCC_THREADS=8) =="
   CMCC_THREADS=8 "$BUILD/tests/$T"
 done

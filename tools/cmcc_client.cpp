@@ -15,11 +15,19 @@
 ///   cmcc_client --connect=SPEC wait <job-id>
 ///   cmcc_client --connect=SPEC cancel <job-id>
 ///   cmcc_client --connect=SPEC stats [--json]
+///   cmcc_client --connect=SPEC trace <job-id>
+///   cmcc_client --connect=SPEC dump
 ///   cmcc_client --version
 ///
 /// where SPEC is unix:PATH or tcp:HOST:PORT. 'run' submits and waits;
 /// 'submit' prints the job id and returns (a later invocation can
 /// wait on it — job ids are server-wide, not per-connection).
+///
+/// Every submit mints a 64-bit trace id (or takes one via
+/// --trace-id=HEX) and sends it with the job, so spans recorded by the
+/// client (CMCC_TRACE=file), the server, and the service all share one
+/// id — and 'trace <job-id>' fetches the server-side event timeline of
+/// a finished job. 'dump' fetches the server's flight-recorder JSON.
 ///
 /// Job options:
 ///   --kind=assignment|subroutine|lisp|fingerprint   (default assignment)
@@ -40,6 +48,8 @@
 
 #include "core/PlanFingerprint.h"
 #include "net/Client.h"
+#include "obs/Trace.h"
+#include "obs/TraceContext.h"
 #include "support/Provenance.h"
 #include "support/StringUtils.h"
 #include <cctype>
@@ -67,6 +77,7 @@ struct ClientOptions {
   uint64_t DataSeed = 42;
   std::vector<std::pair<std::string, float>> Coefficients;
   bool Json = false;
+  uint64_t TraceId = 0; ///< --trace-id=HEX override; 0 = mint one.
 };
 
 void printUsage() {
@@ -74,10 +85,11 @@ void printUsage() {
       stderr,
       "usage: cmcc_client --connect=unix:PATH|tcp:HOST:PORT <command>\n"
       "commands: hello | run <source> | submit <source> | poll <id> |\n"
-      "          wait <id> | cancel <id> | stats [--json]\n"
+      "          wait <id> | cancel <id> | stats [--json] |\n"
+      "          trace <id> | dump\n"
       "job options: --kind=assignment|subroutine|lisp|fingerprint\n"
       "             --fingerprint=HEX --subgrid=RxC --iterations=N\n"
-      "             --tenant=N --data[=SEED]\n"
+      "             --tenant=N --data[=SEED] --trace-id=HEX\n"
       "other: --version\n");
 }
 
@@ -124,6 +136,12 @@ bool parseArguments(int Argc, char **Argv, ClientOptions &Opts) {
       }
     } else if (const char *V = Value("--tenant=")) {
       Opts.Tenant = static_cast<uint32_t>(std::strtoul(V, nullptr, 10));
+    } else if (const char *V = Value("--trace-id=")) {
+      Opts.TraceId = obs::parseTraceId(V);
+      if (!Opts.TraceId) {
+        std::fprintf(stderr, "cmcc_client: bad --trace-id value '%s'\n", V);
+        return false;
+      }
     } else if (const char *V = Value("--data=")) {
       Opts.Data = true;
       Opts.DataSeed = std::strtoull(V, nullptr, 10);
@@ -308,7 +326,49 @@ int main(int Argc, char **Argv) {
       std::fprintf(stderr, "cmcc_client: %s\n", R.error().message().c_str());
       return 1;
     }
-    std::fputs(Opts.Json ? R->Json.c_str() : R->Table.c_str(), stdout);
+    if (Opts.Json) {
+      // One valid JSON object even when the server also sent its net.*
+      // wire metrics (version 2).
+      if (R->NetJson.empty())
+        std::fputs(R->Json.c_str(), stdout);
+      else
+        std::printf("{\"service\": %s, \"net\": %s}\n", R->Json.c_str(),
+                    R->NetJson.c_str());
+    } else {
+      std::fputs(R->Table.c_str(), stdout);
+      if (!R->NetTable.empty()) {
+        std::fputs("\n", stdout);
+        std::fputs(R->NetTable.c_str(), stdout);
+      }
+    }
+    return 0;
+  }
+  if (Opts.Command == "trace") {
+    int64_t Id;
+    if (!NeedId(Id))
+      return 2;
+    Expected<net::TimelineResponse> R = C.timeline(Id);
+    if (!R) {
+      std::fprintf(stderr, "cmcc_client: %s\n", R.error().message().c_str());
+      return 1;
+    }
+    if (!R->Found) {
+      std::fprintf(stderr,
+                   "cmcc_client: no timeline for job %lld (still running, "
+                   "never existed, or aged out of the ring)\n",
+                   static_cast<long long>(Id));
+      return 1;
+    }
+    std::printf("%s\n", R->Json.c_str());
+    return 0;
+  }
+  if (Opts.Command == "dump") {
+    Expected<net::DumpResponse> R = C.dump();
+    if (!R) {
+      std::fprintf(stderr, "cmcc_client: %s\n", R.error().message().c_str());
+      return 1;
+    }
+    std::fputs(R->Json.c_str(), stdout);
     return 0;
   }
   if (Opts.Command == "submit" || Opts.Command == "run") {
@@ -317,16 +377,31 @@ int main(int Argc, char **Argv) {
                    Opts.Command.c_str());
       return 2;
     }
-    Expected<net::SubmitResponse> S = C.submit(buildSubmit(Opts));
+    // The client mints the trace id: the whole cross-process span tree
+    // (client, server, service, backend) hangs under it.
+    const uint64_t TraceId = Opts.TraceId ? Opts.TraceId : obs::mintTraceId();
+    obs::ScopedTraceContext TraceScope(TraceId, obs::mintSpanId());
+    auto DoSubmit = [&] {
+      CMCC_SPAN("client.submit");
+      net::SubmitRequest Req = buildSubmit(Opts);
+      Req.TraceId = TraceId;
+      Req.ParentSpan = obs::currentTraceContext().SpanId;
+      return C.submit(Req);
+    };
+    Expected<net::SubmitResponse> S = DoSubmit();
     if (!S) {
       std::fprintf(stderr, "cmcc_client: %s\n", S.error().message().c_str());
       return 1;
     }
-    if (Opts.Command == "submit") {
-      std::printf("job %lld\n", static_cast<long long>(S->JobId));
+    std::printf("job %lld trace %s\n", static_cast<long long>(S->JobId),
+                obs::formatTraceId(TraceId).c_str());
+    if (Opts.Command == "submit")
       return 0;
-    }
-    Expected<net::WaitResponse> W = C.wait(S->JobId);
+    auto DoWait = [&] {
+      CMCC_SPAN("client.wait");
+      return C.wait(S->JobId);
+    };
+    Expected<net::WaitResponse> W = DoWait();
     if (!W) {
       std::fprintf(stderr, "cmcc_client: %s\n", W.error().message().c_str());
       return 1;

@@ -60,12 +60,25 @@
 ///   --faults=SPEC          arm the fault registry, CMCC_FAULTS syntax
 ///                          (site:rate[:count[:delay_ms]],...)
 ///   --fault-seed=N         seed of the deterministic fire pattern
+///   --slow-ms=N            jobs slower than N ms are flagged slow:
+///                          counted, flight-recorded, and (when tracing)
+///                          the trace file is flushed at their finish
+///   --flight-dump=PATH     where SIGUSR1 writes the flight-recorder
+///                          JSON (default stderr); the dump also runs
+///                          automatically on a fatal error
 ///   --json                 dump the final ServiceStats as JSON
 ///   --metrics-json <file>  write process + service metric registries
 ///                          as JSON to <file> ('-' for stdout)
 ///   --trace <file>         record a Chrome trace-event JSON of the run
-///                          (same as setting CMCC_TRACE=<file>)
+///                          (same as setting CMCC_TRACE=<file>; flushed
+///                          every 500 ms, so the file on disk is valid
+///                          JSON even while the server runs)
 ///   --quiet                suppress the per-job lines
+///
+/// Signals: SIGTERM/SIGINT drain a listening server gracefully;
+/// SIGUSR1 dumps the in-memory flight recorder (last ~4096 structured
+/// events: accepts, faults fired, retries, fallbacks, slow jobs, ...)
+/// without disturbing service.
 ///
 /// Exits nonzero if any job fails.
 ///
@@ -74,6 +87,7 @@
 #include "backends/Registry.h"
 #include "core/PlanFingerprint.h"
 #include "net/Server.h"
+#include "obs/FlightRecorder.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 #include "service/StencilService.h"
@@ -111,6 +125,8 @@ struct ServeOptions {
   int MaxRetries = 0;
   std::string Faults;
   uint64_t FaultSeed = 0;
+  long SlowJobMs = 0;
+  std::string FlightDumpPath;
   std::vector<net::Endpoint> Listen;
   int MaxConnections = 256;
   std::map<uint32_t, StencilService::TenantQuota> TenantQuotas;
@@ -132,6 +148,7 @@ void printUsage() {
                "         --queue-cap=N --admission=block|reject\n"
                "         --deadline-ms=N --max-retries=N\n"
                "         --faults=SPEC --fault-seed=N\n"
+               "         --slow-ms=N --flight-dump=PATH\n"
                "         --json --metrics-json <file> --trace <file> --quiet\n"
                "manifest lines:\n"
                "  job <assignment|subroutine|lisp|fingerprint> <text|@file>\n"
@@ -270,6 +287,14 @@ bool parseArguments(int Argc, char **Argv, ServeOptions &Opts) {
       Opts.Faults = V;
     } else if (const char *V = Value("--fault-seed=")) {
       Opts.FaultSeed = std::strtoull(V, nullptr, 10);
+    } else if (const char *V = Value("--slow-ms=")) {
+      Opts.SlowJobMs = std::atol(V);
+      if (Opts.SlowJobMs <= 0) {
+        std::fprintf(stderr, "cmcc_serve: bad --slow-ms value '%s'\n", V);
+        return false;
+      }
+    } else if (const char *V = Value("--flight-dump=")) {
+      Opts.FlightDumpPath = V;
     } else if (Arg == "--json") {
       Opts.Json = true;
     } else if (const char *V = Value("--metrics-json=")) {
@@ -423,6 +448,47 @@ void onDrainSignal(int) {
     S->requestDrain();
 }
 
+/// SIGUSR1 requests a flight-recorder dump. The handler only bumps a
+/// counter (async-signal-safe); the main thread notices on its next
+/// poll tick and does the file I/O.
+std::atomic<long> GDumpRequests{0};
+long GDumpsServed = 0;
+
+void onDumpSignal(int) {
+  GDumpRequests.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Writes the flight recorder to \p Path ("" or "-" = stderr). Returns
+/// false if the file could not be written.
+bool writeFlightDump(const std::string &Path) {
+  const std::string Json = obs::FlightRecorder::process().json();
+  if (Path.empty() || Path == "-") {
+    std::fputs(Json.c_str(), stderr);
+    return true;
+  }
+  std::ofstream Out(Path);
+  if (!Out) {
+    std::fprintf(stderr, "cmcc_serve: cannot write '%s'\n", Path.c_str());
+    return false;
+  }
+  Out << Json;
+  return true;
+}
+
+/// Serves any pending SIGUSR1 dump requests (coalescing a burst into
+/// one dump per poll tick).
+void serveDumpRequests(const ServeOptions &Opts) {
+  const long Requested = GDumpRequests.load(std::memory_order_relaxed);
+  if (Requested == GDumpsServed)
+    return;
+  GDumpsServed = Requested;
+  writeFlightDump(Opts.FlightDumpPath);
+  // A trace flush rides along: SIGUSR1 means "show me the state now",
+  // and the trace file should be as current as the flight dump.
+  if (obs::Trace::active())
+    obs::Trace::flush();
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -433,8 +499,17 @@ int main(int Argc, char **Argv) {
   if (!Opts.ManifestFile.empty() && !parseManifest(Opts, Manifest))
     return 2;
 
+  // 500 ms flush cadence: a long-running server's trace file stays
+  // valid JSON on disk, and a kill loses at most half a second of
+  // spans.
   if (!Opts.TracePath.empty())
-    obs::Trace::start(Opts.TracePath);
+    obs::Trace::start(Opts.TracePath, 500);
+
+  {
+    struct sigaction SA {};
+    SA.sa_handler = onDumpSignal;
+    ::sigaction(SIGUSR1, &SA, nullptr);
+  }
 
   if (!Opts.Faults.empty()) {
     Expected<std::vector<fault::Rule>> Rules =
@@ -459,6 +534,7 @@ int main(int Argc, char **Argv) {
   ServiceOpts.Admit = Opts.Admit;
   ServiceOpts.DeadlineMs = Opts.DeadlineMs;
   ServiceOpts.MaxRetries = Opts.MaxRetries;
+  ServiceOpts.SlowJobMs = Opts.SlowJobMs;
   ServiceOpts.TenantQuotas = Opts.TenantQuotas;
   StencilService Service(Opts.Machine, ServiceOpts);
 
@@ -543,8 +619,12 @@ int main(int Argc, char **Argv) {
   if (Server) {
     // Serve the network until a drain signal lands; the loop thread
     // exits once every in-flight job is done and every buffer flushed.
-    while (!Server->finished())
+    // SIGUSR1 flight dumps are served here, off the signal handler.
+    while (!Server->finished()) {
+      serveDumpRequests(Opts);
       std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    serveDumpRequests(Opts);
     GServer.store(nullptr, std::memory_order_release);
     Server->stop();
     const net::Server::Counters C = Server->counters();
@@ -584,6 +664,7 @@ int main(int Argc, char **Argv) {
       Out << Combined;
     }
   }
+  serveDumpRequests(Opts); // A SIGUSR1 landing in manifest mode.
   if (!Opts.TracePath.empty())
     obs::Trace::stop();
   return Failures == 0 ? 0 : 1;
