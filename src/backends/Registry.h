@@ -44,9 +44,10 @@ Error unknownBackendError(std::string_view Name);
 
 /// Builds the backend \p Name executes for \p Config. The simulated
 /// backend honors \p ExecOpts wholesale; the native and njit backends
-/// adopt the knobs that translate (corner skip, thread count). Returns
-/// null for an unknown name — callers validate with isBackendName
-/// first and diagnose with unknownBackendError.
+/// adopt the knobs that translate (corner skip, thread count, the
+/// partition domain/transport seam). Returns null for an unknown name —
+/// callers validate with isBackendName first and diagnose with
+/// unknownBackendError.
 std::unique_ptr<ExecutionBackend>
 createBackend(std::string_view Name, const MachineConfig &Config,
               const Executor::Options &ExecOpts = {});

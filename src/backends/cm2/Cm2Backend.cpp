@@ -11,9 +11,10 @@
 
 using namespace cmcc;
 
-Expected<TimingReport> Cm2Backend::run(const CompiledStencil &Compiled,
-                                       StencilArguments &Args,
-                                       int Iterations) const {
+Expected<TimingReport>
+Cm2Backend::runResolved(const CompiledStencil &Compiled,
+                        const ResolvedStencilArguments &Resolved,
+                        int Iterations) const {
   // Backend-scoped observability; the Executor's own executor.* names
   // are unchanged underneath (bench_obs pins the simulated path).
   CMCC_SPAN("backend.cm2.run");
@@ -22,7 +23,7 @@ Expected<TimingReport> Cm2Backend::run(const CompiledStencil &Compiled,
   static obs::Counter &Runs =
       obs::Registry::process().counter("backend.cm2.runs");
   Runs.add(1);
-  return Exec.run(Compiled, Args, Iterations);
+  return Exec.runResolved(Compiled, Resolved, Iterations);
 }
 
 Expected<TimingReport> Cm2Backend::timeOnly(const CompiledStencil &Compiled,

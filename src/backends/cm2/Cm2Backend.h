@@ -32,9 +32,10 @@ public:
 
   const char *name() const override { return "cm2"; }
   bool reportsWallClock() const override { return false; }
-  Expected<TimingReport> run(const CompiledStencil &Compiled,
-                             StencilArguments &Args,
-                             int Iterations) const override;
+  Expected<TimingReport>
+  runResolved(const CompiledStencil &Compiled,
+              const ResolvedStencilArguments &Resolved,
+              int Iterations) const override;
   Expected<TimingReport> timeOnly(const CompiledStencil &Compiled, int SubRows,
                                   int SubCols, int Iterations) const override;
   const MachineConfig &machine() const override { return Exec.machine(); }

@@ -82,9 +82,10 @@ void computeRows(const std::vector<NodeTap> &Taps, float *Result,
 
 } // namespace
 
-Expected<TimingReport> NativeBackend::run(const CompiledStencil &Compiled,
-                                          StencilArguments &Args,
-                                          int Iterations) const {
+Expected<TimingReport>
+NativeBackend::runResolved(const CompiledStencil &Compiled,
+                           const ResolvedStencilArguments &Resolved,
+                           int Iterations) const {
   CMCC_SPAN("backend.native.run");
   if (fault::probe("backend.native.run"))
     return fault::injectedFault("backend.native.run");
@@ -94,17 +95,12 @@ Expected<TimingReport> NativeBackend::run(const CompiledStencil &Compiled,
       obs::Registry::process().histogram("backend.native.run_host_us");
   Runs.add(1);
   obs::ScopedLatencyUs RunTimer(RunHostUs);
-
-  Expected<ResolvedStencilArguments> Resolved =
-      resolveStencilArguments(Config, Compiled, Args);
-  if (!Resolved)
-    return Resolved.error();
   assert(Iterations > 0 && "iteration count must be positive");
 
   const StencilSpec &Spec = Compiled.Spec;
-  const int SubRows = Args.Result->subRows();
-  const int SubCols = Args.Result->subCols();
-  const NodeGrid &Grid = Args.Result->grid();
+  const int SubRows = Resolved.Result->subRows();
+  const int SubCols = Resolved.Result->subCols();
+  const NodeGrid &Grid = Resolved.Result->grid();
 
   std::unique_ptr<ThreadPool> PrivatePool;
   ThreadPool *Pool;
@@ -130,10 +126,19 @@ Expected<TimingReport> NativeBackend::run(const CompiledStencil &Compiled,
       // can lose any one of its exchanges.
       if (fault::probe("halo.exchange"))
         return fault::injectedFault("halo.exchange");
-      PaddedBySource.push_back(exchangeHalos(*Resolved->Sources[S], Border,
-                                             Spec.BoundaryDim1,
-                                             Spec.BoundaryDim2, FetchCorners,
-                                             Pool));
+      if (Opts.Domain) {
+        Expected<std::vector<Array2D>> Padded = exchangeHalosPartitioned(
+            *Resolved.Sources[S], *Opts.Domain, Opts.Transport, S, Border,
+            Spec.BoundaryDim1, Spec.BoundaryDim2, FetchCorners, Pool);
+        if (!Padded)
+          return Padded.error();
+        PaddedBySource.push_back(std::move(*Padded));
+      } else {
+        PaddedBySource.push_back(exchangeHalos(*Resolved.Sources[S], Border,
+                                               Spec.BoundaryDim1,
+                                               Spec.BoundaryDim2, FetchCorners,
+                                               Pool));
+      }
     }
   }
 
@@ -162,7 +167,7 @@ Expected<TimingReport> NativeBackend::run(const CompiledStencil &Compiled,
                      static_cast<size_t>(Border + T.At.Dy) * N.SourceStride +
                      Border + T.At.Dx;
         }
-        if (const DistributedArray *C = Resolved->TapCoefficients[I]) {
+        if (const DistributedArray *C = Resolved.TapCoefficients[I]) {
           const Array2D &Sub = C->subgrid(Node);
           N.Coeff = Sub.data();
           N.CoeffStride = Sub.cols();
@@ -172,7 +177,7 @@ Expected<TimingReport> NativeBackend::run(const CompiledStencil &Compiled,
         Taps.push_back(N);
       }
 
-      Array2D &Result = Args.Result->subgrid(Node);
+      Array2D &Result = Resolved.Result->subgrid(Node);
       computeRows(Taps, Result.data(), Result.cols(), SubCols, RowBegin,
                   RowEnd);
     });

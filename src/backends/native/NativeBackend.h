@@ -38,6 +38,8 @@
 #define CMCC_BACKENDS_NATIVE_NATIVEBACKEND_H
 
 #include "runtime/Backend.h"
+#include "runtime/HaloTransport.h"
+#include "runtime/Partition.h"
 
 namespace cmcc {
 
@@ -56,6 +58,11 @@ public:
     /// even on one node's subgrid, large enough that a tile's rows
     /// amortize the dispatch.
     int RowsPerTile = 32;
+    /// When set, this backend runs one shard's block of a larger node
+    /// grid; block-edge halo traffic moves through Transport. Null runs
+    /// the whole grid in-process.
+    const PartitionDomain *Domain = nullptr;
+    HaloTransport *Transport = nullptr;
   };
 
   explicit NativeBackend(const MachineConfig &Config) : Config(Config) {}
@@ -68,9 +75,10 @@ public:
   /// Computes the result arrays once and reports measured wall-clock
   /// seconds per iteration (the functional pass is identical for every
   /// iteration, as on the simulated machine).
-  Expected<TimingReport> run(const CompiledStencil &Compiled,
-                             StencilArguments &Args,
-                             int Iterations) const override;
+  Expected<TimingReport>
+  runResolved(const CompiledStencil &Compiled,
+              const ResolvedStencilArguments &Resolved,
+              int Iterations) const override;
 
   /// Measures a real run over internally allocated scratch arrays of
   /// the given per-node shape (deterministically filled); fails where

@@ -34,9 +34,10 @@ njit::ArtifactCache::Options cacheOptions(const NjitBackend::Options &Opts) {
 NjitBackend::NjitBackend(const MachineConfig &Config, Options Opts)
     : Config(Config), Opts(Opts), Cache(cacheOptions(Opts)) {}
 
-Expected<TimingReport> NjitBackend::run(const CompiledStencil &Compiled,
-                                        StencilArguments &Args,
-                                        int Iterations) const {
+Expected<TimingReport>
+NjitBackend::runResolved(const CompiledStencil &Compiled,
+                         const ResolvedStencilArguments &Resolved,
+                         int Iterations) const {
   CMCC_SPAN("backend.njit.run");
   if (fault::probe("backend.njit.run"))
     return fault::injectedFault("backend.njit.run");
@@ -46,11 +47,6 @@ Expected<TimingReport> NjitBackend::run(const CompiledStencil &Compiled,
       obs::Registry::process().histogram("backend.njit.run_host_us");
   Runs.add(1);
   obs::ScopedLatencyUs RunTimer(RunHostUs);
-
-  Expected<ResolvedStencilArguments> Resolved =
-      resolveStencilArguments(Config, Compiled, Args);
-  if (!Resolved)
-    return Resolved.error();
   assert(Iterations > 0 && "iteration count must be positive");
 
   const StencilSpec &Spec = Compiled.Spec;
@@ -65,9 +61,9 @@ Expected<TimingReport> NjitBackend::run(const CompiledStencil &Compiled,
                ? Kernel.error()
                : Error::transient(Kernel.error().message());
 
-  const int SubRows = Args.Result->subRows();
-  const int SubCols = Args.Result->subCols();
-  const NodeGrid &Grid = Args.Result->grid();
+  const int SubRows = Resolved.Result->subRows();
+  const int SubCols = Resolved.Result->subCols();
+  const NodeGrid &Grid = Resolved.Result->grid();
 
   std::unique_ptr<ThreadPool> PrivatePool;
   ThreadPool *Pool;
@@ -90,10 +86,19 @@ Expected<TimingReport> NjitBackend::run(const CompiledStencil &Compiled,
     for (int S = 0; S != Spec.sourceCount(); ++S) {
       if (fault::probe("halo.exchange"))
         return fault::injectedFault("halo.exchange");
-      PaddedBySource.push_back(exchangeHalos(*Resolved->Sources[S], Border,
-                                             Spec.BoundaryDim1,
-                                             Spec.BoundaryDim2, FetchCorners,
-                                             Pool));
+      if (Opts.Domain) {
+        Expected<std::vector<Array2D>> Padded = exchangeHalosPartitioned(
+            *Resolved.Sources[S], *Opts.Domain, Opts.Transport, S, Border,
+            Spec.BoundaryDim1, Spec.BoundaryDim2, FetchCorners, Pool);
+        if (!Padded)
+          return Padded.error();
+        PaddedBySource.push_back(std::move(*Padded));
+      } else {
+        PaddedBySource.push_back(exchangeHalos(*Resolved.Sources[S], Border,
+                                               Spec.BoundaryDim1,
+                                               Spec.BoundaryDim2, FetchCorners,
+                                               Pool));
+      }
     }
   }
 
@@ -125,14 +130,14 @@ Expected<TimingReport> NjitBackend::run(const CompiledStencil &Compiled,
                       static_cast<size_t>(Border + T.At.Dy) * Padded.cols() +
                       Border + T.At.Dx;
         }
-        if (const DistributedArray *C = Resolved->TapCoefficients[I]) {
+        if (const DistributedArray *C = Resolved.TapCoefficients[I]) {
           const Array2D &Sub = C->subgrid(Node);
           TapCoeff[I] = Sub.data();
           TapCoeffStride[I] = Sub.cols();
         }
       }
 
-      Array2D &Result = Args.Result->subgrid(Node);
+      Array2D &Result = Resolved.Result->subgrid(Node);
       Kernel->Kernel(Result.data(), Result.cols(), TapSrc.data(),
                      TapSrcStride.data(), TapCoeff.data(),
                      TapCoeffStride.data(), RowBegin, RowEnd, SubCols);

@@ -36,6 +36,8 @@
 
 #include "backends/njit/ArtifactCache.h"
 #include "runtime/Backend.h"
+#include "runtime/HaloTransport.h"
+#include "runtime/Partition.h"
 
 namespace cmcc {
 
@@ -51,6 +53,11 @@ public:
     /// Artifact-cache root. Empty means CMCC_NJIT_CACHE_DIR from the
     /// environment, or ".cmccjit" (beside ".cmccode", the plan cache).
     std::string CacheDir;
+    /// When set, this backend runs one shard's block of a larger node
+    /// grid; block-edge halo traffic moves through Transport. Null runs
+    /// the whole grid in-process.
+    const PartitionDomain *Domain = nullptr;
+    HaloTransport *Transport = nullptr;
   };
 
   explicit NjitBackend(const MachineConfig &Config)
@@ -65,9 +72,10 @@ public:
   /// measured wall-clock seconds per iteration; the JIT cost is *not*
   /// in the report — it is a per-plan cost, visible in the
   /// njit.compile_us histogram and in a service's cold-submit latency.
-  Expected<TimingReport> run(const CompiledStencil &Compiled,
-                             StencilArguments &Args,
-                             int Iterations) const override;
+  Expected<TimingReport>
+  runResolved(const CompiledStencil &Compiled,
+              const ResolvedStencilArguments &Resolved,
+              int Iterations) const override;
 
   /// Measures a real run over deterministically filled scratch arrays,
   /// exactly like the native backend.

@@ -10,6 +10,16 @@ using namespace cmcc;
 
 ExecutionBackend::~ExecutionBackend() = default;
 
+Expected<TimingReport> ExecutionBackend::run(const CompiledStencil &Compiled,
+                                             StencilArguments &Args,
+                                             int Iterations) const {
+  Expected<ResolvedStencilArguments> Resolved =
+      resolveStencilArguments(machine(), Compiled, Args);
+  if (!Resolved)
+    return Resolved.error();
+  return runResolved(Compiled, *Resolved, Iterations);
+}
+
 Expected<ResolvedStencilArguments>
 cmcc::resolveStencilArguments(const MachineConfig &Config,
                               const CompiledStencil &Compiled,
@@ -30,6 +40,7 @@ cmcc::resolveStencilArguments(const MachineConfig &Config,
                      "requires all arrays be divided the same way)");
 
   ResolvedStencilArguments Resolved;
+  Resolved.Result = Args.Result;
   Resolved.Sources.reserve(Spec.sourceCount());
   Resolved.Sources.push_back(Args.Source);
   for (const std::string &Name : Spec.ExtraSources) {

@@ -57,6 +57,8 @@ struct StencilArguments {
 /// index these instead of doing std::map lookups per node or per
 /// half-strip setup.
 struct ResolvedStencilArguments {
+  /// The destination array the run writes.
+  DistributedArray *Result = nullptr;
   /// By StencilSpec source index (0 = primary source).
   std::vector<const DistributedArray *> Sources;
   /// Parallel to StencilSpec::Taps; null for scalar coefficients and
@@ -89,9 +91,19 @@ public:
 
   /// Runs \p Compiled over \p Args for \p Iterations, writing the
   /// result subgrids and returning the backend's timing report.
-  virtual Expected<TimingReport> run(const CompiledStencil &Compiled,
-                                     StencilArguments &Args,
-                                     int Iterations) const = 0;
+  /// Resolves the by-name arguments exactly once and dispatches to
+  /// runResolved — backends never re-resolve, and callers that already
+  /// hold resolved arguments (the shard workers, whose arrays arrive
+  /// indexed rather than named) call runResolved directly.
+  Expected<TimingReport> run(const CompiledStencil &Compiled,
+                             StencilArguments &Args, int Iterations) const;
+
+  /// The backend's execution body, over arguments resolved by
+  /// resolveStencilArguments against this backend's machine().
+  virtual Expected<TimingReport>
+  runResolved(const CompiledStencil &Compiled,
+              const ResolvedStencilArguments &Resolved,
+              int Iterations) const = 0;
 
   /// A timing report for SubRows x SubCols per-node subgrids without
   /// caller-provided arrays. The cm2 backend computes this analytically

@@ -189,6 +189,19 @@ TimingReport Executor::timeOnly(const CompiledStencil &Compiled, int SubRows,
 Expected<TimingReport> Executor::run(const CompiledStencil &Compiled,
                                      StencilArguments &Args,
                                      int Iterations) const {
+  // Validate and resolve every bound name exactly once; the per-node
+  // paths index the flat vectors.
+  Expected<ResolvedStencilArguments> Resolved =
+      resolveStencilArguments(Config, Compiled, Args);
+  if (!Resolved)
+    return Resolved.error();
+  return runResolved(Compiled, *Resolved, Iterations);
+}
+
+Expected<TimingReport>
+Executor::runResolved(const CompiledStencil &Compiled,
+                      const ResolvedStencilArguments &Resolved,
+                      int Iterations) const {
   CMCC_SPAN("executor.run");
   static obs::Counter &Runs =
       obs::Registry::process().counter("executor.runs");
@@ -196,16 +209,10 @@ Expected<TimingReport> Executor::run(const CompiledStencil &Compiled,
       obs::Registry::process().histogram("executor.run_host_us");
   Runs.add(1);
   obs::ScopedLatencyUs RunTimer(RunHostUs);
-  // Validate and resolve every bound name exactly once; the per-node
-  // paths below index the flat vectors.
-  Expected<ResolvedStencilArguments> Resolved =
-      resolveStencilArguments(Config, Compiled, Args);
-  if (!Resolved)
-    return Resolved.error();
   assert(Iterations > 0 && "iteration count must be positive");
 
-  const int SubRows = Args.Result->subRows();
-  const int SubCols = Args.Result->subCols();
+  const int SubRows = Resolved.Result->subRows();
+  const int SubCols = Resolved.Result->subCols();
 
   // Plan the half-strips once per run: every node executes the same
   // plan (the machine is synchronous SIMD), and the cross-check below
@@ -248,10 +255,19 @@ Expected<TimingReport> Executor::run(const CompiledStencil &Compiled,
       // retry starts from untouched sources.
       if (fault::probe("halo.exchange"))
         return fault::injectedFault("halo.exchange");
-      PaddedBySource.push_back(exchangeHalos(*Resolved->Sources[S], Border,
-                                             Spec.BoundaryDim1,
-                                             Spec.BoundaryDim2,
-                                             FetchCorners, Pool));
+      if (Opts.Domain) {
+        Expected<std::vector<Array2D>> Padded = exchangeHalosPartitioned(
+            *Resolved.Sources[S], *Opts.Domain, Opts.Transport, S, Border,
+            Spec.BoundaryDim1, Spec.BoundaryDim2, FetchCorners, Pool);
+        if (!Padded)
+          return Padded.error();
+        PaddedBySource.push_back(std::move(*Padded));
+      } else {
+        PaddedBySource.push_back(exchangeHalos(*Resolved.Sources[S], Border,
+                                               Spec.BoundaryDim1,
+                                               Spec.BoundaryDim2,
+                                               FetchCorners, Pool));
+      }
     }
 
     switch (Opts.Mode) {
@@ -259,16 +275,16 @@ Expected<TimingReport> Executor::run(const CompiledStencil &Compiled,
       // Nodes are independent after the halo exchange — each writes
       // only its own result subgrid — so the functional loop fans out
       // over the pool; any thread count computes identical bits.
-      const NodeGrid &Grid = Args.Result->grid();
+      const NodeGrid &Grid = Resolved.Result->grid();
       Pool->parallelFor(Grid.nodeCount(), [&](int Id) {
-        runNode(Compiled, *Resolved, *Args.Result, PaddedBySource, Plan,
+        runNode(Compiled, Resolved, *Resolved.Result, PaddedBySource, Plan,
                 Grid.coordOf(Id), Id == 0 ? &Node0Ops : nullptr);
       });
       break;
     }
     case FunctionalMode::SingleNode:
-      runNode(Compiled, *Resolved, *Args.Result, PaddedBySource, Plan, {0, 0},
-              &Node0Ops);
+      runNode(Compiled, Resolved, *Resolved.Result, PaddedBySource, Plan,
+              {0, 0}, &Node0Ops);
       break;
     case FunctionalMode::None:
       break;

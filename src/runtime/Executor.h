@@ -27,6 +27,8 @@
 #include "core/Compiler.h"
 #include "runtime/Backend.h"
 #include "runtime/DistributedArray.h"
+#include "runtime/HaloTransport.h"
+#include "runtime/Partition.h"
 #include "runtime/StripMiner.h"
 #include <map>
 #include <string>
@@ -67,6 +69,13 @@ public:
     /// never changes results or simulated timing — nodes are
     /// independent after the halo exchange.
     int ThreadCount = 0;
+    /// When set, this executor runs one shard's block of a larger node
+    /// grid: the machine config describes the local block, and halo
+    /// traffic crossing the block's edges moves through Transport (the
+    /// transport-abstracted §5.1 protocol in runtime/HaloExchange.h).
+    /// Null runs the whole grid in-process, exactly as before.
+    const PartitionDomain *Domain = nullptr;
+    HaloTransport *Transport = nullptr;
   };
 
   explicit Executor(const MachineConfig &Config) : Config(Config) {}
@@ -79,6 +88,13 @@ public:
   /// cycle counts cover one iteration and scale by Iterations.
   Expected<TimingReport> run(const CompiledStencil &Compiled,
                              StencilArguments &Args, int Iterations) const;
+
+  /// run() after name resolution: the execution body over arguments a
+  /// caller already resolved (the cm2 backend's runResolved, the shard
+  /// workers). run() is resolve + runResolved.
+  Expected<TimingReport> runResolved(const CompiledStencil &Compiled,
+                                     const ResolvedStencilArguments &Resolved,
+                                     int Iterations) const;
 
   /// Cycle cost of one iteration on one node, computed analytically from
   /// the schedules (no functional work). Exposed for tests, which check

@@ -19,17 +19,46 @@ std::vector<Array2D> cmcc::exchangeHalos(const DistributedArray &A,
                                          BoundaryKind BoundaryDim2,
                                          bool FetchCorners,
                                          ThreadPool *Pool) {
+  Expected<std::vector<Array2D>> Padded = exchangeHalosPartitioned(
+      A, PartitionDomain::whole(A.grid().rows(), A.grid().cols()),
+      /*Transport=*/nullptr, /*SourceIndex=*/0, Border, BoundaryDim1,
+      BoundaryDim2, FetchCorners, Pool);
+  // The whole-grid domain never touches a transport, so the partitioned
+  // protocol cannot fail here.
+  assert(Padded && "whole-grid halo exchange failed");
+  return std::move(*Padded);
+}
+
+Expected<std::vector<Array2D>> cmcc::exchangeHalosPartitioned(
+    const DistributedArray &A, const PartitionDomain &Domain,
+    HaloTransport *Transport, int SourceIndex, int Border,
+    BoundaryKind BoundaryDim1, BoundaryKind BoundaryDim2, bool FetchCorners,
+    ThreadPool *Pool) {
   CMCC_SPAN("halo.exchange");
   static obs::Counter &Exchanges =
       obs::Registry::process().counter("halo.exchanges");
   Exchanges.add(1);
   const NodeGrid &Grid = A.grid();
+  assert(Grid.rows() == Domain.LocalRows && Grid.cols() == Domain.LocalCols &&
+         "array grid does not match the partition domain's local block");
   const int SR = A.subRows();
   const int SC = A.subCols();
   const int B = Border;
   assert(B >= 0 && B <= SR && B <= SC &&
          "border width exceeds the subgrid");
   const float Nan = std::numeric_limits<float>::quiet_NaN();
+
+  // A split axis moves its block edges through the transport; an axis
+  // the domain spans entirely wraps locally (the local torus is the
+  // global torus there — the whole-grid domain reduces to the original
+  // in-process protocol, transport never consulted).
+  const bool RemoteWE = !Domain.spansAllCols();
+  const bool RemoteNS = !Domain.spansAllRows();
+  assert((!RemoteWE && !RemoteNS) || Transport != nullptr
+             ? true
+             : (RemoteWE || RemoteNS) == (Transport != nullptr));
+  assert((!(RemoteWE || RemoteNS) || Transport) &&
+         "split domain requires a transport");
 
   // Every node performs each step simultaneously on the machine; on the
   // host each step fans out over the pool, and the join between steps
@@ -62,41 +91,88 @@ std::vector<Array2D> cmcc::exchangeHalos(const DistributedArray &A,
     return Padded;
 
   // Step 2: every node exchanges its edge columns with its West and
-  // East neighbors simultaneously.
+  // East neighbors simultaneously. On a split axis the block-edge
+  // columns cross the transport: Low carries the west-edge nodes'
+  // leftmost core columns, High the east-edge nodes' rightmost, one
+  // SR x B row-major block per local node row.
   {
     CMCC_SPAN("halo.step2_we");
+    HaloBlocks In;
+    if (RemoteWE) {
+      const size_t BlockFloats =
+          static_cast<size_t>(Domain.LocalRows) * SR * B;
+      HaloBlocks Out;
+      Out.Low.resize(BlockFloats);
+      Out.High.resize(BlockFloats);
+      for (int LR = 0; LR != Domain.LocalRows; ++LR) {
+        const Array2D &WestEdge = A.subgrid({LR, 0});
+        const Array2D &EastEdge = A.subgrid({LR, Grid.cols() - 1});
+        for (int R = 0; R != SR; ++R)
+          for (int C = 0; C != B; ++C) {
+            const size_t At =
+                (static_cast<size_t>(LR) * SR + R) * B + C;
+            Out.Low[At] = WestEdge.at(R, C);
+            Out.High[At] = EastEdge.at(R, SC - B + C);
+          }
+      }
+      Expected<HaloBlocks> Got =
+          Transport->exchange(SourceIndex, HaloStep::WestEast, Out);
+      if (!Got)
+        return Got.error();
+      In = std::move(*Got);
+      if (In.Low.size() != BlockFloats || In.High.size() != BlockFloats)
+        return Error::transient(
+            "halo transport returned a west/east block of the wrong size");
+    }
+
     ForEachNode([&](int Id) {
       NodeCoord Here = Grid.coordOf(Id);
       Array2D &P = Padded[Id];
 
       // West pad <- west neighbor's rightmost core columns.
-      NodeCoord West = Grid.neighbor(Here, Direction::West);
-      bool CrossW = Here.Col == 0;
-      const Array2D &WestSub = A.subgrid(West);
+      bool CrossW = Domain.globalCol(Here.Col) == 0;
+      const Array2D *WestSub =
+          (RemoteWE && Here.Col == 0)
+              ? nullptr
+              : &A.subgrid(Grid.neighbor(Here, Direction::West));
       for (int R = 0; R != SR; ++R)
         for (int C = 0; C != B; ++C)
-          P.at(R + B, C) = (CrossW && BoundaryDim2 == BoundaryKind::Zero)
-                               ? 0.0f
-                               : WestSub.at(R, SC - B + C);
+          P.at(R + B, C) =
+              (CrossW && BoundaryDim2 == BoundaryKind::Zero)
+                  ? 0.0f
+                  : (WestSub
+                         ? WestSub->at(R, SC - B + C)
+                         : In.Low[(static_cast<size_t>(Here.Row) * SR + R) *
+                                      B +
+                                  C]);
 
       // East pad <- east neighbor's leftmost core columns.
-      NodeCoord East = Grid.neighbor(Here, Direction::East);
-      bool CrossE = Here.Col == Grid.cols() - 1;
-      const Array2D &EastSub = A.subgrid(East);
+      bool CrossE = Domain.globalCol(Here.Col) == Domain.GlobalCols - 1;
+      const Array2D *EastSub =
+          (RemoteWE && Here.Col == Grid.cols() - 1)
+              ? nullptr
+              : &A.subgrid(Grid.neighbor(Here, Direction::East));
       for (int R = 0; R != SR; ++R)
         for (int C = 0; C != B; ++C)
           P.at(R + B, SC + B + C) =
               (CrossE && BoundaryDim2 == BoundaryKind::Zero)
                   ? 0.0f
-                  : EastSub.at(R, C);
+                  : (EastSub
+                         ? EastSub->at(R, C)
+                         : In.High[(static_cast<size_t>(Here.Row) * SR + R) *
+                                       B +
+                                   C]);
     });
   }
 
   // Step 3: exchange edge rows with the North and South neighbors. The
   // shipped rows include the side pads received in step 2, so corner
-  // data arrives from the diagonal neighbor in two hops. For cornerless
-  // stencils only the core columns move and the corner pads stay
-  // poisoned (§5.1's skipped third step). A node writes its own top and
+  // data arrives from the diagonal neighbor in two hops — including
+  // across shard boundaries, where the side pads a block edge ships may
+  // themselves have just crossed the transport. For cornerless stencils
+  // only the core columns move and the corner pads stay poisoned
+  // (§5.1's skipped third step) — on a split axis those columns never
+  // enter the transport blocks at all. A node writes its own top and
   // bottom pad rows and reads its neighbors' *core* edge rows (B <= SR
   // keeps the two disjoint), so the nodes of this step are independent
   // too.
@@ -104,30 +180,72 @@ std::vector<Array2D> cmcc::exchangeHalos(const DistributedArray &A,
   const int ColEnd = FetchCorners ? SC + 2 * B : SC + B;
   {
     CMCC_SPAN("halo.step3_ns");
+    const int ShipCols = ColEnd - ColBegin;
+    HaloBlocks In;
+    if (RemoteNS) {
+      const size_t BlockFloats =
+          static_cast<size_t>(Domain.LocalCols) * B * ShipCols;
+      HaloBlocks Out;
+      Out.Low.resize(BlockFloats);
+      Out.High.resize(BlockFloats);
+      for (int LC = 0; LC != Domain.LocalCols; ++LC) {
+        const Array2D &NorthEdge = Padded[Grid.nodeId({0, LC})];
+        const Array2D &SouthEdge = Padded[Grid.nodeId({Grid.rows() - 1, LC})];
+        for (int R = 0; R != B; ++R)
+          for (int C = ColBegin; C != ColEnd; ++C) {
+            const size_t At = (static_cast<size_t>(LC) * B + R) * ShipCols +
+                              (C - ColBegin);
+            Out.Low[At] = NorthEdge.at(B + R, C);
+            Out.High[At] = SouthEdge.at(SR + R, C);
+          }
+      }
+      Expected<HaloBlocks> Got =
+          Transport->exchange(SourceIndex, HaloStep::NorthSouth, Out);
+      if (!Got)
+        return Got.error();
+      In = std::move(*Got);
+      if (In.Low.size() != BlockFloats || In.High.size() != BlockFloats)
+        return Error::transient(
+            "halo transport returned a north/south block of the wrong size");
+    }
+
     ForEachNode([&](int Id) {
       NodeCoord Here = Grid.coordOf(Id);
       Array2D &P = Padded[Id];
 
       // North pad <- north neighbor's bottommost core rows (with pads).
-      NodeCoord North = Grid.neighbor(Here, Direction::North);
-      bool CrossN = Here.Row == 0;
-      const Array2D &NorthP = Padded[Grid.nodeId(North)];
+      bool CrossN = Domain.globalRow(Here.Row) == 0;
+      const Array2D *NorthP =
+          (RemoteNS && Here.Row == 0)
+              ? nullptr
+              : &Padded[Grid.nodeId(Grid.neighbor(Here, Direction::North))];
       for (int R = 0; R != B; ++R)
         for (int C = ColBegin; C != ColEnd; ++C)
-          P.at(R, C) = (CrossN && BoundaryDim1 == BoundaryKind::Zero)
-                           ? 0.0f
-                           : NorthP.at(SR + R, C);
+          P.at(R, C) =
+              (CrossN && BoundaryDim1 == BoundaryKind::Zero)
+                  ? 0.0f
+                  : (NorthP
+                         ? NorthP->at(SR + R, C)
+                         : In.Low[(static_cast<size_t>(Here.Col) * B + R) *
+                                      ShipCols +
+                                  (C - ColBegin)]);
 
       // South pad <- south neighbor's topmost core rows (with pads).
-      NodeCoord South = Grid.neighbor(Here, Direction::South);
-      bool CrossS = Here.Row == Grid.rows() - 1;
-      const Array2D &SouthP = Padded[Grid.nodeId(South)];
+      bool CrossS = Domain.globalRow(Here.Row) == Domain.GlobalRows - 1;
+      const Array2D *SouthP =
+          (RemoteNS && Here.Row == Grid.rows() - 1)
+              ? nullptr
+              : &Padded[Grid.nodeId(Grid.neighbor(Here, Direction::South))];
       for (int R = 0; R != B; ++R)
         for (int C = ColBegin; C != ColEnd; ++C)
           P.at(SR + B + R, C) =
               (CrossS && BoundaryDim1 == BoundaryKind::Zero)
                   ? 0.0f
-                  : SouthP.at(B + R, C);
+                  : (SouthP
+                         ? SouthP->at(B + R, C)
+                         : In.High[(static_cast<size_t>(Here.Col) * B + R) *
+                                       ShipCols +
+                                   (C - ColBegin)]);
     });
   }
   return Padded;

@@ -26,12 +26,23 @@
 /// construction in buildPaddedSubgrid — a property the tests enforce —
 /// but the data really moves neighbor to neighbor here.
 ///
+/// The protocol also runs *partitioned*: a shard owning only a block of
+/// the node grid (runtime/Partition.h) performs the same steps over its
+/// local nodes and moves the block-edge traffic through a HaloTransport
+/// instead of reading neighbor subgrids directly. The whole-grid domain
+/// with no transport is exactly the in-process path — exchangeHalos
+/// below delegates to it — so the sharded and unsharded exchanges are
+/// one implementation, not two that can drift.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CMCC_RUNTIME_HALOEXCHANGE_H
 #define CMCC_RUNTIME_HALOEXCHANGE_H
 
 #include "runtime/DistributedArray.h"
+#include "runtime/HaloTransport.h"
+#include "runtime/Partition.h"
+#include "support/Error.h"
 #include <vector>
 
 namespace cmcc {
@@ -52,6 +63,21 @@ std::vector<Array2D> exchangeHalos(const DistributedArray &A, int Border,
                                    BoundaryKind BoundaryDim2,
                                    bool FetchCorners,
                                    ThreadPool *Pool = nullptr);
+
+/// The same protocol over one shard's node block. \p A holds only the
+/// local block (its grid shape must equal the domain's local shape);
+/// axes the domain spans entirely wrap locally exactly as the
+/// unsharded exchange does, split axes pack their block edges and
+/// exchange them through \p Transport (one WestEast call, then — when
+/// the border is nonzero — one NorthSouth call, per source). \p
+/// SourceIndex tags the transport calls so a multi-source job's
+/// exchanges stay matched across shards. Fails only on transport
+/// failures (lost worker, injected fault); those are transient.
+Expected<std::vector<Array2D>> exchangeHalosPartitioned(
+    const DistributedArray &A, const PartitionDomain &Domain,
+    HaloTransport *Transport, int SourceIndex, int Border,
+    BoundaryKind BoundaryDim1, BoundaryKind BoundaryDim2, bool FetchCorners,
+    ThreadPool *Pool = nullptr);
 
 } // namespace cmcc
 

@@ -1,0 +1,85 @@
+//===- runtime/HaloTransport.cpp ------------------------------*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/HaloTransport.h"
+#include <condition_variable>
+#include <mutex>
+
+using namespace cmcc;
+
+HaloTransport::~HaloTransport() = default;
+
+/// All-shard rendezvous state. Each exchange posts every shard's
+/// outgoing blocks, barriers, lets every shard copy its neighbors'
+/// blocks, then barriers again before anyone may repost.
+struct LocalTransport::Rendezvous {
+  explicit Rendezvous(ShardGrid SG)
+      : SG(SG), Posted(static_cast<size_t>(SG.count()), nullptr) {}
+
+  void barrier() {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    const long Gen = Generation;
+    if (++Arrived == SG.count()) {
+      Arrived = 0;
+      ++Generation;
+      Changed.notify_all();
+    } else {
+      Changed.wait(Lock, [&] { return Generation != Gen; });
+    }
+  }
+
+  HaloBlocks exchange(int Shard, HaloStep Step, const HaloBlocks &Out) {
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      Posted[Shard] = &Out;
+    }
+    barrier();
+    // All posted; reads are race-free until the release barrier.
+    const int LowNbr = Step == HaloStep::WestEast ? SG.westOf(Shard)
+                                                 : SG.northOf(Shard);
+    const int HighNbr = Step == HaloStep::WestEast ? SG.eastOf(Shard)
+                                                  : SG.southOf(Shard);
+    HaloBlocks In;
+    In.Low = Posted[LowNbr]->High;
+    In.High = Posted[HighNbr]->Low;
+    barrier();
+    return In;
+  }
+
+  const ShardGrid SG;
+  std::mutex Mutex;
+  std::condition_variable Changed;
+  int Arrived = 0;
+  long Generation = 0;
+  std::vector<const HaloBlocks *> Posted;
+};
+
+namespace {
+
+class LocalEndpoint : public HaloTransport {
+public:
+  LocalEndpoint(std::shared_ptr<LocalTransport::Rendezvous> Shared, int Shard)
+      : Shared(std::move(Shared)), Shard(Shard) {}
+
+  Expected<HaloBlocks> exchange(int /*SourceIndex*/, HaloStep Step,
+                                const HaloBlocks &Out) override {
+    return Shared->exchange(Shard, Step, Out);
+  }
+
+private:
+  std::shared_ptr<LocalTransport::Rendezvous> Shared;
+  int Shard;
+};
+
+} // namespace
+
+LocalTransport::LocalTransport(ShardGrid SG)
+    : Shared(std::make_shared<Rendezvous>(SG)) {}
+
+std::unique_ptr<HaloTransport> LocalTransport::endpoint(int Shard) {
+  assert(Shard >= 0 && Shard < Shared->SG.count() && "shard id out of range");
+  return std::make_unique<LocalEndpoint>(Shared, Shard);
+}

@@ -1,0 +1,85 @@
+//===- runtime/Partition.cpp ----------------------------------*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Partition.h"
+#include <string>
+
+using namespace cmcc;
+
+namespace {
+
+bool isPowerOfTwo(int V) { return V > 0 && (V & (V - 1)) == 0; }
+
+} // namespace
+
+Expected<ShardGrid> cmcc::makeShardGrid(int NodeRows, int NodeCols,
+                                        int ShardRows, int ShardCols) {
+  if (!isPowerOfTwo(ShardRows) || !isPowerOfTwo(ShardCols))
+    return makeError("shard grid " + std::to_string(ShardRows) + "x" +
+                     std::to_string(ShardCols) +
+                     " must have power-of-two dimensions (shard blocks are "
+                     "hypercube sub-grids)");
+  if (ShardRows > NodeRows || ShardCols > NodeCols)
+    return makeError("shard grid " + std::to_string(ShardRows) + "x" +
+                     std::to_string(ShardCols) + " exceeds the " +
+                     std::to_string(NodeRows) + "x" +
+                     std::to_string(NodeCols) + " node grid");
+  // Power-of-two dims of a power-of-two grid always divide evenly, but
+  // the grid could in principle be configured oddly; check explicitly.
+  if (NodeRows % ShardRows != 0 || NodeCols % ShardCols != 0)
+    return makeError("shard grid " + std::to_string(ShardRows) + "x" +
+                     std::to_string(ShardCols) +
+                     " does not divide the node grid evenly");
+  return ShardGrid{ShardRows, ShardCols};
+}
+
+Expected<ShardGrid> cmcc::chooseShardGrid(int NodeRows, int NodeCols,
+                                          int Shards) {
+  if (!isPowerOfTwo(Shards))
+    return makeError("shard count " + std::to_string(Shards) +
+                     " must be a power of two");
+  int SR = 1, SC = 1;
+  for (int Remaining = Shards; Remaining > 1; Remaining /= 2) {
+    const bool CanR = SR * 2 <= NodeRows;
+    const bool CanC = SC * 2 <= NodeCols;
+    if (!CanR && !CanC)
+      return makeError(std::to_string(Shards) + " shards exceed the " +
+                       std::to_string(NodeRows) + "x" +
+                       std::to_string(NodeCols) +
+                       " node grid (at most one node per shard)");
+    // Split whichever axis currently has the larger per-shard extent,
+    // keeping the blocks near-square (less block perimeter = less halo
+    // traffic per shard).
+    if (CanR && (!CanC || NodeRows / SR >= NodeCols / SC))
+      SR *= 2;
+    else
+      SC *= 2;
+  }
+  return makeShardGrid(NodeRows, NodeCols, SR, SC);
+}
+
+PartitionDomain cmcc::shardDomain(const ShardGrid &SG, int Shard, int NodeRows,
+                                  int NodeCols) {
+  assert(Shard >= 0 && Shard < SG.count() && "shard id out of range");
+  assert(NodeRows % SG.Rows == 0 && NodeCols % SG.Cols == 0 &&
+         "shard grid does not divide the node grid");
+  PartitionDomain D;
+  D.LocalRows = NodeRows / SG.Rows;
+  D.LocalCols = NodeCols / SG.Cols;
+  D.NodeRowBegin = SG.rowOf(Shard) * D.LocalRows;
+  D.NodeColBegin = SG.colOf(Shard) * D.LocalCols;
+  D.GlobalRows = NodeRows;
+  D.GlobalCols = NodeCols;
+  return D;
+}
+
+MachineConfig cmcc::shardMachineConfig(const MachineConfig &Global,
+                                       const PartitionDomain &Domain) {
+  MachineConfig Local = Global;
+  Local.NodeRows = Domain.LocalRows;
+  Local.NodeCols = Domain.LocalCols;
+  return Local;
+}

@@ -1,0 +1,127 @@
+//===- runtime/Partition.h - Shard partitions of the node grid *- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The partition seam: which rectangular block of the machine's node
+/// grid one executor instance owns. The paper's runtime decomposes a
+/// grid over nodes inside one synchronous machine; scaling the same
+/// decomposition across OS processes means every executor runs the
+/// §5.1 protocol over its *local* node block and hands the block-edge
+/// traffic to a HaloTransport instead of reading a neighbor's memory.
+///
+/// A PartitionDomain describes the block: its offset and shape in node
+/// coordinates plus the global grid shape. The whole-grid domain (the
+/// unsharded case every existing caller uses) degenerates exactly to
+/// the original in-process exchange — local torus wraparound *is* the
+/// global torus when the block spans the axis — which is what keeps
+/// the refactor bitwise-invisible to the determinism suites.
+///
+/// A ShardGrid is the factorization of the node grid into such blocks,
+/// one per worker. Both dimensions must be powers of two dividing the
+/// node-grid dimensions (node grids are hypercube sub-dimensions, so
+/// the per-shard quotients stay powers of two).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMCC_RUNTIME_PARTITION_H
+#define CMCC_RUNTIME_PARTITION_H
+
+#include "cm2/MachineConfig.h"
+#include "support/Error.h"
+
+namespace cmcc {
+
+/// The rectangular node-grid block one shard owns, in node coordinates.
+/// Local node (r, c) is global node (NodeRowBegin + r, NodeColBegin + c).
+struct PartitionDomain {
+  int NodeRowBegin = 0;
+  int NodeColBegin = 0;
+  /// Shape of the owned block.
+  int LocalRows = 0;
+  int LocalCols = 0;
+  /// Shape of the whole machine's node grid.
+  int GlobalRows = 0;
+  int GlobalCols = 0;
+
+  /// True when the block is the whole grid (the unsharded case).
+  bool wholeGrid() const { return spansAllRows() && spansAllCols(); }
+
+  /// When the block spans an entire axis, that axis's exchange wraps
+  /// locally (the local torus is the global torus) and needs no
+  /// transport.
+  bool spansAllRows() const { return LocalRows == GlobalRows; }
+  bool spansAllCols() const { return LocalCols == GlobalCols; }
+
+  int globalRow(int LocalRow) const { return NodeRowBegin + LocalRow; }
+  int globalCol(int LocalCol) const { return NodeColBegin + LocalCol; }
+
+  int localNodeCount() const { return LocalRows * LocalCols; }
+
+  static PartitionDomain whole(int NodeRows, int NodeCols) {
+    return {0, 0, NodeRows, NodeCols, NodeRows, NodeCols};
+  }
+
+  friend bool operator==(const PartitionDomain &A, const PartitionDomain &B) {
+    return A.NodeRowBegin == B.NodeRowBegin &&
+           A.NodeColBegin == B.NodeColBegin && A.LocalRows == B.LocalRows &&
+           A.LocalCols == B.LocalCols && A.GlobalRows == B.GlobalRows &&
+           A.GlobalCols == B.GlobalCols;
+  }
+};
+
+/// The factorization of the node grid into ShardRows x ShardCols equal
+/// blocks, shard ids row-major (the same numbering NodeGrid uses for
+/// nodes).
+struct ShardGrid {
+  int Rows = 1;
+  int Cols = 1;
+
+  int count() const { return Rows * Cols; }
+  int shardId(int R, int C) const { return R * Cols + C; }
+  int rowOf(int Shard) const { return Shard / Cols; }
+  int colOf(int Shard) const { return Shard % Cols; }
+
+  /// Torus neighbors in the shard grid (block-level wraparound mirrors
+  /// the node-level torus).
+  int westOf(int Shard) const {
+    return shardId(rowOf(Shard), (colOf(Shard) + Cols - 1) % Cols);
+  }
+  int eastOf(int Shard) const {
+    return shardId(rowOf(Shard), (colOf(Shard) + 1) % Cols);
+  }
+  int northOf(int Shard) const {
+    return shardId((rowOf(Shard) + Rows - 1) % Rows, colOf(Shard));
+  }
+  int southOf(int Shard) const {
+    return shardId((rowOf(Shard) + 1) % Rows, colOf(Shard));
+  }
+};
+
+/// Validates an explicit ShardRows x ShardCols decomposition of a
+/// NodeRows x NodeCols grid: both shard dimensions must be powers of
+/// two that divide the grid dimensions.
+Expected<ShardGrid> makeShardGrid(int NodeRows, int NodeCols, int ShardRows,
+                                  int ShardCols);
+
+/// Chooses a near-square decomposition into \p Shards blocks (a power
+/// of two), splitting the longer node-grid axis first.
+Expected<ShardGrid> chooseShardGrid(int NodeRows, int NodeCols, int Shards);
+
+/// The node block shard \p Shard owns under \p SG.
+PartitionDomain shardDomain(const ShardGrid &SG, int Shard, int NodeRows,
+                            int NodeCols);
+
+/// The machine one shard's executor runs: the global config with the
+/// node grid narrowed to the shard's block. Every timing constant is
+/// copied verbatim — a worker's per-node cycle accounting must be
+/// bit-identical to the unsharded machine's (synchronous SIMD: one
+/// node's cycles are the machine's).
+MachineConfig shardMachineConfig(const MachineConfig &Global,
+                                 const PartitionDomain &Domain);
+
+} // namespace cmcc
+
+#endif // CMCC_RUNTIME_PARTITION_H

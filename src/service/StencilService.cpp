@@ -12,6 +12,7 @@
 #include "obs/Trace.h"
 #include "obs/TraceContext.h"
 #include "sexpr/DefStencil.h"
+#include "shard/ShardedBackend.h"
 #include "stencil/Recognizer.h"
 #include "support/Assert.h"
 #include "support/FaultInjection.h"
@@ -37,11 +38,30 @@ std::string memoKey(StencilService::SourceKind Kind,
   return std::to_string(static_cast<int>(Kind)) + "\n" + Source;
 }
 
+/// The engine jobs run on: the named in-process backend, or — in
+/// sharded mode — a multi-process coordinator running that backend
+/// over worker blocks (same plans, same fingerprints, bitwise-equal
+/// results; see DESIGN.md §5j).
+std::unique_ptr<const ExecutionBackend>
+makeServiceEngine(const MachineConfig &Config,
+                  const StencilService::Options &Opts) {
+  if (Opts.sharded()) {
+    shard::ShardedBackend::Options SO;
+    SO.Shards = Opts.Shards;
+    SO.ShardRows = Opts.ShardRows;
+    SO.ShardCols = Opts.ShardCols;
+    SO.InnerBackend = Opts.Backend;
+    SO.ExecOpts = Opts.Exec;
+    return std::make_unique<shard::ShardedBackend>(Config, std::move(SO));
+  }
+  return createBackend(Opts.Backend, Config, Opts.Exec);
+}
+
 } // namespace
 
 StencilService::StencilService(const MachineConfig &Config, Options Opts)
     : Config(Config), Opts(Opts), Compiler(Config),
-      Engine(createBackend(Opts.Backend, Config, Opts.Exec)),
+      Engine(makeServiceEngine(Config, Opts)),
       Cache(Config, Opts.Cache),
       JobsSubmitted(Metrics.counter("service.jobs_submitted")),
       JobsCompleted(Metrics.counter("service.jobs_completed")),
@@ -727,9 +747,12 @@ void StencilService::execute(Job &J, const CompiledStencil &Plan) {
       continue;
     }
 
-    // Retries exhausted. Degrade gracefully — once — to the cm2
-    // reference backend, with a fresh retry budget there.
-    if (!J.Result.FellBack && Opts.FallbackToCm2 && Opts.Backend != "cm2") {
+    // Retries exhausted. Degrade gracefully — once — to the in-process
+    // cm2 reference backend, with a fresh retry budget there. Sharded
+    // cm2 still falls back: losing the worker fleet must not lose the
+    // job, and the unsharded reference computes the identical result.
+    if (!J.Result.FellBack && Opts.FallbackToCm2 &&
+        (Opts.Backend != "cm2" || Opts.sharded())) {
       J.Result.FellBack = true;
       Fallbacks.add(1);
       note(J, JobEvent::Fallback);

@@ -1,0 +1,31 @@
+//===- shard/ShardWorker.h - Worker-process main loop ---------*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The body of the cmcc_shard_worker process: one shard of the node
+/// grid, executing the coordinator's jobs over the inherited socketpair
+/// (control frames) and shared-memory ring (bulk floats). The worker
+/// owns its slotted local arrays and its plan cache across runs, so a
+/// failed run (an aborted exchange, an injected fault) leaves it ready
+/// for the retry — the coordinator re-scatters and re-runs without
+/// respawning.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMCC_SHARD_SHARDWORKER_H
+#define CMCC_SHARD_SHARDWORKER_H
+
+namespace cmcc {
+namespace shard {
+
+/// Serves the coordinator on \p SocketFd / \p ShmFd until a Shutdown
+/// message or peer EOF. Returns the process exit code.
+int runShardWorker(int SocketFd, int ShmFd);
+
+} // namespace shard
+} // namespace cmcc
+
+#endif // CMCC_SHARD_SHARDWORKER_H

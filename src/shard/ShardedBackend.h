@@ -1,0 +1,123 @@
+//===- shard/ShardedBackend.h - Multi-process execution -------*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An ExecutionBackend that partitions the machine's node grid into a
+/// ShardGrid of rectangular blocks and runs each block in its own
+/// worker process (DESIGN.md §5j). The coordinator speaks the Shard*
+/// control protocol over per-worker socketpairs, streams bulk floats
+/// through per-worker shared-memory rings, and relays block-edge halo
+/// blocks between workers at every §5.1 exchange step — corners still
+/// travel in two hops, cornerless stencils still skip the corner pads,
+/// and the gathered result is bitwise what the unsharded run produces.
+///
+/// The coordinator is also the fleet manager: workers are spawned
+/// lazily, a worker that dies (crash, kill, injected shard.worker_death
+/// fault) fails the in-flight run transiently — the serving layer's
+/// retry ladder re-runs the job — and the next run respawns the dead
+/// slot and re-sends whatever state (plans, data) the fresh process
+/// needs. Nothing but the in-flight job is ever lost.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMCC_SHARD_SHARDEDBACKEND_H
+#define CMCC_SHARD_SHARDEDBACKEND_H
+
+#include "runtime/Backend.h"
+#include "runtime/Executor.h"
+#include "runtime/Partition.h"
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace cmcc {
+namespace shard {
+
+/// The coordinator side of sharded execution.
+class ShardedBackend : public ExecutionBackend {
+public:
+  struct Options {
+    /// Worker count when ShardRows/ShardCols are 0 (a near-square
+    /// decomposition is chosen).
+    int Shards = 2;
+    /// Explicit decomposition; both nonzero to take effect.
+    int ShardRows = 0;
+    int ShardCols = 0;
+    /// The backend each worker runs over its block.
+    std::string InnerBackend = "cm2";
+    /// Inner execution knobs, forwarded to every worker. Domain and
+    /// Transport are owned by the seam and ignored here.
+    Executor::Options ExecOpts;
+    /// Worker binary; empty falls back to $CMCC_SHARD_WORKER, then the
+    /// build-time default, then a sibling of /proc/self/exe.
+    std::string WorkerPath;
+  };
+
+  ShardedBackend(const MachineConfig &Config, Options Opts);
+  ~ShardedBackend() override;
+
+  /// The *inner* backend's name: a sharded run executes the same plans,
+  /// so plan fingerprints (and cache entries) must not fork on the
+  /// process topology.
+  const char *name() const override;
+
+  bool reportsWallClock() const override;
+
+  Expected<TimingReport>
+  runResolved(const CompiledStencil &Compiled,
+              const ResolvedStencilArguments &Resolved,
+              int Iterations) const override;
+
+  Expected<TimingReport> timeOnly(const CompiledStencil &Compiled,
+                                  int SubRows, int SubCols,
+                                  int Iterations) const override;
+
+  const MachineConfig &machine() const override { return Config; }
+
+  /// The decomposition in use (meaningful only when valid()).
+  ShardGrid shardGrid() const { return Grid; }
+
+  /// False when the requested decomposition does not divide this
+  /// machine's node grid; every run then fails with the explanation.
+  bool valid() const { return !static_cast<bool>(GridError); }
+
+  /// The decomposition's rejection text when !valid() (tools fail fast
+  /// at startup with it instead of failing every job identically).
+  std::string gridErrorMessage() const { return GridError.message(); }
+
+private:
+  struct Worker;
+
+  Error ensureWorkers() const;
+  Error spawnWorker(int Shard) const;
+  Error ensurePlan(const CompiledStencil &Compiled, uint64_t Fingerprint,
+                   Worker &W) const;
+  Error scatterArray(Worker &W, uint32_t Slot,
+                     const DistributedArray &A) const;
+  Error relayAndGather(const ResolvedStencilArguments &Resolved,
+                       std::vector<TimingReport> &Reports) const;
+  std::string workerPath() const;
+
+  MachineConfig Config;
+  Options Opts;
+  std::string InnerName;
+  ShardGrid Grid;
+  Error GridError = Error::success();
+
+  /// One run at a time: the relay protocol is a lock-step collective
+  /// over all workers.
+  mutable std::mutex RunMutex;
+  mutable std::vector<std::unique_ptr<Worker>> Workers;
+  /// .cmccode text per plan fingerprint, serialized once.
+  mutable std::map<uint64_t, std::string> PlanTexts;
+};
+
+} // namespace shard
+} // namespace cmcc
+
+#endif // CMCC_SHARD_SHARDEDBACKEND_H

@@ -1,0 +1,45 @@
+//===- tools/cmcc_shard_worker.cpp - Shard worker entry point -*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The worker-process half of sharded execution (DESIGN.md §5j). Not a
+/// user-facing tool: a ShardedBackend coordinator spawns one of these
+/// per shard with a control socketpair and a shared-memory ring on
+/// inherited fds, then drives it over the Shard* protocol. The --shard
+/// argument is redundant with the Init message; it exists so `ps` shows
+/// which shard a process serves.
+///
+//===----------------------------------------------------------------------===//
+
+#include "shard/ShardWorker.h"
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+int main(int argc, char **argv) {
+  int SocketFd = 3;
+  int ShmFd = 4;
+  for (int I = 1; I < argc; ++I) {
+    const char *Arg = argv[I];
+    if (std::strncmp(Arg, "--socket-fd=", 12) == 0) {
+      SocketFd = std::atoi(Arg + 12);
+    } else if (std::strncmp(Arg, "--shm-fd=", 9) == 0) {
+      ShmFd = std::atoi(Arg + 9);
+    } else if (std::strncmp(Arg, "--shard=", 8) == 0) {
+      // Informational only.
+    } else {
+      std::fprintf(stderr,
+                   "cmcc_shard_worker: internal worker process for sharded "
+                   "execution; spawned by a coordinator, not run by hand\n");
+      return 2;
+    }
+  }
+  if (SocketFd < 0 || ShmFd < 0) {
+    std::fprintf(stderr, "cmcc_shard_worker: invalid inherited fds\n");
+    return 2;
+  }
+  return cmcc::shard::runShardWorker(SocketFd, ShmFd);
+}
