@@ -7,6 +7,7 @@
 #include "backends/cm2/Cm2Backend.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
+#include "runtime/TimeTile.h"
 #include "support/FaultInjection.h"
 
 using namespace cmcc;
@@ -14,7 +15,7 @@ using namespace cmcc;
 Expected<TimingReport>
 Cm2Backend::runResolved(const CompiledStencil &Compiled,
                         const ResolvedStencilArguments &Resolved,
-                        int Iterations) const {
+                        const RunOptions &Opts) const {
   // Backend-scoped observability; the Executor's own executor.* names
   // are unchanged underneath (bench_obs pins the simulated path).
   CMCC_SPAN("backend.cm2.run");
@@ -23,16 +24,19 @@ Cm2Backend::runResolved(const CompiledStencil &Compiled,
   static obs::Counter &Runs =
       obs::Registry::process().counter("backend.cm2.runs");
   Runs.add(1);
-  return Exec.runResolved(Compiled, Resolved, Iterations);
+  return Exec.runResolved(Compiled, Resolved, Opts);
 }
 
 Expected<TimingReport> Cm2Backend::timeOnly(const CompiledStencil &Compiled,
                                             int SubRows, int SubCols,
-                                            int Iterations) const {
+                                            const RunOptions &Opts) const {
   // Analytic and exact for any machine size — but still a run of this
   // backend as far as the serving layer is concerned, so timing-only
   // jobs exercise the same fault site as array-bound ones.
   if (fault::probe("backend.cm2.run"))
     return fault::injectedFault("backend.cm2.run");
-  return Exec.timeOnly(Compiled, SubRows, SubCols, Iterations);
+  if (Error E = timetile::validateTimeTile(Compiled.Spec, Opts.TimeTile,
+                                           SubRows, SubCols))
+    return E;
+  return Exec.timeOnly(Compiled, SubRows, SubCols, Opts);
 }

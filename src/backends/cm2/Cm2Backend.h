@@ -32,12 +32,19 @@ public:
 
   const char *name() const override { return "cm2"; }
   bool reportsWallClock() const override { return false; }
+
+  // Re-expose the base class's int-Iterations convenience overloads
+  // (hidden by the RunOptions overrides).
+  using ExecutionBackend::run;
+  using ExecutionBackend::runResolved;
+  using ExecutionBackend::timeOnly;
   Expected<TimingReport>
   runResolved(const CompiledStencil &Compiled,
               const ResolvedStencilArguments &Resolved,
-              int Iterations) const override;
+              const RunOptions &Opts) const override;
   Expected<TimingReport> timeOnly(const CompiledStencil &Compiled, int SubRows,
-                                  int SubCols, int Iterations) const override;
+                                  int SubCols,
+                                  const RunOptions &Opts) const override;
   const MachineConfig &machine() const override { return Exec.machine(); }
 
   /// The wrapped executor (for callers that need simulated-path knobs

@@ -72,19 +72,31 @@ public:
   const char *name() const override { return "native"; }
   bool reportsWallClock() const override { return true; }
 
+  // Re-expose the base class's int-Iterations convenience overloads
+  // (hidden by the RunOptions overrides).
+  using ExecutionBackend::run;
+  using ExecutionBackend::runResolved;
+  using ExecutionBackend::timeOnly;
+
   /// Computes the result arrays once and reports measured wall-clock
   /// seconds per iteration (the functional pass is identical for every
-  /// iteration, as on the simulated machine).
+  /// iteration, as on the simulated machine). With Opts.TimeTile = k >
+  /// 1, one wide exchange feeds k chained steps: intermediate steps
+  /// compute shrinking extended rectangles in scratch (per-point
+  /// arithmetic is position-independent here, so no owner replay is
+  /// needed), zero-masked at global Zero edges, and the last step
+  /// writes the result arrays.
   Expected<TimingReport>
   runResolved(const CompiledStencil &Compiled,
               const ResolvedStencilArguments &Resolved,
-              int Iterations) const override;
+              const RunOptions &RO) const override;
 
   /// Measures a real run over internally allocated scratch arrays of
   /// the given per-node shape (deterministically filled); fails where
   /// a run would, e.g. a border exceeding the subgrid.
   Expected<TimingReport> timeOnly(const CompiledStencil &Compiled, int SubRows,
-                                  int SubCols, int Iterations) const override;
+                                  int SubCols,
+                                  const RunOptions &RO) const override;
 
   const MachineConfig &machine() const override { return Config; }
   const Options &options() const { return Opts; }

@@ -67,6 +67,12 @@ public:
   const char *name() const override { return "njit"; }
   bool reportsWallClock() const override { return true; }
 
+  // Re-expose the base class's int-Iterations convenience overloads
+  // (hidden by the RunOptions overrides).
+  using ExecutionBackend::run;
+  using ExecutionBackend::runResolved;
+  using ExecutionBackend::timeOnly;
+
   /// Looks up (or emits + compiles + loads) the plan's kernel, then
   /// runs it under the native backend's halo/tiling protocol. Reports
   /// measured wall-clock seconds per iteration; the JIT cost is *not*
@@ -75,12 +81,13 @@ public:
   Expected<TimingReport>
   runResolved(const CompiledStencil &Compiled,
               const ResolvedStencilArguments &Resolved,
-              int Iterations) const override;
+              const RunOptions &RO) const override;
 
   /// Measures a real run over deterministically filled scratch arrays,
   /// exactly like the native backend.
   Expected<TimingReport> timeOnly(const CompiledStencil &Compiled, int SubRows,
-                                  int SubCols, int Iterations) const override;
+                                  int SubCols,
+                                  const RunOptions &RO) const override;
 
   const MachineConfig &machine() const override { return Config; }
   const Options &options() const { return Opts; }

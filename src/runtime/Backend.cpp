@@ -12,12 +12,12 @@ ExecutionBackend::~ExecutionBackend() = default;
 
 Expected<TimingReport> ExecutionBackend::run(const CompiledStencil &Compiled,
                                              StencilArguments &Args,
-                                             int Iterations) const {
+                                             const RunOptions &Opts) const {
   Expected<ResolvedStencilArguments> Resolved =
       resolveStencilArguments(machine(), Compiled, Args);
   if (!Resolved)
     return Resolved.error();
-  return runResolved(Compiled, *Resolved, Iterations);
+  return runResolved(Compiled, *Resolved, Opts);
 }
 
 Expected<ResolvedStencilArguments>

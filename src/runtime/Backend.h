@@ -43,6 +43,22 @@
 
 namespace cmcc {
 
+/// Per-call execution options shared by every backend.
+struct RunOptions {
+  /// Timing repetitions of the run's fused unit. As everywhere in the
+  /// runtime, iterations scale the reported cost; the arrays are
+  /// written once.
+  int Iterations = 1;
+  /// Time-tile depth k (ROADMAP item 5): the run computes k *chained*
+  /// timesteps — step s feeds step s+1 — behind a single halo exchange
+  /// whose border widens to k x radius. The result arrays hold the
+  /// k-step evolution, bitwise equal to k separate runs feeding each
+  /// result back as the next source. 1 (the default) is exactly the
+  /// classic single-step run. Depths k > 1 require a single-source
+  /// stencil and k x radius <= the subgrid extent.
+  int TimeTile = 1;
+};
+
 /// Arrays bound to one stencil call.
 struct StencilArguments {
   DistributedArray *Result = nullptr;
@@ -89,21 +105,40 @@ public:
   /// wall-clock rather than simulated machine cycles.
   virtual bool reportsWallClock() const = 0;
 
-  /// Runs \p Compiled over \p Args for \p Iterations, writing the
-  /// result subgrids and returning the backend's timing report.
-  /// Resolves the by-name arguments exactly once and dispatches to
-  /// runResolved — backends never re-resolve, and callers that already
-  /// hold resolved arguments (the shard workers, whose arrays arrive
-  /// indexed rather than named) call runResolved directly.
+  /// Runs \p Compiled over \p Args under \p Opts (iterations and time
+  /// tile), writing the result subgrids and returning the backend's
+  /// timing report. Resolves the by-name arguments exactly once and
+  /// dispatches to runResolved — backends never re-resolve, and callers
+  /// that already hold resolved arguments (the shard workers, whose
+  /// arrays arrive indexed rather than named) call runResolved
+  /// directly.
   Expected<TimingReport> run(const CompiledStencil &Compiled,
-                             StencilArguments &Args, int Iterations) const;
+                             StencilArguments &Args,
+                             const RunOptions &Opts) const;
+
+  /// Classic form: \p Iterations timing repetitions, no time tiling.
+  Expected<TimingReport> run(const CompiledStencil &Compiled,
+                             StencilArguments &Args, int Iterations) const {
+    RunOptions Opts;
+    Opts.Iterations = Iterations;
+    return run(Compiled, Args, Opts);
+  }
 
   /// The backend's execution body, over arguments resolved by
   /// resolveStencilArguments against this backend's machine().
   virtual Expected<TimingReport>
   runResolved(const CompiledStencil &Compiled,
               const ResolvedStencilArguments &Resolved,
-              int Iterations) const = 0;
+              const RunOptions &Opts) const = 0;
+
+  /// Classic form of runResolved (no time tiling).
+  Expected<TimingReport> runResolved(const CompiledStencil &Compiled,
+                                     const ResolvedStencilArguments &Resolved,
+                                     int Iterations) const {
+    RunOptions Opts;
+    Opts.Iterations = Iterations;
+    return runResolved(Compiled, Resolved, Opts);
+  }
 
   /// A timing report for SubRows x SubCols per-node subgrids without
   /// caller-provided arrays. The cm2 backend computes this analytically
@@ -112,7 +147,16 @@ public:
   /// border exceeds the subgrid on a measuring backend).
   virtual Expected<TimingReport> timeOnly(const CompiledStencil &Compiled,
                                           int SubRows, int SubCols,
-                                          int Iterations) const = 0;
+                                          const RunOptions &Opts) const = 0;
+
+  /// Classic form of timeOnly (no time tiling).
+  Expected<TimingReport> timeOnly(const CompiledStencil &Compiled,
+                                  int SubRows, int SubCols,
+                                  int Iterations) const {
+    RunOptions Opts;
+    Opts.Iterations = Iterations;
+    return timeOnly(Compiled, SubRows, SubCols, Opts);
+  }
 
   /// The machine this backend executes for (node grid, clock).
   virtual const MachineConfig &machine() const = 0;

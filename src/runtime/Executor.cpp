@@ -99,9 +99,8 @@ void Executor::runNode(const CompiledStencil &Compiled,
                        DistributedArray &ResultArray,
                        const std::vector<std::vector<Array2D>> &PaddedBySource,
                        const std::vector<PlannedStrip> &Plan, NodeCoord Node,
-                       long *OpsExecuted) const {
+                       int Border, long *OpsExecuted) const {
   const StencilSpec &Spec = Compiled.Spec;
-  const int Border = Spec.borderWidths().maximum();
 
   // The halo exchange already ran (every node exchanges simultaneously);
   // pick this node's padded copy of each source.
@@ -133,30 +132,191 @@ void Executor::runNode(const CompiledStencil &Compiled,
     *OpsExecuted = Ops;
 }
 
+std::vector<Executor::TiledStep>
+Executor::tiledSteps(const CompiledStencil &Compiled,
+                     const std::vector<PlannedStrip> &Plan, int SubRows,
+                     int SubCols, int TimeTile) const {
+  std::vector<TiledStep> Steps;
+  if (TimeTile <= 1)
+    return Steps;
+  const int Radius = Compiled.Spec.borderWidths().maximum();
+  for (int S = 1; S != TimeTile; ++S) {
+    TiledStep Step;
+    Step.POut = (TimeTile - S) * Radius;
+    // Geometry only — mask flags are re-derived per node at execution
+    // time from its global grid position, so circular boundaries here
+    // keep every region unmasked.
+    for (const timetile::OwnerRegion &Reg : timetile::ownerRegions(
+             SubRows, SubCols, Step.POut, BoundaryKind::Circular,
+             BoundaryKind::Circular, 0, 1, 0, 1)) {
+      RegionStrips RS;
+      RS.Window = Reg;
+      // Restrict the shared strip plan to the region's owner-space
+      // window: full-width strips with clipped line ranges (clipped
+      // stores are dropped by the clamped binding but still burn
+      // cycles, like deselected SIMD processors). Strips whose columns
+      // miss the window entirely are skipped.
+      for (const PlannedStrip &PS : Plan) {
+        if (PS.HS.LeftCol + PS.HS.Width <= Reg.C0 ||
+            PS.HS.LeftCol >= Reg.C1)
+          continue;
+        const int R0 = std::max(PS.HS.RowBegin, Reg.R0);
+        const int R1 = std::min(PS.HS.RowEnd, Reg.R1);
+        if (R0 >= R1)
+          continue;
+        PlannedStrip Clipped = PS;
+        Clipped.HS.RowBegin = R0;
+        Clipped.HS.RowEnd = R1;
+        RS.Strips.push_back(Clipped);
+        RS.Ops += static_cast<long>(Clipped.Sched->Prologue.size()) +
+                  static_cast<long>(Clipped.HS.lines()) *
+                      Clipped.Sched->opsPerLine();
+      }
+      Step.Regions.push_back(std::move(RS));
+    }
+    Steps.push_back(std::move(Step));
+  }
+  return Steps;
+}
+
+void Executor::runNodeTiledStep(
+    const CompiledStencil &Compiled, const Array2D &In, Array2D &Out,
+    const std::vector<const Array2D *> &PaddedCoefficients,
+    const TiledStep &Step, NodeCoord Node, int Border, int CoeffBorder,
+    long *OpsExecuted) const {
+  const StencilSpec &Spec = Compiled.Spec;
+  const int SubRows = In.rows() - 2 * Border;
+  const int SubCols = In.cols() - 2 * Border;
+
+  // Fresh NaN fill each step: values outside the step's valid extension
+  // must never be mistaken for data (the clamped binding's loads beyond
+  // the allocation return NaN for the same reason).
+  if (Out.rows() != In.rows() || Out.cols() != In.cols())
+    Out = Array2D(In.rows(), In.cols(),
+                  std::numeric_limits<float>::quiet_NaN());
+  else
+    Out.fill(std::numeric_limits<float>::quiet_NaN());
+
+  const int GlobalRow = Opts.Domain ? Opts.Domain->globalRow(Node.Row)
+                                    : Node.Row;
+  const int GlobalCol = Opts.Domain ? Opts.Domain->globalCol(Node.Col)
+                                    : Node.Col;
+  const int GlobalRows = Opts.Domain ? Opts.Domain->GlobalRows
+                                     : Config.NodeRows;
+  const int GlobalCols = Opts.Domain ? Opts.Domain->GlobalCols
+                                     : Config.NodeCols;
+  const std::vector<timetile::OwnerRegion> Regions = timetile::ownerRegions(
+      SubRows, SubCols, Step.POut, Spec.BoundaryDim1, Spec.BoundaryDim2,
+      GlobalRow, GlobalRows, GlobalCol, GlobalCols);
+  assert(Regions.size() == Step.Regions.size() &&
+         "per-node regions disagree with the precomputed step geometry");
+
+  FloatingPointUnit Fpu(Config);
+  long Ops = 0;
+  for (size_t I = 0; I != Regions.size(); ++I) {
+    const timetile::OwnerRegion &Reg = Regions[I];
+    const int RowShift = Border + Reg.DR * SubRows;
+    const int ColShift = Border + Reg.DC * SubCols;
+    if (Reg.ZeroMasked) {
+      // The owner sits across a Zero (EOSHIFT) global edge: the cells
+      // are identically zero at every step — written, never computed
+      // (the SIMD machine still burns the cycles; see analyticCycles).
+      for (int R = Reg.R0; R != Reg.R1; ++R)
+        for (int C = Reg.C0; C != Reg.C1; ++C)
+          Out.at(R + RowShift, C + ColShift) = 0.0f;
+      continue;
+    }
+    for (const PlannedStrip &PS : Step.Regions[I].Strips) {
+      CMCC_SPAN("fpu.half_strip");
+      const WidthSchedule *W = PS.Sched;
+      Fpu.reset();
+      if (W->Regs.hasUnitRegister())
+        Fpu.pokeRegister(W->Regs.unitRegister(), 1.0f);
+
+      ClampedRegionBinding::Operands Operands;
+      Operands.Input = &In;
+      Operands.InRow0 = RowShift;
+      Operands.InCol0 = ColShift;
+      Operands.Spec = &Spec;
+      Operands.PaddedCoefficients = &PaddedCoefficients;
+      Operands.CoRow0 = RowShift - Border + CoeffBorder;
+      Operands.CoCol0 = ColShift - Border + CoeffBorder;
+      Operands.Output = &Out;
+      Operands.OutRow0 = RowShift;
+      Operands.OutCol0 = ColShift;
+      Operands.LeftCol = PS.HS.LeftCol;
+      Operands.KeepRow0 = Reg.R0;
+      Operands.KeepRow1 = Reg.R1;
+      Operands.KeepCol0 = Reg.C0;
+      Operands.KeepCol1 = Reg.C1;
+      ClampedRegionBinding Mem(Operands);
+      Mem.setLine(PS.HS.RowEnd - 1);
+      Fpu.executeSequence(W->Prologue, Mem);
+      const int U = static_cast<int>(W->Phases.size());
+      for (int T = 0; T != PS.HS.lines(); ++T) {
+        Mem.setLine(PS.HS.RowEnd - 1 - T);
+        Fpu.executeSequence(W->Phases[T % U], Mem);
+      }
+      Fpu.drainPipeline();
+      Ops += Fpu.loadsExecuted() + Fpu.maddsExecuted() +
+             Fpu.storesExecuted() + Fpu.fillersExecuted();
+    }
+  }
+  if (OpsExecuted)
+    *OpsExecuted += Ops;
+}
+
 CycleBreakdown Executor::analyticCycles(const CompiledStencil &Compiled,
-                                        int SubRows, int SubCols) const {
+                                        int SubRows, int SubCols,
+                                        int TimeTile) const {
   const StencilSpec &Spec = Compiled.Spec;
   CycleBreakdown Cycles;
+  const int Radius = Spec.borderWidths().maximum();
+  const int Border = TimeTile * Radius;
 
   Sequencer Seq(Config);
-  for (const HalfStrip &HS : planFor(Compiled, SubRows, SubCols)) {
-    const WidthSchedule *W = Compiled.withWidth(HS.Width);
-    assert(W && "strip plan chose an unavailable width");
-    Cycles += Seq.halfStripCycles(static_cast<int>(W->Prologue.size()),
-                                  HS.lines(), W->opsPerLine(),
-                                  W->maddsPerLine());
-  }
+  const std::vector<PlannedStrip> Plan =
+      resolvedPlanFor(Compiled, SubRows, SubCols);
+  // Intermediate steps: every node executes every region's restricted
+  // strips in lock-step (a masked region's node is merely deselected —
+  // it burns the same cycles), so per-node cost is the plain sum.
+  for (const TiledStep &Step : tiledSteps(Compiled, Plan, SubRows, SubCols,
+                                          TimeTile))
+    for (const RegionStrips &RS : Step.Regions)
+      for (const PlannedStrip &PS : RS.Strips)
+        Cycles += Seq.halfStripCycles(
+            static_cast<int>(PS.Sched->Prologue.size()), PS.HS.lines(),
+            PS.Sched->opsPerLine(), PS.Sched->maddsPerLine());
+  // Final step: the standard full-subgrid plan.
+  for (const PlannedStrip &PS : Plan)
+    Cycles += Seq.halfStripCycles(static_cast<int>(PS.Sched->Prologue.size()),
+                                  PS.HS.lines(), PS.Sched->opsPerLine(),
+                                  PS.Sched->maddsPerLine());
 
-  int Border = Spec.borderWidths().maximum();
   HaloExchangeShape Shape;
   Shape.SubgridRows = SubRows;
   Shape.SubgridCols = SubCols;
   Shape.BorderWidth = Border;
-  Shape.NeedsCorners = Spec.needsCornerData() || !Opts.AllowCornerSkip;
+  // Tiled runs always ship corners: side-pad intermediate values feed
+  // corner-adjacent cells of later steps even for cornerless stencils.
+  Shape.NeedsCorners = TimeTile > 1 ? true
+                                    : (Spec.needsCornerData() ||
+                                       !Opts.AllowCornerSkip);
   // Every source array needs its own halo exchange.
   Cycles.Communication =
       haloExchangeCycles(Config, Shape, Opts.Primitive) *
       std::max(1, Spec.sourceCount());
+  if (TimeTile > 1) {
+    // Intermediate pad cells index coefficient arrays at owner
+    // positions, so each distinct coefficient array is exchanged once
+    // per tile at border (k-1) x radius.
+    HaloExchangeShape CoeffShape = Shape;
+    CoeffShape.BorderWidth = (TimeTile - 1) * Radius;
+    CoeffShape.NeedsCorners = true;
+    Cycles.Communication +=
+        haloExchangeCycles(Config, CoeffShape, Opts.Primitive) *
+        static_cast<long>(Spec.coefficientArrayNames().size());
+  }
   return Cycles;
 }
 
@@ -172,36 +332,52 @@ double Executor::hostSecondsPerIteration(const CompiledStencil &Compiled,
 }
 
 TimingReport Executor::timeOnly(const CompiledStencil &Compiled, int SubRows,
-                                int SubCols, int Iterations) const {
+                                int SubCols, const RunOptions &RO) const {
   CMCC_SPAN("executor.time_only");
   TimingReport Report;
-  Report.Cycles = analyticCycles(Compiled, SubRows, SubCols);
-  Report.Iterations = Iterations;
+  Report.Cycles = analyticCycles(Compiled, SubRows, SubCols, RO.TimeTile);
+  Report.Iterations = RO.Iterations;
   Report.Nodes = Config.nodeCount();
   Report.ClockMHz = Config.ClockMHz;
   Report.HostSecondsPerIteration = hostSecondsPerIteration(Compiled, SubCols);
+  if (RO.TimeTile > 1) {
+    // A tiled iteration dispatches every intermediate region strip plus
+    // the final full plan.
+    const std::vector<PlannedStrip> Plan =
+        resolvedPlanFor(Compiled, SubRows, SubCols);
+    size_t Dispatches = Plan.size();
+    for (const TiledStep &Step :
+         tiledSteps(Compiled, Plan, SubRows, SubCols, RO.TimeTile))
+      for (const RegionStrips &RS : Step.Regions)
+        Dispatches += RS.Strips.size();
+    Report.HostSecondsPerIteration =
+        (Config.HostOverheadUsPerCall +
+         static_cast<double>(Dispatches) * Config.HostOverheadUsPerStrip) *
+        1e-6;
+  }
+  // One fused unit advances the solution TimeTile timesteps.
   Report.UsefulFlopsPerNodePerIteration =
       static_cast<long>(Compiled.Spec.usefulFlopsPerPoint()) * SubRows *
-      SubCols;
+      SubCols * std::max(1, RO.TimeTile);
   return Report;
 }
 
 Expected<TimingReport> Executor::run(const CompiledStencil &Compiled,
                                      StencilArguments &Args,
-                                     int Iterations) const {
+                                     const RunOptions &RO) const {
   // Validate and resolve every bound name exactly once; the per-node
   // paths index the flat vectors.
   Expected<ResolvedStencilArguments> Resolved =
       resolveStencilArguments(Config, Compiled, Args);
   if (!Resolved)
     return Resolved.error();
-  return runResolved(Compiled, *Resolved, Iterations);
+  return runResolved(Compiled, *Resolved, RO);
 }
 
 Expected<TimingReport>
 Executor::runResolved(const CompiledStencil &Compiled,
                       const ResolvedStencilArguments &Resolved,
-                      int Iterations) const {
+                      const RunOptions &RO) const {
   CMCC_SPAN("executor.run");
   static obs::Counter &Runs =
       obs::Registry::process().counter("executor.runs");
@@ -209,10 +385,20 @@ Executor::runResolved(const CompiledStencil &Compiled,
       obs::Registry::process().histogram("executor.run_host_us");
   Runs.add(1);
   obs::ScopedLatencyUs RunTimer(RunHostUs);
-  assert(Iterations > 0 && "iteration count must be positive");
+  assert(RO.Iterations > 0 && "iteration count must be positive");
 
   const int SubRows = Resolved.Result->subRows();
   const int SubCols = Resolved.Result->subCols();
+  const StencilSpec &Spec = Compiled.Spec;
+  const int K = RO.TimeTile;
+  if (Error E = timetile::validateTimeTile(Spec, K, SubRows, SubCols))
+    return E;
+  const int Radius = Spec.borderWidths().maximum();
+  // One exchange at the widened border feeds K chained steps; the
+  // coefficient pads only need to reach the deepest intermediate
+  // extension, (K-1) x radius.
+  const int Border = K * Radius;
+  const int CoeffBorder = (K - 1) * Radius;
 
   // Plan the half-strips once per run: every node executes the same
   // plan (the machine is synchronous SIMD), and the cross-check below
@@ -225,6 +411,8 @@ Executor::runResolved(const CompiledStencil &Compiled,
     return makeError("the available multistencil widths cannot cover a "
                      "subgrid of " + std::to_string(SubCols) +
                      " columns (no width-1 schedule)");
+  const std::vector<TiledStep> Steps =
+      tiledSteps(Compiled, Plan, SubRows, SubCols, K);
 
   long Node0Ops = -1;
   if (Opts.Mode != FunctionalMode::None) {
@@ -242,64 +430,151 @@ Executor::runResolved(const CompiledStencil &Compiled,
 
     // Step one of the run-time library: the halo exchange (the paper's
     // three-step protocol), once per source array, all nodes at once.
-    const StencilSpec &Spec = Compiled.Spec;
-    const int Border = Spec.borderWidths().maximum();
+    // Tiled runs always fetch corners — intermediate side-pad values
+    // feed corner-adjacent cells of later steps even for cornerless
+    // stencils.
     const bool FetchCorners =
-        Spec.needsCornerData() || !Opts.AllowCornerSkip;
+        K > 1 || Spec.needsCornerData() || !Opts.AllowCornerSkip;
+    auto Exchange = [&](const DistributedArray &A, int SourceIndex,
+                        int B) -> Expected<std::vector<Array2D>> {
+      // Probed per exchange step, not per run: any one of a run's
+      // exchanges can be lost. Failing before the compute loops means
+      // a failed run never leaves partial results — every retry starts
+      // from untouched sources.
+      if (fault::probe("halo.exchange"))
+        return fault::injectedFault("halo.exchange");
+      if (Opts.Domain)
+        return exchangeHalosPartitioned(A, *Opts.Domain, Opts.Transport,
+                                        SourceIndex, B, Spec.BoundaryDim1,
+                                        Spec.BoundaryDim2, FetchCorners,
+                                        Pool);
+      return exchangeHalos(A, B, Spec.BoundaryDim1, Spec.BoundaryDim2,
+                           FetchCorners, Pool);
+    };
     std::vector<std::vector<Array2D>> PaddedBySource;
     PaddedBySource.reserve(Spec.sourceCount());
     for (int S = 0; S != Spec.sourceCount(); ++S) {
-      // Probed per exchange step, not per run: a multi-source stencil
-      // can lose any one of its exchanges. Failing before the compute
-      // loops means a failed run never leaves partial results — every
-      // retry starts from untouched sources.
-      if (fault::probe("halo.exchange"))
-        return fault::injectedFault("halo.exchange");
-      if (Opts.Domain) {
-        Expected<std::vector<Array2D>> Padded = exchangeHalosPartitioned(
-            *Resolved.Sources[S], *Opts.Domain, Opts.Transport, S, Border,
-            Spec.BoundaryDim1, Spec.BoundaryDim2, FetchCorners, Pool);
+      Expected<std::vector<Array2D>> Padded =
+          Exchange(*Resolved.Sources[S], S, Border);
+      if (!Padded)
+        return Padded.error();
+      PaddedBySource.push_back(std::move(*Padded));
+    }
+
+    // Tiled runs also exchange each distinct coefficient array once:
+    // intermediate pad cells index coefficients at owner positions.
+    // Dedup by name in first-appearance tap order — deterministic
+    // across shard workers, and matching analyticCycles — with
+    // transport source indices following the real sources.
+    std::vector<std::vector<Array2D>> CoeffPadded;
+    std::vector<int> TapCoeffOrdinal(Spec.Taps.size(), -1);
+    if (K > 1) {
+      const std::vector<std::string> Names = Spec.coefficientArrayNames();
+      for (size_t I = 0; I != Spec.Taps.size(); ++I)
+        if (Spec.Taps[I].Coeff.isArray())
+          TapCoeffOrdinal[I] = static_cast<int>(
+              std::find(Names.begin(), Names.end(), Spec.Taps[I].Coeff.Name) -
+              Names.begin());
+      CoeffPadded.resize(Names.size());
+      for (size_t N = 0; N != Names.size(); ++N) {
+        const DistributedArray *C = nullptr;
+        for (size_t I = 0; I != Spec.Taps.size(); ++I)
+          if (TapCoeffOrdinal[I] == static_cast<int>(N)) {
+            C = Resolved.TapCoefficients[I];
+            break;
+          }
+        assert(C && "coefficient name resolved to no array");
+        Expected<std::vector<Array2D>> Padded =
+            Exchange(*C, Spec.sourceCount() + static_cast<int>(N),
+                     CoeffBorder);
         if (!Padded)
           return Padded.error();
-        PaddedBySource.push_back(std::move(*Padded));
-      } else {
-        PaddedBySource.push_back(exchangeHalos(*Resolved.Sources[S], Border,
-                                               Spec.BoundaryDim1,
-                                               Spec.BoundaryDim2,
-                                               FetchCorners, Pool));
+        CoeffPadded[N] = std::move(*Padded);
       }
     }
 
-    switch (Opts.Mode) {
-    case FunctionalMode::AllNodes: {
-      // Nodes are independent after the halo exchange — each writes
-      // only its own result subgrid — so the functional loop fans out
-      // over the pool; any thread count computes identical bits.
-      const NodeGrid &Grid = Resolved.Result->grid();
-      Pool->parallelFor(Grid.nodeCount(), [&](int Id) {
-        runNode(Compiled, Resolved, *Resolved.Result, PaddedBySource, Plan,
-                Grid.coordOf(Id), Id == 0 ? &Node0Ops : nullptr);
-      });
-      break;
+    const NodeGrid &Grid = Resolved.Result->grid();
+    std::vector<int> NodeIds;
+    if (Opts.Mode == FunctionalMode::AllNodes) {
+      NodeIds.resize(static_cast<size_t>(Grid.nodeCount()));
+      for (int Id = 0; Id != Grid.nodeCount(); ++Id)
+        NodeIds[static_cast<size_t>(Id)] = Id;
+    } else {
+      NodeIds.push_back(0);
     }
-    case FunctionalMode::SingleNode:
-      runNode(Compiled, Resolved, *Resolved.Result, PaddedBySource, Plan,
-              {0, 0}, &Node0Ops);
-      break;
-    case FunctionalMode::None:
-      break;
+
+    long TiledNode0Ops = 0;
+    std::vector<std::vector<Array2D>> FinalInput;
+    if (K == 1) {
+      FinalInput = std::move(PaddedBySource);
+    } else {
+      // K-1 intermediate steps through double-buffered wide scratch,
+      // then the final step writes the result subgrids directly. The
+      // parallelFor join between steps is the barrier: step s+1 reads
+      // only what step s finished writing.
+      std::vector<Array2D> Buffers[2];
+      Buffers[0].resize(static_cast<size_t>(Grid.nodeCount()));
+      Buffers[1].resize(static_cast<size_t>(Grid.nodeCount()));
+      for (size_t S = 0; S != Steps.size(); ++S) {
+        std::vector<Array2D> &In =
+            S == 0 ? PaddedBySource[0] : Buffers[(S - 1) & 1];
+        std::vector<Array2D> &Out = Buffers[S & 1];
+        Pool->parallelFor(static_cast<int>(NodeIds.size()), [&](int I) {
+          const int Id = NodeIds[static_cast<size_t>(I)];
+          std::vector<const Array2D *> NodeCoeffs(Spec.Taps.size(), nullptr);
+          for (size_t T = 0; T != Spec.Taps.size(); ++T)
+            if (TapCoeffOrdinal[T] >= 0)
+              NodeCoeffs[T] = &CoeffPadded[static_cast<size_t>(
+                  TapCoeffOrdinal[T])][static_cast<size_t>(Id)];
+          runNodeTiledStep(Compiled, In[static_cast<size_t>(Id)],
+                           Out[static_cast<size_t>(Id)], NodeCoeffs,
+                           Steps[S], Grid.coordOf(Id), Border, CoeffBorder,
+                           Id == 0 ? &TiledNode0Ops : nullptr);
+        });
+      }
+      FinalInput.resize(1);
+      FinalInput[0] = std::move(Buffers[(Steps.size() - 1) & 1]);
     }
+
+    Pool->parallelFor(static_cast<int>(NodeIds.size()), [&](int I) {
+      const int Id = NodeIds[static_cast<size_t>(I)];
+      long Ops = -1;
+      runNode(Compiled, Resolved, *Resolved.Result, FinalInput, Plan,
+              Grid.coordOf(Id), Border, Id == 0 ? &Ops : nullptr);
+      if (Id == 0)
+        Node0Ops = TiledNode0Ops + Ops;
+    });
   }
 
-  TimingReport Report = timeOnly(Compiled, SubRows, SubCols, Iterations);
+  TimingReport Report = timeOnly(Compiled, SubRows, SubCols, RO);
 
   // Cross-check: the ops the pipeline model actually executed must match
-  // the analytic count the cycle cost is derived from.
+  // the analytic count the cycle cost is derived from. Node 0 skips the
+  // regions where it is Zero-masked (deselected), so its expected count
+  // subtracts those.
   if (Node0Ops >= 0) {
     long Analytic = 0;
     for (const PlannedStrip &PS : Plan)
       Analytic += static_cast<long>(PS.Sched->Prologue.size()) +
                   static_cast<long>(PS.HS.lines()) * PS.Sched->opsPerLine();
+    if (K > 1) {
+      const int GlobalRow = Opts.Domain ? Opts.Domain->globalRow(0) : 0;
+      const int GlobalCol = Opts.Domain ? Opts.Domain->globalCol(0) : 0;
+      const int GlobalRows =
+          Opts.Domain ? Opts.Domain->GlobalRows : Config.NodeRows;
+      const int GlobalCols =
+          Opts.Domain ? Opts.Domain->GlobalCols : Config.NodeCols;
+      for (const TiledStep &Step : Steps) {
+        const std::vector<timetile::OwnerRegion> Regions =
+            timetile::ownerRegions(SubRows, SubCols, Step.POut,
+                                   Spec.BoundaryDim1, Spec.BoundaryDim2,
+                                   GlobalRow, GlobalRows, GlobalCol,
+                                   GlobalCols);
+        for (size_t I = 0; I != Regions.size(); ++I)
+          if (!Regions[I].ZeroMasked)
+            Analytic += Step.Regions[I].Ops;
+      }
+    }
     assert(Node0Ops == Analytic &&
            "analytic op count disagrees with executed ops");
     (void)Analytic;

@@ -30,6 +30,7 @@
 #include "runtime/HaloTransport.h"
 #include "runtime/Partition.h"
 #include "runtime/StripMiner.h"
+#include "runtime/TimeTile.h"
 #include <map>
 #include <string>
 
@@ -82,32 +83,59 @@ public:
   Executor(const MachineConfig &Config, Options Opts)
       : Config(Config), Opts(Opts) {}
 
-  /// Runs \p Compiled over \p Args for \p Iterations. The result
-  /// subgrids are written once (all iterations compute the same values —
-  /// the paper's timing loops re-execute one statement); the report's
-  /// cycle counts cover one iteration and scale by Iterations.
+  /// Runs \p Compiled over \p Args. The result subgrids are written once
+  /// (all iterations compute the same values — the paper's timing loops
+  /// re-execute one statement); the report's cycle counts cover one
+  /// iteration of the fused unit and scale by Opts.Iterations. With
+  /// Opts.TimeTile = k > 1 the fused unit is k *chained* timesteps fed
+  /// by one wide halo exchange (runtime/TimeTile.h).
   Expected<TimingReport> run(const CompiledStencil &Compiled,
-                             StencilArguments &Args, int Iterations) const;
+                             StencilArguments &Args,
+                             const RunOptions &RO) const;
+  Expected<TimingReport> run(const CompiledStencil &Compiled,
+                             StencilArguments &Args, int Iterations) const {
+    RunOptions RO;
+    RO.Iterations = Iterations;
+    return run(Compiled, Args, RO);
+  }
 
   /// run() after name resolution: the execution body over arguments a
   /// caller already resolved (the cm2 backend's runResolved, the shard
   /// workers). run() is resolve + runResolved.
   Expected<TimingReport> runResolved(const CompiledStencil &Compiled,
                                      const ResolvedStencilArguments &Resolved,
-                                     int Iterations) const;
+                                     const RunOptions &RO) const;
+  Expected<TimingReport> runResolved(const CompiledStencil &Compiled,
+                                     const ResolvedStencilArguments &Resolved,
+                                     int Iterations) const {
+    RunOptions RO;
+    RO.Iterations = Iterations;
+    return runResolved(Compiled, Resolved, RO);
+  }
 
-  /// Cycle cost of one iteration on one node, computed analytically from
-  /// the schedules (no functional work). Exposed for tests, which check
-  /// it against the op counts the pipeline model actually executed.
+  /// Cycle cost of one fused unit (TimeTile chained steps) on one node,
+  /// computed analytically from the schedules (no functional work).
+  /// Exposed for tests, which check it against the op counts the
+  /// pipeline model actually executed.
   CycleBreakdown analyticCycles(const CompiledStencil &Compiled, int SubRows,
-                                int SubCols) const;
+                                int SubCols, int TimeTile) const;
+  CycleBreakdown analyticCycles(const CompiledStencil &Compiled, int SubRows,
+                                int SubCols) const {
+    return analyticCycles(Compiled, SubRows, SubCols, 1);
+  }
 
   /// A full timing report without touching (or allocating) any array
   /// data: exact for any machine size because the timing of a
   /// synchronous SIMD machine depends only on the per-node subgrid
   /// shape. Used for full-machine benchmark rows.
   TimingReport timeOnly(const CompiledStencil &Compiled, int SubRows,
-                        int SubCols, int Iterations) const;
+                        int SubCols, const RunOptions &RO) const;
+  TimingReport timeOnly(const CompiledStencil &Compiled, int SubRows,
+                        int SubCols, int Iterations) const {
+    RunOptions RO;
+    RO.Iterations = Iterations;
+    return timeOnly(Compiled, SubRows, SubCols, RO);
+  }
 
   /// Host (front-end) seconds per iteration.
   double hostSecondsPerIteration(const CompiledStencil &Compiled,
@@ -126,18 +154,51 @@ public:
 
 private:
   /// Runs one node's strips against the already-exchanged halos
-  /// (PaddedBySource[sourceIndex][nodeId]). Operand arrays come from
-  /// \p Resolved — names were resolved once, up front, in run().
+  /// (PaddedBySource[sourceIndex][nodeId]), each padded by \p Border.
+  /// Operand arrays come from \p Resolved — names were resolved once,
+  /// up front, in run().
   void runNode(const CompiledStencil &Compiled,
                const ResolvedStencilArguments &Resolved,
                DistributedArray &ResultArray,
                const std::vector<std::vector<Array2D>> &PaddedBySource,
                const std::vector<PlannedStrip> &Plan, NodeCoord Node,
-               long *OpsExecuted) const;
+               int Border, long *OpsExecuted) const;
   std::vector<HalfStrip> planFor(const CompiledStencil &Compiled,
                                  int SubRows, int SubCols) const;
   std::vector<PlannedStrip> resolvedPlanFor(const CompiledStencil &Compiled,
                                             int SubRows, int SubCols) const;
+
+  /// One owner region of one intermediate tiled step, with the strip
+  /// plan pre-intersected against its owner-space window: restricted
+  /// half-strips plus the op count executing them costs (every node
+  /// executes the same strips — SIMD lock-step — so the count is
+  /// node-independent; masked regions skip execution and their ops).
+  struct RegionStrips {
+    timetile::OwnerRegion Window;
+    std::vector<PlannedStrip> Strips;
+    long Ops = 0;
+  };
+  /// One intermediate step (1 .. k-1): output extension POut =
+  /// (k - step) x radius and its owner-region work lists.
+  struct TiledStep {
+    int POut = 0;
+    std::vector<RegionStrips> Regions;
+  };
+  /// The intermediate-step work lists for tile depth \p TimeTile; empty
+  /// for depth 1. Geometry only (unmasked) — per-node masking is
+  /// re-derived from the node's global position at execution time.
+  std::vector<TiledStep> tiledSteps(const CompiledStencil &Compiled,
+                                    const std::vector<PlannedStrip> &Plan,
+                                    int SubRows, int SubCols,
+                                    int TimeTile) const;
+  /// Executes one node's share of one intermediate tiled step: replays
+  /// each owner region's restricted strips against the node's wide
+  /// scratch via ClampedRegionBinding; zero-fills masked regions.
+  void runNodeTiledStep(const CompiledStencil &Compiled, const Array2D &In,
+                        Array2D &Out,
+                        const std::vector<const Array2D *> &PaddedCoefficients,
+                        const TiledStep &Step, NodeCoord Node, int Border,
+                        int CoeffBorder, long *OpsExecuted) const;
 
   MachineConfig Config;
   Options Opts;

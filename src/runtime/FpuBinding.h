@@ -33,6 +33,7 @@
 #include "cm2/FloatingPointUnit.h"
 #include "runtime/Array2D.h"
 #include "stencil/StencilSpec.h"
+#include <limits>
 #include <vector>
 
 namespace cmcc {
@@ -79,6 +80,83 @@ public:
 
 private:
   HalfStripOperands O;
+  int AbsRow = 0;
+};
+
+/// Owner-region binding for time-tiled intermediate steps: executes one
+/// *owner* node's half-strip at owner-relative positions against this
+/// node's wide-padded scratch arrays (runtime/TimeTile.h). Coordinates
+/// stay in owner subgrid space; the binding translates them through the
+/// per-array origin offsets. Two clamps make full-width strip replay
+/// safe:
+///
+///   * loads falling outside an array's allocation (a full-width owner
+///     strip can reach beyond the scratch pad) return NaN — such values
+///     only ever feed result columns outside the kept window;
+///   * stores land only inside the kept owner-space window; everything
+///     else is dropped (but still *counted* as executed, matching the
+///     SIMD machine, where deselected processors burn the cycles).
+///
+/// The float operations for kept cells are exactly the owner's — same
+/// schedule, same order — so intermediate pad values are bitwise equal
+/// to the owner's step-by-step results.
+class ClampedRegionBinding {
+public:
+  /// Owner cell (r, c) reads input at (r + InRow0, c + InCol0), reads
+  /// tap I's coefficient at (r + CoRow0, c + CoCol0) of
+  /// PaddedCoefficients[I], and writes output at (r + OutRow0,
+  /// c + OutCol0). Kept window [KeepRow0, KeepRow1) x [KeepCol0,
+  /// KeepCol1) is in owner space.
+  struct Operands {
+    const Array2D *Input = nullptr;
+    int InRow0 = 0, InCol0 = 0;
+    const StencilSpec *Spec = nullptr;
+    /// Parallel to Spec->Taps; null for scalar coefficients. Entries
+    /// are *padded* coefficient subgrids (border (k-1) x radius).
+    const std::vector<const Array2D *> *PaddedCoefficients = nullptr;
+    int CoRow0 = 0, CoCol0 = 0;
+    Array2D *Output = nullptr;
+    int OutRow0 = 0, OutCol0 = 0;
+    int LeftCol = 0;
+    int KeepRow0 = 0, KeepRow1 = 0, KeepCol0 = 0, KeepCol1 = 0;
+  };
+
+  explicit ClampedRegionBinding(const Operands &O) : O(O) {}
+
+  void setLine(int Row) { AbsRow = Row; }
+
+  float loadData(int Source, int Dy, int Dx) {
+    (void)Source; // Depths > 1 imply a single source (validated).
+    return clampedAt(*O.Input, AbsRow + Dy + O.InRow0,
+                     O.LeftCol + Dx + O.InCol0);
+  }
+
+  float loadCoefficient(int TapIndex, int ResultIndex) {
+    const Tap &T = O.Spec->Taps[TapIndex];
+    float C = T.Coeff.isArray()
+                  ? clampedAt(*(*O.PaddedCoefficients)[TapIndex],
+                              AbsRow + O.CoRow0,
+                              O.LeftCol + ResultIndex + O.CoCol0)
+                  : static_cast<float>(T.Coeff.Value);
+    return static_cast<float>(T.Sign) * C;
+  }
+
+  void storeResult(int ResultIndex, float Value) {
+    const int Col = O.LeftCol + ResultIndex;
+    if (AbsRow < O.KeepRow0 || AbsRow >= O.KeepRow1 || Col < O.KeepCol0 ||
+        Col >= O.KeepCol1)
+      return;
+    O.Output->at(AbsRow + O.OutRow0, Col + O.OutCol0) = Value;
+  }
+
+private:
+  static float clampedAt(const Array2D &A, int R, int C) {
+    if (R < 0 || R >= A.rows() || C < 0 || C >= A.cols())
+      return std::numeric_limits<float>::quiet_NaN();
+    return A.at(R, C);
+  }
+
+  Operands O;
   int AbsRow = 0;
 };
 

@@ -1,0 +1,275 @@
+//===- service/Autotuner.cpp ----------------------------------*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Autotuner.h"
+#include "backends/native/NativeBackend.h"
+#include "core/PlanFingerprint.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+#include "runtime/TimeTile.h"
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace cmcc;
+
+namespace {
+
+/// Sum of the phase histograms a run's host time lands in. The cm2
+/// path records executor.run_host_us; the wall-clock backends record
+/// backend.<name>.run_host_us around it — summing all three makes the
+/// delta backend-agnostic.
+double runHostUsTotal() {
+  obs::Registry &R = obs::Registry::process();
+  return R.histogram("executor.run_host_us").sum() +
+         R.histogram("backend.native.run_host_us").sum() +
+         R.histogram("backend.njit.run_host_us").sum();
+}
+
+} // namespace
+
+Autotuner::Autotuner(const MachineConfig &Config, Options Opts)
+    : Config(Config), Opts(std::move(Opts)) {
+  if (this->Opts.Depths.empty())
+    this->Opts.Depths = {1};
+}
+
+void Autotuner::noteMetric(const char *Name) {
+  if (Opts.Metrics)
+    Opts.Metrics->counter(Name).add(1);
+}
+
+std::string Autotuner::recordPath(const std::string &Dir,
+                                  uint64_t Fingerprint) {
+  return Dir + "/" + fingerprintHex(Fingerprint) + ".tune";
+}
+
+std::string Autotuner::machineStamp() const {
+  std::ostringstream S;
+  S << Config.NodeRows << "x" << Config.NodeCols << "@" << Config.ClockMHz;
+  return S.str();
+}
+
+std::optional<Autotuner::TunedParams>
+Autotuner::loadRecord(uint64_t Fingerprint, const std::string &BackendName) {
+  if (Opts.Dir.empty())
+    return std::nullopt;
+  std::ifstream In(recordPath(Opts.Dir, Fingerprint));
+  if (!In)
+    return std::nullopt; // Nothing on disk: a plain (uncounted) miss.
+
+  // Strict line-oriented parse: any missing line, bad key, or value
+  // mismatch is a counted DiskReject — a damaged or stale record must
+  // fall back to a fresh sweep, never half-apply.
+  auto Reject = [&]() -> std::optional<TunedParams> {
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      ++Counts.DiskRejects;
+    }
+    noteMetric("service.tune_disk_rejects");
+    return std::nullopt;
+  };
+  std::string Line;
+  if (!std::getline(In, Line) || Line != "cmcc-tune v1")
+    return Reject();
+
+  TunedParams P;
+  bool SawFp = false, SawMachine = false, SawBackend = false, SawTile = false;
+  while (std::getline(In, Line)) {
+    if (Line.empty())
+      continue;
+    std::istringstream LS(Line);
+    std::string Key;
+    LS >> Key;
+    if (Key == "fingerprint") {
+      std::string Hex;
+      LS >> Hex;
+      if (Hex != fingerprintHex(Fingerprint))
+        return Reject();
+      SawFp = true;
+    } else if (Key == "machine") {
+      std::string Stamp;
+      LS >> Stamp;
+      if (Stamp != machineStamp())
+        return Reject();
+      SawMachine = true;
+    } else if (Key == "backend") {
+      std::string Name;
+      LS >> Name;
+      if (Name != BackendName)
+        return Reject();
+      SawBackend = true;
+    } else if (Key == "time_tile") {
+      if (!(LS >> P.TimeTile) || P.TimeTile < 1)
+        return Reject();
+      SawTile = true;
+    } else if (Key == "threads") {
+      if (!(LS >> P.ThreadCount) || P.ThreadCount < 0)
+        return Reject();
+    } else if (Key == "rows_per_tile") {
+      if (!(LS >> P.RowsPerTile) || P.RowsPerTile < 1)
+        return Reject();
+    } else if (Key == "score_us") {
+      if (!(LS >> P.ScoreUs))
+        return Reject();
+    } else {
+      return Reject(); // Unknown key: a future version we cannot trust.
+    }
+  }
+  if (!SawFp || !SawMachine || !SawBackend || !SawTile)
+    return Reject(); // Truncated.
+  return P;
+}
+
+void Autotuner::storeRecord(uint64_t Fingerprint,
+                            const std::string &BackendName,
+                            const TunedParams &P) {
+  if (Opts.Dir.empty())
+    return;
+  std::error_code EC;
+  std::filesystem::create_directories(Opts.Dir, EC);
+  std::ofstream Out(recordPath(Opts.Dir, Fingerprint), std::ios::trunc);
+  if (!Out)
+    return; // Persistence is best-effort; memory still has the winner.
+  Out << "cmcc-tune v1\n"
+      << "fingerprint " << fingerprintHex(Fingerprint) << "\n"
+      << "machine " << machineStamp() << "\n"
+      << "backend " << BackendName << "\n"
+      << "time_tile " << P.TimeTile << "\n"
+      << "threads " << P.ThreadCount << "\n"
+      << "rows_per_tile " << P.RowsPerTile << "\n"
+      << "score_us " << P.ScoreUs << "\n";
+}
+
+std::optional<Autotuner::TunedParams>
+Autotuner::lookup(uint64_t Fingerprint, const ExecutionBackend &Backend) {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    auto It = Memory.find(Fingerprint);
+    if (It != Memory.end()) {
+      ++Counts.Hits;
+      noteMetric("service.tune_hits");
+      return It->second;
+    }
+  }
+  if (std::optional<TunedParams> P = loadRecord(Fingerprint, Backend.name())) {
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      ++Counts.DiskHits;
+      Memory.emplace(Fingerprint, *P);
+    }
+    noteMetric("service.tune_disk_hits");
+    return P;
+  }
+  return std::nullopt;
+}
+
+Autotuner::TunedParams Autotuner::tune(uint64_t Fingerprint,
+                                       const ExecutionBackend &Backend,
+                                       const CompiledStencil &Plan,
+                                       int SubRows, int SubCols) {
+  CMCC_SPAN("service.autotune");
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ++Counts.Misses;
+    ++Counts.Sweeps;
+  }
+  noteMetric("service.tune_misses");
+  noteMetric("service.tune_sweeps");
+
+  // Candidate depths: each requested depth clamped to what the plan
+  // and subgrid admit (deep requests collapse onto the deepest legal
+  // tile), deduplicated, depth 1 always present as the baseline.
+  std::vector<int> Depths{1};
+  for (int D : Opts.Depths) {
+    int K = timetile::clampTimeTile(Plan.Spec, D, SubRows, SubCols);
+    if (std::find(Depths.begin(), Depths.end(), K) == Depths.end())
+      Depths.push_back(K);
+  }
+
+  const bool WallClock = Backend.reportsWallClock();
+  TunedParams Best;
+  Best.ScoreUs = -1.0;
+  for (int K : Depths) {
+    RunOptions RO;
+    RO.TimeTile = K;
+    const double HistBefore = WallClock ? runHostUsTotal() : 0.0;
+    Expected<TimingReport> Report =
+        Backend.timeOnly(Plan, SubRows, SubCols, RO);
+    if (!Report)
+      continue; // An undeployable depth scores itself out.
+    // Per-timestep cost: depth k's run covers k chained steps, so the
+    // fair comparison divides by k. Wall-clock backends are scored by
+    // the obs phase-histogram delta their run recorded (falling back
+    // to the report when the run was too fast to register); cm2 by
+    // the simulated machine time.
+    double Us;
+    if (WallClock) {
+      Us = runHostUsTotal() - HistBefore;
+      if (Us <= 0.0)
+        Us = Report->HostSecondsPerIteration * 1e6;
+    } else {
+      Us = Report->secondsPerIteration() * 1e6;
+    }
+    Us /= K;
+    if (Best.ScoreUs < 0.0 || Us < Best.ScoreUs) {
+      Best.TimeTile = K;
+      Best.ScoreUs = Us;
+    }
+  }
+  if (Best.ScoreUs < 0.0)
+    Best = TunedParams{}; // Every probe failed: keep the safe defaults.
+
+  // Host-loop knobs: for the native backend, probe the strip-tile
+  // height at the winning depth on private single-option instances
+  // (the knob is a constructor option, not a RunOptions field). Other
+  // backends keep the defaults — the record still carries them.
+  if (std::string_view(Backend.name()) == "native") {
+    double BestRowsUs = -1.0;
+    for (int Rows : {16, 32, 64}) {
+      NativeBackend::Options NO;
+      NO.RowsPerTile = Rows;
+      NativeBackend Probe(Config, NO);
+      RunOptions RO;
+      RO.TimeTile = Best.TimeTile;
+      const double HistBefore = runHostUsTotal();
+      Expected<TimingReport> Report =
+          Probe.timeOnly(Plan, SubRows, SubCols, RO);
+      if (!Report)
+        continue;
+      double Us = runHostUsTotal() - HistBefore;
+      if (Us <= 0.0)
+        Us = Report->HostSecondsPerIteration * 1e6;
+      if (BestRowsUs < 0.0 || Us < BestRowsUs) {
+        BestRowsUs = Us;
+        Best.RowsPerTile = Rows;
+      }
+    }
+  }
+
+  storeRecord(Fingerprint, Backend.name(), Best);
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Memory[Fingerprint] = Best;
+  }
+  return Best;
+}
+
+Autotuner::TunedParams Autotuner::resolve(uint64_t Fingerprint,
+                                          const ExecutionBackend &Backend,
+                                          const CompiledStencil &Plan,
+                                          int SubRows, int SubCols) {
+  if (std::optional<TunedParams> P = lookup(Fingerprint, Backend))
+    return *P;
+  return tune(Fingerprint, Backend, Plan, SubRows, SubCols);
+}
+
+Autotuner::Counters Autotuner::counters() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Counts;
+}

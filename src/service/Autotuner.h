@@ -1,0 +1,146 @@
+//===- service/Autotuner.h - Per-plan execution-knob tuner ----*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small empirical autotuner for the execution knobs a compiled plan
+/// leaves open — today the time-tile depth (runtime/TimeTile.h), with
+/// the host-loop parameters (thread count, rows per strip tile)
+/// recorded alongside for backends that honor them.
+///
+/// The tuner is keyed like the plan cache: per (plan fingerprint,
+/// machine). A cold key sweeps the candidate depths through the
+/// backend's timeOnly path and scores each by *per-timestep* cost read
+/// from the obs layer's phase histograms (backend.*.run_host_us /
+/// executor.run_host_us deltas for wall-clock backends, the simulated
+/// seconds for cm2) — depth k fuses k steps behind one exchange, so a
+/// fair comparison divides by k. The winner persists as a versioned
+/// text record beside the cached plan:
+///
+///     <dir>/<fingerprint-hex>.tune
+///
+///     cmcc-tune v1
+///     fingerprint <hex16>
+///     machine <rows>x<cols>@<mhz>
+///     backend <name>
+///     time_tile <k>
+///     threads <n>
+///     rows_per_tile <n>
+///     score_us <float>
+///
+/// Warm keys are served from memory, then disk — never re-swept
+/// (counted, so tests can assert the sweep ran exactly once). A record
+/// that is truncated, corrupt, stale-versioned, or stamped for a
+/// different machine/backend is a counted DiskReject and falls back to
+/// a fresh sweep — mirroring the plan cache's discipline that disk
+/// state can be lost or damaged but never change behavior silently.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMCC_SERVICE_AUTOTUNER_H
+#define CMCC_SERVICE_AUTOTUNER_H
+
+#include "cm2/MachineConfig.h"
+#include "runtime/Backend.h"
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace cmcc {
+namespace obs {
+class Registry;
+} // namespace obs
+
+/// Chooses and remembers per-plan execution parameters.
+class Autotuner {
+public:
+  /// The tuned knobs for one (fingerprint, machine) key.
+  struct TunedParams {
+    /// Chained timesteps fused behind one wide halo exchange.
+    int TimeTile = 1;
+    /// Host threads (0 = shared pool); recorded for native-family
+    /// backends, informational elsewhere.
+    int ThreadCount = 0;
+    /// Rows per parallel strip tile (native-family backends).
+    int RowsPerTile = 32;
+    /// The winner's per-timestep score in microseconds (host us for
+    /// wall-clock backends, simulated us for cm2).
+    double ScoreUs = 0.0;
+  };
+
+  struct Options {
+    /// Directory for persisted records; empty = memory-only tuning.
+    std::string Dir;
+    /// Candidate tile depths (clamped per plan/subgrid before use).
+    std::vector<int> Depths = {1, 2, 4, 8};
+    /// When set, every Counters increment is mirrored as a
+    /// service.tune_* counter in this registry (so metrics exports
+    /// carry the tuner's behavior). The registry must outlive the
+    /// tuner; it is touched only from lookup()/tune(), never the
+    /// constructor.
+    obs::Registry *Metrics = nullptr;
+  };
+
+  /// Monotonic counters (all reads are lock-free snapshots).
+  struct Counters {
+    long Hits = 0;        ///< Served from memory.
+    long DiskHits = 0;    ///< Loaded from a valid on-disk record.
+    long Misses = 0;      ///< No usable record anywhere: a sweep ran.
+    long DiskRejects = 0; ///< Record present but corrupt/stale/foreign.
+    long Sweeps = 0;      ///< Full candidate sweeps performed.
+  };
+
+  Autotuner(const MachineConfig &Config, Options Opts);
+
+  /// The tuned parameters for \p Fingerprint without sweeping: memory,
+  /// then disk (a valid disk record is promoted into memory and counts
+  /// DiskHits). std::nullopt means no usable record exists yet.
+  std::optional<TunedParams> lookup(uint64_t Fingerprint,
+                                    const ExecutionBackend &Backend);
+
+  /// Sweeps Options::Depths (clamped to the plan and subgrid) through
+  /// \p Backend.timeOnly, picks the cheapest per-timestep depth, and
+  /// persists + remembers the winner. Returns the winner (TimeTile = 1
+  /// when nothing beats the untiled run or the sweep cannot run at
+  /// all). Thread-safe; concurrent sweeps of one key are wasteful but
+  /// harmless (last writer wins with an equivalent record).
+  TunedParams tune(uint64_t Fingerprint, const ExecutionBackend &Backend,
+                   const CompiledStencil &Plan, int SubRows, int SubCols);
+
+  /// lookup() falling back to tune() — the warm path never sweeps.
+  TunedParams resolve(uint64_t Fingerprint, const ExecutionBackend &Backend,
+                      const CompiledStencil &Plan, int SubRows, int SubCols);
+
+  Counters counters() const;
+
+  /// The record path for \p Fingerprint under \p Dir (exposed so tests
+  /// can corrupt/truncate/stale records without path guessing).
+  static std::string recordPath(const std::string &Dir, uint64_t Fingerprint);
+
+private:
+  /// "4x4@7" — the machine identity a record is valid for.
+  std::string machineStamp() const;
+  /// Bumps the mirrored obs counter \p Name when Options::Metrics is
+  /// set; a no-op otherwise.
+  void noteMetric(const char *Name);
+  std::optional<TunedParams> loadRecord(uint64_t Fingerprint,
+                                        const std::string &BackendName);
+  void storeRecord(uint64_t Fingerprint, const std::string &BackendName,
+                   const TunedParams &P);
+
+  MachineConfig Config;
+  Options Opts;
+
+  mutable std::mutex Mutex;
+  std::unordered_map<uint64_t, TunedParams> Memory;
+  Counters Counts;
+};
+
+} // namespace cmcc
+
+#endif // CMCC_SERVICE_AUTOTUNER_H

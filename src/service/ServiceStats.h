@@ -39,6 +39,15 @@ struct ServiceStats {
   long Retries = 0;          ///< Execute attempts beyond each job's first.
   long Fallbacks = 0;        ///< Jobs that fell back to the cm2 backend.
 
+  //===--- Plan batching + autotuning (DESIGN.md §5k) ---------------------===//
+  long Batches = 0;     ///< Same-fingerprint groups run back-to-back.
+  long BatchedJobs = 0; ///< Follower jobs claimed into a batch.
+  long TuneHits = 0;        ///< Tuned params served from memory.
+  long TuneDiskHits = 0;    ///< Tuned params loaded from a valid record.
+  long TuneMisses = 0;      ///< No usable record: a sweep ran.
+  long TuneDiskRejects = 0; ///< Corrupt/stale/foreign tuning records.
+  long TuneSweeps = 0;      ///< Full candidate sweeps performed.
+
   //===--- Multi-tenancy (DESIGN.md §5h) ----------------------------------===//
   /// One row per tenant id that has submitted anything (id 0 is the
   /// anonymous default tenant).

@@ -13,6 +13,7 @@
 #include "obs/TraceContext.h"
 #include "sexpr/DefStencil.h"
 #include "shard/ShardedBackend.h"
+#include "runtime/TimeTile.h"
 #include "stencil/Recognizer.h"
 #include "support/Assert.h"
 #include "support/FaultInjection.h"
@@ -63,6 +64,18 @@ StencilService::StencilService(const MachineConfig &Config, Options Opts)
     : Config(Config), Opts(Opts), Compiler(Config),
       Engine(makeServiceEngine(Config, Opts)),
       Cache(Config, Opts.Cache),
+      Tuner(std::make_unique<Autotuner>(
+          Config,
+          [this, &Opts] {
+            Autotuner::Options AO;
+            // Records live beside the cached plans unless redirected.
+            AO.Dir = Opts.TuneDir.empty() ? Opts.Cache.DiskDir : Opts.TuneDir;
+            AO.Depths = Opts.TuneDepths;
+            // Metrics is a later member, so only its address is taken
+            // here; the tuner touches it lazily, never at construction.
+            AO.Metrics = &Metrics;
+            return AO;
+          }())),
       JobsSubmitted(Metrics.counter("service.jobs_submitted")),
       JobsCompleted(Metrics.counter("service.jobs_completed")),
       JobsFailed(Metrics.counter("service.jobs_failed")),
@@ -76,12 +89,21 @@ StencilService::StencilService(const MachineConfig &Config, Options Opts)
       Retries(Metrics.counter("service.retries")),
       Fallbacks(Metrics.counter("service.fallbacks")),
       SlowJobs(Metrics.counter("service.slow_jobs")),
+      Batches(Metrics.counter("service.batches")),
+      BatchedJobs(Metrics.counter("service.batched_jobs")),
       QueueDepth(Metrics.gauge("service.queue_depth")),
       CompileUs(Metrics.histogram("service.compile_us")),
       ExecuteUs(Metrics.histogram("service.execute_us")),
       SimSeconds(Metrics.sum("service.sim_seconds")),
       UsefulFlops(Metrics.sum("service.useful_flops")) {
   assert(Engine && "unknown backend name (validate with isBackendName)");
+  // Pre-register the tuner's mirrored counters so metrics exports show
+  // them at zero even before (or without) any autotuned job.
+  Metrics.counter("service.tune_hits");
+  Metrics.counter("service.tune_disk_hits");
+  Metrics.counter("service.tune_misses");
+  Metrics.counter("service.tune_disk_rejects");
+  Metrics.counter("service.tune_sweeps");
   Compiler.setAllowMultipleSources(Opts.AllowMultipleSources);
   int N = std::max(1, Opts.Workers);
   Workers.reserve(N);
@@ -135,6 +157,10 @@ const char *StencilService::jobEventName(JobEvent E) {
     return "done";
   case JobEvent::Failed:
     return "failed";
+  case JobEvent::Batched:
+    return "batched";
+  case JobEvent::Autotuned:
+    return "autotuned";
   }
   return "unknown";
 }
@@ -672,6 +698,10 @@ void StencilService::process(Job &J) {
     return;
   }
 
+  // Plan batching: with the resolved plan in hand, queued jobs carrying
+  // the same fingerprint can ride along with zero re-resolution.
+  std::vector<Job *> Followers = claimBatch(J, Fp, Plan);
+
   {
     std::lock_guard<std::mutex> Lock(JobsMutex);
     J.State = JobState::Executing;
@@ -679,6 +709,121 @@ void StencilService::process(Job &J) {
   JobsChanged.notify_all();
 
   execute(J, *Plan);
+
+  // Claimed followers run back-to-back on this worker: same immutable
+  // plan object, no front end, no cache traffic — the batch is the warm
+  // path with even the lookups amortized away. Each follower keeps its
+  // own trace context, deadline, retry ladder, and ledger entry.
+  for (Job *F : Followers) {
+    obs::ScopedTraceContext FollowerScope(F->Request.TraceId,
+                                          F->Request.ParentSpan);
+    CMCC_SPAN("service.job");
+    if (pastDeadline(*F)) {
+      finish(*F, JobState::Failed);
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> Lock(JobsMutex);
+      F->State = JobState::Executing;
+    }
+    JobsChanged.notify_all();
+    execute(*F, *Plan);
+  }
+}
+
+std::vector<StencilService::Job *>
+StencilService::claimBatch(Job &Leader, uint64_t Fp,
+                           std::shared_ptr<const CompiledStencil> Plan) {
+  std::vector<Job *> Claimed;
+  if (Opts.BatchWindowMs <= 0)
+    return Claimed;
+  CMCC_SPAN("service.batch_claim");
+
+  // The fingerprint of a queued job, when knowable without front-end
+  // work: explicit-fingerprint jobs carry it, source jobs are matched
+  // through the memo (MemoMutex is a leaf lock, safe under JobsMutex).
+  auto QueuedFp = [&](const Job &Q) -> std::optional<uint64_t> {
+    if (Q.Request.Kind == SourceKind::Fingerprint)
+      return Q.Request.Fingerprint;
+    std::lock_guard<std::mutex> MemoLock(MemoMutex);
+    auto It = SourceMemo.find(memoKey(Q.Request.Kind, Q.Request.Source));
+    if (It != SourceMemo.end())
+      return It->second.Fingerprint;
+    return std::nullopt;
+  };
+
+  const auto Deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(Opts.BatchWindowMs);
+  std::unique_lock<std::mutex> Lock(JobsMutex);
+  // Wait out the window for a same-plan job to arrive (Nagle-style:
+  // the leader trades a bounded slice of its own latency for the
+  // group's amortization). Shutdown wakes the wait; claiming during
+  // shutdown is fine — workers drain every admitted job regardless.
+  JobsChanged.wait_until(Lock, Deadline, [&] {
+    if (ShuttingDown)
+      return true;
+    for (const Job *Q : Queue)
+      if (std::optional<uint64_t> QF = QueuedFp(*Q); QF && *QF == Fp)
+        return true;
+    return false;
+  });
+
+  for (auto It = Queue.begin(); It != Queue.end();) {
+    Job *Q = *It;
+    const bool ViaMemo = Q->Request.Kind != SourceKind::Fingerprint;
+    std::optional<uint64_t> QF = QueuedFp(*Q);
+    if (!QF || *QF != Fp) {
+      ++It;
+      continue;
+    }
+    It = Queue.erase(It);
+    QueueDepth.add(-1);
+    --tenantEntry(Q->Request.Tenant).Queued;
+    Q->State = JobState::Compiling;
+    note(*Q, JobEvent::Dequeued);
+    note(*Q, JobEvent::Batched);
+    // Stamp the accounting a solo warm run of this job would have
+    // produced — its source would resolve through the memo and its
+    // plan through the cache — so grouped and ungrouped ledgers match.
+    if (ViaMemo)
+      SourceMemoHits.add(1);
+    Q->Result.CacheHit = true;
+    note(*Q, JobEvent::CacheHit);
+    Q->Result.Fingerprint = Fp;
+    Q->Result.Plan = Plan;
+    Q->Result.Batched = true;
+    BatchedJobs.add(1);
+    Claimed.push_back(Q);
+  }
+  if (!Claimed.empty()) {
+    Batches.add(1);
+    // The leader's timeline records the group size it amortized for.
+    note(Leader, JobEvent::Batched, static_cast<int32_t>(Claimed.size()));
+  }
+  Lock.unlock();
+  // The erases made room at the cap: wake blocked producers.
+  JobsChanged.notify_all();
+  return Claimed;
+}
+
+int StencilService::effectiveTimeTile(Job &J, const CompiledStencil &Plan) {
+  int SubRows = J.Request.SubRows;
+  int SubCols = J.Request.SubCols;
+  if (J.Request.Args && J.Request.Args->Result) {
+    SubRows = J.Request.Args->Result->subRows();
+    SubCols = J.Request.Args->Result->subCols();
+  }
+  int Want = J.Request.TimeTile > 0 ? J.Request.TimeTile : Opts.TimeTile;
+  if (Want <= 0) {
+    // Autotuned: warm fingerprints reuse the recorded winner, cold ones
+    // sweep once (counted — tests pin "warm runs never re-sweep" on
+    // these counters).
+    Autotuner::TunedParams P =
+        Tuner->resolve(J.Result.Fingerprint, *Engine, Plan, SubRows, SubCols);
+    note(J, JobEvent::Autotuned, P.TimeTile);
+    Want = P.TimeTile;
+  }
+  return timetile::clampTimeTile(Plan.Spec, Want, SubRows, SubCols);
 }
 
 void StencilService::execute(Job &J, const CompiledStencil &Plan) {
@@ -690,6 +835,13 @@ void StencilService::execute(Job &J, const CompiledStencil &Plan) {
   };
 
   const ExecutionBackend *Exec = Engine.get();
+  // The depth is resolved once, before the attempt loop: retries and
+  // the cm2 fallback execute the identical fused unit, so a retried or
+  // degraded job cannot silently change its numerical contract.
+  RunOptions RO;
+  RO.Iterations = J.Request.Iterations;
+  RO.TimeTile = effectiveTimeTile(J, Plan);
+  J.Result.TimeTileUsed = RO.TimeTile;
   int Attempt = 0; // Attempts on the current backend, 0-based.
   for (;;) {
     // Checked before each attempt, never after a success: a result that
@@ -701,9 +853,8 @@ void StencilService::execute(Job &J, const CompiledStencil &Plan) {
     note(J, JobEvent::ExecuteAttempt, J.Result.Retries + 1);
     Expected<TimingReport> Report =
         J.Request.Args
-            ? Exec->run(Plan, *J.Request.Args, J.Request.Iterations)
-            : Exec->timeOnly(Plan, J.Request.SubRows, J.Request.SubCols,
-                             J.Request.Iterations);
+            ? Exec->run(Plan, *J.Request.Args, RO)
+            : Exec->timeOnly(Plan, J.Request.SubRows, J.Request.SubCols, RO);
     if (Report) {
       J.Result.Report = *Report;
       J.Result.Ok = true;
@@ -842,6 +993,16 @@ ServiceStats StencilService::stats() const {
   S.DeadlineExceeded = DeadlinesExceeded.value();
   S.Retries = Retries.value();
   S.Fallbacks = Fallbacks.value();
+  S.Batches = Batches.value();
+  S.BatchedJobs = BatchedJobs.value();
+  {
+    Autotuner::Counters TC = Tuner->counters();
+    S.TuneHits = TC.Hits;
+    S.TuneDiskHits = TC.DiskHits;
+    S.TuneMisses = TC.Misses;
+    S.TuneDiskRejects = TC.DiskRejects;
+    S.TuneSweeps = TC.Sweeps;
+  }
   S.CompileSecondsTotal = CompileUs.sum() / 1e6;
   S.ExecuteSecondsTotal = ExecuteUs.sum() / 1e6;
   S.SimSecondsTotal = SimSeconds.value();

@@ -48,6 +48,7 @@
 #include "core/Compiler.h"
 #include "obs/Metrics.h"
 #include "runtime/Executor.h"
+#include "service/Autotuner.h"
 #include "service/PlanCache.h"
 #include "service/ServiceStats.h"
 #include <chrono>
@@ -122,6 +123,12 @@ public:
     int SubRows = 64;
     int SubCols = 64;
     int Iterations = 1;
+    /// Chained timesteps fused behind one wide halo exchange
+    /// (runtime/TimeTile.h). 0 defers to Options::TimeTile (the service
+    /// default, which may be autotuned); k >= 1 requests depth k. The
+    /// effective depth is always clamped to what the plan and subgrid
+    /// admit, and is identical across retries and the cm2 fallback.
+    int TimeTile = 0;
   };
 
   struct JobResult {
@@ -146,6 +153,13 @@ public:
     /// The job ran on the cm2 fallback backend after its primary
     /// backend kept failing transiently.
     bool FellBack = false;
+    /// The job was claimed out of the queue by a batch leader with the
+    /// same plan fingerprint and executed back-to-back with it, with no
+    /// plan re-resolution of its own (leaders themselves stay false).
+    bool Batched = false;
+    /// The time-tile depth the job actually executed with (after the
+    /// service default / autotuner / clamping resolved).
+    int TimeTileUsed = 1;
     TimingReport Report;
     /// The (immutable) plan the job ran; usable for resubmission by
     /// fingerprint or direct Executor calls.
@@ -173,6 +187,8 @@ public:
     SlowJob,          ///< Total latency exceeded Options::SlowJobMs.
     Done,             ///< Finished successfully.
     Failed,           ///< Finished unsuccessfully.
+    Batched,          ///< Claimed by a same-fingerprint batch leader.
+    Autotuned,        ///< Tuned depth resolved (Detail: the depth).
   };
 
   struct TimelineEntry {
@@ -284,6 +300,25 @@ public:
     long SlowJobMs = 0;
     /// Finished-job timelines retained for the `timeline` query.
     size_t TimelineRingCap = 256;
+    /// Plan-batched dispatch (DESIGN.md §5k): after a worker resolves a
+    /// job's plan it waits up to this many milliseconds for queued jobs
+    /// carrying the *same* plan fingerprint (known without front-end
+    /// work: explicit-fingerprint jobs, or source texts already in the
+    /// memo), claims them, and runs the group back-to-back with zero
+    /// re-resolution. 0 disables batching (the classic one-job path).
+    long BatchWindowMs = 0;
+    /// Default time-tile depth for jobs that do not set their own
+    /// (JobRequest::TimeTile == 0): 1 = classic untiled execution,
+    /// k > 1 = fixed depth k (clamped per plan/subgrid), 0 = consult
+    /// the autotuner per (fingerprint, machine) — cold fingerprints
+    /// sweep once, warm ones reuse the persisted winner.
+    int TimeTile = 1;
+    /// Directory for persisted autotuner records; empty uses the plan
+    /// cache's disk directory (records live beside the plans they
+    /// tune), so a disk-less cache means memory-only tuning.
+    std::string TuneDir;
+    /// Candidate depths the autotuner sweeps (clamped per plan).
+    std::vector<int> TuneDepths = {1, 2, 4, 8};
   };
 
   StencilService(const MachineConfig &Config, Options Opts);
@@ -347,6 +382,10 @@ public:
 
   PlanCache &cache() { return Cache; }
   const MachineConfig &machine() const { return Config; }
+
+  /// The per-plan execution-knob tuner (its counters are part of
+  /// stats(); exposed so tests can inspect and pre-seed records).
+  Autotuner &autotuner() { return *Tuner; }
 
   /// The execution backend jobs run on.
   const ExecutionBackend &backend() const { return *Engine; }
@@ -417,6 +456,18 @@ private:
   /// Runs the execute phase: deadline checks before each attempt,
   /// retry-with-backoff on transient failures, one-shot cm2 fallback.
   void execute(Job &J, const CompiledStencil &Plan);
+  /// Resolves the time-tile depth \p J executes with: request override,
+  /// service default, or the autotuner's winner — then clamps to the
+  /// plan and subgrid. Called once per job, before the attempt loop, so
+  /// retries and the fallback run the identical depth.
+  int effectiveTimeTile(Job &J, const CompiledStencil &Plan);
+  /// Plan batching: waits up to Options::BatchWindowMs for queued jobs
+  /// whose fingerprint equals \p Fp (cheaply knowable: explicit
+  /// fingerprints or memoized sources), claims them off the queue with
+  /// full dequeue accounting, and returns them stamped Batched with
+  /// \p Plan attached. Returns an empty list when batching is off.
+  std::vector<Job *> claimBatch(Job &Leader, uint64_t Fp,
+                                std::shared_ptr<const CompiledStencil> Plan);
   void finish(Job &J, JobState Final);
   /// True (and counts + stamps the failure) when \p J is past its
   /// deadline; a cooperative cancellation point.
@@ -442,6 +493,7 @@ private:
   std::mutex FallbackMutex;
   std::unique_ptr<const ExecutionBackend> Fallback;
   PlanCache Cache;
+  std::unique_ptr<Autotuner> Tuner;
 
   //===--- Job table and queue --------------------------------------------===//
   mutable std::mutex JobsMutex;
@@ -486,6 +538,8 @@ private:
   obs::Counter &Retries;           ///< service.retries (attempts past 1st)
   obs::Counter &Fallbacks;         ///< service.fallbacks (jobs, not attempts)
   obs::Counter &SlowJobs;          ///< service.slow_jobs (over SlowJobMs)
+  obs::Counter &Batches;           ///< service.batches (groups formed)
+  obs::Counter &BatchedJobs;       ///< service.batched_jobs (followers)
   obs::Gauge &QueueDepth;          ///< service.queue_depth (now + max)
   obs::Histogram &CompileUs;       ///< service.compile_us (per performed)
   obs::Histogram &ExecuteUs;       ///< service.execute_us (per completed)

@@ -186,6 +186,7 @@ std::vector<uint8_t> cmcc::shard::encodeRun(const RunMessage &M) {
   ByteWriter W;
   W.u64(M.Fingerprint);
   W.u32(static_cast<uint32_t>(M.Iterations));
+  W.u32(static_cast<uint32_t>(M.TimeTile));
   W.u32(static_cast<uint32_t>(M.SubRows));
   W.u32(static_cast<uint32_t>(M.SubCols));
   W.u64(M.TraceId);
@@ -202,9 +203,9 @@ std::vector<uint8_t> cmcc::shard::encodeRun(const RunMessage &M) {
 bool cmcc::shard::decodeRun(const std::vector<uint8_t> &Payload,
                             RunMessage &M) {
   ByteReader R(Payload.data(), Payload.size());
-  uint32_t It = 0, SR = 0, SC = 0, NSrc = 0, NTap = 0;
-  if (!(R.u64(M.Fingerprint) && R.u32(It) && R.u32(SR) && R.u32(SC) &&
-        R.u64(M.TraceId) && R.u64(M.ParentSpan) && R.u32(NSrc)))
+  uint32_t It = 0, TT = 0, SR = 0, SC = 0, NSrc = 0, NTap = 0;
+  if (!(R.u64(M.Fingerprint) && R.u32(It) && R.u32(TT) && R.u32(SR) &&
+        R.u32(SC) && R.u64(M.TraceId) && R.u64(M.ParentSpan) && R.u32(NSrc)))
     return false;
   if (NSrc > 1024 || R.remaining() < NSrc * 4)
     return false;
@@ -221,6 +222,7 @@ bool cmcc::shard::decodeRun(const std::vector<uint8_t> &Payload,
   if (!R.exhausted())
     return false;
   M.Iterations = static_cast<int>(It);
+  M.TimeTile = static_cast<int>(TT);
   M.SubRows = static_cast<int>(SR);
   M.SubCols = static_cast<int>(SC);
   return true;

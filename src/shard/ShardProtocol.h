@@ -84,6 +84,8 @@ struct DataMessage {
 struct RunMessage {
   uint64_t Fingerprint = 0;
   int Iterations = 1;
+  /// Time-tile depth (RunOptions::TimeTile); 1 = classic single step.
+  int TimeTile = 1;
   int SubRows = 0;
   int SubCols = 0;
   uint64_t TraceId = 0;

@@ -342,8 +342,11 @@ int cmcc::shard::runShardWorker(int SocketFd, int ShmFd) {
       // coordinator's timeline.
       obs::ScopedTraceContext TraceScope(M.TraceId, M.ParentSpan);
       State->Transport->WaitNs = 0;
+      RunOptions RO;
+      RO.Iterations = M.Iterations;
+      RO.TimeTile = M.TimeTile;
       Expected<TimingReport> R =
-          State->Backend->runResolved(PlanIt->second, Resolved, M.Iterations);
+          State->Backend->runResolved(PlanIt->second, Resolved, RO);
       if (!R) {
         Reply.Ok = false;
         Reply.Transient = R.error().isTransient();

@@ -607,7 +607,7 @@ Error ShardedBackend::relayAndGather(const ResolvedStencilArguments &Resolved,
 Expected<TimingReport>
 ShardedBackend::runResolved(const CompiledStencil &Compiled,
                             const ResolvedStencilArguments &Resolved,
-                            int Iterations) const {
+                            const RunOptions &RO) const {
   CMCC_SPAN("backend.shard.run");
   if (GridError)
     return GridError;
@@ -655,7 +655,11 @@ ShardedBackend::runResolved(const CompiledStencil &Compiled,
       }
 
   Run.Fingerprint = Fingerprint;
-  Run.Iterations = Iterations;
+  Run.Iterations = RO.Iterations;
+  // Workers run the tiled chain locally: the partitioned exchange
+  // already carries arbitrary border widths (and the extra coefficient
+  // exchanges) through the relay, which is size-agnostic.
+  Run.TimeTile = RO.TimeTile;
   Run.SubRows = Resolved.Result->subRows();
   Run.SubCols = Resolved.Result->subCols();
   const obs::TraceContext Ctx = obs::currentTraceContext();
@@ -685,13 +689,13 @@ ShardedBackend::runResolved(const CompiledStencil &Compiled,
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       RunStart)
             .count() /
-        static_cast<double>(std::max(1, Iterations));
+        static_cast<double>(std::max(1, RO.Iterations));
   return Report;
 }
 
 Expected<TimingReport> ShardedBackend::timeOnly(const CompiledStencil &Compiled,
                                                 int SubRows, int SubCols,
-                                                int Iterations) const {
+                                                const RunOptions &RO) const {
   if (GridError)
     return GridError;
   const StencilSpec &Spec = Compiled.Spec;
@@ -719,5 +723,5 @@ Expected<TimingReport> ShardedBackend::timeOnly(const CompiledStencil &Compiled,
   for (const std::string &Name : Spec.coefficientArrayNames())
     Args.Coefficients[Name] = MakeScratch(Seed++);
 
-  return run(Compiled, Args, Iterations);
+  return run(Compiled, Args, RO);
 }

@@ -68,14 +68,20 @@ public:
 
   bool reportsWallClock() const override;
 
+  // Re-expose the base class's int-Iterations convenience overloads
+  // (hidden by the RunOptions overrides).
+  using ExecutionBackend::run;
+  using ExecutionBackend::runResolved;
+  using ExecutionBackend::timeOnly;
+
   Expected<TimingReport>
   runResolved(const CompiledStencil &Compiled,
               const ResolvedStencilArguments &Resolved,
-              int Iterations) const override;
+              const RunOptions &RO) const override;
 
   Expected<TimingReport> timeOnly(const CompiledStencil &Compiled,
                                   int SubRows, int SubCols,
-                                  int Iterations) const override;
+                                  const RunOptions &RO) const override;
 
   const MachineConfig &machine() const override { return Config; }
 

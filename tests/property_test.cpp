@@ -19,12 +19,15 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "backends/cm2/Cm2Backend.h"
 #include "core/Compiler.h"
 #include "runtime/Executor.h"
 #include "runtime/Reference.h"
+#include "runtime/TimeTile.h"
 #include "service/StencilService.h"
 #include "stencil/PatternLibrary.h"
 #include "support/Random.h"
+#include <cstring>
 #include <gtest/gtest.h>
 #include <memory>
 
@@ -153,6 +156,89 @@ TEST_P(RandomMultiSourceTest, MatchesReference) {
 
 INSTANTIATE_TEST_SUITE_P(Sweep, RandomMultiSourceTest,
                          ::testing::Range(0, 20));
+
+//===----------------------------------------------------------------------===//
+// Time tiling is transparent on random stencils (DESIGN.md §5k)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Identically seeded argument set for one side of the tiled-vs-stepwise
+/// comparison (same construction as the differential suite's, so both
+/// sides start from bit-identical inputs).
+struct TileArrays {
+  TileArrays(const MachineConfig &Config, const StencilSpec &Spec,
+             int SubRows, int SubCols, uint64_t Seed)
+      : Grid(Config), R(Grid, SubRows, SubCols) {
+    Args.Result = &R;
+    auto MakeArray = [&](uint64_t S) {
+      auto A = std::make_unique<DistributedArray>(Grid, SubRows, SubCols);
+      Array2D G(R.globalRows(), R.globalCols());
+      G.fillRandom(S);
+      A->scatter(G);
+      Owned.push_back(std::move(A));
+      return Owned.back().get();
+    };
+    Args.Source = MakeArray(Seed);
+    std::vector<std::string> CoeffNames = Spec.coefficientArrayNames();
+    for (size_t I = 0; I != CoeffNames.size(); ++I)
+      Args.Coefficients[CoeffNames[I]] = MakeArray(Seed + 5000 + I);
+  }
+
+  NodeGrid Grid;
+  DistributedArray R;
+  std::vector<std::unique_ptr<DistributedArray>> Owned;
+  StencilArguments Args;
+};
+
+} // namespace
+
+class RandomTimeTileTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomTimeTileTest, TilingIsTransparent) {
+  // Property: for any random single-source stencil, any subgrid, and
+  // any legal depth k, one TimeTile = k run is bitwise identical to k
+  // explicit steps with the result copied back between them. Random
+  // signs, scalar/array/bare coefficients, and mixed boundaries all
+  // ride through the same wide-halo exchange.
+  SplitMix64 Rng(0x717e00 + GetParam());
+  StencilSpec Spec = randomSpec(Rng, /*MaxSources=*/1);
+  int SubRows = 6 + static_cast<int>(Rng.nextBelow(10));
+  int SubCols = 6 + static_cast<int>(Rng.nextBelow(10));
+  int Requested = 2 + static_cast<int>(Rng.nextBelow(7));
+  const int K = timetile::clampTimeTile(Spec, Requested, SubRows, SubCols);
+  const uint64_t Seed = 0xd1ce00 + GetParam();
+
+  MachineConfig Config = MachineConfig::withNodeGrid(2, 2);
+  ConvolutionCompiler CC(Config);
+  Expected<CompiledStencil> Compiled = CC.compile(Spec);
+  ASSERT_TRUE(Compiled) << Compiled.error().message() << "\n" << Spec.str();
+  Cm2Backend Backend(Config);
+
+  TileArrays Base(Config, Spec, SubRows, SubCols, Seed);
+  for (int S = 0; S != K; ++S) {
+    if (S > 0)
+      Base.Owned[0]->scatter(Base.R.gather()); // Owned[0] is Source
+    Expected<TimingReport> Step = Backend.run(*Compiled, Base.Args, 1);
+    ASSERT_TRUE(Step) << "step " << S << ": " << Step.error().message();
+  }
+
+  TileArrays Tiled(Config, Spec, SubRows, SubCols, Seed);
+  RunOptions RO;
+  RO.TimeTile = K;
+  Expected<TimingReport> Run = Backend.run(*Compiled, Tiled.Args, RO);
+  ASSERT_TRUE(Run) << Run.error().message();
+
+  Array2D Want = Base.R.gather(), Got = Tiled.R.gather();
+  EXPECT_EQ(std::memcmp(Want.data(), Got.data(),
+                        sizeof(float) * Want.rows() * Want.cols()),
+            0)
+      << "k=" << K << " (requested " << Requested << ") diverged; max |diff| "
+      << Array2D::maxAbsDifference(Want, Got) << "\n"
+      << Spec.str();
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RandomTimeTileTest, ::testing::Range(0, 25));
 
 //===----------------------------------------------------------------------===//
 // Every compiled width of every random pattern verifies

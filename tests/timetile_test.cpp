@@ -1,0 +1,714 @@
+//===- tests/timetile_test.cpp - Time-tiled differential suite -*- C++ -*-===//
+//
+// Part of the CMCC project (PLDI 1991 convolution-compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The contract of time-tiled execution: a run with TimeTile = k is
+/// functionally k *chained* timesteps of the stencil — step s's result
+/// feeds step s+1 — behind a single wide halo exchange, and the result
+/// must be BITWISE identical to the step-by-step program (k separate
+/// run() calls copying result back into the source between steps) on
+/// every backend:
+///
+///   * cm2 replays owner regions so each intermediate pad cell runs the
+///     exact strip schedule its owner node runs — same FPU chains, same
+///     rounding, bit for bit;
+///   * native/njit arithmetic is position-independent per point, so the
+///     extended-rectangle scratch steps are trivially the same rounded
+///     float sequence.
+///
+/// The differential harness sweeps depth k in {1, 2, 3, 8}, all
+/// backends, shard grids 1x1 / 1x2 / 2x2, Circular and Zero boundaries,
+/// and armed halo.exchange / shard.* faults (a failed tiled run must be
+/// transient and leave the inputs untouched, so the retry reproduces
+/// the baseline bitwise).
+///
+//===----------------------------------------------------------------------===//
+
+#include "backends/Registry.h"
+#include "backends/cm2/Cm2Backend.h"
+#include "backends/native/NativeBackend.h"
+#include "core/Compiler.h"
+#include "obs/Metrics.h"
+#include "runtime/TimeTile.h"
+#include "service/Autotuner.h"
+#include "service/StencilService.h"
+#include "shard/ShardedBackend.h"
+#include "stencil/PatternLibrary.h"
+#include "support/FaultInjection.h"
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <gtest/gtest.h>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace cmcc;
+
+namespace {
+
+/// Identically seeded argument set (same construction as the backend
+/// equivalence suite): each side gets its own arrays built from the
+/// same seeds, so inputs are bit-identical across runs and backends.
+struct BoundArrays {
+  BoundArrays(const MachineConfig &Config, const StencilSpec &Spec,
+              int SubRows, int SubCols, uint64_t Seed)
+      : Grid(Config), R(Grid, SubRows, SubCols) {
+    Args.Result = &R;
+    auto MakeArray = [&](uint64_t S) {
+      auto A = std::make_unique<DistributedArray>(Grid, SubRows, SubCols);
+      Array2D G(R.globalRows(), R.globalCols());
+      G.fillRandom(S);
+      A->scatter(G);
+      Owned.push_back(std::move(A));
+      return Owned.back().get();
+    };
+    Args.Source = MakeArray(Seed);
+    for (size_t I = 0; I != Spec.ExtraSources.size(); ++I)
+      Args.ExtraSources[Spec.ExtraSources[I]] = MakeArray(Seed + 31 * (I + 1));
+    std::vector<std::string> CoeffNames = Spec.coefficientArrayNames();
+    for (size_t I = 0; I != CoeffNames.size(); ++I)
+      Args.Coefficients[CoeffNames[I]] = MakeArray(Seed + 5000 + I);
+  }
+
+  NodeGrid Grid;
+  DistributedArray R;
+  std::vector<std::unique_ptr<DistributedArray>> Owned;
+  StencilArguments Args;
+};
+
+CompiledStencil compileSpec(const MachineConfig &Config,
+                            const StencilSpec &Spec) {
+  ConvolutionCompiler CC(Config);
+  CC.setAllowMultipleSources(true);
+  Expected<CompiledStencil> Compiled = CC.compile(Spec);
+  EXPECT_TRUE(Compiled) << (Compiled ? "" : Compiled.error().message());
+  return *Compiled;
+}
+
+/// The ground truth: K explicit timesteps, each a plain TimeTile = 1
+/// run, with the result copied back into the source between steps —
+/// the program a user would write without tiling.
+Array2D stepwiseBaseline(ExecutionBackend &Backend,
+                         const CompiledStencil &Compiled,
+                         const MachineConfig &Config, int SubRows,
+                         int SubCols, int K, uint64_t Seed) {
+  BoundArrays Side(Config, Compiled.Spec, SubRows, SubCols, Seed);
+  for (int S = 0; S != K; ++S) {
+    if (S > 0)
+      Side.Owned[0]->scatter(Side.R.gather()); // Owned[0] is Source
+    Expected<TimingReport> R = Backend.run(Compiled, Side.Args, 1);
+    EXPECT_TRUE(R) << "baseline step " << S
+                   << " failed: " << (R ? "" : R.error().message());
+    if (!R)
+      break;
+  }
+  return Side.R.gather();
+}
+
+/// One tiled run at depth K over bit-identical inputs.
+Array2D tiledRun(ExecutionBackend &Backend, const CompiledStencil &Compiled,
+                 const MachineConfig &Config, int SubRows, int SubCols, int K,
+                 uint64_t Seed, int Iterations = 1) {
+  BoundArrays Side(Config, Compiled.Spec, SubRows, SubCols, Seed);
+  RunOptions RO;
+  RO.Iterations = Iterations;
+  RO.TimeTile = K;
+  Expected<TimingReport> R = Backend.run(Compiled, Side.Args, RO);
+  EXPECT_TRUE(R) << "tiled run (k=" << K
+                 << ") failed: " << (R ? "" : R.error().message());
+  return Side.R.gather();
+}
+
+void expectBitwise(const Array2D &Want, const Array2D &Got,
+                   const std::string &What) {
+  ASSERT_EQ(Want.rows(), Got.rows()) << What;
+  ASSERT_EQ(Want.cols(), Got.cols()) << What;
+  EXPECT_EQ(std::memcmp(Want.data(), Got.data(),
+                        sizeof(float) * Want.rows() * Want.cols()),
+            0)
+      << What << " diverged from the step-by-step baseline; max |diff| "
+      << Array2D::maxAbsDifference(Want, Got);
+}
+
+/// Radius-2 cornered pattern with mixed signs and array coefficients —
+/// exercises wide pads, corner regions, and the coefficient exchange.
+StencilSpec corneredSpec() {
+  StencilSpec Spec;
+  Spec.Result = "R";
+  Spec.Source = "X";
+  const int Offsets[][2] = {{0, 0}, {1, 1}, {-1, -1}, {1, -1}, {-2, 0}};
+  for (int I = 0; I != 5; ++I) {
+    Tap T;
+    T.At.Dy = Offsets[I][0];
+    T.At.Dx = Offsets[I][1];
+    T.Sign = I % 2 ? -1.0 : 1.0;
+    T.Coeff = Coefficient::array("C" + std::to_string(I));
+    Spec.Taps.push_back(std::move(T));
+  }
+  return Spec;
+}
+
+/// Scalar-coefficient cross (no coefficient arrays → no coefficient
+/// exchange; the tiled source exchange alone must carry the run).
+StencilSpec scalarCrossSpec() {
+  StencilSpec Spec;
+  Spec.Result = "R";
+  Spec.Source = "X";
+  const int Offsets[][2] = {{0, 0}, {0, 1}, {0, -1}, {1, 0}, {-1, 0}};
+  const float Coeffs[] = {0.5f, 0.125f, 0.125f, 0.125f, 0.125f};
+  for (int I = 0; I != 5; ++I) {
+    Tap T;
+    T.At.Dy = Offsets[I][0];
+    T.At.Dx = Offsets[I][1];
+    T.Coeff = Coefficient::scalar(Coeffs[I]);
+    Spec.Taps.push_back(std::move(T));
+  }
+  return Spec;
+}
+
+/// A single self tap: radius 0 — the degenerate tile where the wide
+/// border is zero and every chained step is a pointwise pass.
+StencilSpec pointwiseSpec() {
+  StencilSpec Spec;
+  Spec.Result = "R";
+  Spec.Source = "X";
+  Tap T;
+  T.At = {0, 0};
+  T.Coeff = Coefficient::scalar(0.75f);
+  Spec.Taps.push_back(std::move(T));
+  return Spec;
+}
+
+struct DifferentialCase {
+  const char *Label;
+  StencilSpec Spec;
+  int SubRows, SubCols;
+  std::vector<int> Depths;
+};
+
+/// The shared sweep matrix: patterns x boundaries x depths. Subgrids
+/// are sized so the deepest tile's border k*r still fits (border <=
+/// min(SubRows, SubCols) is the exchange protocol's own limit).
+std::vector<DifferentialCase> differentialCases() {
+  std::vector<DifferentialCase> Cases;
+  StencilSpec Cross = makePattern(PatternId::Cross5);
+  Cases.push_back({"cross5/circular", Cross, 10, 12, {1, 2, 3, 8}});
+  StencilSpec CrossZero = Cross;
+  CrossZero.BoundaryDim1 = BoundaryKind::Zero;
+  CrossZero.BoundaryDim2 = BoundaryKind::Zero;
+  Cases.push_back({"cross5/zero", CrossZero, 10, 12, {1, 2, 3, 8}});
+  StencilSpec Square = makePattern(PatternId::Square9);
+  StencilSpec SquareMixed = Square;
+  SquareMixed.BoundaryDim1 = BoundaryKind::Zero;
+  Cases.push_back({"square9/zero-rows", SquareMixed, 9, 11, {1, 2, 3, 8}});
+  Cases.push_back({"cornered-r2/circular", corneredSpec(), 16, 17, {1, 2, 3, 8}});
+  StencilSpec CorneredZero = corneredSpec();
+  CorneredZero.BoundaryDim2 = BoundaryKind::Zero;
+  Cases.push_back({"cornered-r2/zero-cols", CorneredZero, 16, 17, {1, 2, 3}});
+  Cases.push_back({"scalar-cross/circular", scalarCrossSpec(), 8, 9, {2, 8}});
+  Cases.push_back({"pointwise/r0", pointwiseSpec(), 4, 5, {1, 2, 8}});
+  return Cases;
+}
+
+class TimeTileTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    fault::Registry::process().reset();
+    fault::Registry::process().setSeed(0);
+  }
+  void TearDown() override { fault::Registry::process().reset(); }
+};
+
+//===----------------------------------------------------------------------===//
+// Validation
+//===----------------------------------------------------------------------===//
+
+TEST_F(TimeTileTest, ValidationRejectsBadDepths) {
+  StencilSpec Spec = makePattern(PatternId::Cross5);
+  EXPECT_TRUE(static_cast<bool>(timetile::validateTimeTile(Spec, 0, 8, 8)));
+  EXPECT_TRUE(static_cast<bool>(timetile::validateTimeTile(Spec, -3, 8, 8)));
+  EXPECT_TRUE(!timetile::validateTimeTile(Spec, 1, 8, 8));
+  EXPECT_TRUE(!timetile::validateTimeTile(Spec, 8, 8, 8));
+  // Depth 9 at radius 1 needs a 9-wide border: over the 8-row subgrid.
+  Error TooDeep = timetile::validateTimeTile(Spec, 9, 8, 8);
+  ASSERT_TRUE(TooDeep);
+  EXPECT_NE(TooDeep.message().find("border"), std::string::npos)
+      << TooDeep.message();
+
+  // Chained steps feed Result back into Source; a second source array
+  // has no step-to-step successor, so k > 1 is rejected.
+  StencilSpec Multi = Spec;
+  Multi.ExtraSources.push_back("Y");
+  Tap T;
+  T.At = {0, 1};
+  T.SourceIndex = 1;
+  T.Coeff = Coefficient::scalar(0.5f);
+  Multi.Taps.push_back(std::move(T));
+  EXPECT_TRUE(!timetile::validateTimeTile(Multi, 1, 8, 8));
+  Error MultiErr = timetile::validateTimeTile(Multi, 2, 8, 8);
+  ASSERT_TRUE(MultiErr);
+  EXPECT_NE(MultiErr.message().find("source"), std::string::npos)
+      << MultiErr.message();
+}
+
+TEST_F(TimeTileTest, ClampFindsTheDeepestLegalTile) {
+  StencilSpec Cross = makePattern(PatternId::Cross5); // radius 1
+  EXPECT_EQ(timetile::clampTimeTile(Cross, 8, 8, 8), 8);
+  EXPECT_EQ(timetile::clampTimeTile(Cross, 64, 8, 8), 8);
+  StencilSpec Cornered = corneredSpec(); // radius 2
+  EXPECT_EQ(timetile::clampTimeTile(Cornered, 8, 8, 8), 4);
+  EXPECT_EQ(timetile::clampTimeTile(Cornered, 3, 8, 8), 3);
+  StencilSpec Multi = Cross;
+  Multi.ExtraSources.push_back("Y");
+  EXPECT_EQ(timetile::clampTimeTile(Multi, 8, 8, 8), 1);
+  EXPECT_EQ(timetile::clampTimeTile(Cross, 0, 8, 8), 1);
+}
+
+TEST_F(TimeTileTest, BackendsRejectInvalidDepthsUpFront) {
+  MachineConfig Config = MachineConfig::withNodeGrid(2, 2);
+  StencilSpec Spec = corneredSpec();
+  CompiledStencil Compiled = compileSpec(Config, Spec);
+  for (const char *Name : {"cm2", "native"}) {
+    SCOPED_TRACE(Name);
+    std::unique_ptr<ExecutionBackend> B = createBackend(Name, Config);
+    ASSERT_NE(B, nullptr);
+    BoundArrays Side(Config, Spec, 6, 6, 1);
+    RunOptions RO;
+    RO.TimeTile = 4; // border 8 > 6-wide subgrid
+    Expected<TimingReport> R = B->run(Compiled, Side.Args, RO);
+    ASSERT_FALSE(R);
+    EXPECT_FALSE(R.error().isTransient());
+    Expected<TimingReport> T = B->timeOnly(Compiled, 6, 6, RO);
+    EXPECT_FALSE(T);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// The differential sweep: tiled == stepwise, bitwise, every backend
+//===----------------------------------------------------------------------===//
+
+void sweepBackend(const char *Name) {
+  MachineConfig Config = MachineConfig::withNodeGrid(2, 2);
+  if (std::string_view(Name) == "njit" && !isBackendAvailable("njit"))
+    GTEST_SKIP() << "no host toolchain for njit";
+  std::unique_ptr<ExecutionBackend> Backend = createBackend(Name, Config);
+  ASSERT_NE(Backend, nullptr);
+  uint64_t Seed = 0x7113d;
+  for (const DifferentialCase &DC : differentialCases()) {
+    CompiledStencil Compiled = compileSpec(Config, DC.Spec);
+    for (int K : DC.Depths) {
+      SCOPED_TRACE(std::string(DC.Label) + " k=" + std::to_string(K));
+      Array2D Want = stepwiseBaseline(*Backend, Compiled, Config, DC.SubRows,
+                                      DC.SubCols, K, Seed);
+      Array2D Got = tiledRun(*Backend, Compiled, Config, DC.SubRows,
+                             DC.SubCols, K, Seed);
+      expectBitwise(Want, Got, std::string(Name) + " " + DC.Label);
+      ++Seed;
+    }
+  }
+}
+
+TEST_F(TimeTileTest, Cm2TiledBitwiseEqualsStepwise) { sweepBackend("cm2"); }
+TEST_F(TimeTileTest, NativeTiledBitwiseEqualsStepwise) {
+  sweepBackend("native");
+}
+TEST_F(TimeTileTest, NjitTiledBitwiseEqualsStepwise) { sweepBackend("njit"); }
+
+TEST_F(TimeTileTest, IterationsMultiplyTimingNotResults) {
+  // Iterations stays the timing multiplier of the fused k-step unit:
+  // the functional pass runs once, so results match Iterations = 1.
+  MachineConfig Config = MachineConfig::withNodeGrid(2, 2);
+  StencilSpec Spec = makePattern(PatternId::Cross5);
+  CompiledStencil Compiled = compileSpec(Config, Spec);
+  Cm2Backend Cm2(Config);
+  Array2D Once = tiledRun(Cm2, Compiled, Config, 10, 10, 3, 0xabc, 1);
+  Array2D Thrice = tiledRun(Cm2, Compiled, Config, 10, 10, 3, 0xabc, 3);
+  expectBitwise(Once, Thrice, "iterations=3");
+}
+
+TEST_F(TimeTileTest, DepthOneIsExactlyTheUntiledRun) {
+  // TimeTile = 1 must take the classic path: same result AND same
+  // simulated cycle count as the int-Iterations overload.
+  MachineConfig Config = MachineConfig::withNodeGrid(2, 2);
+  StencilSpec Spec = corneredSpec();
+  CompiledStencil Compiled = compileSpec(Config, Spec);
+  Cm2Backend Cm2(Config);
+
+  BoundArrays Classic(Config, Spec, 8, 9, 0x11);
+  Expected<TimingReport> R1 = Cm2.run(Compiled, Classic.Args, 1);
+  ASSERT_TRUE(R1) << R1.error().message();
+
+  BoundArrays Tiled(Config, Spec, 8, 9, 0x11);
+  RunOptions RO;
+  RO.TimeTile = 1;
+  Expected<TimingReport> R2 = Cm2.run(Compiled, Tiled.Args, RO);
+  ASSERT_TRUE(R2) << R2.error().message();
+
+  expectBitwise(Classic.R.gather(), Tiled.R.gather(), "k=1");
+  EXPECT_EQ(R1->Cycles.total(), R2->Cycles.total());
+}
+
+//===----------------------------------------------------------------------===//
+// Exchange traffic: one wide exchange replaces k narrow ones
+//===----------------------------------------------------------------------===//
+
+TEST_F(TimeTileTest, TiledRunDoesOneExchangePerArray) {
+  MachineConfig Config = MachineConfig::withNodeGrid(2, 2);
+  StencilSpec Spec = scalarCrossSpec(); // no coefficient arrays
+  CompiledStencil Compiled = compileSpec(Config, Spec);
+  Cm2Backend Cm2(Config);
+  obs::Counter &Exchanges = obs::Registry::process().counter("halo.exchanges");
+
+  const int K = 8;
+  long Before = Exchanges.value();
+  stepwiseBaseline(Cm2, Compiled, Config, 8, 8, K, 0x99);
+  long Stepwise = Exchanges.value() - Before;
+  EXPECT_EQ(Stepwise, K);
+
+  Before = Exchanges.value();
+  tiledRun(Cm2, Compiled, Config, 8, 8, K, 0x99);
+  long Tiled = Exchanges.value() - Before;
+  EXPECT_EQ(Tiled, 1) << "depth-" << K
+                      << " tile should do one wide exchange, not " << Tiled;
+}
+
+//===----------------------------------------------------------------------===//
+// Shard grids: tiled sharded == stepwise unsharded, bitwise
+//===----------------------------------------------------------------------===//
+
+void sweepSharded(const char *Inner) {
+  MachineConfig Config = MachineConfig::withNodeGrid(4, 4);
+  StencilSpec Specs[] = {makePattern(PatternId::Cross5), corneredSpec()};
+  Specs[0].BoundaryDim1 = BoundaryKind::Zero;
+  uint64_t Seed = 0x5a1d;
+  for (const StencilSpec &Spec : Specs) {
+    CompiledStencil Compiled = compileSpec(Config, Spec);
+    const int Radius = Spec.borderWidths().maximum();
+    const int Sub = Radius > 1 ? 13 : 9;
+    for (int K : {2, 3}) {
+      // Unsharded stepwise ground truth on the inner backend.
+      std::unique_ptr<ExecutionBackend> Plain = createBackend(Inner, Config);
+      ASSERT_NE(Plain, nullptr);
+      Array2D Want =
+          stepwiseBaseline(*Plain, Compiled, Config, Sub, Sub, K, Seed);
+      for (auto [SR, SC] :
+           std::vector<std::pair<int, int>>{{1, 1}, {1, 2}, {2, 2}}) {
+        SCOPED_TRACE(std::string(Inner) + " shards " + std::to_string(SR) +
+                     "x" + std::to_string(SC) + " k=" + std::to_string(K) +
+                     " radius " + std::to_string(Radius));
+        shard::ShardedBackend::Options O;
+        O.ShardRows = SR;
+        O.ShardCols = SC;
+        O.Shards = SR * SC;
+        O.InnerBackend = Inner;
+        shard::ShardedBackend B(Config, std::move(O));
+        ASSERT_TRUE(B.valid());
+        Array2D Got = tiledRun(B, Compiled, Config, Sub, Sub, K, Seed);
+        expectBitwise(Want, Got, "sharded tile");
+      }
+      ++Seed;
+    }
+  }
+}
+
+TEST_F(TimeTileTest, ShardedCm2TiledBitwiseAcrossGrids) { sweepSharded("cm2"); }
+TEST_F(TimeTileTest, ShardedNativeTiledBitwiseAcrossGrids) {
+  sweepSharded("native");
+}
+
+//===----------------------------------------------------------------------===//
+// Faults: a lost exchange fails transiently; the retry is bitwise
+//===----------------------------------------------------------------------===//
+
+TEST_F(TimeTileTest, ExchangeFaultRetryPreservesBitwiseEquality) {
+  MachineConfig Config = MachineConfig::withNodeGrid(2, 2);
+  StencilSpec Spec = corneredSpec();
+  CompiledStencil Compiled = compileSpec(Config, Spec);
+  Cm2Backend Cm2(Config);
+
+  const int K = 3;
+  Array2D Want = stepwiseBaseline(Cm2, Compiled, Config, 12, 12, K, 0xfa11);
+
+  // Arm the exchange site: the tiled run's single wide exchange (or one
+  // of its coefficient exchanges) is lost. The run must fail transient
+  // and leave the sources untouched for the retry.
+  fault::Rule Lost;
+  Lost.Site = "halo.exchange";
+  Lost.MaxFires = 1;
+  fault::Registry::process().arm(Lost);
+
+  BoundArrays Side(Config, Spec, 12, 12, 0xfa11);
+  RunOptions RO;
+  RO.TimeTile = K;
+  Expected<TimingReport> Failed = Cm2.run(Compiled, Side.Args, RO);
+  ASSERT_FALSE(Failed) << "run survived a lost exchange";
+  EXPECT_TRUE(Failed.error().isTransient()) << Failed.error().message();
+
+  // Same arrays, same rule registry (now exhausted): the retry runs
+  // clean and lands bitwise on the baseline — the failed attempt wrote
+  // nothing into Source.
+  Expected<TimingReport> Retry = Cm2.run(Compiled, Side.Args, RO);
+  ASSERT_TRUE(Retry) << Retry.error().message();
+  expectBitwise(Want, Side.R.gather(), "post-fault retry");
+}
+
+TEST_F(TimeTileTest, ShardFaultRetryPreservesBitwiseEquality) {
+  MachineConfig Config = MachineConfig::withNodeGrid(4, 4);
+  StencilSpec Spec = makePattern(PatternId::Cross5);
+  CompiledStencil Compiled = compileSpec(Config, Spec);
+
+  const int K = 2;
+  Cm2Backend Plain(Config);
+  Array2D Want = stepwiseBaseline(Plain, Compiled, Config, 8, 8, K, 0x5afe);
+
+  shard::ShardedBackend::Options O;
+  O.ShardRows = 1;
+  O.ShardCols = 2;
+  O.InnerBackend = "cm2";
+  shard::ShardedBackend B(Config, std::move(O));
+  ASSERT_TRUE(B.valid());
+
+  // Prime the fleet so the armed fault hits the tiled relay itself.
+  BoundArrays Prime(Config, Spec, 8, 8, 0x5afe);
+  RunOptions RO;
+  RO.TimeTile = K;
+  ASSERT_TRUE(B.run(Compiled, Prime.Args, RO));
+  expectBitwise(Want, Prime.R.gather(), "primed sharded tile");
+
+  fault::Rule Abort;
+  Abort.Site = "shard.exchange";
+  Abort.MaxFires = 1;
+  fault::Registry::process().arm(Abort);
+  BoundArrays Side(Config, Spec, 8, 8, 0x5afe);
+  Expected<TimingReport> Failed = B.run(Compiled, Side.Args, RO);
+  ASSERT_FALSE(Failed);
+  EXPECT_TRUE(Failed.error().isTransient()) << Failed.error().message();
+
+  fault::Registry::process().reset();
+  BoundArrays Retry(Config, Spec, 8, 8, 0x5afe);
+  Expected<TimingReport> Again = B.run(Compiled, Retry.Args, RO);
+  ASSERT_TRUE(Again) << Again.error().message();
+  expectBitwise(Want, Retry.R.gather(), "post-fault sharded retry");
+}
+
+//===----------------------------------------------------------------------===//
+// Autotuner: sweep once, serve warm, reject damaged disk records
+//===----------------------------------------------------------------------===//
+
+/// A scratch directory wiped at construction and destruction.
+struct ScratchDir {
+  std::string Path;
+  explicit ScratchDir(const char *Name)
+      : Path(std::filesystem::temp_directory_path() /
+             (std::string("cmcc_timetile_test_") + Name)) {
+    std::filesystem::remove_all(Path);
+  }
+  ~ScratchDir() { std::filesystem::remove_all(Path); }
+};
+
+std::string readFile(const std::string &Path) {
+  std::ifstream In(Path);
+  std::stringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+void writeFile(const std::string &Path, const std::string &Content) {
+  std::ofstream Out(Path, std::ios::trunc);
+  Out << Content;
+}
+
+/// The record with the line starting with \p Key swapped for \p Repl
+/// (empty Repl deletes the line). Lines are the tune format's unit of
+/// damage: every mutation below corrupts exactly one of them.
+std::string withLine(const std::string &Text, const std::string &Key,
+                     const std::string &Repl) {
+  size_t Pos = Text.find(Key);
+  EXPECT_NE(Pos, std::string::npos) << "no '" << Key << "' line to damage";
+  if (Pos == std::string::npos)
+    return Text;
+  size_t End = Text.find('\n', Pos);
+  End = End == std::string::npos ? Text.size() : End + 1;
+  return Text.substr(0, Pos) + (Repl.empty() ? "" : Repl + "\n") +
+         Text.substr(End);
+}
+
+TEST_F(TimeTileTest, AutotunerSweepsOnceThenServesWarm) {
+  MachineConfig Config = MachineConfig::withNodeGrid(2, 2);
+  CompiledStencil Compiled =
+      compileSpec(Config, makePattern(PatternId::Cross5));
+  std::unique_ptr<ExecutionBackend> B = createBackend("cm2", Config);
+  ASSERT_NE(B, nullptr);
+  ScratchDir Dir("warm");
+  const uint64_t Fp = 0xfeedface12345678ull;
+  Autotuner::Options AO;
+  AO.Dir = Dir.Path;
+
+  Autotuner Tuner(Config, AO);
+  EXPECT_FALSE(Tuner.lookup(Fp, *B).has_value());
+
+  // Cold key: one counted miss, one counted sweep, a legal depth out.
+  Autotuner::TunedParams P = Tuner.resolve(Fp, *B, Compiled, 16, 16);
+  EXPECT_GE(P.TimeTile, 1);
+  EXPECT_FALSE(timetile::validateTimeTile(Compiled.Spec, P.TimeTile, 16, 16));
+  Autotuner::Counters C = Tuner.counters();
+  EXPECT_EQ(C.Misses, 1);
+  EXPECT_EQ(C.Sweeps, 1);
+
+  // Warm keys never re-sweep: the choice is stable and served from
+  // memory.
+  for (int I = 0; I != 3; ++I) {
+    Autotuner::TunedParams Again = Tuner.resolve(Fp, *B, Compiled, 16, 16);
+    EXPECT_EQ(Again.TimeTile, P.TimeTile);
+    EXPECT_EQ(Again.RowsPerTile, P.RowsPerTile);
+  }
+  C = Tuner.counters();
+  EXPECT_EQ(C.Sweeps, 1);
+  EXPECT_EQ(C.Misses, 1);
+  EXPECT_EQ(C.Hits, 3);
+
+  // The winner persisted; a fresh tuner (cold memory) loads it from
+  // disk without sweeping and promotes it — the second lookup is a
+  // memory hit.
+  ASSERT_TRUE(std::filesystem::exists(Autotuner::recordPath(Dir.Path, Fp)));
+  Autotuner Fresh(Config, AO);
+  std::optional<Autotuner::TunedParams> FromDisk = Fresh.lookup(Fp, *B);
+  ASSERT_TRUE(FromDisk.has_value());
+  EXPECT_EQ(FromDisk->TimeTile, P.TimeTile);
+  EXPECT_TRUE(Fresh.lookup(Fp, *B).has_value());
+  Autotuner::Counters FC = Fresh.counters();
+  EXPECT_EQ(FC.DiskHits, 1);
+  EXPECT_EQ(FC.Hits, 1);
+  EXPECT_EQ(FC.Sweeps, 0);
+  EXPECT_EQ(FC.DiskRejects, 0);
+}
+
+TEST_F(TimeTileTest, AutotunerRejectsDamagedRecordsAndResweeps) {
+  MachineConfig Config = MachineConfig::withNodeGrid(2, 2);
+  CompiledStencil Compiled =
+      compileSpec(Config, makePattern(PatternId::Cross5));
+  std::unique_ptr<ExecutionBackend> B = createBackend("cm2", Config);
+  ASSERT_NE(B, nullptr);
+  ScratchDir Dir("damage");
+  const uint64_t Fp = 0x0123456789abcdefull;
+  Autotuner::Options AO;
+  AO.Dir = Dir.Path;
+  const std::string Path = Autotuner::recordPath(Dir.Path, Fp);
+
+  // Seed one genuine record, then damage copies of it.
+  {
+    Autotuner Seeder(Config, AO);
+    Seeder.tune(Fp, *B, Compiled, 16, 16);
+  }
+  const std::string Good = readFile(Path);
+  ASSERT_NE(Good.find("cmcc-tune v1"), std::string::npos);
+  ASSERT_NE(Good.find("time_tile"), std::string::npos);
+
+  struct Damage {
+    const char *Label;
+    std::string Content;
+  };
+  const Damage Cases[] = {
+      {"stale version", withLine(Good, "cmcc-tune", "cmcc-tune v9")},
+      {"truncated", Good.substr(0, Good.find("time_tile"))},
+      {"foreign machine", withLine(Good, "machine", "machine 9x9@7")},
+      {"foreign backend", withLine(Good, "backend", "backend native")},
+      {"garbage value", withLine(Good, "time_tile", "time_tile banana")},
+      {"future key", Good + "voodoo 9\n"},
+      {"wrong fingerprint",
+       withLine(Good, "fingerprint", "fingerprint 00000000deadbeef")},
+  };
+
+  for (const Damage &D : Cases) {
+    SCOPED_TRACE(D.Label);
+    writeFile(Path, D.Content);
+
+    // Damage never half-applies: the record is a counted reject, the
+    // cold resolve sweeps afresh...
+    Autotuner Tuner(Config, AO);
+    EXPECT_FALSE(Tuner.lookup(Fp, *B).has_value());
+    Autotuner::Counters C = Tuner.counters();
+    EXPECT_EQ(C.DiskRejects, 1);
+    EXPECT_EQ(C.DiskHits, 0);
+    EXPECT_EQ(C.Sweeps, 0);
+    Autotuner::TunedParams P = Tuner.resolve(Fp, *B, Compiled, 16, 16);
+    EXPECT_GE(P.TimeTile, 1);
+    EXPECT_EQ(Tuner.counters().Sweeps, 1);
+
+    // ...and the sweep heals the disk: a third tuner trusts it again.
+    Autotuner Healed(Config, AO);
+    EXPECT_TRUE(Healed.lookup(Fp, *B).has_value());
+    EXPECT_EQ(Healed.counters().DiskHits, 1);
+    EXPECT_EQ(Healed.counters().DiskRejects, 0);
+  }
+
+  // A missing record is a plain miss, not a reject.
+  std::filesystem::remove(Path);
+  Autotuner Tuner(Config, AO);
+  EXPECT_FALSE(Tuner.lookup(Fp, *B).has_value());
+  EXPECT_EQ(Tuner.counters().DiskRejects, 0);
+}
+
+TEST_F(TimeTileTest, ServiceAutotunesOncePerFingerprint) {
+  // Options.TimeTile = 0 hands the choice to the autotuner: the first
+  // job of a fingerprint sweeps (counted), every later job reuses the
+  // recorded winner — TimeTileUsed is stable and legal, and the sweep
+  // count stays pinned at one.
+  MachineConfig Config = MachineConfig::withNodeGrid(2, 2);
+  ScratchDir Dir("service");
+  StencilService::Options Opts;
+  Opts.Workers = 1;
+  Opts.TimeTile = 0;
+  Opts.TuneDir = Dir.Path;
+  StencilService Service(Config, Opts);
+
+  StencilService::JobRequest Req;
+  Req.Kind = StencilService::SourceKind::FortranAssignment;
+  Req.Source = "R = C1*CSHIFT(X,1,-1) + C2*X";
+  Req.SubRows = 16;
+  Req.SubCols = 16;
+
+  uint64_t Fp = 0;
+  std::vector<int> Used;
+  for (int I = 0; I != 4; ++I) {
+    StencilService::JobResult R = Service.wait(Service.submit(Req));
+    ASSERT_TRUE(R.Ok) << R.Message;
+    EXPECT_GE(R.TimeTileUsed, 1);
+    Fp = R.Fingerprint;
+    Used.push_back(R.TimeTileUsed);
+  }
+  for (int U : Used)
+    EXPECT_EQ(U, Used[0]);
+
+  ServiceStats S = Service.stats();
+  EXPECT_EQ(S.TuneMisses, 1);
+  EXPECT_EQ(S.TuneSweeps, 1);
+  EXPECT_EQ(S.TuneHits, 3);
+  EXPECT_EQ(S.TuneDiskRejects, 0);
+  EXPECT_EQ(S.JobsFailed, 0);
+  EXPECT_TRUE(std::filesystem::exists(Autotuner::recordPath(Dir.Path, Fp)));
+
+  // A fixed service depth pins every job; a per-request depth overrides
+  // it. Neither touches the tuner.
+  StencilService::Options Fixed = Opts;
+  Fixed.TimeTile = 3;
+  StencilService Pinned(Config, Fixed);
+  StencilService::JobResult R3 = Pinned.wait(Pinned.submit(Req));
+  ASSERT_TRUE(R3.Ok) << R3.Message;
+  EXPECT_EQ(R3.TimeTileUsed, 3);
+  StencilService::JobRequest Override = Req;
+  Override.TimeTile = 2;
+  StencilService::JobResult R2 = Pinned.wait(Pinned.submit(Override));
+  ASSERT_TRUE(R2.Ok) << R2.Message;
+  EXPECT_EQ(R2.TimeTileUsed, 2);
+  EXPECT_EQ(Pinned.stats().TuneSweeps, 0);
+}
+
+} // namespace

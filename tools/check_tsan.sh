@@ -20,12 +20,12 @@ cmake -B "$BUILD" -S "$ROOT" \
 cmake --build "$BUILD" -j --target parallel_executor_test executor_test \
   haloexchange_test service_test obs_test fault_injection_test \
   service_soak_test njit_test net_server_test net_soak_test \
-  flight_recorder_test timeline_test shard_test
+  flight_recorder_test timeline_test shard_test timetile_test
 
 for T in parallel_executor_test executor_test haloexchange_test \
          service_test obs_test fault_injection_test service_soak_test \
          njit_test net_server_test net_soak_test \
-         flight_recorder_test timeline_test shard_test; do
+         flight_recorder_test timeline_test shard_test timetile_test; do
   echo "== tsan: $T (CMCC_THREADS=8) =="
   CMCC_THREADS=8 "$BUILD/tests/$T"
 done

@@ -70,6 +70,15 @@
 ///   --faults=SPEC          arm the fault registry, CMCC_FAULTS syntax
 ///                          (site:rate[:count[:delay_ms]],...)
 ///   --fault-seed=N         seed of the deterministic fire pattern
+///   --time-tile=auto|N     timesteps fused behind each halo exchange:
+///                          1 = classic (default), N > 1 a fixed depth
+///                          (clamped per plan), auto = the autotuner
+///                          sweeps once per (fingerprint, machine) and
+///                          persists the winner beside the plan cache
+///   --batch-window-ms=N    hold a resolved plan up to N ms to claim
+///                          queued jobs with the same fingerprint and
+///                          run them back-to-back with zero
+///                          re-resolution (default 0 = off)
 ///   --slow-ms=N            jobs slower than N ms are flagged slow:
 ///                          counted, flight-recorded, and (when tracing)
 ///                          the trace file is flushed at their finish
@@ -139,6 +148,10 @@ struct ServeOptions {
   std::string Faults;
   uint64_t FaultSeed = 0;
   long SlowJobMs = 0;
+  /// Time-tile depth jobs run with: 1 = classic, k > 1 fixed, 0 = the
+  /// autotuner picks per (fingerprint, machine).
+  int TimeTile = 1;
+  long BatchWindowMs = 0;
   std::string FlightDumpPath;
   std::vector<net::Endpoint> Listen;
   int MaxConnections = 256;
@@ -162,6 +175,7 @@ void printUsage() {
                "         --queue-cap=N --admission=block|reject\n"
                "         --deadline-ms=N --max-retries=N\n"
                "         --faults=SPEC --fault-seed=N\n"
+               "         --time-tile=auto|N --batch-window-ms=N\n"
                "         --slow-ms=N --flight-dump=PATH\n"
                "         --json --metrics-json <file> --trace <file> --quiet\n"
                "manifest lines:\n"
@@ -316,6 +330,26 @@ bool parseArguments(int Argc, char **Argv, ServeOptions &Opts) {
       Opts.SlowJobMs = std::atol(V);
       if (Opts.SlowJobMs <= 0) {
         std::fprintf(stderr, "cmcc_serve: bad --slow-ms value '%s'\n", V);
+        return false;
+      }
+    } else if (const char *V = Value("--time-tile=")) {
+      if (std::strcmp(V, "auto") == 0) {
+        Opts.TimeTile = 0; // Autotuned per (fingerprint, machine).
+      } else {
+        Opts.TimeTile = std::atoi(V);
+        if (Opts.TimeTile <= 0) {
+          std::fprintf(stderr,
+                       "cmcc_serve: bad --time-tile value '%s' "
+                       "(want auto or a depth >= 1)\n",
+                       V);
+          return false;
+        }
+      }
+    } else if (const char *V = Value("--batch-window-ms=")) {
+      Opts.BatchWindowMs = std::atol(V);
+      if (Opts.BatchWindowMs < 0) {
+        std::fprintf(stderr, "cmcc_serve: bad --batch-window-ms value '%s'\n",
+                     V);
         return false;
       }
     } else if (const char *V = Value("--flight-dump=")) {
@@ -563,6 +597,8 @@ int main(int Argc, char **Argv) {
   ServiceOpts.DeadlineMs = Opts.DeadlineMs;
   ServiceOpts.MaxRetries = Opts.MaxRetries;
   ServiceOpts.SlowJobMs = Opts.SlowJobMs;
+  ServiceOpts.TimeTile = Opts.TimeTile;
+  ServiceOpts.BatchWindowMs = Opts.BatchWindowMs;
   ServiceOpts.TenantQuotas = Opts.TenantQuotas;
   StencilService Service(Opts.Machine, ServiceOpts);
 
@@ -640,6 +676,10 @@ int main(int Argc, char **Argv) {
     }
     if (!Opts.Quiet) {
       std::string Recovery;
+      if (R.TimeTileUsed > 1)
+        Recovery += "  tile " + std::to_string(R.TimeTileUsed);
+      if (R.Batched)
+        Recovery += "  batched";
       if (R.Retries)
         Recovery += "  retries " + std::to_string(R.Retries);
       if (R.FellBack)
